@@ -1,0 +1,327 @@
+//! The adaptation controller: fit a set of prioritized streams into a
+//! bandwidth budget by graceful degradation.
+//!
+//! This is the session-layer policy of the paper's reference [27] (the
+//! TEEVE multi-stream adaptation framework): streams carry a *contribution
+//! score* (how much they matter to the local field of view — the same
+//! score the FOV subscription framework computes), and when the estimated
+//! available bandwidth cannot carry every stream at full quality, the
+//! controller repeatedly degrades the least-contributing stream one
+//! quality level — dropping it entirely as the last step — until the
+//! demand fits.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use teeve_types::StreamId;
+
+use crate::ladder::QualityLadder;
+
+/// One stream under adaptation: identity, FOV contribution score, and its
+/// quality ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptStream {
+    /// The stream.
+    pub stream: StreamId,
+    /// FOV contribution score; higher = degraded later.
+    pub score: f64,
+    /// The stream's quality ladder.
+    pub ladder: QualityLadder,
+}
+
+/// The chosen level for one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The stream decided on.
+    pub stream: StreamId,
+    /// Chosen ladder rung (0 = full quality), or `None` if dropped.
+    pub level: Option<usize>,
+    /// Bit rate granted (0 when dropped).
+    pub bitrate_bps: u64,
+    /// Utility delivered (0 when dropped).
+    pub utility: f64,
+}
+
+impl Decision {
+    /// Returns true if the stream was dropped entirely.
+    pub fn is_dropped(&self) -> bool {
+        self.level.is_none()
+    }
+}
+
+/// The controller's output: one decision per input stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationPlan {
+    budget_bps: u64,
+    decisions: Vec<Decision>,
+}
+
+impl AdaptationPlan {
+    /// Returns the budget this plan was computed for.
+    pub fn budget_bps(&self) -> u64 {
+        self.budget_bps
+    }
+
+    /// Returns the decisions, in the input stream order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Returns the decision for `stream`, if it was in the input.
+    pub fn decision(&self, stream: StreamId) -> Option<&Decision> {
+        self.decisions.iter().find(|d| d.stream == stream)
+    }
+
+    /// Returns the total granted bit rate.
+    pub fn total_bitrate_bps(&self) -> u64 {
+        self.decisions.iter().map(|d| d.bitrate_bps).sum()
+    }
+
+    /// Returns the total delivered utility.
+    pub fn total_utility(&self) -> f64 {
+        self.decisions.iter().map(|d| d.utility).sum()
+    }
+
+    /// Returns the number of dropped streams.
+    pub fn dropped_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_dropped()).count()
+    }
+
+    /// Returns the number of streams served below full quality (including
+    /// drops).
+    pub fn degraded_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.level != Some(0)).count()
+    }
+}
+
+/// Priority-based graceful-degradation controller.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_adapt::{AdaptStream, AdaptationController, QualityLadder};
+/// use teeve_types::{SiteId, StreamId};
+///
+/// let streams: Vec<AdaptStream> = (0..4)
+///     .map(|q| AdaptStream {
+///         stream: StreamId::new(SiteId::new(1), q),
+///         score: 1.0 - 0.2 * f64::from(q),
+///         ladder: QualityLadder::paper_default(),
+///     })
+///     .collect();
+///
+/// // 32 Mbps carries everything at full quality (4 × 8 Mbps)…
+/// let plan = AdaptationController::new().plan(32_000_000, &streams);
+/// assert_eq!(plan.degraded_count(), 0);
+///
+/// // …at 20 Mbps the two least-contributing streams degrade first.
+/// let tight = AdaptationController::new().plan(20_000_000, &streams);
+/// assert!(tight.total_bitrate_bps() <= 20_000_000);
+/// assert_eq!(tight.decision(streams[0].stream).unwrap().level, Some(0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptationController {
+    _private: (),
+}
+
+impl AdaptationController {
+    /// Creates a controller.
+    pub fn new() -> Self {
+        AdaptationController::default()
+    }
+
+    /// Fits `streams` into `budget_bps`.
+    ///
+    /// Starting from full quality everywhere, the least-scored stream is
+    /// degraded one rung at a time (ties broken by stream identity, so
+    /// plans are deterministic) until the total demand fits the budget.
+    /// A stream below its last rung is dropped. Streams the budget can
+    /// never carry — even alone at the lowest rung — end up dropped, so
+    /// the loop always terminates with `total ≤ budget`.
+    pub fn plan(&self, budget_bps: u64, streams: &[AdaptStream]) -> AdaptationPlan {
+        // Current rung per stream: Some(index) or None = dropped.
+        let mut levels: Vec<Option<usize>> = vec![Some(0); streams.len()];
+        let mut total: u64 = streams.iter().map(|s| s.ladder.full().bitrate_bps).sum();
+
+        // Degradation order: ascending score, then stream id for
+        // determinism. Each pass degrades the weakest stream that still
+        // has somewhere to go.
+        let mut order: Vec<usize> = (0..streams.len()).collect();
+        order.sort_by(|&a, &b| {
+            streams[a]
+                .score
+                .partial_cmp(&streams[b].score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| streams[a].stream.cmp(&streams[b].stream))
+        });
+
+        while total > budget_bps {
+            // The weakest stream that is not yet dropped.
+            let Some(&victim) = order.iter().find(|&&i| levels[i].is_some()) else {
+                break; // everything dropped; total is 0
+            };
+            let ladder = &streams[victim].ladder;
+            let current = levels[victim].expect("victim not dropped");
+            let current_rate = ladder.level(current).bitrate_bps;
+            if current + 1 < ladder.len() {
+                levels[victim] = Some(current + 1);
+                total = total - current_rate + ladder.level(current + 1).bitrate_bps;
+            } else {
+                levels[victim] = None;
+                total -= current_rate;
+            }
+        }
+
+        let decisions = streams
+            .iter()
+            .zip(&levels)
+            .map(|(s, &level)| match level {
+                Some(i) => {
+                    let rung = s.ladder.level(i);
+                    Decision {
+                        stream: s.stream,
+                        level: Some(i),
+                        bitrate_bps: rung.bitrate_bps,
+                        utility: rung.utility,
+                    }
+                }
+                None => Decision {
+                    stream: s.stream,
+                    level: None,
+                    bitrate_bps: 0,
+                    utility: 0.0,
+                },
+            })
+            .collect();
+        AdaptationPlan {
+            budget_bps,
+            decisions,
+        }
+    }
+}
+
+/// Summarizes a plan per origin site: granted bit rate and stream count,
+/// the shape the rendezvous point reports upstream.
+pub fn per_site_grants(plan: &AdaptationPlan) -> BTreeMap<teeve_types::SiteId, (u64, usize)> {
+    let mut out = BTreeMap::new();
+    for d in plan.decisions() {
+        if !d.is_dropped() {
+            let entry = out.entry(d.stream.origin()).or_insert((0, 0));
+            entry.0 += d.bitrate_bps;
+            entry.1 += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teeve_types::SiteId;
+
+    fn streams(scores: &[f64]) -> Vec<AdaptStream> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(q, &score)| AdaptStream {
+                stream: StreamId::new(SiteId::new(0), q as u32),
+                score,
+                ladder: QualityLadder::paper_default(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ample_budget_keeps_full_quality() {
+        let s = streams(&[0.9, 0.5, 0.1]);
+        let plan = AdaptationController::new().plan(100_000_000, &s);
+        assert_eq!(plan.degraded_count(), 0);
+        assert_eq!(plan.total_bitrate_bps(), 24_000_000);
+        assert_eq!(plan.total_utility(), 3.0);
+    }
+
+    #[test]
+    fn plan_respects_budget() {
+        let s = streams(&[0.9, 0.5, 0.1]);
+        for budget in [0, 1_000_000, 7_999_999, 12_000_000, 23_999_999] {
+            let plan = AdaptationController::new().plan(budget, &s);
+            assert!(
+                plan.total_bitrate_bps() <= budget,
+                "budget {budget} exceeded: {}",
+                plan.total_bitrate_bps()
+            );
+        }
+    }
+
+    #[test]
+    fn weakest_stream_degrades_first() {
+        let s = streams(&[0.9, 0.5, 0.1]);
+        // 24 Mbps full demand; 20 Mbps forces one 8→4 degradation.
+        let plan = AdaptationController::new().plan(20_000_000, &s);
+        assert_eq!(plan.decision(s[0].stream).unwrap().level, Some(0));
+        assert_eq!(plan.decision(s[1].stream).unwrap().level, Some(0));
+        assert_eq!(plan.decision(s[2].stream).unwrap().level, Some(1));
+    }
+
+    #[test]
+    fn degradation_cascades_up_the_priority_order() {
+        let s = streams(&[0.9, 0.5, 0.1]);
+        // 10 Mbps: stream 2 drops (−8), stream 1 steps to 2 Mbps
+        // (8→4→2), stream 0 to 8 Mbps: 0+2+8 = 10.
+        let plan = AdaptationController::new().plan(10_000_000, &s);
+        assert!(plan.decision(s[2].stream).unwrap().is_dropped());
+        assert_eq!(plan.decision(s[1].stream).unwrap().bitrate_bps, 2_000_000);
+        assert_eq!(plan.decision(s[0].stream).unwrap().bitrate_bps, 8_000_000);
+    }
+
+    #[test]
+    fn zero_budget_drops_everything() {
+        let s = streams(&[0.9, 0.5]);
+        let plan = AdaptationController::new().plan(0, &s);
+        assert_eq!(plan.dropped_count(), 2);
+        assert_eq!(plan.total_bitrate_bps(), 0);
+        assert_eq!(plan.total_utility(), 0.0);
+    }
+
+    #[test]
+    fn no_streams_is_a_valid_plan() {
+        let plan = AdaptationController::new().plan(1_000_000, &[]);
+        assert!(plan.decisions().is_empty());
+        assert_eq!(plan.total_bitrate_bps(), 0);
+    }
+
+    #[test]
+    fn equal_scores_break_ties_deterministically() {
+        let s = streams(&[0.5, 0.5, 0.5]);
+        let a = AdaptationController::new().plan(18_000_000, &s);
+        let b = AdaptationController::new().plan(18_000_000, &s);
+        assert_eq!(a, b);
+        // The lowest stream id degrades first on a tie.
+        assert_ne!(a.decision(s[0].stream).unwrap().level, Some(0));
+    }
+
+    #[test]
+    fn more_budget_never_hurts_utility() {
+        let s = streams(&[0.8, 0.6, 0.4, 0.2]);
+        let mut prev = -1.0;
+        for budget in (0..=40_000_000).step_by(2_000_000) {
+            let u = AdaptationController::new().plan(budget, &s).total_utility();
+            assert!(u >= prev, "utility dropped at budget {budget}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn per_site_grants_aggregate() {
+        let mut s = streams(&[0.9, 0.8]);
+        s.push(AdaptStream {
+            stream: StreamId::new(SiteId::new(3), 0),
+            score: 0.7,
+            ladder: QualityLadder::paper_default(),
+        });
+        let plan = AdaptationController::new().plan(100_000_000, &s);
+        let grants = per_site_grants(&plan);
+        assert_eq!(grants[&SiteId::new(0)], (16_000_000, 2));
+        assert_eq!(grants[&SiteId::new(3)], (8_000_000, 1));
+    }
+}

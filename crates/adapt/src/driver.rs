@@ -1,0 +1,227 @@
+//! The closed loop: bandwidth estimation driving replanning with
+//! hysteresis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{AdaptStream, AdaptationController, AdaptationPlan};
+use crate::estimator::BandwidthEstimator;
+
+/// An adaptive receiver: owns the estimator and the current plan, and
+/// replans only when the estimate has drifted past a hysteresis band —
+/// the flap damping every deployed adaptation loop needs (constant
+/// replanning makes the rendered quality oscillate visibly).
+///
+/// # Examples
+///
+/// ```
+/// use teeve_adapt::{AdaptStream, AdaptiveReceiver, BandwidthEstimator, QualityLadder};
+/// use teeve_types::{SiteId, StreamId};
+///
+/// let streams: Vec<AdaptStream> = (0..3)
+///     .map(|q| AdaptStream {
+///         stream: StreamId::new(SiteId::new(1), q),
+///         score: 1.0 / f64::from(q + 1),
+///         ladder: QualityLadder::paper_default(),
+///     })
+///     .collect();
+/// // A fully reactive estimator keeps the example arithmetic exact.
+/// let mut rx = AdaptiveReceiver::new(streams, 0.15)
+///     .with_estimator(BandwidthEstimator::new(1.0));
+///
+/// // First observation always produces a plan.
+/// let plan = rx.observe_bps(30_000_000.0).expect("initial plan");
+/// assert_eq!(plan.degraded_count(), 0);
+///
+/// // A tiny wiggle stays inside the hysteresis band: no replan.
+/// assert!(rx.observe_bps(29_000_000.0).is_none());
+///
+/// // A real drop replans and degrades.
+/// let degraded = rx.observe_bps(12_000_000.0).expect("replans");
+/// assert!(degraded.degraded_count() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveReceiver {
+    streams: Vec<AdaptStream>,
+    estimator: BandwidthEstimator,
+    /// Relative drift that triggers a replan, e.g. 0.15 = 15 %.
+    hysteresis: f64,
+    /// Budget the current plan was computed for.
+    planned_budget_bps: Option<u64>,
+}
+
+impl AdaptiveReceiver {
+    /// Creates a receiver adapting `streams` with the default estimator
+    /// and the given hysteresis band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis` is negative or not finite.
+    pub fn new(streams: Vec<AdaptStream>, hysteresis: f64) -> Self {
+        assert!(
+            hysteresis.is_finite() && hysteresis >= 0.0,
+            "hysteresis must be a non-negative fraction"
+        );
+        AdaptiveReceiver {
+            streams,
+            estimator: BandwidthEstimator::default(),
+            hysteresis,
+            planned_budget_bps: None,
+        }
+    }
+
+    /// Replaces the estimator (e.g. for a more reactive alpha).
+    pub fn with_estimator(mut self, estimator: BandwidthEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Returns the streams under adaptation.
+    pub fn streams(&self) -> &[AdaptStream] {
+        &self.streams
+    }
+
+    /// Returns the budget of the active plan, if any.
+    pub fn planned_budget_bps(&self) -> Option<u64> {
+        self.planned_budget_bps
+    }
+
+    /// Returns the current bandwidth estimate in bits per second.
+    pub fn estimate_bps(&self) -> f64 {
+        self.estimator.estimate_bps()
+    }
+
+    /// Feeds one throughput observation (bits per second) and replans if
+    /// the smoothed estimate drifted out of the hysteresis band around
+    /// the active plan's budget. Returns the new plan when one was made.
+    pub fn observe_bps(&mut self, bps: f64) -> Option<AdaptationPlan> {
+        self.estimator.observe_bps(bps);
+        let estimate = self.estimator.estimate_bps();
+        let replan = match self.planned_budget_bps {
+            None => true,
+            Some(planned) => {
+                let planned = planned as f64;
+                (estimate - planned).abs() > planned * self.hysteresis
+            }
+        };
+        if !replan {
+            return None;
+        }
+        let budget = estimate.max(0.0) as u64;
+        self.planned_budget_bps = Some(budget);
+        Some(AdaptationController::new().plan(budget, &self.streams))
+    }
+
+    /// Feeds a `(bytes, seconds)` observation; see [`Self::observe_bps`].
+    pub fn observe_bytes(&mut self, bytes: u64, seconds: f64) -> Option<AdaptationPlan> {
+        if !(seconds > 0.0) || !seconds.is_finite() {
+            return None;
+        }
+        self.observe_bps(bytes as f64 * 8.0 / seconds)
+    }
+
+    /// Updates the stream set (a FOV change) and forces a replan at the
+    /// current estimate.
+    pub fn set_streams(&mut self, streams: Vec<AdaptStream>) -> AdaptationPlan {
+        self.streams = streams;
+        let budget = self.estimator.estimate_bps().max(0.0) as u64;
+        self.planned_budget_bps = Some(budget);
+        AdaptationController::new().plan(budget, &self.streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::QualityLadder;
+    use teeve_types::{SiteId, StreamId};
+
+    fn three_streams() -> Vec<AdaptStream> {
+        (0..3)
+            .map(|q| AdaptStream {
+                stream: StreamId::new(SiteId::new(2), q),
+                score: 1.0 - 0.3 * f64::from(q),
+                ladder: QualityLadder::paper_default(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_observation_always_plans() {
+        let mut rx = AdaptiveReceiver::new(three_streams(), 0.2);
+        assert!(rx.observe_bps(25_000_000.0).is_some());
+        assert_eq!(rx.planned_budget_bps(), Some(25_000_000));
+    }
+
+    #[test]
+    fn small_wiggles_do_not_replan() {
+        let mut rx = AdaptiveReceiver::new(three_streams(), 0.2);
+        rx.observe_bps(20_000_000.0).unwrap();
+        for bps in [21e6, 19e6, 20.5e6, 18.5e6] {
+            assert!(rx.observe_bps(bps).is_none(), "replanned at {bps}");
+        }
+    }
+
+    #[test]
+    fn large_drop_replans_and_degrades() {
+        let mut rx = AdaptiveReceiver::new(three_streams(), 0.1)
+            .with_estimator(BandwidthEstimator::new(1.0));
+        let initial = rx.observe_bps(30_000_000.0).unwrap();
+        assert_eq!(initial.degraded_count(), 0);
+        let degraded = rx.observe_bps(9_000_000.0).unwrap();
+        assert!(degraded.degraded_count() > 0);
+        assert!(degraded.total_bitrate_bps() <= 9_000_000);
+    }
+
+    #[test]
+    fn recovery_replans_upwards() {
+        let mut rx = AdaptiveReceiver::new(three_streams(), 0.1)
+            .with_estimator(BandwidthEstimator::new(1.0));
+        rx.observe_bps(8_000_000.0).unwrap();
+        let recovered = rx.observe_bps(40_000_000.0).expect("replans on recovery");
+        assert_eq!(recovered.degraded_count(), 0);
+    }
+
+    #[test]
+    fn smoothing_needs_sustained_change() {
+        // With a gentle alpha, a single dip does not cross the band.
+        let mut rx = AdaptiveReceiver::new(three_streams(), 0.3)
+            .with_estimator(BandwidthEstimator::new(0.1));
+        rx.observe_bps(24_000_000.0).unwrap();
+        assert!(rx.observe_bps(10_000_000.0).is_none());
+        // Sustained congestion eventually drives the estimate through it.
+        let mut replanned = false;
+        for _ in 0..30 {
+            if rx.observe_bps(10_000_000.0).is_some() {
+                replanned = true;
+                break;
+            }
+        }
+        assert!(replanned);
+    }
+
+    #[test]
+    fn fov_change_forces_replan() {
+        let mut rx = AdaptiveReceiver::new(three_streams(), 0.2);
+        rx.observe_bps(16_000_000.0).unwrap();
+        let mut streams = three_streams();
+        streams.truncate(1);
+        let plan = rx.set_streams(streams);
+        assert_eq!(plan.decisions().len(), 1);
+        assert_eq!(plan.degraded_count(), 0); // one 8 Mbps stream fits 16
+    }
+
+    #[test]
+    fn byte_observations_drive_the_loop() {
+        let mut rx = AdaptiveReceiver::new(three_streams(), 0.2);
+        // 2.5 MB over 1 s = 20 Mbps.
+        let plan = rx.observe_bytes(2_500_000, 1.0).unwrap();
+        assert!(plan.total_bitrate_bps() <= 20_000_000);
+        assert!(rx.observe_bytes(100, 0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn negative_hysteresis_panics() {
+        let _ = AdaptiveReceiver::new(Vec::new(), -0.1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Quality ladders: the discrete bit-rate levels a stream can be served
+//! at.
+
+use serde::{Deserialize, Serialize};
+
+/// One rung of a quality ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityLevel {
+    /// Bit rate this level consumes.
+    pub bitrate_bps: u64,
+    /// Relative visual utility in `[0, 1]` (1 = full quality).
+    pub utility: f64,
+}
+
+/// A descending ladder of quality levels for one stream, ending in an
+/// implicit "dropped" state (0 bps, 0 utility).
+///
+/// # Examples
+///
+/// ```
+/// use teeve_adapt::QualityLadder;
+///
+/// let ladder = QualityLadder::paper_default();
+/// assert_eq!(ladder.full().bitrate_bps, 8_000_000);
+/// assert!(ladder.level(1).bitrate_bps < ladder.level(0).bitrate_bps);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityLadder {
+    levels: Vec<QualityLevel>,
+}
+
+impl QualityLadder {
+    /// Creates a ladder from strictly descending bit rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty, bit rates are not strictly
+    /// descending and positive, or utilities are not in `(0, 1]` and
+    /// non-increasing.
+    pub fn new(levels: Vec<QualityLevel>) -> Self {
+        assert!(!levels.is_empty(), "a ladder needs at least one level");
+        for pair in levels.windows(2) {
+            assert!(
+                pair[0].bitrate_bps > pair[1].bitrate_bps,
+                "bit rates must be strictly descending"
+            );
+            assert!(
+                pair[0].utility >= pair[1].utility,
+                "utility must be non-increasing"
+            );
+        }
+        for level in &levels {
+            assert!(level.bitrate_bps > 0, "levels must have positive bit rate");
+            assert!(
+                level.utility > 0.0 && level.utility <= 1.0,
+                "utility must be in (0, 1]"
+            );
+        }
+        QualityLadder { levels }
+    }
+
+    /// The paper's stream economics: full quality at 8 Mbps (the middle
+    /// of the quoted 5–10 Mbps band), then half-resolution (4 Mbps),
+    /// quarter (2 Mbps).
+    pub fn paper_default() -> Self {
+        QualityLadder::new(vec![
+            QualityLevel {
+                bitrate_bps: 8_000_000,
+                utility: 1.0,
+            },
+            QualityLevel {
+                bitrate_bps: 4_000_000,
+                utility: 0.7,
+            },
+            QualityLevel {
+                bitrate_bps: 2_000_000,
+                utility: 0.45,
+            },
+        ])
+    }
+
+    /// Returns the number of real (non-dropped) levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Ladders are never empty; this mirrors the collection convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns the full-quality level.
+    pub fn full(&self) -> QualityLevel {
+        self.levels[0]
+    }
+
+    /// Returns level `index` (0 = full quality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn level(&self, index: usize) -> QualityLevel {
+        self.levels[index]
+    }
+
+    /// Returns all levels, descending.
+    pub fn levels(&self) -> &[QualityLevel] {
+        &self.levels
+    }
+}
+
+impl Default for QualityLadder {
+    /// Same as [`QualityLadder::paper_default`].
+    fn default() -> Self {
+        QualityLadder::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ladder_is_descending() {
+        let l = QualityLadder::paper_default();
+        assert_eq!(l.len(), 3);
+        assert!(l.level(0).bitrate_bps > l.level(1).bitrate_bps);
+        assert!(l.level(1).bitrate_bps > l.level(2).bitrate_bps);
+        assert_eq!(l.full().utility, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ladder_panics() {
+        let _ = QualityLadder::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn ascending_rates_panic() {
+        let _ = QualityLadder::new(vec![
+            QualityLevel {
+                bitrate_bps: 1,
+                utility: 0.5,
+            },
+            QualityLevel {
+                bitrate_bps: 2,
+                utility: 0.4,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "utility")]
+    fn increasing_utility_panics() {
+        let _ = QualityLadder::new(vec![
+            QualityLevel {
+                bitrate_bps: 2,
+                utility: 0.4,
+            },
+            QualityLevel {
+                bitrate_bps: 1,
+                utility: 0.9,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bit rate")]
+    fn zero_rate_panics() {
+        let _ = QualityLadder::new(vec![QualityLevel {
+            bitrate_bps: 0,
+            utility: 0.5,
+        }]);
+    }
+}

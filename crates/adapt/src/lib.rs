@@ -1,0 +1,51 @@
+//! Multi-stream bandwidth adaptation for 3D tele-immersive sessions.
+//!
+//! The paper's dissemination model decides *which* streams cross the
+//! overlay; this crate decides *at what quality* each admitted stream is
+//! served when the receiving site's measured bandwidth falls short — the
+//! session-layer adaptation framework of the paper's reference [27]
+//! (Yang et al., NOSSDAV '06), rebuilt on the same FOV contribution
+//! scores the subscription framework produces:
+//!
+//! * [`BandwidthEstimator`] — EWMA throughput estimation;
+//! * [`QualityLadder`] — the discrete bit rates a stream can degrade
+//!   through;
+//! * [`AdaptationController`] — priority-based graceful degradation that
+//!   fits the stream set into a budget;
+//! * [`AdaptiveReceiver`] — the closed loop with hysteresis.
+//!
+//! # Examples
+//!
+//! ```
+//! use teeve_adapt::{AdaptStream, AdaptationController, QualityLadder};
+//! use teeve_types::{SiteId, StreamId};
+//!
+//! // Four remote streams, scored by FOV contribution.
+//! let streams: Vec<AdaptStream> = (0..4)
+//!     .map(|q| AdaptStream {
+//!         stream: StreamId::new(SiteId::new(1), q),
+//!         score: 1.0 - 0.2 * f64::from(q),
+//!         ladder: QualityLadder::paper_default(),
+//!     })
+//!     .collect();
+//!
+//! // 18 Mbps cannot carry 4 × 8 Mbps: the weakest streams degrade first.
+//! let plan = AdaptationController::new().plan(18_000_000, &streams);
+//! assert!(plan.total_bitrate_bps() <= 18_000_000);
+//! assert_eq!(plan.decision(streams[0].stream).unwrap().level, Some(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod driver;
+mod estimator;
+mod ladder;
+
+pub use controller::{
+    per_site_grants, AdaptStream, AdaptationController, AdaptationPlan, Decision,
+};
+pub use driver::AdaptiveReceiver;
+pub use estimator::BandwidthEstimator;
+pub use ladder::{QualityLadder, QualityLevel};

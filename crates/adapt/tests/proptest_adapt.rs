@@ -1,0 +1,131 @@
+//! Property tests for the adaptation controller's invariants.
+
+use proptest::prelude::*;
+use teeve_adapt::{AdaptStream, AdaptationController, QualityLadder, QualityLevel};
+use teeve_types::{SiteId, StreamId};
+
+/// An arbitrary descending quality ladder of 1–4 rungs.
+fn arb_ladder() -> impl Strategy<Value = QualityLadder> {
+    proptest::collection::vec(1_000u64..10_000_000, 1..5).prop_map(|mut rates| {
+        rates.sort_unstable_by(|a, b| b.cmp(a));
+        rates.dedup();
+        let n = rates.len() as f64;
+        let levels = rates
+            .into_iter()
+            .enumerate()
+            .map(|(i, bitrate_bps)| QualityLevel {
+                bitrate_bps,
+                utility: 1.0 - i as f64 / (n + 1.0),
+            })
+            .collect();
+        QualityLadder::new(levels)
+    })
+}
+
+/// An arbitrary stream set (1–12 streams across a few origins).
+fn arb_streams() -> impl Strategy<Value = Vec<AdaptStream>> {
+    proptest::collection::vec((0u32..4, 0.0f64..1.0, arb_ladder()), 1..12).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(q, (origin, score, ladder))| AdaptStream {
+                stream: StreamId::new(SiteId::new(origin), q as u32),
+                score,
+                ladder,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// A plan never exceeds its budget.
+    #[test]
+    fn plan_fits_budget(streams in arb_streams(), budget in 0u64..100_000_000) {
+        let plan = AdaptationController::new().plan(budget, &streams);
+        prop_assert!(plan.total_bitrate_bps() <= budget);
+    }
+
+    /// Every input stream receives exactly one decision, in order.
+    #[test]
+    fn plan_covers_every_stream(streams in arb_streams(), budget in 0u64..100_000_000) {
+        let plan = AdaptationController::new().plan(budget, &streams);
+        prop_assert_eq!(plan.decisions().len(), streams.len());
+        for (s, d) in streams.iter().zip(plan.decisions()) {
+            prop_assert_eq!(s.stream, d.stream);
+        }
+    }
+
+    /// Utility is monotone in budget.
+    #[test]
+    fn utility_is_monotone_in_budget(
+        streams in arb_streams(),
+        low in 0u64..50_000_000,
+        extra in 0u64..50_000_000,
+    ) {
+        let c = AdaptationController::new();
+        let u_low = c.plan(low, &streams).total_utility();
+        let u_high = c.plan(low + extra, &streams).total_utility();
+        prop_assert!(u_high >= u_low - 1e-12);
+    }
+
+    /// With identical ladders, a higher-scored stream is never served
+    /// worse than a lower-scored one.
+    #[test]
+    fn priority_order_is_respected(
+        scores in proptest::collection::vec(0.0f64..1.0, 2..10),
+        budget in 0u64..80_000_000,
+    ) {
+        let streams: Vec<AdaptStream> = scores
+            .iter()
+            .enumerate()
+            .map(|(q, &score)| AdaptStream {
+                stream: StreamId::new(SiteId::new(0), q as u32),
+                score,
+                ladder: QualityLadder::paper_default(),
+            })
+            .collect();
+        let plan = AdaptationController::new().plan(budget, &streams);
+        for a in 0..streams.len() {
+            for b in 0..streams.len() {
+                if streams[a].score > streams[b].score {
+                    let da = &plan.decisions()[a];
+                    let db = &plan.decisions()[b];
+                    // Dropped sorts after every real level.
+                    let rank = |d: &teeve_adapt::Decision| d.level.map_or(usize::MAX, |l| l);
+                    prop_assert!(
+                        rank(da) <= rank(db),
+                        "score {} at {:?} vs score {} at {:?}",
+                        streams[a].score, da.level, streams[b].score, db.level
+                    );
+                }
+            }
+        }
+    }
+
+    /// Plans are deterministic.
+    #[test]
+    fn plans_are_deterministic(streams in arb_streams(), budget in 0u64..100_000_000) {
+        let a = AdaptationController::new().plan(budget, &streams);
+        let b = AdaptationController::new().plan(budget, &streams);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Granted bit rate per decision is one of the stream's ladder rungs
+    /// or zero.
+    #[test]
+    fn grants_come_from_the_ladder(streams in arb_streams(), budget in 0u64..100_000_000) {
+        let plan = AdaptationController::new().plan(budget, &streams);
+        for (s, d) in streams.iter().zip(plan.decisions()) {
+            match d.level {
+                Some(i) => {
+                    prop_assert_eq!(d.bitrate_bps, s.ladder.level(i).bitrate_bps);
+                    prop_assert_eq!(d.utility, s.ladder.level(i).utility);
+                }
+                None => {
+                    prop_assert_eq!(d.bitrate_bps, 0);
+                    prop_assert_eq!(d.utility, 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation: the interactivity bound `B_cost`.
+//!
+//! Sweeps the latency bound to expose the trade-off the paper's Constraint
+//! II creates: tighter bounds reject more requests (shallower trees only),
+//! looser bounds admit deeper relaying.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::sample_costs;
+use teeve_overlay::{ConstructionAlgorithm, RandomJoin};
+use teeve_types::CostMs;
+use teeve_workload::WorkloadConfig;
+
+fn bench_cost_bound(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let samples = 15;
+    for bound in [40u32, 50, 60, 80, 120] {
+        let config = WorkloadConfig::zipf_uniform().with_cost_bound(CostMs::new(bound));
+        let mut rejection = 0.0;
+        let mut depth = 0usize;
+        for _ in 0..samples {
+            let costs = sample_costs(8, &mut rng);
+            let problem = config.generate(&costs, &mut rng).expect("generate");
+            let outcome = RandomJoin.construct(&problem, &mut rng);
+            rejection += outcome.metrics().rejection_ratio();
+            depth = depth.max(outcome.metrics().max_tree_depth);
+        }
+        eprintln!(
+            "[ablation_cost_bound] B_cost {bound:>3} ms: mean rejection {:.4}, deepest tree {depth}",
+            rejection / samples as f64
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_cost_bound");
+    group.sample_size(20);
+    for bound in [40u32, 60, 120] {
+        let mut rng = ChaCha8Rng::seed_from_u64(u64::from(bound));
+        let costs = sample_costs(8, &mut rng);
+        let problem = WorkloadConfig::zipf_uniform()
+            .with_cost_bound(CostMs::new(bound))
+            .generate(&costs, &mut rng)
+            .expect("generate");
+        group.bench_function(BenchmarkId::from_parameter(bound), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(6);
+                std::hint::black_box(RandomJoin.construct(&problem, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_bound);
+criterion_main!(benches);

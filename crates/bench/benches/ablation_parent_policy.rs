@@ -1,0 +1,84 @@
+//! Ablation: the parent-selection policy of the basic node join.
+//!
+//! The paper's node join "always seeks to achieve load balancing" by
+//! picking the member with maximum remaining forwarding capacity. This
+//! bench isolates that choice by re-running RJ with latency-greedy
+//! (min-cost edge) and unbalanced (first eligible) parent selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::sample_costs;
+use teeve_overlay::{ConstructionMetrics, ForestState, JoinPolicy, ProblemInstance};
+use teeve_types::SiteId;
+use teeve_workload::WorkloadConfig;
+
+fn random_join_with_policy(
+    problem: &ProblemInstance,
+    policy: JoinPolicy,
+    rng: &mut ChaCha8Rng,
+) -> ConstructionMetrics {
+    let mut state = ForestState::new(problem);
+    let mut requests: Vec<(usize, SiteId)> = problem
+        .groups()
+        .iter()
+        .enumerate()
+        .flat_map(|(g, group)| group.subscribers().iter().map(move |&s| (g, s)))
+        .collect();
+    requests.shuffle(rng);
+    for (g, s) in requests {
+        let _ = state.try_join_with_policy(g, s, policy);
+    }
+    let forest = state.into_forest();
+    ConstructionMetrics::compute(problem, &forest)
+}
+
+fn bench_parent_policy(c: &mut Criterion) {
+    let policies = [
+        ("max-rfc", JoinPolicy::MaxForwardingCapacity),
+        ("min-cost", JoinPolicy::MinCostEdge),
+        ("first", JoinPolicy::FirstEligible),
+    ];
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let samples = 15;
+    for (label, policy) in policies {
+        let mut rejection = 0.0;
+        let mut stddev = 0.0;
+        for _ in 0..samples {
+            let costs = sample_costs(10, &mut rng);
+            let problem = WorkloadConfig::random_uniform()
+                .generate(&costs, &mut rng)
+                .expect("generate");
+            let m = random_join_with_policy(&problem, policy, &mut rng);
+            rejection += m.rejection_ratio;
+            stddev += m.stddev_out_degree_utilization;
+        }
+        eprintln!(
+            "[ablation_parent_policy] {label:<8}: mean rejection {:.4}, utilization stddev {:.4}",
+            rejection / samples as f64,
+            stddev / samples as f64
+        );
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let costs = sample_costs(10, &mut rng);
+    let problem = WorkloadConfig::random_uniform()
+        .generate(&costs, &mut rng)
+        .expect("generate");
+    let mut group = c.benchmark_group("ablation_parent_policy");
+    group.sample_size(20);
+    for (label, policy) in policies {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(8);
+                std::hint::black_box(random_join_with_policy(&problem, policy, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parent_policy);
+criterion_main!(benches);

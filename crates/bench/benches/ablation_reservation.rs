@@ -1,0 +1,80 @@
+//! Ablation: the reservation mechanism (`m̂_i`).
+//!
+//! The paper's rationale: "With this reservation mechanism, we minimize
+//! the probability that a whole tree cannot be constructed because the
+//! source node is saturated." This bench runs RJ with and without the
+//! mechanism, reporting the rejection difference and timing both variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::sample_costs;
+use teeve_overlay::{ConstructionMetrics, ForestState, ProblemInstance};
+use teeve_types::SiteId;
+use teeve_workload::WorkloadConfig;
+
+/// RJ implemented directly on [`ForestState`], with or without the
+/// reservation mechanism.
+fn random_join(
+    problem: &ProblemInstance,
+    with_reservation: bool,
+    rng: &mut ChaCha8Rng,
+) -> ConstructionMetrics {
+    let mut state = if with_reservation {
+        ForestState::new(problem)
+    } else {
+        ForestState::new_without_reservation(problem)
+    };
+    let mut requests: Vec<(usize, SiteId)> = problem
+        .groups()
+        .iter()
+        .enumerate()
+        .flat_map(|(g, group)| group.subscribers().iter().map(move |&s| (g, s)))
+        .collect();
+    requests.shuffle(rng);
+    for (g, s) in requests {
+        let _ = state.try_join(g, s);
+    }
+    let forest = state.into_forest();
+    ConstructionMetrics::compute(problem, &forest)
+}
+
+fn bench_reservation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    // Quality comparison over several samples.
+    let samples = 15;
+    let (mut with_res, mut without_res) = (0.0, 0.0);
+    for _ in 0..samples {
+        let costs = sample_costs(8, &mut rng);
+        let problem = WorkloadConfig::zipf_uniform()
+            .generate(&costs, &mut rng)
+            .expect("generate");
+        with_res += random_join(&problem, true, &mut rng).rejection_ratio;
+        without_res += random_join(&problem, false, &mut rng).rejection_ratio;
+    }
+    eprintln!(
+        "[ablation_reservation] mean rejection with reservation {:.4}, without {:.4}",
+        with_res / samples as f64,
+        without_res / samples as f64
+    );
+
+    let costs = sample_costs(8, &mut rng);
+    let problem = WorkloadConfig::zipf_uniform()
+        .generate(&costs, &mut rng)
+        .expect("generate");
+    let mut group = c.benchmark_group("ablation_reservation");
+    group.sample_size(20);
+    for (label, with_reservation) in [("with", true), ("without", false)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                std::hint::black_box(random_join(&problem, with_reservation, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reservation);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Baseline comparison: the paper's multicast overlay (RJ) against the
+//! conventional all-to-all unicast scheme (Sections 1 and 5.4), plus the
+//! exact optimum on small instances.
+//!
+//! Reported quality series (to stderr, like the other ablation benches):
+//!
+//! * rejection ratio of Unicast vs RJ as N grows — who wins and by how
+//!   much when source out-degrees are the bottleneck;
+//! * RJ's optimality gap on exhaustively solvable 3-site instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::sample_costs;
+use teeve_overlay::{
+    ConstructionAlgorithm, NodeCapacity, OptimalSolver, ProblemInstance, RandomJoin,
+    UnicastBaseline,
+};
+use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+use teeve_workload::WorkloadConfig;
+
+fn unicast_vs_multicast(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let samples = 15;
+    eprintln!("[baseline_unicast] N  unicast_X  rj_X  unicast_src_out  rj_src_out");
+    for n in [4usize, 6, 8, 10] {
+        let (mut x_uni, mut x_rj) = (0.0, 0.0);
+        let (mut out_uni, mut out_rj) = (0.0, 0.0);
+        for _ in 0..samples {
+            let costs = sample_costs(n, &mut rng);
+            let problem = WorkloadConfig::zipf_uniform()
+                .generate(&costs, &mut rng)
+                .expect("generate");
+            let uni = UnicastBaseline.construct(&problem, &mut rng);
+            let rj = RandomJoin.construct(&problem, &mut rng);
+            x_uni += uni.metrics().rejection_ratio;
+            x_rj += rj.metrics().rejection_ratio;
+            // Mean out-degree spent by each site on its *own* streams.
+            let own = |o: &teeve_overlay::ConstructionOutcome| {
+                (0..n as u32)
+                    .map(SiteId::new)
+                    .map(|s| (o.forest().out_degree(s) - o.forest().relay_degree(s)) as f64)
+                    .sum::<f64>()
+                    / n as f64
+            };
+            out_uni += own(&uni);
+            out_rj += own(&rj);
+        }
+        let s = samples as f64;
+        eprintln!(
+            "[baseline_unicast] {n}  {:.4}  {:.4}  {:.2}  {:.2}",
+            x_uni / s,
+            x_rj / s,
+            out_uni / s,
+            out_rj / s
+        );
+    }
+
+    // Timing: unicast is the trivial lower bound on construction cost.
+    let costs = sample_costs(8, &mut rng);
+    let problem = WorkloadConfig::zipf_uniform()
+        .generate(&costs, &mut rng)
+        .expect("generate");
+    let mut group = c.benchmark_group("baseline_unicast");
+    group.sample_size(20);
+    for (label, alg) in [
+        ("unicast", &UnicastBaseline as &dyn ConstructionAlgorithm),
+        ("rj", &RandomJoin),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                std::hint::black_box(alg.construct(&problem, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A random, exhaustively solvable 3-site instance with tight capacities.
+fn small_instance(rng: &mut ChaCha8Rng) -> ProblemInstance {
+    let costs = CostMatrix::from_fn(3, |i, j| {
+        if i == j {
+            CostMs::ZERO
+        } else {
+            CostMs::new(5 + ((i * 3 + j) % 4) as u32 * 7)
+        }
+    });
+    let mut b = ProblemInstance::builder(costs, CostMs::new(40))
+        .capacities(
+            (0..3)
+                .map(|_| NodeCapacity::symmetric(Degree::new(rng.gen_range(1..4))))
+                .collect(),
+        )
+        .streams_per_site(&[2, 2, 2]);
+    for sub in 0..3u32 {
+        for origin in 0..3u32 {
+            if sub == origin {
+                continue;
+            }
+            for q in 0..2 {
+                if rng.gen_bool(0.6) {
+                    b = b.subscribe(SiteId::new(sub), StreamId::new(SiteId::new(origin), q));
+                }
+            }
+        }
+    }
+    b.build().expect("valid instance")
+}
+
+fn optimality_gap(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let samples = 40;
+    let (mut opt_total, mut rj_total, mut gap_instances) = (0u32, 0u32, 0u32);
+    for _ in 0..samples {
+        let problem = small_instance(&mut rng);
+        let opt = OptimalSolver::default()
+            .solve(&problem)
+            .expect("within caps")
+            .metrics()
+            .rejected_requests as u32;
+        let rj = RandomJoin
+            .construct(&problem, &mut rng)
+            .metrics()
+            .rejected_requests as u32;
+        opt_total += opt;
+        rj_total += rj;
+        if rj > opt {
+            gap_instances += 1;
+        }
+    }
+    eprintln!(
+        "[baseline_unicast] optimality: optimal rejected {opt_total}, RJ rejected {rj_total} \
+         across {samples} instances ({gap_instances} with a gap)"
+    );
+
+    let problem = small_instance(&mut rng);
+    let mut group = c.benchmark_group("optimal_solver");
+    group.sample_size(20);
+    group.bench_function("solve_3_sites", |b| {
+        b.iter(|| std::hint::black_box(OptimalSolver::default().solve(&problem).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, unicast_vs_multicast, optimality_gap);
+criterion_main!(benches);

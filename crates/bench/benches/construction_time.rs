@@ -1,0 +1,45 @@
+//! Construction-cost bench: the paper's Section 5.2 remark that RJ is
+//! "computationally more [efficient]: tree-based algorithms require
+//! sorting of all multicast groups, while RJ just randomly picks requests
+//! to serve". Times every algorithm across session sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::sample_costs;
+use teeve_overlay::{
+    ConstructionAlgorithm, CorrelatedRandomJoin, LargestTreeFirst, MinimumCapacityTreeFirst,
+    RandomJoin, SmallestTreeFirst,
+};
+use teeve_workload::WorkloadConfig;
+
+fn bench_construction_time(c: &mut Criterion) {
+    let algos: [&dyn ConstructionAlgorithm; 5] = [
+        &SmallestTreeFirst,
+        &LargestTreeFirst,
+        &MinimumCapacityTreeFirst,
+        &RandomJoin,
+        &CorrelatedRandomJoin,
+    ];
+    for n in [5usize, 10, 20] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let costs = sample_costs(n, &mut rng);
+        let problem = WorkloadConfig::zipf_uniform()
+            .generate(&costs, &mut rng)
+            .expect("generate");
+        let mut group = c.benchmark_group(format!("construction_time_n{n}"));
+        group.sample_size(20);
+        for algo in algos {
+            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    std::hint::black_box(algo.construct(&problem, &mut rng))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_construction_time);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 10 bench: RJ's load balancing at growing session sizes — quality
+//! summary plus construction-time scaling from 4 to 20 sites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::{fig10_series, sample_costs};
+use teeve_overlay::{ConstructionAlgorithm, RandomJoin};
+use teeve_workload::WorkloadConfig;
+
+fn bench_fig10(c: &mut Criterion) {
+    for row in fig10_series(6, 2008) {
+        eprintln!(
+            "[fig10] N={:>2}: utilization {:.3} (stddev {:.3}), relaying {:.3}",
+            row.sites, row.mean_out_utilization, row.stddev_out_utilization,
+            row.mean_relay_fraction
+        );
+    }
+
+    let mut group = c.benchmark_group("fig10_rj_scaling");
+    group.sample_size(20);
+    for n in [4usize, 8, 12, 16, 20] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let costs = sample_costs(n, &mut rng);
+        let problem = WorkloadConfig::random_uniform()
+            .generate(&costs, &mut rng)
+            .expect("generate");
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(3);
+                std::hint::black_box(RandomJoin.construct(&problem, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 11 bench: RJ vs CO-RJ — the weighted-rejection improvement and
+//! the runtime cost of the victim-swapping machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::{fig11_series, sample_costs};
+use teeve_overlay::{ConstructionAlgorithm, CorrelatedRandomJoin, RandomJoin};
+use teeve_workload::WorkloadConfig;
+
+fn bench_fig11(c: &mut Criterion) {
+    for row in fig11_series(10, 2008) {
+        eprintln!(
+            "[fig11] N={:>2}: X' RJ {:.4}, CO-RJ {:.4} ({:.2}x better)",
+            row.sites,
+            row.rj,
+            row.corj,
+            row.rj / row.corj.max(1e-12)
+        );
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let costs = sample_costs(10, &mut rng);
+    let problem = WorkloadConfig::zipf_heterogeneous()
+        .generate(&costs, &mut rng)
+        .expect("generate");
+
+    let mut group = c.benchmark_group("fig11_swap_cost");
+    group.sample_size(20);
+    let algos: [&dyn ConstructionAlgorithm; 2] = [&RandomJoin, &CorrelatedRandomJoin];
+    for algo in algos {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(4);
+                std::hint::black_box(algo.construct(&problem, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

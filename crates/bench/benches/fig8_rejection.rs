@@ -1,0 +1,56 @@
+//! Figure 8 bench: times the four algorithms on a paper-scale instance and
+//! reports a reduced-sample rejection series (the full series is
+//! `cargo run -p teeve-bench --bin fig8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::{fig8_series, sample_costs, Fig8Panel};
+use teeve_overlay::{
+    ConstructionAlgorithm, LargestTreeFirst, MinimumCapacityTreeFirst, RandomJoin,
+    SmallestTreeFirst,
+};
+
+fn bench_fig8(c: &mut Criterion) {
+    // Quality summary (reduced samples) printed once for bench logs.
+    for panel in [Fig8Panel::ZipfUniform, Fig8Panel::RandomHeterogeneous] {
+        let rows = fig8_series(panel, 10, 2008);
+        let last = rows.last().expect("rows");
+        eprintln!(
+            "[fig8 {}] N=10 rejection: STF {:.3} LTF {:.3} MCTF {:.3} RJ {:.3}",
+            panel.caption(),
+            last.stf,
+            last.ltf,
+            last.mctf,
+            last.rj
+        );
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let costs = sample_costs(10, &mut rng);
+    let problem = Fig8Panel::ZipfUniform
+        .config()
+        .generate(&costs, &mut rng)
+        .expect("generate");
+
+    let mut group = c.benchmark_group("fig8_construction");
+    group.sample_size(20);
+    let algos: [&dyn ConstructionAlgorithm; 4] = [
+        &SmallestTreeFirst,
+        &LargestTreeFirst,
+        &MinimumCapacityTreeFirst,
+        &RandomJoin,
+    ];
+    for algo in algos {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                std::hint::black_box(algo.construct(&problem, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 9 bench: Gran-LTF across the granularity spectrum — quality at
+//! the endpoints and construction time as a function of `g`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_bench::{fig9_series, sample_costs};
+use teeve_overlay::{ConstructionAlgorithm, GranLtf};
+use teeve_workload::WorkloadConfig;
+
+fn bench_fig9(c: &mut Criterion) {
+    let points = fig9_series(8, 2008, Some(&[1, 25, 1000]));
+    for p in &points {
+        eprintln!(
+            "[fig9] granularity {} -> rejection {:.3}",
+            p.granularity, p.rejection_ratio
+        );
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let costs = sample_costs(10, &mut rng);
+    let problem = WorkloadConfig::random_uniform()
+        .generate(&costs, &mut rng)
+        .expect("generate");
+    let f = problem.group_count().max(1);
+
+    let mut group = c.benchmark_group("fig9_granularity");
+    group.sample_size(20);
+    for g in [1usize, f / 4 + 1, f / 2 + 1, f] {
+        group.bench_function(BenchmarkId::from_parameter(g), |b| {
+            let algo = GranLtf::new(g);
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(2);
+                std::hint::black_box(algo.construct(&problem, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

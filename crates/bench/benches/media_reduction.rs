@@ -1,0 +1,65 @@
+//! Section 1 claims bench: the reduction chain takes a raw
+//! `640 × 480 × 15 fps × 5 B/pixel ≈ 184 Mbps` stream into the 5–10 Mbps
+//! band, in real time (one frame must process in well under the 66.6 ms
+//! frame interval).
+//!
+//! Reported to stderr: per-stage bit rates; Criterion measures the
+//! wall-clock cost of each stage on a full 640 × 480 frame.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use teeve_media::{
+    raw_bitrate_bps, BackgroundSubtractor, Codec, Downsampler, PipelineStats, ReductionPipeline,
+    SyntheticCapture, FRAME_FPS, FRAME_HEIGHT, FRAME_WIDTH,
+};
+
+fn bench_reduction(c: &mut Criterion) {
+    let camera = SyntheticCapture::new(FRAME_WIDTH, FRAME_HEIGHT, 2008);
+    let pipeline = ReductionPipeline::paper();
+
+    // Quality series: per-stage bit rates over one second of frames.
+    let mut stats = PipelineStats::new();
+    for seq in 0..u64::from(FRAME_FPS) {
+        stats.record(&pipeline.process(&camera.capture(0.3, seq)).bytes);
+    }
+    let totals = stats.totals();
+    let to_mbps = |bytes: u64| bytes as f64 * 8.0 / 1e6; // totals already cover 1 s
+    eprintln!(
+        "[media_reduction] raw {:.1} Mbps -> foreground {:.1} -> reduced {:.1} -> compressed {:.2} \
+         (ratio {:.0}x; paper: 184 Mbps -> 5-10 Mbps)",
+        raw_bitrate_bps(FRAME_WIDTH, FRAME_HEIGHT, FRAME_FPS) as f64 / 1e6,
+        to_mbps(totals.foreground),
+        to_mbps(totals.reduced),
+        to_mbps(totals.compressed),
+        stats.mean_compression_ratio()
+    );
+
+    let raw = camera.capture(0.3, 7);
+    let foreground = BackgroundSubtractor::default().subtract(&raw);
+    let reduced = Downsampler::default().apply(&foreground);
+    let compressed = Codec::default().encode(&reduced);
+
+    let mut group = c.benchmark_group("media_reduction");
+    group.sample_size(30);
+    group.bench_function("capture", |b| {
+        b.iter(|| std::hint::black_box(camera.capture(0.3, 7)))
+    });
+    group.bench_function("subtract", |b| {
+        b.iter(|| std::hint::black_box(BackgroundSubtractor::default().subtract(&raw)))
+    });
+    group.bench_function("downsample", |b| {
+        b.iter(|| std::hint::black_box(Downsampler::default().apply(&foreground)))
+    });
+    group.bench_function("compress", |b| {
+        b.iter(|| std::hint::black_box(Codec::default().encode(&reduced)))
+    });
+    group.bench_function("decompress", |b| {
+        b.iter(|| std::hint::black_box(Codec::default().decode(&compressed).unwrap()))
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| std::hint::black_box(pipeline.process(&raw)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates Figure 10: average out-degree utilization of RJ (uniform
+//! nodes, random workload, 4–20 sites).
+//!
+//! Usage: `fig10 [--samples N] [--seed S] [--json]`
+
+use teeve_bench::{cell, fig10_series, DEFAULT_SEED, PAPER_SAMPLES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let samples = get("--samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_SAMPLES);
+    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let json = args.iter().any(|a| a == "--json");
+
+    let rows = fig10_series(samples, seed);
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "figure": "10",
+                "setup": "RJ, uniform nodes, random workload",
+                "samples": samples,
+                "seed": seed,
+                "rows": rows,
+            })
+        );
+    } else {
+        println!("Figure 10 — out-degree utilization of RJ ({samples} samples, seed {seed})");
+        println!(
+            "{:>3} {:>9} {:>9} {:>9}",
+            "N", "util", "stddev", "relaying"
+        );
+        for r in rows {
+            println!(
+                "{:>3} {} {} {}",
+                r.sites,
+                cell(r.mean_out_utilization),
+                cell(r.stddev_out_utilization),
+                cell(r.mean_relay_fraction)
+            );
+        }
+    }
+}

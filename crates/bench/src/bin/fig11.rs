@@ -1,0 +1,47 @@
+//! Regenerates Figure 11: criticality-weighted rejection (Equation 3) of
+//! RJ vs CO-RJ (Zipf workload, heterogeneous nodes).
+//!
+//! Usage: `fig11 [--samples N] [--seed S] [--json]`
+
+use teeve_bench::{cell, fig11_series, DEFAULT_SEED, PAPER_SAMPLES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let samples = get("--samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_SAMPLES);
+    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let json = args.iter().any(|a| a == "--json");
+
+    let rows = fig11_series(samples, seed);
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "figure": "11",
+                "setup": "Zipf workload, heterogeneous nodes, X' (Eq. 3)",
+                "samples": samples,
+                "seed": seed,
+                "rows": rows,
+            })
+        );
+    } else {
+        println!("Figure 11 — weighted rejection X' ({samples} samples, seed {seed})");
+        println!("{:>3} {:>9} {:>9} {:>9}", "N", "RJ", "CO-RJ", "factor");
+        for r in rows {
+            println!(
+                "{:>3} {} {} {:>8.2}x",
+                r.sites,
+                cell(r.rj),
+                cell(r.corj),
+                r.rj / r.corj.max(1e-12)
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates Figure 8: average rejection ratio vs. number of sites for
+//! STF, LTF, MCTF, and RJ across the four workload/capacity panels.
+//!
+//! Usage: `fig8 [--panel a|b|c|d] [--samples N] [--seed S] [--json]`
+
+use teeve_bench::{cell, fig8_series, Fig8Panel, DEFAULT_SEED, PAPER_SAMPLES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let samples = get("--samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_SAMPLES);
+    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let json = args.iter().any(|a| a == "--json");
+    let panels: Vec<Fig8Panel> = match get("--panel") {
+        Some(letter) => vec![Fig8Panel::from_letter(&letter).unwrap_or_else(|| {
+            eprintln!("unknown panel '{letter}', expected a-d");
+            std::process::exit(2);
+        })],
+        None => Fig8Panel::ALL.to_vec(),
+    };
+
+    for panel in panels {
+        let rows = fig8_series(panel, samples, seed);
+        if json {
+            println!(
+                "{}",
+                serde_json::json!({
+                    "figure": "8",
+                    "panel": panel.caption(),
+                    "samples": samples,
+                    "seed": seed,
+                    "rows": rows,
+                })
+            );
+        } else {
+            println!("Figure 8 {} — {} samples, seed {}", panel.caption(), samples, seed);
+            println!("{:>3} {:>8} {:>8} {:>8} {:>8}", "N", "STF", "LTF", "MCTF", "RJ");
+            for r in rows {
+                println!(
+                    "{:>3} {} {} {} {}",
+                    r.sites,
+                    cell(r.stf),
+                    cell(r.ltf),
+                    cell(r.mctf),
+                    cell(r.rj)
+                );
+            }
+            println!();
+        }
+    }
+}

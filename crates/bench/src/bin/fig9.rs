@@ -1,0 +1,41 @@
+//! Regenerates Figure 9: impact of the construction granularity on the
+//! rejection ratio (Gran-LTF, N = 10, uniform nodes, random workload).
+//!
+//! Usage: `fig9 [--samples N] [--seed S] [--json]`
+
+use teeve_bench::{cell, fig9_series, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    // Each granularity point is averaged over this many fresh workloads;
+    // the default keeps the full sweep comparable in effort to fig8.
+    let samples = get("--samples").and_then(|s| s.parse().ok()).unwrap_or(50);
+    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let json = args.iter().any(|a| a == "--json");
+
+    let points = fig9_series(samples, seed, None);
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "figure": "9",
+                "setup": "N=10, uniform nodes, random workload, Gran-LTF",
+                "samples": samples,
+                "seed": seed,
+                "points": points,
+            })
+        );
+    } else {
+        println!("Figure 9 — granularity vs rejection (N=10, uniform, random workload)");
+        println!("{:>6} {:>10}", "g", "rejection");
+        for p in points {
+            println!("{:>6} {}", p.granularity, cell(p.rejection_ratio));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! 3D camera models and the standard ring rig used at 3DTI sites.
+
+use serde::{Deserialize, Serialize};
+use teeve_types::{CameraId, SiteId, StreamId};
+
+use crate::Vec3;
+
+/// A 3D camera: one publisher producing one continuous 3D video stream.
+///
+/// A camera is described by its position in cyber-space, its optical axis
+/// (the direction it looks), and the subject it captures (the participant at
+/// its site). The optical axis is what determines how much the camera's
+/// stream contributes to a viewer's field of view: a viewer looking at the
+/// subject from direction `d` is best served by cameras whose position is on
+/// the `d` side of the subject (Figure 4 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use teeve_geometry::{Camera, Vec3};
+/// use teeve_types::{CameraId, SiteId};
+///
+/// let cam = Camera::new(
+///     CameraId::new(SiteId::new(0), 0),
+///     Vec3::new(2.0, 0.0, 1.5),
+///     Vec3::new(0.0, 0.0, 1.5), // subject at the rig center
+/// );
+/// // The optical axis points from the camera toward the subject.
+/// assert!(cam.optical_axis().dot(Vec3::new(-1.0, 0.0, 0.0)) > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    id: CameraId,
+    position: Vec3,
+    subject: Vec3,
+}
+
+impl Camera {
+    /// Creates a camera at `position` capturing the participant at
+    /// `subject`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the camera is placed exactly on its subject (the optical
+    /// axis would be undefined).
+    pub fn new(id: CameraId, position: Vec3, subject: Vec3) -> Self {
+        assert!(
+            position.distance_to(subject) > 1e-9,
+            "camera must not coincide with its subject"
+        );
+        Camera {
+            id,
+            position,
+            subject,
+        }
+    }
+
+    /// Returns the camera identifier.
+    pub fn id(&self) -> CameraId {
+        self.id
+    }
+
+    /// Returns the stream this camera publishes.
+    pub fn stream(&self) -> StreamId {
+        self.id.stream()
+    }
+
+    /// Returns the camera position in cyber-space.
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// Returns the participant position this camera captures.
+    pub fn subject(&self) -> Vec3 {
+        self.subject
+    }
+
+    /// Returns the unit optical axis, pointing from the camera toward its
+    /// subject.
+    pub fn optical_axis(&self) -> Vec3 {
+        (self.subject - self.position)
+            .normalized()
+            .expect("constructor guarantees a non-degenerate axis")
+    }
+}
+
+/// The standard 3DTI capture rig: `count` cameras evenly spaced on a
+/// horizontal circle around the participant, all looking inward.
+///
+/// This matches the paper's Figure 4, which shows eight cameras in a ring
+/// with the participant in the middle.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_geometry::{CameraRing, Vec3};
+/// use teeve_types::SiteId;
+///
+/// let ring = CameraRing::new(SiteId::new(0), Vec3::ZERO, 2.0, 1.5, 8);
+/// assert_eq!(ring.cameras().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraRing {
+    site: SiteId,
+    cameras: Vec<Camera>,
+}
+
+impl CameraRing {
+    /// Creates a ring of `count` cameras for `site`, centered on the
+    /// participant at `center`, with the given ring `radius` (meters) and
+    /// camera mounting `height` above the participant's base.
+    ///
+    /// Camera `k` sits at angle `2πk / count` measured from the +x axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `radius` is not positive.
+    pub fn new(site: SiteId, center: Vec3, radius: f64, height: f64, count: u32) -> Self {
+        assert!(count > 0, "a camera ring needs at least one camera");
+        assert!(radius > 0.0, "ring radius must be positive");
+        let cameras = (0..count)
+            .map(|k| {
+                let theta = 2.0 * std::f64::consts::PI * f64::from(k) / f64::from(count);
+                let position =
+                    center + Vec3::new(radius * theta.cos(), radius * theta.sin(), height);
+                Camera::new(CameraId::new(site, k), position, center)
+            })
+            .collect();
+        CameraRing { site, cameras }
+    }
+
+    /// Returns the site this rig belongs to.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Returns the cameras in local-index order.
+    pub fn cameras(&self) -> &[Camera] {
+        &self.cameras
+    }
+
+    /// Returns an iterator over the streams published by this rig.
+    pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.cameras.iter().map(Camera::stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_places_cameras_at_radius() {
+        let center = Vec3::new(10.0, -3.0, 0.0);
+        let ring = CameraRing::new(SiteId::new(1), center, 2.0, 1.5, 8);
+        for cam in ring.cameras() {
+            let horizontal = Vec3::new(
+                cam.position().x - center.x,
+                cam.position().y - center.y,
+                0.0,
+            );
+            assert!(
+                (horizontal.norm() - 2.0).abs() < 1e-9,
+                "camera {} not on the ring",
+                cam.id()
+            );
+            assert!((cam.position().z - 1.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ring_cameras_all_face_the_center() {
+        let center = Vec3::ZERO;
+        let ring = CameraRing::new(SiteId::new(0), center, 2.0, 0.0, 6);
+        for cam in ring.cameras() {
+            let toward_center = (center - cam.position()).normalized().unwrap();
+            assert!(cam.optical_axis().dot(toward_center) > 0.999);
+        }
+    }
+
+    #[test]
+    fn ring_camera_ids_are_sequential() {
+        let ring = CameraRing::new(SiteId::new(2), Vec3::ZERO, 1.0, 1.0, 4);
+        for (k, cam) in ring.cameras().iter().enumerate() {
+            assert_eq!(cam.id(), CameraId::new(SiteId::new(2), k as u32));
+            assert_eq!(cam.stream().origin(), SiteId::new(2));
+        }
+    }
+
+    #[test]
+    fn ring_streams_match_cameras() {
+        let ring = CameraRing::new(SiteId::new(0), Vec3::ZERO, 1.0, 1.0, 5);
+        let streams: Vec<_> = ring.streams().collect();
+        assert_eq!(streams.len(), 5);
+        for (cam, stream) in ring.cameras().iter().zip(&streams) {
+            assert_eq!(cam.stream(), *stream);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one camera")]
+    fn rejects_empty_ring() {
+        let _ = CameraRing::new(SiteId::new(0), Vec3::ZERO, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn rejects_camera_on_subject() {
+        let _ = Camera::new(CameraId::new(SiteId::new(0), 0), Vec3::ZERO, Vec3::ZERO);
+    }
+
+    #[test]
+    fn cameras_at_distinct_angles() {
+        let ring = CameraRing::new(SiteId::new(0), Vec3::ZERO, 2.0, 0.0, 8);
+        let positions: Vec<_> = ring.cameras().iter().map(Camera::position).collect();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                assert!(
+                    positions[i].distance_to(positions[j]) > 0.1,
+                    "cameras {i} and {j} overlap"
+                );
+            }
+        }
+    }
+}

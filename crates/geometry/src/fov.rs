@@ -1,0 +1,144 @@
+//! Field-of-view subscriptions: the user-facing half of the subscription
+//! framework.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec3;
+
+/// A preferred field of view in the cyber-space: the subscription a user
+/// configures for one 3D display (paper Section 3.2).
+///
+/// A FOV is a rendering viewpoint: an eye position, a view direction, and an
+/// angular aperture. Points within `aperture_deg / 2` of the view direction
+/// are visible.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_geometry::{FieldOfView, Vec3};
+///
+/// let fov = FieldOfView::looking_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 60.0);
+/// assert!(fov.contains(Vec3::new(0.1, 0.1, 0.0)));
+/// assert!(!fov.contains(Vec3::new(0.0, 0.0, 10.0))); // behind the eye
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FieldOfView {
+    eye: Vec3,
+    direction: Vec3,
+    aperture_deg: f64,
+}
+
+impl FieldOfView {
+    /// Creates a FOV from an eye position, a (non-zero) view direction, and
+    /// an angular aperture in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direction` is (near-)zero or `aperture_deg` is outside
+    /// `(0, 360]`.
+    pub fn new(eye: Vec3, direction: Vec3, aperture_deg: f64) -> Self {
+        let direction = direction
+            .normalized()
+            .expect("view direction must be non-zero");
+        assert!(
+            aperture_deg > 0.0 && aperture_deg <= 360.0,
+            "aperture must be in (0, 360] degrees"
+        );
+        FieldOfView {
+            eye,
+            direction,
+            aperture_deg,
+        }
+    }
+
+    /// Creates a FOV at `eye` looking toward `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eye == target` or the aperture is out of range.
+    pub fn looking_at(eye: Vec3, target: Vec3, aperture_deg: f64) -> Self {
+        FieldOfView::new(eye, target - eye, aperture_deg)
+    }
+
+    /// Returns the eye position.
+    pub fn eye(&self) -> Vec3 {
+        self.eye
+    }
+
+    /// Returns the unit view direction.
+    pub fn direction(&self) -> Vec3 {
+        self.direction
+    }
+
+    /// Returns the angular aperture in degrees.
+    pub fn aperture_deg(&self) -> f64 {
+        self.aperture_deg
+    }
+
+    /// Returns true if `point` falls inside the viewing cone.
+    ///
+    /// The eye itself is considered visible (a participant standing at the
+    /// eye fills the view).
+    pub fn contains(&self, point: Vec3) -> bool {
+        match (point - self.eye).normalized() {
+            None => true,
+            Some(to_point) => {
+                let half_aperture = (self.aperture_deg / 2.0).to_radians();
+                self.direction.angle_to(to_point) <= half_aperture + 1e-12
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_points_in_the_cone() {
+        let fov = FieldOfView::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 90.0);
+        assert!(fov.contains(Vec3::new(5.0, 0.0, 0.0)), "straight ahead");
+        assert!(fov.contains(Vec3::new(5.0, 4.9, 0.0)), "just inside 45°");
+        assert!(!fov.contains(Vec3::new(5.0, 5.2, 0.0)), "just outside 45°");
+        assert!(!fov.contains(Vec3::new(-5.0, 0.0, 0.0)), "behind");
+    }
+
+    #[test]
+    fn eye_position_is_visible() {
+        let fov = FieldOfView::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.0, 0.0, 1.0), 30.0);
+        assert!(fov.contains(Vec3::new(1.0, 2.0, 3.0)));
+    }
+
+    #[test]
+    fn looking_at_normalizes_direction() {
+        let fov = FieldOfView::looking_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 60.0);
+        assert!((fov.direction() - Vec3::new(0.0, 0.0, -1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn full_sphere_aperture_sees_everything() {
+        let fov = FieldOfView::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 360.0);
+        assert!(fov.contains(Vec3::new(-1.0, 0.0, 0.0)));
+        assert!(fov.contains(Vec3::new(0.0, -1.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_direction() {
+        let _ = FieldOfView::new(Vec3::ZERO, Vec3::ZERO, 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aperture")]
+    fn rejects_zero_aperture() {
+        let _ = FieldOfView::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fov = FieldOfView::looking_at(Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO, 45.0);
+        let json = serde_json::to_string(&fov).unwrap();
+        let back: FieldOfView = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fov);
+    }
+}

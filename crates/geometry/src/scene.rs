@@ -1,0 +1,220 @@
+//! The shared cyber-space: every site's participant and camera rig placed in
+//! one virtual coordinate system.
+
+use serde::{Deserialize, Serialize};
+use teeve_types::{SiteId, StreamId};
+
+use crate::{Camera, CameraRing, Vec3};
+
+/// The integrated 3D virtual space ("cyber-space") into which all sites'
+/// participants are rendered (paper Figure 2).
+///
+/// Construction places each site's participant somewhere in a common
+/// coordinate system together with the site's camera ring; display FOVs are
+/// then expressed in the same coordinates, which is what lets a FOV select
+/// contributing streams across *all* sites.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_geometry::CyberSpace;
+/// use teeve_types::SiteId;
+///
+/// let space = CyberSpace::meeting_circle(4, 8);
+/// assert_eq!(space.site_count(), 4);
+/// assert_eq!(space.streams().count(), 32);
+/// let p0 = space.participant_position(SiteId::new(0));
+/// let p1 = space.participant_position(SiteId::new(1));
+/// assert!(p0.distance_to(p1) > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CyberSpace {
+    rigs: Vec<CameraRing>,
+    participants: Vec<Vec3>,
+}
+
+impl CyberSpace {
+    /// Default ring radius (meters) of each site's camera rig.
+    pub const DEFAULT_RIG_RADIUS: f64 = 2.0;
+    /// Default camera mounting height (meters).
+    pub const DEFAULT_RIG_HEIGHT: f64 = 1.6;
+
+    /// Arranges `sites` participants evenly on a virtual meeting circle,
+    /// each captured by a ring of `cameras_per_site` cameras.
+    ///
+    /// The circle radius scales with the number of sites so that neighboring
+    /// camera rigs never overlap. This is the canonical multi-party layout:
+    /// everyone facing the middle, like the collaborative scenarios (dance,
+    /// conferencing) that motivate the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` or `cameras_per_site` is zero.
+    pub fn meeting_circle(sites: usize, cameras_per_site: u32) -> Self {
+        assert!(sites > 0, "cyber-space needs at least one site");
+        assert!(cameras_per_site > 0, "sites need at least one camera");
+        // Keep at least 4 rig-radii of arc between participants.
+        let min_spacing = 4.0 * Self::DEFAULT_RIG_RADIUS;
+        let circumference = min_spacing * sites as f64;
+        let radius = if sites == 1 {
+            0.0
+        } else {
+            (circumference / (2.0 * std::f64::consts::PI)).max(min_spacing)
+        };
+        let mut rigs = Vec::with_capacity(sites);
+        let mut participants = Vec::with_capacity(sites);
+        for (k, site) in SiteId::all(sites).enumerate() {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / sites as f64;
+            let center = Vec3::new(radius * theta.cos(), radius * theta.sin(), 0.0);
+            participants.push(center);
+            rigs.push(CameraRing::new(
+                site,
+                center,
+                Self::DEFAULT_RIG_RADIUS,
+                Self::DEFAULT_RIG_HEIGHT,
+                cameras_per_site,
+            ));
+        }
+        CyberSpace { rigs, participants }
+    }
+
+    /// Builds a cyber-space from explicit participant positions, with a
+    /// default ring of `cameras_per_site` cameras at each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty or `cameras_per_site` is zero.
+    pub fn from_positions(positions: Vec<Vec3>, cameras_per_site: u32) -> Self {
+        assert!(!positions.is_empty(), "cyber-space needs at least one site");
+        assert!(cameras_per_site > 0, "sites need at least one camera");
+        let rigs = positions
+            .iter()
+            .zip(SiteId::all(positions.len()))
+            .map(|(&center, site)| {
+                CameraRing::new(
+                    site,
+                    center,
+                    Self::DEFAULT_RIG_RADIUS,
+                    Self::DEFAULT_RIG_HEIGHT,
+                    cameras_per_site,
+                )
+            })
+            .collect();
+        CyberSpace {
+            rigs,
+            participants: positions,
+        }
+    }
+
+    /// Returns the number of sites in the space.
+    pub fn site_count(&self) -> usize {
+        self.rigs.len()
+    }
+
+    /// Returns the participant position of `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is not part of this space.
+    pub fn participant_position(&self, site: SiteId) -> Vec3 {
+        self.participants[site.index()]
+    }
+
+    /// Returns the camera ring of `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is not part of this space.
+    pub fn rig(&self, site: SiteId) -> &CameraRing {
+        &self.rigs[site.index()]
+    }
+
+    /// Returns an iterator over every camera in the space.
+    pub fn cameras(&self) -> impl Iterator<Item = &Camera> {
+        self.rigs.iter().flat_map(|rig| rig.cameras().iter())
+    }
+
+    /// Returns an iterator over every stream published in the space.
+    pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.cameras().map(Camera::stream)
+    }
+
+    /// Returns the camera publishing `stream`, or `None` if the stream does
+    /// not exist in this space.
+    pub fn camera_for(&self, stream: StreamId) -> Option<&Camera> {
+        let rig = self.rigs.get(stream.origin().index())?;
+        rig.cameras().get(stream.local_index() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meeting_circle_separates_participants() {
+        let space = CyberSpace::meeting_circle(6, 8);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let pi = space.participant_position(SiteId::new(i as u32));
+                let pj = space.participant_position(SiteId::new(j as u32));
+                assert!(
+                    pi.distance_to(pj) >= 2.0 * CyberSpace::DEFAULT_RIG_RADIUS,
+                    "participants {i} and {j} are too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_site_space_sits_at_origin() {
+        let space = CyberSpace::meeting_circle(1, 4);
+        assert_eq!(space.participant_position(SiteId::new(0)), Vec3::ZERO);
+    }
+
+    #[test]
+    fn stream_enumeration_covers_all_rigs() {
+        let space = CyberSpace::meeting_circle(3, 5);
+        let streams: Vec<_> = space.streams().collect();
+        assert_eq!(streams.len(), 15);
+        for site in SiteId::all(3) {
+            assert_eq!(
+                streams.iter().filter(|s| s.origin() == site).count(),
+                5,
+                "site {site} should publish 5 streams"
+            );
+        }
+    }
+
+    #[test]
+    fn camera_lookup_by_stream() {
+        let space = CyberSpace::meeting_circle(2, 4);
+        let stream = StreamId::new(SiteId::new(1), 2);
+        let cam = space.camera_for(stream).expect("camera exists");
+        assert_eq!(cam.stream(), stream);
+        assert!(space
+            .camera_for(StreamId::new(SiteId::new(1), 99))
+            .is_none());
+        assert!(space
+            .camera_for(StreamId::new(SiteId::new(9), 0))
+            .is_none());
+    }
+
+    #[test]
+    fn from_positions_respects_given_layout() {
+        let positions = vec![Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)];
+        let space = CyberSpace::from_positions(positions.clone(), 3);
+        assert_eq!(space.site_count(), 2);
+        assert_eq!(space.participant_position(SiteId::new(1)), positions[1]);
+        // Rig cameras surround the given position.
+        for cam in space.rig(SiteId::new(1)).cameras() {
+            assert!(cam.position().distance_to(positions[1]) < 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn rejects_empty_space() {
+        let _ = CyberSpace::meeting_circle(0, 8);
+    }
+}

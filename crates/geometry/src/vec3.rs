@@ -1,0 +1,202 @@
+//! Minimal 3D vector math for cyber-space geometry.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A 3D vector (or point) in cyber-space coordinates, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_geometry::Vec3;
+///
+/// let a = Vec3::new(1.0, 0.0, 0.0);
+/// let b = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(a.dot(b), 0.0);
+/// assert!((a.angle_to(b).to_degrees() - 90.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Returns the dot product with `other`.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Returns the cross product with `other`.
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Returns the Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns the unit vector in this direction, or `None` for (near-)zero
+    /// vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Returns the angle to `other` in radians, in `[0, π]`.
+    ///
+    /// The angle between anything and a zero vector is defined as `π`
+    /// (maximally misaligned), which makes contribution scores of degenerate
+    /// camera configurations bottom out instead of being NaN.
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        match (self.normalized(), other.normalized()) {
+            (Some(a), Some(b)) => a.dot(b).clamp(-1.0, 1.0).acos(),
+            _ => std::f64::consts::PI,
+        }
+    }
+
+    /// Returns the distance to `other` interpreted as points.
+    pub fn distance_to(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn arithmetic_identities() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v + Vec3::ZERO, v);
+        assert_eq!(v - v, Vec3::ZERO);
+        assert_eq!(v * 1.0, v);
+        assert_eq!(v / 1.0, v);
+        assert_eq!(-(-v), v);
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(Vec3::new(1.0, 0.0, 0.0).norm(), 1.0);
+        assert!((Vec3::new(1.0, 1.0, 1.0).norm() - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert_eq!(Vec3::ZERO.normalized(), None);
+        let v = Vec3::new(0.0, 3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(v, Vec3::new(0.0, 0.6, 0.8));
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angles_between_axes() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert!((x.angle_to(y) - FRAC_PI_2).abs() < 1e-12);
+        assert!(x.angle_to(x).abs() < 1e-12);
+        assert!((x.angle_to(-x) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_with_zero_vector_is_pi() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        assert_eq!(x.angle_to(Vec3::ZERO), PI);
+        assert_eq!(Vec3::ZERO.angle_to(x), PI);
+    }
+
+    #[test]
+    fn distance_between_points() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(4.0, 5.0, 1.0);
+        assert!((a.distance_to(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Vec3::ZERO.to_string(), "(0.000, 0.000, 0.000)");
+    }
+}

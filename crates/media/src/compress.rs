@@ -1,0 +1,452 @@
+//! Real-time 3D frame compression (the paper's references [13, 14, 25]).
+//!
+//! A compact, fully reversible entropy-light codec for sparse foreground
+//! frames, built from the primitives those systems use:
+//!
+//! * **positions** — row-major linear indices, delta + varint coded
+//!   (deltas are small on a solid silhouette);
+//! * **depth** — quantized to a configurable millimetre step, then
+//!   delta + zigzag + varint coded (neighbouring surface depths are
+//!   close);
+//! * **color** — RGB565 quantization followed by run-length coding
+//!   (clothing regions run long).
+//!
+//! Decoding reverses every stage exactly, so the codec is lossless *on the
+//! quantized values*: positions are exact, depth is within half a
+//! quantization step, color within the RGB565 rounding.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::background::{ForegroundFrame, ForegroundPixel};
+use crate::frame::Rgb;
+
+/// Format version written into every compressed frame.
+const FORMAT_VERSION: u8 = 1;
+
+/// A compressed 3D frame. (Wire data already — serialize the raw bytes,
+/// not a serde wrapper.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedFrame {
+    bytes: Bytes,
+}
+
+impl CompressedFrame {
+    /// Returns the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Returns the compressed size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Consumes the frame, returning its encoded bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.bytes
+    }
+}
+
+/// Error produced while decoding a [`CompressedFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// The header version byte is unknown.
+    UnknownVersion {
+        /// The version byte found.
+        version: u8,
+    },
+    /// A decoded position fell outside the frame.
+    PositionOutOfBounds {
+        /// The offending linear index.
+        linear: u64,
+        /// Number of pixels in the frame.
+        pixels: u64,
+    },
+    /// Bytes remained after the declared content.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A varint ran past its maximum width.
+    MalformedVarint,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed frame truncated"),
+            CodecError::UnknownVersion { version } => {
+                write!(f, "unknown format version {version}")
+            }
+            CodecError::PositionOutOfBounds { linear, pixels } => {
+                write!(f, "position {linear} outside frame of {pixels} pixels")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after frame content")
+            }
+            CodecError::MalformedVarint => write!(f, "malformed varint"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Writes `value` as a LEB128 varint.
+fn put_varint(dst: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            dst.put_u8(byte);
+            return;
+        }
+        dst.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+fn get_varint(src: &mut Bytes) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    for shift in (0..64).step_by(7) {
+        if src.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = src.get_u8();
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(CodecError::MalformedVarint)
+}
+
+/// Maps a signed delta to an unsigned zigzag code.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// The real-time 3D frame codec.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_media::{BackgroundSubtractor, Codec, SyntheticCapture};
+///
+/// let raw = SyntheticCapture::new(64, 48, 1).capture(0.0, 0);
+/// let fg = BackgroundSubtractor::default().subtract(&raw);
+/// let codec = Codec::new(4);
+/// let compressed = codec.encode(&fg);
+/// assert!(compressed.byte_size() < fg.byte_size());
+///
+/// let decoded = codec.decode(&compressed)?;
+/// assert_eq!(decoded.len(), fg.len());
+/// # Ok::<(), teeve_media::CodecError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Codec {
+    depth_quant_mm: u16,
+}
+
+impl Codec {
+    /// Creates a codec quantizing depth to `depth_quant_mm` steps
+    /// (1 = lossless depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is zero.
+    pub fn new(depth_quant_mm: u16) -> Self {
+        assert!(depth_quant_mm > 0, "depth quantization step must be nonzero");
+        Codec { depth_quant_mm }
+    }
+
+    /// Returns the depth quantization step in millimetres.
+    pub fn depth_quant_mm(&self) -> u16 {
+        self.depth_quant_mm
+    }
+
+    /// Encodes `frame`.
+    pub fn encode(&self, frame: &ForegroundFrame) -> CompressedFrame {
+        let mut dst = BytesMut::with_capacity(frame.len() * 4 + 32);
+        dst.put_u8(FORMAT_VERSION);
+        put_varint(&mut dst, u64::from(frame.width()));
+        put_varint(&mut dst, u64::from(frame.height()));
+        put_varint(&mut dst, frame.len() as u64);
+        put_varint(&mut dst, u64::from(self.depth_quant_mm));
+
+        // Positions: strictly increasing linear indices, delta coded with
+        // an implicit previous of -1 (so every delta is >= 1 and we code
+        // delta - 1).
+        let width = u64::from(frame.width());
+        let mut prev_linear: i64 = -1;
+        for p in frame.pixels() {
+            let linear = (u64::from(p.y) * width + u64::from(p.x)) as i64;
+            put_varint(&mut dst, (linear - prev_linear - 1) as u64);
+            prev_linear = linear;
+        }
+
+        // Depth: quantize (round to nearest step), then delta + zigzag.
+        let q = i64::from(self.depth_quant_mm);
+        let mut prev_depth = 0i64;
+        for p in frame.pixels() {
+            let quantized = (i64::from(p.depth_mm) + q / 2) / q;
+            put_varint(&mut dst, zigzag(quantized - prev_depth));
+            prev_depth = quantized;
+        }
+
+        // Color: RGB565 + run-length.
+        let mut i = 0;
+        let pixels = frame.pixels();
+        while i < pixels.len() {
+            let word = pixels[i].color.to_rgb565();
+            let mut run = 1u64;
+            while i + (run as usize) < pixels.len()
+                && pixels[i + run as usize].color.to_rgb565() == word
+            {
+                run += 1;
+            }
+            put_varint(&mut dst, run);
+            put_varint(&mut dst, u64::from(word));
+            i += run as usize;
+        }
+
+        CompressedFrame {
+            bytes: dst.freeze(),
+        }
+    }
+
+    /// Decodes `frame` back into a sparse foreground frame.
+    ///
+    /// The result carries the *quantized* depth and RGB565-rounded color;
+    /// re-encoding it reproduces the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, unknown version, out-of-bounds
+    /// positions, malformed varints, or trailing bytes.
+    pub fn decode(&self, frame: &CompressedFrame) -> Result<ForegroundFrame, CodecError> {
+        let mut src = frame.bytes.clone();
+        if src.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        let version = src.get_u8();
+        if version != FORMAT_VERSION {
+            return Err(CodecError::UnknownVersion { version });
+        }
+        let width = get_varint(&mut src)? as u32;
+        let height = get_varint(&mut src)? as u32;
+        let count = get_varint(&mut src)? as usize;
+        let quant = get_varint(&mut src)? as i64;
+        if width == 0 || height == 0 || quant == 0 {
+            return Err(CodecError::Truncated);
+        }
+        let pixel_total = u64::from(width) * u64::from(height);
+
+        let mut positions = Vec::with_capacity(count);
+        let mut prev_linear: i64 = -1;
+        for _ in 0..count {
+            let delta = get_varint(&mut src)? as i64;
+            let linear = prev_linear + 1 + delta;
+            if linear as u64 >= pixel_total {
+                return Err(CodecError::PositionOutOfBounds {
+                    linear: linear as u64,
+                    pixels: pixel_total,
+                });
+            }
+            positions.push(linear as u64);
+            prev_linear = linear;
+        }
+
+        let mut depths = Vec::with_capacity(count);
+        let mut prev_depth = 0i64;
+        for _ in 0..count {
+            let quantized = prev_depth + unzigzag(get_varint(&mut src)?);
+            let mm = (quantized * quant).clamp(0, i64::from(u16::MAX)) as u16;
+            depths.push(mm);
+            prev_depth = quantized;
+        }
+
+        let mut colors = Vec::with_capacity(count);
+        while colors.len() < count {
+            let run = get_varint(&mut src)? as usize;
+            let word = get_varint(&mut src)? as u16;
+            if run == 0 || colors.len() + run > count {
+                return Err(CodecError::Truncated);
+            }
+            colors.extend(std::iter::repeat_n(Rgb::from_rgb565(word), run));
+        }
+        if !src.is_empty() {
+            return Err(CodecError::TrailingBytes {
+                remaining: src.len(),
+            });
+        }
+
+        let pixels = positions
+            .iter()
+            .zip(&depths)
+            .zip(&colors)
+            .map(|((&linear, &depth_mm), &color)| ForegroundPixel {
+                x: (linear % u64::from(width)) as u16,
+                y: (linear / u64::from(width)) as u16,
+                color,
+                depth_mm,
+            })
+            .collect();
+        Ok(ForegroundFrame::new(width, height, pixels))
+    }
+}
+
+impl Default for Codec {
+    /// A 4 mm depth step — invisible at the paper's rendering scale.
+    fn default() -> Self {
+        Codec::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::background::BackgroundSubtractor;
+    use crate::capture::SyntheticCapture;
+
+    fn sample_frame() -> ForegroundFrame {
+        let raw = SyntheticCapture::new(96, 72, 5).capture(0.1, 7);
+        BackgroundSubtractor::default().subtract(&raw)
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn positions_survive_exactly() {
+        let fg = sample_frame();
+        let codec = Codec::default();
+        let decoded = codec.decode(&codec.encode(&fg)).unwrap();
+        let pos = |f: &ForegroundFrame| -> Vec<(u16, u16)> {
+            f.pixels().iter().map(|p| (p.x, p.y)).collect()
+        };
+        assert_eq!(pos(&decoded), pos(&fg));
+    }
+
+    #[test]
+    fn depth_error_is_within_half_a_step() {
+        let fg = sample_frame();
+        for step in [1u16, 2, 4, 16] {
+            let codec = Codec::new(step);
+            let decoded = codec.decode(&codec.encode(&fg)).unwrap();
+            for (a, b) in fg.pixels().iter().zip(decoded.pixels()) {
+                let err = i32::from(a.depth_mm).abs_diff(i32::from(b.depth_mm));
+                assert!(err <= u32::from(step) / 2 + 1, "step {step}, error {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_step_depth_is_lossless() {
+        let fg = sample_frame();
+        let codec = Codec::new(1);
+        let decoded = codec.decode(&codec.encode(&fg)).unwrap();
+        for (a, b) in fg.pixels().iter().zip(decoded.pixels()) {
+            assert_eq!(a.depth_mm, b.depth_mm);
+        }
+    }
+
+    #[test]
+    fn reencoding_decoded_frame_is_identical() {
+        let codec = Codec::default();
+        let first = codec.encode(&sample_frame());
+        let second = codec.encode(&codec.decode(&first).unwrap());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn compression_beats_sparse_representation() {
+        let fg = sample_frame();
+        let compressed = Codec::default().encode(&fg);
+        assert!(
+            compressed.byte_size() * 2 < fg.byte_size(),
+            "compressed {} vs sparse {}",
+            compressed.byte_size(),
+            fg.byte_size()
+        );
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let fg = ForegroundFrame::new(8, 8, Vec::new());
+        let codec = Codec::default();
+        let decoded = codec.decode(&codec.encode(&fg)).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.width(), 8);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let fg = sample_frame();
+        let codec = Codec::default();
+        let full = codec.encode(&fg);
+        let cut = CompressedFrame {
+            bytes: full.into_bytes().slice(0..10),
+        };
+        assert!(codec.decode(&cut).is_err());
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_u8(99);
+        let frame = CompressedFrame {
+            bytes: bytes.freeze(),
+        };
+        assert_eq!(
+            Codec::default().decode(&frame),
+            Err(CodecError::UnknownVersion { version: 99 })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let codec = Codec::default();
+        let mut bytes = BytesMut::from(codec.encode(&sample_frame()).as_bytes());
+        bytes.put_u8(0);
+        let frame = CompressedFrame {
+            bytes: bytes.freeze(),
+        };
+        assert!(matches!(
+            codec.decode(&frame),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let frame = CompressedFrame {
+            bytes: Bytes::new(),
+        };
+        assert_eq!(Codec::default().decode(&frame), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,279 @@
+//! Raw 3D video frames: per-pixel color and depth.
+//!
+//! The paper's arithmetic (Section 1) treats one raw frame as
+//! `width × height` pixels of 5 bytes each — 3 bytes of color plus 2 bytes
+//! of depth — so a 640 × 480 stream at 15 fps consumes
+//! `640 × 480 × 15 × 5 B ≈ 180 Mbps` before reduction. [`RawFrame`]
+//! reproduces exactly that layout.
+
+use serde::{Deserialize, Serialize};
+
+/// Default capture width in pixels (the paper's 640).
+pub const FRAME_WIDTH: u32 = 640;
+/// Default capture height in pixels (the paper's 480).
+pub const FRAME_HEIGHT: u32 = 480;
+/// Default capture rate in frames per second (the paper's 15).
+pub const FRAME_FPS: u32 = 15;
+/// Bytes per raw pixel: 3 color + 2 depth (the paper's "5B/pixel").
+pub const BYTES_PER_PIXEL: u64 = 5;
+
+/// Depth value marking "no geometry here" (an open background beyond the
+/// sensor range). Chosen as the maximum representable millimetre depth so
+/// background is always *farther* than any real surface.
+pub const DEPTH_FAR_MM: u16 = u16::MAX;
+
+/// A 24-bit RGB color sample.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a color from its three channels.
+    pub fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Quantizes to RGB565 (5-6-5 bits), the representation used by the
+    /// real-time codec.
+    pub fn to_rgb565(self) -> u16 {
+        (u16::from(self.r >> 3) << 11) | (u16::from(self.g >> 2) << 5) | u16::from(self.b >> 3)
+    }
+
+    /// Expands an RGB565 word back to 24-bit color (upper bits replicated
+    /// into the lost low bits, the standard reconstruction).
+    pub fn from_rgb565(word: u16) -> Self {
+        let r5 = ((word >> 11) & 0x1F) as u8;
+        let g6 = ((word >> 5) & 0x3F) as u8;
+        let b5 = (word & 0x1F) as u8;
+        Rgb {
+            r: (r5 << 3) | (r5 >> 2),
+            g: (g6 << 2) | (g6 >> 4),
+            b: (b5 << 3) | (b5 >> 2),
+        }
+    }
+}
+
+/// One raw captured 3D frame: dense color and depth planes.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_media::{RawFrame, Rgb};
+///
+/// let mut frame = RawFrame::new(4, 2);
+/// frame.set(1, 0, Rgb::new(200, 10, 10), 1500);
+/// assert_eq!(frame.depth(1, 0), 1500);
+/// assert_eq!(frame.byte_size(), 4 * 2 * 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawFrame {
+    width: u32,
+    height: u32,
+    colors: Vec<Rgb>,
+    /// Depth in millimetres; [`DEPTH_FAR_MM`] marks open background.
+    depths: Vec<u16>,
+}
+
+impl RawFrame {
+    /// Creates an empty frame: black color, far depth everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be nonzero");
+        let pixels = (width * height) as usize;
+        RawFrame {
+            width,
+            height,
+            colors: vec![Rgb::default(); pixels],
+            depths: vec![DEPTH_FAR_MM; pixels],
+        }
+    }
+
+    /// Creates a frame by evaluating `f(x, y) -> (color, depth_mm)` at
+    /// every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> (Rgb, u16)) -> Self {
+        let mut frame = RawFrame::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let (color, depth) = f(x, y);
+                frame.set(x, y, color, depth);
+            }
+        }
+        frame
+    }
+
+    /// Returns the frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Returns the frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Returns the number of pixels.
+    pub fn pixel_count(&self) -> usize {
+        self.colors.len()
+    }
+
+    fn index(&self, x: u32, y: u32) -> usize {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        (y * self.width + x) as usize
+    }
+
+    /// Returns the color at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn color(&self, x: u32, y: u32) -> Rgb {
+        self.colors[self.index(x, y)]
+    }
+
+    /// Returns the depth at `(x, y)` in millimetres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn depth(&self, x: u32, y: u32) -> u16 {
+        self.depths[self.index(x, y)]
+    }
+
+    /// Sets color and depth at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: u32, y: u32, color: Rgb, depth_mm: u16) {
+        let i = self.index(x, y);
+        self.colors[i] = color;
+        self.depths[i] = depth_mm;
+    }
+
+    /// Returns the raw wire size in bytes at the paper's 5 B/pixel.
+    pub fn byte_size(&self) -> u64 {
+        self.pixel_count() as u64 * BYTES_PER_PIXEL
+    }
+
+    /// Returns the fraction of pixels carrying real geometry (depth closer
+    /// than [`DEPTH_FAR_MM`]).
+    pub fn occupancy(&self) -> f64 {
+        if self.depths.is_empty() {
+            return 0.0;
+        }
+        let hits = self.depths.iter().filter(|&&d| d != DEPTH_FAR_MM).count();
+        hits as f64 / self.depths.len() as f64
+    }
+}
+
+/// Returns the raw bit rate of a stream in bits per second:
+/// `width × height × fps × 5 B × 8`.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_media::raw_bitrate_bps;
+///
+/// // The paper's ≈180 Mbps figure.
+/// let bps = raw_bitrate_bps(640, 480, 15);
+/// assert_eq!(bps, 184_320_000);
+/// ```
+pub fn raw_bitrate_bps(width: u32, height: u32, fps: u32) -> u64 {
+    u64::from(width) * u64::from(height) * u64::from(fps) * BYTES_PER_PIXEL * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_raw_rate_is_about_180_mbps() {
+        let bps = raw_bitrate_bps(FRAME_WIDTH, FRAME_HEIGHT, FRAME_FPS);
+        assert!((180_000_000..190_000_000).contains(&bps));
+    }
+
+    #[test]
+    fn new_frame_is_far_everywhere() {
+        let f = RawFrame::new(8, 8);
+        assert_eq!(f.occupancy(), 0.0);
+        assert_eq!(f.depth(7, 7), DEPTH_FAR_MM);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut f = RawFrame::new(3, 3);
+        f.set(2, 1, Rgb::new(1, 2, 3), 777);
+        assert_eq!(f.color(2, 1), Rgb::new(1, 2, 3));
+        assert_eq!(f.depth(2, 1), 777);
+        assert!(f.occupancy() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let f = RawFrame::new(2, 2);
+        let _ = f.depth(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = RawFrame::new(0, 4);
+    }
+
+    #[test]
+    fn from_fn_visits_every_pixel() {
+        let f = RawFrame::from_fn(4, 3, |x, y| (Rgb::new(x as u8, y as u8, 0), (x + y) as u16));
+        assert_eq!(f.depth(3, 2), 5);
+        assert_eq!(f.color(0, 2), Rgb::new(0, 2, 0));
+    }
+
+    #[test]
+    fn byte_size_is_five_bytes_per_pixel() {
+        assert_eq!(RawFrame::new(10, 10).byte_size(), 500);
+    }
+
+    #[test]
+    fn rgb565_roundtrip_is_close() {
+        for color in [
+            Rgb::new(0, 0, 0),
+            Rgb::new(255, 255, 255),
+            Rgb::new(200, 100, 50),
+            Rgb::new(17, 93, 211),
+        ] {
+            let back = Rgb::from_rgb565(color.to_rgb565());
+            assert!(i16::from(back.r).abs_diff(i16::from(color.r)) <= 7);
+            assert!(i16::from(back.g).abs_diff(i16::from(color.g)) <= 3);
+            assert!(i16::from(back.b).abs_diff(i16::from(color.b)) <= 7);
+        }
+    }
+
+    #[test]
+    fn rgb565_is_idempotent_on_quantized_colors() {
+        let quantized = Rgb::from_rgb565(Rgb::new(123, 45, 67).to_rgb565());
+        assert_eq!(Rgb::from_rgb565(quantized.to_rgb565()), quantized);
+    }
+
+    #[test]
+    fn occupancy_counts_fraction() {
+        let mut f = RawFrame::new(2, 2);
+        f.set(0, 0, Rgb::default(), 100);
+        f.set(1, 1, Rgb::default(), 100);
+        assert_eq!(f.occupancy(), 0.5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Resolution reduction: the second stage of the paper's reduction chain
+//! (Section 1 lists it between background subtraction and compression).
+//!
+//! [`Downsampler`] merges `factor × factor` pixel blocks into single
+//! samples, averaging color and depth. On a sparse [`ForegroundFrame`]
+//! only occupied blocks survive, so the sample count shrinks by roughly
+//! `factor²`.
+
+use std::collections::BTreeMap;
+use std::num::NonZeroU32;
+
+use serde::{Deserialize, Serialize};
+
+use crate::background::{ForegroundFrame, ForegroundPixel};
+use crate::frame::Rgb;
+
+/// Block-averaging resolution reducer.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_media::{BackgroundSubtractor, Downsampler, SyntheticCapture};
+///
+/// let raw = SyntheticCapture::new(64, 48, 1).capture(0.0, 0);
+/// let fg = BackgroundSubtractor::default().subtract(&raw);
+/// let half = Downsampler::new(2).apply(&fg);
+/// assert_eq!(half.width(), 32);
+/// // A solid subject shrinks by about the block area.
+/// assert!(half.len() <= fg.len() / 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Downsampler {
+    factor: NonZeroU32,
+}
+
+impl Downsampler {
+    /// Creates a reducer merging `factor × factor` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn new(factor: u32) -> Self {
+        Downsampler {
+            factor: NonZeroU32::new(factor).expect("downsampling factor must be nonzero"),
+        }
+    }
+
+    /// Returns the block edge length.
+    pub fn factor(&self) -> u32 {
+        self.factor.get()
+    }
+
+    /// Reduces `frame` to a `ceil(w/factor) × ceil(h/factor)` grid,
+    /// averaging the samples of each occupied block.
+    pub fn apply(&self, frame: &ForegroundFrame) -> ForegroundFrame {
+        let f = self.factor.get();
+        if f == 1 {
+            return frame.clone();
+        }
+        let out_w = frame.width().div_ceil(f);
+        let out_h = frame.height().div_ceil(f);
+
+        // Accumulate sums per occupied block; BTreeMap keyed (row, col)
+        // yields the row-major order ForegroundFrame requires.
+        #[derive(Default)]
+        struct Acc {
+            r: u64,
+            g: u64,
+            b: u64,
+            depth: u64,
+            count: u64,
+        }
+        let mut blocks: BTreeMap<(u16, u16), Acc> = BTreeMap::new();
+        for p in frame.pixels() {
+            let key = (p.y / f as u16, p.x / f as u16);
+            let acc = blocks.entry(key).or_default();
+            acc.r += u64::from(p.color.r);
+            acc.g += u64::from(p.color.g);
+            acc.b += u64::from(p.color.b);
+            acc.depth += u64::from(p.depth_mm);
+            acc.count += 1;
+        }
+
+        let pixels = blocks
+            .into_iter()
+            .map(|((by, bx), acc)| ForegroundPixel {
+                x: bx,
+                y: by,
+                color: Rgb::new(
+                    (acc.r / acc.count) as u8,
+                    (acc.g / acc.count) as u8,
+                    (acc.b / acc.count) as u8,
+                ),
+                depth_mm: (acc.depth / acc.count) as u16,
+            })
+            .collect();
+        ForegroundFrame::new(out_w, out_h, pixels)
+    }
+}
+
+impl Default for Downsampler {
+    /// Factor 2: the paper's streams halve each dimension.
+    fn default() -> Self {
+        Downsampler::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::background::BackgroundSubtractor;
+    use crate::capture::SyntheticCapture;
+    use crate::frame::RawFrame;
+
+    fn px(x: u16, y: u16, v: u8, depth: u16) -> ForegroundPixel {
+        ForegroundPixel {
+            x,
+            y,
+            color: Rgb::new(v, v, v),
+            depth_mm: depth,
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let fg = ForegroundFrame::new(4, 4, vec![px(1, 1, 10, 100)]);
+        assert_eq!(Downsampler::new(1).apply(&fg), fg);
+    }
+
+    #[test]
+    fn block_averages_color_and_depth() {
+        let fg = ForegroundFrame::new(4, 4, vec![px(0, 0, 10, 100), px(1, 0, 30, 300)]);
+        let out = Downsampler::new(2).apply(&fg);
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.height(), 2);
+        assert_eq!(out.len(), 1);
+        let p = out.pixels()[0];
+        assert_eq!((p.x, p.y), (0, 0));
+        assert_eq!(p.color, Rgb::new(20, 20, 20));
+        assert_eq!(p.depth_mm, 200);
+    }
+
+    #[test]
+    fn distinct_blocks_stay_distinct() {
+        let fg = ForegroundFrame::new(4, 4, vec![px(0, 0, 1, 50), px(3, 3, 9, 70)]);
+        let out = Downsampler::new(2).apply(&fg);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out.pixels()[0].x, out.pixels()[0].y), (0, 0));
+        assert_eq!((out.pixels()[1].x, out.pixels()[1].y), (1, 1));
+    }
+
+    #[test]
+    fn output_is_row_major_and_in_bounds() {
+        let raw = SyntheticCapture::new(50, 38, 4).capture(0.1, 2);
+        let fg = BackgroundSubtractor::default().subtract(&raw);
+        for f in [2, 3, 4, 7] {
+            // ForegroundFrame::new panics on disorder or out-of-bounds, so
+            // construction succeeding is the assertion.
+            let out = Downsampler::new(f).apply(&fg);
+            assert_eq!(out.width(), 50u32.div_ceil(f));
+            assert_eq!(out.height(), 38u32.div_ceil(f));
+            assert!(!out.is_empty());
+        }
+    }
+
+    #[test]
+    fn sample_count_shrinks_about_quadratically() {
+        let raw = SyntheticCapture::new(128, 96, 8).capture(0.0, 0);
+        let fg = BackgroundSubtractor::default().subtract(&raw);
+        let out = Downsampler::new(4).apply(&fg);
+        let ratio = fg.len() as f64 / out.len() as f64;
+        // A solid silhouette loses ≈16× of its samples; the boundary adds
+        // some slack.
+        assert!(ratio > 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_frame_stays_empty() {
+        let fg = BackgroundSubtractor::new(100).subtract(&RawFrame::new(8, 8));
+        assert!(Downsampler::new(2).apply(&fg).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_factor_panics() {
+        let _ = Downsampler::new(0);
+    }
+}

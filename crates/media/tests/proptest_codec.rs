@@ -1,0 +1,136 @@
+//! Property tests for the media pipeline: codec reversibility, stage
+//! monotonicity, and subtraction/densification consistency.
+
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use teeve_media::{
+    BackgroundSubtractor, Codec, Downsampler, ForegroundFrame, ForegroundPixel, RawFrame, Rgb,
+    DEPTH_FAR_MM,
+};
+
+const W: u32 = 40;
+const H: u32 = 30;
+
+/// An arbitrary sparse foreground frame on a 40×30 grid: a set of linear
+/// positions (sorted for free by `BTreeSet`) with random color and depth.
+fn arb_foreground() -> impl Strategy<Value = ForegroundFrame> {
+    (
+        btree_set(0..(W * H), 0..200usize),
+        proptest::collection::vec((any::<(u8, u8, u8)>(), 0u16..10_000), 200),
+    )
+        .prop_map(|(positions, attrs)| {
+            let pixels = positions
+                .into_iter()
+                .zip(attrs)
+                .map(|(linear, ((r, g, b), depth_mm))| ForegroundPixel {
+                    x: (linear % W) as u16,
+                    y: (linear / W) as u16,
+                    color: Rgb::new(r, g, b),
+                    depth_mm,
+                })
+                .collect();
+            ForegroundFrame::new(W, H, pixels)
+        })
+}
+
+/// An arbitrary dense raw frame with a controllable mix of near geometry
+/// and far background.
+fn arb_raw() -> impl Strategy<Value = RawFrame> {
+    proptest::collection::vec((any::<bool>(), 0u16..5_000, any::<(u8, u8, u8)>()), (W * H) as usize)
+        .prop_map(|cells| {
+            let mut frame = RawFrame::new(W, H);
+            for (i, (near, depth, (r, g, b))) in cells.into_iter().enumerate() {
+                let (x, y) = (i as u32 % W, i as u32 / W);
+                if near {
+                    frame.set(x, y, Rgb::new(r, g, b), depth);
+                }
+            }
+            frame
+        })
+}
+
+proptest! {
+    /// Decoding recovers every position exactly, in order.
+    #[test]
+    fn codec_preserves_positions(frame in arb_foreground(), step in 1u16..32) {
+        let codec = Codec::new(step);
+        let decoded = codec.decode(&codec.encode(&frame)).unwrap();
+        let pos = |f: &ForegroundFrame| f.pixels().iter().map(|p| (p.x, p.y)).collect::<Vec<_>>();
+        prop_assert_eq!(pos(&decoded), pos(&frame));
+    }
+
+    /// Depth error is bounded by half the quantization step.
+    #[test]
+    fn codec_depth_error_is_bounded(frame in arb_foreground(), step in 1u16..32) {
+        let codec = Codec::new(step);
+        let decoded = codec.decode(&codec.encode(&frame)).unwrap();
+        for (a, b) in frame.pixels().iter().zip(decoded.pixels()) {
+            let err = u32::from(a.depth_mm).abs_diff(u32::from(b.depth_mm));
+            prop_assert!(err <= u32::from(step) / 2 + 1);
+        }
+    }
+
+    /// Encode ∘ decode is a projection: re-encoding the decoded frame
+    /// reproduces the same bytes.
+    #[test]
+    fn codec_is_idempotent_after_one_pass(frame in arb_foreground(), step in 1u16..32) {
+        let codec = Codec::new(step);
+        let once = codec.encode(&frame);
+        let twice = codec.encode(&codec.decode(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Color survives within RGB565 rounding.
+    #[test]
+    fn codec_color_error_is_bounded(frame in arb_foreground()) {
+        let codec = Codec::new(1);
+        let decoded = codec.decode(&codec.encode(&frame)).unwrap();
+        for (a, b) in frame.pixels().iter().zip(decoded.pixels()) {
+            prop_assert!(u16::from(a.color.r).abs_diff(u16::from(b.color.r)) <= 7);
+            prop_assert!(u16::from(a.color.g).abs_diff(u16::from(b.color.g)) <= 3);
+            prop_assert!(u16::from(a.color.b).abs_diff(u16::from(b.color.b)) <= 7);
+        }
+    }
+
+    /// Subtraction keeps exactly the strictly-near pixels, and
+    /// densifying back preserves them all.
+    #[test]
+    fn subtraction_roundtrips_through_to_raw(raw in arb_raw(), threshold in 1u16..5_000) {
+        let sub = BackgroundSubtractor::new(threshold);
+        let fg = sub.subtract(&raw);
+        // Count check against a direct scan.
+        let mut expected = 0usize;
+        for y in 0..H {
+            for x in 0..W {
+                let d = raw.depth(x, y);
+                if d < threshold && d != DEPTH_FAR_MM {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(fg.len(), expected);
+        // Densify and re-subtract: identical sample list.
+        let again = sub.subtract(&fg.to_raw());
+        prop_assert_eq!(again.pixels(), fg.pixels());
+    }
+
+    /// Downsampling never grows the sample count and stays in bounds
+    /// (`ForegroundFrame::new` panics otherwise, failing the test).
+    #[test]
+    fn downsampling_shrinks(frame in arb_foreground(), factor in 1u32..8) {
+        let out = Downsampler::new(factor).apply(&frame);
+        prop_assert!(out.len() <= frame.len());
+        prop_assert_eq!(out.width(), W.div_ceil(factor));
+        prop_assert_eq!(out.is_empty(), frame.is_empty());
+    }
+
+    /// The compressed form never exceeds the sparse form by more than the
+    /// fixed header (tiny frames) and beats it on real frames.
+    #[test]
+    fn compression_is_bounded(frame in arb_foreground()) {
+        let compressed = Codec::new(4).encode(&frame);
+        // 9 B/sample sparse vs varint-coded: worst case (random colors,
+        // every run length 1) stays within ~10 B/sample + header.
+        prop_assert!(compressed.byte_size() <= frame.byte_size() + frame.len() as u64 + 32);
+    }
+}

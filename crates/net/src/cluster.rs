@@ -1,0 +1,579 @@
+//! A localhost cluster of live TCP rendezvous points executing a
+//! dissemination plan.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use teeve_pubsub::{DisseminationPlan, SitePlan};
+use teeve_types::{SiteId, StreamId};
+
+use crate::wire::{decode, encode, Message};
+
+/// Configuration of a live cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Frames each origin publishes per stream.
+    pub frames_per_stream: u64,
+    /// Synthetic payload size per frame in bytes (kept small in tests; a
+    /// real compressed 3DTI frame is ≈66 kB).
+    pub payload_bytes: usize,
+    /// Optional pacing between frames at the origin (`None` = publish as
+    /// fast as the sockets accept, for fast tests).
+    pub frame_interval: Option<Duration>,
+    /// Abort the run if deliveries have not completed within this time.
+    pub timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    /// 10 frames per stream, 1 kB payloads, unpaced, 30 s timeout.
+    fn default() -> Self {
+        ClusterConfig {
+            frames_per_stream: 10,
+            payload_bytes: 1024,
+            frame_interval: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Delivery statistics of one live run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterReport {
+    /// Frames delivered per (site, stream).
+    pub delivered: BTreeMap<(SiteId, StreamId), u64>,
+    /// Sum of observed end-to-end latencies per (site, stream), in
+    /// microseconds (wall clock).
+    pub latency_sum_micros: BTreeMap<(SiteId, StreamId), u64>,
+    /// Worst observed end-to-end latency in microseconds (wall clock).
+    pub max_latency_micros: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ClusterReport {
+    /// Returns total frames delivered across all sites.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+
+    /// Returns the mean end-to-end latency of one (site, stream) pair in
+    /// microseconds, or `None` if nothing was delivered to it.
+    pub fn mean_latency_micros(&self, site: SiteId, stream: StreamId) -> Option<u64> {
+        let frames = *self.delivered.get(&(site, stream))?;
+        if frames == 0 {
+            return None;
+        }
+        Some(self.latency_sum_micros.get(&(site, stream)).copied()? / frames)
+    }
+}
+
+/// Error produced by a cluster run.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket setup or transfer failed.
+    Io(io::Error),
+    /// Deliveries did not complete before the configured timeout.
+    Timeout {
+        /// Frames delivered so far.
+        delivered: u64,
+        /// Frames expected in total.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster i/o error: {e}"),
+            ClusterError::Timeout {
+                delivered,
+                expected,
+            } => write!(f, "timed out with {delivered}/{expected} frames delivered"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            ClusterError::Timeout { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// Shared delivery counters.
+#[derive(Debug, Default)]
+struct Stats {
+    delivered: Mutex<BTreeMap<(SiteId, StreamId), u64>>,
+    latency_sums: Mutex<BTreeMap<(SiteId, StreamId), u64>>,
+    total: AtomicUsize,
+    max_latency_micros: AtomicUsize,
+}
+
+impl Stats {
+    fn record(&self, site: SiteId, stream: StreamId, latency_micros: u64) {
+        *self.delivered.lock().entry((site, stream)).or_default() += 1;
+        *self.latency_sums.lock().entry((site, stream)).or_default() += latency_micros;
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max_latency_micros
+            .fetch_max(latency_micros as usize, Ordering::Relaxed);
+    }
+}
+
+/// One outbound (parent → child) connection plus the number of streams this
+/// RP still has to finish over it.
+struct OutLink {
+    conn: TcpStream,
+    /// Streams routed over this connection whose `End` marker has not been
+    /// forwarded yet; the connection is write-shut when it reaches zero.
+    remaining: usize,
+}
+
+/// The per-site state shared by an RP's reader and sender threads.
+///
+/// Termination is **per stream**, not per connection: each stream's
+/// multicast tree is acyclic, so its `End` marker cascades from the origin
+/// to every subscriber without circular waits. The site-level connection
+/// graph (the union of all trees) may contain cycles — a per-connection
+/// `Bye` handshake deadlocks on such cycles, which is exactly the hang this
+/// design replaces.
+struct RpShared {
+    site: SiteId,
+    plan: SitePlan,
+    outbound: Mutex<BTreeMap<SiteId, OutLink>>,
+    stats: Arc<Stats>,
+    epoch: Instant,
+}
+
+impl RpShared {
+    /// Forwards one frame to this RP's planned children for `stream`.
+    fn forward(&self, stream: StreamId, seq: u64, captured_micros: u64, payload: &Bytes) {
+        let children = match self.plan.entry(stream) {
+            Some(entry) => entry.children.clone(),
+            None => return,
+        };
+        if children.is_empty() {
+            return;
+        }
+        let mut buf = BytesMut::new();
+        encode(
+            &Message::Frame {
+                stream,
+                seq,
+                captured_micros,
+                payload: payload.clone(),
+            },
+            &mut buf,
+        );
+        let mut outbound = self.outbound.lock();
+        for child in children {
+            if let Some(link) = outbound.get_mut(&child) {
+                // A failed forward drops that downstream subtree; the run
+                // then surfaces it as missing deliveries.
+                let _ = link.conn.write_all(&buf);
+            }
+        }
+    }
+
+    /// Marks `stream` finished at this RP: forwards its `End` marker to the
+    /// stream's children and write-shuts any connection whose last stream
+    /// this was. Called by the origin sender after publishing the final
+    /// frame, and by readers when an upstream `End` arrives.
+    fn end_stream(&self, stream: StreamId) {
+        let children = match self.plan.entry(stream) {
+            Some(entry) => entry.children.clone(),
+            None => return,
+        };
+        if children.is_empty() {
+            return;
+        }
+        let mut buf = BytesMut::new();
+        encode(&Message::End { stream }, &mut buf);
+        let mut outbound = self.outbound.lock();
+        for child in children {
+            if let Some(link) = outbound.get_mut(&child) {
+                let _ = link.conn.write_all(&buf);
+                link.remaining = link.remaining.saturating_sub(1);
+                if link.remaining == 0 {
+                    let _ = link.conn.shutdown(std::net::Shutdown::Write);
+                    outbound.remove(&child);
+                }
+            }
+        }
+    }
+}
+
+/// Runs `plan` on a cluster of real TCP rendezvous points bound to
+/// 127.0.0.1, publishing `config.frames_per_stream` synthetic frames per
+/// overlay-transiting stream, and returns the delivery report.
+///
+/// Every RP is a set of real threads: one reader per inbound overlay link
+/// (decoding the wire protocol and forwarding frames per its forwarding
+/// table) and one sender for locally originated streams. Termination
+/// cascades: when an RP's upstreams finish, it sends `Bye` downstream.
+///
+/// # Errors
+///
+/// Returns an error on socket failures or if deliveries do not complete
+/// within `config.timeout`.
+pub fn run_cluster(
+    plan: &DisseminationPlan,
+    config: &ClusterConfig,
+) -> Result<ClusterReport, ClusterError> {
+    let n = plan.site_count();
+    let epoch = Instant::now();
+    let stats = Arc::new(Stats::default());
+
+    // Distinct inbound parents and outbound children per site.
+    let mut parents: Vec<BTreeSet<SiteId>> = vec![BTreeSet::new(); n];
+    let mut children: Vec<BTreeSet<SiteId>> = vec![BTreeSet::new(); n];
+    for (parent, child, _) in plan.edges() {
+        parents[child.index()].insert(parent);
+        children[parent.index()].insert(child);
+    }
+
+    // Expected deliveries: every planned (site, stream) pair gets all
+    // frames of that stream.
+    let expected: u64 = (0..n)
+        .map(|i| plan.site_plans()[i].in_degree() as u64 * config.frames_per_stream)
+        .sum();
+
+    // Phase A: bind all listeners.
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(listener.local_addr()?);
+        listeners.push(listener);
+    }
+
+    // Streams each parent must finish per outbound connection: the link
+    // parent → child is write-shut after the last of these ends.
+    let mut streams_to_child: Vec<BTreeMap<SiteId, usize>> = vec![BTreeMap::new(); n];
+    for (parent, child, _) in plan.edges() {
+        *streams_to_child[parent.index()].entry(child).or_default() += 1;
+    }
+
+    // Per-site shared state.
+    let shared: Vec<Arc<RpShared>> = (0..n)
+        .map(|i| {
+            let site = SiteId::new(i as u32);
+            Arc::new(RpShared {
+                site,
+                plan: plan.site_plan(site).clone(),
+                outbound: Mutex::new(BTreeMap::new()),
+                stats: Arc::clone(&stats),
+                epoch,
+            })
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+
+    // Phase B: accept threads (one per site), spawning a reader per
+    // inbound link. Readers carry a read timeout so a lost upstream can
+    // never wedge the process past the configured deadline.
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let expected_inbound = parents[i].len();
+        let rp = Arc::clone(&shared[i]);
+        let read_timeout = config.timeout;
+        handles.push(thread::spawn(move || {
+            let mut readers = Vec::new();
+            for _ in 0..expected_inbound {
+                let Ok((conn, _)) = listener.accept() else {
+                    break;
+                };
+                conn.set_read_timeout(Some(read_timeout)).ok();
+                let rp = Arc::clone(&rp);
+                readers.push(thread::spawn(move || reader_loop(conn, &rp)));
+            }
+            for r in readers {
+                let _ = r.join();
+            }
+        }));
+    }
+
+    // Phase C: establish outbound connections (parent -> child).
+    for i in 0..n {
+        let mut outbound = shared[i].outbound.lock();
+        for &child in &children[i] {
+            let conn = TcpStream::connect(addrs[child.index()])?;
+            conn.set_nodelay(true).ok();
+            conn.set_write_timeout(Some(config.timeout)).ok();
+            let mut buf = BytesMut::new();
+            encode(
+                &Message::Hello {
+                    site: SiteId::new(i as u32),
+                },
+                &mut buf,
+            );
+            let mut conn = conn;
+            conn.write_all(&buf)?;
+            outbound.insert(
+                child,
+                OutLink {
+                    conn,
+                    remaining: streams_to_child[i][&child],
+                },
+            );
+        }
+    }
+
+    // Phase D: origin senders.
+    for i in 0..n {
+        let rp = Arc::clone(&shared[i]);
+        let origin_streams: Vec<StreamId> = rp
+            .plan
+            .entries
+            .iter()
+            .filter(|e| e.is_origin() && !e.children.is_empty())
+            .map(|e| e.stream)
+            .collect();
+        if origin_streams.is_empty() {
+            continue;
+        }
+        let cfg = config.clone();
+        handles.push(thread::spawn(move || {
+            let payload = Bytes::from(vec![0x3D; cfg.payload_bytes]);
+            for seq in 0..cfg.frames_per_stream {
+                for &stream in &origin_streams {
+                    let captured = rp.epoch.elapsed().as_micros() as u64;
+                    rp.forward(stream, seq, captured, &payload);
+                }
+                if let Some(interval) = cfg.frame_interval {
+                    thread::sleep(interval);
+                }
+            }
+            for &stream in &origin_streams {
+                rp.end_stream(stream);
+            }
+        }));
+    }
+
+    // Phase E: wait for completion.
+    let deadline = Instant::now() + config.timeout;
+    loop {
+        let delivered = stats.total.load(Ordering::Relaxed) as u64;
+        if delivered >= expected {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(ClusterError::Timeout {
+                delivered,
+                expected,
+            });
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let delivered = stats.delivered.lock().clone();
+    let latency_sum_micros = stats.latency_sums.lock().clone();
+    Ok(ClusterReport {
+        delivered,
+        latency_sum_micros,
+        max_latency_micros: stats.max_latency_micros.load(Ordering::Relaxed) as u64,
+        elapsed: epoch.elapsed(),
+    })
+}
+
+/// Reads one inbound link until `Bye`/EOF, recording and forwarding frames
+/// and cascading per-stream `End` markers.
+fn reader_loop(mut conn: TcpStream, rp: &RpShared) {
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match decode(&mut buf) {
+            Ok(Some(Message::Frame {
+                stream,
+                seq,
+                captured_micros,
+                payload,
+            })) => {
+                let now = rp.epoch.elapsed().as_micros() as u64;
+                rp.stats
+                    .record(rp.site, stream, now.saturating_sub(captured_micros));
+                rp.forward(stream, seq, captured_micros, &payload);
+                continue;
+            }
+            Ok(Some(Message::End { stream })) => {
+                rp.end_stream(stream);
+                continue;
+            }
+            Ok(Some(Message::Hello { .. })) => continue,
+            Ok(Some(Message::Bye)) | Err(_) => break,
+            Ok(None) => {}
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(read) => buf.extend_from_slice(&chunk[..read]),
+            // Includes the configured read timeout: a silent upstream ends
+            // the link rather than wedging the run.
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_overlay::{ConstructionAlgorithm, NodeCapacity, ProblemInstance, RandomJoin};
+    use teeve_pubsub::StreamProfile;
+    use teeve_types::{CostMatrix, CostMs, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn quick_config() -> ClusterConfig {
+        ClusterConfig {
+            frames_per_stream: 5,
+            payload_bytes: 256,
+            frame_interval: None,
+            timeout: Duration::from_secs(20),
+        }
+    }
+
+    fn relay_plan() -> DisseminationPlan {
+        // Source capacity 1 forces 0 -> 1 -> 2 relaying.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                NodeCapacity::symmetric(Degree::new(1)),
+                NodeCapacity::symmetric(Degree::new(4)),
+                NodeCapacity::symmetric(Degree::new(4)),
+            ])
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+        DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default())
+    }
+
+    #[test]
+    fn relay_chain_delivers_every_frame() {
+        let plan = relay_plan();
+        let report = run_cluster(&plan, &quick_config()).expect("cluster completes");
+        assert_eq!(report.delivered[&(site(1), stream(0, 0))], 5);
+        assert_eq!(report.delivered[&(site(2), stream(0, 0))], 5);
+        assert_eq!(report.total_delivered(), 10);
+    }
+
+    #[test]
+    fn multi_stream_fanout_delivers_everything() {
+        // 4 sites, 2 streams each, everyone subscribes to everything.
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(2));
+        let mut b = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(10))
+            .streams_per_site(&[2, 2, 2, 2]);
+        for sub in 0..4u32 {
+            for origin in 0..4u32 {
+                if sub == origin {
+                    continue;
+                }
+                for q in 0..2 {
+                    b = b.subscribe(site(sub), stream(origin, q));
+                }
+            }
+        }
+        let problem = b.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+        let plan =
+            DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+
+        let config = quick_config();
+        let report = run_cluster(&plan, &config).expect("cluster completes");
+        // 4 sites x 6 remote streams x 5 frames.
+        assert_eq!(report.total_delivered(), 4 * 6 * 5);
+        for sub in 0..4u32 {
+            for origin in 0..4u32 {
+                if sub == origin {
+                    continue;
+                }
+                for q in 0..2 {
+                    assert_eq!(
+                        report.delivered[&(site(sub), stream(origin, q))],
+                        5,
+                        "site {sub} missing frames of s{origin}.{q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_completes_immediately() {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(4))
+            .streams_per_site(&[1, 1, 1])
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        let plan =
+            DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+        let report = run_cluster(&plan, &quick_config()).expect("nothing to deliver");
+        assert_eq!(report.total_delivered(), 0);
+    }
+
+    #[test]
+    fn paced_run_measures_latency() {
+        let plan = relay_plan();
+        let config = ClusterConfig {
+            frames_per_stream: 3,
+            payload_bytes: 128,
+            frame_interval: Some(Duration::from_millis(5)),
+            timeout: Duration::from_secs(20),
+        };
+        let report = run_cluster(&plan, &config).expect("cluster completes");
+        assert_eq!(report.total_delivered(), 6);
+        // Localhost latency is nonzero but far below a second.
+        assert!(report.max_latency_micros > 0);
+        assert!(report.max_latency_micros < 1_000_000);
+        // Per-pair means are consistent with the global maximum.
+        for &(site, stream) in report.delivered.keys() {
+            let mean = report
+                .mean_latency_micros(site, stream)
+                .expect("delivered pair has a mean");
+            assert!(mean <= report.max_latency_micros);
+        }
+    }
+
+    #[test]
+    fn mean_latency_of_unknown_pair_is_none() {
+        let report = ClusterReport::default();
+        assert_eq!(
+            report.mean_latency_micros(site(0), stream(1, 0)),
+            None
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Live TCP rendezvous-point substrate for TEEVE dissemination plans.
+//!
+//! The paper's deployment vision — RPs at every site forwarding 3D video
+//! streams along the constructed overlay — realized as real sockets: each
+//! RP runs reader threads per inbound overlay link and forwards frames to
+//! its planned children over a length-prefixed binary protocol
+//! ([`wire`]). [`run_cluster`] launches one RP per site on 127.0.0.1,
+//! publishes synthetic frames from every origin, and reports per-site
+//! delivery counts and latencies.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use rand::SeedableRng;
+//! use teeve_net::{run_cluster, ClusterConfig};
+//! use teeve_overlay::{ConstructionAlgorithm, ProblemInstance, RandomJoin};
+//! use teeve_pubsub::{DisseminationPlan, StreamProfile};
+//! use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(4));
+//! let problem = ProblemInstance::builder(costs, CostMs::new(50))
+//!     .symmetric_capacities(Degree::new(4))
+//!     .streams_per_site(&[1, 1, 1])
+//!     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+//!     .build()?;
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let outcome = RandomJoin::default().construct(&problem, &mut rng);
+//! let plan = DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+//!
+//! let report = run_cluster(&plan, &ClusterConfig::default())?;
+//! println!("delivered {} frames", report.total_delivered());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+pub mod wire;
+
+pub use cluster::{run_cluster, ClusterConfig, ClusterError, ClusterReport};

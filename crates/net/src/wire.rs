@@ -1,0 +1,329 @@
+//! Wire protocol: length-prefixed binary framing for RP-to-RP links.
+//!
+//! Every message is `[u32 LE length][u8 tag][body…]` where `length` counts
+//! the tag and body. Integers are little-endian. The codec is incremental:
+//! feed bytes as they arrive, decode complete messages as they become
+//! available.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use teeve_types::{SiteId, StreamId};
+
+/// Maximum accepted message size (tag + body), guarding against corrupted
+/// length prefixes: a 3DTI frame at the paper's raw rate is ≈1.5 MB, so
+/// 8 MiB leaves ample headroom.
+pub const MAX_MESSAGE_BYTES: usize = 8 * 1024 * 1024;
+
+const TAG_HELLO: u8 = 1;
+const TAG_FRAME: u8 = 2;
+const TAG_BYE: u8 = 3;
+const TAG_END: u8 = 4;
+
+/// A protocol message between rendezvous points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Connection preamble: identifies the connecting (upstream) RP.
+    Hello {
+        /// The connecting site.
+        site: SiteId,
+    },
+    /// One 3D video frame travelling down a multicast tree.
+    Frame {
+        /// The stream the frame belongs to.
+        stream: StreamId,
+        /// Frame sequence number at the origin.
+        seq: u64,
+        /// Capture timestamp, microseconds since the cluster epoch.
+        captured_micros: u64,
+        /// Frame payload (synthetic 3D data).
+        payload: Bytes,
+    },
+    /// Graceful end of the whole connection from this peer.
+    Bye,
+    /// End of one stream: the sender will never transmit another frame of
+    /// `stream` on this connection. Cascades along the stream's multicast
+    /// tree, which is acyclic — unlike the site-level connection graph, so
+    /// per-stream termination cannot deadlock where a per-connection
+    /// handshake would.
+    End {
+        /// The finished stream.
+        stream: StreamId,
+    },
+}
+
+/// Error produced while decoding a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeded [`MAX_MESSAGE_BYTES`].
+    Oversized {
+        /// The claimed message size.
+        claimed: usize,
+    },
+    /// The message tag is unknown.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The message body was shorter than its fields require.
+    Truncated,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { claimed } => {
+                write!(f, "message of {claimed} bytes exceeds limit")
+            }
+            WireError::UnknownTag { tag } => write!(f, "unknown message tag {tag}"),
+            WireError::Truncated => write!(f, "message body truncated"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes `message` onto the end of `dst`.
+pub fn encode(message: &Message, dst: &mut BytesMut) {
+    match message {
+        Message::Hello { site } => {
+            dst.put_u32_le(1 + 4);
+            dst.put_u8(TAG_HELLO);
+            dst.put_u32_le(site.index() as u32);
+        }
+        Message::Frame {
+            stream,
+            seq,
+            captured_micros,
+            payload,
+        } => {
+            let body = 1 + 4 + 4 + 8 + 8 + 4 + payload.len();
+            dst.put_u32_le(body as u32);
+            dst.put_u8(TAG_FRAME);
+            dst.put_u32_le(stream.origin().index() as u32);
+            dst.put_u32_le(stream.local_index());
+            dst.put_u64_le(*seq);
+            dst.put_u64_le(*captured_micros);
+            dst.put_u32_le(payload.len() as u32);
+            dst.put_slice(payload);
+        }
+        Message::Bye => {
+            dst.put_u32_le(1);
+            dst.put_u8(TAG_BYE);
+        }
+        Message::End { stream } => {
+            dst.put_u32_le(1 + 4 + 4);
+            dst.put_u8(TAG_END);
+            dst.put_u32_le(stream.origin().index() as u32);
+            dst.put_u32_le(stream.local_index());
+        }
+    }
+}
+
+/// Attempts to decode one complete message from the front of `src`.
+///
+/// Returns `Ok(None)` when more bytes are needed; consumed bytes are
+/// removed from `src` only when a full message was decoded.
+///
+/// # Errors
+///
+/// Returns an error on oversized lengths, unknown tags, or truncated
+/// bodies (the connection should then be dropped).
+pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
+    if src.len() < 4 {
+        return Ok(None);
+    }
+    let length = u32::from_le_bytes([src[0], src[1], src[2], src[3]]) as usize;
+    if length > MAX_MESSAGE_BYTES {
+        return Err(WireError::Oversized { claimed: length });
+    }
+    if src.len() < 4 + length {
+        return Ok(None);
+    }
+    src.advance(4);
+    let mut body = src.split_to(length);
+    if body.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    let tag = body.get_u8();
+    match tag {
+        TAG_HELLO => {
+            if body.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            let site = SiteId::new(body.get_u32_le());
+            Ok(Some(Message::Hello { site }))
+        }
+        TAG_FRAME => {
+            if body.len() < 4 + 4 + 8 + 8 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let origin = SiteId::new(body.get_u32_le());
+            let local = body.get_u32_le();
+            let seq = body.get_u64_le();
+            let captured_micros = body.get_u64_le();
+            let payload_len = body.get_u32_le() as usize;
+            if body.len() < payload_len {
+                return Err(WireError::Truncated);
+            }
+            let payload = body.split_to(payload_len).freeze();
+            Ok(Some(Message::Frame {
+                stream: StreamId::new(origin, local),
+                seq,
+                captured_micros,
+                payload,
+            }))
+        }
+        TAG_BYE => Ok(Some(Message::Bye)),
+        TAG_END => {
+            if body.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            let origin = SiteId::new(body.get_u32_le());
+            let local = body.get_u32_le();
+            Ok(Some(Message::End {
+                stream: StreamId::new(origin, local),
+            }))
+        }
+        other => Err(WireError::UnknownTag { tag: other }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let mut buf = BytesMut::new();
+        encode(&msg, &mut buf);
+        let decoded = decode(&mut buf).expect("decodes").expect("complete");
+        assert_eq!(decoded, msg);
+        assert!(buf.is_empty(), "decoder must consume the full message");
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip(Message::Hello {
+            site: SiteId::new(7),
+        });
+    }
+
+    #[test]
+    fn bye_roundtrip() {
+        roundtrip(Message::Bye);
+    }
+
+    #[test]
+    fn end_roundtrip() {
+        roundtrip(Message::End {
+            stream: StreamId::new(SiteId::new(3), 11),
+        });
+    }
+
+    #[test]
+    fn truncated_end_body_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(5);
+        buf.put_u8(TAG_END);
+        buf.put_u32_le(0); // missing the local index
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        roundtrip(Message::Frame {
+            stream: StreamId::new(SiteId::new(2), 5),
+            seq: 42,
+            captured_micros: 123_456_789,
+            payload: Bytes::from_static(b"synthetic 3d points"),
+        });
+    }
+
+    #[test]
+    fn empty_payload_frame_roundtrip() {
+        roundtrip(Message::Frame {
+            stream: StreamId::new(SiteId::new(0), 0),
+            seq: 0,
+            captured_micros: 0,
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn incremental_decoding_waits_for_full_message() {
+        let mut full = BytesMut::new();
+        encode(
+            &Message::Frame {
+                stream: StreamId::new(SiteId::new(1), 2),
+                seq: 9,
+                captured_micros: 77,
+                payload: Bytes::from_static(&[0xAB; 100]),
+            },
+            &mut full,
+        );
+        let mut partial = BytesMut::new();
+        for (i, &b) in full.iter().enumerate() {
+            partial.put_u8(b);
+            let result = decode(&mut partial).expect("no error");
+            if i + 1 < full.len() {
+                assert!(result.is_none(), "decoded early at byte {i}");
+            } else {
+                assert!(result.is_some(), "failed to decode complete message");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_messages_decode_in_order() {
+        let mut buf = BytesMut::new();
+        encode(&Message::Hello { site: SiteId::new(1) }, &mut buf);
+        encode(&Message::Bye, &mut buf);
+        assert_eq!(
+            decode(&mut buf).unwrap(),
+            Some(Message::Hello { site: SiteId::new(1) })
+        );
+        assert_eq!(decode(&mut buf).unwrap(), Some(Message::Bye));
+        assert_eq!(decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le((MAX_MESSAGE_BYTES + 1) as u32);
+        buf.put_u8(TAG_BYE);
+        assert!(matches!(
+            decode(&mut buf),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u8(99);
+        assert_eq!(decode(&mut buf), Err(WireError::UnknownTag { tag: 99 }));
+    }
+
+    #[test]
+    fn truncated_frame_body_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_u8(TAG_FRAME);
+        buf.put_u8(0); // far too short for a frame header
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frame_payload_length_is_validated() {
+        let mut buf = BytesMut::new();
+        // Claim a 10-byte payload but provide none.
+        let body_len = 1 + 4 + 4 + 8 + 8 + 4;
+        buf.put_u32_le(body_len as u32);
+        buf.put_u8(TAG_FRAME);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u32_le(10);
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,406 @@
+//! CO-RJ: the correlation-aware extension of Random Join (paper
+//! Section 4.4).
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use teeve_types::SiteId;
+
+use super::ConstructionAlgorithm;
+use crate::join::ForestState;
+use crate::outcome::ConstructionOutcome;
+use crate::problem::ProblemInstance;
+
+/// **CO-RJ** — Random Join with criticality-based victim swapping.
+///
+/// Streams from one site are semantically correlated (the same scene from
+/// different angles), so losing one of many streams from a site degrades a
+/// scene, while losing a site's *only* subscribed stream loses the scene
+/// entirely. CO-RJ quantifies this with the criticality
+/// `Q_{i→j} = 1 / u_{i→j}` of node `i` losing a stream from site `j`.
+///
+/// Whenever a request `r_i(s_j^p)` is rejected due to tree saturation,
+/// CO-RJ looks for a *victim*: a less critical stream `s_k^q` such that
+///
+/// 1. `Q_{i→k} < Q_{i→j}` (the victim is less critical to lose),
+/// 2. `RP_i` is a **leaf** in the victim's tree `T_k` (detaching it harms
+///    nobody else),
+/// 3. `RP_i`'s parent `RP_h` in `T_k` is already a member of the target
+///    tree `T_j` (it holds the wanted stream), and
+/// 4. connecting `RP_i` under `RP_h` in `T_j` stays within `B_cost`.
+///
+/// If such a victim exists, the edge `h → i` is moved from `T_k` to `T_j`:
+/// `RP_i` loses `s_k^q` instead of `s_j^p`, at zero degree cost (`RP_h`
+/// trades one child edge for another).
+///
+/// Among multiple eligible victims the one with the smallest criticality
+/// (largest `u_{i→k}`) is chosen, ties broken by group index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorrelatedRandomJoin;
+
+impl ConstructionAlgorithm for CorrelatedRandomJoin {
+    fn name(&self) -> &str {
+        "CO-RJ"
+    }
+
+    fn construct(
+        &self,
+        problem: &ProblemInstance,
+        rng: &mut dyn RngCore,
+    ) -> ConstructionOutcome {
+        let mut state = ForestState::new(problem);
+        let mut requests: Vec<(usize, SiteId)> = problem
+            .groups()
+            .iter()
+            .enumerate()
+            .flat_map(|(g, group)| group.subscribers().iter().map(move |&s| (g, s)))
+            .collect();
+        requests.shuffle(rng);
+        for (g, requester) in requests {
+            if state.try_join(g, requester).is_rejected() {
+                // The swap trades one existing edge h→i for another, so it
+                // leaves both d_in(i) and d_out(h) unchanged — it is a
+                // legal recovery for *either* rejection cause (inbound
+                // saturation or tree saturation).
+                let _ = try_swap(&mut state, g, requester);
+            }
+        }
+        ConstructionOutcome::new(self.name(), problem, state.into_forest())
+    }
+}
+
+/// Attempts the CO-RJ victim swap for a saturated request. Returns true if
+/// a swap was performed (the requester now receives the target stream and
+/// has given up a less critical one).
+pub(crate) fn try_swap(
+    state: &mut ForestState<'_>,
+    target_group: usize,
+    requester: SiteId,
+) -> bool {
+    let problem = state.problem();
+    let target_source = state.tree(target_group).source();
+    let u_target = problem.request_count(requester, target_source);
+    if u_target == 0 {
+        return false;
+    }
+    let bound = problem.cost_bound();
+
+    // Maximize u_{i→k} (minimize criticality), tie-break by group index.
+    let mut best: Option<(u32, usize)> = None;
+    for k_idx in 0..problem.group_count() {
+        if k_idx == target_group {
+            continue;
+        }
+        let victim_tree = state.tree(k_idx);
+        if !victim_tree.is_member(requester) || victim_tree.source() == requester {
+            continue;
+        }
+        // Condition 2: the requester must be a leaf in the victim tree.
+        if !victim_tree.is_leaf(requester) {
+            continue;
+        }
+        // Condition 1: strictly smaller criticality.
+        let u_victim = problem.request_count(requester, victim_tree.source());
+        if u_victim <= u_target {
+            continue;
+        }
+        let parent = victim_tree
+            .parent_of(requester)
+            .expect("a non-source member has a parent");
+        // Condition 3: the parent already holds the target stream.
+        let target_tree = state.tree(target_group);
+        let Some(parent_cost) = target_tree.cost_from_source(parent) else {
+            continue;
+        };
+        // Condition 4: the new path respects the latency bound.
+        let path = parent_cost.saturating_add(problem.cost(parent, requester));
+        if !(path < bound) {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((best_u, best_idx)) => {
+                (u_victim, std::cmp::Reverse(k_idx))
+                    > (best_u, std::cmp::Reverse(best_idx))
+            }
+        };
+        if better {
+            best = Some((u_victim, k_idx));
+        }
+    }
+
+    let Some((_, victim_idx)) = best else {
+        return false;
+    };
+    let parent = state
+        .tree(victim_idx)
+        .parent_of(requester)
+        .expect("victim membership verified above");
+    let edge = problem.cost(parent, requester);
+    state.detach_leaf(victim_idx, requester);
+    state.attach(target_group, requester, parent, edge);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::contended_problem;
+    use super::super::RandomJoin;
+    use super::*;
+    use crate::problem::NodeCapacity;
+    use crate::validate::validate_forest;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_types::{CostMatrix, CostMs, Degree, StreamId};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    /// Reproduces the paper's **Figure 7** worked example.
+    ///
+    /// Sites A=0 … G=6. E subscribes to two streams from A (`s_a^1`,
+    /// `s_a^2`) and four from G (`s_g^6..s_g^9`), so
+    /// `Q_{E→G} = 1/4 < Q_{E→A} = 1/2`. E has joined the tree of `s_g^8`
+    /// as a leaf under F; F is already in the tree of `s_a^2`; connecting
+    /// E to F there costs 9 < 10. When `s_a^2` is saturated for E, CO-RJ
+    /// must remove F→E from the `s_g^8` tree and add F→E in the `s_a^2`
+    /// tree.
+    #[test]
+    fn figure7_example_swaps_streams() {
+        let (a, d, e, f, g) = (site(0), site(3), site(4), site(5), site(6));
+        let costs = CostMatrix::from_fn(7, |i, j| {
+            let pair = (i.min(j), i.max(j));
+            let ms = match pair {
+                (0, 3) => 4, // A-D
+                (3, 5) => 3, // D-F
+                (4, 5) => 2, // F-E  (total A→F→E = 4+3+2 = 9 < 10)
+                (5, 6) => 3, // G-F
+                _ => 20,
+            };
+            CostMs::new(ms)
+        });
+        let problem = ProblemInstance::builder(costs, CostMs::new(10))
+            .symmetric_capacities(Degree::new(20))
+            .streams_per_site(&[2, 0, 0, 0, 0, 0, 4])
+            // E's subscription: 2 streams from A, 4 from G.
+            .subscribe(e, stream(0, 0))
+            .subscribe(e, stream(0, 1)) // s_a^2
+            .subscribe(e, stream(6, 0))
+            .subscribe(e, stream(6, 1))
+            .subscribe(e, stream(6, 2)) // s_g^8
+            .subscribe(e, stream(6, 3))
+            // Enough other subscribers so F and D legitimately join trees.
+            .subscribe(d, stream(0, 1))
+            .subscribe(f, stream(0, 1))
+            .subscribe(f, stream(6, 2))
+            .build()
+            .unwrap();
+
+        let target_group = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(0, 1))
+            .unwrap();
+        let victim_group = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(6, 2))
+            .unwrap();
+
+        let mut state = ForestState::new(&problem);
+        // Tree of s_a^2: A → D → F (F's path cost 7).
+        state.attach(target_group, d, a, CostMs::new(4));
+        state.attach(target_group, f, d, CostMs::new(3));
+        // Tree of s_g^8: G → F → E (E is a leaf under F).
+        state.attach(victim_group, f, g, CostMs::new(3));
+        state.attach(victim_group, e, f, CostMs::new(2));
+
+        let din_e = state.in_degree(e);
+        let dout_f = state.out_degree(f);
+
+        assert!(try_swap(&mut state, target_group, e), "swap must succeed");
+
+        // E now receives s_a^2 through F at cost 7 + 2 = 9 …
+        let target_tree = state.tree(target_group);
+        assert!(target_tree.is_member(e));
+        assert_eq!(target_tree.parent_of(e), Some(f));
+        assert_eq!(target_tree.cost_from_source(e), Some(CostMs::new(9)));
+        // … and has lost s_g^8.
+        assert!(!state.tree(victim_group).is_member(e));
+        // Degrees are unchanged: F traded one child edge for another.
+        assert_eq!(state.in_degree(e), din_e);
+        assert_eq!(state.out_degree(f), dout_f);
+    }
+
+    #[test]
+    fn swap_refuses_more_critical_victims() {
+        // E subscribes 1 stream from A and 1 from G: equal criticality, so
+        // condition (1) fails and no swap happens.
+        let (a, e, f, g) = (site(0), site(1), site(2), site(3));
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(2));
+        let problem = ProblemInstance::builder(costs, CostMs::new(100))
+            .symmetric_capacities(Degree::new(10))
+            .streams_per_site(&[1, 0, 0, 1])
+            .subscribe(e, stream(0, 0))
+            .subscribe(e, stream(3, 0))
+            .subscribe(f, stream(0, 0))
+            .subscribe(f, stream(3, 0))
+            .build()
+            .unwrap();
+        let target = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(0, 0))
+            .unwrap();
+        let victim = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(3, 0))
+            .unwrap();
+        let mut state = ForestState::new(&problem);
+        state.attach(target, f, a, CostMs::new(2));
+        state.attach(victim, f, g, CostMs::new(2));
+        state.attach(victim, e, f, CostMs::new(2));
+        assert!(!try_swap(&mut state, target, e));
+        assert!(state.tree(victim).is_member(e), "victim tree untouched");
+    }
+
+    #[test]
+    fn swap_refuses_non_leaf_victims() {
+        // E relays the victim stream to another site, so detaching it would
+        // orphan a subtree; condition (2) must reject the swap.
+        let (a, e, f, g, h) = (site(0), site(1), site(2), site(3), site(4));
+        let costs = CostMatrix::from_fn(5, |_, _| CostMs::new(2));
+        let problem = ProblemInstance::builder(costs, CostMs::new(100))
+            .symmetric_capacities(Degree::new(10))
+            .streams_per_site(&[1, 0, 0, 4, 0])
+            .subscribe(e, stream(0, 0))
+            .subscribe(e, stream(3, 0))
+            .subscribe(e, stream(3, 1))
+            .subscribe(e, stream(3, 2))
+            .subscribe(e, stream(3, 3))
+            .subscribe(f, stream(0, 0))
+            .subscribe(f, stream(3, 0))
+            .subscribe(h, stream(3, 0))
+            .build()
+            .unwrap();
+        let target = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(0, 0))
+            .unwrap();
+        let victim = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(3, 0))
+            .unwrap();
+        let mut state = ForestState::new(&problem);
+        state.attach(target, f, a, CostMs::new(2));
+        state.attach(victim, f, g, CostMs::new(2));
+        state.attach(victim, e, f, CostMs::new(2));
+        state.attach(victim, h, e, CostMs::new(2)); // E now relays to H
+        assert!(!try_swap(&mut state, target, e));
+    }
+
+    #[test]
+    fn swap_respects_latency_bound() {
+        let (a, d, e, f, g) = (site(0), site(3), site(4), site(5), site(6));
+        let costs = CostMatrix::from_fn(7, |i, j| {
+            let pair = (i.min(j), i.max(j));
+            let ms = match pair {
+                (0, 3) => 4,
+                (3, 5) => 3,
+                (4, 5) => 4, // F-E edge too expensive: 4+3+4 = 11 > 10
+                (5, 6) => 3,
+                _ => 20,
+            };
+            CostMs::new(ms)
+        });
+        let problem = ProblemInstance::builder(costs, CostMs::new(10))
+            .symmetric_capacities(Degree::new(20))
+            .streams_per_site(&[1, 0, 0, 0, 0, 0, 4])
+            .subscribe(e, stream(0, 0))
+            .subscribe(e, stream(6, 0))
+            .subscribe(e, stream(6, 1))
+            .subscribe(e, stream(6, 2))
+            .subscribe(e, stream(6, 3))
+            .subscribe(d, stream(0, 0))
+            .subscribe(f, stream(0, 0))
+            .subscribe(f, stream(6, 2))
+            .build()
+            .unwrap();
+        let target = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(0, 0))
+            .unwrap();
+        let victim = problem
+            .groups()
+            .iter()
+            .position(|grp| grp.stream() == stream(6, 2))
+            .unwrap();
+        let mut state = ForestState::new(&problem);
+        state.attach(target, d, a, CostMs::new(4));
+        state.attach(target, f, d, CostMs::new(3));
+        state.attach(victim, f, g, CostMs::new(3));
+        state.attach(victim, e, f, CostMs::new(4));
+        assert!(!try_swap(&mut state, target, e), "bound must be enforced");
+    }
+
+    #[test]
+    fn corj_produces_valid_forests() {
+        let problem = contended_problem();
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let outcome = CorrelatedRandomJoin.construct(&problem, &mut rng);
+            validate_forest(&problem, outcome.forest()).expect("invariants hold");
+        }
+    }
+
+    /// CO-RJ's whole purpose: on workloads with skewed per-site-pair
+    /// subscription counts, its criticality-weighted rejection `X′` should
+    /// be no worse than plain RJ's, in expectation.
+    #[test]
+    fn corj_improves_weighted_rejection_over_rj() {
+        // 5 sites; each site subscribes heavily to its "neighbor" site and
+        // sparsely (one stream) to the others; capacity is tight.
+        let costs = CostMatrix::from_fn(5, |i, j| CostMs::new(2 + ((i + 2 * j) % 3) as u32));
+        let mut b = ProblemInstance::builder(costs, CostMs::new(20))
+            .capacities(vec![NodeCapacity::symmetric(Degree::new(6)); 5])
+            .streams_per_site(&[6, 6, 6, 6, 6]);
+        for sub in 0..5u32 {
+            let favorite = (sub + 1) % 5;
+            for origin in 0..5u32 {
+                if origin == sub {
+                    continue;
+                }
+                let count = if origin == favorite { 5 } else { 1 };
+                for q in 0..count {
+                    b = b.subscribe(site(sub), stream(origin, q));
+                }
+            }
+        }
+        let problem = b.build().unwrap();
+
+        let (mut rj_total, mut corj_total) = (0.0, 0.0);
+        for seed in 0..40 {
+            rj_total += RandomJoin
+                .construct(&problem, &mut ChaCha8Rng::seed_from_u64(seed))
+                .metrics()
+                .weighted_rejection();
+            corj_total += CorrelatedRandomJoin
+                .construct(&problem, &mut ChaCha8Rng::seed_from_u64(seed))
+                .metrics()
+                .weighted_rejection();
+        }
+        let (rj, corj) = (rj_total / 40.0, corj_total / 40.0);
+        assert!(
+            corj <= rj + 1e-9,
+            "CO-RJ X' ({corj:.4}) should not exceed RJ X' ({rj:.4})"
+        );
+    }
+}

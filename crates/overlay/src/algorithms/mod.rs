@@ -1,0 +1,246 @@
+//! The spectrum of forest-construction heuristics (paper Section 4.3).
+//!
+//! All algorithms share the same inner loop — the basic node join of
+//! Section 4.3.1 — and differ only in the *order* in which the requests of
+//! the forest are processed:
+//!
+//! * the tree-based algorithms ([`LargestTreeFirst`], [`SmallestTreeFirst`],
+//!   [`MinimumCapacityTreeFirst`]) build trees one by one (granularity 1);
+//! * [`GranLtf`] builds `g` trees at a time (the granularity spectrum of
+//!   Section 5.3);
+//! * [`RandomJoin`] randomizes all requests of the whole forest
+//!   (granularity `F`);
+//! * [`CorrelatedRandomJoin`] (CO-RJ, Section 4.4) extends RJ with
+//!   criticality-based victim swapping on saturation.
+
+mod corj;
+mod granularity;
+mod tree_based;
+
+pub use corj::CorrelatedRandomJoin;
+pub(crate) use corj::try_swap as corj_try_swap;
+pub use granularity::GranLtf;
+pub use tree_based::{LargestTreeFirst, MinimumCapacityTreeFirst, SmallestTreeFirst};
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use teeve_types::SiteId;
+
+use crate::join::ForestState;
+use crate::outcome::ConstructionOutcome;
+use crate::problem::ProblemInstance;
+
+/// A static overlay construction algorithm: consumes a problem instance and
+/// produces a dissemination forest plus metrics.
+///
+/// Algorithms take the RNG as `&mut dyn RngCore` so they can be used as
+/// trait objects (e.g. to sweep a list of algorithms in the benchmark
+/// harness).
+pub trait ConstructionAlgorithm {
+    /// A short, stable display name ("RJ", "LTF", …).
+    fn name(&self) -> &str;
+
+    /// Runs the algorithm. Within each batch of trees the request order is
+    /// randomized with `rng`, as the paper prescribes for every heuristic.
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore)
+        -> ConstructionOutcome;
+}
+
+/// Shared engine: processes the given batches of multicast groups in order;
+/// within a batch, all requests of all its groups are shuffled together and
+/// joined one by one.
+///
+/// * Tree-based algorithms pass one group per batch.
+/// * Gran-LTF passes `g` groups per batch.
+/// * RJ passes a single batch containing every group.
+pub(crate) fn construct_in_batches(
+    name: &str,
+    problem: &ProblemInstance,
+    batches: &[Vec<usize>],
+    rng: &mut dyn RngCore,
+) -> ConstructionOutcome {
+    let mut state = ForestState::new(problem);
+    for batch in batches {
+        let mut requests: Vec<(usize, SiteId)> = batch
+            .iter()
+            .flat_map(|&g| {
+                problem.groups()[g]
+                    .subscribers()
+                    .iter()
+                    .map(move |&s| (g, s))
+            })
+            .collect();
+        requests.shuffle(rng);
+        for (g, s) in requests {
+            let _ = state.try_join(g, s);
+        }
+    }
+    ConstructionOutcome::new(name, problem, state.into_forest())
+}
+
+/// **Random Join (RJ)** — the paper's randomized algorithm (Section 4.3.3):
+/// all requests of the whole forest are shuffled together, with no
+/// prioritization of any tree.
+///
+/// The paper's headline finding is that this simplest algorithm generally
+/// achieves the lowest rejection ratio, because randomizing across trees
+/// load-balances the shared per-node bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_overlay::{ConstructionAlgorithm, ProblemInstance, RandomJoin};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let problem = ProblemInstance::builder(costs, CostMs::new(50))
+///     .symmetric_capacities(Degree::new(4))
+///     .streams_per_site(&[1, 1, 1])
+///     .subscribe(SiteId::new(0), StreamId::new(SiteId::new(1), 0))
+///     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(1), 0))
+///     .build()?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let outcome = RandomJoin::default().construct(&problem, &mut rng);
+/// assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+/// # Ok::<(), teeve_overlay::ProblemError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomJoin;
+
+impl ConstructionAlgorithm for RandomJoin {
+    fn name(&self) -> &str {
+        "RJ"
+    }
+
+    fn construct(
+        &self,
+        problem: &ProblemInstance,
+        rng: &mut dyn RngCore,
+    ) -> ConstructionOutcome {
+        let all: Vec<usize> = (0..problem.group_count()).collect();
+        construct_in_batches(self.name(), problem, std::slice::from_ref(&all), rng)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+
+    use crate::problem::ProblemInstance;
+
+    /// A small but contended instance: 4 sites, 3 streams each, everyone
+    /// subscribes to everything, capacities too small to satisfy all.
+    pub fn contended_problem() -> ProblemInstance {
+        let costs = CostMatrix::from_fn(4, |i, j| CostMs::new(2 + ((i + j) % 3) as u32));
+        let mut b = ProblemInstance::builder(costs, CostMs::new(30))
+            .symmetric_capacities(Degree::new(5))
+            .streams_per_site(&[3, 3, 3, 3]);
+        for sub in 0..4u32 {
+            for origin in 0..4u32 {
+                if sub == origin {
+                    continue;
+                }
+                for q in 0..3u32 {
+                    b = b.subscribe(SiteId::new(sub), StreamId::new(SiteId::new(origin), q));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// A loose instance every algorithm should fully satisfy.
+    pub fn easy_problem() -> ProblemInstance {
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        let mut b = ProblemInstance::builder(costs, CostMs::new(100))
+            .symmetric_capacities(Degree::new(30))
+            .streams_per_site(&[2, 2, 2, 2]);
+        for sub in 0..4u32 {
+            for origin in 0..4u32 {
+                if sub == origin {
+                    continue;
+                }
+                b = b.subscribe(SiteId::new(sub), StreamId::new(SiteId::new(origin), 0));
+            }
+        }
+        b.build().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{contended_problem, easy_problem};
+    use super::*;
+    use crate::validate::validate_forest;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rj_satisfies_easy_problems_completely() {
+        let problem = easy_problem();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+        assert_eq!(outcome.metrics().accepted_requests, problem.total_requests());
+    }
+
+    #[test]
+    fn rj_output_is_always_valid() {
+        let problem = contended_problem();
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let outcome = RandomJoin.construct(&problem, &mut rng);
+            validate_forest(&problem, outcome.forest()).expect("invariants hold");
+        }
+    }
+
+    #[test]
+    fn rj_is_deterministic_given_a_seed() {
+        let problem = contended_problem();
+        let a = RandomJoin.construct(&problem, &mut ChaCha8Rng::seed_from_u64(5));
+        let b = RandomJoin.construct(&problem, &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(a.forest(), b.forest());
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn rj_rejects_some_requests_under_contention() {
+        let problem = contended_problem();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        assert!(outcome.metrics().rejected_requests > 0);
+        assert!(outcome.metrics().rejection_ratio() > 0.0);
+        assert!(outcome.metrics().rejection_ratio() < 1.0);
+    }
+
+    #[test]
+    fn accepted_plus_rejected_covers_all_requests() {
+        let problem = contended_problem();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        let accepted = outcome.accepted_requests(&problem).count();
+        let rejected = outcome.rejected_requests(&problem).count();
+        assert_eq!(accepted + rejected, problem.total_requests());
+        assert_eq!(accepted, outcome.metrics().accepted_requests);
+        assert_eq!(rejected, outcome.metrics().rejected_requests);
+    }
+
+    #[test]
+    fn algorithms_are_object_safe() {
+        let algos: Vec<Box<dyn ConstructionAlgorithm>> = vec![
+            Box::new(RandomJoin),
+            Box::new(LargestTreeFirst),
+            Box::new(SmallestTreeFirst),
+            Box::new(MinimumCapacityTreeFirst),
+            Box::new(GranLtf::new(2)),
+            Box::new(CorrelatedRandomJoin::default()),
+        ];
+        let problem = easy_problem();
+        for algo in &algos {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let outcome = algo.construct(&problem, &mut rng);
+            assert_eq!(outcome.algorithm(), algo.name());
+            validate_forest(&problem, outcome.forest()).expect("valid forest");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The tree-based algorithms: LTF, STF, and MCTF (paper Section 4.3.2).
+//!
+//! All three construct the multicast trees *one by one* — only after all
+//! requests of one tree are processed does construction move to the next —
+//! and differ in the order trees are taken.
+
+use rand::RngCore;
+
+use super::{construct_in_batches, ConstructionAlgorithm};
+use crate::outcome::ConstructionOutcome;
+use crate::problem::ProblemInstance;
+
+/// Sorts group indices by a key and wraps each in its own single-tree batch.
+fn singleton_batches_by<K: Ord>(
+    problem: &ProblemInstance,
+    key: impl Fn(usize) -> K,
+) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..problem.group_count()).collect();
+    // Stable sort + stream-ordered groups keep construction deterministic.
+    order.sort_by_key(|&g| key(g));
+    order.into_iter().map(|g| vec![g]).collect()
+}
+
+/// Returns the aggregate forwarding capacity of group `g`:
+/// `Σ_{v ∈ G(s) ∪ {source}} (O_v − m_v)`, where `m_v` is the number of
+/// streams originating at `v` subscribed by at least one other RP.
+fn aggregate_forwarding_capacity(problem: &ProblemInstance, g: usize) -> i64 {
+    let group = &problem.groups()[g];
+    group
+        .subscribers()
+        .iter()
+        .copied()
+        .chain(std::iter::once(group.source()))
+        .map(|v| {
+            i64::from(problem.capacity(v).outbound.count())
+                - i64::from(problem.subscribed_local_streams(v))
+        })
+        .sum()
+}
+
+/// **Largest Tree First (LTF)**: trees are constructed from the largest
+/// multicast group to the smallest.
+///
+/// The intuition: if the last few trees cannot be constructed due to
+/// saturation, only the smallest groups' requests are lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LargestTreeFirst;
+
+impl ConstructionAlgorithm for LargestTreeFirst {
+    fn name(&self) -> &str {
+        "LTF"
+    }
+
+    fn construct(
+        &self,
+        problem: &ProblemInstance,
+        rng: &mut dyn RngCore,
+    ) -> ConstructionOutcome {
+        let batches =
+            singleton_batches_by(problem, |g| std::cmp::Reverse(problem.groups()[g].len()));
+        construct_in_batches(self.name(), problem, &batches, rng)
+    }
+}
+
+/// **Smallest Tree First (STF)**: the reverse of LTF, studied as a control
+/// for the hypothesis that LTF should beat it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmallestTreeFirst;
+
+impl ConstructionAlgorithm for SmallestTreeFirst {
+    fn name(&self) -> &str {
+        "STF"
+    }
+
+    fn construct(
+        &self,
+        problem: &ProblemInstance,
+        rng: &mut dyn RngCore,
+    ) -> ConstructionOutcome {
+        let batches = singleton_batches_by(problem, |g| problem.groups()[g].len());
+        construct_in_batches(self.name(), problem, &batches, rng)
+    }
+}
+
+/// **Minimum Capacity Tree First (MCTF)**: trees are ordered by ascending
+/// aggregate forwarding capacity — the "hardest" trees (least spare
+/// capacity among their members) are built first, while resources remain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimumCapacityTreeFirst;
+
+impl ConstructionAlgorithm for MinimumCapacityTreeFirst {
+    fn name(&self) -> &str {
+        "MCTF"
+    }
+
+    fn construct(
+        &self,
+        problem: &ProblemInstance,
+        rng: &mut dyn RngCore,
+    ) -> ConstructionOutcome {
+        let batches =
+            singleton_batches_by(problem, |g| aggregate_forwarding_capacity(problem, g));
+        construct_in_batches(self.name(), problem, &batches, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{contended_problem, easy_problem};
+    use super::*;
+    use crate::validate::validate_forest;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn mean_rejected_requests(
+        algo: &dyn ConstructionAlgorithm,
+        problem: &ProblemInstance,
+        seeds: std::ops::Range<u64>,
+    ) -> f64 {
+        let mut total = 0.0;
+        let len = (seeds.end - seeds.start) as f64;
+        for seed in seeds {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            total += algo.construct(problem, &mut rng).metrics().rejected_requests as f64;
+        }
+        total / len
+    }
+
+    #[test]
+    fn all_tree_based_algorithms_produce_valid_forests() {
+        let problem = contended_problem();
+        let algos: [&dyn ConstructionAlgorithm; 3] = [
+            &LargestTreeFirst,
+            &SmallestTreeFirst,
+            &MinimumCapacityTreeFirst,
+        ];
+        for algo in algos {
+            for seed in 0..5 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let outcome = algo.construct(&problem, &mut rng);
+                validate_forest(&problem, outcome.forest())
+                    .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_based_algorithms_satisfy_easy_problems() {
+        let problem = easy_problem();
+        for algo in [
+            &LargestTreeFirst as &dyn ConstructionAlgorithm,
+            &SmallestTreeFirst,
+            &MinimumCapacityTreeFirst,
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let outcome = algo.construct(&problem, &mut rng);
+            assert_eq!(
+                outcome.metrics().rejection_ratio(),
+                0.0,
+                "{} rejected requests on an easy problem",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_the_paper_acronyms() {
+        assert_eq!(LargestTreeFirst.name(), "LTF");
+        assert_eq!(SmallestTreeFirst.name(), "STF");
+        assert_eq!(MinimumCapacityTreeFirst.name(), "MCTF");
+    }
+
+    /// LTF and STF are genuinely different algorithms: on a contended
+    /// instance with heterogeneous group sizes, the tree construction
+    /// order changes the outcome. (Whether LTF *beats* STF is the paper's
+    /// empirical Section 5.2 claim, evaluated in the fig8 harness over 200
+    /// workload samples — with the reservation mechanism active, tiny
+    /// hand-built instances do not reliably show the gap.)
+    #[test]
+    fn tree_order_changes_outcomes() {
+        // A problem with *heterogeneous* group sizes, where order matters:
+        // popular streams (large groups) and niche streams (single-sub).
+        use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+        let costs = CostMatrix::from_fn(6, |i, j| CostMs::new(2 + ((i * j) % 4) as u32));
+        let mut b = crate::problem::ProblemInstance::builder(costs, CostMs::new(25))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[4, 4, 4, 4, 4, 4]);
+        for origin in 0..6u32 {
+            for q in 0..4u32 {
+                let stream = StreamId::new(SiteId::new(origin), q);
+                for sub in 0..6u32 {
+                    if sub == origin {
+                        continue;
+                    }
+                    // Stream 0 is popular (all subscribe); stream q>0 only
+                    // reaches subscriber (origin+q).
+                    if q == 0 || sub == (origin + q) % 6 {
+                        b = b.subscribe(SiteId::new(sub), stream);
+                    }
+                }
+            }
+        }
+        let problem = b.build().unwrap();
+        let ltf = mean_rejected_requests(&LargestTreeFirst, &problem, 0..40);
+        let stf = mean_rejected_requests(&SmallestTreeFirst, &problem, 0..40);
+        assert!(
+            (ltf - stf).abs() > 1e-9,
+            "expected LTF ({ltf:.2} rejected) to differ from STF ({stf:.2})"
+        );
+    }
+
+    #[test]
+    fn mctf_orders_by_aggregate_capacity() {
+        let problem = contended_problem();
+        // Sanity: the helper is finite and consistent.
+        for g in 0..problem.group_count() {
+            let cap = super::aggregate_forwarding_capacity(&problem, g);
+            // 4 members with O=5, m=3 each: (5-3) * 4 = 8.
+            assert_eq!(cap, 8);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The conventional **all-to-all unicast** baseline the paper abandons
+//! (Sections 1 and 5.4).
+//!
+//! Under unicast dissemination every subscriber is served directly by the
+//! stream's source: no relaying, every tree is a star. The source's
+//! out-degree must therefore carry *every* copy of each of its streams,
+//! which is exactly the burden Figure 10's "fraction used for relaying"
+//! shows the multicast overlay moving onto other nodes.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use teeve_types::SiteId;
+
+use crate::algorithms::ConstructionAlgorithm;
+use crate::forest::{Forest, MulticastTree};
+use crate::outcome::ConstructionOutcome;
+use crate::problem::ProblemInstance;
+
+/// The all-to-all unicast baseline: sources serve every accepted
+/// subscriber directly.
+///
+/// A request is accepted iff the source has spare out-degree, the
+/// subscriber spare in-degree, and the *direct* edge meets the latency
+/// bound. Requests are processed in a randomized order, like every
+/// algorithm in the paper, so saturation hits a random subset rather than
+/// a fixed one.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_overlay::{ConstructionAlgorithm, ProblemInstance, UnicastBaseline};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// // One source with out-degree 1 cannot serve two unicast subscribers…
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let problem = ProblemInstance::builder(costs, CostMs::new(50))
+///     .capacities(vec![
+///         teeve_overlay::NodeCapacity::symmetric(Degree::new(1)),
+///         teeve_overlay::NodeCapacity::symmetric(Degree::new(4)),
+///         teeve_overlay::NodeCapacity::symmetric(Degree::new(4)),
+///     ])
+///     .streams_per_site(&[1, 0, 0])
+///     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+///     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
+///     .build()?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let outcome = UnicastBaseline.construct(&problem, &mut rng);
+/// // …so unicast rejects one request that the overlay would relay.
+/// assert_eq!(outcome.metrics().rejected_requests, 1);
+/// # Ok::<(), teeve_overlay::ProblemError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnicastBaseline;
+
+impl ConstructionAlgorithm for UnicastBaseline {
+    fn name(&self) -> &str {
+        "Unicast"
+    }
+
+    fn construct(
+        &self,
+        problem: &ProblemInstance,
+        rng: &mut dyn RngCore,
+    ) -> ConstructionOutcome {
+        let n = problem.site_count();
+        let mut out_degree = vec![0u32; n];
+        let mut in_degree = vec![0u32; n];
+        let mut trees: Vec<MulticastTree> = problem
+            .groups()
+            .iter()
+            .map(|g| MulticastTree::new(g.stream(), n))
+            .collect();
+
+        let mut requests: Vec<(usize, SiteId)> = problem
+            .groups()
+            .iter()
+            .enumerate()
+            .flat_map(|(g, group)| group.subscribers().iter().map(move |&s| (g, s)))
+            .collect();
+        requests.shuffle(rng);
+
+        for (g, subscriber) in requests {
+            let source = problem.groups()[g].source();
+            let edge = problem.cost(source, subscriber);
+            let fits = out_degree[source.index()] < problem.capacity(source).outbound.count()
+                && in_degree[subscriber.index()] < problem.capacity(subscriber).inbound.count()
+                && edge < problem.cost_bound();
+            if fits {
+                out_degree[source.index()] += 1;
+                in_degree[subscriber.index()] += 1;
+                trees[g].attach(subscriber, source, edge);
+            }
+        }
+
+        ConstructionOutcome::new(self.name(), problem, Forest::new(trees))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::RandomJoin;
+    use crate::problem::NodeCapacity;
+    use crate::validate::validate_forest;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_types::{CostMatrix, CostMs, Degree, StreamId};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    /// Everyone subscribes to every stream of every other site.
+    fn dense_problem(n: u32, streams: u32, capacity: u32) -> ProblemInstance {
+        let costs = CostMatrix::from_fn(n as usize, |_, _| CostMs::new(5));
+        let mut b = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(capacity))
+            .streams_per_site(&vec![streams; n as usize]);
+        for sub in 0..n {
+            for origin in 0..n {
+                if sub != origin {
+                    for q in 0..streams {
+                        b = b.subscribe(site(sub), stream(origin, q));
+                    }
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unicast_trees_are_stars() {
+        let problem = dense_problem(4, 2, 20);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let outcome = UnicastBaseline.construct(&problem, &mut rng);
+        for tree in outcome.forest().trees() {
+            assert!(tree.depth() <= 1, "unicast must not relay");
+        }
+    }
+
+    #[test]
+    fn unicast_respects_all_invariants() {
+        let problem = dense_problem(5, 3, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let outcome = UnicastBaseline.construct(&problem, &mut rng);
+        assert!(validate_forest(&problem, outcome.forest()).is_ok());
+    }
+
+    #[test]
+    fn unicast_never_relays_so_sources_carry_everything() {
+        let problem = dense_problem(4, 2, 20);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let outcome = UnicastBaseline.construct(&problem, &mut rng);
+        for i in 0..4 {
+            assert_eq!(outcome.forest().relay_degree(site(i)), 0);
+        }
+    }
+
+    #[test]
+    fn multicast_beats_unicast_on_tight_sources() {
+        // A single publisher with out-degree 4 facing 3 streams × 4
+        // subscribers = 12 direct deliveries. Unicast can serve only 4;
+        // the overlay sends each stream once and lets the (amply
+        // provisioned) subscribers relay the rest.
+        let n = 5u32;
+        let costs = CostMatrix::from_fn(n as usize, |_, _| CostMs::new(5));
+        let mut b = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(
+                (0..n)
+                    .map(|i| NodeCapacity {
+                        inbound: Degree::new(10),
+                        outbound: Degree::new(if i == 0 { 4 } else { 12 }),
+                    })
+                    .collect(),
+            )
+            .streams_per_site(&[3, 0, 0, 0, 0]);
+        for sub in 1..n {
+            for q in 0..3 {
+                b = b.subscribe(site(sub), stream(0, q));
+            }
+        }
+        let problem = b.build().unwrap();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let unicast = UnicastBaseline.construct(&problem, &mut rng);
+        let multicast = RandomJoin.construct(&problem, &mut rng);
+        assert_eq!(unicast.metrics().rejected_requests, 12 - 4);
+        assert_eq!(multicast.metrics().rejected_requests, 0);
+        // The burden moved off the source: subscribers relay.
+        assert!((1..n).any(|i| multicast.forest().relay_degree(site(i)) > 0));
+    }
+
+    #[test]
+    fn unicast_respects_latency_bound() {
+        // Distant pair: direct edge exceeds the bound, request rejected.
+        let costs = CostMatrix::from_fn(3, |i, j| {
+            if (i, j) == (0, 2) || (i, j) == (2, 0) {
+                CostMs::new(90)
+            } else {
+                CostMs::new(5)
+            }
+        });
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(10))
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let outcome = UnicastBaseline.construct(&problem, &mut rng);
+        assert_eq!(outcome.metrics().rejected_requests, 1);
+        let tree = outcome.forest().tree_for(stream(0, 0)).unwrap();
+        assert!(tree.is_member(site(1)));
+        assert!(!tree.is_member(site(2)));
+    }
+}

@@ -1,0 +1,499 @@
+//! Incremental overlay maintenance — the dynamic counterpart of the static
+//! construction problem.
+//!
+//! The paper solves the *static* overlay construction problem and leaves
+//! live operation ("experiments of larger scales with real deployment") to
+//! future work. This module provides the natural next step: an
+//! [`OverlayManager`] that keeps a forest consistent while subscriptions
+//! come and go, without rebuilding from scratch:
+//!
+//! * **subscribe** — joins the requester into the stream's tree with the
+//!   same basic node join (and optional CO-RJ-style victim swapping);
+//! * **unsubscribe** — detaches the requester; if it was relaying, its
+//!   orphaned subtree is re-joined node by node (closest-to-source first),
+//!   and anything that no longer fits is reported as dropped.
+//!
+//! Every mutation maintains the full invariant set of the static problem
+//! (degree bounds, latency bound, well-formed trees), checkable at any
+//! point with [`validate_forest`](crate::validate_forest).
+
+use std::fmt;
+
+use teeve_types::{SiteId, StreamId};
+
+use crate::algorithms::corj_try_swap;
+use crate::join::{ForestState, JoinOutcome};
+use crate::problem::ProblemInstance;
+
+/// Error produced by dynamic overlay operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicError {
+    /// The stream has no multicast group in the underlying problem: it was
+    /// never part of the session's subscription universe.
+    UnknownStream {
+        /// The offending stream.
+        stream: StreamId,
+    },
+    /// The subscriber is not a declared subscriber of the stream's group.
+    NotASubscriber {
+        /// The requesting site.
+        site: SiteId,
+        /// The requested stream.
+        stream: StreamId,
+    },
+    /// The subscriber is the stream's origin.
+    OwnStream {
+        /// The requesting site.
+        site: SiteId,
+        /// The requested stream.
+        stream: StreamId,
+    },
+}
+
+impl fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicError::UnknownStream { stream } => {
+                write!(f, "stream {stream} is not part of this session")
+            }
+            DynamicError::NotASubscriber { site, stream } => {
+                write!(f, "{site} never subscribed to {stream}")
+            }
+            DynamicError::OwnStream { site, stream } => {
+                write!(f, "{site} originates {stream} and cannot subscribe to it")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+/// Result of one dynamic subscription attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscribeResult {
+    /// The subscriber now receives the stream through the given parent.
+    Joined {
+        /// The forwarding parent.
+        parent: SiteId,
+    },
+    /// The subscriber already received the stream; nothing changed.
+    AlreadyJoined,
+    /// No feasible parent exists (bandwidth or latency); the request was
+    /// rejected, as in the static problem.
+    Rejected,
+}
+
+/// Result of one unsubscribe operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnsubscribeResult {
+    /// Downstream sites that were re-attached to the tree, with their new
+    /// parents.
+    pub reattached: Vec<(SiteId, SiteId)>,
+    /// Downstream sites that could not be re-attached and lost the stream.
+    pub dropped: Vec<SiteId>,
+}
+
+/// Maintains a dissemination forest under subscription churn.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_overlay::{OverlayManager, ProblemInstance, SubscribeResult};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let problem = ProblemInstance::builder(costs, CostMs::new(50))
+///     .symmetric_capacities(Degree::new(4))
+///     .streams_per_site(&[1, 1, 1])
+///     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+///     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
+///     .build()?;
+///
+/// let mut manager = OverlayManager::new(&problem);
+/// let s = StreamId::new(SiteId::new(0), 0);
+/// assert!(matches!(
+///     manager.subscribe(SiteId::new(1), s)?,
+///     SubscribeResult::Joined { .. }
+/// ));
+/// let result = manager.unsubscribe(SiteId::new(1), s)?;
+/// assert!(result.dropped.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverlayManager<'p> {
+    state: ForestState<'p>,
+    /// Enable CO-RJ victim swapping on saturated joins.
+    correlation_aware: bool,
+}
+
+impl<'p> OverlayManager<'p> {
+    /// Creates a manager over an empty forest (all trees contain only
+    /// their sources). The problem instance declares the subscription
+    /// *universe*: which site may subscribe to which stream, and the
+    /// capacities and bound.
+    pub fn new(problem: &'p ProblemInstance) -> Self {
+        OverlayManager {
+            state: ForestState::new(problem),
+            correlation_aware: false,
+        }
+    }
+
+    /// Enables CO-RJ-style victim swapping for saturated subscriptions.
+    #[must_use]
+    pub fn with_correlation_swapping(mut self) -> Self {
+        self.correlation_aware = true;
+        self
+    }
+
+    /// Returns the underlying construction state (degrees, trees).
+    pub fn state(&self) -> &ForestState<'p> {
+        &self.state
+    }
+
+    /// Returns whether `site` currently receives `stream`.
+    pub fn is_subscribed(&self, site: SiteId, stream: StreamId) -> bool {
+        self.group_index(stream)
+            .map(|g| self.state.tree(g).is_member(site) && stream.origin() != site)
+            .unwrap_or(false)
+    }
+
+    fn group_index(&self, stream: StreamId) -> Option<usize> {
+        self.state
+            .problem()
+            .groups()
+            .iter()
+            .position(|g| g.stream() == stream)
+    }
+
+    fn check_request(&self, site: SiteId, stream: StreamId) -> Result<usize, DynamicError> {
+        if stream.origin() == site {
+            return Err(DynamicError::OwnStream { site, stream });
+        }
+        let group = self
+            .group_index(stream)
+            .ok_or(DynamicError::UnknownStream { stream })?;
+        if !self.state.problem().groups()[group]
+            .subscribers()
+            .contains(&site)
+        {
+            return Err(DynamicError::NotASubscriber { site, stream });
+        }
+        Ok(group)
+    }
+
+    /// Joins `site` into `stream`'s tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stream is outside the session universe, the
+    /// site is not a declared subscriber, or it originates the stream.
+    pub fn subscribe(
+        &mut self,
+        site: SiteId,
+        stream: StreamId,
+    ) -> Result<SubscribeResult, DynamicError> {
+        let group = self.check_request(site, stream)?;
+        if self.state.tree(group).is_member(site) {
+            return Ok(SubscribeResult::AlreadyJoined);
+        }
+        match self.state.try_join(group, site) {
+            JoinOutcome::Joined { parent } => Ok(SubscribeResult::Joined { parent }),
+            JoinOutcome::RejectedInbound | JoinOutcome::RejectedSaturated
+                if self.correlation_aware =>
+            {
+                if corj_try_swap(&mut self.state, group, site) {
+                    let parent = self
+                        .state
+                        .tree(group)
+                        .parent_of(site)
+                        .expect("swap attached the site");
+                    Ok(SubscribeResult::Joined { parent })
+                } else {
+                    Ok(SubscribeResult::Rejected)
+                }
+            }
+            _ => Ok(SubscribeResult::Rejected),
+        }
+    }
+
+    /// Removes `site` from `stream`'s tree. If `site` was relaying, its
+    /// orphaned descendants are detached and re-joined closest-to-source
+    /// first; descendants that no longer fit are dropped (and reported).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stream is outside the session universe, the
+    /// site is not a declared subscriber, or it originates the stream.
+    pub fn unsubscribe(
+        &mut self,
+        site: SiteId,
+        stream: StreamId,
+    ) -> Result<UnsubscribeResult, DynamicError> {
+        let group = self.check_request(site, stream)?;
+        if !self.state.tree(group).is_member(site) {
+            return Ok(UnsubscribeResult::default());
+        }
+
+        // Collect the subtree below `site` (excluding `site`), then detach
+        // leaf-by-leaf (deepest first).
+        let subtree = self.collect_subtree(group, site);
+        for &descendant in subtree.iter().rev() {
+            self.state.detach_leaf(group, descendant);
+        }
+        self.state.detach_leaf(group, site);
+
+        // Re-join descendants closest-to-source first, so earlier rejoins
+        // can serve as relays for later ones.
+        let mut result = UnsubscribeResult::default();
+        for &descendant in &subtree {
+            match self.state.try_join(group, descendant) {
+                JoinOutcome::Joined { parent } => {
+                    result.reattached.push((descendant, parent));
+                }
+                _ => result.dropped.push(descendant),
+            }
+        }
+        Ok(result)
+    }
+
+    /// Returns the descendants of `site` in group `group`, ordered
+    /// shallowest first (BFS).
+    fn collect_subtree(&self, group: usize, site: SiteId) -> Vec<SiteId> {
+        let tree = self.state.tree(group);
+        let mut order = Vec::new();
+        let mut frontier = vec![site];
+        while let Some(node) = frontier.pop() {
+            for child in tree.children(node) {
+                order.push(child);
+                frontier.push(child);
+            }
+        }
+        // BFS order by recorded cost (shallower costs first) keeps rejoin
+        // deterministic and relay-friendly.
+        order.sort_by_key(|&s| {
+            tree.cost_from_source(s)
+                .expect("descendants are members")
+        });
+        order
+    }
+
+    /// Consumes the manager, returning the forest in its current state.
+    pub fn into_forest(self) -> crate::forest::Forest {
+        self.state.into_forest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_forest;
+    use teeve_types::{CostMatrix, CostMs, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn problem() -> ProblemInstance {
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(3))
+            .streams_per_site(&[2, 2, 2, 2])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .subscribe(site(3), stream(0, 0))
+            .subscribe(site(0), stream(1, 0))
+            .subscribe(site(2), stream(1, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn subscribe_and_unsubscribe_round_trip() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let s = stream(0, 0);
+        assert!(matches!(
+            m.subscribe(site(1), s).unwrap(),
+            SubscribeResult::Joined { .. }
+        ));
+        assert!(m.is_subscribed(site(1), s));
+        assert_eq!(
+            m.subscribe(site(1), s).unwrap(),
+            SubscribeResult::AlreadyJoined
+        );
+        let r = m.unsubscribe(site(1), s).unwrap();
+        assert!(r.reattached.is_empty());
+        assert!(r.dropped.is_empty());
+        assert!(!m.is_subscribed(site(1), s));
+        // Degrees returned to zero.
+        assert_eq!(m.state().out_degree(site(0)), 0);
+        assert_eq!(m.state().in_degree(site(1)), 0);
+    }
+
+    #[test]
+    fn unsubscribing_a_relay_reattaches_descendants() {
+        // Force a chain: source capacity 1 so site 2 must relay through 1.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                crate::problem::NodeCapacity::symmetric(Degree::new(1)),
+                crate::problem::NodeCapacity::symmetric(Degree::new(4)),
+                crate::problem::NodeCapacity::symmetric(Degree::new(4)),
+            ])
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(&p);
+        let s = stream(0, 0);
+        m.subscribe(site(1), s).unwrap();
+        m.subscribe(site(2), s).unwrap();
+        assert_eq!(m.state().tree(0).parent_of(site(2)), Some(site(1)));
+
+        // Site 1 leaves; site 2 must be re-attached… but the source's only
+        // out slot is now free again, so site 2 re-joins under the source.
+        let r = m.unsubscribe(site(1), s).unwrap();
+        assert_eq!(r.reattached, vec![(site(2), site(0))]);
+        assert!(r.dropped.is_empty());
+        assert!(m.is_subscribed(site(2), s));
+        validate_forest(&p, &m.into_forest()).expect("valid after churn");
+    }
+
+    #[test]
+    fn descendants_that_no_longer_fit_are_dropped() {
+        // Source can serve exactly one child; relay 1 carries 2 and 3.
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                crate::problem::NodeCapacity::symmetric(Degree::new(1)),
+                crate::problem::NodeCapacity::symmetric(Degree::new(4)),
+                crate::problem::NodeCapacity {
+                    inbound: Degree::new(4),
+                    outbound: Degree::new(0),
+                },
+                crate::problem::NodeCapacity {
+                    inbound: Degree::new(4),
+                    outbound: Degree::new(0),
+                },
+            ])
+            .streams_per_site(&[1, 0, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .subscribe(site(3), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(&p);
+        let s = stream(0, 0);
+        m.subscribe(site(1), s).unwrap();
+        m.subscribe(site(2), s).unwrap();
+        m.subscribe(site(3), s).unwrap();
+
+        // Relay 1 leaves. The freed source slot can take one of {2, 3};
+        // the other has out-degree 0 peers only and must be dropped.
+        let r = m.unsubscribe(site(1), s).unwrap();
+        assert_eq!(r.reattached.len(), 1);
+        assert_eq!(r.dropped.len(), 1);
+        validate_forest(&p, &m.into_forest()).expect("valid after drop");
+    }
+
+    #[test]
+    fn rejects_foreign_and_own_streams() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        assert_eq!(
+            m.subscribe(site(0), stream(0, 0)).unwrap_err(),
+            DynamicError::OwnStream {
+                site: site(0),
+                stream: stream(0, 0)
+            }
+        );
+        assert_eq!(
+            m.subscribe(site(1), stream(2, 0)).unwrap_err(),
+            DynamicError::UnknownStream {
+                stream: stream(2, 0)
+            }
+        );
+        // Site 3 never declared interest in stream(1, 0).
+        assert_eq!(
+            m.subscribe(site(3), stream(1, 0)).unwrap_err(),
+            DynamicError::NotASubscriber {
+                site: site(3),
+                stream: stream(1, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn unsubscribe_of_non_member_is_a_no_op() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let r = m.unsubscribe(site(1), stream(0, 0)).unwrap();
+        assert_eq!(r, UnsubscribeResult::default());
+    }
+
+    #[test]
+    fn correlation_swapping_rescues_saturated_joins() {
+        // Site 3 subscribes 1 stream from site 0 and 2 from site 1:
+        // criticality favors keeping the site-0 stream.
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                crate::problem::NodeCapacity::symmetric(Degree::new(1)),
+                crate::problem::NodeCapacity::symmetric(Degree::new(8)),
+                crate::problem::NodeCapacity::symmetric(Degree::new(8)),
+                crate::problem::NodeCapacity {
+                    inbound: Degree::new(2),
+                    outbound: Degree::new(8),
+                },
+            ])
+            .streams_per_site(&[1, 2, 0, 0])
+            .subscribe(site(3), stream(0, 0))
+            .subscribe(site(3), stream(1, 0))
+            .subscribe(site(3), stream(1, 1))
+            .subscribe(site(1), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(&p).with_correlation_swapping();
+        // Site 1 takes the source's only slot for the critical stream, so
+        // it holds s0.0 and can later serve as the swap parent.
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        // Fill site 3's inbound with the two site-1 streams.
+        m.subscribe(site(3), stream(1, 0)).unwrap();
+        m.subscribe(site(3), stream(1, 1)).unwrap();
+        // Inbound is now full (2 of 2); the critical site-0 stream would be
+        // rejected, but swapping evicts one of the site-1 streams.
+        let result = m.subscribe(site(3), stream(0, 0)).unwrap();
+        assert!(
+            matches!(result, SubscribeResult::Joined { .. }),
+            "swap should rescue the critical stream, got {result:?}"
+        );
+        assert!(m.is_subscribed(site(3), stream(0, 0)));
+        let still: usize = [stream(1, 0), stream(1, 1)]
+            .iter()
+            .filter(|&&s| m.is_subscribed(site(3), s))
+            .count();
+        assert_eq!(still, 1, "exactly one site-1 stream was sacrificed");
+        validate_forest(&p, &m.into_forest()).expect("valid after swap");
+    }
+
+    #[test]
+    fn churn_preserves_invariants() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let streams0 = stream(0, 0);
+        for _ in 0..5 {
+            for s in [site(1), site(2), site(3)] {
+                let _ = m.subscribe(s, streams0);
+            }
+            let _ = m.unsubscribe(site(2), streams0);
+            let _ = m.subscribe(site(2), streams0);
+            let _ = m.unsubscribe(site(1), streams0);
+        }
+        validate_forest(&p, &m.clone().into_forest()).expect("valid under churn");
+    }
+}

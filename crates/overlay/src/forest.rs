@@ -1,0 +1,355 @@
+//! Multicast trees and the dissemination forest produced by construction
+//! algorithms.
+
+use serde::{Deserialize, Serialize};
+use teeve_types::{CostMs, SiteId, StreamId};
+
+/// One multicast tree `T_s`: the dissemination paths of a single stream
+/// from its source RP to the subscribing RPs that were accepted.
+///
+/// Membership and parent pointers are stored per site; non-members have no
+/// parent and an undefined cost. The source is always a member with zero
+/// cost and no parent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticastTree {
+    stream: StreamId,
+    member: Vec<bool>,
+    parent: Vec<Option<SiteId>>,
+    cost_from_source: Vec<CostMs>,
+}
+
+impl MulticastTree {
+    /// Creates a tree containing only its source, over `n` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream's origin is outside `0..n`.
+    pub fn new(stream: StreamId, n: usize) -> Self {
+        let source = stream.origin();
+        assert!(source.index() < n, "source outside the session");
+        let mut member = vec![false; n];
+        member[source.index()] = true;
+        MulticastTree {
+            stream,
+            member,
+            parent: vec![None; n],
+            cost_from_source: vec![CostMs::ZERO; n],
+        }
+    }
+
+    /// Returns the stream this tree disseminates.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Returns the source RP (tree root).
+    pub fn source(&self) -> SiteId {
+        self.stream.origin()
+    }
+
+    /// Returns the number of sites the tree is defined over.
+    pub fn site_count(&self) -> usize {
+        self.member.len()
+    }
+
+    /// Returns true if `site` receives (or originates) the stream.
+    pub fn is_member(&self, site: SiteId) -> bool {
+        self.member[site.index()]
+    }
+
+    /// Returns the number of members, including the source.
+    pub fn member_count(&self) -> usize {
+        self.member.iter().filter(|&&m| m).count()
+    }
+
+    /// Returns the parent of `site` in the tree, `None` for the source or
+    /// for non-members.
+    pub fn parent_of(&self, site: SiteId) -> Option<SiteId> {
+        self.parent[site.index()]
+    }
+
+    /// Returns the accumulated latency from the source to `site`
+    /// (`cost(RP_i, RP_j)_{T_s}`), or `None` for non-members.
+    pub fn cost_from_source(&self, site: SiteId) -> Option<CostMs> {
+        if self.is_member(site) {
+            Some(self.cost_from_source[site.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the children of `site` in the tree.
+    pub fn children(&self, site: SiteId) -> Vec<SiteId> {
+        (0..self.member.len() as u32)
+            .map(SiteId::new)
+            .filter(|&c| self.parent[c.index()] == Some(site))
+            .collect()
+    }
+
+    /// Returns true if `site` is a member with no children (the source with
+    /// no children counts as a leaf too).
+    pub fn is_leaf(&self, site: SiteId) -> bool {
+        self.is_member(site) && !self.parent.iter().any(|&p| p == Some(site))
+    }
+
+    /// Returns an iterator over the directed edges `(parent, child)` of the
+    /// tree.
+    pub fn edges(&self) -> impl Iterator<Item = (SiteId, SiteId)> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| p.map(|parent| (parent, SiteId::new(i as u32))))
+    }
+
+    /// Returns the maximum edge-hop depth of any member below the source.
+    pub fn depth(&self) -> usize {
+        let mut max_depth = 0;
+        for i in 0..self.member.len() {
+            let site = SiteId::new(i as u32);
+            if !self.is_member(site) {
+                continue;
+            }
+            let mut depth = 0;
+            let mut cursor = site;
+            while let Some(p) = self.parent_of(cursor) {
+                depth += 1;
+                cursor = p;
+                // Cycle guard: a valid tree never exceeds n hops.
+                if depth > self.member.len() {
+                    break;
+                }
+            }
+            max_depth = max_depth.max(depth);
+        }
+        max_depth
+    }
+
+    /// Attaches `child` under `parent` with the given edge cost.
+    ///
+    /// This performs *no* constraint checking: the node-join algorithm is
+    /// responsible for degree and latency bounds. It does enforce tree
+    /// well-formedness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a member or `child` already is.
+    pub(crate) fn attach(&mut self, child: SiteId, parent: SiteId, edge_cost: CostMs) {
+        assert!(self.is_member(parent), "parent must already be in the tree");
+        assert!(!self.is_member(child), "child must not already be a member");
+        self.member[child.index()] = true;
+        self.parent[child.index()] = Some(parent);
+        self.cost_from_source[child.index()] =
+            self.cost_from_source[parent.index()] + edge_cost;
+    }
+
+    /// Detaches the leaf `site` from the tree (used by CO-RJ victim
+    /// swapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is the source, not a member, or has children.
+    pub(crate) fn detach_leaf(&mut self, site: SiteId) {
+        assert!(self.is_member(site), "cannot detach a non-member");
+        assert!(site != self.source(), "cannot detach the source");
+        assert!(
+            self.children(site).is_empty(),
+            "can only detach leaf nodes"
+        );
+        self.member[site.index()] = false;
+        self.parent[site.index()] = None;
+        self.cost_from_source[site.index()] = CostMs::ZERO;
+    }
+}
+
+/// The spanning forest `F = {T_1, …, T_F}`: one multicast tree per
+/// subscribed stream, in the same order as the problem's groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Forest {
+    trees: Vec<MulticastTree>,
+}
+
+impl Forest {
+    /// Assembles a forest from per-group trees.
+    pub(crate) fn new(trees: Vec<MulticastTree>) -> Self {
+        Forest { trees }
+    }
+
+    /// Returns the trees, in the problem's group order.
+    pub fn trees(&self) -> &[MulticastTree] {
+        &self.trees
+    }
+
+    /// Returns the tree disseminating `stream`, if the stream was
+    /// subscribed at all.
+    pub fn tree_for(&self, stream: StreamId) -> Option<&MulticastTree> {
+        self.trees.iter().find(|t| t.stream() == stream)
+    }
+
+    /// Returns the number of trees `F`.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Returns true if the forest contains no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Returns the actual out-degree `d_out(RP_i)` of `site` across the
+    /// whole forest.
+    pub fn out_degree(&self, site: SiteId) -> u32 {
+        self.trees
+            .iter()
+            .flat_map(|t| t.edges())
+            .filter(|&(p, _)| p == site)
+            .count() as u32
+    }
+
+    /// Returns the actual in-degree `d_in(RP_i)` of `site` across the whole
+    /// forest.
+    pub fn in_degree(&self, site: SiteId) -> u32 {
+        self.trees
+            .iter()
+            .flat_map(|t| t.edges())
+            .filter(|&(_, c)| c == site)
+            .count() as u32
+    }
+
+    /// Returns the number of outgoing edges of `site` that forward streams
+    /// originating at *other* sites (the "relaying" share of its
+    /// out-degree, Figure 10 of the paper).
+    pub fn relay_degree(&self, site: SiteId) -> u32 {
+        self.trees
+            .iter()
+            .filter(|t| t.source() != site)
+            .flat_map(|t| t.edges())
+            .filter(|&(p, _)| p == site)
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    #[test]
+    fn new_tree_contains_only_source() {
+        let t = MulticastTree::new(stream(1, 0), 4);
+        assert_eq!(t.member_count(), 1);
+        assert!(t.is_member(site(1)));
+        assert!(!t.is_member(site(0)));
+        assert_eq!(t.parent_of(site(1)), None);
+        assert_eq!(t.cost_from_source(site(1)), Some(CostMs::ZERO));
+        assert_eq!(t.cost_from_source(site(0)), None);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn attach_accumulates_path_cost() {
+        let mut t = MulticastTree::new(stream(0, 0), 4);
+        t.attach(site(1), site(0), CostMs::new(4));
+        t.attach(site(2), site(1), CostMs::new(5));
+        assert_eq!(t.cost_from_source(site(2)), Some(CostMs::new(9)));
+        assert_eq!(t.parent_of(site(2)), Some(site(1)));
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.children(site(0)), vec![site(1)]);
+    }
+
+    #[test]
+    fn leaves_are_detected() {
+        let mut t = MulticastTree::new(stream(0, 0), 4);
+        t.attach(site(1), site(0), CostMs::new(1));
+        t.attach(site(2), site(1), CostMs::new(1));
+        assert!(t.is_leaf(site(2)));
+        assert!(!t.is_leaf(site(1)));
+        assert!(!t.is_leaf(site(3)), "non-members are not leaves");
+    }
+
+    #[test]
+    fn detach_leaf_removes_membership() {
+        let mut t = MulticastTree::new(stream(0, 0), 3);
+        t.attach(site(1), site(0), CostMs::new(2));
+        t.detach_leaf(site(1));
+        assert!(!t.is_member(site(1)));
+        assert_eq!(t.member_count(), 1);
+        assert_eq!(t.edges().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf")]
+    fn detach_rejects_internal_nodes() {
+        let mut t = MulticastTree::new(stream(0, 0), 3);
+        t.attach(site(1), site(0), CostMs::new(2));
+        t.attach(site(2), site(1), CostMs::new(2));
+        t.detach_leaf(site(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "source")]
+    fn detach_rejects_source() {
+        let mut t = MulticastTree::new(stream(0, 0), 3);
+        t.detach_leaf(site(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already be in the tree")]
+    fn attach_rejects_non_member_parent() {
+        let mut t = MulticastTree::new(stream(0, 0), 3);
+        t.attach(site(2), site(1), CostMs::new(2));
+    }
+
+    #[test]
+    fn edges_enumerate_parent_child_pairs() {
+        let mut t = MulticastTree::new(stream(2, 0), 4);
+        t.attach(site(0), site(2), CostMs::new(1));
+        t.attach(site(1), site(2), CostMs::new(1));
+        t.attach(site(3), site(0), CostMs::new(1));
+        let mut edges: Vec<_> = t.edges().collect();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                (site(0), site(3)),
+                (site(2), site(0)),
+                (site(2), site(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn forest_degree_accounting() {
+        // Two trees: stream from 0 relayed by 1; stream from 1 sent directly.
+        let mut t0 = MulticastTree::new(stream(0, 0), 3);
+        t0.attach(site(1), site(0), CostMs::new(1));
+        t0.attach(site(2), site(1), CostMs::new(1));
+        let mut t1 = MulticastTree::new(stream(1, 0), 3);
+        t1.attach(site(0), site(1), CostMs::new(1));
+        let forest = Forest::new(vec![t0, t1]);
+
+        assert_eq!(forest.out_degree(site(0)), 1);
+        assert_eq!(forest.out_degree(site(1)), 2);
+        assert_eq!(forest.in_degree(site(2)), 1);
+        assert_eq!(forest.in_degree(site(0)), 1);
+        // Site 1's relay work: forwarding stream s0.0 to site 2.
+        assert_eq!(forest.relay_degree(site(1)), 1);
+        assert_eq!(forest.relay_degree(site(0)), 0);
+    }
+
+    #[test]
+    fn tree_lookup_by_stream() {
+        let t0 = MulticastTree::new(stream(0, 0), 3);
+        let forest = Forest::new(vec![t0]);
+        assert!(forest.tree_for(stream(0, 0)).is_some());
+        assert!(forest.tree_for(stream(1, 0)).is_none());
+        assert_eq!(forest.len(), 1);
+        assert!(!forest.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Static overlay construction for multi-site 3D tele-immersion — the core
+//! contribution of *Wu et al., "Towards Multi-Site Collaboration in 3D
+//! Tele-Immersive Environments" (ICDCS 2008)*.
+//!
+//! Given the subscription requests of a 3DTI session, a construction
+//! algorithm organizes the rendezvous points into a **forest of multicast
+//! trees** — one tree per subscribed stream — subject to per-node
+//! inbound/outbound bandwidth bounds (in streams) and an end-to-end latency
+//! bound, minimizing the request rejection ratio. The underlying decision
+//! problem is NP-complete (multicast routing with two or more constraints,
+//! Wang & Crowcroft), so the paper explores heuristics:
+//!
+//! | Algorithm | Type | Order of construction |
+//! |-----------|------|----------------------|
+//! | [`LargestTreeFirst`] (LTF) | tree-based | largest multicast group first |
+//! | [`SmallestTreeFirst`] (STF) | tree-based | smallest group first |
+//! | [`MinimumCapacityTreeFirst`] (MCTF) | tree-based | least aggregate forwarding capacity first |
+//! | [`GranLtf`] | spectrum | LTF order, `g` trees at a time |
+//! | [`RandomJoin`] (RJ) | randomized | all requests shuffled together |
+//! | [`CorrelatedRandomJoin`] (CO-RJ) | randomized | RJ + criticality-based victim swapping |
+//!
+//! All of them share the **basic node join** of Section 4.3.1 (load
+//! balancing toward the member with maximum remaining forwarding capacity,
+//! with per-source reservation slots), implemented in [`ForestState`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use teeve_overlay::{ConstructionAlgorithm, ProblemInstance, RandomJoin};
+//! use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+//!
+//! // Three sites fully subscribing to one stream from site 0.
+//! let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(10));
+//! let problem = ProblemInstance::builder(costs, CostMs::new(100))
+//!     .symmetric_capacities(Degree::new(8))
+//!     .streams_per_site(&[1, 1, 1])
+//!     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+//!     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
+//!     .build()?;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(2008);
+//! let outcome = RandomJoin::default().construct(&problem, &mut rng);
+//! assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+//!
+//! let tree = outcome.forest().tree_for(StreamId::new(SiteId::new(0), 0)).unwrap();
+//! assert!(tree.is_member(SiteId::new(1)));
+//! assert!(tree.is_member(SiteId::new(2)));
+//! # Ok::<(), teeve_overlay::ProblemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithms;
+mod baseline;
+mod dynamic;
+mod forest;
+mod join;
+mod metrics;
+mod optimal;
+mod outcome;
+mod problem;
+mod spectrum;
+mod validate;
+
+pub use algorithms::{
+    ConstructionAlgorithm, CorrelatedRandomJoin, GranLtf, LargestTreeFirst,
+    MinimumCapacityTreeFirst, RandomJoin, SmallestTreeFirst,
+};
+pub use baseline::UnicastBaseline;
+pub use dynamic::{DynamicError, OverlayManager, SubscribeResult, UnsubscribeResult};
+pub use optimal::{OptimalError, OptimalSolver};
+pub use forest::{Forest, MulticastTree};
+pub use join::{ForestState, JoinOutcome, JoinPolicy};
+pub use metrics::ConstructionMetrics;
+pub use outcome::ConstructionOutcome;
+pub use problem::{
+    MulticastGroup, NodeCapacity, ProblemBuilder, ProblemError, ProblemInstance, Request,
+};
+pub use spectrum::{full_granularity_range, granularity_sweep, GranularityPoint};
+pub use validate::{validate_forest, InvariantViolation};

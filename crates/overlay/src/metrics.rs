@@ -1,0 +1,393 @@
+//! Evaluation metrics: the rejection ratios of Equations 1 and 3 and the
+//! load-balancing statistics of Figure 10.
+
+use serde::{Deserialize, Serialize};
+use teeve_types::{CostMs, SiteId};
+
+use crate::forest::Forest;
+use crate::problem::ProblemInstance;
+
+/// Metrics of one constructed forest.
+///
+/// * [`rejection_ratio`](Self::rejection_ratio) — the paper's optimization
+///   goal `X`: "the total rejection ratio of all requests in the system",
+///   i.e. rejected requests over total requests. (Equation 1 writes this
+///   as a double sum of per-pair fractions `û_{i→j}/u_{i→j}`; taken
+///   literally that sum grows with `N²` while the paper plots values in
+///   `[0, 0.45]`, so the prose definition — aggregate fraction — is the
+///   one the figures use. The literal per-pair mean is also exposed as
+///   [`pair_rejection_ratio`](Self::pair_rejection_ratio).)
+/// * [`weighted_rejection`](Self::weighted_rejection) — the
+///   correlation-aware metric `X′` (Equation 3), which weighs each lost
+///   stream by its criticality `Q_{i→j} = 1 / u_{i→j}` and scales by the
+///   subscriber's scarcest per-site subscription `u_{i→x} = min_j u_{i→j}`;
+///   normalized by the number of requesting pairs for comparability across
+///   session sizes.
+/// * Degree utilization and relay statistics reproduce Figure 10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstructionMetrics {
+    /// Total number of subscription requests in the problem.
+    pub total_requests: usize,
+    /// Requests satisfied by the forest.
+    pub accepted_requests: usize,
+    /// Requests rejected (total − accepted).
+    pub rejected_requests: usize,
+    /// The rejection ratio `X`: rejected over total requests, in `[0, 1]`.
+    pub rejection_ratio: f64,
+    /// The literal Equation 1 reading: mean over ordered pairs with
+    /// `u_{i→j} > 0` of the per-pair rejection fraction.
+    pub pair_rejection_ratio: f64,
+    /// The criticality-weighted rejection `X′` (Equation 3).
+    pub weighted_rejection: f64,
+    /// Mean over nodes of `d_out(RP_i) / O_i`.
+    pub mean_out_degree_utilization: f64,
+    /// Population standard deviation of the out-degree utilization.
+    pub stddev_out_degree_utilization: f64,
+    /// Mean over nodes of the fraction of out-degree spent forwarding
+    /// streams that originate at *other* sites.
+    pub mean_relay_fraction: f64,
+    /// Mean over nodes of `d_in(RP_i) / I_i`.
+    pub mean_in_degree_utilization: f64,
+    /// Deepest tree in the forest, in hops.
+    pub max_tree_depth: usize,
+    /// Largest source-to-subscriber path latency in the forest.
+    pub max_path_cost: CostMs,
+}
+
+impl ConstructionMetrics {
+    /// Computes all metrics for `forest` against `problem`.
+    pub fn compute(problem: &ProblemInstance, forest: &Forest) -> Self {
+        let n = problem.site_count();
+
+        // û_{i→j}: rejected request counts per ordered (subscriber, origin).
+        let mut rejected = vec![vec![0u32; n]; n];
+        let mut total_requests = 0usize;
+        let mut rejected_requests = 0usize;
+        for group in problem.groups() {
+            let tree = forest
+                .tree_for(group.stream())
+                .expect("forest has a tree per group");
+            let origin = group.source().index();
+            for &sub in group.subscribers() {
+                total_requests += 1;
+                if !tree.is_member(sub) {
+                    rejected[sub.index()][origin] += 1;
+                    rejected_requests += 1;
+                }
+            }
+        }
+
+        // Equation 1, normalized over ordered pairs with u > 0.
+        let mut pair_count = 0usize;
+        let mut ratio_sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let u = problem.request_count(SiteId::new(i as u32), SiteId::new(j as u32));
+                if u == 0 {
+                    continue;
+                }
+                pair_count += 1;
+                ratio_sum += f64::from(rejected[i][j]) / f64::from(u);
+            }
+        }
+        let pair_rejection_ratio = if pair_count == 0 {
+            0.0
+        } else {
+            ratio_sum / pair_count as f64
+        };
+        let rejection_ratio = if total_requests == 0 {
+            0.0
+        } else {
+            rejected_requests as f64 / total_requests as f64
+        };
+
+        // Equation 3: X′ = Σ_i (Σ_j û_{i→j} / u²_{i→j}) · u_{i→x},
+        // u_{i→x} = min_j u_{i→j} over pairs with u > 0; same normalization.
+        let mut weighted_sum = 0.0;
+        for i in 0..n {
+            let mut inner = 0.0;
+            let mut u_min: Option<u32> = None;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let u = problem.request_count(SiteId::new(i as u32), SiteId::new(j as u32));
+                if u == 0 {
+                    continue;
+                }
+                u_min = Some(u_min.map_or(u, |m| m.min(u)));
+                inner += f64::from(rejected[i][j]) / (f64::from(u) * f64::from(u));
+            }
+            if let Some(u_min) = u_min {
+                weighted_sum += inner * f64::from(u_min);
+            }
+        }
+        let weighted_rejection = if pair_count == 0 {
+            0.0
+        } else {
+            weighted_sum / pair_count as f64
+        };
+
+        // Figure 10 statistics.
+        let mut out_utils = Vec::with_capacity(n);
+        let mut relay_fracs = Vec::with_capacity(n);
+        let mut in_utils = Vec::with_capacity(n);
+        for site in SiteId::all(n) {
+            let cap = problem.capacity(site);
+            if cap.outbound.count() > 0 {
+                out_utils
+                    .push(f64::from(forest.out_degree(site)) / f64::from(cap.outbound.count()));
+                relay_fracs
+                    .push(f64::from(forest.relay_degree(site)) / f64::from(cap.outbound.count()));
+            }
+            if cap.inbound.count() > 0 {
+                in_utils.push(f64::from(forest.in_degree(site)) / f64::from(cap.inbound.count()));
+            }
+        }
+
+        let max_tree_depth = forest.trees().iter().map(|t| t.depth()).max().unwrap_or(0);
+        let max_path_cost = forest
+            .trees()
+            .iter()
+            .flat_map(|t| {
+                (0..n as u32)
+                    .map(SiteId::new)
+                    .filter_map(move |s| t.cost_from_source(s))
+            })
+            .max()
+            .unwrap_or(CostMs::ZERO);
+
+        ConstructionMetrics {
+            total_requests,
+            accepted_requests: total_requests - rejected_requests,
+            rejected_requests,
+            rejection_ratio,
+            pair_rejection_ratio,
+            weighted_rejection,
+            mean_out_degree_utilization: mean(&out_utils),
+            stddev_out_degree_utilization: stddev(&out_utils),
+            mean_relay_fraction: mean(&relay_fracs),
+            mean_in_degree_utilization: mean(&in_utils),
+            max_tree_depth,
+            max_path_cost,
+        }
+    }
+
+    /// Returns the rejection ratio `X`: rejected over total requests.
+    pub fn rejection_ratio(&self) -> f64 {
+        self.rejection_ratio
+    }
+
+    /// Returns the literal Equation 1 reading: the mean per-pair rejection
+    /// fraction.
+    pub fn pair_rejection_ratio(&self) -> f64 {
+        self.pair_rejection_ratio
+    }
+
+    /// Returns the criticality-weighted rejection `X′` (Equation 3).
+    pub fn weighted_rejection(&self) -> f64 {
+        self.weighted_rejection
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::ForestState;
+    use teeve_types::{CostMatrix, Degree, StreamId};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn three_site_problem(capacity: u32) -> ProblemInstance {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
+        ProblemInstance::builder(costs, CostMs::new(100))
+            .symmetric_capacities(Degree::new(capacity))
+            .streams_per_site(&[2, 2, 2])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .subscribe(site(0), stream(1, 0))
+            .subscribe(site(2), stream(1, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn everything_accepted_means_zero_rejection() {
+        let problem = three_site_problem(10);
+        let mut state = ForestState::new(&problem);
+        for (g, group) in problem.groups().iter().enumerate() {
+            for &s in group.subscribers() {
+                assert!(!state.try_join(g, s).is_rejected());
+            }
+        }
+        let forest = state.into_forest();
+        let m = ConstructionMetrics::compute(&problem, &forest);
+        assert_eq!(m.total_requests, 4);
+        assert_eq!(m.accepted_requests, 4);
+        assert_eq!(m.rejection_ratio, 0.0);
+        assert_eq!(m.weighted_rejection, 0.0);
+        assert!(m.max_path_cost < CostMs::new(100));
+    }
+
+    #[test]
+    fn everything_rejected_means_full_rejection() {
+        let problem = three_site_problem(10);
+        // Never join anyone: empty trees.
+        let state = ForestState::new(&problem);
+        let forest = state.into_forest();
+        let m = ConstructionMetrics::compute(&problem, &forest);
+        assert_eq!(m.accepted_requests, 0);
+        assert_eq!(m.rejection_ratio, 1.0);
+        assert!(m.weighted_rejection > 0.0);
+    }
+
+    #[test]
+    fn rejection_ratios_count_aggregate_and_per_pair() {
+        // Pairs with requests: (1,0) u=1, (2,0) u=1, (0,1) u=1, (2,1) u=1.
+        let problem = three_site_problem(10);
+        let mut state = ForestState::new(&problem);
+        // Accept only group 0's two requests (stream s0.0).
+        for &s in problem.groups()[0].subscribers().to_vec().iter() {
+            state.try_join(0, s);
+        }
+        let forest = state.into_forest();
+        let m = ConstructionMetrics::compute(&problem, &forest);
+        // 2 of 4 requests rejected -> aggregate X = 0.5.
+        assert!((m.rejection_ratio - 0.5).abs() < 1e-12);
+        // Per-pair: (0,1) and (2,1) fully rejected, the others fully
+        // accepted: (0 + 0 + 1 + 1) / 4 = 0.5 as well here.
+        assert!((m.pair_rejection_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_and_pair_metrics_differ_on_skewed_losses() {
+        // Site 0 requests 3 streams from site 1 and 1 from site 2; reject
+        // only the single site-2 stream.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
+        let problem = ProblemInstance::builder(costs, CostMs::new(100))
+            .symmetric_capacities(Degree::new(10))
+            .streams_per_site(&[0, 3, 1])
+            .subscribe(site(0), stream(1, 0))
+            .subscribe(site(0), stream(1, 1))
+            .subscribe(site(0), stream(1, 2))
+            .subscribe(site(0), stream(2, 0))
+            .build()
+            .unwrap();
+        let mut state = ForestState::new(&problem);
+        for g in 0..problem.group_count() {
+            if problem.groups()[g].stream() == stream(2, 0) {
+                continue;
+            }
+            state.try_join(g, site(0));
+        }
+        let m = ConstructionMetrics::compute(&problem, &state.into_forest());
+        // Aggregate: 1 of 4 rejected.
+        assert!((m.rejection_ratio - 0.25).abs() < 1e-12);
+        // Per-pair: pair (0,1) has 0 rejected, pair (0,2) has 1/1: mean 0.5.
+        assert!((m.pair_rejection_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_rejection_penalizes_scarce_streams_more() {
+        // Site 0 subscribes 4 streams from site 1 and 1 stream from site 2.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
+        let base = ProblemInstance::builder(costs, CostMs::new(100))
+            .symmetric_capacities(Degree::new(10))
+            .streams_per_site(&[0, 4, 1])
+            .subscribe(site(0), stream(1, 0))
+            .subscribe(site(0), stream(1, 1))
+            .subscribe(site(0), stream(1, 2))
+            .subscribe(site(0), stream(1, 3))
+            .subscribe(site(0), stream(2, 0))
+            .build()
+            .unwrap();
+
+        // Case A: lose one of the four streams from site 1.
+        let mut state = ForestState::new(&base);
+        for g in 0..base.group_count() {
+            let group_stream = base.groups()[g].stream();
+            if group_stream == stream(1, 0) {
+                continue; // rejected
+            }
+            state.try_join(g, site(0));
+        }
+        let lose_bulk = ConstructionMetrics::compute(&base, &state.into_forest());
+
+        // Case B: lose the single stream from site 2.
+        let mut state = ForestState::new(&base);
+        for g in 0..base.group_count() {
+            let group_stream = base.groups()[g].stream();
+            if group_stream == stream(2, 0) {
+                continue; // rejected
+            }
+            state.try_join(g, site(0));
+        }
+        let lose_scarce = ConstructionMetrics::compute(&base, &state.into_forest());
+
+        assert_eq!(lose_bulk.rejected_requests, 1);
+        assert_eq!(lose_scarce.rejected_requests, 1);
+        assert!(
+            lose_scarce.weighted_rejection > lose_bulk.weighted_rejection,
+            "losing the only stream of a scene ({}) must outweigh losing one of four ({})",
+            lose_scarce.weighted_rejection,
+            lose_bulk.weighted_rejection
+        );
+    }
+
+    #[test]
+    fn utilization_statistics_reflect_degrees() {
+        let problem = three_site_problem(2);
+        let mut state = ForestState::new(&problem);
+        for (g, group) in problem.groups().iter().enumerate() {
+            for &s in group.subscribers() {
+                state.try_join(g, s);
+            }
+        }
+        let forest = state.into_forest();
+        let m = ConstructionMetrics::compute(&problem, &forest);
+        assert!(m.mean_out_degree_utilization > 0.0);
+        assert!(m.mean_out_degree_utilization <= 1.0);
+        assert!(m.mean_in_degree_utilization > 0.0);
+        assert!(m.stddev_out_degree_utilization >= 0.0);
+    }
+
+    #[test]
+    fn empty_problem_yields_zero_metrics() {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
+        let problem = ProblemInstance::builder(costs, CostMs::new(10))
+            .symmetric_capacities(Degree::new(5))
+            .streams_per_site(&[1, 1, 1])
+            .build()
+            .unwrap();
+        let forest = ForestState::new(&problem).into_forest();
+        let m = ConstructionMetrics::compute(&problem, &forest);
+        assert_eq!(m.total_requests, 0);
+        assert_eq!(m.rejection_ratio, 0.0);
+        assert_eq!(m.weighted_rejection, 0.0);
+    }
+}

@@ -1,0 +1,576 @@
+//! An exact solver for small forest-construction instances.
+//!
+//! The decision problem is NP-complete (Wang & Crowcroft via the paper's
+//! Section 4.2), so no heuristic comes with a quality guarantee. For small
+//! sessions, however, the optimum is computable: this module enumerates,
+//! per multicast group, every feasible tree shape (parent assignment over
+//! every subset of the group's subscribers), then branch-and-bounds across
+//! groups over the shared degree budget. The result is the **minimum
+//! possible number of rejected requests**, used to measure the optimality
+//! gap of the paper's heuristics.
+
+use std::fmt;
+
+use teeve_types::{CostMs, SiteId};
+
+use crate::forest::{Forest, MulticastTree};
+use crate::outcome::ConstructionOutcome;
+use crate::problem::ProblemInstance;
+
+/// Error produced when an instance is too large for exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimalError {
+    /// The instance exceeds the request cap.
+    TooManyRequests {
+        /// Requests in the instance.
+        requests: usize,
+        /// The solver's cap.
+        cap: usize,
+    },
+    /// One multicast group exceeds the per-group subscriber cap.
+    GroupTooLarge {
+        /// Subscribers in the largest group.
+        size: usize,
+        /// The solver's cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for OptimalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimalError::TooManyRequests { requests, cap } => {
+                write!(f, "{requests} requests exceed the exact-search cap {cap}")
+            }
+            OptimalError::GroupTooLarge { size, cap } => {
+                write!(f, "group of {size} subscribers exceeds the cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimalError {}
+
+/// One feasible tree shape for a group: parent per subscriber (`None` =
+/// rejected) plus its degree footprint.
+struct Candidate {
+    rejections: u32,
+    /// Parent per subscriber index, aligned with the group's subscriber
+    /// list.
+    parents: Vec<Option<SiteId>>,
+    out_delta: Vec<u32>,
+    in_delta: Vec<u32>,
+}
+
+/// Exhaustive branch-and-bound solver.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_overlay::{OptimalSolver, ProblemInstance};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// // A source with out-degree 1 and two subscribers: the optimum relays
+/// // through the first subscriber and rejects nothing.
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let problem = ProblemInstance::builder(costs, CostMs::new(50))
+///     .capacities(vec![
+///         teeve_overlay::NodeCapacity::symmetric(Degree::new(1)),
+///         teeve_overlay::NodeCapacity::symmetric(Degree::new(4)),
+///         teeve_overlay::NodeCapacity::symmetric(Degree::new(4)),
+///     ])
+///     .streams_per_site(&[1, 0, 0])
+///     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+///     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
+///     .build()?;
+/// let outcome = OptimalSolver::default().solve(&problem)?;
+/// assert_eq!(outcome.metrics().rejected_requests, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimalSolver {
+    max_requests: usize,
+    max_group: usize,
+}
+
+impl OptimalSolver {
+    /// Creates a solver with explicit size caps.
+    pub fn new(max_requests: usize, max_group: usize) -> Self {
+        OptimalSolver {
+            max_requests,
+            max_group,
+        }
+    }
+
+    /// Finds a forest with the minimum number of rejected requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the instance exceeds the solver's caps —
+    /// exact search is exponential, the caps keep it interactive.
+    pub fn solve(&self, problem: &ProblemInstance) -> Result<ConstructionOutcome, OptimalError> {
+        let requests = problem.total_requests();
+        if requests > self.max_requests {
+            return Err(OptimalError::TooManyRequests {
+                requests,
+                cap: self.max_requests,
+            });
+        }
+        if let Some(size) = problem.groups().iter().map(|g| g.len()).max() {
+            if size > self.max_group {
+                return Err(OptimalError::GroupTooLarge {
+                    size,
+                    cap: self.max_group,
+                });
+            }
+        }
+
+        let n = problem.site_count();
+
+        // Per-group candidate tree shapes, each sorted by rejections so the
+        // branch-and-bound meets good solutions early.
+        let group_candidates: Vec<Vec<Candidate>> = (0..problem.group_count())
+            .map(|g| {
+                let mut cands = enumerate_group(problem, g);
+                cands.sort_by_key(|c| c.rejections);
+                cands
+            })
+            .collect();
+
+        // Suffix lower bounds: the fewest rejections any candidate of each
+        // remaining group can contribute, ignoring degree interactions.
+        let mut suffix_min = vec![0u32; group_candidates.len() + 1];
+        for g in (0..group_candidates.len()).rev() {
+            let min_here = group_candidates[g]
+                .iter()
+                .map(|c| c.rejections)
+                .min()
+                .unwrap_or(0);
+            suffix_min[g] = suffix_min[g + 1] + min_here;
+        }
+
+        let mut search = Search {
+            group_candidates: &group_candidates,
+            suffix_min: &suffix_min,
+            out_left: (0..n)
+                .map(|i| problem.capacity(SiteId::new(i as u32)).outbound.count())
+                .collect(),
+            in_left: (0..n)
+                .map(|i| problem.capacity(SiteId::new(i as u32)).inbound.count())
+                .collect(),
+            chosen: Vec::new(),
+            best_rejections: u32::MAX,
+            best_choice: None,
+        };
+        search.dfs(0, 0);
+
+        let choice = search
+            .best_choice
+            .expect("every group has the all-rejected candidate, so a solution exists");
+        let trees = (0..problem.group_count())
+            .map(|g| build_tree(problem, g, &group_candidates[g][choice[g]]))
+            .collect();
+        Ok(ConstructionOutcome::new(
+            "Optimal",
+            problem,
+            Forest::new(trees),
+        ))
+    }
+}
+
+impl Default for OptimalSolver {
+    /// Caps at 12 requests and 5 subscribers per group — fractions of a
+    /// second of search.
+    fn default() -> Self {
+        OptimalSolver::new(12, 5)
+    }
+}
+
+struct Search<'a> {
+    group_candidates: &'a [Vec<Candidate>],
+    suffix_min: &'a [u32],
+    out_left: Vec<u32>,
+    in_left: Vec<u32>,
+    chosen: Vec<usize>,
+    best_rejections: u32,
+    best_choice: Option<Vec<usize>>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, group: usize, rejected: u32) {
+        if rejected + self.suffix_min[group] >= self.best_rejections {
+            return; // cannot beat the incumbent
+        }
+        if group == self.group_candidates.len() {
+            self.best_rejections = rejected;
+            self.best_choice = Some(self.chosen.clone());
+            return;
+        }
+        for (i, cand) in self.group_candidates[group].iter().enumerate() {
+            if !self.fits(cand) {
+                continue;
+            }
+            self.apply(cand);
+            self.chosen.push(i);
+            self.dfs(group + 1, rejected + cand.rejections);
+            self.chosen.pop();
+            self.revert(cand);
+        }
+    }
+
+    fn fits(&self, cand: &Candidate) -> bool {
+        cand.out_delta
+            .iter()
+            .zip(&self.out_left)
+            .all(|(d, left)| d <= left)
+            && cand
+                .in_delta
+                .iter()
+                .zip(&self.in_left)
+                .all(|(d, left)| d <= left)
+    }
+
+    fn apply(&mut self, cand: &Candidate) {
+        for (left, d) in self.out_left.iter_mut().zip(&cand.out_delta) {
+            *left -= d;
+        }
+        for (left, d) in self.in_left.iter_mut().zip(&cand.in_delta) {
+            *left -= d;
+        }
+    }
+
+    fn revert(&mut self, cand: &Candidate) {
+        for (left, d) in self.out_left.iter_mut().zip(&cand.out_delta) {
+            *left += d;
+        }
+        for (left, d) in self.in_left.iter_mut().zip(&cand.in_delta) {
+            *left += d;
+        }
+    }
+}
+
+/// Enumerates every feasible tree shape of group `g`: each subscriber
+/// picks a parent among {source} ∪ {other subscribers} or is rejected;
+/// assignments whose accepted part is not a tree rooted at the source, or
+/// whose path cost breaks the bound, are discarded.
+fn enumerate_group(problem: &ProblemInstance, g: usize) -> Vec<Candidate> {
+    let group = &problem.groups()[g];
+    let source = group.source();
+    let subs = group.subscribers();
+    let k = subs.len();
+    let n = problem.site_count();
+    let bound = problem.cost_bound();
+
+    // Choice encoding per subscriber: 0 = rejected, 1 = source parent,
+    // 2 + j = parent is subscriber j.
+    let options = k + 1;
+    let mut out = Vec::new();
+    let mut counters = vec![0usize; k];
+    loop {
+        if let Some(cand) = realize(problem, source, subs, &counters, n, bound) {
+            out.push(cand);
+        }
+
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == k {
+                return out;
+            }
+            counters[pos] += 1;
+            if counters[pos] <= options {
+                break;
+            }
+            counters[pos] = 0;
+            pos += 1;
+        }
+        // Skip self-parenting codes (choice 2 + own index).
+        if counters.iter().enumerate().any(|(i, &c)| c == 2 + i) {
+            continue;
+        }
+    }
+}
+
+/// Materializes one choice vector into a candidate, or `None` if invalid.
+fn realize(
+    problem: &ProblemInstance,
+    source: SiteId,
+    subs: &[SiteId],
+    counters: &[usize],
+    n: usize,
+    bound: CostMs,
+) -> Option<Candidate> {
+    let k = subs.len();
+    let parents: Vec<Option<SiteId>> = counters
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| match c {
+            0 => None,
+            1 => Some(source),
+            j => {
+                let p = j - 2;
+                if p == i || p >= k {
+                    // Self-parent or odometer overflow code: invalid.
+                    Some(subs[i]) // sentinel caught below (self-parent)
+                } else {
+                    Some(subs[p])
+                }
+            }
+        })
+        .collect();
+    // Reject invalid codes: self-parents and parents that are rejected.
+    for (i, &p) in parents.iter().enumerate() {
+        let Some(p) = p else { continue };
+        if p == subs[i] {
+            return None;
+        }
+        if p != source {
+            let pi = subs.iter().position(|&s| s == p).expect("parent in group");
+            if parents[pi].is_none() {
+                return None; // parent itself rejected
+            }
+        }
+    }
+
+    // Path costs: walk chains; a cycle never reaches the source.
+    let mut cost_cache: Vec<Option<CostMs>> = vec![None; k];
+    for i in 0..k {
+        if parents[i].is_none() {
+            continue;
+        }
+        let cost = path_cost(problem, source, subs, &parents, i, &mut cost_cache, 0)?;
+        if cost >= bound {
+            return None;
+        }
+    }
+
+    let mut out_delta = vec![0u32; n];
+    let mut in_delta = vec![0u32; n];
+    let mut rejections = 0;
+    for (i, &p) in parents.iter().enumerate() {
+        match p {
+            Some(p) => {
+                out_delta[p.index()] += 1;
+                in_delta[subs[i].index()] += 1;
+            }
+            None => rejections += 1,
+        }
+    }
+    Some(Candidate {
+        rejections,
+        parents,
+        out_delta,
+        in_delta,
+    })
+}
+
+/// Cost from the source to subscriber `i` along the assignment, `None` on
+/// a cycle.
+fn path_cost(
+    problem: &ProblemInstance,
+    source: SiteId,
+    subs: &[SiteId],
+    parents: &[Option<SiteId>],
+    i: usize,
+    cache: &mut Vec<Option<CostMs>>,
+    depth: usize,
+) -> Option<CostMs> {
+    if depth > subs.len() {
+        return None; // cycle
+    }
+    if let Some(c) = cache[i] {
+        return Some(c);
+    }
+    let p = parents[i].expect("only accepted nodes are costed");
+    let edge = problem.cost(p, subs[i]);
+    let total = if p == source {
+        edge
+    } else {
+        let pi = subs.iter().position(|&s| s == p).expect("parent in group");
+        path_cost(problem, source, subs, parents, pi, cache, depth + 1)? + edge
+    };
+    cache[i] = Some(total);
+    Some(total)
+}
+
+/// Builds the group's [`MulticastTree`] from a candidate, attaching in
+/// root-to-leaf order.
+fn build_tree(problem: &ProblemInstance, g: usize, cand: &Candidate) -> MulticastTree {
+    let group = &problem.groups()[g];
+    let subs = group.subscribers();
+    let mut tree = MulticastTree::new(group.stream(), problem.site_count());
+    let mut attached = vec![false; subs.len()];
+    loop {
+        let mut progress = false;
+        for (i, &parent) in cand.parents.iter().enumerate() {
+            let Some(parent) = parent else { continue };
+            if attached[i] || !tree.is_member(parent) {
+                continue;
+            }
+            tree.attach(subs[i], parent, problem.cost(parent, subs[i]));
+            attached[i] = true;
+            progress = true;
+        }
+        if !progress {
+            return tree;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{
+        ConstructionAlgorithm, LargestTreeFirst, RandomJoin, SmallestTreeFirst,
+    };
+    use crate::problem::NodeCapacity;
+    use crate::validate::validate_forest;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_types::{CostMatrix, Degree, StreamId};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    #[test]
+    fn relay_instance_is_solved_without_rejections() {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                NodeCapacity::symmetric(Degree::new(1)),
+                NodeCapacity::symmetric(Degree::new(4)),
+                NodeCapacity::symmetric(Degree::new(4)),
+            ])
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let outcome = OptimalSolver::default().solve(&problem).unwrap();
+        assert_eq!(outcome.metrics().rejected_requests, 0);
+        assert!(validate_forest(&problem, outcome.forest()).is_ok());
+    }
+
+    #[test]
+    fn infeasible_request_is_the_only_rejection() {
+        // Out-degree 1 at the source, cost bound that forbids relaying
+        // (depth-2 paths exceed it): one of the two requests must go.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(30));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                NodeCapacity::symmetric(Degree::new(1)),
+                NodeCapacity::symmetric(Degree::new(4)),
+                NodeCapacity::symmetric(Degree::new(4)),
+            ])
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let outcome = OptimalSolver::default().solve(&problem).unwrap();
+        assert_eq!(outcome.metrics().rejected_requests, 1);
+    }
+
+    #[test]
+    fn optimal_is_never_beaten_by_heuristics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for seed in 0..12u64 {
+            let mut gen = ChaCha8Rng::seed_from_u64(seed);
+            let problem = random_small_instance(&mut gen);
+            let optimal = OptimalSolver::default()
+                .solve(&problem)
+                .unwrap()
+                .metrics()
+                .rejected_requests;
+            for alg in [
+                &RandomJoin as &dyn ConstructionAlgorithm,
+                &LargestTreeFirst,
+                &SmallestTreeFirst,
+            ] {
+                let h = alg
+                    .construct(&problem, &mut rng)
+                    .metrics()
+                    .rejected_requests;
+                assert!(
+                    optimal <= h,
+                    "seed {seed}: optimal {optimal} beaten by {} with {h}",
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_forest_always_validates() {
+        for seed in 0..8u64 {
+            let mut gen = ChaCha8Rng::seed_from_u64(seed);
+            let problem = random_small_instance(&mut gen);
+            let outcome = OptimalSolver::default().solve(&problem).unwrap();
+            assert!(
+                validate_forest(&problem, outcome.forest()).is_ok(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(5));
+        let mut b = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(10))
+            .streams_per_site(&[4, 4, 4, 4]);
+        for sub in 0..4u32 {
+            for origin in 0..4u32 {
+                if sub != origin {
+                    for q in 0..4 {
+                        b = b.subscribe(site(sub), stream(origin, q));
+                    }
+                }
+            }
+        }
+        let problem = b.build().unwrap();
+        let err = OptimalSolver::default().solve(&problem).unwrap_err();
+        assert!(matches!(err, OptimalError::TooManyRequests { .. }));
+
+        let err = OptimalSolver::new(1_000, 2).solve(&problem).unwrap_err();
+        assert!(matches!(err, OptimalError::GroupTooLarge { .. }));
+    }
+
+    /// A random 3-site instance with tight capacities, small enough for
+    /// exact search.
+    fn random_small_instance(rng: &mut ChaCha8Rng) -> ProblemInstance {
+        use rand::Rng;
+        let costs = CostMatrix::from_fn(3, |i, j| {
+            if i == j {
+                CostMs::ZERO
+            } else {
+                CostMs::new(5 + ((i * 3 + j) % 4) as u32 * 7)
+            }
+        });
+        let mut b = ProblemInstance::builder(costs, CostMs::new(40))
+            .capacities(
+                (0..3)
+                    .map(|_| NodeCapacity::symmetric(Degree::new(rng.gen_range(1..4))))
+                    .collect(),
+            )
+            .streams_per_site(&[2, 2, 2]);
+        for sub in 0..3u32 {
+            for origin in 0..3u32 {
+                if sub == origin {
+                    continue;
+                }
+                for q in 0..2 {
+                    if rng.gen_bool(0.6) {
+                        b = b.subscribe(site(sub), stream(origin, q));
+                    }
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+}

@@ -1,0 +1,69 @@
+//! The result of running a construction algorithm on a problem instance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::forest::Forest;
+use crate::metrics::ConstructionMetrics;
+use crate::problem::{ProblemInstance, Request};
+
+/// Everything produced by one run of a construction algorithm: the forest,
+/// plus the metrics the paper evaluates (rejection ratios, load balancing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstructionOutcome {
+    algorithm: String,
+    forest: Forest,
+    metrics: ConstructionMetrics,
+}
+
+impl ConstructionOutcome {
+    /// Assembles an outcome, computing metrics from the finished forest.
+    pub(crate) fn new(algorithm: &str, problem: &ProblemInstance, forest: Forest) -> Self {
+        let metrics = ConstructionMetrics::compute(problem, &forest);
+        ConstructionOutcome {
+            algorithm: algorithm.to_string(),
+            forest,
+            metrics,
+        }
+    }
+
+    /// Returns the name of the algorithm that produced this outcome.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Returns the constructed dissemination forest.
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Returns the evaluation metrics.
+    pub fn metrics(&self) -> &ConstructionMetrics {
+        &self.metrics
+    }
+
+    /// Returns the requests that were satisfied: the subscriber is a member
+    /// of the stream's tree.
+    pub fn accepted_requests<'a>(
+        &'a self,
+        problem: &'a ProblemInstance,
+    ) -> impl Iterator<Item = Request> + 'a {
+        problem.requests().filter(|r| {
+            self.forest
+                .tree_for(r.stream)
+                .is_some_and(|t| t.is_member(r.subscriber))
+        })
+    }
+
+    /// Returns the requests that were rejected.
+    pub fn rejected_requests<'a>(
+        &'a self,
+        problem: &'a ProblemInstance,
+    ) -> impl Iterator<Item = Request> + 'a {
+        problem.requests().filter(|r| {
+            !self
+                .forest
+                .tree_for(r.stream)
+                .is_some_and(|t| t.is_member(r.subscriber))
+        })
+    }
+}

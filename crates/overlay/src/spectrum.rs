@@ -1,0 +1,110 @@
+//! Granularity analysis (paper Section 5.3): sweep the algorithm spectrum
+//! from tree-by-tree construction (`g = 1`) to whole-forest randomization
+//! (`g = F`).
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::algorithms::{ConstructionAlgorithm, GranLtf};
+use crate::problem::ProblemInstance;
+
+/// One point of a granularity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GranularityPoint {
+    /// The granularity `g` (number of trees constructed at once).
+    pub granularity: usize,
+    /// Mean rejection ratio `X` over the sweep's samples.
+    pub mean_rejection_ratio: f64,
+}
+
+/// Runs Gran-LTF at every granularity in `granularities`, averaging the
+/// rejection ratio over `samples` randomized runs per point.
+///
+/// This regenerates the data behind the paper's Figure 9: rejection
+/// generally decreases as granularity grows, with a small fluctuation
+/// region at large `g`.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or any granularity is zero.
+pub fn granularity_sweep(
+    problem: &ProblemInstance,
+    granularities: &[usize],
+    samples: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<GranularityPoint> {
+    assert!(samples > 0, "at least one sample per point is required");
+    granularities
+        .iter()
+        .map(|&g| {
+            let algo = GranLtf::new(g);
+            let mut total = 0.0;
+            for _ in 0..samples {
+                total += algo.construct(problem, rng).metrics().rejection_ratio();
+            }
+            GranularityPoint {
+                granularity: g,
+                mean_rejection_ratio: total / samples as f64,
+            }
+        })
+        .collect()
+}
+
+/// Returns the full sweep range `1..=F` for a problem (every legal
+/// granularity).
+pub fn full_granularity_range(problem: &ProblemInstance) -> Vec<usize> {
+    (1..=problem.group_count().max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_support::contended_problem;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sweep_covers_requested_granularities() {
+        let problem = contended_problem();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let points = granularity_sweep(&problem, &[1, 3, 6, 12], 5, &mut rng);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].granularity, 1);
+        assert_eq!(points[3].granularity, 12);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.mean_rejection_ratio));
+        }
+    }
+
+    #[test]
+    fn full_range_spans_one_to_f() {
+        let problem = contended_problem();
+        let range = full_granularity_range(&problem);
+        assert_eq!(range.first(), Some(&1));
+        assert_eq!(range.last(), Some(&problem.group_count()));
+    }
+
+    /// The paper's Figure 9 finding, in expectation: the randomized end of
+    /// the spectrum (g = F) does not reject more than the tree-by-tree end
+    /// (g = 1).
+    #[test]
+    fn larger_granularity_does_not_hurt() {
+        let problem = contended_problem();
+        let f = problem.group_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let points = granularity_sweep(&problem, &[1, f], 60, &mut rng);
+        let (g1, gf) = (points[0].mean_rejection_ratio, points[1].mean_rejection_ratio);
+        assert!(
+            gf <= g1 + 0.02,
+            "granularity F ({gf:.3}) should be at least as good as 1 ({g1:.3})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sample")]
+    fn rejects_zero_samples() {
+        let problem = contended_problem();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = granularity_sweep(&problem, &[1], 0, &mut rng);
+    }
+}

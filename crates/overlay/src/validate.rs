@@ -1,0 +1,345 @@
+//! Forest invariant validation: every constraint of the problem
+//! formulation, checkable on any constructed forest.
+
+use std::fmt;
+
+use teeve_types::{CostMs, SiteId, StreamId};
+
+use crate::forest::Forest;
+use crate::problem::ProblemInstance;
+
+/// A violated invariant found by [`validate_forest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// The forest's tree count differs from the problem's group count.
+    WrongTreeCount {
+        /// Trees in the forest.
+        trees: usize,
+        /// Groups in the problem.
+        groups: usize,
+    },
+    /// A node receives more streams than its inbound limit.
+    InDegreeExceeded {
+        /// The overloaded node.
+        site: SiteId,
+        /// Actual in-degree.
+        actual: u32,
+        /// Inbound limit `I_i`.
+        limit: u32,
+    },
+    /// A node sends more streams than its outbound limit.
+    OutDegreeExceeded {
+        /// The overloaded node.
+        site: SiteId,
+        /// Actual out-degree.
+        actual: u32,
+        /// Outbound limit `O_i`.
+        limit: u32,
+    },
+    /// A member's source-to-node path latency reaches or exceeds `B_cost`.
+    LatencyBoundViolated {
+        /// The stream whose tree violates the bound.
+        stream: StreamId,
+        /// The member with an over-budget path.
+        site: SiteId,
+        /// The offending path cost.
+        cost: CostMs,
+        /// The bound `B_cost`.
+        bound: CostMs,
+    },
+    /// A tree contains a member that neither originates nor subscribed to
+    /// the stream.
+    UninvitedMember {
+        /// The stream whose tree contains the stranger.
+        stream: StreamId,
+        /// The member that never requested the stream.
+        site: SiteId,
+    },
+    /// A member's recorded path cost disagrees with the sum of its parent
+    /// chain's edge costs.
+    CostMismatch {
+        /// The stream whose tree is inconsistent.
+        stream: StreamId,
+        /// The member with an inconsistent cost.
+        site: SiteId,
+        /// Cost recorded in the tree.
+        recorded: CostMs,
+        /// Cost recomputed from the parent chain.
+        recomputed: CostMs,
+    },
+    /// A member's parent chain does not reach the source (cycle or orphan).
+    BrokenParentChain {
+        /// The stream whose tree is broken.
+        stream: StreamId,
+        /// The member whose chain does not terminate at the source.
+        site: SiteId,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::WrongTreeCount { trees, groups } => {
+                write!(f, "forest has {trees} trees for {groups} groups")
+            }
+            InvariantViolation::InDegreeExceeded { site, actual, limit } => {
+                write!(f, "{site}: in-degree {actual} exceeds limit {limit}")
+            }
+            InvariantViolation::OutDegreeExceeded { site, actual, limit } => {
+                write!(f, "{site}: out-degree {actual} exceeds limit {limit}")
+            }
+            InvariantViolation::LatencyBoundViolated {
+                stream,
+                site,
+                cost,
+                bound,
+            } => write!(
+                f,
+                "tree {stream}: {site} path cost {cost} violates bound {bound}"
+            ),
+            InvariantViolation::UninvitedMember { stream, site } => {
+                write!(f, "tree {stream}: {site} is a member but never subscribed")
+            }
+            InvariantViolation::CostMismatch {
+                stream,
+                site,
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "tree {stream}: {site} records cost {recorded}, parent chain sums to {recomputed}"
+            ),
+            InvariantViolation::BrokenParentChain { stream, site } => {
+                write!(f, "tree {stream}: {site} has no parent chain to the source")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Checks a forest against every constraint of the forest construction
+/// problem (Section 4.2):
+///
+/// * one tree per multicast group;
+/// * `d_in(v) ≤ I(v)` and `d_out(v) ≤ O(v)` across the whole forest;
+/// * every member's source path cost is strictly below `B_cost`;
+/// * trees contain only the source and actual subscribers;
+/// * parent chains terminate at the source and recorded costs equal the
+///   recomputed edge sums (well-formedness).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_forest(
+    problem: &ProblemInstance,
+    forest: &Forest,
+) -> Result<(), InvariantViolation> {
+    if forest.len() != problem.group_count() {
+        return Err(InvariantViolation::WrongTreeCount {
+            trees: forest.len(),
+            groups: problem.group_count(),
+        });
+    }
+
+    let n = problem.site_count();
+    for site in SiteId::all(n) {
+        let cap = problem.capacity(site);
+        let din = forest.in_degree(site);
+        if din > cap.inbound.count() {
+            return Err(InvariantViolation::InDegreeExceeded {
+                site,
+                actual: din,
+                limit: cap.inbound.count(),
+            });
+        }
+        let dout = forest.out_degree(site);
+        if dout > cap.outbound.count() {
+            return Err(InvariantViolation::OutDegreeExceeded {
+                site,
+                actual: dout,
+                limit: cap.outbound.count(),
+            });
+        }
+    }
+
+    for (group, tree) in problem.groups().iter().zip(forest.trees()) {
+        let stream = tree.stream();
+        debug_assert_eq!(group.stream(), stream, "forest preserves group order");
+        for site in SiteId::all(n) {
+            if !tree.is_member(site) {
+                continue;
+            }
+            if site == tree.source() {
+                continue;
+            }
+            if !group.subscribers().contains(&site) {
+                return Err(InvariantViolation::UninvitedMember { stream, site });
+            }
+            // Walk the parent chain, recomputing the path cost.
+            let mut recomputed = CostMs::ZERO;
+            let mut cursor = site;
+            let mut hops = 0;
+            loop {
+                match tree.parent_of(cursor) {
+                    Some(parent) => {
+                        recomputed = recomputed.saturating_add(problem.cost(parent, cursor));
+                        cursor = parent;
+                        hops += 1;
+                        if hops > n {
+                            return Err(InvariantViolation::BrokenParentChain {
+                                stream,
+                                site,
+                            });
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if cursor != tree.source() {
+                return Err(InvariantViolation::BrokenParentChain { stream, site });
+            }
+            let recorded = tree
+                .cost_from_source(site)
+                .expect("members always have a cost");
+            if recorded != recomputed {
+                return Err(InvariantViolation::CostMismatch {
+                    stream,
+                    site,
+                    recorded,
+                    recomputed,
+                });
+            }
+            if !(recorded < problem.cost_bound()) {
+                return Err(InvariantViolation::LatencyBoundViolated {
+                    stream,
+                    site,
+                    cost: recorded,
+                    bound: problem.cost_bound(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::ForestState;
+    use teeve_types::{CostMatrix, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn problem(bound: u32) -> ProblemInstance {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+        ProblemInstance::builder(costs, CostMs::new(bound))
+            .symmetric_capacities(Degree::new(4))
+            .streams_per_site(&[1, 1, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .subscribe(site(0), stream(1, 0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_construction_passes() {
+        let p = problem(100);
+        let mut state = ForestState::new(&p);
+        for (g, group) in p.groups().iter().enumerate() {
+            for &s in group.subscribers() {
+                state.try_join(g, s);
+            }
+        }
+        validate_forest(&p, &state.into_forest()).expect("clean forest");
+    }
+
+    #[test]
+    fn empty_forest_with_requests_is_still_structurally_valid() {
+        // Rejecting everything is allowed by the constraints (it just has
+        // rejection ratio 1); validation checks structure, not optimality.
+        let p = problem(100);
+        let forest = ForestState::new(&p).into_forest();
+        validate_forest(&p, &forest).expect("empty trees are valid");
+    }
+
+    #[test]
+    fn detects_wrong_tree_count() {
+        let p = problem(100);
+        let forest = Forest::new(vec![]);
+        assert_eq!(
+            validate_forest(&p, &forest),
+            Err(InvariantViolation::WrongTreeCount { trees: 0, groups: 2 })
+        );
+    }
+
+    #[test]
+    fn detects_latency_violations() {
+        // Bound 3 with edges of cost 3: any edge's path cost (3) is not
+        // strictly below the bound, so a forest containing such an edge is
+        // invalid. Build it by bypassing try_join.
+        let p = problem(3);
+        let mut state = ForestState::new(&p);
+        state.attach(0, site(1), site(0), CostMs::new(3));
+        let forest = state.into_forest();
+        assert!(matches!(
+            validate_forest(&p, &forest),
+            Err(InvariantViolation::LatencyBoundViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_uninvited_members() {
+        let p = problem(100);
+        let mut state = ForestState::new(&p);
+        // Group 1 is stream s1.0, subscribed only by site 0; attach site 2.
+        state.attach(1, site(2), site(1), CostMs::new(3));
+        let forest = state.into_forest();
+        assert!(matches!(
+            validate_forest(&p, &forest),
+            Err(InvariantViolation::UninvitedMember { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_degree_overruns() {
+        // Capacity 1 at the source, two joins forced via attach.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(1));
+        let p = ProblemInstance::builder(costs, CostMs::new(100))
+            .symmetric_capacities(Degree::new(1))
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut state = ForestState::new(&p);
+        state.attach(0, site(1), site(0), CostMs::new(1));
+        state.attach(0, site(2), site(0), CostMs::new(1));
+        let forest = state.into_forest();
+        assert!(matches!(
+            validate_forest(&p, &forest),
+            Err(InvariantViolation::OutDegreeExceeded { site, actual: 2, limit: 1 })
+                if site == SiteId::new(0)
+        ));
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = InvariantViolation::InDegreeExceeded {
+            site: site(3),
+            actual: 9,
+            limit: 5,
+        };
+        let text = v.to_string();
+        assert!(text.contains("H3"));
+        assert!(text.contains('9'));
+        assert!(text.contains('5'));
+    }
+}

@@ -1,0 +1,313 @@
+//! The centralized membership server (paper Section 3.2).
+//!
+//! "The subscription requests from all displays are collected by the local
+//! RP, and further aggregated to a centralized membership server. Based on
+//! the global subscription workload, the server dictates all RPs to
+//! organize into an application-level overlay network for data
+//! dissemination." The centralized design is deliberate: 3DTI sessions are
+//! small to medium sized.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use teeve_overlay::{
+    ConstructionAlgorithm, ConstructionOutcome, NodeCapacity, ProblemError, ProblemInstance,
+};
+use teeve_types::{CostMatrix, CostMs, SiteId, StreamId};
+
+use crate::{DisseminationPlan, StreamProfile};
+
+/// Error produced by the membership server.
+#[derive(Debug)]
+pub enum MembershipError {
+    /// A site registered or submitted with an index outside the session.
+    UnknownSite {
+        /// The offending site.
+        site: SiteId,
+        /// Session size.
+        sites: usize,
+    },
+    /// Overlay construction was requested before every site submitted its
+    /// request set.
+    MissingSubmissions {
+        /// Sites that have not submitted yet.
+        missing: Vec<SiteId>,
+    },
+    /// The aggregated workload did not form a valid problem instance.
+    Problem(ProblemError),
+}
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MembershipError::UnknownSite { site, sites } => {
+                write!(f, "site {site} outside session of {sites} sites")
+            }
+            MembershipError::MissingSubmissions { missing } => {
+                write!(f, "awaiting request sets from {} sites", missing.len())
+            }
+            MembershipError::Problem(e) => write!(f, "invalid aggregated workload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MembershipError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProblemError> for MembershipError {
+    fn from(e: ProblemError) -> Self {
+        MembershipError::Problem(e)
+    }
+}
+
+/// The centralized membership server: aggregates per-site request sets and
+/// turns them into a dissemination plan by running a construction
+/// algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_overlay::{NodeCapacity, RandomJoin};
+/// use teeve_pubsub::{MembershipServer, StreamProfile};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let mut server = MembershipServer::new(
+///     costs,
+///     CostMs::new(50),
+///     vec![NodeCapacity::symmetric(Degree::new(4)); 3],
+///     vec![1, 1, 1],
+///     StreamProfile::default(),
+/// );
+/// for site in SiteId::all(3) {
+///     let wanted = if site == SiteId::new(0) {
+///         vec![StreamId::new(SiteId::new(1), 0)]
+///     } else {
+///         vec![StreamId::new(SiteId::new(0), 0)]
+///     };
+///     server.submit_requests(site, wanted.into_iter().collect())?;
+/// }
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let (outcome, plan) = server.build_overlay(&RandomJoin::default(), &mut rng)?;
+/// assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+/// assert_eq!(plan.site_count(), 3);
+/// # Ok::<(), teeve_pubsub::MembershipError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipServer {
+    costs: CostMatrix,
+    cost_bound: CostMs,
+    capacities: Vec<NodeCapacity>,
+    streams_per_site: Vec<u32>,
+    profile: StreamProfile,
+    submissions: Vec<Option<BTreeSet<StreamId>>>,
+}
+
+impl MembershipServer {
+    /// Creates a server for the session described by the cost matrix,
+    /// latency bound, per-site capacities, and per-site published stream
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity or stream tables do not match the cost
+    /// matrix size.
+    pub fn new(
+        costs: CostMatrix,
+        cost_bound: CostMs,
+        capacities: Vec<NodeCapacity>,
+        streams_per_site: Vec<u32>,
+        profile: StreamProfile,
+    ) -> Self {
+        let n = costs.len();
+        assert_eq!(capacities.len(), n, "capacities must cover every site");
+        assert_eq!(
+            streams_per_site.len(),
+            n,
+            "stream counts must cover every site"
+        );
+        MembershipServer {
+            costs,
+            cost_bound,
+            capacities,
+            streams_per_site,
+            profile,
+            submissions: vec![None; n],
+        }
+    }
+
+    /// Returns the number of sites in the session.
+    pub fn site_count(&self) -> usize {
+        self.submissions.len()
+    }
+
+    /// Submits (replacing) the aggregated request set of one RP.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `site` is outside the session.
+    pub fn submit_requests(
+        &mut self,
+        site: SiteId,
+        requests: BTreeSet<StreamId>,
+    ) -> Result<(), MembershipError> {
+        let n = self.site_count();
+        if site.index() >= n {
+            return Err(MembershipError::UnknownSite { site, sites: n });
+        }
+        self.submissions[site.index()] = Some(requests);
+        Ok(())
+    }
+
+    /// Returns the sites that have not yet submitted a request set.
+    pub fn pending_sites(&self) -> Vec<SiteId> {
+        self.submissions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| SiteId::new(i as u32))
+            .collect()
+    }
+
+    /// Assembles the global subscription workload into a problem instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any site has not submitted or the aggregated
+    /// workload is invalid.
+    pub fn problem(&self) -> Result<ProblemInstance, MembershipError> {
+        let missing = self.pending_sites();
+        if !missing.is_empty() {
+            return Err(MembershipError::MissingSubmissions { missing });
+        }
+        let mut builder = ProblemInstance::builder(self.costs.clone(), self.cost_bound)
+            .capacities(self.capacities.clone())
+            .streams_per_site(&self.streams_per_site);
+        for (i, submission) in self.submissions.iter().enumerate() {
+            let site = SiteId::new(i as u32);
+            for &stream in submission.as_ref().expect("checked above") {
+                builder = builder.subscribe(site, stream);
+            }
+        }
+        Ok(builder.build()?)
+    }
+
+    /// Runs `algorithm` on the aggregated workload and derives the
+    /// dissemination plan the server dictates to all RPs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if submissions are missing or invalid.
+    pub fn build_overlay(
+        &self,
+        algorithm: &dyn ConstructionAlgorithm,
+        rng: &mut dyn RngCore,
+    ) -> Result<(ConstructionOutcome, DisseminationPlan), MembershipError> {
+        let problem = self.problem()?;
+        let outcome = algorithm.construct(&problem, rng);
+        let plan = DisseminationPlan::from_forest(&problem, outcome.forest(), self.profile);
+        Ok((outcome, plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_overlay::RandomJoin;
+    use teeve_types::Degree;
+
+    fn server() -> MembershipServer {
+        MembershipServer::new(
+            CostMatrix::from_fn(3, |_, _| CostMs::new(4)),
+            CostMs::new(40),
+            vec![NodeCapacity::symmetric(Degree::new(5)); 3],
+            vec![2, 2, 2],
+            StreamProfile::default(),
+        )
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(SiteId::new(origin), q)
+    }
+
+    #[test]
+    fn requires_all_submissions_before_building() {
+        let mut s = server();
+        s.submit_requests(SiteId::new(0), BTreeSet::new()).unwrap();
+        let err = s.problem().unwrap_err();
+        match err {
+            MembershipError::MissingSubmissions { missing } => {
+                assert_eq!(missing, vec![SiteId::new(1), SiteId::new(2)]);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_sites() {
+        let mut s = server();
+        let err = s
+            .submit_requests(SiteId::new(9), BTreeSet::new())
+            .unwrap_err();
+        assert!(matches!(err, MembershipError::UnknownSite { .. }));
+    }
+
+    #[test]
+    fn builds_plan_from_submissions() {
+        let mut s = server();
+        s.submit_requests(SiteId::new(0), [stream(1, 0)].into())
+            .unwrap();
+        s.submit_requests(SiteId::new(1), [stream(0, 0), stream(2, 1)].into())
+            .unwrap();
+        s.submit_requests(SiteId::new(2), [stream(0, 0)].into())
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (outcome, plan) = s.build_overlay(&RandomJoin, &mut rng).unwrap();
+        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+        assert_eq!(plan.deliveries_to(SiteId::new(0)), vec![stream(1, 0)]);
+        assert_eq!(
+            plan.deliveries_to(SiteId::new(1)),
+            vec![stream(0, 0), stream(2, 1)]
+        );
+    }
+
+    #[test]
+    fn resubmission_replaces_requests() {
+        let mut s = server();
+        s.submit_requests(SiteId::new(0), [stream(1, 0)].into())
+            .unwrap();
+        s.submit_requests(SiteId::new(0), [stream(1, 1)].into())
+            .unwrap();
+        s.submit_requests(SiteId::new(1), BTreeSet::new()).unwrap();
+        s.submit_requests(SiteId::new(2), BTreeSet::new()).unwrap();
+        let problem = s.problem().unwrap();
+        let all: Vec<_> = problem.requests().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].stream, stream(1, 1));
+    }
+
+    #[test]
+    fn invalid_aggregate_workload_is_reported() {
+        let mut s = server();
+        // Self-subscription is invalid.
+        s.submit_requests(SiteId::new(0), [stream(0, 0)].into())
+            .unwrap();
+        s.submit_requests(SiteId::new(1), BTreeSet::new()).unwrap();
+        s.submit_requests(SiteId::new(2), BTreeSet::new()).unwrap();
+        assert!(matches!(
+            s.problem().unwrap_err(),
+            MembershipError::Problem(ProblemError::SelfSubscription { .. })
+        ));
+    }
+}

@@ -1,0 +1,281 @@
+//! Dissemination plans: the per-RP forwarding state derived from a
+//! constructed overlay forest.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use teeve_overlay::{Forest, ProblemInstance};
+use teeve_types::{CostMs, SiteId, StreamId};
+
+use crate::StreamProfile;
+
+/// One stream's forwarding entry at one RP: where the stream comes from and
+/// where to send it next.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardingEntry {
+    /// The stream being handled.
+    pub stream: StreamId,
+    /// Upstream parent; `None` when this RP is the stream's origin (the
+    /// local cameras feed it through the site's star network).
+    pub parent: Option<SiteId>,
+    /// Downstream children to forward every frame to.
+    pub children: Vec<SiteId>,
+}
+
+impl ForwardingEntry {
+    /// Returns true if this RP originates the stream.
+    pub fn is_origin(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+/// The complete forwarding state of one RP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SitePlan {
+    /// The RP this plan belongs to.
+    pub site: SiteId,
+    /// Forwarding entries, sorted by stream.
+    pub entries: Vec<ForwardingEntry>,
+}
+
+impl SitePlan {
+    /// Returns the entry for `stream`, if this RP handles it.
+    pub fn entry(&self, stream: StreamId) -> Option<&ForwardingEntry> {
+        self.entries.iter().find(|e| e.stream == stream)
+    }
+
+    /// Returns the streams this RP receives from other sites.
+    pub fn received_streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.entries
+            .iter()
+            .filter(|e| !e.is_origin())
+            .map(|e| e.stream)
+    }
+
+    /// Returns the total number of outgoing stream copies (the RP's actual
+    /// out-degree under this plan).
+    pub fn out_degree(&self) -> usize {
+        self.entries.iter().map(|e| e.children.len()).sum()
+    }
+
+    /// Returns the number of streams received from other sites (the RP's
+    /// actual in-degree under this plan).
+    pub fn in_degree(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_origin()).count()
+    }
+}
+
+/// A dissemination plan: everything the RPs need to move streams along the
+/// constructed overlay — forwarding tables, link latencies, and stream
+/// media profiles.
+///
+/// Produced by [`MembershipServer`](crate::MembershipServer) from a
+/// constructed forest; consumed by the discrete-event simulator
+/// (`teeve-sim`) and the live TCP cluster (`teeve-net`).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_overlay::{ConstructionAlgorithm, ProblemInstance, RandomJoin};
+/// use teeve_pubsub::{DisseminationPlan, StreamProfile};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let problem = ProblemInstance::builder(costs, CostMs::new(50))
+///     .symmetric_capacities(Degree::new(4))
+///     .streams_per_site(&[1, 1, 1])
+///     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+///     .build()?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let outcome = RandomJoin::default().construct(&problem, &mut rng);
+/// let plan = DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+/// assert_eq!(plan.site_plans().len(), 3);
+/// # Ok::<(), teeve_overlay::ProblemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisseminationPlan {
+    site_plans: Vec<SitePlan>,
+    costs: teeve_types::CostMatrix,
+    cost_bound: CostMs,
+    profile: StreamProfile,
+}
+
+impl DisseminationPlan {
+    /// Derives the plan from a constructed forest: one forwarding entry per
+    /// (tree, member) pair, with all streams sharing `profile`.
+    pub fn from_forest(
+        problem: &ProblemInstance,
+        forest: &Forest,
+        profile: StreamProfile,
+    ) -> Self {
+        let n = problem.site_count();
+        let mut per_site: Vec<BTreeMap<StreamId, ForwardingEntry>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+        for tree in forest.trees() {
+            for site in SiteId::all(n) {
+                if !tree.is_member(site) {
+                    continue;
+                }
+                let entry = ForwardingEntry {
+                    stream: tree.stream(),
+                    parent: tree.parent_of(site),
+                    children: tree.children(site),
+                };
+                // The origin only needs an entry when it actually has
+                // members to serve (or to record local publication).
+                per_site[site.index()].insert(tree.stream(), entry);
+            }
+        }
+        let site_plans = per_site
+            .into_iter()
+            .enumerate()
+            .map(|(i, entries)| SitePlan {
+                site: SiteId::new(i as u32),
+                entries: entries.into_values().collect(),
+            })
+            .collect();
+        DisseminationPlan {
+            site_plans,
+            costs: problem.costs().clone(),
+            cost_bound: problem.cost_bound(),
+            profile,
+        }
+    }
+
+    /// Returns the per-site plans, in site order.
+    pub fn site_plans(&self) -> &[SitePlan] {
+        &self.site_plans
+    }
+
+    /// Returns the plan of one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the session.
+    pub fn site_plan(&self, site: SiteId) -> &SitePlan {
+        &self.site_plans[site.index()]
+    }
+
+    /// Returns the number of sites.
+    pub fn site_count(&self) -> usize {
+        self.site_plans.len()
+    }
+
+    /// Returns the link latency between two sites.
+    pub fn link_cost(&self, a: SiteId, b: SiteId) -> CostMs {
+        self.costs.cost(a, b)
+    }
+
+    /// Returns the interactivity bound the overlay was constructed under.
+    pub fn cost_bound(&self) -> CostMs {
+        self.cost_bound
+    }
+
+    /// Returns the media profile shared by all streams.
+    pub fn profile(&self) -> StreamProfile {
+        self.profile
+    }
+
+    /// Returns every directed overlay edge `(parent, child, stream)`.
+    pub fn edges(&self) -> impl Iterator<Item = (SiteId, SiteId, StreamId)> + '_ {
+        self.site_plans.iter().flat_map(|sp| {
+            sp.entries.iter().flat_map(move |e| {
+                e.children.iter().map(move |&c| (sp.site, c, e.stream))
+            })
+        })
+    }
+
+    /// Returns the set of streams site `site` is planned to receive.
+    pub fn deliveries_to(&self, site: SiteId) -> Vec<StreamId> {
+        self.site_plan(site).received_streams().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_overlay::{ConstructionAlgorithm, RandomJoin};
+    use teeve_types::{CostMatrix, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn plan_for_four_sites() -> (ProblemInstance, DisseminationPlan) {
+        // The paper's Figure 5: four sites; everyone subscribes to stream
+        // "B"; A, B, D subscribe to "A"; etc. Simplified to the A and B
+        // streams.
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(4))
+            .streams_per_site(&[1, 1, 1, 1])
+            // Stream from B (site 1) requested by everyone else.
+            .subscribe(site(0), stream(1, 0))
+            .subscribe(site(2), stream(1, 0))
+            .subscribe(site(3), stream(1, 0))
+            // Stream from A (site 0) requested by B and D.
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(3), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+        let plan =
+            DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+        (problem, plan)
+    }
+
+    #[test]
+    fn every_accepted_subscription_is_planned() {
+        let (problem, plan) = plan_for_four_sites();
+        for r in problem.requests() {
+            assert!(
+                plan.deliveries_to(r.subscriber).contains(&r.stream),
+                "{r} missing from the plan"
+            );
+        }
+    }
+
+    #[test]
+    fn origins_have_no_parent() {
+        let (_, plan) = plan_for_four_sites();
+        let entry = plan.site_plan(site(1)).entry(stream(1, 0)).unwrap();
+        assert!(entry.is_origin());
+        assert!(!entry.children.is_empty(), "B's stream must fan out");
+    }
+
+    #[test]
+    fn edges_are_consistent_between_parent_and_child() {
+        let (_, plan) = plan_for_four_sites();
+        for (parent, child, s) in plan.edges() {
+            let child_entry = plan.site_plan(child).entry(s).expect("child has entry");
+            assert_eq!(child_entry.parent, Some(parent));
+        }
+    }
+
+    #[test]
+    fn degrees_match_forest_accounting() {
+        let (_, plan) = plan_for_four_sites();
+        // 5 accepted requests = 5 edges total.
+        let total_out: usize = plan.site_plans().iter().map(SitePlan::out_degree).sum();
+        let total_in: usize = plan.site_plans().iter().map(SitePlan::in_degree).sum();
+        assert_eq!(total_out, 5);
+        assert_eq!(total_in, 5);
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        let (_, plan) = plan_for_four_sites();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: DisseminationPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

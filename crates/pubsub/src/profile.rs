@@ -1,0 +1,107 @@
+//! Stream profiles: the media parameters of a 3D video stream.
+
+use serde::{Deserialize, Serialize};
+use teeve_types::BitRate;
+
+/// Media parameters of one 3D video stream.
+///
+/// The paper's measurements (Sections 1 and 5.1): a raw 3D stream is
+/// `640 × 480 × 15 fps × 5 B/pixel ≈ 180 Mbps`; after background
+/// subtraction, resolution reduction, and real-time compression it runs at
+/// 5–10 Mbps. Rendering costs about 10 ms per stream per frame.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_pubsub::StreamProfile;
+///
+/// let p = StreamProfile::default();
+/// assert_eq!(p.fps, 15);
+/// // 8 Mbps at 15 fps: each frame is ~66 kB.
+/// assert_eq!(p.frame_bytes(), 66_666);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamProfile {
+    /// Compressed stream bit rate.
+    pub bitrate: BitRate,
+    /// Frames per second produced by the camera.
+    pub fps: u32,
+}
+
+impl StreamProfile {
+    /// The paper's raw (uncompressed) stream rate, ≈180 Mbps.
+    pub fn raw() -> Self {
+        StreamProfile {
+            bitrate: BitRate::new(640 * 480 * 15 * 5 * 8),
+            fps: 15,
+        }
+    }
+
+    /// A compressed stream at `mbps` megabits per second, 15 fps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbps` is zero.
+    pub fn compressed_mbps(mbps: u64) -> Self {
+        assert!(mbps > 0, "bit rate must be positive");
+        StreamProfile {
+            bitrate: BitRate::from_mbps(mbps),
+            fps: 15,
+        }
+    }
+
+    /// Returns the size of one frame in bytes (bitrate / fps / 8, rounded
+    /// *down* so that a stream's frames serialize within its own rate —
+    /// one frame never takes longer than one frame interval on a
+    /// dedicated stream slot).
+    pub fn frame_bytes(&self) -> u64 {
+        self.bitrate.bits_per_sec() / (u64::from(self.fps) * 8)
+    }
+
+    /// Returns the capture interval between frames in microseconds.
+    pub fn frame_interval_micros(&self) -> u64 {
+        1_000_000 / u64::from(self.fps)
+    }
+}
+
+impl Default for StreamProfile {
+    /// 8 Mbps compressed at 15 fps — the middle of the paper's 5–10 Mbps
+    /// measurement.
+    fn default() -> Self {
+        StreamProfile::compressed_mbps(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_profile_matches_paper_estimate() {
+        let raw = StreamProfile::raw();
+        let mbps = raw.bitrate.bits_per_sec() as f64 / 1e6;
+        assert!((175.0..=190.0).contains(&mbps), "raw was {mbps} Mbps");
+    }
+
+    #[test]
+    fn compressed_profiles_are_in_paper_range() {
+        for mbps in 5..=10 {
+            let p = StreamProfile::compressed_mbps(mbps);
+            assert_eq!(p.bitrate.bits_per_sec(), mbps * 1_000_000);
+        }
+    }
+
+    #[test]
+    fn frame_arithmetic() {
+        let p = StreamProfile::compressed_mbps(6);
+        // 6 Mbps / 15 fps = 400 kbit = 50 kB per frame.
+        assert_eq!(p.frame_bytes(), 50_000);
+        assert_eq!(p.frame_interval_micros(), 66_666);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_bitrate() {
+        let _ = StreamProfile::compressed_mbps(0);
+    }
+}

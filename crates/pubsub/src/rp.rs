@@ -1,0 +1,200 @@
+//! The rendezvous point: the per-site proxy that decouples cameras from
+//! displays.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use teeve_types::{DisplayId, SiteId, StreamId};
+
+/// The logical rendezvous point (RP) of one site.
+///
+/// Within a site the RP forms a star network to the local 3D cameras
+/// (publishers) and 3D displays (subscribers): it collects all locally
+/// produced streams for dissemination, records each display's subscription,
+/// and aggregates them into the site-level request set sent to the
+/// membership server — "each RP requests only those streams that are
+/// subscribed by at least one of its local displays" (Section 4.1).
+///
+/// # Examples
+///
+/// ```
+/// use teeve_pubsub::RendezvousPoint;
+/// use teeve_types::{DisplayId, SiteId, StreamId};
+///
+/// let mut rp = RendezvousPoint::new(SiteId::new(0), 4, 2);
+/// let display = DisplayId::new(SiteId::new(0), 0);
+/// let remote = StreamId::new(SiteId::new(1), 3);
+/// rp.set_subscription(display, vec![remote]);
+/// assert!(rp.aggregated_requests().contains(&remote));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RendezvousPoint {
+    site: SiteId,
+    cameras: u32,
+    displays: u32,
+    subscriptions: BTreeMap<DisplayId, Vec<StreamId>>,
+}
+
+impl RendezvousPoint {
+    /// Creates the RP of `site`, serving `cameras` local publishers and
+    /// `displays` local subscribers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site has no displays (an RP with nothing to subscribe
+    /// for would be inert) — cameras may be zero for a view-only site.
+    pub fn new(site: SiteId, cameras: u32, displays: u32) -> Self {
+        assert!(displays > 0, "a site needs at least one display");
+        RendezvousPoint {
+            site,
+            cameras,
+            displays,
+            subscriptions: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the RP's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Returns the number of local cameras (= locally published streams).
+    pub fn camera_count(&self) -> u32 {
+        self.cameras
+    }
+
+    /// Returns the number of local displays.
+    pub fn display_count(&self) -> u32 {
+        self.displays
+    }
+
+    /// Returns the streams published by this site's cameras.
+    pub fn published_streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        (0..self.cameras).map(|q| StreamId::new(self.site, q))
+    }
+
+    /// Records (replacing) the subscription of one local display.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the display belongs to another site or its index is out of
+    /// range.
+    pub fn set_subscription(&mut self, display: DisplayId, streams: Vec<StreamId>) {
+        assert_eq!(display.site(), self.site, "display belongs to another site");
+        assert!(
+            display.local_index() < self.displays,
+            "display index out of range"
+        );
+        self.subscriptions.insert(display, streams);
+    }
+
+    /// Returns the recorded subscription of `display`, if any.
+    pub fn subscription(&self, display: DisplayId) -> Option<&[StreamId]> {
+        self.subscriptions.get(&display).map(Vec::as_slice)
+    }
+
+    /// Aggregates display subscriptions into the site-level request set:
+    /// the union of all display subscriptions, minus locally originated
+    /// streams (those reach local displays over the site's star network,
+    /// not the overlay).
+    pub fn aggregated_requests(&self) -> BTreeSet<StreamId> {
+        self.subscriptions
+            .values()
+            .flatten()
+            .copied()
+            .filter(|s| s.origin() != self.site)
+            .collect()
+    }
+
+    /// Returns the displays subscribed to `stream` (used to fan a received
+    /// stream out over the local star network).
+    pub fn displays_for(&self, stream: StreamId) -> Vec<DisplayId> {
+        self.subscriptions
+            .iter()
+            .filter(|(_, streams)| streams.contains(&stream))
+            .map(|(&d, _)| d)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    #[test]
+    fn aggregation_unions_display_subscriptions() {
+        let mut rp = RendezvousPoint::new(site(0), 2, 3);
+        rp.set_subscription(DisplayId::new(site(0), 0), vec![stream(1, 0), stream(2, 1)]);
+        rp.set_subscription(DisplayId::new(site(0), 1), vec![stream(1, 0), stream(1, 1)]);
+        let agg = rp.aggregated_requests();
+        assert_eq!(
+            agg.into_iter().collect::<Vec<_>>(),
+            vec![stream(1, 0), stream(1, 1), stream(2, 1)]
+        );
+    }
+
+    #[test]
+    fn local_streams_are_excluded_from_requests() {
+        let mut rp = RendezvousPoint::new(site(0), 2, 1);
+        rp.set_subscription(
+            DisplayId::new(site(0), 0),
+            vec![stream(0, 0), stream(1, 0)],
+        );
+        let agg = rp.aggregated_requests();
+        assert!(!agg.contains(&stream(0, 0)), "local stream must not transit the overlay");
+        assert!(agg.contains(&stream(1, 0)));
+    }
+
+    #[test]
+    fn resubscription_replaces_previous() {
+        let mut rp = RendezvousPoint::new(site(0), 1, 1);
+        let d = DisplayId::new(site(0), 0);
+        rp.set_subscription(d, vec![stream(1, 0)]);
+        rp.set_subscription(d, vec![stream(2, 0)]);
+        let agg = rp.aggregated_requests();
+        assert!(!agg.contains(&stream(1, 0)));
+        assert!(agg.contains(&stream(2, 0)));
+    }
+
+    #[test]
+    fn displays_for_finds_all_subscribers() {
+        let mut rp = RendezvousPoint::new(site(0), 1, 2);
+        let d0 = DisplayId::new(site(0), 0);
+        let d1 = DisplayId::new(site(0), 1);
+        rp.set_subscription(d0, vec![stream(1, 0)]);
+        rp.set_subscription(d1, vec![stream(1, 0), stream(1, 1)]);
+        assert_eq!(rp.displays_for(stream(1, 0)), vec![d0, d1]);
+        assert_eq!(rp.displays_for(stream(1, 1)), vec![d1]);
+        assert!(rp.displays_for(stream(2, 0)).is_empty());
+    }
+
+    #[test]
+    fn published_streams_enumerate_cameras() {
+        let rp = RendezvousPoint::new(site(3), 4, 1);
+        let streams: Vec<_> = rp.published_streams().collect();
+        assert_eq!(streams.len(), 4);
+        assert!(streams.iter().all(|s| s.origin() == site(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "another site")]
+    fn rejects_foreign_displays() {
+        let mut rp = RendezvousPoint::new(site(0), 1, 1);
+        rp.set_subscription(DisplayId::new(site(1), 0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_display() {
+        let mut rp = RendezvousPoint::new(site(0), 1, 1);
+        rp.set_subscription(DisplayId::new(site(0), 5), vec![]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// Configuration of one dissemination simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_sim::{SimConfig, SimTime};
+///
+/// let cfg = SimConfig::default();
+/// assert_eq!(cfg.duration, SimTime::from_secs(2));
+/// assert_eq!(cfg.render_ms_per_stream, 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// How long cameras capture frames.
+    pub duration: SimTime,
+    /// Per-hop forwarding overhead added by each relaying RP, in
+    /// microseconds (packet processing, copy to the next uplink).
+    pub forward_overhead_us: u64,
+    /// Rendering cost per stream per frame at a display, in milliseconds —
+    /// the paper measures ≈10 ms/stream (Section 1).
+    pub render_ms_per_stream: u32,
+}
+
+impl SimConfig {
+    /// A short run for tests: 200 ms of capture.
+    pub fn short() -> Self {
+        SimConfig {
+            duration: SimTime::from_millis(200),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Overrides the capture duration.
+    #[must_use]
+    pub fn with_duration(mut self, duration: SimTime) -> Self {
+        self.duration = duration;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    /// 2 s of capture, 500 µs per-hop forwarding overhead, 10 ms/stream
+    /// rendering.
+    fn default() -> Self {
+        SimConfig {
+            duration: SimTime::from_secs(2),
+            forward_overhead_us: 500,
+            render_ms_per_stream: 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_config_shrinks_duration_only() {
+        let short = SimConfig::short();
+        let default = SimConfig::default();
+        assert!(short.duration < default.duration);
+        assert_eq!(short.forward_overhead_us, default.forward_overhead_us);
+        assert_eq!(short.render_ms_per_stream, default.render_ms_per_stream);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SimConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(serde_json::from_str::<SimConfig>(&json).unwrap(), cfg);
+    }
+}

@@ -1,0 +1,427 @@
+//! The discrete-event dissemination engine.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use teeve_pubsub::DisseminationPlan;
+use teeve_types::{SiteId, StreamId};
+
+use crate::{FaultPlan, SimConfig, SimReport, SimTime};
+
+/// A scheduled event, ordered by time (then by an insertion sequence so
+/// simultaneous events pop deterministically in schedule order).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A camera at the stream's origin produced frame `seq`.
+    Capture { stream: StreamId, seq: u64 },
+    /// Frame `seq` of `stream` arrived at `site`.
+    Arrival {
+        site: SiteId,
+        stream: StreamId,
+        seq: u64,
+        captured_at: SimTime,
+    },
+}
+
+/// Per-edge transmission channel: one reserved stream slot, as in the
+/// paper's bandwidth model (capacities counted in streams). Frames queue
+/// FIFO behind the slot's serialization.
+#[derive(Debug, Default)]
+struct EdgeChannel {
+    busy_until: SimTime,
+}
+
+/// Runs the dissemination simulation of `plan` under `config`.
+///
+/// Model:
+///
+/// * every stream with at least one overlay child is captured at the
+///   origin at the profile's frame rate for `config.duration`;
+/// * each planned overlay edge is a dedicated channel of one stream slot:
+///   a frame's serialization takes `frame_bytes / bitrate`, and frames
+///   queue FIFO per edge;
+/// * propagation along an edge takes the plan's link cost;
+/// * a relaying RP adds `config.forward_overhead_us` before re-sending
+///   (cut-through at frame granularity).
+///
+/// The returned report records per-(site, stream) delivery counts and
+/// latency statistics.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_overlay::{ConstructionAlgorithm, ProblemInstance, RandomJoin};
+/// use teeve_pubsub::{DisseminationPlan, StreamProfile};
+/// use teeve_sim::{simulate, SimConfig};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let problem = ProblemInstance::builder(costs, CostMs::new(50))
+///     .symmetric_capacities(Degree::new(4))
+///     .streams_per_site(&[1, 0, 0])
+///     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+///     .build()?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let outcome = RandomJoin::default().construct(&problem, &mut rng);
+/// let plan = DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+///
+/// let report = simulate(&plan, &SimConfig::short());
+/// assert!(report.total_frames_delivered() > 0);
+/// assert_eq!(report.delivery_ratio(), 1.0);
+/// # Ok::<(), teeve_overlay::ProblemError>(())
+/// ```
+pub fn simulate(plan: &DisseminationPlan, config: &SimConfig) -> SimReport {
+    simulate_with_faults(plan, config, &FaultPlan::none())
+}
+
+/// Runs the dissemination simulation with injected faults: per-link frame
+/// loss and RP crashes (see [`FaultPlan`]).
+///
+/// Semantics:
+///
+/// * a lost frame still consumes its edge's serialization slot (the bytes
+///   were sent; they just never arrive);
+/// * a crashed site stops capturing/forwarding at its halt time, and
+///   frames arriving after the halt are discarded — silencing every
+///   subtree below it.
+pub fn simulate_with_faults(
+    plan: &DisseminationPlan,
+    config: &SimConfig,
+    faults: &FaultPlan,
+) -> SimReport {
+    let profile = plan.profile();
+    let serialize = SimTime::from_micros(profile.bitrate.transmit_micros(profile.frame_bytes()));
+    let overhead = SimTime::from_micros(config.forward_overhead_us);
+    let interval = SimTime::from_micros(profile.frame_interval_micros());
+
+    let mut queue: BinaryHeap<Reverse<(SimTime, u64, EventKind)>> = BinaryHeap::new();
+    let mut schedule_seq = 0u64;
+    let push = |queue: &mut BinaryHeap<_>, at: SimTime, ev: EventKind, seq: &mut u64| {
+        queue.push(Reverse((at, *seq, ev)));
+        *seq += 1;
+    };
+
+    // Schedule captures for every stream that transits the overlay.
+    let mut frames_per_stream: BTreeMap<StreamId, u64> = BTreeMap::new();
+    for sp in plan.site_plans() {
+        for entry in &sp.entries {
+            if !entry.is_origin() || entry.children.is_empty() {
+                continue;
+            }
+            let mut t = SimTime::ZERO;
+            let mut frames = 0;
+            while t < config.duration {
+                push(
+                    &mut queue,
+                    t,
+                    EventKind::Capture {
+                        stream: entry.stream,
+                        seq: frames,
+                    },
+                    &mut schedule_seq,
+                );
+                frames += 1;
+                t += interval;
+            }
+            frames_per_stream.insert(entry.stream, frames);
+        }
+    }
+
+    let mut channels: BTreeMap<(SiteId, SiteId, StreamId), EdgeChannel> = BTreeMap::new();
+    let mut report = SimReport::new(plan, config, serialize, frames_per_stream.clone());
+
+    // Sends one frame copy along an edge, returning the arrival event
+    // (`None` when the frame is lost in transit).
+    let send = |channels: &mut BTreeMap<(SiteId, SiteId, StreamId), EdgeChannel>,
+                    from: SiteId,
+                    to: SiteId,
+                    stream: StreamId,
+                    seq: u64,
+                    ready: SimTime|
+     -> Option<SimTime> {
+        let channel = channels.entry((from, to, stream)).or_default();
+        let depart = channel.busy_until.max(ready) + serialize;
+        channel.busy_until = depart;
+        if faults.frame_lost(from, to, stream, seq) {
+            return None;
+        }
+        Some(depart + SimTime::from(plan.link_cost(from, to)))
+    };
+
+    while let Some(Reverse((now, _, event))) = queue.pop() {
+        match event {
+            EventKind::Capture { stream, seq } => {
+                let origin = stream.origin();
+                if faults.crashed(origin, now) {
+                    continue;
+                }
+                let children = plan
+                    .site_plan(origin)
+                    .entry(stream)
+                    .map(|e| e.children.clone())
+                    .unwrap_or_default();
+                for child in children {
+                    let Some(arrival) = send(&mut channels, origin, child, stream, seq, now)
+                    else {
+                        continue;
+                    };
+                    push(
+                        &mut queue,
+                        arrival,
+                        EventKind::Arrival {
+                            site: child,
+                            stream,
+                            seq,
+                            captured_at: now,
+                        },
+                        &mut schedule_seq,
+                    );
+                }
+            }
+            EventKind::Arrival {
+                site,
+                stream,
+                seq,
+                captured_at,
+            } => {
+                if faults.crashed(site, now) {
+                    continue;
+                }
+                report.record_delivery_at(site, stream, now - captured_at, Some(now));
+                let children = plan
+                    .site_plan(site)
+                    .entry(stream)
+                    .map(|e| e.children.clone())
+                    .unwrap_or_default();
+                if children.is_empty() {
+                    continue;
+                }
+                let ready = now + overhead;
+                for child in children {
+                    let Some(arrival) = send(&mut channels, site, child, stream, seq, ready)
+                    else {
+                        continue;
+                    };
+                    push(
+                        &mut queue,
+                        arrival,
+                        EventKind::Arrival {
+                            site: child,
+                            stream,
+                            seq,
+                            captured_at,
+                        },
+                        &mut schedule_seq,
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_overlay::{ConstructionAlgorithm, ProblemInstance, RandomJoin};
+    use teeve_pubsub::StreamProfile;
+    use teeve_types::{CostMatrix, CostMs, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn chain_plan() -> DisseminationPlan {
+        // 0 -> 1 -> 2 relay chain for one stream (capacity forces relaying).
+        let costs = CostMatrix::from_fn(3, |i, j| {
+            CostMs::new(if i.min(j) == 0 && i.max(j) == 2 { 30 } else { 5 })
+        });
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                teeve_overlay::NodeCapacity::symmetric(Degree::new(1)),
+                teeve_overlay::NodeCapacity::symmetric(Degree::new(4)),
+                teeve_overlay::NodeCapacity::symmetric(Degree::new(4)),
+            ])
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+        DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default())
+    }
+
+    #[test]
+    fn all_planned_frames_are_delivered() {
+        let plan = chain_plan();
+        let report = simulate(&plan, &SimConfig::short());
+        assert_eq!(report.delivery_ratio(), 1.0);
+        // 200 ms at 15 fps = 4 frames (0, 66.6, 133.3, 199.9 ms), 2
+        // receivers each.
+        assert_eq!(report.total_frames_delivered(), 8);
+    }
+
+    #[test]
+    fn relay_hops_add_latency() {
+        let plan = chain_plan();
+        let report = simulate(&plan, &SimConfig::short());
+        let direct = report
+            .stream_stats(site(1), stream(0, 0))
+            .expect("site 1 receives");
+        let relayed = report
+            .stream_stats(site(2), stream(0, 0))
+            .expect("site 2 receives");
+        assert!(
+            relayed.mean_latency() > direct.mean_latency(),
+            "two hops must cost more than one"
+        );
+    }
+
+    #[test]
+    fn latency_decomposes_into_serialization_and_path() {
+        let plan = chain_plan();
+        let config = SimConfig::short();
+        let report = simulate(&plan, &config);
+        let serialize = report.serialization_time();
+        // Site 1 is one hop at 5 ms: latency = serialize + 5 ms exactly
+        // (steady state keeps every channel just-free: no queueing).
+        let direct = report.stream_stats(site(1), stream(0, 0)).unwrap();
+        assert_eq!(
+            direct.max_latency(),
+            serialize + SimTime::from_millis(5)
+        );
+        // Site 2: two hops (5 + 5 ms), one forwarding overhead, and a
+        // second serialization (store-and-forward at the relay).
+        let relayed = report.stream_stats(site(2), stream(0, 0)).unwrap();
+        assert_eq!(
+            relayed.max_latency(),
+            serialize + serialize
+                + SimTime::from_millis(10)
+                + SimTime::from_micros(config.forward_overhead_us)
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let plan = chain_plan();
+        let a = simulate(&plan, &SimConfig::short());
+        let b = simulate(&plan, &SimConfig::short());
+        assert_eq!(a.total_frames_delivered(), b.total_frames_delivered());
+        assert_eq!(a.worst_latency(), b.worst_latency());
+    }
+
+    #[test]
+    fn empty_plan_produces_empty_report() {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(4))
+            .streams_per_site(&[1, 1, 1])
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        let plan =
+            DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+        let report = simulate(&plan, &SimConfig::short());
+        assert_eq!(report.total_frames_delivered(), 0);
+        assert_eq!(report.delivery_ratio(), 1.0, "vacuously complete");
+    }
+
+    #[test]
+    fn certain_link_loss_silences_the_subtree() {
+        use crate::{simulate_with_faults, FaultImpact, FaultPlan};
+        let plan = chain_plan();
+        let config = SimConfig::short();
+        let baseline = simulate(&plan, &config);
+        // Kill the 0 -> 1 link: both receivers sit below it.
+        let faults = FaultPlan::none().with_link_loss(site(0), site(1), 1.0);
+        let faulty = simulate_with_faults(&plan, &config, &faults);
+        assert_eq!(faulty.total_frames_delivered(), 0);
+        let pairs = vec![(site(1), stream(0, 0)), (site(2), stream(0, 0))];
+        let impact = FaultImpact::compare(&baseline, &faulty, pairs);
+        assert_eq!(impact.baseline_delivery, 1.0);
+        assert_eq!(impact.faulty_delivery, 0.0);
+        assert_eq!(impact.silenced.len(), 2);
+    }
+
+    #[test]
+    fn relay_crash_cuts_downstream_but_not_upstream() {
+        use crate::{simulate_with_faults, FaultPlan};
+        let plan = chain_plan();
+        let config = SimConfig::short();
+        // Site 1 (the relay) crashes immediately: site 2 gets nothing,
+        // and site 1 itself stops accepting frames.
+        let faults = FaultPlan::none().with_crash(site(1), SimTime::ZERO);
+        let report = simulate_with_faults(&plan, &config, &faults);
+        assert!(report.stream_stats(site(2), stream(0, 0)).is_none());
+        assert!(report.stream_stats(site(1), stream(0, 0)).is_none());
+
+        // A late crash lets earlier frames through.
+        let faults = FaultPlan::none().with_crash(site(1), SimTime::from_millis(150));
+        let report = simulate_with_faults(&plan, &config, &faults);
+        let got = report
+            .stream_stats(site(1), stream(0, 0))
+            .map_or(0, |s| s.frames());
+        assert!(got >= 1, "pre-crash frames must arrive");
+        assert!(got < 4, "post-crash frames must not");
+    }
+
+    #[test]
+    fn partial_loss_degrades_delivery_partially() {
+        use crate::{simulate_with_faults, FaultPlan};
+        let plan = chain_plan();
+        let config = SimConfig::default(); // 30 frames
+        let faults = FaultPlan::none().with_link_loss(site(0), site(1), 0.4);
+        let report = simulate_with_faults(&plan, &config, &faults);
+        let ratio = report.delivery_ratio();
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn steady_state_delivery_is_jitter_free() {
+        // Dedicated per-edge stream slots never queue at steady state, so
+        // inter-arrival gaps equal the capture interval exactly.
+        let plan = chain_plan();
+        let report = simulate(
+            &plan,
+            &SimConfig::default().with_duration(SimTime::from_millis(1000)),
+        );
+        assert_eq!(report.worst_jitter(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn frame_loss_creates_jitter() {
+        use crate::{simulate_with_faults, FaultPlan};
+        let plan = chain_plan();
+        let config = SimConfig::default().with_duration(SimTime::from_millis(2000));
+        let faults = FaultPlan::none().with_link_loss(site(0), site(1), 0.3);
+        let report = simulate_with_faults(&plan, &config, &faults);
+        // Lost frames leave multi-interval holes in the arrival sequence.
+        assert!(report.worst_jitter() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn longer_duration_delivers_proportionally_more() {
+        let plan = chain_plan();
+        let short = simulate(
+            &plan,
+            &SimConfig::default().with_duration(SimTime::from_millis(500)),
+        );
+        let long = simulate(
+            &plan,
+            &SimConfig::default().with_duration(SimTime::from_millis(1000)),
+        );
+        assert!(long.total_frames_delivered() > short.total_frames_delivered());
+        assert_eq!(long.delivery_ratio(), 1.0);
+    }
+}

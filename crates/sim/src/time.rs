@@ -1,0 +1,129 @@
+//! Simulated time in microseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+use teeve_types::CostMs;
+
+/// A point in simulated time, in microseconds since session start.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_sim::SimTime;
+///
+/// let t = SimTime::from_millis(3) + SimTime::from_micros(500);
+/// assert_eq!(t.as_micros(), 3_500);
+/// assert_eq!(t.as_millis_f64(), 3.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero: session start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Returns the time in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl From<CostMs> for SimTime {
+    fn from(cost: CostMs) -> Self {
+        SimTime::from_millis(u64::from(cost.as_millis()))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimTime::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimTime::from_micros(1_500).as_millis_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(3);
+        assert_eq!(a - b, SimTime::from_millis(2));
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+        let mut c = b;
+        c += SimTime::from_millis(2);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn cost_conversion() {
+        let t: SimTime = CostMs::new(12).into();
+        assert_eq!(t, SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn display_renders_millis() {
+        assert_eq!(SimTime::from_micros(1_234).to_string(), "1.234ms");
+    }
+}

@@ -1,0 +1,307 @@
+//! The embedded 48-PoP backbone dataset (Mapnet substitute).
+//!
+//! The CAIDA Mapnet dataset used by the paper (real ISP backbone PoPs and
+//! links with geographic coordinates) is no longer distributable, so we
+//! embed an equivalent: 48 real PoP cities — the Abilene/Internet2 core plus
+//! major commercial backbone and international exchange points — connected
+//! with a realistic mesh of regional links and long-haul/submarine chords.
+//! Coordinates are public geographic facts; link costs are derived from
+//! great-circle distance exactly as the paper derives Mapnet edge costs.
+
+use crate::{GeoPoint, LatencyModel, Topology};
+
+/// Number of PoP cities in the embedded backbone.
+pub const BACKBONE_CITY_COUNT: usize = 48;
+
+/// `(name, latitude, longitude)` for each backbone PoP.
+const CITIES: [(&str, f64, f64); BACKBONE_CITY_COUNT] = [
+    ("Seattle", 47.61, -122.33),        // 0
+    ("Portland", 45.52, -122.68),       // 1
+    ("Sunnyvale", 37.37, -122.04),      // 2
+    ("Sacramento", 38.58, -121.49),     // 3
+    ("Los Angeles", 34.05, -118.24),    // 4
+    ("San Diego", 32.72, -117.16),      // 5
+    ("Las Vegas", 36.17, -115.14),      // 6
+    ("Phoenix", 33.45, -112.07),        // 7
+    ("Salt Lake City", 40.76, -111.89), // 8
+    ("Albuquerque", 35.08, -106.65),    // 9
+    ("El Paso", 31.76, -106.49),        // 10
+    ("Denver", 39.74, -104.99),         // 11
+    ("Dallas", 32.78, -96.80),          // 12
+    ("Tulsa", 36.15, -95.99),           // 13
+    ("Houston", 29.76, -95.37),         // 14
+    ("Kansas City", 39.10, -94.58),     // 15
+    ("Minneapolis", 44.98, -93.27),     // 16
+    ("Baton Rouge", 30.45, -91.19),     // 17
+    ("St. Louis", 38.63, -90.20),       // 18
+    ("New Orleans", 29.95, -90.07),     // 19
+    ("Memphis", 35.15, -90.05),         // 20
+    ("Chicago", 41.88, -87.63),         // 21
+    ("Nashville", 36.16, -86.78),       // 22
+    ("Indianapolis", 39.77, -86.16),    // 23
+    ("Atlanta", 33.75, -84.39),         // 24
+    ("Detroit", 42.33, -83.05),         // 25
+    ("Jacksonville", 30.33, -81.66),    // 26
+    ("Cleveland", 41.50, -81.69),       // 27
+    ("Miami", 25.76, -80.19),           // 28
+    ("Pittsburgh", 40.44, -79.99),      // 29
+    ("Toronto", 43.65, -79.38),         // 30
+    ("Buffalo", 42.89, -78.88),         // 31
+    ("Raleigh", 35.78, -78.64),         // 32
+    ("Washington DC", 38.91, -77.04),   // 33
+    ("Philadelphia", 39.95, -75.17),    // 34
+    ("New York", 40.71, -74.01),        // 35
+    ("Montreal", 45.50, -73.57),        // 36
+    ("Boston", 42.36, -71.06),          // 37
+    ("Vancouver", 49.28, -123.12),      // 38
+    ("London", 51.51, -0.13),           // 39
+    ("Amsterdam", 52.37, 4.90),         // 40
+    ("Frankfurt", 50.11, 8.68),         // 41
+    ("Paris", 48.86, 2.35),             // 42
+    ("Geneva", 46.20, 6.14),            // 43
+    ("Tokyo", 35.68, 139.69),           // 44
+    ("Seoul", 37.57, 126.98),           // 45
+    ("Hong Kong", 22.32, 114.17),       // 46
+    ("Sydney", -33.87, 151.21),         // 47
+];
+
+/// Undirected backbone links as index pairs into [`CITIES`].
+///
+/// The pattern mirrors real topologies: an Abilene-like national core,
+/// regional access rings, trans-Atlantic and trans-Pacific submarine cables,
+/// and a small European/Asian mesh.
+const LINKS: [(usize, usize); 65] = [
+    // Pacific Northwest.
+    (0, 1),   // Seattle - Portland
+    (0, 38),  // Seattle - Vancouver
+    (0, 2),   // Seattle - Sunnyvale
+    (0, 11),  // Seattle - Denver (Abilene long-haul)
+    (1, 2),   // Portland - Sunnyvale
+    // California and the Southwest.
+    (2, 3),   // Sunnyvale - Sacramento
+    (2, 4),   // Sunnyvale - Los Angeles
+    (2, 11),  // Sunnyvale - Denver
+    (3, 8),   // Sacramento - Salt Lake City
+    (4, 5),   // Los Angeles - San Diego
+    (4, 7),   // Los Angeles - Phoenix
+    (4, 6),   // Los Angeles - Las Vegas
+    (4, 14),  // Los Angeles - Houston (southern long-haul)
+    (5, 7),   // San Diego - Phoenix
+    (6, 8),   // Las Vegas - Salt Lake City
+    (7, 9),   // Phoenix - Albuquerque
+    (7, 10),  // Phoenix - El Paso
+    (8, 11),  // Salt Lake City - Denver
+    (9, 10),  // Albuquerque - El Paso
+    (9, 11),  // Albuquerque - Denver
+    (10, 12), // El Paso - Dallas
+    // Texas and the South.
+    (12, 14), // Dallas - Houston
+    (12, 13), // Dallas - Tulsa
+    (12, 20), // Dallas - Memphis
+    (14, 19), // Houston - New Orleans
+    (14, 17), // Houston - Baton Rouge
+    (17, 19), // Baton Rouge - New Orleans
+    (19, 24), // New Orleans - Atlanta
+    // Plains and Midwest.
+    (11, 15), // Denver - Kansas City (Abilene)
+    (13, 15), // Tulsa - Kansas City
+    (13, 18), // Tulsa - St. Louis
+    (15, 16), // Kansas City - Minneapolis
+    (15, 18), // Kansas City - St. Louis
+    (15, 21), // Kansas City - Chicago
+    (16, 21), // Minneapolis - Chicago
+    (18, 23), // St. Louis - Indianapolis
+    (18, 20), // St. Louis - Memphis
+    (20, 22), // Memphis - Nashville
+    (21, 23), // Chicago - Indianapolis
+    (21, 25), // Chicago - Detroit
+    (21, 27), // Chicago - Cleveland
+    (21, 35), // Chicago - New York (Abilene long-haul)
+    (22, 23), // Nashville - Indianapolis
+    (22, 24), // Nashville - Atlanta
+    // Southeast.
+    (24, 26), // Atlanta - Jacksonville
+    (24, 32), // Atlanta - Raleigh
+    (24, 33), // Atlanta - Washington DC
+    (26, 28), // Jacksonville - Miami
+    // Northeast and eastern Canada.
+    (25, 30), // Detroit - Toronto
+    (27, 25), // Cleveland - Detroit
+    (27, 29), // Cleveland - Pittsburgh
+    (27, 31), // Cleveland - Buffalo
+    (29, 34), // Pittsburgh - Philadelphia
+    (29, 33), // Pittsburgh - Washington DC
+    (30, 31), // Toronto - Buffalo
+    (30, 36), // Toronto - Montreal
+    (32, 33), // Raleigh - Washington DC
+    (33, 35), // Washington DC - New York
+    (34, 35), // Philadelphia - New York
+    (35, 37), // New York - Boston
+    (36, 37), // Montreal - Boston
+    // Trans-Atlantic, Europe.
+    (35, 39), // New York - London (submarine)
+    (39, 40), // London - Amsterdam
+    (39, 42), // London - Paris
+    (40, 41), // Amsterdam - Frankfurt
+];
+
+/// Additional links appended to [`LINKS`] (kept separate only to document
+/// their role): the European ring closure and the trans-Pacific mesh.
+const EXTRA_LINKS: [(usize, usize); 7] = [
+    (41, 43), // Frankfurt - Geneva
+    (42, 43), // Paris - Geneva
+    (2, 44),  // Sunnyvale - Tokyo (trans-Pacific submarine)
+    (44, 45), // Tokyo - Seoul
+    (44, 46), // Tokyo - Hong Kong
+    (46, 47), // Hong Kong - Sydney
+    (47, 4),  // Sydney - Los Angeles (southern trans-Pacific)
+];
+
+/// Returns the embedded 48-city backbone with the default latency model.
+///
+/// The graph is connected; pairwise RP costs are obtained with
+/// [`Topology::all_pairs_shortest_paths`] or, for a random 3DTI session,
+/// [`Topology::sample_session`].
+///
+/// # Examples
+///
+/// ```
+/// use teeve_topology::{backbone, BACKBONE_CITY_COUNT};
+///
+/// let topo = backbone();
+/// assert_eq!(topo.node_count(), BACKBONE_CITY_COUNT);
+/// assert!(topo.is_connected());
+/// ```
+pub fn backbone() -> Topology {
+    backbone_with_model(LatencyModel::default())
+}
+
+/// Returns the embedded backbone with a custom latency model.
+pub fn backbone_with_model(model: LatencyModel) -> Topology {
+    let nodes = CITIES
+        .iter()
+        .map(|&(name, lat, lon)| (name.to_string(), GeoPoint::new(lat, lon)))
+        .collect();
+    let edges: Vec<(usize, usize)> = LINKS.iter().chain(EXTRA_LINKS.iter()).copied().collect();
+    Topology::from_geo(nodes, &edges, model).expect("embedded backbone dataset is well-formed")
+}
+
+/// Number of North-American PoPs in the embedded backbone (the US cities
+/// plus Toronto, Montreal, and Vancouver — indices `0..39`).
+pub const NORTH_AMERICA_CITY_COUNT: usize = 39;
+
+/// Returns the North-American subset of the backbone: the Internet2-like
+/// continental network the paper's own deployment ran on.
+///
+/// The evaluation figures sample their 3–20 site sessions from this subset
+/// so that the 100 ms interactivity bound is geographically satisfiable —
+/// a session mixing, say, Sydney and London could never meet it regardless
+/// of the overlay, which would drown the algorithm comparison in
+/// infeasible pairs.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_topology::{backbone_north_america, NORTH_AMERICA_CITY_COUNT};
+///
+/// let topo = backbone_north_america();
+/// assert_eq!(topo.node_count(), NORTH_AMERICA_CITY_COUNT);
+/// assert!(topo.is_connected());
+/// ```
+pub fn backbone_north_america() -> Topology {
+    backbone_north_america_with_model(LatencyModel::default())
+}
+
+/// Returns the North-American backbone subset with a custom latency model.
+pub fn backbone_north_america_with_model(model: LatencyModel) -> Topology {
+    let nodes = CITIES[..NORTH_AMERICA_CITY_COUNT]
+        .iter()
+        .map(|&(name, lat, lon)| (name.to_string(), GeoPoint::new(lat, lon)))
+        .collect();
+    let edges: Vec<(usize, usize)> = LINKS
+        .iter()
+        .chain(EXTRA_LINKS.iter())
+        .copied()
+        .filter(|&(a, b)| a < NORTH_AMERICA_CITY_COUNT && b < NORTH_AMERICA_CITY_COUNT)
+        .collect();
+    Topology::from_geo(nodes, &edges, model)
+        .expect("embedded backbone dataset is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_types::CostMs;
+
+    #[test]
+    fn backbone_is_connected() {
+        assert!(backbone().is_connected());
+    }
+
+    #[test]
+    fn backbone_has_expected_shape() {
+        let topo = backbone();
+        assert_eq!(topo.node_count(), BACKBONE_CITY_COUNT);
+        assert_eq!(topo.edge_count(), LINKS.len() + EXTRA_LINKS.len());
+    }
+
+    #[test]
+    fn every_city_has_at_least_one_link() {
+        let topo = backbone();
+        let mut degree = vec![0usize; topo.node_count()];
+        for (a, b, _) in topo.edges() {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        for (i, &d) in degree.iter().enumerate() {
+            assert!(d >= 1, "city {} ({}) has no links", i, topo.name(i));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let topo = backbone();
+        let mut seen = std::collections::HashSet::new();
+        for (a, b, _) in topo.edges() {
+            assert!(seen.insert((a, b)), "duplicate link ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn costs_are_geographically_plausible() {
+        let topo = backbone();
+        let apsp = topo.all_pairs_shortest_paths();
+        let find = |name: &str| {
+            (0..topo.node_count())
+                .find(|&i| topo.name(i) == name)
+                .expect("city present")
+        };
+        // Chicago-New York: ~1150 km direct link -> below 15 ms.
+        let chi_ny = apsp.cost_idx(find("Chicago"), find("New York"));
+        assert!(chi_ny <= CostMs::new(15), "Chicago-NY was {chi_ny}");
+        // Seattle-Miami spans the continent: at least 25 ms.
+        let sea_mia = apsp.cost_idx(find("Seattle"), find("Miami"));
+        assert!(sea_mia >= CostMs::new(25), "Seattle-Miami was {sea_mia}");
+        // Tokyo-London is intercontinental: strictly more than coast-to-coast.
+        let tok_lon = apsp.cost_idx(find("Tokyo"), find("London"));
+        assert!(tok_lon > sea_mia, "Tokyo-London was {tok_lon}");
+    }
+
+    #[test]
+    fn paper_scale_sessions_sample_cleanly() {
+        let topo = backbone();
+        let mut rng = ChaCha8Rng::seed_from_u64(2008);
+        for n in 3..=10 {
+            let session = topo.sample_session(n, &mut rng).expect("sampling works");
+            assert_eq!(session.costs.len(), n);
+            assert!(session.costs.max_cost() < CostMs::MAX);
+        }
+    }
+
+    #[test]
+    fn apsp_is_metric() {
+        assert!(backbone().all_pairs_shortest_paths().is_metric());
+    }
+}

@@ -1,0 +1,196 @@
+//! Seeded Waxman random topology generation for sensitivity experiments.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoPoint, LatencyModel, Topology};
+
+/// Configuration for the Waxman random-graph generator.
+///
+/// Nodes are placed uniformly in a `side_km × side_km` region (mapped onto a
+/// small geographic patch so costs go through the same latency model as the
+/// embedded backbone); each pair is connected with probability
+/// `alpha * exp(-d / (beta * L))` where `d` is the pair distance and `L` the
+/// maximum possible distance. A nearest-previous-neighbor spanning edge per
+/// node guarantees connectivity regardless of the draw.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_topology::WaxmanConfig;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+/// let topo = WaxmanConfig::default().generate(30, &mut rng);
+/// assert_eq!(topo.node_count(), 30);
+/// assert!(topo.is_connected());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaxmanConfig {
+    /// Probability scale factor (`alpha` in Waxman's model), in `(0, 1]`.
+    pub alpha: f64,
+    /// Distance decay factor (`beta`), in `(0, 1]`; larger values produce
+    /// more long links.
+    pub beta: f64,
+    /// Side of the square placement region, in kilometers.
+    pub side_km: f64,
+    /// Latency model used to convert link distance into edge cost.
+    pub latency: LatencyModel,
+}
+
+impl WaxmanConfig {
+    /// Creates a Waxman configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` or `beta` is outside `(0, 1]` or `side_km` is not
+    /// positive.
+    pub fn new(alpha: f64, beta: f64, side_km: f64, latency: LatencyModel) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        assert!(side_km > 0.0, "side_km must be positive");
+        WaxmanConfig {
+            alpha,
+            beta,
+            side_km,
+            latency,
+        }
+    }
+
+    /// Generates a connected random topology with `n` nodes.
+    ///
+    /// Determinism: the same `(config, n, rng seed)` triple always produces
+    /// the same topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Topology {
+        assert!(n > 0, "cannot generate an empty topology");
+        // Place nodes in a patch centered on (40 N, -100 W); one degree of
+        // latitude is ~111 km, and longitude is scaled by cos(40°) so that
+        // euclidean-degree distance approximates the intended km distance.
+        let deg_span_lat = self.side_km / 111.0;
+        let deg_span_lon = self.side_km / (111.0 * 40f64.to_radians().cos());
+        let mut positions_km: Vec<(f64, f64)> = Vec::with_capacity(n);
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let fx: f64 = rng.gen();
+            let fy: f64 = rng.gen();
+            positions_km.push((fx * self.side_km, fy * self.side_km));
+            let lat = 40.0 - deg_span_lat / 2.0 + fy * deg_span_lat;
+            let lon = -100.0 - deg_span_lon / 2.0 + fx * deg_span_lon;
+            nodes.push((format!("W{i}"), GeoPoint::new(lat, lon)));
+        }
+
+        let dist = |a: usize, b: usize| -> f64 {
+            let (ax, ay) = positions_km[a];
+            let (bx, by) = positions_km[b];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        };
+        let max_dist = self.side_km * std::f64::consts::SQRT_2;
+
+        let mut edges = Vec::new();
+        // Connectivity backbone: each node links to its nearest predecessor.
+        for i in 1..n {
+            let nearest = (0..i)
+                .min_by(|&a, &b| dist(i, a).partial_cmp(&dist(i, b)).expect("finite"))
+                .expect("at least one predecessor");
+            edges.push((nearest, i));
+        }
+        // Waxman extras.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if edges.contains(&(i, j)) {
+                    continue;
+                }
+                let p = self.alpha * (-dist(i, j) / (self.beta * max_dist)).exp();
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    edges.push((i, j));
+                }
+            }
+        }
+
+        Topology::from_geo(nodes, &edges, self.latency)
+            .expect("generated edges reference valid nodes")
+    }
+}
+
+impl Default for WaxmanConfig {
+    /// `alpha = 0.4`, `beta = 0.25`, a 4000 km region (continental scale),
+    /// default latency model.
+    fn default() -> Self {
+        WaxmanConfig {
+            alpha: 0.4,
+            beta: 0.25,
+            side_km: 4000.0,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generated_topologies_are_connected() {
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let topo = WaxmanConfig::default().generate(25, &mut rng);
+            assert!(topo.is_connected(), "seed {seed} produced disconnection");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WaxmanConfig::default();
+        let a = cfg.generate(20, &mut ChaCha8Rng::seed_from_u64(3));
+        let b = cfg.generate(20, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_count_is_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for n in [1usize, 2, 10, 40] {
+            let topo = WaxmanConfig::default().generate(n, &mut rng);
+            assert_eq!(topo.node_count(), n);
+        }
+    }
+
+    #[test]
+    fn higher_beta_produces_denser_graphs() {
+        let sparse_cfg = WaxmanConfig::new(0.4, 0.05, 4000.0, LatencyModel::default());
+        let dense_cfg = WaxmanConfig::new(0.9, 0.9, 4000.0, LatencyModel::default());
+        let mut total_sparse = 0;
+        let mut total_dense = 0;
+        for seed in 0..5 {
+            total_sparse += sparse_cfg
+                .generate(30, &mut ChaCha8Rng::seed_from_u64(seed))
+                .edge_count();
+            total_dense += dense_cfg
+                .generate(30, &mut ChaCha8Rng::seed_from_u64(seed))
+                .edge_count();
+        }
+        assert!(
+            total_dense > total_sparse,
+            "dense {total_dense} vs sparse {total_sparse}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_invalid_alpha() {
+        let _ = WaxmanConfig::new(0.0, 0.5, 1000.0, LatencyModel::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_zero_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = WaxmanConfig::default().generate(0, &mut rng);
+    }
+}

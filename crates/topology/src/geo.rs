@@ -1,0 +1,138 @@
+//! Geographic coordinates and great-circle distance.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometers (IUGG value).
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A point on the Earth's surface in decimal degrees.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_topology::GeoPoint;
+///
+/// let urbana = GeoPoint::new(40.11, -88.21);
+/// let berkeley = GeoPoint::new(37.87, -122.27);
+/// let km = urbana.distance_km(berkeley);
+/// // Urbana–Berkeley is roughly 2960 km as the crow flies.
+/// assert!((2900.0..3050.0).contains(&km), "distance was {km}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point at the given latitude and longitude in decimal
+    /// degrees (positive = north/east).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latitude is outside `[-90, 90]` or the longitude is
+    /// outside `[-180, 180]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!(
+            (-90.0..=90.0).contains(&lat_deg),
+            "latitude {lat_deg} out of range [-90, 90]"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude {lon_deg} out of range [-180, 180]"
+        );
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Returns the latitude in decimal degrees.
+    pub fn lat_deg(self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Returns the longitude in decimal degrees.
+    pub fn lon_deg(self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Returns the great-circle distance to `other` in kilometers, computed
+    /// with the haversine formula on a spherical Earth.
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().asin();
+        EARTH_RADIUS_KM * c
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}°, {:.2}°)", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = GeoPoint::new(41.88, -87.63);
+        assert_eq!(p.distance_km(p), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(40.71, -74.01); // New York
+        let b = GeoPoint::new(51.51, -0.13); // London
+        assert!((a.distance_km(b) - b.distance_km(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distances_are_accurate() {
+        // New York <-> London: ~5570 km.
+        let ny = GeoPoint::new(40.71, -74.01);
+        let london = GeoPoint::new(51.51, -0.13);
+        let d = ny.distance_km(london);
+        assert!((5500.0..5650.0).contains(&d), "NY-London was {d}");
+
+        // Seattle <-> Miami: ~4400 km.
+        let seattle = GeoPoint::new(47.61, -122.33);
+        let miami = GeoPoint::new(25.76, -80.19);
+        let d = seattle.distance_km(miami);
+        assert!((4350.0..4500.0).contains(&d), "Seattle-Miami was {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "antipodal distance was {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn rejects_out_of_range_latitude() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude")]
+    fn rejects_out_of_range_longitude() {
+        let _ = GeoPoint::new(0.0, 200.0);
+    }
+
+    #[test]
+    fn display_shows_both_coordinates() {
+        let p = GeoPoint::new(12.34, -56.78);
+        assert_eq!(p.to_string(), "(12.34°, -56.78°)");
+    }
+}

@@ -1,0 +1,457 @@
+//! Weighted undirected PoP graphs and session sampling.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use teeve_types::{CostMatrix, CostMs};
+
+use crate::{GeoPoint, LatencyModel};
+
+/// Error produced by topology construction or session sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge referenced a node index that does not exist.
+    InvalidEdge {
+        /// First endpoint of the offending edge.
+        a: usize,
+        /// Second endpoint of the offending edge.
+        b: usize,
+        /// Number of nodes in the topology.
+        nodes: usize,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop {
+        /// The offending node index.
+        node: usize,
+    },
+    /// More session sites were requested than PoPs exist.
+    NotEnoughNodes {
+        /// Number of sites requested.
+        requested: usize,
+        /// Number of PoPs available.
+        available: usize,
+    },
+    /// A pair of selected PoPs is not connected by any path.
+    Disconnected {
+        /// First unreachable endpoint (node index).
+        a: usize,
+        /// Second unreachable endpoint (node index).
+        b: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidEdge { a, b, nodes } => {
+                write!(f, "edge ({a}, {b}) references a node outside 0..{nodes}")
+            }
+            TopologyError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            TopologyError::NotEnoughNodes {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} session sites but only {available} PoPs exist"
+            ),
+            TopologyError::Disconnected { a, b } => {
+                write!(f, "no path between PoPs {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A session sampled from a topology: `n` PoPs chosen at random, with their
+/// pairwise shortest-path latencies.
+///
+/// This mirrors the paper's setup: "We randomly select 3-10 nodes in the
+/// experiments. The costs of edges are computed based on the geographical
+/// distances between the nodes."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSample {
+    /// Indices of the selected PoPs within the source [`Topology`];
+    /// `pops[k]` hosts the session's site `H_k`.
+    pub pops: Vec<usize>,
+    /// Human-readable names of the selected PoPs, parallel to `pops`.
+    pub names: Vec<String>,
+    /// Pairwise shortest-path latency between the selected PoPs;
+    /// entry `(a, b)` is the cost between session sites `H_a` and `H_b`.
+    pub costs: CostMatrix,
+}
+
+/// A weighted undirected graph of backbone PoPs.
+///
+/// Nodes carry a name and a geographic location; edges carry an
+/// integer-millisecond latency. Pairwise RP costs are shortest-path
+/// distances over this graph.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_topology::{GeoPoint, LatencyModel, Topology};
+///
+/// let topo = Topology::from_geo(
+///     vec![
+///         ("A".into(), GeoPoint::new(0.0, 0.0)),
+///         ("B".into(), GeoPoint::new(0.0, 10.0)),
+///         ("C".into(), GeoPoint::new(0.0, 20.0)),
+///     ],
+///     &[(0, 1), (1, 2)],
+///     LatencyModel::IDEAL,
+/// )?;
+/// let apsp = topo.all_pairs_shortest_paths();
+/// // A→C must route through B: cost(A,C) = cost(A,B) + cost(B,C).
+/// assert_eq!(apsp.cost_idx(0, 2), apsp.cost_idx(0, 1) + apsp.cost_idx(1, 2));
+/// # Ok::<(), teeve_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    names: Vec<String>,
+    points: Vec<GeoPoint>,
+    /// Undirected edges as `(a, b, cost)` with `a < b`.
+    edges: Vec<(usize, usize, CostMs)>,
+}
+
+impl Topology {
+    /// Builds a topology from named geographic nodes and an undirected edge
+    /// list; each edge cost is derived from the great-circle distance using
+    /// `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an edge references a missing node or is a
+    /// self-loop.
+    pub fn from_geo(
+        nodes: Vec<(String, GeoPoint)>,
+        edges: &[(usize, usize)],
+        model: LatencyModel,
+    ) -> Result<Self, TopologyError> {
+        let (names, points): (Vec<_>, Vec<_>) = nodes.into_iter().unzip();
+        let n = names.len();
+        let mut weighted = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a >= n || b >= n {
+                return Err(TopologyError::InvalidEdge { a, b, nodes: n });
+            }
+            if a == b {
+                return Err(TopologyError::SelfLoop { node: a });
+            }
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let cost = model.cost_for_km(points[lo].distance_km(points[hi]));
+            weighted.push((lo, hi, cost));
+        }
+        Ok(Topology {
+            names,
+            points,
+            edges: weighted,
+        })
+    }
+
+    /// Returns the number of PoP nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns the number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns the name of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Returns the geographic location of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn point(&self, index: usize) -> GeoPoint {
+        self.points[index]
+    }
+
+    /// Returns an iterator over the undirected edges as `(a, b, cost)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, CostMs)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Returns true if every PoP can reach every other PoP.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, _) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Computes all-pairs shortest-path costs over the backbone with
+    /// Floyd–Warshall. Unreachable pairs get [`CostMs::MAX`].
+    pub fn all_pairs_shortest_paths(&self) -> CostMatrix {
+        let n = self.node_count();
+        let mut dist = vec![CostMs::MAX; n * n];
+        for i in 0..n {
+            dist[i * n + i] = CostMs::ZERO;
+        }
+        for &(a, b, c) in &self.edges {
+            // Parallel edges keep the cheaper cost.
+            if c < dist[a * n + b] {
+                dist[a * n + b] = c;
+                dist[b * n + a] = c;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if dik == CostMs::MAX {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dik.saturating_add(dist[k * n + j]);
+                    if through < dist[i * n + j] {
+                        dist[i * n + j] = through;
+                    }
+                }
+            }
+        }
+        // The result is symmetric with a zero diagonal by construction.
+        CostMatrix::from_flat(n, dist).expect("APSP output is a valid cost matrix")
+    }
+
+    /// Randomly selects `n` distinct PoPs to host a 3DTI session and returns
+    /// their pairwise shortest-path cost matrix, exactly as the paper's
+    /// simulation setup does with Mapnet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than `n` PoPs exist or if any selected pair
+    /// is disconnected.
+    pub fn sample_session<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<SessionSample, TopologyError> {
+        let available = self.node_count();
+        if n > available {
+            return Err(TopologyError::NotEnoughNodes {
+                requested: n,
+                available,
+            });
+        }
+        let mut indices: Vec<usize> = (0..available).collect();
+        indices.shuffle(rng);
+        indices.truncate(n);
+        self.session_from_pops(indices)
+    }
+
+    /// Builds a session from an explicit list of PoP indices (useful for
+    /// reproducible scenarios and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of bounds or any selected pair
+    /// is disconnected.
+    pub fn session_from_pops(&self, pops: Vec<usize>) -> Result<SessionSample, TopologyError> {
+        let available = self.node_count();
+        for &p in &pops {
+            if p >= available {
+                return Err(TopologyError::InvalidEdge {
+                    a: p,
+                    b: p,
+                    nodes: available,
+                });
+            }
+        }
+        let apsp = self.all_pairs_shortest_paths();
+        for (ai, &a) in pops.iter().enumerate() {
+            for &b in pops.iter().skip(ai + 1) {
+                if apsp.cost_idx(a, b) == CostMs::MAX {
+                    return Err(TopologyError::Disconnected { a, b });
+                }
+            }
+        }
+        let costs = apsp.restrict(&pops);
+        let names = pops.iter().map(|&p| self.names[p].clone()).collect();
+        Ok(SessionSample { pops, names, costs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn line_of_three() -> Topology {
+        Topology::from_geo(
+            vec![
+                ("A".into(), GeoPoint::new(0.0, 0.0)),
+                ("B".into(), GeoPoint::new(0.0, 10.0)),
+                ("C".into(), GeoPoint::new(0.0, 20.0)),
+            ],
+            &[(0, 1), (1, 2)],
+            LatencyModel::IDEAL,
+        )
+        .expect("valid topology")
+    }
+
+    #[test]
+    fn rejects_edges_to_missing_nodes() {
+        let err = Topology::from_geo(
+            vec![("A".into(), GeoPoint::new(0.0, 0.0))],
+            &[(0, 1)],
+            LatencyModel::IDEAL,
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::InvalidEdge { a: 0, b: 1, nodes: 1 });
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        let err = Topology::from_geo(
+            vec![("A".into(), GeoPoint::new(0.0, 0.0))],
+            &[(0, 0)],
+            LatencyModel::IDEAL,
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::SelfLoop { node: 0 });
+    }
+
+    #[test]
+    fn apsp_routes_through_intermediate_nodes() {
+        let topo = line_of_three();
+        let apsp = topo.all_pairs_shortest_paths();
+        assert_eq!(
+            apsp.cost_idx(0, 2),
+            apsp.cost_idx(0, 1) + apsp.cost_idx(1, 2),
+            "A-C should be the two-hop path through B"
+        );
+    }
+
+    #[test]
+    fn apsp_marks_unreachable_pairs() {
+        let topo = Topology::from_geo(
+            vec![
+                ("A".into(), GeoPoint::new(0.0, 0.0)),
+                ("B".into(), GeoPoint::new(0.0, 10.0)),
+            ],
+            &[],
+            LatencyModel::IDEAL,
+        )
+        .unwrap();
+        assert!(!topo.is_connected());
+        let apsp = topo.all_pairs_shortest_paths();
+        assert_eq!(apsp.cost_idx(0, 1), CostMs::MAX);
+    }
+
+    #[test]
+    fn apsp_satisfies_triangle_inequality() {
+        let topo = line_of_three();
+        assert!(topo.all_pairs_shortest_paths().is_metric());
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(line_of_three().is_connected());
+        let disconnected = Topology::from_geo(
+            vec![
+                ("A".into(), GeoPoint::new(0.0, 0.0)),
+                ("B".into(), GeoPoint::new(0.0, 10.0)),
+                ("C".into(), GeoPoint::new(0.0, 20.0)),
+            ],
+            &[(0, 1)],
+            LatencyModel::IDEAL,
+        )
+        .unwrap();
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn sample_session_selects_distinct_pops() {
+        let topo = line_of_three();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let session = topo.sample_session(3, &mut rng).unwrap();
+        let mut pops = session.pops.clone();
+        pops.sort_unstable();
+        pops.dedup();
+        assert_eq!(pops.len(), 3, "PoPs must be distinct");
+        assert_eq!(session.costs.len(), 3);
+        assert_eq!(session.names.len(), 3);
+    }
+
+    #[test]
+    fn sample_session_rejects_oversized_requests() {
+        let topo = line_of_three();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let err = topo.sample_session(4, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::NotEnoughNodes {
+                requested: 4,
+                available: 3
+            }
+        );
+    }
+
+    #[test]
+    fn sample_session_rejects_disconnected_pairs() {
+        let topo = Topology::from_geo(
+            vec![
+                ("A".into(), GeoPoint::new(0.0, 0.0)),
+                ("B".into(), GeoPoint::new(0.0, 10.0)),
+            ],
+            &[],
+            LatencyModel::IDEAL,
+        )
+        .unwrap();
+        let err = topo.session_from_pops(vec![0, 1]).unwrap_err();
+        assert!(matches!(err, TopologyError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn session_costs_match_restricted_apsp() {
+        let topo = line_of_three();
+        let session = topo.session_from_pops(vec![2, 0]).unwrap();
+        let apsp = topo.all_pairs_shortest_paths();
+        assert_eq!(session.costs.cost_idx(0, 1), apsp.cost_idx(2, 0));
+        assert_eq!(session.names, vec!["C".to_string(), "A".to_string()]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let topo = line_of_three();
+        let s1 = topo
+            .sample_session(2, &mut ChaCha8Rng::seed_from_u64(42))
+            .unwrap();
+        let s2 = topo
+            .sample_session(2, &mut ChaCha8Rng::seed_from_u64(42))
+            .unwrap();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Conversion from geographic distance to propagation latency.
+
+use serde::{Deserialize, Serialize};
+use teeve_types::CostMs;
+
+/// Converts great-circle kilometers into integer-millisecond edge costs.
+///
+/// The paper computes edge costs "based on the geographical distances
+/// between the nodes". We make the conversion explicit: light in fiber
+/// propagates at roughly 200 km/ms, real fiber paths are longer than the
+/// great circle (`path_inflation`), and each hop adds a fixed
+/// router/processing delay (`per_hop_ms`). The default model is
+/// `ceil(km × 1.3 / 200) + 1 ms`.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_topology::LatencyModel;
+/// use teeve_types::CostMs;
+///
+/// let model = LatencyModel::default();
+/// // A 2000 km link: ceil(2000 * 1.3 / 200) + 1 = 14 ms.
+/// assert_eq!(model.cost_for_km(2000.0), CostMs::new(14));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Propagation speed in kilometers per millisecond (fiber ≈ 200).
+    pub km_per_ms: f64,
+    /// Multiplier accounting for fiber paths being longer than the great
+    /// circle (typically 1.2–1.5 for backbone links).
+    pub path_inflation: f64,
+    /// Fixed per-hop processing delay added to every edge, in milliseconds.
+    pub per_hop_ms: u32,
+}
+
+impl LatencyModel {
+    /// A model with no inflation and no per-hop delay: pure speed-of-light
+    /// propagation. Useful in tests where exact costs matter.
+    pub const IDEAL: LatencyModel = LatencyModel {
+        km_per_ms: 200.0,
+        path_inflation: 1.0,
+        per_hop_ms: 0,
+    };
+
+    /// Creates a custom latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `km_per_ms` or `path_inflation` is not strictly positive.
+    pub fn new(km_per_ms: f64, path_inflation: f64, per_hop_ms: u32) -> Self {
+        assert!(km_per_ms > 0.0, "km_per_ms must be positive");
+        assert!(path_inflation > 0.0, "path_inflation must be positive");
+        LatencyModel {
+            km_per_ms,
+            path_inflation,
+            per_hop_ms,
+        }
+    }
+
+    /// Returns the integer-millisecond cost of a link spanning `km`
+    /// great-circle kilometers.
+    pub fn cost_for_km(&self, km: f64) -> CostMs {
+        let propagation = (km * self.path_inflation / self.km_per_ms).ceil() as u32;
+        CostMs::new(propagation + self.per_hop_ms)
+    }
+}
+
+impl Default for LatencyModel {
+    /// Fiber propagation at 200 km/ms, 1.3× path inflation, 1 ms per hop.
+    fn default() -> Self {
+        LatencyModel {
+            km_per_ms: 200.0,
+            path_inflation: 1.3,
+            per_hop_ms: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_costs_only_hop_delay() {
+        let model = LatencyModel::default();
+        assert_eq!(model.cost_for_km(0.0), CostMs::new(1));
+        assert_eq!(LatencyModel::IDEAL.cost_for_km(0.0), CostMs::ZERO);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_distance() {
+        let model = LatencyModel::default();
+        let mut prev = CostMs::ZERO;
+        for km in [0.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0] {
+            let c = model.cost_for_km(km);
+            assert!(c >= prev, "cost not monotone at {km} km");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn ideal_model_matches_speed_of_light() {
+        // 4000 km coast-to-coast at 200 km/ms = 20 ms.
+        assert_eq!(LatencyModel::IDEAL.cost_for_km(4000.0), CostMs::new(20));
+    }
+
+    #[test]
+    fn fractional_milliseconds_round_up() {
+        assert_eq!(LatencyModel::IDEAL.cost_for_km(1.0), CostMs::new(1));
+        assert_eq!(LatencyModel::IDEAL.cost_for_km(200.0), CostMs::new(1));
+        assert_eq!(LatencyModel::IDEAL.cost_for_km(200.1), CostMs::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "km_per_ms")]
+    fn rejects_nonpositive_speed() {
+        let _ = LatencyModel::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "path_inflation")]
+    fn rejects_nonpositive_inflation() {
+        let _ = LatencyModel::new(200.0, 0.0, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Identifier newtypes for sites, streams, cameras, and displays.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a 3DTI site (`H_i` in the paper).
+///
+/// A site hosts an array of 3D cameras (publishers), an array of 3D displays
+/// (subscribers), and exactly one rendezvous point (RP). The overlay graph is
+/// built over RPs only, so a `SiteId` also names the site's RP node.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::SiteId;
+///
+/// let a = SiteId::new(0);
+/// let b = SiteId::new(1);
+/// assert!(a < b);
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(a.to_string(), "H0");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SiteId(u32);
+
+impl SiteId {
+    /// Creates a site identifier from a dense zero-based index.
+    pub const fn new(index: u32) -> Self {
+        SiteId(index)
+    }
+
+    /// Returns the dense zero-based index of the site.
+    ///
+    /// Dense indices make it cheap to use `SiteId` as a key into
+    /// `Vec`-backed per-site tables, which the overlay construction inner
+    /// loop relies on.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns an iterator over the first `n` site identifiers
+    /// (`H_0, H_1, …, H_{n-1}`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use teeve_types::SiteId;
+    ///
+    /// let sites: Vec<SiteId> = SiteId::all(3).collect();
+    /// assert_eq!(sites.len(), 3);
+    /// assert_eq!(sites[2], SiteId::new(2));
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = SiteId> + Clone {
+        (0..n as u32).map(SiteId)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(index: u32) -> Self {
+        SiteId(index)
+    }
+}
+
+/// Identifier of a 3D video stream (`s_j^q` in the paper): the stream with
+/// local index `q` originating from site `H_j`.
+///
+/// Streams are produced by 3D cameras; one camera produces one continuous
+/// stream, so within the pub-sub layer a `StreamId` and the producing
+/// [`CameraId`] are in one-to-one correspondence.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::{SiteId, StreamId};
+///
+/// let s = StreamId::new(SiteId::new(3), 1);
+/// assert_eq!(s.origin(), SiteId::new(3));
+/// assert_eq!(s.local_index(), 1);
+/// assert_eq!(s.to_string(), "s3.1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct StreamId {
+    origin: SiteId,
+    local_index: u32,
+}
+
+impl StreamId {
+    /// Creates the identifier of the stream with local index `local_index`
+    /// originating from `origin`.
+    pub const fn new(origin: SiteId, local_index: u32) -> Self {
+        StreamId {
+            origin,
+            local_index,
+        }
+    }
+
+    /// Returns the site the stream originates from (`H_j`).
+    pub const fn origin(self) -> SiteId {
+        self.origin
+    }
+
+    /// Returns the stream's local index within its origin site (`q`).
+    pub const fn local_index(self) -> u32 {
+        self.local_index
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}.{}", self.origin.0, self.local_index)
+    }
+}
+
+/// Identifier of a 3D camera (publisher) within a site.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::{CameraId, SiteId};
+///
+/// let cam = CameraId::new(SiteId::new(0), 4);
+/// assert_eq!(cam.site(), SiteId::new(0));
+/// assert_eq!(cam.local_index(), 4);
+/// assert_eq!(cam.to_string(), "cam0.4");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CameraId {
+    site: SiteId,
+    local_index: u32,
+}
+
+impl CameraId {
+    /// Creates a camera identifier local to `site`.
+    pub const fn new(site: SiteId, local_index: u32) -> Self {
+        CameraId { site, local_index }
+    }
+
+    /// Returns the site hosting the camera.
+    pub const fn site(self) -> SiteId {
+        self.site
+    }
+
+    /// Returns the camera's index within its site.
+    pub const fn local_index(self) -> u32 {
+        self.local_index
+    }
+
+    /// Returns the identifier of the stream this camera publishes.
+    ///
+    /// One 3D camera produces exactly one continuous 3D video stream, so the
+    /// mapping is a pure re-tagging of the same `(site, index)` pair.
+    pub const fn stream(self) -> StreamId {
+        StreamId::new(self.site, self.local_index)
+    }
+}
+
+impl fmt::Display for CameraId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cam{}.{}", self.site.0, self.local_index)
+    }
+}
+
+/// Identifier of a 3D display (subscriber) within a site.
+///
+/// Each display renders an integrated view of the cyber-space and carries its
+/// own field-of-view subscription.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::{DisplayId, SiteId};
+///
+/// let d = DisplayId::new(SiteId::new(1), 0);
+/// assert_eq!(d.site(), SiteId::new(1));
+/// assert_eq!(d.to_string(), "disp1.0");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DisplayId {
+    site: SiteId,
+    local_index: u32,
+}
+
+impl DisplayId {
+    /// Creates a display identifier local to `site`.
+    pub const fn new(site: SiteId, local_index: u32) -> Self {
+        DisplayId { site, local_index }
+    }
+
+    /// Returns the site hosting the display.
+    pub const fn site(self) -> SiteId {
+        self.site
+    }
+
+    /// Returns the display's index within its site.
+    pub const fn local_index(self) -> u32 {
+        self.local_index
+    }
+}
+
+impl fmt::Display for DisplayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disp{}.{}", self.site.0, self.local_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_roundtrips_index() {
+        for i in [0u32, 1, 7, 1000] {
+            assert_eq!(SiteId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn site_id_ordering_follows_index() {
+        assert!(SiteId::new(1) < SiteId::new(2));
+        assert!(SiteId::new(0) < SiteId::new(10));
+    }
+
+    #[test]
+    fn site_id_all_enumerates_dense_prefix() {
+        let sites: Vec<_> = SiteId::all(4).collect();
+        assert_eq!(
+            sites,
+            vec![SiteId::new(0), SiteId::new(1), SiteId::new(2), SiteId::new(3)]
+        );
+    }
+
+    #[test]
+    fn stream_id_accessors() {
+        let s = StreamId::new(SiteId::new(5), 9);
+        assert_eq!(s.origin(), SiteId::new(5));
+        assert_eq!(s.local_index(), 9);
+    }
+
+    #[test]
+    fn stream_ordering_groups_by_origin_site() {
+        let a = StreamId::new(SiteId::new(0), 99);
+        let b = StreamId::new(SiteId::new(1), 0);
+        assert!(a < b, "streams sort primarily by origin site");
+    }
+
+    #[test]
+    fn camera_maps_to_stream_with_same_coordinates() {
+        let cam = CameraId::new(SiteId::new(2), 3);
+        let stream = cam.stream();
+        assert_eq!(stream.origin(), cam.site());
+        assert_eq!(stream.local_index(), cam.local_index());
+    }
+
+    #[test]
+    fn display_formats_with_site_and_index() {
+        assert_eq!(DisplayId::new(SiteId::new(3), 2).to_string(), "disp3.2");
+    }
+
+    #[test]
+    fn ids_serialize_to_json_and_back() {
+        let s = StreamId::new(SiteId::new(4), 11);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: StreamId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
+
+        let site = SiteId::new(9);
+        let json = serde_json::to_string(&site).expect("serialize");
+        assert_eq!(json, "9", "SiteId is serde(transparent)");
+        let back: SiteId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, site);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty_and_distinct() {
+        let site = SiteId::new(1);
+        let texts = [
+            site.to_string(),
+            StreamId::new(site, 0).to_string(),
+            CameraId::new(site, 0).to_string(),
+            DisplayId::new(site, 0).to_string(),
+        ];
+        for t in &texts {
+            assert!(!t.is_empty());
+        }
+        let unique: std::collections::HashSet<_> = texts.iter().collect();
+        assert_eq!(unique.len(), texts.len());
+    }
+}

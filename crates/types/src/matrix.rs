@@ -1,0 +1,308 @@
+//! A dense symmetric matrix of pairwise latency costs between RP nodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CostMs, SiteId};
+
+/// Error returned when constructing an ill-formed [`CostMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostMatrixError {
+    /// The flat cost buffer length does not equal `n * n`.
+    WrongLength {
+        /// Expected number of entries (`n * n`).
+        expected: usize,
+        /// Actual number of entries provided.
+        actual: usize,
+    },
+    /// A diagonal entry was non-zero; the cost from a node to itself must be
+    /// zero.
+    NonZeroDiagonal {
+        /// The offending node index.
+        index: usize,
+    },
+    /// The matrix was not symmetric: `cost(i, j) != cost(j, i)`.
+    Asymmetric {
+        /// Row of the offending entry.
+        i: usize,
+        /// Column of the offending entry.
+        j: usize,
+    },
+}
+
+impl fmt::Display for CostMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostMatrixError::WrongLength { expected, actual } => {
+                write!(f, "cost buffer has {actual} entries, expected {expected}")
+            }
+            CostMatrixError::NonZeroDiagonal { index } => {
+                write!(f, "diagonal entry {index} is non-zero")
+            }
+            CostMatrixError::Asymmetric { i, j } => {
+                write!(f, "cost({i}, {j}) differs from cost({j}, {i})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostMatrixError {}
+
+/// A dense symmetric `n × n` matrix of pairwise latencies between the RP
+/// nodes of a session.
+///
+/// Row/column `k` corresponds to `SiteId::new(k)`. The paper models the
+/// overlay substrate as a completely connected graph `G = (V, E)` with a
+/// positive integer cost on every edge; this type is that graph's cost
+/// function.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::{CostMatrix, CostMs, SiteId};
+///
+/// let m = CostMatrix::from_fn(3, |i, j| CostMs::new((i as u32 + 1) * (j as u32 + 1)));
+/// assert_eq!(m.len(), 3);
+/// assert_eq!(m.cost(SiteId::new(1), SiteId::new(2)), CostMs::new(6));
+/// assert_eq!(m.cost(SiteId::new(0), SiteId::new(0)), CostMs::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostMatrix {
+    n: usize,
+    costs: Vec<CostMs>,
+}
+
+impl CostMatrix {
+    /// Builds a matrix by evaluating `f(i, j)` for every unordered pair
+    /// `i < j`; the matrix is symmetric by construction and the diagonal is
+    /// zero regardless of `f`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> CostMs) -> Self {
+        let mut costs = vec![CostMs::ZERO; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let c = f(i, j);
+                costs[i * n + j] = c;
+                costs[j * n + i] = c;
+            }
+        }
+        CostMatrix { n, costs }
+    }
+
+    /// Builds a matrix from a flat row-major buffer of `n * n` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer length is not `n * n`, if any diagonal
+    /// entry is non-zero, or if the matrix is not symmetric.
+    pub fn from_flat(n: usize, costs: Vec<CostMs>) -> Result<Self, CostMatrixError> {
+        if costs.len() != n * n {
+            return Err(CostMatrixError::WrongLength {
+                expected: n * n,
+                actual: costs.len(),
+            });
+        }
+        for i in 0..n {
+            if costs[i * n + i] != CostMs::ZERO {
+                return Err(CostMatrixError::NonZeroDiagonal { index: i });
+            }
+            for j in (i + 1)..n {
+                if costs[i * n + j] != costs[j * n + i] {
+                    return Err(CostMatrixError::Asymmetric { i, j });
+                }
+            }
+        }
+        Ok(CostMatrix { n, costs })
+    }
+
+    /// Returns the number of nodes (rows) in the matrix.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true if the matrix covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns the latency between two sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site index is out of bounds.
+    pub fn cost(&self, a: SiteId, b: SiteId) -> CostMs {
+        self.costs[a.index() * self.n + b.index()]
+    }
+
+    /// Returns the latency between two sites given as raw indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn cost_idx(&self, a: usize, b: usize) -> CostMs {
+        self.costs[a * self.n + b]
+    }
+
+    /// Returns the largest pairwise cost in the matrix, or zero for matrices
+    /// with fewer than two nodes.
+    pub fn max_cost(&self) -> CostMs {
+        self.costs.iter().copied().max().unwrap_or(CostMs::ZERO)
+    }
+
+    /// Returns the mean pairwise cost over ordered pairs `i != j`, or zero
+    /// for matrices with fewer than two nodes.
+    pub fn mean_cost(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .costs
+            .iter()
+            .map(|c| u64::from(c.as_millis()))
+            .sum();
+        total as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Returns a new matrix restricted to the given subset of node indices
+    /// (in the given order); entry `(a, b)` of the result is the cost
+    /// between `subset[a]` and `subset[b]` in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `subset` is out of bounds.
+    pub fn restrict(&self, subset: &[usize]) -> CostMatrix {
+        CostMatrix::from_fn(subset.len(), |a, b| self.cost_idx(subset[a], subset[b]))
+    }
+
+    /// Checks whether the matrix satisfies the triangle inequality
+    /// (`cost(i, k) <= cost(i, j) + cost(j, k)` for all triples).
+    ///
+    /// Shortest-path-derived matrices always satisfy it; raw great-circle
+    /// matrices do too. Useful as a sanity check on hand-built fixtures.
+    pub fn is_metric(&self) -> bool {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    let direct = self.cost_idx(i, k);
+                    let via = self.cost_idx(i, j).saturating_add(self.cost_idx(j, k));
+                    if direct > via {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_is_symmetric_with_zero_diagonal() {
+        let m = CostMatrix::from_fn(4, |i, j| CostMs::new((i * 10 + j) as u32));
+        for i in 0..4 {
+            assert_eq!(m.cost_idx(i, i), CostMs::ZERO);
+            for j in 0..4 {
+                assert_eq!(m.cost_idx(i, j), m.cost_idx(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn from_flat_rejects_wrong_length() {
+        let err = CostMatrix::from_flat(2, vec![CostMs::ZERO; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            CostMatrixError::WrongLength {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn from_flat_rejects_nonzero_diagonal() {
+        let costs = vec![
+            CostMs::new(1),
+            CostMs::new(2),
+            CostMs::new(2),
+            CostMs::ZERO,
+        ];
+        let err = CostMatrix::from_flat(2, costs).unwrap_err();
+        assert_eq!(err, CostMatrixError::NonZeroDiagonal { index: 0 });
+    }
+
+    #[test]
+    fn from_flat_rejects_asymmetry() {
+        let costs = vec![
+            CostMs::ZERO,
+            CostMs::new(2),
+            CostMs::new(3),
+            CostMs::ZERO,
+        ];
+        let err = CostMatrix::from_flat(2, costs).unwrap_err();
+        assert_eq!(err, CostMatrixError::Asymmetric { i: 0, j: 1 });
+    }
+
+    #[test]
+    fn from_flat_accepts_valid_matrix() {
+        let costs = vec![
+            CostMs::ZERO,
+            CostMs::new(2),
+            CostMs::new(2),
+            CostMs::ZERO,
+        ];
+        let m = CostMatrix::from_flat(2, costs).expect("valid matrix");
+        assert_eq!(m.cost(SiteId::new(0), SiteId::new(1)), CostMs::new(2));
+    }
+
+    #[test]
+    fn restrict_reorders_and_subsets() {
+        let m = CostMatrix::from_fn(4, |i, j| CostMs::new((i + j) as u32));
+        let r = m.restrict(&[3, 1]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cost_idx(0, 1), m.cost_idx(3, 1));
+    }
+
+    #[test]
+    fn max_and_mean_cost() {
+        let m = CostMatrix::from_fn(3, |i, j| CostMs::new((i + j) as u32));
+        // Off-diagonal costs: (0,1)=1 (0,2)=2 (1,2)=3, each appearing twice.
+        assert_eq!(m.max_cost(), CostMs::new(3));
+        let mean = m.mean_cost();
+        assert!((mean - 2.0).abs() < 1e-9, "mean was {mean}");
+    }
+
+    #[test]
+    fn metric_check_detects_violation() {
+        let good = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+        assert!(good.is_metric());
+        // 0-2 direct (10) is worse than 0-1-2 (2): violates triangle inequality.
+        let bad = CostMatrix::from_fn(3, |i, j| match (i, j) {
+            (0, 2) => CostMs::new(10),
+            _ => CostMs::new(1),
+        });
+        assert!(!bad.is_metric());
+    }
+
+    #[test]
+    fn empty_and_singleton_matrices() {
+        let empty = CostMatrix::from_fn(0, |_, _| CostMs::ZERO);
+        assert!(empty.is_empty());
+        assert_eq!(empty.max_cost(), CostMs::ZERO);
+        assert_eq!(empty.mean_cost(), 0.0);
+        let one = CostMatrix::from_fn(1, |_, _| CostMs::ZERO);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.mean_cost(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = CostMatrix::from_fn(3, |i, j| CostMs::new((i * 7 + j) as u32));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CostMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

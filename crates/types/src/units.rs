@@ -1,0 +1,342 @@
+//! Unit newtypes: latency cost, stream-count degree, and bit rate.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A latency cost in integer milliseconds (`c(e) ∈ ℤ⁺` in the paper).
+///
+/// Costs accumulate along overlay tree paths and are compared against the
+/// interactivity bound `B_cost`. The paper derives costs from geographic
+/// distance; see `teeve-topology` for the distance → milliseconds model.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::CostMs;
+///
+/// let a = CostMs::new(4);
+/// let b = CostMs::new(5);
+/// assert_eq!(a + b, CostMs::new(9));
+/// assert!(a + b < CostMs::new(10));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct CostMs(u32);
+
+impl CostMs {
+    /// Zero cost (the distance from a node to itself).
+    pub const ZERO: CostMs = CostMs(0);
+
+    /// The largest representable cost; useful as an "unreachable" sentinel.
+    pub const MAX: CostMs = CostMs(u32::MAX);
+
+    /// Creates a cost of `ms` milliseconds.
+    pub const fn new(ms: u32) -> Self {
+        CostMs(ms)
+    }
+
+    /// Returns the cost in whole milliseconds.
+    pub const fn as_millis(self) -> u32 {
+        self.0
+    }
+
+    /// Saturating addition; the result never wraps below [`CostMs::MAX`].
+    ///
+    /// Path relaxation in all-pairs shortest path uses this so that
+    /// "unreachable + edge" stays unreachable.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: CostMs) -> CostMs {
+        CostMs(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add for CostMs {
+    type Output = CostMs;
+
+    fn add(self, rhs: CostMs) -> CostMs {
+        CostMs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for CostMs {
+    fn add_assign(&mut self, rhs: CostMs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for CostMs {
+    type Output = CostMs;
+
+    fn sub(self, rhs: CostMs) -> CostMs {
+        CostMs(self.0 - rhs.0)
+    }
+}
+
+impl Sum for CostMs {
+    fn sum<I: Iterator<Item = CostMs>>(iter: I) -> CostMs {
+        iter.fold(CostMs::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for CostMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl From<u32> for CostMs {
+    fn from(ms: u32) -> Self {
+        CostMs(ms)
+    }
+}
+
+/// A bandwidth limit or usage expressed in *number of streams*
+/// (`I_i, O_i ∈ ℕ` in the paper).
+///
+/// The paper's degree bounds count concurrent streams rather than bits per
+/// second: every 3D stream is assumed to have comparable bandwidth after
+/// compression (5–10 Mbps), so a site's inbound/outbound capacity divides
+/// into an integer number of stream slots.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::Degree;
+///
+/// let capacity = Degree::new(20);
+/// let used = Degree::new(13);
+/// assert_eq!(capacity.remaining(used), Degree::new(7));
+/// assert!(used < capacity);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Degree(u32);
+
+impl Degree {
+    /// Zero streams.
+    pub const ZERO: Degree = Degree(0);
+
+    /// Creates a degree of `n` streams.
+    pub const fn new(n: u32) -> Self {
+        Degree(n)
+    }
+
+    /// Returns the degree as a plain count.
+    pub const fn count(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `self - used`, saturating at zero.
+    ///
+    /// Treating over-use as zero (rather than panicking) keeps capacity
+    /// arithmetic total; the overlay layer enforces non-over-use separately
+    /// through its invariant validator.
+    #[must_use]
+    pub const fn remaining(self, used: Degree) -> Degree {
+        Degree(self.0.saturating_sub(used.0))
+    }
+
+    /// Increments the degree by one stream.
+    pub fn increment(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Decrements the degree by one stream, saturating at zero.
+    pub fn decrement(&mut self) {
+        self.0 = self.0.saturating_sub(1);
+    }
+
+    /// Returns true if the degree is zero streams.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Degree {
+    type Output = Degree;
+
+    fn add(self, rhs: Degree) -> Degree {
+        Degree(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Degree {
+    fn add_assign(&mut self, rhs: Degree) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Degree {
+    fn sum<I: Iterator<Item = Degree>>(iter: I) -> Degree {
+        iter.fold(Degree::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Degree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} streams", self.0)
+    }
+}
+
+impl From<u32> for Degree {
+    fn from(n: u32) -> Self {
+        Degree(n)
+    }
+}
+
+/// A stream bit rate in bits per second.
+///
+/// Used by the dissemination simulator and the live network substrate to
+/// model serialization delay. The paper measures compressed 3D streams at
+/// 5–10 Mbps (Section 5.1) and raw streams at ≈180 Mbps (Section 1).
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::BitRate;
+///
+/// let r = BitRate::from_mbps(8);
+/// assert_eq!(r.bits_per_sec(), 8_000_000);
+/// // An 80 kB frame at 8 Mbps takes 80 ms to serialize.
+/// assert_eq!(r.transmit_micros(80_000), 80_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct BitRate(u64);
+
+impl BitRate {
+    /// Creates a bit rate of `bps` bits per second.
+    pub const fn new(bps: u64) -> Self {
+        BitRate(bps)
+    }
+
+    /// Creates a bit rate of `mbps` megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        BitRate(mbps * 1_000_000)
+    }
+
+    /// Returns the rate in bits per second.
+    pub const fn bits_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time, in microseconds, to transmit `bytes` bytes at this
+    /// rate, rounded up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub const fn transmit_micros(self, bytes: u64) -> u64 {
+        let bits = bytes * 8;
+        (bits * 1_000_000).div_ceil(self.0)
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1_000_000 == 0 {
+            write!(f, "{}Mbps", self.0 / 1_000_000)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_addition_and_comparison() {
+        let bound = CostMs::new(10);
+        let path = CostMs::new(4) + CostMs::new(5);
+        assert!(path < bound);
+        assert_eq!((path + CostMs::new(1)), bound);
+    }
+
+    #[test]
+    fn cost_saturating_add_never_wraps() {
+        assert_eq!(CostMs::MAX.saturating_add(CostMs::new(1)), CostMs::MAX);
+        assert_eq!(
+            CostMs::new(1).saturating_add(CostMs::new(2)),
+            CostMs::new(3)
+        );
+    }
+
+    #[test]
+    fn cost_sums_over_iterators() {
+        let total: CostMs = [1u32, 2, 3].into_iter().map(CostMs::new).sum();
+        assert_eq!(total, CostMs::new(6));
+    }
+
+    #[test]
+    fn degree_remaining_saturates() {
+        assert_eq!(
+            Degree::new(5).remaining(Degree::new(7)),
+            Degree::ZERO,
+            "over-use clamps to zero remaining"
+        );
+        assert_eq!(Degree::new(7).remaining(Degree::new(5)), Degree::new(2));
+    }
+
+    #[test]
+    fn degree_increment_decrement() {
+        let mut d = Degree::ZERO;
+        d.increment();
+        d.increment();
+        assert_eq!(d, Degree::new(2));
+        d.decrement();
+        assert_eq!(d, Degree::new(1));
+        d.decrement();
+        d.decrement();
+        assert_eq!(d, Degree::ZERO, "decrement saturates at zero");
+    }
+
+    #[test]
+    fn bitrate_transmit_time_rounds_up() {
+        let r = BitRate::new(1_000_000); // 1 Mbps
+        // 1 byte = 8 bits -> 8 microseconds at 1 Mbps.
+        assert_eq!(r.transmit_micros(1), 8);
+        // 125_000 bytes = 1_000_000 bits -> exactly one second.
+        assert_eq!(r.transmit_micros(125_000), 1_000_000);
+        // One extra bit's worth rounds up, never down.
+        let r3 = BitRate::new(3);
+        assert_eq!(r3.transmit_micros(1), 2_666_667);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CostMs::new(12).to_string(), "12ms");
+        assert_eq!(Degree::new(3).to_string(), "3 streams");
+        assert_eq!(BitRate::from_mbps(10).to_string(), "10Mbps");
+        assert_eq!(BitRate::new(1500).to_string(), "1500bps");
+    }
+
+    #[test]
+    fn units_serde_roundtrip() {
+        let c = CostMs::new(42);
+        let d = Degree::new(20);
+        let r = BitRate::from_mbps(5);
+        assert_eq!(
+            serde_json::from_str::<CostMs>(&serde_json::to_string(&c).unwrap()).unwrap(),
+            c
+        );
+        assert_eq!(
+            serde_json::from_str::<Degree>(&serde_json::to_string(&d).unwrap()).unwrap(),
+            d
+        );
+        assert_eq!(
+            serde_json::from_str::<BitRate>(&serde_json::to_string(&r).unwrap()).unwrap(),
+            r
+        );
+    }
+}

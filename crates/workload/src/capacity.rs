@@ -1,0 +1,224 @@
+//! Node resource distributions (paper Section 5.1, "Node Resource
+//! Distribution").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use teeve_overlay::NodeCapacity;
+use teeve_types::Degree;
+
+/// Sampled per-session node resources: bandwidth capacities and the number
+/// of streams each site publishes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeResources {
+    /// Per-site inbound/outbound limits, in site order.
+    pub capacities: Vec<NodeCapacity>,
+    /// Per-site published stream counts, in site order.
+    pub streams_per_site: Vec<u32>,
+}
+
+/// The paper's two node resource distributions, plus an explicit escape
+/// hatch.
+///
+/// * **Uniform**: `O_i = I_i = 20 ± ε` with `ε` uniform in `[0, 5]`
+///   (realized as an integer capacity uniform in `[15, 25]`); every site
+///   publishes 20 streams.
+/// * **Heterogeneous**: 50% of sites get capacity 30, 25% get 20, 25% get
+///   10; stream counts are uniform in `[10, 30]`.
+///
+/// These numbers mirror the paper's measurements on Internet2: site
+/// bandwidth of 40–150 Mbps against compressed 3D streams of 5–10 Mbps
+/// yields capacities of roughly 10–30 streams.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_workload::CapacityModel;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let res = CapacityModel::Uniform.sample(5, &mut rng);
+/// assert_eq!(res.capacities.len(), 5);
+/// assert!(res.streams_per_site.iter().all(|&m| m == 20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapacityModel {
+    /// Uniform capacities `20 ± ε`, 20 streams per site.
+    Uniform,
+    /// 50/25/25% mix of capacities 30/20/10, streams uniform in `[10, 30]`.
+    Heterogeneous,
+    /// Explicit resources, for tests and custom scenarios.
+    Explicit(NodeResources),
+}
+
+impl CapacityModel {
+    /// Base capacity of the uniform model.
+    pub const UNIFORM_BASE: u32 = 20;
+    /// Maximum jitter `ε` of the uniform model.
+    pub const UNIFORM_JITTER: u32 = 5;
+    /// Streams published per site under the uniform model.
+    pub const UNIFORM_STREAMS: u32 = 20;
+
+    /// Samples resources for an `n`-site session.
+    ///
+    /// Heterogeneous class counts follow the paper's proportions with
+    /// largest-remainder rounding, and the class-to-site assignment is
+    /// shuffled so no site index is systematically privileged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or if an [`CapacityModel::Explicit`] model's
+    /// tables do not have length `n`.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> NodeResources {
+        assert!(n > 0, "a session needs at least one site");
+        match self {
+            CapacityModel::Uniform => {
+                let capacities = (0..n)
+                    .map(|_| {
+                        let lo = Self::UNIFORM_BASE - Self::UNIFORM_JITTER;
+                        let hi = Self::UNIFORM_BASE + Self::UNIFORM_JITTER;
+                        NodeCapacity::symmetric(Degree::new(rng.gen_range(lo..=hi)))
+                    })
+                    .collect();
+                NodeResources {
+                    capacities,
+                    streams_per_site: vec![Self::UNIFORM_STREAMS; n],
+                }
+            }
+            CapacityModel::Heterogeneous => {
+                // 50% large (30), 25% medium (20), 25% small (10), with
+                // largest-remainder rounding so odd session sizes stay as
+                // close to the target proportions as possible.
+                let quotas = [(30u32, 0.50f64), (20, 0.25), (10, 0.25)];
+                let mut counts: Vec<(u32, usize, f64)> = quotas
+                    .iter()
+                    .map(|&(cap, share)| {
+                        let ideal = share * n as f64;
+                        (cap, ideal.floor() as usize, ideal.fract())
+                    })
+                    .collect();
+                let mut assigned: usize = counts.iter().map(|&(_, c, _)| c).sum();
+                // Hand leftover slots to the largest fractional remainders.
+                counts.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite"));
+                let classes_len = counts.len();
+                let mut idx = 0;
+                while assigned < n {
+                    counts[idx % classes_len].1 += 1;
+                    assigned += 1;
+                    idx += 1;
+                }
+                let mut classes: Vec<u32> = Vec::with_capacity(n);
+                for (cap, count, _) in counts {
+                    classes.extend(std::iter::repeat(cap).take(count));
+                }
+                use rand::seq::SliceRandom;
+                classes.shuffle(rng);
+                let capacities = classes
+                    .into_iter()
+                    .map(|c| NodeCapacity::symmetric(Degree::new(c)))
+                    .collect();
+                let streams_per_site = (0..n).map(|_| rng.gen_range(10..=30)).collect();
+                NodeResources {
+                    capacities,
+                    streams_per_site,
+                }
+            }
+            CapacityModel::Explicit(res) => {
+                assert_eq!(res.capacities.len(), n, "explicit capacities must cover n sites");
+                assert_eq!(
+                    res.streams_per_site.len(),
+                    n,
+                    "explicit stream counts must cover n sites"
+                );
+                res.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_capacities_stay_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let res = CapacityModel::Uniform.sample(100, &mut rng);
+        for cap in &res.capacities {
+            let c = cap.inbound.count();
+            assert!((15..=25).contains(&c), "capacity {c} out of 20±5");
+            assert_eq!(cap.inbound, cap.outbound, "O_i = I_i");
+        }
+        assert!(res.streams_per_site.iter().all(|&m| m == 20));
+    }
+
+    #[test]
+    fn heterogeneous_mix_matches_proportions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let res = CapacityModel::Heterogeneous.sample(8, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for cap in &res.capacities {
+            *counts.entry(cap.outbound.count()).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.get(&30), Some(&4), "50% large");
+        assert_eq!(counts.get(&20), Some(&2), "25% medium");
+        assert_eq!(counts.get(&10), Some(&2), "25% small");
+        for &m in &res.streams_per_site {
+            assert!((10..=30).contains(&m));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_handles_odd_session_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for n in 3..=10 {
+            let res = CapacityModel::Heterogeneous.sample(n, &mut rng);
+            assert_eq!(res.capacities.len(), n);
+            let total: u32 = res.capacities.iter().map(|c| c.outbound.count()).sum();
+            assert!(total >= 10 * n as u32);
+            assert!(total <= 30 * n as u32);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_assignment_is_shuffled() {
+        // Across seeds, site 0 must not always receive the same class.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let res = CapacityModel::Heterogeneous.sample(8, &mut rng);
+            seen.insert(res.capacities[0].outbound.count());
+        }
+        assert!(seen.len() > 1, "site 0 always got the same class");
+    }
+
+    #[test]
+    fn explicit_model_is_passed_through() {
+        let explicit = NodeResources {
+            capacities: vec![NodeCapacity::symmetric(Degree::new(7)); 3],
+            streams_per_site: vec![1, 2, 3],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let res = CapacityModel::Explicit(explicit.clone()).sample(3, &mut rng);
+        assert_eq!(res, explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover n sites")]
+    fn explicit_model_validates_length() {
+        let explicit = NodeResources {
+            capacities: vec![NodeCapacity::symmetric(Degree::new(7)); 2],
+            streams_per_site: vec![1, 2],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = CapacityModel::Explicit(explicit).sample(3, &mut rng);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = CapacityModel::Heterogeneous.sample(6, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = CapacityModel::Heterogeneous.sample(6, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

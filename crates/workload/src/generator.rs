@@ -1,0 +1,285 @@
+//! Subscription workload generation: combines a popularity model and a
+//! capacity model into complete [`ProblemInstance`]s.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use teeve_overlay::{ProblemError, ProblemInstance};
+use teeve_types::{CostMatrix, CostMs, SiteId, StreamId};
+
+use crate::{CapacityModel, PopularityModel};
+
+/// A complete workload configuration: the paper's simulation setup minus
+/// the topology (which is provided as a cost matrix at generation time).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use teeve_types::{CostMatrix, CostMs};
+/// use teeve_workload::WorkloadConfig;
+///
+/// let costs = CostMatrix::from_fn(5, |i, j| CostMs::new(5 + (i + j) as u32));
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+/// let problem = WorkloadConfig::zipf_uniform().generate(&costs, &mut rng)?;
+/// assert_eq!(problem.site_count(), 5);
+/// assert!(problem.total_requests() > 0);
+/// # Ok::<(), teeve_overlay::ProblemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Stream popularity model (Zipf vs random).
+    pub popularity: PopularityModel,
+    /// Node resource distribution (uniform vs heterogeneous).
+    pub capacity: CapacityModel,
+    /// Interactivity bound `B_cost` for the generated problems.
+    pub cost_bound: CostMs,
+}
+
+impl WorkloadConfig {
+    /// Default interactivity bound: 60 ms end-to-end.
+    ///
+    /// Calibration: on the North-American backbone every *direct* site pair
+    /// is feasible (max pairwise cost ≈ 45 ms), but relaying chains of
+    /// depth 2–3 across the continent are not — so the latency constraint
+    /// genuinely shapes tree construction, as in the paper's worked
+    /// examples where the bound binds at depth two.
+    pub const DEFAULT_COST_BOUND: CostMs = CostMs::new(60);
+
+    /// Paper setup: Zipf workload, uniform nodes (Figure 8(b)).
+    pub fn zipf_uniform() -> Self {
+        WorkloadConfig {
+            popularity: PopularityModel::paper_zipf(),
+            capacity: CapacityModel::Uniform,
+            cost_bound: Self::DEFAULT_COST_BOUND,
+        }
+    }
+
+    /// Paper setup: Zipf workload, heterogeneous nodes (Figure 8(a), 11).
+    pub fn zipf_heterogeneous() -> Self {
+        WorkloadConfig {
+            popularity: PopularityModel::paper_zipf(),
+            capacity: CapacityModel::Heterogeneous,
+            cost_bound: Self::DEFAULT_COST_BOUND,
+        }
+    }
+
+    /// Paper setup: random workload, uniform nodes (Figures 8(d), 9, 10).
+    pub fn random_uniform() -> Self {
+        WorkloadConfig {
+            popularity: PopularityModel::paper_random(),
+            capacity: CapacityModel::Uniform,
+            cost_bound: Self::DEFAULT_COST_BOUND,
+        }
+    }
+
+    /// Paper setup: random workload, heterogeneous nodes (Figure 8(c)).
+    pub fn random_heterogeneous() -> Self {
+        WorkloadConfig {
+            popularity: PopularityModel::paper_random(),
+            capacity: CapacityModel::Heterogeneous,
+            cost_bound: Self::DEFAULT_COST_BOUND,
+        }
+    }
+
+    /// Overrides the interactivity bound.
+    #[must_use]
+    pub fn with_cost_bound(mut self, bound: CostMs) -> Self {
+        self.cost_bound = bound;
+        self
+    }
+
+    /// Generates one subscription workload sample over the session whose
+    /// pairwise latencies are `costs`.
+    ///
+    /// Process, mirroring the paper's setup:
+    ///
+    /// 1. sample per-site capacities and stream counts from the capacity
+    ///    model;
+    /// 2. assign every published stream a global popularity rank (uniformly
+    ///    at random — any camera may be the popular one);
+    /// 3. each site subscribes to each *remote* stream independently with
+    ///    the rank's probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the session has fewer than three sites.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        costs: &CostMatrix,
+        rng: &mut R,
+    ) -> Result<ProblemInstance, ProblemError> {
+        let n = costs.len();
+        if n < 3 {
+            return Err(ProblemError::TooFewSites { sites: n });
+        }
+        let resources = self.capacity.sample(n, rng);
+
+        // Enumerate all streams and assign global popularity ranks.
+        let mut streams: Vec<StreamId> = (0..n)
+            .flat_map(|j| {
+                let site = SiteId::new(j as u32);
+                (0..resources.streams_per_site[j]).map(move |q| StreamId::new(site, q))
+            })
+            .collect();
+        streams.shuffle(rng);
+        let probs = self.popularity.stream_probabilities(streams.len(), rng);
+
+        let mut builder = ProblemInstance::builder(costs.clone(), self.cost_bound)
+            .capacities(resources.capacities)
+            .streams_per_site(&resources.streams_per_site);
+        for (stream, &p) in streams.iter().zip(&probs) {
+            if p == 0.0 {
+                continue;
+            }
+            for subscriber in SiteId::all(n) {
+                if subscriber == stream.origin() {
+                    continue;
+                }
+                if rng.gen_bool(p) {
+                    builder = builder.subscribe(subscriber, *stream);
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// Generates `count` independent workload samples (the paper uses 200
+    /// per configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first generation error, if any.
+    pub fn generate_many<R: Rng + ?Sized>(
+        &self,
+        costs: &CostMatrix,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Vec<ProblemInstance>, ProblemError> {
+        (0..count).map(|_| self.generate(costs, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn costs(n: usize) -> CostMatrix {
+        CostMatrix::from_fn(n, |i, j| CostMs::new(4 + ((i * 3 + j) % 7) as u32))
+    }
+
+    #[test]
+    fn generates_paper_scale_problems() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in 3..=10 {
+            let problem = WorkloadConfig::zipf_uniform()
+                .generate(&costs(n), &mut rng)
+                .unwrap();
+            assert_eq!(problem.site_count(), n);
+            // Uniform model publishes 20 streams per site.
+            for site in SiteId::all(n) {
+                assert_eq!(problem.streams_of(site), 20);
+            }
+        }
+    }
+
+    #[test]
+    fn demand_tracks_the_popularity_calibration() {
+        // Mean per-site demand should approximate the model's expected
+        // demand over remote streams.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10;
+        let cfg = WorkloadConfig::zipf_uniform();
+        let mut total_requests = 0usize;
+        let samples = 30;
+        for _ in 0..samples {
+            let p = cfg.generate(&costs(n), &mut rng).unwrap();
+            total_requests += p.total_requests();
+        }
+        let mean_per_site = total_requests as f64 / (samples * n) as f64;
+        // 200 streams total, 180 remote per site; expected demand scaled by
+        // the remote fraction (9/10).
+        let expected = PopularityModel::paper_zipf().expected_demand(200) * 0.9;
+        assert!(
+            (mean_per_site - expected).abs() < 3.0,
+            "mean demand {mean_per_site:.1} should be near {expected:.1}"
+        );
+    }
+
+    #[test]
+    fn no_self_subscriptions_are_generated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let problem = WorkloadConfig::random_heterogeneous()
+            .generate(&costs(6), &mut rng)
+            .unwrap();
+        for r in problem.requests() {
+            assert_ne!(r.subscriber, r.stream.origin());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = WorkloadConfig::zipf_heterogeneous();
+        let a = cfg
+            .generate(&costs(5), &mut ChaCha8Rng::seed_from_u64(11))
+            .unwrap();
+        let b = cfg
+            .generate(&costs(5), &mut ChaCha8Rng::seed_from_u64(11))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_concentrates_popularity_more_than_flat() {
+        // Count, per sample, the size of the largest multicast group; Zipf
+        // should produce larger top groups on average.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 8;
+        let mut zipf_top = 0usize;
+        let mut flat_top = 0usize;
+        for _ in 0..20 {
+            let z = WorkloadConfig::zipf_uniform()
+                .generate(&costs(n), &mut rng)
+                .unwrap();
+            zipf_top += z.groups().iter().map(|g| g.len()).max().unwrap_or(0);
+            let f = WorkloadConfig::random_uniform()
+                .generate(&costs(n), &mut rng)
+                .unwrap();
+            flat_top += f.groups().iter().map(|g| g.len()).max().unwrap_or(0);
+        }
+        assert!(
+            zipf_top >= flat_top,
+            "zipf top-group mass {zipf_top} should exceed flat {flat_top}"
+        );
+    }
+
+    #[test]
+    fn generate_many_produces_independent_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let samples = WorkloadConfig::zipf_uniform()
+            .generate_many(&costs(4), 5, &mut rng)
+            .unwrap();
+        assert_eq!(samples.len(), 5);
+        // With overwhelming probability at this scale, not all identical.
+        assert!(samples.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn rejects_too_small_sessions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let err = WorkloadConfig::zipf_uniform()
+            .generate(&costs(2), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, ProblemError::TooFewSites { .. }));
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = WorkloadConfig::random_heterogeneous();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: WorkloadConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

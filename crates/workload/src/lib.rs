@@ -1,0 +1,45 @@
+//! Subscription workload generation for the TEEVE reproduction (paper
+//! Section 5.1).
+//!
+//! A workload sample fixes, for one simulated 3DTI session:
+//!
+//! * per-site node resources — bandwidth capacities in streams and the
+//!   number of published streams ([`CapacityModel`]: the paper's *uniform*
+//!   and *heterogeneous* distributions);
+//! * which sites subscribe to which streams ([`PopularityModel`]: the
+//!   paper's *Zipf-distributed* and *random* workloads).
+//!
+//! [`WorkloadConfig`] combines the two and emits ready-to-solve
+//! [`ProblemInstance`]s; [`SubscriptionTrace`] persists sample batches so
+//! experiments are regenerable artifacts.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use teeve_types::{CostMatrix, CostMs};
+//! use teeve_workload::WorkloadConfig;
+//!
+//! // Figure 8(a)'s setup: Zipf workload over heterogeneous nodes.
+//! let costs = CostMatrix::from_fn(6, |i, j| CostMs::new(5 + (i ^ j) as u32));
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2008);
+//! let samples = WorkloadConfig::zipf_heterogeneous()
+//!     .generate_many(&costs, 10, &mut rng)?;
+//! assert_eq!(samples.len(), 10);
+//! # Ok::<(), teeve_overlay::ProblemError>(())
+//! ```
+//!
+//! [`ProblemInstance`]: teeve_overlay::ProblemInstance
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity;
+mod generator;
+mod popularity;
+mod trace;
+
+pub use capacity::{CapacityModel, NodeResources};
+pub use generator::WorkloadConfig;
+pub use popularity::PopularityModel;
+pub use trace::{SubscriptionTrace, TraceError};

@@ -1,0 +1,178 @@
+//! Persisted workload traces: regenerable experiment inputs.
+//!
+//! The paper lists collecting real user subscription traces as future work
+//! and evaluates on generated workloads; this module makes those generated
+//! workloads durable artifacts, so an experiment can be re-run bit-for-bit
+//! from its trace file.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use teeve_overlay::ProblemInstance;
+
+use crate::WorkloadConfig;
+
+/// A persisted batch of workload samples together with the configuration
+/// and seed that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriptionTrace {
+    /// The generating configuration.
+    pub config: WorkloadConfig,
+    /// The RNG seed used for generation.
+    pub seed: u64,
+    /// The generated problem instances.
+    pub samples: Vec<ProblemInstance>,
+}
+
+/// Error loading or saving a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Malformed trace contents.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Format(e) => write!(f, "trace format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Format(e)
+    }
+}
+
+impl SubscriptionTrace {
+    /// Creates a trace from already-generated samples.
+    pub fn new(config: WorkloadConfig, seed: u64, samples: Vec<ProblemInstance>) -> Self {
+        SubscriptionTrace {
+            config,
+            seed,
+            samples,
+        }
+    }
+
+    /// Serializes the trace as JSON into `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O or serialization failure.
+    pub fn write_json<W: io::Write>(&self, writer: W) -> Result<(), TraceError> {
+        serde_json::to_writer(writer, self)?;
+        Ok(())
+    }
+
+    /// Reads a JSON trace from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O or deserialization failure.
+    pub fn read_json<R: io::Read>(reader: R) -> Result<Self, TraceError> {
+        Ok(serde_json::from_reader(reader)?)
+    }
+
+    /// Saves the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let file = fs::File::create(path)?;
+        self.write_json(io::BufWriter::new(file))
+    }
+
+    /// Loads a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let file = fs::File::open(path)?;
+        Self::read_json(io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use teeve_types::{CostMatrix, CostMs};
+
+    fn sample_trace() -> SubscriptionTrace {
+        let costs = CostMatrix::from_fn(4, |i, j| CostMs::new(3 + (i + j) as u32));
+        let config = WorkloadConfig::zipf_uniform();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let samples = config.generate_many(&costs, 3, &mut rng).unwrap();
+        SubscriptionTrace::new(config, 99, samples)
+    }
+
+    #[test]
+    fn json_roundtrip_through_memory() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_json(&mut buf).unwrap();
+        let back = SubscriptionTrace::read_json(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join(format!("teeve-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        trace.save(&path).unwrap();
+        let back = SubscriptionTrace::load(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let err = SubscriptionTrace::read_json(&b"not json"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Format(_)));
+        assert!(err.to_string().contains("format"));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = SubscriptionTrace::load("/nonexistent/teeve/trace.json").unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn trace_regenerates_identically_from_seed() {
+        let trace = sample_trace();
+        let costs = CostMatrix::from_fn(4, |i, j| CostMs::new(3 + (i + j) as u32));
+        let mut rng = ChaCha8Rng::seed_from_u64(trace.seed);
+        let regenerated = trace
+            .config
+            .generate_many(&costs, trace.samples.len(), &mut rng)
+            .unwrap();
+        assert_eq!(regenerated, trace.samples);
+    }
+}

@@ -1,0 +1,71 @@
+//! A miniature of the paper's Figure 8: mean rejection ratio vs. number of
+//! sites for every construction algorithm, on live-generated workloads.
+//!
+//! Run with: `cargo run --release --example algorithm_comparison [samples]`
+//! (default 25 samples per point; the paper uses 200).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve::overlay::{
+    ConstructionAlgorithm, CorrelatedRandomJoin, GranLtf, LargestTreeFirst,
+    MinimumCapacityTreeFirst, RandomJoin, SmallestTreeFirst,
+};
+use teeve::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let topo = teeve::topology::backbone_north_america();
+
+    let gran4 = GranLtf::new(4);
+    let algorithms: Vec<&dyn ConstructionAlgorithm> = vec![
+        &SmallestTreeFirst,
+        &LargestTreeFirst,
+        &MinimumCapacityTreeFirst,
+        &gran4,
+        &RandomJoin,
+        &CorrelatedRandomJoin,
+    ];
+
+    for (label, config) in [
+        ("Zipf workload, uniform nodes", WorkloadConfig::zipf_uniform()),
+        (
+            "Random workload, heterogeneous nodes",
+            WorkloadConfig::random_heterogeneous(),
+        ),
+    ] {
+        println!("\n=== {label} ({samples} samples/point) ===");
+        print!("{:>3}", "N");
+        for algo in &algorithms {
+            print!(" {:>9}", algo.name());
+        }
+        println!();
+        for n in 3..=10 {
+            let mut totals = vec![0.0; algorithms.len()];
+            for _ in 0..samples {
+                let session = topo.sample_session(n, &mut rng)?;
+                let problem = config.generate(&session.costs, &mut rng)?;
+                for (t, algo) in totals.iter_mut().zip(&algorithms) {
+                    *t += algo
+                        .construct(&problem, &mut rng)
+                        .metrics()
+                        .rejection_ratio();
+                }
+            }
+            print!("{n:>3}");
+            for t in &totals {
+                print!(" {:>9.4}", t / samples as f64);
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nThe paper's headline: the simple randomized algorithm (RJ) keeps\n\
+         up with or beats every tree-based heuristic while being the\n\
+         cheapest to run — no sorting, just a shuffle."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Live subscription churn: participants keep turning to look at one
+//! another, and the overlay is repaired incrementally instead of being
+//! rebuilt — the "real deployment" scenario the paper defers to future
+//! work.
+//!
+//! Run with: `cargo run --example fov_churn`
+
+use teeve::pubsub::{run_churn, ChurnEvent};
+use teeve::prelude::*;
+use teeve::types::{DisplayId, SiteId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 5-site session with modest capacities, so churn actually
+    //    contends for bandwidth.
+    let costs = teeve::types::CostMatrix::from_fn(5, |i, j| {
+        teeve::types::CostMs::new(4 + ((i * 5 + j) % 5) as u32 * 3)
+    });
+    let mut session = Session::builder(costs)
+        .cameras_per_site(8)
+        .displays_per_site(2)
+        .symmetric_capacity(teeve::types::Degree::new(10))
+        .build();
+
+    // Initial FOVs: each site's first display watches the right-hand
+    // neighbour, the second the left-hand one.
+    let n = session.site_count();
+    for site in SiteId::all(n) {
+        let i = site.index() as u32;
+        session.subscribe_viewpoint(DisplayId::new(site, 0), SiteId::new((i + 1) % n as u32));
+        session.subscribe_viewpoint(
+            DisplayId::new(site, 1),
+            SiteId::new((i + n as u32 - 1) % n as u32),
+        );
+    }
+
+    // 2. The script: over three rounds, every site swings its gaze to a
+    //    different participant (never itself); one display per round looks
+    //    away entirely, then re-engages next round.
+    let mut events = Vec::new();
+    for round in 1..=3u32 {
+        for site in SiteId::all(n) {
+            let i = site.index() as u32;
+            events.push(ChurnEvent::Retarget {
+                display: DisplayId::new(site, 0),
+                target: SiteId::new((i + 1 + round) % n as u32),
+            });
+        }
+        events.push(ChurnEvent::Clear {
+            display: DisplayId::new(SiteId::new(round % n as u32), 1),
+        });
+    }
+
+    // 3. Run the churn twice: plain node-join repair, then with CO-RJ
+    //    victim swapping.
+    for (label, corr) in [("plain", false), ("with CO-RJ swapping", true)] {
+        let mut s = session.clone();
+        let (report, forest) = run_churn(&mut s, &events, corr)?;
+        println!("churn run ({label}):");
+        println!("  events          {}", report.events);
+        println!(
+            "  joins           {} attempted, {} accepted, {} rejected (acceptance {:.3})",
+            report.subscribes,
+            report.accepted,
+            report.rejected,
+            report.acceptance_ratio()
+        );
+        println!(
+            "  leaves          {} applied, {} descendants re-attached, {} dropped",
+            report.unsubscribes, report.reattached, report.dropped
+        );
+        let live_trees = forest.trees().iter().filter(|t| t.member_count() > 1).count();
+        println!("  final forest    {live_trees} live trees\n");
+    }
+    Ok(())
+}

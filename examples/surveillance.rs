@@ -1,0 +1,85 @@
+//! Distributed surveillance: the paper's "random workload" use case.
+//!
+//! A security operator federates camera clusters at six facilities. There
+//! is no Zipf popularity here — operators watch whichever feeds matter to
+//! them ("the streams have more or less similar popularity", Section 5.1).
+//! The example generates the paper's random workload over heterogeneous
+//! facilities and compares all four construction algorithms on the same
+//! instances, then drills into the winner's load balancing.
+//!
+//! Run with: `cargo run --example surveillance`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve::overlay::{
+    ConstructionAlgorithm, LargestTreeFirst, MinimumCapacityTreeFirst, RandomJoin,
+    SmallestTreeFirst,
+};
+use teeve::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(911);
+    let topo = teeve::topology::backbone_north_america();
+    let session = topo.sample_session(6, &mut rng)?;
+    println!("Facilities: {}", session.names.join(", "));
+
+    // The paper's random workload over heterogeneous facility capacities.
+    let config = WorkloadConfig::random_heterogeneous();
+    let samples = 40;
+    let problems: Vec<_> = (0..samples)
+        .map(|_| config.generate(&session.costs, &mut rng))
+        .collect::<Result<_, _>>()?;
+
+    let algorithms: [&dyn ConstructionAlgorithm; 4] = [
+        &SmallestTreeFirst,
+        &LargestTreeFirst,
+        &MinimumCapacityTreeFirst,
+        &RandomJoin,
+    ];
+    println!("\nMean rejection over {samples} workload samples:");
+    let mut best: (f64, &str) = (f64::INFINITY, "");
+    for algo in algorithms {
+        let mut total = 0.0;
+        for problem in &problems {
+            total += algo
+                .construct(problem, &mut rng)
+                .metrics()
+                .rejection_ratio();
+        }
+        let mean = total / samples as f64;
+        println!("  {:<5} {mean:.4}", algo.name());
+        if mean < best.0 {
+            best = (mean, algo.name());
+        }
+    }
+    println!("Best algorithm here: {}", best.1);
+
+    // Drill into one RJ run: who forwards how much?
+    let problem = &problems[0];
+    let outcome = RandomJoin.construct(problem, &mut rng);
+    let m = outcome.metrics();
+    println!(
+        "\nOne RJ run: {}/{} requests accepted ({} trees)",
+        m.accepted_requests,
+        m.total_requests,
+        outcome.forest().len()
+    );
+    println!(
+        "  out-degree utilization {:.1}% (stddev {:.1}%), relaying share {:.1}%",
+        m.mean_out_degree_utilization * 100.0,
+        m.stddev_out_degree_utilization * 100.0,
+        m.mean_relay_fraction * 100.0
+    );
+    for site in SiteId::all(problem.site_count()) {
+        let forest = outcome.forest();
+        println!(
+            "  facility {site} ({}): capacity {}, receives {}, sends {} ({} relayed)",
+            session.names[site.index()],
+            problem.capacity(site).outbound.count(),
+            forest.in_degree(site),
+            forest.out_degree(site),
+            forest.relay_degree(site),
+        );
+    }
+    Ok(())
+}

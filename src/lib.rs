@@ -1,0 +1,73 @@
+//! # TEEVE — Multi-Site Collaboration in 3D Tele-Immersive Environments
+//!
+//! A Rust reproduction of **Wu, Yang, Gupta, Nahrstedt, "Towards Multi-Site
+//! Collaboration in 3D Tele-Immersive Environments" (ICDCS 2008)**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`types`] — shared identifiers and units;
+//! * [`topology`] — Internet backbone substrate (Mapnet substitute);
+//! * [`geometry`] — cyber-space, cameras, FOV subscriptions (ViewCast
+//!   substitute);
+//! * [`workload`] — Zipf/random subscription workload generation;
+//! * [`overlay`] — the paper's core contribution: multicast-forest
+//!   construction heuristics (LTF, STF, MCTF, RJ, Gran-LTF, CO-RJ);
+//! * [`pubsub`] — publishers, subscribers, rendezvous points, membership
+//!   server, dissemination plans;
+//! * [`sim`] — discrete-event dissemination simulator;
+//! * [`net`] — live TCP rendezvous-point cluster;
+//! * [`media`] — synthetic 3D capture and the reduction pipeline
+//!   (background subtraction, resolution reduction, compression);
+//! * [`adapt`] — multi-stream bandwidth adaptation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use teeve::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Sample a 4-site session from the backbone topology.
+//! let mut rng = ChaCha8Rng::seed_from_u64(2008);
+//! let session = teeve::topology::backbone_north_america().sample_session(4, &mut rng)?;
+//!
+//! // 2. Generate a Zipf subscription workload at the paper's scale.
+//! let problem = WorkloadConfig::zipf_uniform().generate(&session.costs, &mut rng)?;
+//!
+//! // 3. Construct the dissemination forest with the randomized algorithm.
+//! let outcome = RandomJoin::default().construct(&problem, &mut rng);
+//! println!("rejection ratio: {:.3}", outcome.metrics().rejection_ratio());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use teeve_adapt as adapt;
+pub use teeve_geometry as geometry;
+pub use teeve_media as media;
+pub use teeve_net as net;
+pub use teeve_overlay as overlay;
+pub use teeve_pubsub as pubsub;
+pub use teeve_sim as sim;
+pub use teeve_topology as topology;
+pub use teeve_types as types;
+pub use teeve_workload as workload;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use teeve_geometry::{CyberSpace, FieldOfView, ViewSelector};
+    pub use teeve_adapt::{AdaptStream, AdaptationController, AdaptiveReceiver, QualityLadder};
+    pub use teeve_media::{ReductionPipeline, SyntheticCapture};
+    pub use teeve_overlay::{
+        ConstructionAlgorithm, CorrelatedRandomJoin, GranLtf, LargestTreeFirst,
+        MinimumCapacityTreeFirst, OptimalSolver, RandomJoin, SmallestTreeFirst, UnicastBaseline,
+    };
+    pub use teeve_pubsub::{DisseminationPlan, MembershipServer, Session, StreamProfile};
+    pub use teeve_sim::{simulate, SimConfig};
+    pub use teeve_topology::{backbone, backbone_north_america, Topology};
+    pub use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+    pub use teeve_workload::{CapacityModel, PopularityModel, WorkloadConfig};
+}

@@ -1,0 +1,239 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve::overlay::{
+    validate_forest, ConstructionAlgorithm, CorrelatedRandomJoin, GranLtf, LargestTreeFirst,
+    ProblemInstance, RandomJoin, SmallestTreeFirst,
+};
+use teeve::prelude::*;
+use teeve::sim::{simulate, SimConfig};
+use teeve::types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+
+/// Builds an arbitrary problem instance from proptest-drawn parameters.
+fn arbitrary_problem(
+    n: usize,
+    capacity: u32,
+    bound: u32,
+    edges: &[(u8, u8, u8)], // (subscriber, origin, stream index) mod-mapped
+    cost_seed: u8,
+) -> Option<ProblemInstance> {
+    let streams_per_site = 4u32;
+    let costs = CostMatrix::from_fn(n, |i, j| {
+        CostMs::new(1 + ((i * 31 + j * 17 + cost_seed as usize) % 9) as u32)
+    });
+    let mut builder = ProblemInstance::builder(costs, CostMs::new(bound))
+        .symmetric_capacities(Degree::new(capacity))
+        .streams_per_site(&vec![streams_per_site; n]);
+    for &(sub, origin, q) in edges {
+        let sub = SiteId::new(u32::from(sub) % n as u32);
+        let origin_site = SiteId::new(u32::from(origin) % n as u32);
+        if sub == origin_site {
+            continue;
+        }
+        let stream = StreamId::new(origin_site, u32::from(q) % streams_per_site);
+        builder = builder.subscribe(sub, stream);
+    }
+    builder.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the instance, every algorithm's forest satisfies the
+    /// degree and latency constraints and contains only subscribers.
+    #[test]
+    fn forests_always_satisfy_constraints(
+        n in 3usize..7,
+        capacity in 1u32..8,
+        bound in 2u32..25,
+        edges in proptest::collection::vec((0u8..7, 0u8..7, 0u8..4), 0..60),
+        cost_seed in 0u8..255,
+        algo_seed in 0u64..1000,
+    ) {
+        let Some(problem) = arbitrary_problem(n, capacity, bound, &edges, cost_seed) else {
+            return Ok(());
+        };
+        let gran = GranLtf::new(1 + (algo_seed as usize % 5));
+        let algos: Vec<&dyn ConstructionAlgorithm> = vec![
+            &RandomJoin, &LargestTreeFirst, &SmallestTreeFirst, &CorrelatedRandomJoin, &gran,
+        ];
+        for algo in algos {
+            let mut rng = ChaCha8Rng::seed_from_u64(algo_seed);
+            let outcome = algo.construct(&problem, &mut rng);
+            prop_assert!(validate_forest(&problem, outcome.forest()).is_ok(),
+                "{} built an invalid forest", algo.name());
+            let m = outcome.metrics();
+            prop_assert_eq!(m.accepted_requests + m.rejected_requests, m.total_requests);
+            prop_assert!((0.0..=1.0).contains(&m.rejection_ratio));
+            prop_assert!((0.0..=1.0).contains(&m.pair_rejection_ratio));
+            prop_assert!(m.weighted_rejection >= 0.0);
+        }
+    }
+
+    /// CO-RJ never loses more *requests* than it must: its forest is valid
+    /// and its weighted rejection never exceeds RJ's on the same seed by
+    /// more than numerical noise... structurally we assert validity plus
+    /// the swap guarantee: every swap preserved degree usage.
+    #[test]
+    fn corj_is_structurally_sound(
+        n in 3usize..6,
+        capacity in 1u32..6,
+        edges in proptest::collection::vec((0u8..6, 0u8..6, 0u8..4), 0..50),
+        seed in 0u64..500,
+    ) {
+        let Some(problem) = arbitrary_problem(n, capacity, 20, &edges, 7) else {
+            return Ok(());
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = CorrelatedRandomJoin.construct(&problem, &mut rng);
+        prop_assert!(validate_forest(&problem, outcome.forest()).is_ok());
+    }
+
+    /// The simulator conserves frames: delivered == expected for any valid
+    /// plan (no loss, no duplication), and latencies are positive.
+    #[test]
+    fn simulator_conserves_frames(
+        n in 3usize..6,
+        capacity in 2u32..8,
+        edges in proptest::collection::vec((0u8..6, 0u8..6, 0u8..4), 1..40),
+        seed in 0u64..500,
+    ) {
+        let Some(problem) = arbitrary_problem(n, capacity, 40, &edges, 3) else {
+            return Ok(());
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        let plan = DisseminationPlan::from_forest(
+            &problem, outcome.forest(), StreamProfile::default());
+        let report = simulate(&plan, &SimConfig::short());
+        prop_assert_eq!(report.delivery_ratio(), 1.0);
+        // Per planned (site, stream) delivery, at least one frame and all
+        // with sane latencies.
+        for sp in plan.site_plans() {
+            for stream in sp.received_streams() {
+                let stats = report.stream_stats(sp.site, stream);
+                prop_assert!(stats.is_some(), "missing delivery {} at {}", stream, sp.site);
+                let stats = stats.unwrap();
+                prop_assert!(stats.frames() > 0);
+                prop_assert!(stats.max_latency() >= stats.mean_latency());
+            }
+        }
+    }
+
+    /// Workload generation always produces problems the builder accepts,
+    /// with demand within the theoretical envelope.
+    #[test]
+    fn workload_generation_is_well_formed(
+        n in 3usize..8,
+        seed in 0u64..1000,
+        zipf in proptest::bool::ANY,
+        heterogeneous in proptest::bool::ANY,
+    ) {
+        let costs = CostMatrix::from_fn(n, |i, j| CostMs::new(2 + ((i + j) % 7) as u32));
+        let config = match (zipf, heterogeneous) {
+            (true, true) => WorkloadConfig::zipf_heterogeneous(),
+            (true, false) => WorkloadConfig::zipf_uniform(),
+            (false, true) => WorkloadConfig::random_heterogeneous(),
+            (false, false) => WorkloadConfig::random_uniform(),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let problem = config.generate(&costs, &mut rng).expect("n >= 3");
+        prop_assert_eq!(problem.site_count(), n);
+        // No site subscribes to itself; all requests reference real streams.
+        for r in problem.requests() {
+            prop_assert!(r.subscriber != r.stream.origin());
+            prop_assert!(r.stream.local_index() < problem.streams_of(r.stream.origin()));
+        }
+        // Total requests bounded by sites x all remote streams.
+        let total_streams: u32 = (0..n)
+            .map(|i| problem.streams_of(SiteId::new(i as u32)))
+            .sum();
+        prop_assert!(problem.total_requests() <= n * total_streams as usize);
+    }
+
+    /// The unicast baseline obeys the same invariants as the overlay
+    /// algorithms, and its trees never relay (depth ≤ 1).
+    #[test]
+    fn unicast_baseline_builds_valid_stars(
+        n in 3usize..7,
+        capacity in 1u32..8,
+        bound in 2u32..25,
+        edges in proptest::collection::vec((0u8..7, 0u8..7, 0u8..4), 0..60),
+        seed in 0u64..500,
+    ) {
+        let Some(problem) = arbitrary_problem(n, capacity, bound, &edges, 5) else {
+            return Ok(());
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = UnicastBaseline.construct(&problem, &mut rng);
+        prop_assert!(validate_forest(&problem, outcome.forest()).is_ok());
+        for tree in outcome.forest().trees() {
+            prop_assert!(tree.depth() <= 1, "unicast must not relay");
+        }
+        for i in 0..n as u32 {
+            prop_assert_eq!(outcome.forest().relay_degree(SiteId::new(i)), 0);
+        }
+    }
+
+    /// The exact solver is never beaten by any heuristic or the unicast
+    /// baseline, and its forest satisfies every constraint.
+    #[test]
+    fn optimal_lower_bounds_every_heuristic(
+        capacity in 1u32..4,
+        bound in 4u32..25,
+        edges in proptest::collection::vec((0u8..3, 0u8..3, 0u8..2), 0..9),
+        seed in 0u64..300,
+    ) {
+        // 3 sites, 2 streams each, ≤9 raw edges: within the solver caps
+        // after duplicate collapsing.
+        let streams_per_site = 2u32;
+        let costs = CostMatrix::from_fn(3, |i, j| {
+            CostMs::new(1 + ((i * 31 + j * 17) % 9) as u32)
+        });
+        let mut builder = ProblemInstance::builder(costs, CostMs::new(bound))
+            .symmetric_capacities(Degree::new(capacity))
+            .streams_per_site(&[streams_per_site; 3]);
+        for &(sub, origin, q) in &edges {
+            let sub = SiteId::new(u32::from(sub) % 3);
+            let origin_site = SiteId::new(u32::from(origin) % 3);
+            if sub == origin_site {
+                continue;
+            }
+            builder = builder.subscribe(sub, StreamId::new(origin_site, u32::from(q) % streams_per_site));
+        }
+        let Ok(problem) = builder.build() else { return Ok(()); };
+
+        let optimal = teeve::overlay::OptimalSolver::default()
+            .solve(&problem)
+            .expect("within caps");
+        prop_assert!(validate_forest(&problem, optimal.forest()).is_ok());
+        let best = optimal.metrics().rejected_requests;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let algos: Vec<&dyn ConstructionAlgorithm> =
+            vec![&RandomJoin, &LargestTreeFirst, &SmallestTreeFirst, &UnicastBaseline];
+        for algo in algos {
+            let h = algo.construct(&problem, &mut rng).metrics().rejected_requests;
+            prop_assert!(best <= h, "{} rejected {h} < optimal {best}", algo.name());
+        }
+    }
+
+    /// Cost matrices sampled from the backbone are metric and symmetric.
+    #[test]
+    fn backbone_sessions_are_metric(n in 3usize..12, seed in 0u64..200) {
+        let topo = teeve::topology::backbone_north_america();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let session = topo.sample_session(n, &mut rng).expect("session");
+        prop_assert!(session.costs.is_metric());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(session.costs.cost_idx(i, j), session.costs.cost_idx(j, i));
+                if i != j {
+                    prop_assert!(session.costs.cost_idx(i, j) > CostMs::ZERO);
+                }
+            }
+        }
+    }
+}
