@@ -113,7 +113,7 @@ impl AdaptiveReceiver {
 
     /// Feeds a `(bytes, seconds)` observation; see [`Self::observe_bps`].
     pub fn observe_bytes(&mut self, bytes: u64, seconds: f64) -> Option<AdaptationPlan> {
-        if !(seconds > 0.0) || !seconds.is_finite() {
+        if seconds <= 0.0 || !seconds.is_finite() {
             return None;
         }
         self.observe_bps(bytes as f64 * 8.0 / seconds)

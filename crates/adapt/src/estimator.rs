@@ -52,7 +52,7 @@ impl BandwidthEstimator {
     /// Feeds one observation: `bytes` transferred over `seconds`.
     /// Observations with a non-positive duration are ignored.
     pub fn observe_bytes(&mut self, bytes: u64, seconds: f64) {
-        if !(seconds > 0.0) || !seconds.is_finite() {
+        if seconds <= 0.0 || !seconds.is_finite() {
             return;
         }
         self.observe_bps(bytes as f64 * 8.0 / seconds);

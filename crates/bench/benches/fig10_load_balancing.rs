@@ -12,7 +12,9 @@ fn bench_fig10(c: &mut Criterion) {
     for row in fig10_series(6, 2008) {
         eprintln!(
             "[fig10] N={:>2}: utilization {:.3} (stddev {:.3}), relaying {:.3}",
-            row.sites, row.mean_out_utilization, row.stddev_out_utilization,
+            row.sites,
+            row.mean_out_utilization,
+            row.stddev_out_utilization,
             row.mean_relay_fraction
         );
     }

@@ -16,7 +16,9 @@ fn main() {
     let samples = get("--samples")
         .and_then(|s| s.parse().ok())
         .unwrap_or(PAPER_SAMPLES);
-    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed = get("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     let json = args.iter().any(|a| a == "--json");
 
     let rows = fig10_series(samples, seed);
@@ -33,10 +35,7 @@ fn main() {
         );
     } else {
         println!("Figure 10 — out-degree utilization of RJ ({samples} samples, seed {seed})");
-        println!(
-            "{:>3} {:>9} {:>9} {:>9}",
-            "N", "util", "stddev", "relaying"
-        );
+        println!("{:>3} {:>9} {:>9} {:>9}", "N", "util", "stddev", "relaying");
         for r in rows {
             println!(
                 "{:>3} {} {} {}",

@@ -16,7 +16,9 @@ fn main() {
     let samples = get("--samples")
         .and_then(|s| s.parse().ok())
         .unwrap_or(PAPER_SAMPLES);
-    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed = get("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     let json = args.iter().any(|a| a == "--json");
 
     let rows = fig11_series(samples, seed);

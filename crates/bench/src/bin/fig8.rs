@@ -16,7 +16,9 @@ fn main() {
     let samples = get("--samples")
         .and_then(|s| s.parse().ok())
         .unwrap_or(PAPER_SAMPLES);
-    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed = get("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     let json = args.iter().any(|a| a == "--json");
     let panels: Vec<Fig8Panel> = match get("--panel") {
         Some(letter) => vec![Fig8Panel::from_letter(&letter).unwrap_or_else(|| {
@@ -40,8 +42,16 @@ fn main() {
                 })
             );
         } else {
-            println!("Figure 8 {} — {} samples, seed {}", panel.caption(), samples, seed);
-            println!("{:>3} {:>8} {:>8} {:>8} {:>8}", "N", "STF", "LTF", "MCTF", "RJ");
+            println!(
+                "Figure 8 {} — {} samples, seed {}",
+                panel.caption(),
+                samples,
+                seed
+            );
+            println!(
+                "{:>3} {:>8} {:>8} {:>8} {:>8}",
+                "N", "STF", "LTF", "MCTF", "RJ"
+            );
             for r in rows {
                 println!(
                     "{:>3} {} {} {} {}",

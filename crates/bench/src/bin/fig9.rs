@@ -16,7 +16,9 @@ fn main() {
     // Each granularity point is averaged over this many fresh workloads;
     // the default keeps the full sweep comparable in effort to fig8.
     let samples = get("--samples").and_then(|s| s.parse().ok()).unwrap_or(50);
-    let seed = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed = get("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     let json = args.iter().any(|a| a == "--json");
 
     let points = fig9_series(samples, seed, None);

@@ -157,11 +157,7 @@ pub struct Fig9Point {
 ///
 /// The sweep covers `granularities` (pass `None` to sweep a 20-point grid
 /// from 1 to the forest size).
-pub fn fig9_series(
-    samples: usize,
-    seed: u64,
-    granularities: Option<&[usize]>,
-) -> Vec<Fig9Point> {
+pub fn fig9_series(samples: usize, seed: u64, granularities: Option<&[usize]>) -> Vec<Fig9Point> {
     let config = WorkloadConfig::random_uniform();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let costs = sample_costs(10, &mut rng);
@@ -172,9 +168,7 @@ pub fn fig9_series(
     let grid: Vec<usize> = match granularities {
         Some(gs) => gs.to_vec(),
         None => {
-            let mut gs: Vec<usize> = (0..20)
-                .map(|k| 1 + k * f.saturating_sub(1) / 19)
-                .collect();
+            let mut gs: Vec<usize> = (0..20).map(|k| 1 + k * f.saturating_sub(1) / 19).collect();
             gs.dedup();
             gs
         }
@@ -196,7 +190,8 @@ pub fn fig9_series(
         .map(|&g| {
             let mut total = 0.0;
             for (i, problem) in instances.iter().enumerate() {
-                let mut shuffle_rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                let mut shuffle_rng =
+                    ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
                 let points = granularity_sweep(
                     problem,
                     &[g.min(problem.group_count().max(1))],
@@ -241,10 +236,7 @@ pub fn fig10_series(samples: usize, seed: u64) -> Vec<Fig10Row> {
             for _ in 0..samples {
                 let costs = sample_costs(n, &mut rng);
                 let problem = config.generate(&costs, &mut rng).expect("n >= 3");
-                let metrics = RandomJoin
-                    .construct(&problem, &mut rng)
-                    .metrics()
-                    .clone();
+                let metrics = RandomJoin.construct(&problem, &mut rng).metrics().clone();
                 util += metrics.mean_out_degree_utilization;
                 std += metrics.stddev_out_degree_utilization;
                 relay += metrics.mean_relay_fraction;

@@ -195,9 +195,7 @@ mod tests {
         assert!(space
             .camera_for(StreamId::new(SiteId::new(1), 99))
             .is_none());
-        assert!(space
-            .camera_for(StreamId::new(SiteId::new(9), 0))
-            .is_none());
+        assert!(space.camera_for(StreamId::new(SiteId::new(9), 0)).is_none());
     }
 
     #[test]

@@ -100,8 +100,7 @@ impl ViewSelector {
         let to_eye = fov.eye() - subject;
         let to_camera = camera.position() - subject;
         let alignment = (1.0 + to_camera.angle_to(to_eye).cos()) / 2.0;
-        let proximity =
-            1.0 / (1.0 + subject.distance_to(fov.eye()) / Self::PROXIMITY_SCALE_M);
+        let proximity = 1.0 / (1.0 + subject.distance_to(fov.eye()) / Self::PROXIMITY_SCALE_M);
         alignment * proximity
     }
 

@@ -156,8 +156,7 @@ impl SyntheticCapture {
                 // Surface depth bulges towards the silhouette centre and
                 // carries sensor noise.
                 let bulge = ((fx - cx).abs() / torso_rx.max(1.0) * 60.0) as u16;
-                let noise =
-                    pixel_noise(self.seed, x, y, seq, self.depth_noise_mm) as u16;
+                let noise = pixel_noise(self.seed, x, y, seq, self.depth_noise_mm) as u16;
                 let depth = self
                     .subject_depth_mm
                     .saturating_add(bulge)
@@ -224,7 +223,9 @@ mod tests {
 
     #[test]
     fn subject_occupies_plausible_fraction() {
-        let occ = SyntheticCapture::new(640, 480, 11).capture(0.0, 0).occupancy();
+        let occ = SyntheticCapture::new(640, 480, 11)
+            .capture(0.0, 0)
+            .occupancy();
         assert!((0.1..0.45).contains(&occ), "occupancy {occ}");
     }
 

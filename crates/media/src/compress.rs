@@ -165,7 +165,10 @@ impl Codec {
     ///
     /// Panics if the step is zero.
     pub fn new(depth_quant_mm: u16) -> Self {
-        assert!(depth_quant_mm > 0, "depth quantization step must be nonzero");
+        assert!(
+            depth_quant_mm > 0,
+            "depth quantization step must be nonzero"
+        );
         Codec { depth_quant_mm }
     }
 

@@ -244,11 +244,7 @@ mod tests {
     fn skipping_downsampling_costs_bits() {
         let with = run_pipeline(&ReductionPipeline::paper(), 5);
         let without = run_pipeline(
-            &ReductionPipeline::new(
-                BackgroundSubtractor::default(),
-                None,
-                Codec::default(),
-            ),
+            &ReductionPipeline::new(BackgroundSubtractor::default(), None, Codec::default()),
             5,
         );
         assert!(without.bitrate_bps(FRAME_FPS) > with.bitrate_bps(FRAME_FPS) * 1.5);

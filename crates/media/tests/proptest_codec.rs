@@ -36,17 +36,20 @@ fn arb_foreground() -> impl Strategy<Value = ForegroundFrame> {
 /// An arbitrary dense raw frame with a controllable mix of near geometry
 /// and far background.
 fn arb_raw() -> impl Strategy<Value = RawFrame> {
-    proptest::collection::vec((any::<bool>(), 0u16..5_000, any::<(u8, u8, u8)>()), (W * H) as usize)
-        .prop_map(|cells| {
-            let mut frame = RawFrame::new(W, H);
-            for (i, (near, depth, (r, g, b))) in cells.into_iter().enumerate() {
-                let (x, y) = (i as u32 % W, i as u32 / W);
-                if near {
-                    frame.set(x, y, Rgb::new(r, g, b), depth);
-                }
+    proptest::collection::vec(
+        (any::<bool>(), 0u16..5_000, any::<(u8, u8, u8)>()),
+        (W * H) as usize,
+    )
+    .prop_map(|cells| {
+        let mut frame = RawFrame::new(W, H);
+        for (i, (near, depth, (r, g, b))) in cells.into_iter().enumerate() {
+            let (x, y) = (i as u32 % W, i as u32 / W);
+            if near {
+                frame.set(x, y, Rgb::new(r, g, b), depth);
             }
-            frame
-        })
+        }
+        frame
+    })
 }
 
 proptest! {

@@ -334,8 +334,8 @@ pub fn run_cluster(
     }
 
     // Phase D: origin senders.
-    for i in 0..n {
-        let rp = Arc::clone(&shared[i]);
+    for site_shared in &shared {
+        let rp = Arc::clone(site_shared);
         let origin_streams: Vec<StreamId> = rp
             .plan
             .entries
@@ -571,9 +571,6 @@ mod tests {
     #[test]
     fn mean_latency_of_unknown_pair_is_none() {
         let report = ClusterReport::default();
-        assert_eq!(
-            report.mean_latency_micros(site(0), stream(1, 0)),
-            None
-        );
+        assert_eq!(report.mean_latency_micros(site(0), stream(1, 0)), None);
     }
 }

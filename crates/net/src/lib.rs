@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod replan;
 pub mod wire;
 
 pub use cluster::{run_cluster, ClusterConfig, ClusterError, ClusterReport};
+pub use replan::{link_changes, LinkChanges};

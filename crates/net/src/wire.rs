@@ -274,11 +274,18 @@ mod tests {
     #[test]
     fn multiple_messages_decode_in_order() {
         let mut buf = BytesMut::new();
-        encode(&Message::Hello { site: SiteId::new(1) }, &mut buf);
+        encode(
+            &Message::Hello {
+                site: SiteId::new(1),
+            },
+            &mut buf,
+        );
         encode(&Message::Bye, &mut buf);
         assert_eq!(
             decode(&mut buf).unwrap(),
-            Some(Message::Hello { site: SiteId::new(1) })
+            Some(Message::Hello {
+                site: SiteId::new(1)
+            })
         );
         assert_eq!(decode(&mut buf).unwrap(), Some(Message::Bye));
         assert_eq!(decode(&mut buf).unwrap(), None);
@@ -289,10 +296,7 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u32_le((MAX_MESSAGE_BYTES + 1) as u32);
         buf.put_u8(TAG_BYE);
-        assert!(matches!(
-            decode(&mut buf),
-            Err(WireError::Oversized { .. })
-        ));
+        assert!(matches!(decode(&mut buf), Err(WireError::Oversized { .. })));
     }
 
     #[test]

@@ -42,11 +42,7 @@ impl ConstructionAlgorithm for CorrelatedRandomJoin {
         "CO-RJ"
     }
 
-    fn construct(
-        &self,
-        problem: &ProblemInstance,
-        rng: &mut dyn RngCore,
-    ) -> ConstructionOutcome {
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome {
         let mut state = ForestState::new(problem);
         let mut requests: Vec<(usize, SiteId)> = problem
             .groups()
@@ -113,14 +109,13 @@ pub(crate) fn try_swap(
         };
         // Condition 4: the new path respects the latency bound.
         let path = parent_cost.saturating_add(problem.cost(parent, requester));
-        if !(path < bound) {
+        if path >= bound {
             continue;
         }
         let better = match best {
             None => true,
             Some((best_u, best_idx)) => {
-                (u_victim, std::cmp::Reverse(k_idx))
-                    > (best_u, std::cmp::Reverse(best_idx))
+                (u_victim, std::cmp::Reverse(k_idx)) > (best_u, std::cmp::Reverse(best_idx))
             }
         };
         if better {

@@ -57,11 +57,7 @@ impl ConstructionAlgorithm for GranLtf {
         "Gran-LTF"
     }
 
-    fn construct(
-        &self,
-        problem: &ProblemInstance,
-        rng: &mut dyn RngCore,
-    ) -> ConstructionOutcome {
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome {
         let mut order: Vec<usize> = (0..problem.group_count()).collect();
         order.sort_by_key(|&g| std::cmp::Reverse(problem.groups()[g].len()));
         let batches: Vec<Vec<usize>> = order
@@ -85,10 +81,8 @@ mod tests {
     fn granularity_one_matches_ltf() {
         let problem = contended_problem();
         for seed in 0..5 {
-            let g1 = GranLtf::new(1)
-                .construct(&problem, &mut ChaCha8Rng::seed_from_u64(seed));
-            let ltf =
-                LargestTreeFirst.construct(&problem, &mut ChaCha8Rng::seed_from_u64(seed));
+            let g1 = GranLtf::new(1).construct(&problem, &mut ChaCha8Rng::seed_from_u64(seed));
+            let ltf = LargestTreeFirst.construct(&problem, &mut ChaCha8Rng::seed_from_u64(seed));
             assert_eq!(g1.forest(), ltf.forest(), "seed {seed}");
         }
     }

@@ -17,8 +17,8 @@ mod corj;
 mod granularity;
 mod tree_based;
 
-pub use corj::CorrelatedRandomJoin;
 pub(crate) use corj::try_swap as corj_try_swap;
+pub use corj::CorrelatedRandomJoin;
 pub use granularity::GranLtf;
 pub use tree_based::{LargestTreeFirst, MinimumCapacityTreeFirst, SmallestTreeFirst};
 
@@ -42,8 +42,7 @@ pub trait ConstructionAlgorithm {
 
     /// Runs the algorithm. Within each batch of trees the request order is
     /// randomized with `rng`, as the paper prescribes for every heuristic.
-    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore)
-        -> ConstructionOutcome;
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome;
 }
 
 /// Shared engine: processes the given batches of multicast groups in order;
@@ -113,11 +112,7 @@ impl ConstructionAlgorithm for RandomJoin {
         "RJ"
     }
 
-    fn construct(
-        &self,
-        problem: &ProblemInstance,
-        rng: &mut dyn RngCore,
-    ) -> ConstructionOutcome {
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome {
         let all: Vec<usize> = (0..problem.group_count()).collect();
         construct_in_batches(self.name(), problem, std::slice::from_ref(&all), rng)
     }
@@ -181,7 +176,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let outcome = RandomJoin.construct(&problem, &mut rng);
         assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
-        assert_eq!(outcome.metrics().accepted_requests, problem.total_requests());
+        assert_eq!(
+            outcome.metrics().accepted_requests,
+            problem.total_requests()
+        );
     }
 
     #[test]
@@ -233,7 +231,7 @@ mod tests {
             Box::new(SmallestTreeFirst),
             Box::new(MinimumCapacityTreeFirst),
             Box::new(GranLtf::new(2)),
-            Box::new(CorrelatedRandomJoin::default()),
+            Box::new(CorrelatedRandomJoin),
         ];
         let problem = easy_problem();
         for algo in &algos {

@@ -51,11 +51,7 @@ impl ConstructionAlgorithm for LargestTreeFirst {
         "LTF"
     }
 
-    fn construct(
-        &self,
-        problem: &ProblemInstance,
-        rng: &mut dyn RngCore,
-    ) -> ConstructionOutcome {
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome {
         let batches =
             singleton_batches_by(problem, |g| std::cmp::Reverse(problem.groups()[g].len()));
         construct_in_batches(self.name(), problem, &batches, rng)
@@ -72,11 +68,7 @@ impl ConstructionAlgorithm for SmallestTreeFirst {
         "STF"
     }
 
-    fn construct(
-        &self,
-        problem: &ProblemInstance,
-        rng: &mut dyn RngCore,
-    ) -> ConstructionOutcome {
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome {
         let batches = singleton_batches_by(problem, |g| problem.groups()[g].len());
         construct_in_batches(self.name(), problem, &batches, rng)
     }
@@ -93,13 +85,8 @@ impl ConstructionAlgorithm for MinimumCapacityTreeFirst {
         "MCTF"
     }
 
-    fn construct(
-        &self,
-        problem: &ProblemInstance,
-        rng: &mut dyn RngCore,
-    ) -> ConstructionOutcome {
-        let batches =
-            singleton_batches_by(problem, |g| aggregate_forwarding_capacity(problem, g));
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome {
+        let batches = singleton_batches_by(problem, |g| aggregate_forwarding_capacity(problem, g));
         construct_in_batches(self.name(), problem, &batches, rng)
     }
 }
@@ -121,7 +108,10 @@ mod tests {
         let len = (seeds.end - seeds.start) as f64;
         for seed in seeds {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            total += algo.construct(problem, &mut rng).metrics().rejected_requests as f64;
+            total += algo
+                .construct(problem, &mut rng)
+                .metrics()
+                .rejected_requests as f64;
         }
         total / len
     }

@@ -58,11 +58,7 @@ impl ConstructionAlgorithm for UnicastBaseline {
         "Unicast"
     }
 
-    fn construct(
-        &self,
-        problem: &ProblemInstance,
-        rng: &mut dyn RngCore,
-    ) -> ConstructionOutcome {
+    fn construct(&self, problem: &ProblemInstance, rng: &mut dyn RngCore) -> ConstructionOutcome {
         let n = problem.site_count();
         let mut out_degree = vec![0u32; n];
         let mut in_degree = vec![0u32; n];

@@ -270,11 +270,15 @@ impl<'p> OverlayManager<'p> {
         }
         // BFS order by recorded cost (shallower costs first) keeps rejoin
         // deterministic and relay-friendly.
-        order.sort_by_key(|&s| {
-            tree.cost_from_source(s)
-                .expect("descendants are members")
-        });
+        order.sort_by_key(|&s| tree.cost_from_source(s).expect("descendants are members"));
         order
+    }
+
+    /// Returns a snapshot of the forest in its current state, leaving the
+    /// manager usable. Epoch-driven callers (the session runtime) derive a
+    /// dissemination plan from every snapshot while churn continues.
+    pub fn forest_snapshot(&self) -> crate::forest::Forest {
+        self.state.forest_snapshot()
     }
 
     /// Consumes the manager, returning the forest in its current state.

@@ -89,7 +89,7 @@ impl MulticastTree {
     /// Returns true if `site` is a member with no children (the source with
     /// no children counts as a leaf too).
     pub fn is_leaf(&self, site: SiteId) -> bool {
-        self.is_member(site) && !self.parent.iter().any(|&p| p == Some(site))
+        self.is_member(site) && !self.parent.contains(&Some(site))
     }
 
     /// Returns an iterator over the directed edges `(parent, child)` of the
@@ -138,8 +138,7 @@ impl MulticastTree {
         assert!(!self.is_member(child), "child must not already be a member");
         self.member[child.index()] = true;
         self.parent[child.index()] = Some(parent);
-        self.cost_from_source[child.index()] =
-            self.cost_from_source[parent.index()] + edge_cost;
+        self.cost_from_source[child.index()] = self.cost_from_source[parent.index()] + edge_cost;
     }
 
     /// Detaches the leaf `site` from the tree (used by CO-RJ victim
@@ -151,10 +150,7 @@ impl MulticastTree {
     pub(crate) fn detach_leaf(&mut self, site: SiteId) {
         assert!(self.is_member(site), "cannot detach a non-member");
         assert!(site != self.source(), "cannot detach the source");
-        assert!(
-            self.children(site).is_empty(),
-            "can only detach leaf nodes"
-        );
+        assert!(self.children(site).is_empty(), "can only detach leaf nodes");
         self.member[site.index()] = false;
         self.parent[site.index()] = None;
         self.cost_from_source[site.index()] = CostMs::ZERO;
@@ -316,11 +312,7 @@ mod tests {
         edges.sort();
         assert_eq!(
             edges,
-            vec![
-                (site(0), site(3)),
-                (site(2), site(0)),
-                (site(2), site(1)),
-            ]
+            vec![(site(0), site(3)), (site(2), site(0)), (site(2), site(1)),]
         );
     }
 

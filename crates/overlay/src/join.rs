@@ -153,9 +153,20 @@ impl<'p> ForestState<'p> {
         &self.trees[group]
     }
 
+    /// Returns every group's tree as built so far, without cloning.
+    pub fn trees(&self) -> &[MulticastTree] {
+        &self.trees
+    }
+
     /// Consumes the state, yielding the finished forest.
     pub fn into_forest(self) -> Forest {
         Forest::new(self.trees)
+    }
+
+    /// Returns a copy of the forest as built so far, leaving the state
+    /// usable for further joins.
+    pub fn forest_snapshot(&self) -> Forest {
+        Forest::new(self.trees.clone())
     }
 
     /// **Basic node join** (Appendix Algorithm 1): joins `requester` into
@@ -239,7 +250,7 @@ impl<'p> ForestState<'p> {
                 .cost_from_source(k)
                 .expect("members have a cost")
                 .saturating_add(edge);
-            if !(path < bound) {
+            if path >= bound {
                 continue;
             }
             if self.reservation_enabled && k == source && tree.member_count() == 1 {
@@ -355,21 +366,29 @@ mod tests {
     #[test]
     fn figure6_example_picks_a() {
         // Site indices: S=0, A=1, B=2, C=3, D=4, E=5, F=6.
-        let (s, a, b, c, d, e, f) = (site(0), site(1), site(2), site(3), site(4), site(5), site(6));
+        let (s, a, b, c, d, e, f) = (
+            site(0),
+            site(1),
+            site(2),
+            site(3),
+            site(4),
+            site(5),
+            site(6),
+        );
         let costs = CostMatrix::from_fn(7, |i, j| {
             let pair = (i.min(j), i.max(j));
             let ms = match pair {
-                (0, 1) => 4,  // S-A
-                (0, 2) => 8,  // S-B
-                (2, 3) => 3,  // B-C
-                (3, 4) => 3,  // C-D
-                (2, 5) => 3,  // B-E
-                (1, 6) => 5,  // A-F (4+5 = 9 < 10)
-                (4, 6) => 3,  // D-F (14+3 > 10)
-                (0, 6) => 9,  // S-F (9 < 10, S is eligible with rfc 6)
-                (2, 6) => 4,  // B-F (8+4 > 10)
-                (3, 6) => 1,  // C-F (11+1 > 10)
-                (5, 6) => 1,  // E-F (rfc 0, ineligible anyway)
+                (0, 1) => 4, // S-A
+                (0, 2) => 8, // S-B
+                (2, 3) => 3, // B-C
+                (3, 4) => 3, // C-D
+                (2, 5) => 3, // B-E
+                (1, 6) => 5, // A-F (4+5 = 9 < 10)
+                (4, 6) => 3, // D-F (14+3 > 10)
+                (0, 6) => 9, // S-F (9 < 10, S is eligible with rfc 6)
+                (2, 6) => 4, // B-F (8+4 > 10)
+                (3, 6) => 1, // C-F (11+1 > 10)
+                (5, 6) => 1, // E-F (rfc 0, ineligible anyway)
                 _ => 50,
             };
             CostMs::new(ms)
@@ -452,7 +471,7 @@ mod tests {
         // reservation is exactly for this stream, so the first join works.
         let problem = tiny_problem(100, 1);
         let mut state = ForestState::new(&problem);
-        assert_eq!(state.remaining_forwarding_capacity(site(0)), -1 + 1 - 0); // O=1, mhat=1
+        assert_eq!(state.remaining_forwarding_capacity(site(0)), (-1 + 1)); // O=1, mhat=1
         let outcome = state.try_join(0, site(1));
         assert_eq!(outcome, JoinOutcome::Joined { parent: site(0) });
         assert_eq!(state.reserved(site(0)), 0, "reservation consumed");
@@ -615,7 +634,11 @@ mod tests {
             without_res.try_join(0, site(1)),
             JoinOutcome::Joined { parent: site(0) }
         );
-        assert_eq!(without_res.reserved(site(0)), 0, "no reservation bookkeeping");
+        assert_eq!(
+            without_res.reserved(site(0)),
+            0,
+            "no reservation bookkeeping"
+        );
     }
 
     #[test]
@@ -625,15 +648,15 @@ mod tests {
         let costs = CostMatrix::from_fn(4, |i, j| {
             let pair = (i.min(j), i.max(j));
             CostMs::new(match pair {
-                (1, 3) => 1,  // cheap edge to relay 1
-                (2, 3) => 5,  // expensive edge to relay 2
+                (1, 3) => 1, // cheap edge to relay 1
+                (2, 3) => 5, // expensive edge to relay 2
                 _ => 2,
             })
         });
         let problem = ProblemInstance::builder(costs, CostMs::new(100))
             .capacities(vec![
                 NodeCapacity::symmetric(Degree::new(2)),
-                NodeCapacity::symmetric(Degree::new(2)),  // low spare
+                NodeCapacity::symmetric(Degree::new(2)), // low spare
                 NodeCapacity::symmetric(Degree::new(20)), // high spare
                 NodeCapacity::symmetric(Degree::new(2)),
             ])

@@ -71,10 +71,10 @@ pub use algorithms::{
 };
 pub use baseline::UnicastBaseline;
 pub use dynamic::{DynamicError, OverlayManager, SubscribeResult, UnsubscribeResult};
-pub use optimal::{OptimalError, OptimalSolver};
 pub use forest::{Forest, MulticastTree};
 pub use join::{ForestState, JoinOutcome, JoinPolicy};
 pub use metrics::ConstructionMetrics;
+pub use optimal::{OptimalError, OptimalSolver};
 pub use outcome::ConstructionOutcome;
 pub use problem::{
     MulticastGroup, NodeCapacity, ProblemBuilder, ProblemError, ProblemInstance, Request,

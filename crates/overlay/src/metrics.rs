@@ -56,6 +56,8 @@ pub struct ConstructionMetrics {
 
 impl ConstructionMetrics {
     /// Computes all metrics for `forest` against `problem`.
+    // Index loops mirror the paper's ordered-pair sums (Equations 1-3).
+    #[allow(clippy::needless_range_loop)]
     pub fn compute(problem: &ProblemInstance, forest: &Forest) -> Self {
         let n = problem.site_count();
 

@@ -326,9 +326,7 @@ fn realize(
         }
         if p != source {
             let pi = subs.iter().position(|&s| s == p).expect("parent in group");
-            if parents[pi].is_none() {
-                return None; // parent itself rejected
-            }
+            parents[pi]?;
         }
     }
 

@@ -146,7 +146,10 @@ impl fmt::Display for ProblemError {
                 write!(f, "cost matrix covers {matrix} nodes, session has {sites}")
             }
             ProblemError::TooFewSites { sites } => {
-                write!(f, "a multi-site session needs at least 3 sites, got {sites}")
+                write!(
+                    f,
+                    "a multi-site session needs at least 3 sites, got {sites}"
+                )
             }
         }
     }
@@ -276,10 +279,7 @@ impl ProblemInstance {
     /// subscribed by at least one other RP. Used by MCTF's forwarding
     /// capacity (`O_i - m_i`) and to initialize the reservation counters.
     pub fn subscribed_local_streams(&self, site: SiteId) -> u32 {
-        self.groups
-            .iter()
-            .filter(|g| g.source() == site)
-            .count() as u32
+        self.groups.iter().filter(|g| g.source() == site).count() as u32
     }
 
     /// Returns an iterator over every request in the instance, grouped by
@@ -385,7 +385,10 @@ impl ProblemBuilder {
             let sub = r.subscriber;
             let origin = r.stream.origin();
             if sub.index() >= n {
-                return Err(ProblemError::UnknownSite { site: sub, sites: n });
+                return Err(ProblemError::UnknownSite {
+                    site: sub,
+                    sites: n,
+                });
             }
             if origin.index() >= n {
                 return Err(ProblemError::UnknownSite {

@@ -93,7 +93,10 @@ mod tests {
         let f = problem.group_count();
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let points = granularity_sweep(&problem, &[1, f], 60, &mut rng);
-        let (g1, gf) = (points[0].mean_rejection_ratio, points[1].mean_rejection_ratio);
+        let (g1, gf) = (
+            points[0].mean_rejection_ratio,
+            points[1].mean_rejection_ratio,
+        );
         assert!(
             gf <= g1 + 0.02,
             "granularity F ({gf:.3}) should be at least as good as 1 ({g1:.3})"

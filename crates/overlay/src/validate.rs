@@ -82,10 +82,18 @@ impl fmt::Display for InvariantViolation {
             InvariantViolation::WrongTreeCount { trees, groups } => {
                 write!(f, "forest has {trees} trees for {groups} groups")
             }
-            InvariantViolation::InDegreeExceeded { site, actual, limit } => {
+            InvariantViolation::InDegreeExceeded {
+                site,
+                actual,
+                limit,
+            } => {
                 write!(f, "{site}: in-degree {actual} exceeds limit {limit}")
             }
-            InvariantViolation::OutDegreeExceeded { site, actual, limit } => {
+            InvariantViolation::OutDegreeExceeded {
+                site,
+                actual,
+                limit,
+            } => {
                 write!(f, "{site}: out-degree {actual} exceeds limit {limit}")
             }
             InvariantViolation::LatencyBoundViolated {
@@ -180,20 +188,12 @@ pub fn validate_forest(
             let mut recomputed = CostMs::ZERO;
             let mut cursor = site;
             let mut hops = 0;
-            loop {
-                match tree.parent_of(cursor) {
-                    Some(parent) => {
-                        recomputed = recomputed.saturating_add(problem.cost(parent, cursor));
-                        cursor = parent;
-                        hops += 1;
-                        if hops > n {
-                            return Err(InvariantViolation::BrokenParentChain {
-                                stream,
-                                site,
-                            });
-                        }
-                    }
-                    None => break,
+            while let Some(parent) = tree.parent_of(cursor) {
+                recomputed = recomputed.saturating_add(problem.cost(parent, cursor));
+                cursor = parent;
+                hops += 1;
+                if hops > n {
+                    return Err(InvariantViolation::BrokenParentChain { stream, site });
                 }
             }
             if cursor != tree.source() {
@@ -210,7 +210,7 @@ pub fn validate_forest(
                     recomputed,
                 });
             }
-            if !(recorded < problem.cost_bound()) {
+            if recorded >= problem.cost_bound() {
                 return Err(InvariantViolation::LatencyBoundViolated {
                     stream,
                     site,
@@ -276,7 +276,10 @@ mod tests {
         let forest = Forest::new(vec![]);
         assert_eq!(
             validate_forest(&p, &forest),
-            Err(InvariantViolation::WrongTreeCount { trees: 0, groups: 2 })
+            Err(InvariantViolation::WrongTreeCount {
+                trees: 0,
+                groups: 2
+            })
         );
     }
 

@@ -91,8 +91,15 @@ impl std::error::Error for ChurnError {
 
 /// Builds the session's **subscription universe**: a problem instance in
 /// which every site is a declared subscriber of every foreign stream, so
-/// the incremental manager can admit any FOV the script may select.
-fn universe_problem(session: &Session) -> Result<ProblemInstance, ChurnError> {
+/// an incremental [`OverlayManager`] can admit any FOV a live session may
+/// ever select. This is the instance churn runs and the session runtime
+/// (`teeve-runtime`) operate over.
+///
+/// # Errors
+///
+/// Returns an error if the session cannot form a valid problem instance
+/// (fewer than three sites).
+pub fn subscription_universe(session: &Session) -> Result<ProblemInstance, ChurnError> {
     let n = session.site_count();
     let streams: Vec<u32> = SiteId::all(n)
         .map(|s| session.rp(s).camera_count())
@@ -162,7 +169,7 @@ pub fn run_churn(
     events: &[ChurnEvent],
     correlation_aware: bool,
 ) -> Result<(ChurnReport, teeve_overlay::Forest), ChurnError> {
-    let universe = universe_problem(session)?;
+    let universe = subscription_universe(session)?;
     let mut manager = if correlation_aware {
         OverlayManager::new(&universe).with_correlation_swapping()
     } else {
@@ -307,7 +314,7 @@ mod tests {
             }
         }
         let (_, forest) = run_churn(&mut s, &events, false).unwrap();
-        let universe = universe_problem(&s).unwrap();
+        let universe = subscription_universe(&s).unwrap();
         teeve_overlay::validate_forest(&universe, &forest).expect("invariants hold under churn");
     }
 

@@ -1,0 +1,358 @@
+//! Plan deltas: the minimal per-RP forwarding-state diff between two
+//! dissemination plans.
+//!
+//! The membership server of the paper rebuilds and redistributes the whole
+//! plan on every change. A [`PlanDelta`] instead captures exactly which
+//! [`ForwardingEntry`]s changed at which RPs, so executors (the
+//! discrete-event simulator, the live TCP cluster) can repair their
+//! forwarding state in place and keep every unaffected link running.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use teeve_types::{SiteId, StreamId};
+
+use crate::plan::{DisseminationPlan, ForwardingEntry};
+
+/// One RP's forwarding entry for one stream changing from `old` to `new`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntryChange {
+    /// The RP whose forwarding table changes.
+    pub site: SiteId,
+    /// The stream whose entry changes.
+    pub stream: StreamId,
+    /// The entry before the change; `None` when the entry is new.
+    pub old: Option<ForwardingEntry>,
+    /// The entry after the change; `None` when the entry is removed.
+    pub new: Option<ForwardingEntry>,
+}
+
+/// Error produced when applying a delta to a plan it does not match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A change references a site outside the plan.
+    SiteOutOfRange {
+        /// The offending site.
+        site: SiteId,
+        /// The plan's site count.
+        sites: usize,
+    },
+    /// The plan's current entry does not match the change's `old` state:
+    /// the delta was produced against a different plan revision.
+    StaleEntry {
+        /// The RP whose entry mismatched.
+        site: SiteId,
+        /// The stream whose entry mismatched.
+        stream: StreamId,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::SiteOutOfRange { site, sites } => {
+                write!(f, "delta references {site} outside plan of {sites} sites")
+            }
+            DeltaError::StaleEntry { site, stream } => {
+                write!(f, "delta is stale at {site} for {stream}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// An ordered set of forwarding-entry changes turning one plan revision
+/// into the next.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_overlay::{OverlayManager, ProblemInstance};
+/// use teeve_pubsub::{DisseminationPlan, PlanDelta, StreamProfile};
+/// use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+///
+/// let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+/// let problem = ProblemInstance::builder(costs, CostMs::new(50))
+///     .symmetric_capacities(Degree::new(4))
+///     .streams_per_site(&[1, 0, 0])
+///     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+///     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
+///     .build()?;
+/// let mut manager = OverlayManager::new(&problem);
+/// let profile = StreamProfile::default();
+/// let before =
+///     DisseminationPlan::from_forest(&problem, &manager.forest_snapshot(), profile);
+/// manager.subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))?;
+/// let after =
+///     DisseminationPlan::from_forest(&problem, &manager.forest_snapshot(), profile);
+///
+/// let delta = PlanDelta::diff(&before, &after);
+/// assert!(!delta.is_empty());
+/// let mut patched = before.clone();
+/// delta.apply(&mut patched)?;
+/// assert_eq!(patched, after);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanDelta {
+    changes: Vec<EntryChange>,
+}
+
+impl PlanDelta {
+    /// Computes the entry-level diff turning `old` into `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plans cover different site counts (deltas only make
+    /// sense between revisions of one session).
+    pub fn diff(old: &DisseminationPlan, new: &DisseminationPlan) -> PlanDelta {
+        assert_eq!(
+            old.site_count(),
+            new.site_count(),
+            "plan revisions must cover the same sites"
+        );
+        let mut changes = Vec::new();
+        for (old_sp, new_sp) in old.site_plans().iter().zip(new.site_plans()) {
+            let streams: BTreeSet<StreamId> = old_sp
+                .entries
+                .iter()
+                .chain(&new_sp.entries)
+                .map(|e| e.stream)
+                .collect();
+            for stream in streams {
+                let old_entry = old_sp.entry(stream).cloned();
+                let new_entry = new_sp.entry(stream).cloned();
+                if old_entry != new_entry {
+                    changes.push(EntryChange {
+                        site: old_sp.site,
+                        stream,
+                        old: old_entry,
+                        new: new_entry,
+                    });
+                }
+            }
+        }
+        PlanDelta { changes }
+    }
+
+    /// Returns the changes, ordered by site then stream.
+    pub fn changes(&self) -> &[EntryChange] {
+        &self.changes
+    }
+
+    /// Returns the number of changed entries.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Returns true when the revisions were identical.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Returns the sites whose forwarding tables change.
+    pub fn touched_sites(&self) -> BTreeSet<SiteId> {
+        self.changes.iter().map(|c| c.site).collect()
+    }
+
+    /// Returns the directed overlay edges `(parent, child, stream)` that
+    /// exist after the delta but not before it.
+    pub fn edges_added(&self) -> Vec<(SiteId, SiteId, StreamId)> {
+        self.edge_diff(|c| (&c.old, &c.new))
+    }
+
+    /// Returns the directed overlay edges removed by the delta.
+    pub fn edges_removed(&self) -> Vec<(SiteId, SiteId, StreamId)> {
+        self.edge_diff(|c| (&c.new, &c.old))
+    }
+
+    fn edge_diff<'c>(
+        &'c self,
+        select: impl Fn(&'c EntryChange) -> (&'c Option<ForwardingEntry>, &'c Option<ForwardingEntry>),
+    ) -> Vec<(SiteId, SiteId, StreamId)> {
+        let mut edges = Vec::new();
+        for change in &self.changes {
+            let (before, after) = select(change);
+            let before_children: BTreeSet<SiteId> = before
+                .iter()
+                .flat_map(|e| e.children.iter().copied())
+                .collect();
+            for &child in after.iter().flat_map(|e| &e.children) {
+                if !before_children.contains(&child) {
+                    edges.push((change.site, child, change.stream));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Applies the delta to `plan` in place.
+    ///
+    /// Every change is validated against the plan's current entry first,
+    /// so a stale delta (produced against a different revision) is
+    /// rejected before anything is mutated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a change references an unknown site or its
+    /// `old` state disagrees with the plan.
+    pub fn apply(&self, plan: &mut DisseminationPlan) -> Result<(), DeltaError> {
+        let sites = plan.site_count();
+        for change in &self.changes {
+            if change.site.index() >= sites {
+                return Err(DeltaError::SiteOutOfRange {
+                    site: change.site,
+                    sites,
+                });
+            }
+            let current = plan.site_plan(change.site).entry(change.stream);
+            if current != change.old.as_ref() {
+                return Err(DeltaError::StaleEntry {
+                    site: change.site,
+                    stream: change.stream,
+                });
+            }
+        }
+        for change in &self.changes {
+            match &change.new {
+                Some(entry) => plan.upsert_entry(change.site, entry.clone()),
+                None => {
+                    plan.remove_entry(change.site, change.stream);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamProfile;
+    use teeve_overlay::{OverlayManager, ProblemInstance};
+    use teeve_types::{CostMatrix, CostMs, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn problem() -> ProblemInstance {
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(3))
+            .streams_per_site(&[1, 1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .subscribe(site(3), stream(0, 0))
+            .subscribe(site(2), stream(1, 0))
+            .build()
+            .unwrap()
+    }
+
+    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager<'_>) -> DisseminationPlan {
+        DisseminationPlan::from_forest(
+            problem,
+            &manager.forest_snapshot(),
+            StreamProfile::default(),
+        )
+    }
+
+    #[test]
+    fn diff_of_identical_plans_is_empty() {
+        let p = problem();
+        let m = OverlayManager::new(&p);
+        let plan = plan_of(&p, &m);
+        let delta = PlanDelta::diff(&plan, &plan);
+        assert!(delta.is_empty());
+        assert_eq!(delta.len(), 0);
+        assert!(delta.touched_sites().is_empty());
+    }
+
+    #[test]
+    fn apply_reproduces_the_target_plan() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let before = plan_of(&p, &m);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        m.subscribe(site(2), stream(1, 0)).unwrap();
+        let after = plan_of(&p, &m);
+
+        let delta = PlanDelta::diff(&before, &after);
+        assert!(!delta.is_empty());
+        let mut patched = before.clone();
+        delta.apply(&mut patched).unwrap();
+        assert_eq!(patched, after);
+    }
+
+    #[test]
+    fn unsubscribe_deltas_apply_too() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let before = plan_of(&p, &m);
+        m.unsubscribe(site(1), stream(0, 0)).unwrap();
+        let after = plan_of(&p, &m);
+
+        let delta = PlanDelta::diff(&before, &after);
+        let mut patched = before.clone();
+        delta.apply(&mut patched).unwrap();
+        assert_eq!(patched, after);
+    }
+
+    #[test]
+    fn stale_deltas_are_rejected_before_mutation() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let empty = plan_of(&p, &m);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let one = plan_of(&p, &m);
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let two = plan_of(&p, &m);
+
+        // A delta from `one` to `two` cannot apply to `empty`.
+        let delta = PlanDelta::diff(&one, &two);
+        let mut target = empty.clone();
+        let err = delta.apply(&mut target).unwrap_err();
+        assert!(matches!(err, DeltaError::StaleEntry { .. }));
+        assert_eq!(target, empty, "failed application must not mutate");
+    }
+
+    #[test]
+    fn edge_diffs_report_link_changes() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let before = plan_of(&p, &m);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let after = plan_of(&p, &m);
+        let delta = PlanDelta::diff(&before, &after);
+        assert_eq!(delta.edges_added(), vec![(site(0), site(1), stream(0, 0))]);
+        assert!(delta.edges_removed().is_empty());
+
+        let reverse = PlanDelta::diff(&after, &before);
+        assert_eq!(
+            reverse.edges_removed(),
+            vec![(site(0), site(1), stream(0, 0))]
+        );
+        assert!(reverse.edges_added().is_empty());
+    }
+
+    #[test]
+    fn delta_serde_roundtrip() {
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let before = plan_of(&p, &m);
+        m.subscribe(site(3), stream(0, 0)).unwrap();
+        let delta = PlanDelta::diff(&before, &plan_of(&p, &m));
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: PlanDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, delta);
+    }
+}

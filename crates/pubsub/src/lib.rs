@@ -46,13 +46,15 @@
 #![warn(missing_docs)]
 
 mod churn;
+mod delta;
 mod membership;
 mod plan;
 mod profile;
 mod rp;
 mod session;
 
-pub use churn::{run_churn, ChurnError, ChurnEvent, ChurnReport};
+pub use churn::{run_churn, subscription_universe, ChurnError, ChurnEvent, ChurnReport};
+pub use delta::{DeltaError, EntryChange, PlanDelta};
 pub use membership::{MembershipError, MembershipServer};
 pub use plan::{DisseminationPlan, ForwardingEntry, SitePlan};
 pub use profile::StreamProfile;

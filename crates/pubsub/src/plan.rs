@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use teeve_overlay::{Forest, ProblemInstance};
+use teeve_overlay::{Forest, MulticastTree, ProblemInstance};
 use teeve_types::{CostMs, SiteId, StreamId};
 
 use crate::StreamProfile;
@@ -104,15 +104,23 @@ pub struct DisseminationPlan {
 impl DisseminationPlan {
     /// Derives the plan from a constructed forest: one forwarding entry per
     /// (tree, member) pair, with all streams sharing `profile`.
-    pub fn from_forest(
+    pub fn from_forest(problem: &ProblemInstance, forest: &Forest, profile: StreamProfile) -> Self {
+        Self::from_trees(problem, forest.trees(), profile)
+    }
+
+    /// [`from_forest`](Self::from_forest) over a borrowed tree slice, for
+    /// callers holding live construction state (e.g. the session runtime
+    /// deriving a plan every epoch) that should not clone the forest
+    /// first.
+    pub fn from_trees(
         problem: &ProblemInstance,
-        forest: &Forest,
+        trees: &[MulticastTree],
         profile: StreamProfile,
     ) -> Self {
         let n = problem.site_count();
         let mut per_site: Vec<BTreeMap<StreamId, ForwardingEntry>> =
             (0..n).map(|_| BTreeMap::new()).collect();
-        for tree in forest.trees() {
+        for tree in trees {
             for site in SiteId::all(n) {
                 if !tree.is_member(site) {
                     continue;
@@ -123,7 +131,11 @@ impl DisseminationPlan {
                     children: tree.children(site),
                 };
                 // The origin only needs an entry when it actually has
-                // members to serve (or to record local publication).
+                // members to serve; an undisseminated stream stays local
+                // to the site's star network and out of the plan.
+                if entry.is_origin() && entry.children.is_empty() {
+                    continue;
+                }
                 per_site[site.index()].insert(tree.stream(), entry);
             }
         }
@@ -180,15 +192,44 @@ impl DisseminationPlan {
     /// Returns every directed overlay edge `(parent, child, stream)`.
     pub fn edges(&self) -> impl Iterator<Item = (SiteId, SiteId, StreamId)> + '_ {
         self.site_plans.iter().flat_map(|sp| {
-            sp.entries.iter().flat_map(move |e| {
-                e.children.iter().map(move |&c| (sp.site, c, e.stream))
-            })
+            sp.entries
+                .iter()
+                .flat_map(move |e| e.children.iter().map(move |&c| (sp.site, c, e.stream)))
         })
     }
 
     /// Returns the set of streams site `site` is planned to receive.
     pub fn deliveries_to(&self, site: SiteId) -> Vec<StreamId> {
         self.site_plan(site).received_streams().collect()
+    }
+
+    /// Inserts or replaces one forwarding entry at `site`, keeping the
+    /// site's entries sorted by stream. Used by delta application
+    /// ([`PlanDelta::apply`](crate::PlanDelta::apply)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the session.
+    pub fn upsert_entry(&mut self, site: SiteId, entry: ForwardingEntry) {
+        let entries = &mut self.site_plans[site.index()].entries;
+        match entries.binary_search_by_key(&entry.stream, |e| e.stream) {
+            Ok(i) => entries[i] = entry,
+            Err(i) => entries.insert(i, entry),
+        }
+    }
+
+    /// Removes `site`'s forwarding entry for `stream`, returning it if it
+    /// existed. Used by delta application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the session.
+    pub fn remove_entry(&mut self, site: SiteId, stream: StreamId) -> Option<ForwardingEntry> {
+        let entries = &mut self.site_plans[site.index()].entries;
+        match entries.binary_search_by_key(&stream, |e| e.stream) {
+            Ok(i) => Some(entries.remove(i)),
+            Err(_) => None,
+        }
     }
 }
 

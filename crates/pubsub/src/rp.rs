@@ -144,12 +144,12 @@ mod tests {
     #[test]
     fn local_streams_are_excluded_from_requests() {
         let mut rp = RendezvousPoint::new(site(0), 2, 1);
-        rp.set_subscription(
-            DisplayId::new(site(0), 0),
-            vec![stream(0, 0), stream(1, 0)],
-        );
+        rp.set_subscription(DisplayId::new(site(0), 0), vec![stream(0, 0), stream(1, 0)]);
         let agg = rp.aggregated_requests();
-        assert!(!agg.contains(&stream(0, 0)), "local stream must not transit the overlay");
+        assert!(
+            !agg.contains(&stream(0, 0)),
+            "local stream must not transit the overlay"
+        );
         assert!(agg.contains(&stream(1, 0)));
     }
 

@@ -9,9 +9,7 @@ use teeve_geometry::{CyberSpace, FieldOfView, ScoredStream, ViewSelector};
 use teeve_overlay::{ConstructionAlgorithm, ConstructionOutcome, NodeCapacity};
 use teeve_types::{CostMatrix, CostMs, Degree, DisplayId, SiteId, StreamId};
 
-use crate::{
-    DisseminationPlan, MembershipError, MembershipServer, RendezvousPoint, StreamProfile,
-};
+use crate::{DisseminationPlan, MembershipError, MembershipServer, RendezvousPoint, StreamProfile};
 
 /// A complete multi-site 3DTI session.
 ///
@@ -102,6 +100,11 @@ impl Session {
         &self.capacities
     }
 
+    /// Returns the media profile shared by all streams.
+    pub fn profile(&self) -> StreamProfile {
+        self.profile
+    }
+
     /// Returns the RP of `site`.
     ///
     /// # Panics
@@ -119,11 +122,7 @@ impl Session {
     /// # Panics
     ///
     /// Panics if the display's site or index is out of range.
-    pub fn subscribe_fov(
-        &mut self,
-        display: DisplayId,
-        fov: &FieldOfView,
-    ) -> Vec<ScoredStream> {
+    pub fn subscribe_fov(&mut self, display: DisplayId, fov: &FieldOfView) -> Vec<ScoredStream> {
         let selected = self.selector.select(&self.space, fov);
         let streams = selected.iter().map(|s| s.stream).collect();
         self.rps[display.site().index()].set_subscription(display, streams);
@@ -137,11 +136,7 @@ impl Session {
     ///
     /// Panics if either site is outside the session or the display index
     /// is out of range.
-    pub fn subscribe_viewpoint(
-        &mut self,
-        display: DisplayId,
-        target: SiteId,
-    ) -> Vec<ScoredStream> {
+    pub fn subscribe_viewpoint(&mut self, display: DisplayId, target: SiteId) -> Vec<ScoredStream> {
         let eye = self.space.participant_position(display.site())
             + teeve_geometry::Vec3::new(0.0, 0.0, 1.6);
         let target_pos = self.space.participant_position(target);
@@ -410,7 +405,10 @@ mod tests {
         );
         s.subscribe_streams(
             DisplayId::new(SiteId::new(0), 1),
-            vec![StreamId::new(SiteId::new(1), 2), StreamId::new(SiteId::new(2), 0)],
+            vec![
+                StreamId::new(SiteId::new(1), 2),
+                StreamId::new(SiteId::new(2), 0),
+            ],
         );
         for other in [SiteId::new(1), SiteId::new(2)] {
             s.subscribe_streams(DisplayId::new(other, 0), vec![]);

@@ -1,0 +1,85 @@
+//! The event vocabulary a live session feeds the runtime.
+
+use teeve_geometry::FieldOfView;
+use teeve_types::{DisplayId, SiteId};
+
+/// One input event to a [`SessionRuntime`](crate::SessionRuntime) epoch.
+///
+/// Events come from three layers of the system:
+///
+/// * **geometry** — displays steering their fields of view
+///   ([`FovChange`](RuntimeEvent::FovChange),
+///   [`Viewpoint`](RuntimeEvent::Viewpoint),
+///   [`FovClear`](RuntimeEvent::FovClear));
+/// * **membership** — whole sites joining or leaving the session
+///   ([`SiteJoin`](RuntimeEvent::SiteJoin),
+///   [`SiteLeave`](RuntimeEvent::SiteLeave));
+/// * **transport** — receivers reporting measured throughput
+///   ([`BandwidthSample`](RuntimeEvent::BandwidthSample)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// `display` retargets to an explicit field of view; the view selector
+    /// converts it into stream subscriptions.
+    FovChange {
+        /// The display changing its FOV.
+        display: DisplayId,
+        /// The new field of view.
+        fov: FieldOfView,
+    },
+    /// Convenience form of [`FovChange`](RuntimeEvent::FovChange):
+    /// `display` looks at the participant of `target` from its own
+    /// participant's position.
+    Viewpoint {
+        /// The display changing its FOV.
+        display: DisplayId,
+        /// The site whose participant it now watches.
+        target: SiteId,
+    },
+    /// `display` stops watching anything.
+    FovClear {
+        /// The display clearing its subscription.
+        display: DisplayId,
+    },
+    /// `site` (re)joins the session. Its displays start blank; subsequent
+    /// FOV events subscribe them. Other sites' suspended subscriptions to
+    /// its streams resume automatically.
+    SiteJoin {
+        /// The joining site.
+        site: SiteId,
+    },
+    /// `site` leaves the session: its subscriptions are released, its
+    /// streams' trees are torn down, and other sites' subscriptions to its
+    /// streams are suspended until it rejoins.
+    SiteLeave {
+        /// The departing site.
+        site: SiteId,
+    },
+    /// A receiver reports its measured available bandwidth; feeds the
+    /// per-site estimator driving quality adaptation.
+    BandwidthSample {
+        /// The reporting site.
+        site: SiteId,
+        /// Measured throughput in bits per second.
+        bits_per_sec: f64,
+    },
+}
+
+impl RuntimeEvent {
+    /// Returns the site this event concerns.
+    pub fn site(&self) -> SiteId {
+        match self {
+            RuntimeEvent::FovChange { display, .. }
+            | RuntimeEvent::Viewpoint { display, .. }
+            | RuntimeEvent::FovClear { display } => display.site(),
+            RuntimeEvent::SiteJoin { site }
+            | RuntimeEvent::SiteLeave { site }
+            | RuntimeEvent::BandwidthSample { site, .. } => *site,
+        }
+    }
+
+    /// Returns true for events that can change the overlay (everything
+    /// except bandwidth samples).
+    pub fn affects_overlay(&self) -> bool {
+        !matches!(self, RuntimeEvent::BandwidthSample { .. })
+    }
+}

@@ -1,0 +1,814 @@
+//! The epoch-driven session runtime.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Instant;
+
+use teeve_adapt::{
+    AdaptStream, AdaptationController, AdaptationPlan, BandwidthEstimator, QualityLadder,
+};
+use teeve_overlay::{
+    validate_forest, Forest, InvariantViolation, OverlayManager, ProblemInstance, SubscribeResult,
+};
+use teeve_pubsub::{DisseminationPlan, PlanDelta, Session};
+use teeve_types::{DisplayId, SiteId, StreamId};
+
+use crate::config::RuntimeConfig;
+use crate::event::RuntimeEvent;
+use crate::metrics::{EpochReport, RuntimeReport};
+
+/// Error produced when assembling a runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The subscription universe covers a different site count than the
+    /// session (it was built for another session).
+    UniverseMismatch {
+        /// Sites in the universe problem.
+        universe_sites: usize,
+        /// Sites in the session.
+        session_sites: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UniverseMismatch {
+                universe_sites,
+                session_sites,
+            } => write!(
+                f,
+                "universe covers {universe_sites} sites, session has {session_sites}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Everything one epoch produced: the plan diff to disseminate, the
+/// epoch's metrics, and per-site quality adaptation decisions.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// Forwarding-state changes turning the previous plan into the new
+    /// one; executors apply this without touching unaffected links.
+    pub delta: PlanDelta,
+    /// The epoch's runtime metrics.
+    pub report: EpochReport,
+    /// Quality decisions for every site with a warm bandwidth estimate:
+    /// which delivered streams to take at which ladder level.
+    pub adaptation: BTreeMap<SiteId, AdaptationPlan>,
+}
+
+/// An event-driven orchestrator owning a live 3DTI session end to end.
+///
+/// The paper solves the static overlay construction problem; the runtime
+/// closes the loop for *live* operation. It consumes a stream of
+/// [`RuntimeEvent`]s — display FOV changes (geometry), site join/leave
+/// (membership churn), bandwidth samples (transport) — and reconciles
+/// them in **epochs**:
+///
+/// 1. events update the session's desired subscription state;
+/// 2. the desired state is diffed against the live overlay and repaired
+///    incrementally (leaves first, then joins, retrying past rejections);
+/// 3. if the epoch's rejection ratio or tree depth degrades past the
+///    [`FallbackPolicy`](crate::FallbackPolicy), the forest is rebuilt
+///    from scratch instead — at most once per distinct demand, since
+///    reconstruction is deterministic and rebuilding again for unchanged
+///    demand would reproduce the same forest at full cost;
+/// 4. a new [`DisseminationPlan`] is derived and emitted as a
+///    [`PlanDelta`] against the previous epoch's plan, so executors (the
+///    simulator's [`simulate_with_replans`], the TCP cluster) only touch
+///    what changed;
+/// 5. per-site [`AdaptationPlan`]s fit the delivered streams into each
+///    site's estimated bandwidth.
+///
+/// [`simulate_with_replans`]: https://docs.rs/teeve-sim
+///
+/// # Examples
+///
+/// ```
+/// use teeve_pubsub::{subscription_universe, Session};
+/// use teeve_runtime::{RuntimeConfig, RuntimeEvent, SessionRuntime};
+/// use teeve_types::{CostMatrix, CostMs, Degree, DisplayId, SiteId};
+///
+/// let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(6));
+/// let session = Session::builder(costs)
+///     .cameras_per_site(6)
+///     .displays_per_site(1)
+///     .symmetric_capacity(Degree::new(12))
+///     .build();
+/// let universe = subscription_universe(&session)?;
+/// let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default())?;
+///
+/// let outcome = runtime.apply_epoch(&[RuntimeEvent::Viewpoint {
+///     display: DisplayId::new(SiteId::new(0), 0),
+///     target: SiteId::new(2),
+/// }]);
+/// assert!(!outcome.delta.is_empty());
+/// assert!(outcome.report.accepted > 0);
+/// runtime.validate()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SessionRuntime<'p> {
+    universe: &'p ProblemInstance,
+    session: Session,
+    manager: OverlayManager<'p>,
+    plan: DisseminationPlan,
+    /// Streams each site currently receives through the overlay.
+    granted: Vec<BTreeSet<StreamId>>,
+    /// Site liveness; inactive sites hold no subscriptions and their
+    /// streams are suspended everywhere.
+    active: Vec<bool>,
+    estimators: Vec<BandwidthEstimator>,
+    /// Last FOV contribution score per (display, stream), for adaptation.
+    /// Entries live exactly as long as the display's current FOV demands
+    /// the stream: each FOV event replaces the display's scores wholesale.
+    scores: BTreeMap<(DisplayId, StreamId), f64>,
+    /// The desired state the forest was last rebuilt for, valid while no
+    /// incremental mutation has touched the forest since. Reconstruction
+    /// is deterministic in the desired state, so while this matches the
+    /// current demand another rebuild would reproduce the same forest —
+    /// the fallback skips it instead of thrashing on persistently
+    /// infeasible demand.
+    rebuilt_for: Option<Vec<BTreeSet<StreamId>>>,
+    config: RuntimeConfig,
+    epoch: u64,
+    history: Vec<EpochReport>,
+}
+
+impl<'p> SessionRuntime<'p> {
+    /// Creates a runtime over `session`, seeding the overlay from the
+    /// session's current display subscriptions.
+    ///
+    /// `universe` must be the session's subscription universe (see
+    /// [`subscription_universe`](teeve_pubsub::subscription_universe)):
+    /// the problem instance declaring every admissible subscription, whose
+    /// lifetime outlives the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `universe` covers a different site count.
+    pub fn new(
+        universe: &'p ProblemInstance,
+        session: Session,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let n = session.site_count();
+        if universe.site_count() != n {
+            return Err(RuntimeError::UniverseMismatch {
+                universe_sites: universe.site_count(),
+                session_sites: n,
+            });
+        }
+        let manager = Self::make_manager(universe, &config);
+        let mut runtime = SessionRuntime {
+            universe,
+            plan: DisseminationPlan::from_forest(
+                universe,
+                &manager.forest_snapshot(),
+                session.profile(),
+            ),
+            manager,
+            granted: vec![BTreeSet::new(); n],
+            active: vec![true; n],
+            estimators: vec![BandwidthEstimator::new(config.bandwidth_alpha); n],
+            scores: BTreeMap::new(),
+            rebuilt_for: None,
+            session,
+            config,
+            epoch: 0,
+            history: Vec::new(),
+        };
+        // Seed the overlay from the session's pre-existing subscriptions;
+        // the empty-forest plan built above is already correct unless the
+        // seed granted something.
+        let mut seed_report = EpochReport::default();
+        runtime.reconcile(&mut seed_report);
+        if seed_report.accepted > 0 {
+            runtime.plan = runtime.derive_plan();
+        }
+        Ok(runtime)
+    }
+
+    /// Returns the session in its current state.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Returns the subscription universe the overlay operates over.
+    pub fn universe(&self) -> &'p ProblemInstance {
+        self.universe
+    }
+
+    /// Returns the dissemination plan of the latest epoch.
+    pub fn plan(&self) -> &DisseminationPlan {
+        &self.plan
+    }
+
+    /// Returns the number of completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Returns every epoch's metrics, oldest first.
+    pub fn history(&self) -> &[EpochReport] {
+        &self.history
+    }
+
+    /// Returns the aggregate statistics over all epochs.
+    pub fn report(&self) -> RuntimeReport {
+        RuntimeReport::from_history(&self.history)
+    }
+
+    /// Returns whether `site` is currently part of the session.
+    pub fn is_active(&self, site: SiteId) -> bool {
+        self.active[site.index()]
+    }
+
+    /// Returns the streams `site` currently receives through the overlay.
+    pub fn granted(&self, site: SiteId) -> &BTreeSet<StreamId> {
+        &self.granted[site.index()]
+    }
+
+    /// Returns a snapshot of the live multicast forest.
+    pub fn forest_snapshot(&self) -> Forest {
+        self.manager.forest_snapshot()
+    }
+
+    /// Checks every static invariant on the live forest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        validate_forest(self.universe, &self.forest_snapshot())
+    }
+
+    /// Consumes one epoch's worth of events, reconciles the overlay, and
+    /// returns the resulting plan delta, metrics, and adaptation plans.
+    pub fn apply_epoch(&mut self, events: &[RuntimeEvent]) -> EpochOutcome {
+        let started = Instant::now();
+        let mut report = EpochReport {
+            epoch: self.epoch,
+            events: events.len(),
+            ..EpochReport::default()
+        };
+        let n = self.session.site_count();
+        let served_before = self.granted.clone();
+
+        for event in events {
+            self.ingest(event);
+        }
+
+        let desired = self.reconcile(&mut report);
+        if report.unsubscribes > 0 || report.accepted > 0 {
+            // The forest mutated since any previous rebuild; a rebuild
+            // for the same demand is no longer a guaranteed no-op.
+            self.rebuilt_for = None;
+        }
+
+        // Degradation check: fall back to full reconstruction when the
+        // incremental repair path has dug itself into a hole — unless the
+        // forest is already the reconstruction of this exact demand
+        // (persistently infeasible subscriptions re-rejected every epoch
+        // must not trigger a full rebuild every epoch).
+        if self
+            .config
+            .fallback
+            .must_rebuild(report.rejection_ratio(), self.forest_depth())
+            && self.rebuilt_for.as_ref() != Some(&desired)
+        {
+            self.rebuild(&mut report);
+            self.rebuilt_for = Some(desired.clone());
+        }
+        report.max_tree_depth = self.forest_depth();
+
+        let new_plan = self.derive_plan();
+        let delta = PlanDelta::diff(&self.plan, &new_plan);
+        report.delta_entries = delta.len();
+        report.plan_entries = new_plan
+            .site_plans()
+            .iter()
+            .map(|sp| sp.entries.len())
+            .sum();
+        self.plan = new_plan;
+
+        // Service lost this epoch: previously served subscriptions that
+        // are still wanted but end the epoch unserved (casualties of a
+        // departed relay or of the reconstruction; they retry next epoch).
+        for site in SiteId::all(n) {
+            report.dropped_subscriptions += served_before[site.index()]
+                .iter()
+                .filter(|st| {
+                    desired[site.index()].contains(st) && !self.granted[site.index()].contains(st)
+                })
+                .count();
+        }
+        report.reconverge = started.elapsed();
+
+        let adaptation = self.adaptation_plans();
+        self.epoch += 1;
+        self.history.push(report.clone());
+        EpochOutcome {
+            delta,
+            report,
+            adaptation,
+        }
+    }
+
+    /// Applies one event to the session's desired state.
+    fn ingest(&mut self, event: &RuntimeEvent) {
+        match event {
+            RuntimeEvent::FovChange { display, fov } => {
+                let scored = self.session.subscribe_fov(*display, fov);
+                self.record_scores(*display, scored);
+            }
+            RuntimeEvent::Viewpoint { display, target } => {
+                let scored = self.session.subscribe_viewpoint(*display, *target);
+                self.record_scores(*display, scored);
+            }
+            RuntimeEvent::FovClear { display } => {
+                self.session.subscribe_streams(*display, Vec::new());
+                self.clear_scores(*display);
+            }
+            RuntimeEvent::SiteJoin { site } => {
+                self.active[site.index()] = true;
+            }
+            RuntimeEvent::SiteLeave { site } => {
+                self.active[site.index()] = false;
+                // The departed site's displays are gone; blank them so a
+                // rejoin starts fresh.
+                let displays = self.session.rp(*site).display_count();
+                for d in 0..displays {
+                    let display = DisplayId::new(*site, d);
+                    self.session.subscribe_streams(display, Vec::new());
+                    self.clear_scores(display);
+                }
+                self.estimators[site.index()].reset();
+            }
+            RuntimeEvent::BandwidthSample { site, bits_per_sec } => {
+                self.estimators[site.index()].observe_bps(*bits_per_sec);
+            }
+        }
+    }
+
+    /// Replaces `display`'s contribution scores with its new FOV's.
+    fn record_scores(&mut self, display: DisplayId, scored: Vec<teeve_geometry::ScoredStream>) {
+        self.clear_scores(display);
+        for s in scored {
+            self.scores.insert((display, s.stream), s.score);
+        }
+    }
+
+    fn clear_scores(&mut self, display: DisplayId) {
+        self.scores.retain(|(d, _), _| *d != display);
+    }
+
+    /// The strongest contribution score any of `site`'s displays currently
+    /// records for `stream`, or the configured default when no live FOV
+    /// explains the delivery.
+    fn fov_score(&self, site: SiteId, stream: StreamId) -> f64 {
+        (0..self.session.rp(site).display_count())
+            .filter_map(|d| self.scores.get(&(DisplayId::new(site, d), stream)))
+            .copied()
+            .reduce(f64::max)
+            .unwrap_or(self.config.default_score)
+    }
+
+    /// The streams `site` should receive: its aggregated display demand,
+    /// filtered by liveness on both ends.
+    fn desired(&self, site: SiteId) -> BTreeSet<StreamId> {
+        if !self.active[site.index()] {
+            return BTreeSet::new();
+        }
+        self.session
+            .rp(site)
+            .aggregated_requests()
+            .into_iter()
+            .filter(|s| self.active[s.origin().index()])
+            .collect()
+    }
+
+    /// Diffs desired vs granted state and repairs the overlay
+    /// incrementally: leaves first (freeing slots), then joins (including
+    /// retries of joins rejected in earlier epochs). Returns the desired
+    /// state it reconciled toward. Dropped descendants of departed relays
+    /// are released here and retried in the join phase; whatever is still
+    /// unserved is accounted once at the end of the epoch.
+    fn reconcile(&mut self, report: &mut EpochReport) -> Vec<BTreeSet<StreamId>> {
+        let n = self.session.site_count();
+        let desired: Vec<BTreeSet<StreamId>> = SiteId::all(n).map(|s| self.desired(s)).collect();
+
+        for site in SiteId::all(n) {
+            let gone: Vec<StreamId> = self.granted[site.index()]
+                .difference(&desired[site.index()])
+                .copied()
+                .collect();
+            for stream in gone {
+                report.unsubscribes += 1;
+                if let Ok(result) = self.manager.unsubscribe(site, stream) {
+                    report.reattached += result.reattached.len();
+                    for dropped in result.dropped {
+                        self.granted[dropped.index()].remove(&stream);
+                    }
+                }
+                self.granted[site.index()].remove(&stream);
+            }
+        }
+
+        for site in SiteId::all(n) {
+            let wanted: Vec<StreamId> = desired[site.index()]
+                .difference(&self.granted[site.index()])
+                .copied()
+                .collect();
+            for stream in wanted {
+                self.try_subscribe(site, stream, report);
+            }
+        }
+        desired
+    }
+
+    /// Attempts one join, recording the attempt in `report` and the grant
+    /// on success. Shared by incremental repair and full reconstruction so
+    /// both feed the rejection ratio identically.
+    fn try_subscribe(&mut self, site: SiteId, stream: StreamId, report: &mut EpochReport) {
+        report.subscribes += 1;
+        match self.manager.subscribe(site, stream) {
+            Ok(SubscribeResult::Joined { .. }) | Ok(SubscribeResult::AlreadyJoined) => {
+                report.accepted += 1;
+                self.granted[site.index()].insert(stream);
+            }
+            _ => report.rejected += 1,
+        }
+    }
+
+    fn make_manager(universe: &'p ProblemInstance, config: &RuntimeConfig) -> OverlayManager<'p> {
+        if config.correlation_aware {
+            OverlayManager::new(universe).with_correlation_swapping()
+        } else {
+            OverlayManager::new(universe)
+        }
+    }
+
+    /// Rebuilds the forest from scratch for the current desired state,
+    /// accounting every join attempted; subscriptions that lose their slot
+    /// to the reconstruction surface in the epoch's final drop count.
+    fn rebuild(&mut self, report: &mut EpochReport) {
+        report.rebuilt = true;
+        let n = self.session.site_count();
+        self.manager = Self::make_manager(self.universe, &self.config);
+        self.granted = vec![BTreeSet::new(); n];
+        for site in SiteId::all(n) {
+            for stream in self.desired(site) {
+                self.try_subscribe(site, stream, report);
+            }
+        }
+    }
+
+    fn forest_depth(&self) -> usize {
+        self.manager
+            .state()
+            .trees()
+            .iter()
+            .map(|t| t.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn derive_plan(&self) -> DisseminationPlan {
+        DisseminationPlan::from_trees(
+            self.universe,
+            self.manager.state().trees(),
+            self.session.profile(),
+        )
+    }
+
+    /// Fits each warm site's delivered streams into its estimated
+    /// bandwidth, prioritized by FOV contribution.
+    pub(crate) fn adaptation_plans(&self) -> BTreeMap<SiteId, AdaptationPlan> {
+        let mut plans = BTreeMap::new();
+        for site in SiteId::all(self.session.site_count()) {
+            let estimator = &self.estimators[site.index()];
+            if !self.active[site.index()] || !estimator.is_warm() {
+                continue;
+            }
+            let streams: Vec<AdaptStream> = self
+                .plan
+                .deliveries_to(site)
+                .into_iter()
+                .map(|stream| AdaptStream {
+                    stream,
+                    score: self.fov_score(site, stream),
+                    ladder: QualityLadder::paper_default(),
+                })
+                .collect();
+            if streams.is_empty() {
+                continue;
+            }
+            let budget = estimator.estimate_bps().max(0.0) as u64;
+            plans.insert(site, AdaptationController::new().plan(budget, &streams));
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FallbackPolicy;
+    use teeve_pubsub::subscription_universe;
+    use teeve_types::{CostMatrix, CostMs, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn session(n: usize, capacity: u32) -> Session {
+        let costs = CostMatrix::from_fn(n, |i, j| CostMs::new(4 + ((i + j) % 3) as u32));
+        Session::builder(costs)
+            .cameras_per_site(6)
+            .displays_per_site(2)
+            .symmetric_capacity(Degree::new(capacity))
+            .build()
+    }
+
+    fn viewpoint(s: u32, d: u32, target: u32) -> RuntimeEvent {
+        RuntimeEvent::Viewpoint {
+            display: DisplayId::new(site(s), d),
+            target: site(target),
+        }
+    }
+
+    #[test]
+    fn mismatched_universe_is_rejected() {
+        let s4 = session(4, 10);
+        let s5 = session(5, 10);
+        let u5 = subscription_universe(&s5).unwrap();
+        assert_eq!(
+            SessionRuntime::new(&u5, s4, RuntimeConfig::default()).unwrap_err(),
+            RuntimeError::UniverseMismatch {
+                universe_sites: 5,
+                session_sites: 4
+            }
+        );
+    }
+
+    #[test]
+    fn fov_changes_flow_into_the_plan() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        assert_eq!(
+            rt.plan()
+                .site_plans()
+                .iter()
+                .map(|sp| sp.entries.len())
+                .sum::<usize>(),
+            0
+        );
+
+        let outcome = rt.apply_epoch(&[viewpoint(0, 0, 2)]);
+        assert!(outcome.report.accepted > 0);
+        assert_eq!(outcome.report.rejected, 0);
+        assert!(!outcome.delta.is_empty());
+        assert!(!rt.plan().deliveries_to(site(0)).is_empty());
+        assert!(rt
+            .plan()
+            .deliveries_to(site(0))
+            .iter()
+            .all(|st| st.origin() == site(2)));
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn quiet_epochs_emit_empty_deltas() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        rt.apply_epoch(&[viewpoint(0, 0, 2)]);
+        // Same viewpoint again: desired state unchanged, delta empty.
+        let outcome = rt.apply_epoch(&[viewpoint(0, 0, 2)]);
+        assert!(outcome.delta.is_empty());
+        assert_eq!(outcome.report.subscribes, 0);
+        assert_eq!(outcome.report.unsubscribes, 0);
+    }
+
+    #[test]
+    fn site_leave_tears_down_its_trees_and_subscriptions() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        // Everyone watches site 1; site 1 watches site 2.
+        rt.apply_epoch(&[
+            viewpoint(0, 0, 1),
+            viewpoint(2, 0, 1),
+            viewpoint(3, 0, 1),
+            viewpoint(1, 0, 2),
+        ]);
+        assert!(!rt.plan().deliveries_to(site(0)).is_empty());
+
+        let outcome = rt.apply_epoch(&[RuntimeEvent::SiteLeave { site: site(1) }]);
+        assert!(!rt.is_active(site(1)));
+        assert!(outcome.report.unsubscribes > 0);
+        // Site 1's streams are gone from everyone's deliveries, and its
+        // own subscription to site 2 is released.
+        for receiver in [site(0), site(2), site(3)] {
+            assert!(rt
+                .plan()
+                .deliveries_to(receiver)
+                .iter()
+                .all(|st| st.origin() != site(1)));
+        }
+        assert!(rt.plan().deliveries_to(site(1)).is_empty());
+        assert!(rt.granted(site(1)).is_empty());
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn rejoin_resumes_suspended_subscriptions() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        rt.apply_epoch(&[viewpoint(0, 0, 1)]);
+        rt.apply_epoch(&[RuntimeEvent::SiteLeave { site: site(1) }]);
+        assert!(rt.plan().deliveries_to(site(0)).is_empty());
+
+        // Site 1 rejoins: site 0's still-recorded FOV resubscribes
+        // automatically (its display demand never changed).
+        let outcome = rt.apply_epoch(&[RuntimeEvent::SiteJoin { site: site(1) }]);
+        assert!(outcome.report.accepted > 0);
+        assert!(!rt.plan().deliveries_to(site(0)).is_empty());
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn rejected_joins_retry_on_later_epochs() {
+        // Capacity 1: site 0 can only take one stream; the rest of its
+        // demand stays pending and succeeds once the display looks away.
+        let s = session(4, 1);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(
+            &u,
+            s,
+            RuntimeConfig {
+                fallback: FallbackPolicy::never(),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let first = rt.apply_epoch(&[viewpoint(0, 0, 1), viewpoint(0, 1, 2)]);
+        assert!(first.report.rejected > 0, "capacity 1 cannot serve all");
+        let granted_before = rt.granted(site(0)).len();
+
+        // Nothing changes: pending joins retry (and still fail).
+        let retry = rt.apply_epoch(&[]);
+        assert_eq!(retry.report.subscribes, retry.report.rejected);
+        assert_eq!(rt.granted(site(0)).len(), granted_before);
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn always_fallback_policy_rebuilds_every_epoch() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(
+            &u,
+            s,
+            RuntimeConfig {
+                fallback: FallbackPolicy::always(),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let outcome = rt.apply_epoch(&[viewpoint(0, 0, 1)]);
+        assert!(outcome.report.rebuilt);
+        assert!(rt.report().rebuilds >= 1);
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn infeasible_demand_rebuilds_once_not_every_epoch() {
+        // Inbound capacity 1 with two displays demanding different sites:
+        // most joins are rejected every epoch, tripping the default
+        // rejection-ratio fallback. The rebuild is deterministic in the
+        // demand, so it must happen once — not on every retry epoch.
+        let s = session(4, 1);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let first = rt.apply_epoch(&[viewpoint(0, 0, 1), viewpoint(0, 1, 2)]);
+        assert!(first.report.rejected > 0, "capacity 1 cannot serve all");
+        assert!(first.report.rebuilt, "default policy trips on rejections");
+
+        // Demand unchanged: retries still fail, but no rebuild thrash.
+        for _ in 0..3 {
+            let retry = rt.apply_epoch(&[]);
+            assert!(retry.report.rejected > 0);
+            assert!(!retry.report.rebuilt, "unchanged demand must not rebuild");
+        }
+        assert_eq!(rt.report().rebuilds, 1);
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn rebuild_accounts_joins_and_lost_service() {
+        // Inbound capacity 1: site 0 can hold exactly one stream.
+        let s = session(4, 1);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(
+            &u,
+            s,
+            RuntimeConfig {
+                fallback: FallbackPolicy::always(),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let first = rt.apply_epoch(&[viewpoint(0, 0, 2)]);
+        assert!(first.report.rebuilt);
+        assert!(!rt.granted(site(0)).is_empty(), "one stream fits");
+
+        // A second display demands site 1's streams, which sort before
+        // the granted site-2 stream; the rebuild serves them first and
+        // the old stream loses its slot. The epoch must report both the
+        // reconstruction's join attempts and the lost subscription.
+        let second = rt.apply_epoch(&[viewpoint(0, 1, 1)]);
+        assert!(second.report.rebuilt);
+        assert!(second.report.subscribes > 0);
+        assert!(second.report.rejected > 0, "capacity 1 cannot serve all");
+        assert!(
+            second.report.dropped_subscriptions > 0,
+            "losing a served stream to the rebuild must be reported"
+        );
+        assert!(rt.granted(site(0)).iter().all(|st| st.origin() == site(1)));
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn fov_clear_and_site_leave_prune_contribution_scores() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        rt.apply_epoch(&[viewpoint(0, 0, 1), viewpoint(0, 1, 2), viewpoint(3, 0, 1)]);
+        let display0 = DisplayId::new(site(0), 0);
+        assert!(rt.scores.keys().any(|(d, _)| *d == display0));
+
+        rt.apply_epoch(&[RuntimeEvent::FovClear { display: display0 }]);
+        assert!(
+            rt.scores.keys().all(|(d, _)| *d != display0),
+            "cleared display keeps no scores"
+        );
+        assert!(
+            rt.scores.keys().any(|(d, _)| d.site() == site(0)),
+            "the sibling display's scores survive"
+        );
+
+        rt.apply_epoch(&[RuntimeEvent::SiteLeave { site: site(0) }]);
+        assert!(rt.scores.keys().all(|(d, _)| d.site() != site(0)));
+        assert!(rt.scores.keys().any(|(d, _)| d.site() == site(3)));
+    }
+
+    #[test]
+    fn bandwidth_samples_produce_adaptation_plans() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let outcome = rt.apply_epoch(&[
+            viewpoint(0, 0, 1),
+            viewpoint(0, 1, 2),
+            // 12 Mbps cannot carry several 8 Mbps streams at full rate.
+            RuntimeEvent::BandwidthSample {
+                site: site(0),
+                bits_per_sec: 12_000_000.0,
+            },
+        ]);
+        let plan = outcome.adaptation.get(&site(0)).expect("warm estimator");
+        assert!(plan.total_bitrate_bps() <= 12_000_000);
+        assert!(plan.decisions().len() >= 2);
+        // Sites without samples have no plan.
+        assert!(!outcome.adaptation.contains_key(&site(3)));
+    }
+
+    #[test]
+    fn epoch_metrics_account_delta_against_full_plan() {
+        let s = session(5, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        // Build up a session, then make one small change.
+        let mut setup = Vec::new();
+        for i in 0..5u32 {
+            setup.push(viewpoint(i, 0, (i + 1) % 5));
+            setup.push(viewpoint(i, 1, (i + 2) % 5));
+        }
+        rt.apply_epoch(&setup);
+        let small = rt.apply_epoch(&[viewpoint(0, 0, 3)]);
+        assert!(small.report.plan_entries > 0);
+        assert!(
+            small.report.delta_fraction() < 0.8,
+            "one FOV swing must not rewrite the whole plan (fraction {})",
+            small.report.delta_fraction()
+        );
+        assert!(small.report.reconverge.as_nanos() > 0);
+    }
+}

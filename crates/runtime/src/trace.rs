@@ -1,0 +1,221 @@
+//! Seeded synthetic churn traces: reproducible event streams for tests,
+//! benches, and examples.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+use teeve_types::{DisplayId, SiteId};
+
+use crate::event::RuntimeEvent;
+
+/// Shape of a synthetic churn trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Number of epochs to script.
+    pub epochs: usize,
+    /// Events per epoch.
+    pub events_per_epoch: usize,
+    /// Relative weight of display retargeting events.
+    pub retarget_weight: u32,
+    /// Relative weight of FOV-clear events.
+    pub clear_weight: u32,
+    /// Relative weight of site leave events.
+    pub leave_weight: u32,
+    /// Relative weight of site join events (rejoining departed sites).
+    pub join_weight: u32,
+    /// Relative weight of bandwidth sample events.
+    pub bandwidth_weight: u32,
+}
+
+impl Default for TraceConfig {
+    /// 20 epochs of 5 events, dominated by retargeting with light
+    /// membership churn and bandwidth reports.
+    fn default() -> Self {
+        TraceConfig {
+            epochs: 20,
+            events_per_epoch: 5,
+            retarget_weight: 6,
+            clear_weight: 1,
+            leave_weight: 1,
+            join_weight: 1,
+            bandwidth_weight: 2,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Generates a reproducible event trace for a session of `sites`
+    /// sites with `displays_per_site` displays each, grouped per epoch.
+    ///
+    /// Membership churn keeps at least three sites active (the smallest
+    /// session the overlay problem admits), leaves only active sites, and
+    /// joins only departed ones; retargets aim active displays at other
+    /// active sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites < 3`, `displays_per_site == 0`, or every weight
+    /// is zero.
+    pub fn generate<R: RngCore + ?Sized>(
+        &self,
+        sites: usize,
+        displays_per_site: u32,
+        rng: &mut R,
+    ) -> Vec<Vec<RuntimeEvent>> {
+        assert!(sites >= 3, "the overlay problem needs at least 3 sites");
+        assert!(displays_per_site > 0, "sites need at least one display");
+        let weights = [
+            self.retarget_weight,
+            self.clear_weight,
+            self.leave_weight,
+            self.join_weight,
+            self.bandwidth_weight,
+        ];
+        let total: u32 = weights.iter().sum();
+        assert!(total > 0, "at least one event weight must be positive");
+
+        let mut active: Vec<bool> = vec![true; sites];
+        let mut trace = Vec::with_capacity(self.epochs);
+        for _ in 0..self.epochs {
+            let mut epoch = Vec::with_capacity(self.events_per_epoch);
+            for _ in 0..self.events_per_epoch {
+                let mut draw = rng.gen_range(0..total);
+                let kind = weights
+                    .iter()
+                    .position(|&w| {
+                        if draw < w {
+                            true
+                        } else {
+                            draw -= w;
+                            false
+                        }
+                    })
+                    .expect("weights sum to total");
+                if let Some(event) =
+                    self.draw_event(kind, sites, displays_per_site, &mut active, rng)
+                {
+                    epoch.push(event);
+                }
+            }
+            trace.push(epoch);
+        }
+        trace
+    }
+
+    fn draw_event<R: RngCore + ?Sized>(
+        &self,
+        kind: usize,
+        sites: usize,
+        displays_per_site: u32,
+        active: &mut [bool],
+        rng: &mut R,
+    ) -> Option<RuntimeEvent> {
+        let live: Vec<SiteId> = (0..sites as u32)
+            .map(SiteId::new)
+            .filter(|s| active[s.index()])
+            .collect();
+        match kind {
+            // Retarget: an active display looks at another active site.
+            0 => {
+                let site = *live.choose(rng)?;
+                let display = DisplayId::new(site, rng.gen_range(0..displays_per_site));
+                let targets: Vec<SiteId> = live.iter().copied().filter(|&t| t != site).collect();
+                let target = *targets.choose(rng)?;
+                Some(RuntimeEvent::Viewpoint { display, target })
+            }
+            // Clear: an active display looks away.
+            1 => {
+                let site = *live.choose(rng)?;
+                Some(RuntimeEvent::FovClear {
+                    display: DisplayId::new(site, rng.gen_range(0..displays_per_site)),
+                })
+            }
+            // Leave: keep at least three sites active.
+            2 => {
+                if live.len() <= 3 {
+                    return None;
+                }
+                let site = *live.choose(rng)?;
+                active[site.index()] = false;
+                Some(RuntimeEvent::SiteLeave { site })
+            }
+            // Join: bring back a departed site.
+            3 => {
+                let departed: Vec<SiteId> = (0..sites as u32)
+                    .map(SiteId::new)
+                    .filter(|s| !active[s.index()])
+                    .collect();
+                let site = *departed.choose(rng)?;
+                active[site.index()] = true;
+                Some(RuntimeEvent::SiteJoin { site })
+            }
+            // Bandwidth: an active receiver reports throughput.
+            _ => {
+                let site = *live.choose(rng)?;
+                Some(RuntimeEvent::BandwidthSample {
+                    site,
+                    bits_per_sec: rng.gen_range(5_000_000.0..120_000_000.0),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn traces_are_reproducible_per_seed() {
+        let config = TraceConfig::default();
+        let a = config.generate(6, 2, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = config.generate(6, 2, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = config.generate(6, 2, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn traces_have_the_scripted_shape() {
+        let config = TraceConfig {
+            epochs: 7,
+            events_per_epoch: 4,
+            ..TraceConfig::default()
+        };
+        let trace = config.generate(5, 2, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(trace.len(), 7);
+        assert!(trace.iter().all(|e| e.len() <= 4));
+        let total: usize = trace.iter().map(Vec::len).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn membership_churn_never_goes_below_three_sites() {
+        let config = TraceConfig {
+            epochs: 40,
+            events_per_epoch: 6,
+            retarget_weight: 1,
+            clear_weight: 0,
+            leave_weight: 10,
+            join_weight: 1,
+            bandwidth_weight: 0,
+        };
+        let trace = config.generate(5, 1, &mut ChaCha8Rng::seed_from_u64(3));
+        let mut active = 5i32;
+        for event in trace.iter().flatten() {
+            match event {
+                RuntimeEvent::SiteLeave { .. } => active -= 1,
+                RuntimeEvent::SiteJoin { .. } => active += 1,
+                _ => {}
+            }
+            assert!(active >= 3, "membership churn dipped below 3 live sites");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 sites")]
+    fn tiny_sessions_are_rejected() {
+        let _ = TraceConfig::default().generate(2, 1, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

@@ -134,11 +134,11 @@ pub fn simulate_with_faults(
     // Sends one frame copy along an edge, returning the arrival event
     // (`None` when the frame is lost in transit).
     let send = |channels: &mut BTreeMap<(SiteId, SiteId, StreamId), EdgeChannel>,
-                    from: SiteId,
-                    to: SiteId,
-                    stream: StreamId,
-                    seq: u64,
-                    ready: SimTime|
+                from: SiteId,
+                to: SiteId,
+                stream: StreamId,
+                seq: u64,
+                ready: SimTime|
      -> Option<SimTime> {
         let channel = channels.entry((from, to, stream)).or_default();
         let depart = channel.busy_until.max(ready) + serialize;
@@ -162,8 +162,7 @@ pub fn simulate_with_faults(
                     .map(|e| e.children.clone())
                     .unwrap_or_default();
                 for child in children {
-                    let Some(arrival) = send(&mut channels, origin, child, stream, seq, now)
-                    else {
+                    let Some(arrival) = send(&mut channels, origin, child, stream, seq, now) else {
                         continue;
                     };
                     push(
@@ -199,8 +198,7 @@ pub fn simulate_with_faults(
                 }
                 let ready = now + overhead;
                 for child in children {
-                    let Some(arrival) = send(&mut channels, site, child, stream, seq, ready)
-                    else {
+                    let Some(arrival) = send(&mut channels, site, child, stream, seq, ready) else {
                         continue;
                     };
                     push(
@@ -240,9 +238,17 @@ mod tests {
     }
 
     fn chain_plan() -> DisseminationPlan {
-        // 0 -> 1 -> 2 relay chain for one stream (capacity forces relaying).
+        // 0 -> 1 -> 2 relay chain for one stream (capacity forces
+        // relaying): the source's single out slot goes to the first
+        // subscriber, so the second must relay through it. Built with the
+        // deterministic incremental manager so the chain's shape never
+        // depends on an RNG stream.
         let costs = CostMatrix::from_fn(3, |i, j| {
-            CostMs::new(if i.min(j) == 0 && i.max(j) == 2 { 30 } else { 5 })
+            CostMs::new(if i.min(j) == 0 && i.max(j) == 2 {
+                30
+            } else {
+                5
+            })
         });
         let problem = ProblemInstance::builder(costs, CostMs::new(50))
             .capacities(vec![
@@ -255,10 +261,13 @@ mod tests {
             .subscribe(site(2), stream(0, 0))
             .build()
             .unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let outcome = RandomJoin.construct(&problem, &mut rng);
-        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
-        DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default())
+        let mut manager = teeve_overlay::OverlayManager::new(&problem);
+        manager.subscribe(site(1), stream(0, 0)).unwrap();
+        manager.subscribe(site(2), stream(0, 0)).unwrap();
+        let forest = manager.into_forest();
+        assert_eq!(forest.trees()[0].parent_of(site(1)), Some(site(0)));
+        assert_eq!(forest.trees()[0].parent_of(site(2)), Some(site(1)));
+        DisseminationPlan::from_forest(&problem, &forest, StreamProfile::default())
     }
 
     #[test]
@@ -296,16 +305,14 @@ mod tests {
         // Site 1 is one hop at 5 ms: latency = serialize + 5 ms exactly
         // (steady state keeps every channel just-free: no queueing).
         let direct = report.stream_stats(site(1), stream(0, 0)).unwrap();
-        assert_eq!(
-            direct.max_latency(),
-            serialize + SimTime::from_millis(5)
-        );
+        assert_eq!(direct.max_latency(), serialize + SimTime::from_millis(5));
         // Site 2: two hops (5 + 5 ms), one forwarding overhead, and a
         // second serialization (store-and-forward at the relay).
         let relayed = report.stream_stats(site(2), stream(0, 0)).unwrap();
         assert_eq!(
             relayed.max_latency(),
-            serialize + serialize
+            serialize
+                + serialize
                 + SimTime::from_millis(10)
                 + SimTime::from_micros(config.forward_overhead_us)
         );

@@ -81,9 +81,8 @@ impl FaultPlan {
             (0.0..=1.0).contains(&probability),
             "loss probability must be in [0, 1]"
         );
-        self.link_loss.retain(|l| {
-            (l.from, l.to) != (from.index() as u32, to.index() as u32)
-        });
+        self.link_loss
+            .retain(|l| (l.from, l.to) != (from.index() as u32, to.index() as u32));
         self.link_loss.push(LinkLoss {
             from: from.index() as u32,
             to: to.index() as u32,
@@ -118,9 +117,11 @@ impl FaultPlan {
 
     /// Returns whether the frame `(stream, seq)` is lost on `from → to`.
     pub fn frame_lost(&self, from: SiteId, to: SiteId, stream: StreamId, seq: u64) -> bool {
-        match self.link_loss.iter().find(|l| {
-            (l.from, l.to) == (from.index() as u32, to.index() as u32)
-        }) {
+        match self
+            .link_loss
+            .iter()
+            .find(|l| (l.from, l.to) == (from.index() as u32, to.index() as u32))
+        {
             None => false,
             Some(l) => loss_draw(from, to, stream, seq) < l.probability,
         }

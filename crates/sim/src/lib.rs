@@ -42,11 +42,13 @@
 mod config;
 mod engine;
 mod faults;
+mod replan;
 mod report;
 mod time;
 
 pub use config::SimConfig;
 pub use engine::{simulate, simulate_with_faults};
 pub use faults::{FaultImpact, FaultPlan};
+pub use replan::simulate_with_replans;
 pub use report::{SimReport, StreamStats};
 pub use time::SimTime;

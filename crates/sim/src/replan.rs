@@ -1,0 +1,460 @@
+//! Delta-aware mid-simulation replanning: the dissemination plan changes
+//! while frames are in flight, and only the forwarding state named by each
+//! [`PlanDelta`] is touched — unaffected edges keep their channel state
+//! (their in-progress serializations), exactly as a live RP cluster keeps
+//! unaffected TCP links open.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use teeve_pubsub::{DisseminationPlan, PlanDelta};
+use teeve_types::{SiteId, StreamId};
+
+use crate::{SimConfig, SimReport, SimTime};
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Capture {
+        stream: StreamId,
+        seq: u64,
+    },
+    Arrival {
+        site: SiteId,
+        stream: StreamId,
+        seq: u64,
+        captured_at: SimTime,
+    },
+}
+
+#[derive(Debug, Default)]
+struct EdgeChannel {
+    busy_until: SimTime,
+}
+
+/// Runs the dissemination simulation of `initial` under `config`, applying
+/// each `(at, delta)` replan once simulated time reaches `at`.
+///
+/// Semantics:
+///
+/// * every stream that ever has overlay children (in any plan revision) is
+///   captured at the profile's frame rate for the full duration; captures
+///   whose stream currently has no children produce nothing;
+/// * a replan mutates the forwarding tables in place: channels of removed
+///   edges are torn down (their queued serializations abandoned), channels
+///   of surviving edges keep their `busy_until` state, new edges start
+///   fresh;
+/// * a frame is *expected* at every site holding a receiving entry for its
+///   stream when it is captured; it is *delivered* if it arrives while the
+///   site still holds that entry (frames in flight towards a site that
+///   unsubscribed are dropped at teardown, like a closed socket);
+/// * a site subscribing mid-run is expected (and counted) only for frames
+///   captured from its subscription onwards.
+///
+/// # Panics
+///
+/// Panics if `replans` are not sorted by time or a delta does not apply to
+/// its revision (deltas must be produced against the preceding plan, e.g.
+/// by the session runtime's epochs).
+pub fn simulate_with_replans(
+    initial: &DisseminationPlan,
+    replans: &[(SimTime, PlanDelta)],
+    config: &SimConfig,
+) -> SimReport {
+    assert!(
+        replans.windows(2).all(|w| w[0].0 <= w[1].0),
+        "replans must be sorted by time"
+    );
+    let profile = initial.profile();
+    let serialize = SimTime::from_micros(profile.bitrate.transmit_micros(profile.frame_bytes()));
+    let overhead = SimTime::from_micros(config.forward_overhead_us);
+    let interval = SimTime::from_micros(profile.frame_interval_micros());
+
+    // Streams that ever transit the overlay, across all revisions.
+    let mut transiting: BTreeSet<StreamId> = BTreeSet::new();
+    let mut revision = initial.clone();
+    let mut collect = |plan: &DisseminationPlan| {
+        for sp in plan.site_plans() {
+            for entry in &sp.entries {
+                if entry.is_origin() && !entry.children.is_empty() {
+                    transiting.insert(entry.stream);
+                }
+            }
+        }
+    };
+    collect(&revision);
+    for (_, delta) in replans {
+        delta
+            .apply(&mut revision)
+            .expect("each replan applies to the previous revision");
+        collect(&revision);
+    }
+
+    let mut queue: BinaryHeap<Reverse<(SimTime, u64, EventKind)>> = BinaryHeap::new();
+    let mut schedule_seq = 0u64;
+    let push = |queue: &mut BinaryHeap<Reverse<(SimTime, u64, EventKind)>>,
+                at: SimTime,
+                ev: EventKind,
+                seq: &mut u64| {
+        queue.push(Reverse((at, *seq, ev)));
+        *seq += 1;
+    };
+    for &stream in &transiting {
+        let mut t = SimTime::ZERO;
+        let mut seq = 0u64;
+        while t < config.duration {
+            push(
+                &mut queue,
+                t,
+                EventKind::Capture { stream, seq },
+                &mut schedule_seq,
+            );
+            seq += 1;
+            t += interval;
+        }
+    }
+
+    let mut plan = initial.clone();
+    let mut report = SimReport::new_dynamic(&plan, config, serialize);
+    let mut channels: BTreeMap<(SiteId, SiteId, StreamId), EdgeChannel> = BTreeMap::new();
+    let mut pending = replans.iter();
+    let mut next_replan = pending.next();
+    // Capture counts so far per stream, marking subscription epochs.
+    let mut captured: BTreeMap<StreamId, u64> = BTreeMap::new();
+    // First frame seq each receiving (site, stream) entry is entitled to.
+    let mut entry_since: BTreeMap<(SiteId, StreamId), u64> = BTreeMap::new();
+    for sp in plan.site_plans() {
+        for stream in sp.received_streams() {
+            entry_since.insert((sp.site, stream), 0);
+        }
+    }
+    // Frame copies already seen per site: a replan can re-parent a
+    // receiver while a frame is in flight on both its old and new paths,
+    // and only the first copy may be recorded and forwarded.
+    let mut seen: BTreeSet<(SiteId, StreamId, u64)> = BTreeSet::new();
+
+    while let Some(Reverse((now, _, event))) = queue.pop() {
+        // Apply replans that are due before this event.
+        while let Some((at, delta)) = next_replan {
+            if *at > now {
+                break;
+            }
+            for (parent, child, stream) in delta.edges_removed() {
+                channels.remove(&(parent, child, stream));
+            }
+            delta
+                .apply(&mut plan)
+                .expect("each replan applies to the previous revision");
+            for change in delta.changes() {
+                let key = (change.site, change.stream);
+                let receiving = |e: &Option<teeve_pubsub::ForwardingEntry>| {
+                    e.as_ref().is_some_and(|e| !e.is_origin())
+                };
+                match (receiving(&change.old), receiving(&change.new)) {
+                    (false, true) => {
+                        let since = captured.get(&change.stream).copied().unwrap_or(0);
+                        entry_since.insert(key, since);
+                    }
+                    (true, false) => {
+                        entry_since.remove(&key);
+                    }
+                    _ => {}
+                }
+            }
+            next_replan = pending.next();
+        }
+
+        match event {
+            EventKind::Capture { stream, seq } => {
+                report.record_capture(stream);
+                *captured.entry(stream).or_default() = seq + 1;
+                let origin = stream.origin();
+                let children = plan
+                    .site_plan(origin)
+                    .entry(stream)
+                    .map(|e| e.children.clone())
+                    .unwrap_or_default();
+                if children.is_empty() {
+                    continue;
+                }
+                // Every current receiver of this stream expects the frame.
+                for sp in plan.site_plans() {
+                    if sp.entry(stream).is_some_and(|e| !e.is_origin()) {
+                        report.record_expected_frame(sp.site, stream);
+                    }
+                }
+                for child in children {
+                    let channel = channels.entry((origin, child, stream)).or_default();
+                    let depart = channel.busy_until.max(now) + serialize;
+                    channel.busy_until = depart;
+                    let arrival = depart + SimTime::from(plan.link_cost(origin, child));
+                    push(
+                        &mut queue,
+                        arrival,
+                        EventKind::Arrival {
+                            site: child,
+                            stream,
+                            seq,
+                            captured_at: now,
+                        },
+                        &mut schedule_seq,
+                    );
+                }
+            }
+            EventKind::Arrival {
+                site,
+                stream,
+                seq,
+                captured_at,
+            } => {
+                // A duplicate copy (old and new path both in flight
+                // across a re-parenting replan) is discarded wholesale:
+                // real RPs dedup on sequence number.
+                if !seen.insert((site, stream, seq)) {
+                    continue;
+                }
+                // Drop the frame if the site's receiving entry is gone (it
+                // unsubscribed while the frame was in flight) or postdates
+                // the frame (it subscribed after capture).
+                let since = entry_since.get(&(site, stream));
+                let subscribed = since.is_some_and(|&s| seq >= s);
+                if subscribed {
+                    report.record_delivery_at(site, stream, now - captured_at, Some(now));
+                }
+                let children = plan
+                    .site_plan(site)
+                    .entry(stream)
+                    .map(|e| e.children.clone())
+                    .unwrap_or_default();
+                if children.is_empty() {
+                    continue;
+                }
+                let ready = now + overhead;
+                for child in children {
+                    let channel = channels.entry((site, child, stream)).or_default();
+                    let depart = channel.busy_until.max(ready) + serialize;
+                    channel.busy_until = depart;
+                    let arrival = depart + SimTime::from(plan.link_cost(site, child));
+                    push(
+                        &mut queue,
+                        arrival,
+                        EventKind::Arrival {
+                            site: child,
+                            stream,
+                            seq,
+                            captured_at,
+                        },
+                        &mut schedule_seq,
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teeve_overlay::{OverlayManager, ProblemInstance};
+    use teeve_pubsub::StreamProfile;
+    use teeve_types::{CostMatrix, CostMs, Degree};
+
+    fn site(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn stream(origin: u32, q: u32) -> StreamId {
+        StreamId::new(site(origin), q)
+    }
+
+    fn universe() -> ProblemInstance {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+        ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(4))
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap()
+    }
+
+    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager<'_>) -> DisseminationPlan {
+        DisseminationPlan::from_forest(
+            problem,
+            &manager.forest_snapshot(),
+            StreamProfile::default(),
+        )
+    }
+
+    #[test]
+    fn no_replans_matches_static_simulation() {
+        let p = universe();
+        let mut m = OverlayManager::new(&p);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let plan = plan_of(&p, &m);
+        let config = SimConfig::short();
+        let baseline = crate::simulate(&plan, &config);
+        let dynamic = simulate_with_replans(&plan, &[], &config);
+        assert_eq!(
+            dynamic.total_frames_delivered(),
+            baseline.total_frames_delivered()
+        );
+        assert_eq!(dynamic.delivery_ratio(), 1.0);
+        assert_eq!(dynamic.worst_latency(), baseline.worst_latency());
+    }
+
+    #[test]
+    fn mid_run_join_starts_delivering() {
+        let p = universe();
+        let mut m = OverlayManager::new(&p);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let before = plan_of(&p, &m);
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let after = plan_of(&p, &m);
+        let delta = teeve_pubsub::PlanDelta::diff(&before, &after);
+
+        // 1 s run at 15 fps; site 2 joins at 500 ms.
+        let config = SimConfig::default().with_duration(SimTime::from_millis(1000));
+        let report = simulate_with_replans(&before, &[(SimTime::from_millis(500), delta)], &config);
+        let early = report.stream_stats(site(1), stream(0, 0)).unwrap();
+        let late = report.stream_stats(site(2), stream(0, 0)).unwrap();
+        assert!(early.frames() > late.frames(), "site 2 joined halfway");
+        assert!(late.frames() > 0, "site 2 must receive after the replan");
+        assert_eq!(report.delivery_ratio(), 1.0, "every expected frame lands");
+    }
+
+    #[test]
+    fn mid_run_leave_stops_expecting() {
+        let p = universe();
+        let mut m = OverlayManager::new(&p);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let before = plan_of(&p, &m);
+        m.unsubscribe(site(2), stream(0, 0)).unwrap();
+        let after = plan_of(&p, &m);
+        let delta = teeve_pubsub::PlanDelta::diff(&before, &after);
+
+        let config = SimConfig::default().with_duration(SimTime::from_millis(1000));
+        let report = simulate_with_replans(&before, &[(SimTime::from_millis(500), delta)], &config);
+        let stayed = report.stream_stats(site(1), stream(0, 0)).unwrap();
+        let left = report.stream_stats(site(2), stream(0, 0)).unwrap();
+        assert!(stayed.frames() > left.frames());
+        // Frames in flight towards site 2 at teardown are lost (expected
+        // at capture, dropped at arrival) — everything else lands.
+        let ratio = report.delivery_ratio();
+        assert!((0.85..1.0).contains(&ratio), "ratio was {ratio}");
+    }
+
+    #[test]
+    fn unaffected_links_keep_flowing_across_replans() {
+        // Site 1's delivery cadence must not hiccup when site 2's
+        // subscription flaps: its channel state is never touched.
+        let p = universe();
+        let mut m = OverlayManager::new(&p);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let base = plan_of(&p, &m);
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let joined = plan_of(&p, &m);
+        let join = teeve_pubsub::PlanDelta::diff(&base, &joined);
+        let leave = teeve_pubsub::PlanDelta::diff(&joined, &base);
+
+        let config = SimConfig::default().with_duration(SimTime::from_millis(2000));
+        let report = simulate_with_replans(
+            &base,
+            &[
+                (SimTime::from_millis(400), join),
+                (SimTime::from_millis(1200), leave),
+            ],
+            &config,
+        );
+        let steady = report.stream_stats(site(1), stream(0, 0)).unwrap();
+        assert_eq!(steady.frames(), 31, "site 1 receives every frame");
+        assert_eq!(steady.mean_jitter(), SimTime::ZERO, "no replan hiccups");
+        // Only site 2's in-flight frame at its teardown can be lost.
+        let ratio = report.delivery_ratio();
+        assert!((0.9..=1.0).contains(&ratio), "ratio was {ratio}");
+    }
+
+    #[test]
+    fn reparenting_never_double_delivers_in_flight_frames() {
+        // Before: source 0 feeds 1 and 2 directly. After: 2 is re-parented
+        // under 1. A frame in flight on the old direct path 0->2 while its
+        // copy is also relayed 0->1->2 must be delivered exactly once.
+        //
+        // Site 2 subscribes first so it consumes the source's reservation
+        // slot and attaches directly; site 1 then joins the source (rfc 7)
+        // over site 2 (rfc 2).
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(5));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .capacities(vec![
+                teeve_overlay::NodeCapacity::symmetric(Degree::new(8)),
+                teeve_overlay::NodeCapacity::symmetric(Degree::new(20)),
+                teeve_overlay::NodeCapacity::symmetric(Degree::new(2)),
+            ])
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(&p);
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let before = plan_of(&p, &m);
+        assert_eq!(
+            before
+                .site_plan(site(2))
+                .entry(stream(0, 0))
+                .unwrap()
+                .parent,
+            Some(site(0))
+        );
+        // Re-parent: leave and rejoin; the rich relay (site 1, rfc 20) now
+        // beats the source (rfc 7), so site 2 attaches under site 1.
+        m.unsubscribe(site(2), stream(0, 0)).unwrap();
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let after = plan_of(&p, &m);
+        assert_eq!(
+            after.site_plan(site(2)).entry(stream(0, 0)).unwrap().parent,
+            Some(site(1))
+        );
+        let delta = teeve_pubsub::PlanDelta::diff(&before, &after);
+
+        let duration_micros = 1_000_000u64;
+        let config = SimConfig::default().with_duration(SimTime::from_millis(1000));
+        let report = simulate_with_replans(&before, &[(SimTime::from_millis(470), delta)], &config);
+        // Each receiver gets each captured frame at most once, even with a
+        // copy in flight on both the old and the new path at replan time.
+        let interval = StreamProfile::default().frame_interval_micros();
+        let captures = (duration_micros - 1) / interval + 1;
+        let reparented = report.stream_stats(site(2), stream(0, 0)).unwrap();
+        assert!(
+            reparented.frames() <= captures,
+            "duplicate deliveries: {} frames of {captures} captures",
+            reparented.frames()
+        );
+        let ratio = report.delivery_ratio();
+        assert!(ratio <= 1.0, "delivery ratio {ratio} exceeds 1.0");
+        assert!(ratio > 0.9, "delivery ratio {ratio} unexpectedly low");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_replans_are_rejected() {
+        let p = universe();
+        let m = OverlayManager::new(&p);
+        let plan = plan_of(&p, &m);
+        let _ = simulate_with_replans(
+            &plan,
+            &[
+                (
+                    SimTime::from_millis(100),
+                    teeve_pubsub::PlanDelta::default(),
+                ),
+                (SimTime::from_millis(50), teeve_pubsub::PlanDelta::default()),
+            ],
+            &SimConfig::short(),
+        );
+    }
+}

@@ -31,11 +31,7 @@ impl StreamStats {
 
     /// Returns the mean end-to-end latency, or zero when nothing arrived.
     pub fn mean_latency(&self) -> SimTime {
-        if self.frames == 0 {
-            SimTime::ZERO
-        } else {
-            SimTime::from_micros(self.latency_sum_us / self.frames)
-        }
+        SimTime::from_micros(self.latency_sum_us.checked_div(self.frames).unwrap_or(0))
     }
 
     /// Returns the worst end-to-end latency.
@@ -49,11 +45,7 @@ impl StreamStats {
     /// shows (near-)zero jitter even when its latency is high; queueing
     /// and loss show up here first.
     pub fn mean_jitter(&self) -> SimTime {
-        if self.gaps == 0 {
-            SimTime::ZERO
-        } else {
-            SimTime::from_micros(self.jitter_sum_us / self.gaps)
-        }
+        SimTime::from_micros(self.jitter_sum_us.checked_div(self.gaps).unwrap_or(0))
     }
 }
 
@@ -67,6 +59,10 @@ pub struct SimReport {
     frames_per_stream: BTreeMap<StreamId, u64>,
     /// Planned (site, stream) delivery pairs.
     expected: Vec<(SiteId, StreamId)>,
+    /// Per-frame expectation counts, used by the replanning simulation
+    /// (where the set of planned receivers changes mid-run). Empty for
+    /// static runs, which expect `expected × frames_per_stream`.
+    expected_frames: BTreeMap<(SiteId, StreamId), u64>,
     stats: BTreeMap<(SiteId, StreamId), StreamStats>,
 }
 
@@ -92,8 +88,39 @@ impl SimReport {
             frame_interval_us: plan.profile().frame_interval_micros(),
             frames_per_stream,
             expected,
+            expected_frames: BTreeMap::new(),
             stats: BTreeMap::new(),
         }
+    }
+
+    /// A report for a replanning run: deliveries are expected per frame
+    /// (via [`record_expected_frame`](Self::record_expected_frame)) rather
+    /// than per planned pair, since the plan changes mid-run.
+    pub(crate) fn new_dynamic(
+        plan: &DisseminationPlan,
+        config: &SimConfig,
+        serialization: SimTime,
+    ) -> Self {
+        SimReport {
+            serialization,
+            render_ms_per_stream: config.render_ms_per_stream,
+            frame_interval_us: plan.profile().frame_interval_micros(),
+            frames_per_stream: BTreeMap::new(),
+            expected: Vec::new(),
+            expected_frames: BTreeMap::new(),
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// Records that one captured frame was planned to reach `site` under
+    /// the plan revision current at capture time.
+    pub(crate) fn record_expected_frame(&mut self, site: SiteId, stream: StreamId) {
+        *self.expected_frames.entry((site, stream)).or_default() += 1;
+    }
+
+    /// Records one captured frame of `stream` (replanning runs).
+    pub(crate) fn record_capture(&mut self, stream: StreamId) {
+        *self.frames_per_stream.entry(stream).or_default() += 1;
     }
 
     #[cfg(test)]
@@ -139,14 +166,19 @@ impl SimReport {
         self.stats.values().map(StreamStats::frames).sum()
     }
 
-    /// Returns delivered frames over expected frames (planned deliveries ×
-    /// captured frames); 1.0 when the plan is empty.
+    /// Returns delivered frames over expected frames; 1.0 when nothing was
+    /// expected. Static runs expect every planned pair to receive every
+    /// captured frame of its stream; replanning runs count expectations
+    /// per frame under the plan revision current at capture time.
     pub fn delivery_ratio(&self) -> f64 {
-        let expected: u64 = self
-            .expected
-            .iter()
-            .map(|(_, s)| self.frames_per_stream.get(s).copied().unwrap_or(0))
-            .sum();
+        let expected: u64 = if self.expected_frames.is_empty() {
+            self.expected
+                .iter()
+                .map(|(_, s)| self.frames_per_stream.get(s).copied().unwrap_or(0))
+                .sum()
+        } else {
+            self.expected_frames.values().sum()
+        };
         if expected == 0 {
             1.0
         } else {
@@ -200,11 +232,7 @@ impl SimReport {
     /// with full frame rate — the paper's motivation for limiting the
     /// number of delivered streams.
     pub fn render_utilization(&self, site: SiteId) -> f64 {
-        let streams = self
-            .stats
-            .keys()
-            .filter(|(s, _)| *s == site)
-            .count() as f64;
+        let streams = self.stats.keys().filter(|(s, _)| *s == site).count() as f64;
         let render_us = streams * f64::from(self.render_ms_per_stream) * 1_000.0;
         render_us / self.frame_interval_us as f64
     }
@@ -229,6 +257,7 @@ mod tests {
             frame_interval_us: 66_666,
             frames_per_stream: BTreeMap::new(),
             expected: Vec::new(),
+            expected_frames: BTreeMap::new(),
             stats: BTreeMap::new(),
         }
     }

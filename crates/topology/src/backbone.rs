@@ -72,11 +72,11 @@ const CITIES: [(&str, f64, f64); BACKBONE_CITY_COUNT] = [
 /// and a small European/Asian mesh.
 const LINKS: [(usize, usize); 65] = [
     // Pacific Northwest.
-    (0, 1),   // Seattle - Portland
-    (0, 38),  // Seattle - Vancouver
-    (0, 2),   // Seattle - Sunnyvale
-    (0, 11),  // Seattle - Denver (Abilene long-haul)
-    (1, 2),   // Portland - Sunnyvale
+    (0, 1),  // Seattle - Portland
+    (0, 38), // Seattle - Vancouver
+    (0, 2),  // Seattle - Sunnyvale
+    (0, 11), // Seattle - Denver (Abilene long-haul)
+    (1, 2),  // Portland - Sunnyvale
     // California and the Southwest.
     (2, 3),   // Sunnyvale - Sacramento
     (2, 4),   // Sunnyvale - Los Angeles
@@ -224,8 +224,7 @@ pub fn backbone_north_america_with_model(model: LatencyModel) -> Topology {
         .copied()
         .filter(|&(a, b)| a < NORTH_AMERICA_CITY_COUNT && b < NORTH_AMERICA_CITY_COUNT)
         .collect();
-    Topology::from_geo(nodes, &edges, model)
-        .expect("embedded backbone dataset is well-formed")
+    Topology::from_geo(nodes, &edges, model).expect("embedded backbone dataset is well-formed")
 }
 
 #[cfg(test)]

@@ -64,8 +64,7 @@ impl GeoPoint {
         let dlat = (other.lat_deg - self.lat_deg).to_radians();
         let dlon = (other.lon_deg - self.lon_deg).to_radians();
 
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().asin();
         EARTH_RADIUS_KM * c
     }

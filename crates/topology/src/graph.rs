@@ -329,7 +329,14 @@ mod tests {
             LatencyModel::IDEAL,
         )
         .unwrap_err();
-        assert_eq!(err, TopologyError::InvalidEdge { a: 0, b: 1, nodes: 1 });
+        assert_eq!(
+            err,
+            TopologyError::InvalidEdge {
+                a: 0,
+                b: 1,
+                nodes: 1
+            }
+        );
     }
 
     #[test]

@@ -241,7 +241,12 @@ mod tests {
         let sites: Vec<_> = SiteId::all(4).collect();
         assert_eq!(
             sites,
-            vec![SiteId::new(0), SiteId::new(1), SiteId::new(2), SiteId::new(3)]
+            vec![
+                SiteId::new(0),
+                SiteId::new(1),
+                SiteId::new(2),
+                SiteId::new(3)
+            ]
         );
     }
 

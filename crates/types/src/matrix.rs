@@ -155,11 +155,7 @@ impl CostMatrix {
         if self.n < 2 {
             return 0.0;
         }
-        let total: u64 = self
-            .costs
-            .iter()
-            .map(|c| u64::from(c.as_millis()))
-            .sum();
+        let total: u64 = self.costs.iter().map(|c| u64::from(c.as_millis())).sum();
         total as f64 / (self.n * (self.n - 1)) as f64
     }
 
@@ -224,36 +220,21 @@ mod tests {
 
     #[test]
     fn from_flat_rejects_nonzero_diagonal() {
-        let costs = vec![
-            CostMs::new(1),
-            CostMs::new(2),
-            CostMs::new(2),
-            CostMs::ZERO,
-        ];
+        let costs = vec![CostMs::new(1), CostMs::new(2), CostMs::new(2), CostMs::ZERO];
         let err = CostMatrix::from_flat(2, costs).unwrap_err();
         assert_eq!(err, CostMatrixError::NonZeroDiagonal { index: 0 });
     }
 
     #[test]
     fn from_flat_rejects_asymmetry() {
-        let costs = vec![
-            CostMs::ZERO,
-            CostMs::new(2),
-            CostMs::new(3),
-            CostMs::ZERO,
-        ];
+        let costs = vec![CostMs::ZERO, CostMs::new(2), CostMs::new(3), CostMs::ZERO];
         let err = CostMatrix::from_flat(2, costs).unwrap_err();
         assert_eq!(err, CostMatrixError::Asymmetric { i: 0, j: 1 });
     }
 
     #[test]
     fn from_flat_accepts_valid_matrix() {
-        let costs = vec![
-            CostMs::ZERO,
-            CostMs::new(2),
-            CostMs::new(2),
-            CostMs::ZERO,
-        ];
+        let costs = vec![CostMs::ZERO, CostMs::new(2), CostMs::new(2), CostMs::ZERO];
         let m = CostMatrix::from_flat(2, costs).expect("valid matrix");
         assert_eq!(m.cost(SiteId::new(0), SiteId::new(1)), CostMs::new(2));
     }

@@ -243,7 +243,7 @@ impl BitRate {
 
 impl fmt::Display for BitRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1_000_000 == 0 {
+        if self.0.is_multiple_of(1_000_000) {
             write!(f, "{}Mbps", self.0 / 1_000_000)
         } else {
             write!(f, "{}bps", self.0)
@@ -304,7 +304,7 @@ mod tests {
     #[test]
     fn bitrate_transmit_time_rounds_up() {
         let r = BitRate::new(1_000_000); // 1 Mbps
-        // 1 byte = 8 bits -> 8 microseconds at 1 Mbps.
+                                         // 1 byte = 8 bits -> 8 microseconds at 1 Mbps.
         assert_eq!(r.transmit_micros(1), 8);
         // 125_000 bytes = 1_000_000 bits -> exactly one second.
         assert_eq!(r.transmit_micros(125_000), 1_000_000);

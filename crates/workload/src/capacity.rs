@@ -108,7 +108,7 @@ impl CapacityModel {
                 }
                 let mut classes: Vec<u32> = Vec::with_capacity(n);
                 for (cap, count, _) in counts {
-                    classes.extend(std::iter::repeat(cap).take(count));
+                    classes.extend(std::iter::repeat_n(cap, count));
                 }
                 use rand::seq::SliceRandom;
                 classes.shuffle(rng);
@@ -123,7 +123,11 @@ impl CapacityModel {
                 }
             }
             CapacityModel::Explicit(res) => {
-                assert_eq!(res.capacities.len(), n, "explicit capacities must cover n sites");
+                assert_eq!(
+                    res.capacities.len(),
+                    n,
+                    "explicit capacities must cover n sites"
+                );
                 assert_eq!(
                     res.streams_per_site.len(),
                     n,

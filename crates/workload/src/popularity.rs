@@ -326,7 +326,10 @@ mod tests {
         // (small m is excluded: the activation probability caps at 1.)
         for m in [50usize, 100, 200] {
             let zipf = PopularityModel::paper_zipf().expected_demand(m);
-            for other in [PopularityModel::paper_flat(), PopularityModel::paper_random()] {
+            for other in [
+                PopularityModel::paper_flat(),
+                PopularityModel::paper_random(),
+            ] {
                 let d = other.expected_demand(m);
                 assert!(
                     (zipf - d).abs() < 1e-9,
@@ -372,7 +375,9 @@ mod tests {
     fn empty_stream_set_is_handled() {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-        assert!(PopularityModel::paper_zipf().rank_probabilities(0).is_empty());
+        assert!(PopularityModel::paper_zipf()
+            .rank_probabilities(0)
+            .is_empty());
         assert!(PopularityModel::paper_random()
             .stream_probabilities(0, &mut rng)
             .is_empty());

@@ -13,7 +13,8 @@ use teeve::types::SiteId;
 fn main() {
     // 1. A 5-site meeting circle; site 0's display looks across at site 2.
     let space = CyberSpace::meeting_circle(5, 8);
-    let eye = space.participant_position(SiteId::new(0)) + teeve::geometry::Vec3::new(0.0, 0.0, 1.6);
+    let eye =
+        space.participant_position(SiteId::new(0)) + teeve::geometry::Vec3::new(0.0, 0.0, 1.6);
     let fov = FieldOfView::looking_at(eye, space.participant_position(SiteId::new(2)), 70.0);
 
     // 2. FOV contribution scores become adaptation priorities.
@@ -32,8 +33,7 @@ fn main() {
         .collect();
 
     // 3. Drive the loop through a congestion dip: 60 → 18 → 60 Mbps.
-    let mut rx = AdaptiveReceiver::new(streams, 0.15)
-        .with_estimator(BandwidthEstimator::new(0.5));
+    let mut rx = AdaptiveReceiver::new(streams, 0.15).with_estimator(BandwidthEstimator::new(0.5));
     let trace: Vec<(u64, f64)> = (0..30)
         .map(|t| {
             let mbps = match t {
@@ -66,7 +66,10 @@ fn main() {
                     served.join(" ")
                 );
             }
-            None => println!("{t:3}  {:5.1} Mbps  (within hysteresis, no replan)", bps / 1e6),
+            None => println!(
+                "{t:3}  {:5.1} Mbps  (within hysteresis, no replan)",
+                bps / 1e6
+            ),
         }
     }
 }

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (label, config) in [
-        ("Zipf workload, uniform nodes", WorkloadConfig::zipf_uniform()),
+        (
+            "Zipf workload, uniform nodes",
+            WorkloadConfig::zipf_uniform(),
+        ),
         (
             "Random workload, heterogeneous nodes",
             WorkloadConfig::random_heterogeneous(),

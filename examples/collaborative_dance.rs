@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Construct with CO-RJ: when bandwidth runs short, drop the least
     // critical streams (one of many from the same rig) first.
-    let (outcome, plan) = session.build_plan(&CorrelatedRandomJoin::default(), &mut rng)?;
+    let (outcome, plan) = session.build_plan(&CorrelatedRandomJoin, &mut rng)?;
     println!(
         "\nOverlay ({}) - rejection {:.3}, weighted X' {:.4}, deepest tree {} hops",
         outcome.algorithm(),
@@ -112,9 +112,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Worst overlay latency {} vs bound {} - {}",
         overlay_part,
         plan.cost_bound(),
-        if overlay_part.as_millis_f64()
-            < f64::from(plan.cost_bound().as_millis())
-                + 70.0 // relay serialization + overheads
+        if overlay_part.as_millis_f64() < f64::from(plan.cost_bound().as_millis()) + 70.0
+        // relay serialization + overheads
         {
             "interactive"
         } else {

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Sites: {}", sample.names.join(", "));
 
     let problem = WorkloadConfig::zipf_uniform().generate(&sample.costs, &mut rng)?;
-    let outcome = RandomJoin::default().construct(&problem, &mut rng);
+    let outcome = RandomJoin.construct(&problem, &mut rng);
     let plan = DisseminationPlan::from_forest(
         &problem,
         outcome.forest(),
@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pairs: Vec<_> = plan
         .site_plans()
         .iter()
-        .flat_map(|sp| sp.received_streams().map(move |s| (sp.site, s)).collect::<Vec<_>>())
+        .flat_map(|sp| {
+            sp.received_streams()
+                .map(move |s| (sp.site, s))
+                .collect::<Vec<_>>()
+        })
         .collect();
     let impact = FaultImpact::compare(&baseline, &faulty, pairs);
     println!(

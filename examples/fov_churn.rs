@@ -1,12 +1,16 @@
-//! Live subscription churn: participants keep turning to look at one
-//! another, and the overlay is repaired incrementally instead of being
-//! rebuilt — the "real deployment" scenario the paper defers to future
-//! work.
+//! Live subscription churn, runtime-driven: participants keep turning to
+//! look at one another, sites drop out and rejoin, receivers report their
+//! bandwidth — and the epoch-driven [`SessionRuntime`] keeps the overlay
+//! repaired incrementally, emitting per-epoch plan *deltas* instead of
+//! full replans. This is the "real deployment" loop the paper defers to
+//! future work, closed end to end.
 //!
 //! Run with: `cargo run --example fov_churn`
 
-use teeve::pubsub::{run_churn, ChurnEvent};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use teeve::prelude::*;
+use teeve::runtime::{RuntimeEvent, TraceConfig};
 use teeve::types::{DisplayId, SiteId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,43 +37,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 2. The script: over three rounds, every site swings its gaze to a
-    //    different participant (never itself); one display per round looks
-    //    away entirely, then re-engages next round.
-    let mut events = Vec::new();
-    for round in 1..=3u32 {
-        for site in SiteId::all(n) {
-            let i = site.index() as u32;
-            events.push(ChurnEvent::Retarget {
-                display: DisplayId::new(site, 0),
-                target: SiteId::new((i + 1 + round) % n as u32),
-            });
+    // 2. The runtime owns the session from here: the subscription
+    //    universe admits any FOV the events may select, and the seeded
+    //    overlay covers the initial gazes.
+    let universe = subscription_universe(&session)?;
+    let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default())?;
+    println!(
+        "seeded: {} forwarding entries across {} sites\n",
+        runtime
+            .plan()
+            .site_plans()
+            .iter()
+            .map(|sp| sp.entries.len())
+            .sum::<usize>(),
+        n
+    );
+
+    // 3. Twelve epochs of scripted churn: FOV swings dominate, one site
+    //    drops out and rejoins, and receivers report throughput.
+    let trace = TraceConfig {
+        epochs: 12,
+        events_per_epoch: 4,
+        ..TraceConfig::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    println!(
+        "{:>5} {:>7} {:>6} {:>6} {:>6} {:>7} {:>9} {:>8}  path",
+        "epoch", "events", "joins", "rej", "drop", "delta", "plan", "µs"
+    );
+    for epoch_events in trace.generate(n, 2, &mut rng) {
+        let outcome = runtime.apply_epoch(&epoch_events);
+        runtime.validate()?;
+        let r = &outcome.report;
+        println!(
+            "{:>5} {:>7} {:>6} {:>6} {:>6} {:>7} {:>9} {:>8}  {}",
+            r.epoch,
+            r.events,
+            r.subscribes,
+            r.rejected,
+            r.dropped_subscriptions,
+            r.delta_entries,
+            r.plan_entries,
+            r.reconverge.as_micros(),
+            if r.rebuilt { "rebuild" } else { "repair" },
+        );
+        for event in &epoch_events {
+            if let RuntimeEvent::BandwidthSample { site, .. } = event {
+                if let Some(plan) = outcome.adaptation.get(site) {
+                    println!(
+                        "      adapt {site}: {} streams in {:.1} Mbps ({} degraded, {} dropped)",
+                        plan.decisions().len(),
+                        plan.budget_bps() as f64 / 1e6,
+                        plan.degraded_count(),
+                        plan.dropped_count(),
+                    );
+                }
+            }
         }
-        events.push(ChurnEvent::Clear {
-            display: DisplayId::new(SiteId::new(round % n as u32), 1),
-        });
     }
 
-    // 3. Run the churn twice: plain node-join repair, then with CO-RJ
-    //    victim swapping.
-    for (label, corr) in [("plain", false), ("with CO-RJ swapping", true)] {
-        let mut s = session.clone();
-        let (report, forest) = run_churn(&mut s, &events, corr)?;
-        println!("churn run ({label}):");
-        println!("  events          {}", report.events);
-        println!(
-            "  joins           {} attempted, {} accepted, {} rejected (acceptance {:.3})",
-            report.subscribes,
-            report.accepted,
-            report.rejected,
-            report.acceptance_ratio()
-        );
-        println!(
-            "  leaves          {} applied, {} descendants re-attached, {} dropped",
-            report.unsubscribes, report.reattached, report.dropped
-        );
-        let live_trees = forest.trees().iter().filter(|t| t.member_count() > 1).count();
-        println!("  final forest    {live_trees} live trees\n");
-    }
+    // 4. The whole run in one line: how much dissemination the deltas
+    //    saved over shipping full plans every epoch.
+    let report = runtime.report();
+    println!(
+        "\n{} epochs ({} rebuilt): {} joins, {} accepted, {} dropped; \
+         delta traffic {} entries vs {} full-plan entries ({:.0}% saved); \
+         mean reconvergence {} µs",
+        report.epochs,
+        report.rebuilds,
+        report.subscribes,
+        report.accepted,
+        report.dropped_subscriptions,
+        report.delta_entries,
+        report.plan_entries,
+        (1.0 - report.delta_fraction()) * 100.0,
+        report.mean_reconverge().as_micros(),
+    );
     Ok(())
 }

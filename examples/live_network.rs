@@ -33,11 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.subscribe_viewpoint(DisplayId::new(site, 0), target);
     }
 
-    let (outcome, plan) = session.build_plan(&RandomJoin::default(), &mut rng)?;
+    let (outcome, plan) = session.build_plan(&RandomJoin, &mut rng)?;
     println!(
         "Overlay constructed: {} trees, {} planned deliveries",
         outcome.forest().len(),
-        plan.site_plans().iter().map(|sp| sp.in_degree()).sum::<usize>()
+        plan.site_plans()
+            .iter()
+            .map(|sp| sp.in_degree())
+            .sum::<usize>()
     );
 
     let config = ClusterConfig {
@@ -71,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .get(&(sp.site, stream))
                 .copied()
                 .unwrap_or(0);
-            assert_eq!(got, config.frames_per_stream, "missing frames at {}", sp.site);
+            assert_eq!(
+                got, config.frames_per_stream,
+                "missing frames at {}",
+                sp.site
+            );
         }
     }
     println!("All planned deliveries verified.");

@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let target = SiteId::new((site.index() as u32 + 1) % n as u32);
         session.subscribe_viewpoint(DisplayId::new(site, 0), target);
     }
-    let (outcome, plan) = session.build_plan(&RandomJoin::default(), &mut rng)?;
+    let (outcome, plan) = session.build_plan(&RandomJoin, &mut rng)?;
     let report = simulate(&plan, &SimConfig::short());
     println!(
         "overlay rejection {:.3}, sim delivery {:.3}, worst latency {}",

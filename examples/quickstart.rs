@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. The membership server constructs the overlay with Random Join.
-    let (outcome, plan) = session.build_plan(&RandomJoin::default(), &mut rng)?;
+    let (outcome, plan) = session.build_plan(&RandomJoin, &mut rng)?;
     let metrics = outcome.metrics();
     println!(
         "\nOverlay: {} trees, rejection ratio {:.3}, max path cost {}",

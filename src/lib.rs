@@ -13,9 +13,16 @@
 //! * [`overlay`] — the paper's core contribution: multicast-forest
 //!   construction heuristics (LTF, STF, MCTF, RJ, Gran-LTF, CO-RJ);
 //! * [`pubsub`] — publishers, subscribers, rendezvous points, membership
-//!   server, dissemination plans;
-//! * [`sim`] — discrete-event dissemination simulator;
-//! * [`net`] — live TCP rendezvous-point cluster;
+//!   server, dissemination plans and plan deltas;
+//! * [`runtime`] — the epoch-driven session orchestrator: consumes live
+//!   FOV / membership / bandwidth events, repairs the overlay
+//!   incrementally (with full-reconstruction fall-back), and emits
+//!   [`PlanDelta`](teeve_pubsub::PlanDelta)s executors apply without
+//!   tearing down unaffected links;
+//! * [`sim`] — discrete-event dissemination simulator, including
+//!   delta-aware mid-run replanning;
+//! * [`net`] — live TCP rendezvous-point cluster, with link-level delta
+//!   analysis;
 //! * [`media`] — synthetic 3D capture and the reduction pipeline
 //!   (background subtraction, resolution reduction, compression);
 //! * [`adapt`] — multi-stream bandwidth adaptation.
@@ -51,6 +58,7 @@ pub use teeve_media as media;
 pub use teeve_net as net;
 pub use teeve_overlay as overlay;
 pub use teeve_pubsub as pubsub;
+pub use teeve_runtime as runtime;
 pub use teeve_sim as sim;
 pub use teeve_topology as topology;
 pub use teeve_types as types;
@@ -58,15 +66,19 @@ pub use teeve_workload as workload;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use teeve_geometry::{CyberSpace, FieldOfView, ViewSelector};
     pub use teeve_adapt::{AdaptStream, AdaptationController, AdaptiveReceiver, QualityLadder};
+    pub use teeve_geometry::{CyberSpace, FieldOfView, ViewSelector};
     pub use teeve_media::{ReductionPipeline, SyntheticCapture};
     pub use teeve_overlay::{
         ConstructionAlgorithm, CorrelatedRandomJoin, GranLtf, LargestTreeFirst,
         MinimumCapacityTreeFirst, OptimalSolver, RandomJoin, SmallestTreeFirst, UnicastBaseline,
     };
-    pub use teeve_pubsub::{DisseminationPlan, MembershipServer, Session, StreamProfile};
-    pub use teeve_sim::{simulate, SimConfig};
+    pub use teeve_pubsub::{
+        subscription_universe, DisseminationPlan, MembershipServer, PlanDelta, Session,
+        StreamProfile,
+    };
+    pub use teeve_runtime::{RuntimeConfig, SessionRuntime};
+    pub use teeve_sim::{simulate, simulate_with_replans, SimConfig};
     pub use teeve_topology::{backbone, backbone_north_america, Topology};
     pub use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
     pub use teeve_workload::{CapacityModel, PopularityModel, WorkloadConfig};

@@ -127,11 +127,8 @@ fn whole_pipeline_is_deterministic() {
             .generate(&session.costs, &mut rng)
             .unwrap();
         let outcome = CorrelatedRandomJoin.construct(&problem, &mut rng);
-        let plan = DisseminationPlan::from_forest(
-            &problem,
-            outcome.forest(),
-            StreamProfile::default(),
-        );
+        let plan =
+            DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
         let report = simulate(&plan, &SimConfig::short());
         (
             outcome.metrics().clone(),
@@ -182,8 +179,7 @@ fn resubscription_and_rebuild_stay_valid() {
 #[test]
 fn render_budget_tracks_delivered_streams() {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
-    let costs =
-        teeve::types::CostMatrix::from_fn(3, |_, _| teeve::types::CostMs::new(4));
+    let costs = teeve::types::CostMatrix::from_fn(3, |_, _| teeve::types::CostMs::new(4));
     let mut session = Session::builder(costs)
         .cameras_per_site(8)
         .displays_per_site(1)

@@ -22,8 +22,9 @@ fn quick_config(frames: u64) -> ClusterConfig {
 #[test]
 fn session_plan_runs_on_real_sockets() {
     let mut rng = ChaCha8Rng::seed_from_u64(21);
-    let costs =
-        teeve::types::CostMatrix::from_fn(4, |i, j| teeve::types::CostMs::new(2 + ((i + j) % 4) as u32));
+    let costs = teeve::types::CostMatrix::from_fn(4, |i, j| {
+        teeve::types::CostMs::new(2 + ((i + j) % 4) as u32)
+    });
     let mut session = Session::builder(costs)
         .cameras_per_site(4)
         .displays_per_site(1)

@@ -1,0 +1,361 @@
+//! Vendored minimal stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] method
+//! traits the wire codec and TCP cluster use. Cheap clones of [`Bytes`]
+//! share one allocation via `Arc`, as upstream does; slicing refinements
+//! beyond what this workspace needs are omitted.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer with a consuming read
+/// cursor (clones share the underlying allocation).
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    /// Read cursor: bytes before it are consumed.
+    start: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: bytes.into(),
+            start: 0,
+        }
+    }
+
+    /// Returns the unconsumed length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Returns true if no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new buffer viewing `range` of the unconsumed bytes
+    /// (shares the allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: core::ops::Range<usize>) -> Bytes {
+        assert!(range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+        }
+        .truncated_to(range.end - range.start)
+    }
+
+    fn truncated_to(self, len: usize) -> Bytes {
+        if self.len() == len {
+            self
+        } else {
+            Bytes {
+                data: self[..len].into(),
+                start: 0,
+            }
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl core::hash::Hash for Bytes {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: v.into(),
+            start: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes {
+            data: v.into(),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past end of buffer");
+        self.start += count;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+/// A growable byte buffer with a consuming read cursor at the front.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor: bytes before it are consumed.
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Returns the unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Returns true if no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.compact_if_large();
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Splits off and returns the first `at` unconsumed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds the unconsumed length.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = self.data[self.start..self.start + at].to_vec();
+        self.start += at;
+        BytesMut {
+            data: front,
+            start: 0,
+        }
+    }
+
+    /// Freezes the unconsumed bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data[self.start..].into(),
+            start: 0,
+        }
+    }
+
+    /// Drops consumed prefix storage once it dominates the buffer.
+    fn compact_if_large(&mut self) {
+        if self.start > 4096 && self.start * 2 > self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(bytes: &[u8]) -> Self {
+        BytesMut {
+            data: bytes.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Read-side accessors over a byte buffer.
+pub trait Buf {
+    /// Advances the read cursor by `count` bytes.
+    fn advance(&mut self, count: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "advance past end of buffer");
+        self.start += count;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+/// Write-side accessors over a byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64);
+    /// Appends a slice.
+    fn put_slice(&mut self, bytes: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.extend_from_slice(&[value]);
+    }
+
+    fn put_u32_le(&mut self, value: u32) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, value: u64) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"tail");
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(&buf[..], b"tail");
+    }
+
+    #[test]
+    fn split_to_and_freeze() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"headtail");
+        let head = buf.split_to(4);
+        assert_eq!(&head[..], b"head");
+        assert_eq!(head.freeze().as_ref(), b"head");
+        assert_eq!(&buf[..], b"tail");
+    }
+
+    #[test]
+    fn bytes_clone_shares_contents() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(Bytes::from_static(b"xy").as_ref(), b"xy");
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_slice(&[0xAA; 8192]);
+        buf.advance(8000);
+        buf.extend_from_slice(&[0xBB; 4]);
+        assert_eq!(buf.len(), 196);
+        assert_eq!(buf[buf.len() - 1], 0xBB);
+    }
+}

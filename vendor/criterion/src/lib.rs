@@ -1,0 +1,195 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` macros, `Criterion`,
+//! benchmark groups, and `Bencher::iter`, with a simple mean-of-samples
+//! measurement printed to stdout. No statistical analysis, plots, or
+//! saved baselines — just honest relative wall-clock numbers, which is
+//! what the workspace's benches compare.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Runs timed closures and records their mean iteration time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring a fixed batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~20 ms or 10 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 10 && warm_start.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Aim for ~100 ms of measurement, 5..=1000 iterations.
+        let target = Duration::from_millis(100);
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(5, 1000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / iters as u32);
+    }
+}
+
+fn print_result(group: Option<&str>, id: &str, mean: Option<Duration>) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match mean {
+        Some(mean) => println!(
+            "bench: {name:<60} {:>12.3} µs/iter",
+            mean.as_nanos() as f64 / 1e3
+        ),
+        None => println!("bench: {name:<60} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the sample count is adaptive.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        print_result(Some(&self.name), &id.into().0, bencher.last_mean);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        print_result(None, &id.into().0, bencher.last_mean);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.last_mean.is_some());
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group
+            .sample_size(10)
+            .bench_function(BenchmarkId::from_parameter("x"), |b| {
+                ran = true;
+                b.iter(|| 1 + 1);
+            });
+        group.finish();
+        assert!(ran);
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+}
