@@ -1,0 +1,115 @@
+//! Live-reconfiguration latency on real sockets: how long does it take a
+//! running `LiveCluster` to apply a `PlanDelta`?
+//!
+//! Two flavours are measured round-trip (apply + revert per iteration so
+//! the cluster returns to its starting plan): a *socket-free* reroute
+//! (only forwarding tables swap, via `Reconfigure`/`Ack` over the control
+//! plane) and a delta that opens and closes one TCP connection each way.
+//! A frame batch is benched alongside as the data-plane baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teeve_net::{ClusterConfig, LiveCluster};
+use teeve_overlay::{OverlayManager, ProblemInstance};
+use teeve_pubsub::{DisseminationPlan, PlanDelta, StreamProfile};
+use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+
+fn site(i: u32) -> SiteId {
+    SiteId::new(i)
+}
+
+fn stream(origin: u32, q: u32) -> StreamId {
+    StreamId::new(site(origin), q)
+}
+
+/// Site 0 owns two streams; sites 1 and 2 may subscribe.
+fn universe() -> ProblemInstance {
+    let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(4));
+    ProblemInstance::builder(costs, CostMs::new(50))
+        .symmetric_capacities(Degree::new(6))
+        .streams_per_site(&[2, 0, 0])
+        .subscribe(site(1), stream(0, 0))
+        .subscribe(site(1), stream(0, 1))
+        .subscribe(site(2), stream(0, 0))
+        .build()
+        .unwrap()
+}
+
+fn plan_of(problem: &ProblemInstance, manager: &OverlayManager<'_>) -> DisseminationPlan {
+    DisseminationPlan::from_forest(
+        problem,
+        &manager.forest_snapshot(),
+        StreamProfile::default(),
+    )
+}
+
+/// Applies `target` to the cluster as a freshly revision-stamped delta.
+fn step(cluster: &mut LiveCluster, target: &DisseminationPlan) {
+    let mut next = target.clone();
+    next.set_revision(cluster.revision() + 1);
+    let delta = PlanDelta::diff(cluster.plan(), &next);
+    cluster.apply_delta(&delta).expect("delta applies live");
+}
+
+fn bench_live_reconfigure(c: &mut Criterion) {
+    let problem = universe();
+
+    // Base plan: site 1 takes stream 0.0 over the 0 → 1 link.
+    let mut manager = OverlayManager::new(&problem);
+    manager.subscribe(site(1), stream(0, 0)).unwrap();
+    let base = plan_of(&problem, &manager);
+
+    // Socket-free target: a second stream on the same 0 → 1 pair.
+    manager.subscribe(site(1), stream(0, 1)).unwrap();
+    let two_streams = plan_of(&problem, &manager);
+
+    // Link-churn target: site 2 joins, gaining its first connection.
+    manager.unsubscribe(site(1), stream(0, 1)).unwrap();
+    manager.subscribe(site(2), stream(0, 0)).unwrap();
+    let with_site2 = plan_of(&problem, &manager);
+
+    let config = ClusterConfig {
+        frames_per_stream: 8,
+        payload_bytes: 1024,
+        frame_interval: None,
+        timeout: Duration::from_secs(30),
+    };
+    let mut cluster = LiveCluster::launch(&base, &config).expect("launch");
+
+    let mut group = c.benchmark_group("live_reconfigure_n3");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("socket_free_reroute"), |b| {
+        b.iter(|| {
+            step(&mut cluster, &two_streams);
+            step(&mut cluster, &base);
+        })
+    });
+    assert_eq!(
+        cluster.connections_opened(),
+        0,
+        "socket-free iterations must not have opened connections"
+    );
+    group.bench_function(BenchmarkId::from_parameter("open_close_one_link"), |b| {
+        b.iter(|| {
+            step(&mut cluster, &with_site2);
+            step(&mut cluster, &base);
+        })
+    });
+    assert_eq!(cluster.connections_opened(), cluster.connections_closed());
+    group.bench_function(BenchmarkId::from_parameter("publish_batch_8"), |b| {
+        b.iter(|| cluster.publish(8).expect("batch delivers"))
+    });
+    group.finish();
+
+    let report = cluster.shutdown();
+    println!(
+        "live_reconfigure: final revision {}, {} frames delivered, {} connections opened/closed",
+        report.final_revision,
+        report.total_delivered(),
+        report.connections_opened,
+    );
+}
+
+criterion_group!(benches, bench_live_reconfigure);
+criterion_main!(benches);

@@ -1,25 +1,34 @@
-//! A localhost cluster of live TCP rendezvous points executing a
-//! dissemination plan.
+//! A localhost cluster of live TCP rendezvous points executing — and
+//! live-reconfiguring — a dissemination plan.
+//!
+//! [`LiveCluster`] is the long-lived form: RPs stay up across plan
+//! revisions, each holding a revision-tagged forwarding table, and the
+//! coordinator pushes [`PlanDelta`]s at them over a TCP control channel
+//! ([`Message::Reconfigure`] / [`Message::Ack`]) while data connections
+//! keep flowing. [`run_cluster`] is the one-shot convenience wrapper:
+//! launch, publish, shut down.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
-use teeve_pubsub::{DisseminationPlan, SitePlan};
+use teeve_pubsub::{DeltaError, DisseminationPlan, PlanDelta, SitePlan};
 use teeve_types::{SiteId, StreamId};
 
+use crate::replan::link_changes_between;
 use crate::wire::{decode, encode, Message};
 
 /// Configuration of a live cluster run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterConfig {
-    /// Frames each origin publishes per stream.
+    /// Frames each origin publishes per stream (used by [`run_cluster`];
+    /// [`LiveCluster::publish`] takes its batch size per call).
     pub frames_per_stream: u64,
     /// Synthetic payload size per frame in bytes (kept small in tests; a
     /// real compressed 3DTI frame is ≈66 kB).
@@ -27,7 +36,8 @@ pub struct ClusterConfig {
     /// Optional pacing between frames at the origin (`None` = publish as
     /// fast as the sockets accept, for fast tests).
     pub frame_interval: Option<Duration>,
-    /// Abort the run if deliveries have not completed within this time.
+    /// Deadline for every blocking step: publish-batch completion, socket
+    /// reads, and reconfiguration acknowledgements.
     pub timeout: Duration,
 }
 
@@ -53,8 +63,17 @@ pub struct ClusterReport {
     pub latency_sum_micros: BTreeMap<(SiteId, StreamId), u64>,
     /// Worst observed end-to-end latency in microseconds (wall clock).
     pub max_latency_micros: u64,
-    /// Wall-clock duration of the run.
+    /// Wall-clock duration from the first published frame to shutdown.
+    /// Listener binding and connection setup happen before the clock
+    /// starts, so setup cost never pollutes the figure.
     pub elapsed: Duration,
+    /// Plan revision the cluster was at when it shut down.
+    pub final_revision: u64,
+    /// TCP connections opened by reconfigurations (initial plan links are
+    /// not counted).
+    pub connections_opened: u64,
+    /// TCP connections closed by reconfigurations.
+    pub connections_closed: u64,
 }
 
 impl ClusterReport {
@@ -74,6 +93,30 @@ impl ClusterReport {
     }
 }
 
+/// What one applied [`PlanDelta`] did to the running cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigureReport {
+    /// The revision every reconfigured RP acknowledged.
+    pub revision: u64,
+    /// Connections the delta opened (parent → child pairs that carry
+    /// their first stream).
+    pub established: Vec<(SiteId, SiteId)>,
+    /// Connections the delta closed (pairs whose last stream left).
+    pub closed: Vec<(SiteId, SiteId)>,
+    /// Pairs that kept their connection across the delta.
+    pub retained: usize,
+    /// RPs whose forwarding tables were swapped (and acknowledged).
+    pub reconfigured_sites: usize,
+}
+
+impl ReconfigureReport {
+    /// Returns true when the delta touched no socket: every reroute moved
+    /// streams between connections that already existed and survived.
+    pub fn is_socket_free(&self) -> bool {
+        self.established.is_empty() && self.closed.is_empty()
+    }
+}
+
 /// Error produced by a cluster run.
 #[derive(Debug)]
 pub enum ClusterError {
@@ -86,6 +129,23 @@ pub enum ClusterError {
         /// Frames expected in total.
         expected: u64,
     },
+    /// A plan delta did not apply to the cluster's current plan.
+    Delta(DeltaError),
+    /// A delta was produced against a different revision than the cluster
+    /// is running.
+    StaleRevision {
+        /// The revision the cluster is at.
+        cluster: u64,
+        /// The revision the delta applies from.
+        delta: u64,
+    },
+    /// The control channel to one RP failed during reconfiguration.
+    Control {
+        /// The RP whose control channel failed.
+        site: SiteId,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -96,6 +156,14 @@ impl std::fmt::Display for ClusterError {
                 delivered,
                 expected,
             } => write!(f, "timed out with {delivered}/{expected} frames delivered"),
+            ClusterError::Delta(e) => write!(f, "plan delta rejected: {e}"),
+            ClusterError::StaleRevision { cluster, delta } => write!(
+                f,
+                "delta applies from revision {delta} but the cluster runs revision {cluster}"
+            ),
+            ClusterError::Control { site, detail } => {
+                write!(f, "control channel to {site} failed: {detail}")
+            }
         }
     }
 }
@@ -104,7 +172,8 @@ impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClusterError::Io(e) => Some(e),
-            ClusterError::Timeout { .. } => None,
+            ClusterError::Delta(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -115,13 +184,21 @@ impl From<io::Error> for ClusterError {
     }
 }
 
-/// Shared delivery counters.
+impl From<DeltaError> for ClusterError {
+    fn from(e: DeltaError) -> Self {
+        ClusterError::Delta(e)
+    }
+}
+
+/// Shared delivery counters. The scalar counters are `AtomicU64`: latency
+/// is measured in `u64` microseconds end to end, and `usize` atomics would
+/// silently truncate both it and large delivery totals on 32-bit targets.
 #[derive(Debug, Default)]
 struct Stats {
     delivered: Mutex<BTreeMap<(SiteId, StreamId), u64>>,
     latency_sums: Mutex<BTreeMap<(SiteId, StreamId), u64>>,
-    total: AtomicUsize,
-    max_latency_micros: AtomicUsize,
+    total: AtomicU64,
+    max_latency_micros: AtomicU64,
 }
 
 impl Stats {
@@ -130,20 +207,20 @@ impl Stats {
         *self.latency_sums.lock().entry((site, stream)).or_default() += latency_micros;
         self.total.fetch_add(1, Ordering::Relaxed);
         self.max_latency_micros
-            .fetch_max(latency_micros as usize, Ordering::Relaxed);
+            .fetch_max(latency_micros, Ordering::Relaxed);
     }
 }
 
-/// One outbound (parent → child) connection plus the number of streams this
-/// RP still has to finish over it.
-struct OutLink {
-    conn: TcpStream,
-    /// Streams routed over this connection whose `End` marker has not been
-    /// forwarded yet; the connection is write-shut when it reaches zero.
-    remaining: usize,
+/// One RP's forwarding state, tagged with the plan revision it belongs to
+/// (matching [`PlanDelta::from_revision`]/[`PlanDelta::to_revision`]).
+#[derive(Debug)]
+struct ForwardingTable {
+    revision: u64,
+    plan: SitePlan,
 }
 
-/// The per-site state shared by an RP's reader and sender threads.
+/// The per-site state shared by an RP's reader threads and the
+/// coordinator.
 ///
 /// Termination is **per stream**, not per connection: each stream's
 /// multicast tree is acyclic, so its `End` marker cascades from the origin
@@ -153,19 +230,33 @@ struct OutLink {
 /// design replaces.
 struct RpShared {
     site: SiteId,
-    plan: SitePlan,
-    outbound: Mutex<BTreeMap<SiteId, OutLink>>,
+    /// The live forwarding table; swapped atomically by `Reconfigure`.
+    table: Mutex<ForwardingTable>,
+    /// Outbound (this RP → child) data connections.
+    outbound: Mutex<BTreeMap<SiteId, TcpStream>>,
+    /// Upstream RPs currently connected inbound, attributed by the
+    /// `Hello { site }` preamble each data connection opens with. This is
+    /// what lets the receive side observe a `closed` link die.
+    inbound: Mutex<BTreeSet<SiteId>>,
     stats: Arc<Stats>,
-    epoch: Instant,
+    /// Shared timestamp base for capture/delivery micros.
+    clock: Instant,
 }
 
 impl RpShared {
+    /// Children of `stream` under the current table.
+    fn children_of(&self, stream: StreamId) -> Vec<SiteId> {
+        self.table
+            .lock()
+            .plan
+            .entry(stream)
+            .map(|e| e.children.clone())
+            .unwrap_or_default()
+    }
+
     /// Forwards one frame to this RP's planned children for `stream`.
     fn forward(&self, stream: StreamId, seq: u64, captured_micros: u64, payload: &Bytes) {
-        let children = match self.plan.entry(stream) {
-            Some(entry) => entry.children.clone(),
-            None => return,
-        };
+        let children = self.children_of(stream);
         if children.is_empty() {
             return;
         }
@@ -181,23 +272,20 @@ impl RpShared {
         );
         let mut outbound = self.outbound.lock();
         for child in children {
-            if let Some(link) = outbound.get_mut(&child) {
+            if let Some(conn) = outbound.get_mut(&child) {
                 // A failed forward drops that downstream subtree; the run
                 // then surfaces it as missing deliveries.
-                let _ = link.conn.write_all(&buf);
+                let _ = conn.write_all(&buf);
             }
         }
     }
 
-    /// Marks `stream` finished at this RP: forwards its `End` marker to the
-    /// stream's children and write-shuts any connection whose last stream
-    /// this was. Called by the origin sender after publishing the final
-    /// frame, and by readers when an upstream `End` arrives.
+    /// Cascades `stream`'s `End` marker to its children: the graceful
+    /// per-stream termination signal. Connections themselves outlive the
+    /// stream (they may carry others, or pick new ones up at the next
+    /// reconfiguration); the coordinator write-shuts them at shutdown.
     fn end_stream(&self, stream: StreamId) {
-        let children = match self.plan.entry(stream) {
-            Some(entry) => entry.children.clone(),
-            None => return,
-        };
+        let children = self.children_of(stream);
         if children.is_empty() {
             return;
         }
@@ -205,26 +293,493 @@ impl RpShared {
         encode(&Message::End { stream }, &mut buf);
         let mut outbound = self.outbound.lock();
         for child in children {
-            if let Some(link) = outbound.get_mut(&child) {
-                let _ = link.conn.write_all(&buf);
-                link.remaining = link.remaining.saturating_sub(1);
-                if link.remaining == 0 {
-                    let _ = link.conn.shutdown(std::net::Shutdown::Write);
-                    outbound.remove(&child);
-                }
+            if let Some(conn) = outbound.get_mut(&child) {
+                let _ = conn.write_all(&buf);
             }
         }
     }
 }
 
-/// Runs `plan` on a cluster of real TCP rendezvous points bound to
-/// 127.0.0.1, publishing `config.frames_per_stream` synthetic frames per
-/// overlay-transiting stream, and returns the delivery report.
+/// A long-lived cluster of rendezvous points on 127.0.0.1 whose plan can
+/// be changed while it runs.
 ///
-/// Every RP is a set of real threads: one reader per inbound overlay link
+/// Lifecycle — the live analogue of the paper's membership-server
+/// dictation:
+///
+/// 1. [`launch`](Self::launch) binds one listener per site, starts accept
+///    and reader threads, opens the initial plan's data connections (each
+///    opened with a `Hello` identifying the upstream RP), and one control
+///    connection from the coordinator to every RP;
+/// 2. [`publish`](Self::publish) pushes a batch of frames from every
+///    origin and blocks until all planned deliveries of the batch land;
+/// 3. [`apply_delta`](Self::apply_delta) reconfigures the running cluster:
+///    it opens exactly the connections [`link_changes`] reports as
+///    established, pushes `Reconfigure { revision, site_plan }` at every
+///    touched RP, collects each epoch-boundary `Ack`, then write-shuts
+///    exactly the `closed` connections — `retained` links (including
+///    socket-free stream reroutes) are never touched;
+/// 4. [`shutdown`](Self::shutdown) cascades per-stream `End` markers,
+///    closes every connection, joins the threads, and reports.
+///
+/// [`link_changes`]: crate::link_changes
+pub struct LiveCluster {
+    config: ClusterConfig,
+    plan: DisseminationPlan,
+    addrs: Vec<SocketAddr>,
+    shared: Vec<Arc<RpShared>>,
+    stats: Arc<Stats>,
+    /// Coordinator → RP control channels, one per site.
+    control: Vec<TcpStream>,
+    handles: Vec<thread::JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    /// Set when the first frame is published; the report's `elapsed`
+    /// measures from here, not from setup.
+    started: Option<Instant>,
+    next_seq: u64,
+    expected_total: u64,
+    connections_opened: u64,
+    connections_closed: u64,
+}
+
+impl LiveCluster {
+    /// Launches one RP per site of `plan` on 127.0.0.1 and connects the
+    /// initial overlay links.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on socket failures, or if the initial links are
+    /// not all attributed (`Hello` received) within `config.timeout`.
+    pub fn launch(
+        plan: &DisseminationPlan,
+        config: &ClusterConfig,
+    ) -> Result<LiveCluster, ClusterError> {
+        let n = plan.site_count();
+        let stats = Arc::new(Stats::default());
+        let clock = Instant::now();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut children: Vec<BTreeSet<SiteId>> = vec![BTreeSet::new(); n];
+        for (parent, child, _) in plan.edges() {
+            children[parent.index()].insert(child);
+        }
+
+        // Bind all listeners first so connection order cannot race.
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+
+        let shared: Vec<Arc<RpShared>> = (0..n)
+            .map(|i| {
+                let site = SiteId::new(i as u32);
+                Arc::new(RpShared {
+                    site,
+                    table: Mutex::new(ForwardingTable {
+                        revision: plan.revision(),
+                        plan: plan.site_plan(site).clone(),
+                    }),
+                    outbound: Mutex::new(BTreeMap::new()),
+                    inbound: Mutex::new(BTreeSet::new()),
+                    stats: Arc::clone(&stats),
+                    clock,
+                })
+            })
+            .collect();
+
+        // Accept threads: accept until shutdown, spawning a reader per
+        // connection. Readers carry a read timeout purely as a periodic
+        // wake-up to re-check the shutdown flag — an idle link (a cluster
+        // sitting quiet between publish batches) must survive arbitrarily
+        // long, while a reader that missed its EOF still exits within one
+        // timeout of teardown.
+        let mut handles = Vec::new();
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let rp = Arc::clone(&shared[i]);
+            let read_timeout = config.timeout;
+            let stop = Arc::clone(&shutdown);
+            handles.push(thread::spawn(move || {
+                let mut readers = Vec::new();
+                loop {
+                    let Ok((conn, _)) = listener.accept() else {
+                        break;
+                    };
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    conn.set_read_timeout(Some(read_timeout)).ok();
+                    conn.set_nodelay(true).ok();
+                    let rp = Arc::clone(&rp);
+                    let stop = Arc::clone(&stop);
+                    readers.push(thread::spawn(move || reader_loop(conn, &rp, &stop)));
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            }));
+        }
+
+        let mut cluster = LiveCluster {
+            config: config.clone(),
+            plan: plan.clone(),
+            addrs,
+            shared,
+            stats,
+            control: Vec::new(),
+            handles,
+            shutdown,
+            started: None,
+            next_seq: 0,
+            expected_total: 0,
+            connections_opened: 0,
+            connections_closed: 0,
+        };
+
+        // Initial data links (parent → child), one per directed site pair.
+        let deadline = Instant::now() + config.timeout;
+        let mut pairs = Vec::new();
+        for (i, site_children) in children.iter().enumerate() {
+            for &child in site_children {
+                let parent = SiteId::new(i as u32);
+                cluster.open_link(parent, child)?;
+                pairs.push((parent, child));
+            }
+        }
+        for &(parent, child) in &pairs {
+            cluster.wait_for_inbound(child, parent, true, deadline)?;
+        }
+
+        // Control channels: one coordinator connection per RP. They carry
+        // no Hello — only Reconfigure/Ack/Bye ever travel on them.
+        for addr in &cluster.addrs {
+            let conn = TcpStream::connect(addr)?;
+            conn.set_nodelay(true).ok();
+            conn.set_read_timeout(Some(config.timeout)).ok();
+            conn.set_write_timeout(Some(config.timeout)).ok();
+            cluster.control.push(conn);
+        }
+
+        Ok(cluster)
+    }
+
+    /// Returns the plan the cluster currently executes.
+    pub fn plan(&self) -> &DisseminationPlan {
+        &self.plan
+    }
+
+    /// Returns the plan revision the cluster currently runs.
+    pub fn revision(&self) -> u64 {
+        self.plan.revision()
+    }
+
+    /// Returns the number of data connections opened by reconfigurations
+    /// so far (initial plan links are not counted).
+    pub fn connections_opened(&self) -> u64 {
+        self.connections_opened
+    }
+
+    /// Returns the number of data connections closed by reconfigurations
+    /// so far.
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed
+    }
+
+    /// Publishes `frames` frames from every origin stream of the current
+    /// plan and blocks until all planned deliveries of the batch land.
+    ///
+    /// The first call starts the report clock: setup cost (listener
+    /// binding, connection establishment) is excluded from `elapsed` by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Timeout`] if the batch does not fully
+    /// deliver within `config.timeout`.
+    pub fn publish(&mut self, frames: u64) -> Result<(), ClusterError> {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        let mut origins: Vec<(SiteId, StreamId)> = Vec::new();
+        let mut expected_per_frame = 0u64;
+        for sp in self.plan.site_plans() {
+            expected_per_frame += sp.in_degree() as u64;
+            for entry in &sp.entries {
+                if entry.is_origin() && !entry.children.is_empty() {
+                    origins.push((sp.site, entry.stream));
+                }
+            }
+        }
+        let payload = Bytes::from(vec![0x3D; self.config.payload_bytes]);
+        for seq in self.next_seq..self.next_seq + frames {
+            for &(site, stream) in &origins {
+                let rp = &self.shared[site.index()];
+                let captured = rp.clock.elapsed().as_micros() as u64;
+                rp.forward(stream, seq, captured, &payload);
+            }
+            if let Some(interval) = self.config.frame_interval {
+                thread::sleep(interval);
+            }
+        }
+        self.next_seq += frames;
+        self.expected_total += frames * expected_per_frame;
+        self.await_deliveries()
+    }
+
+    /// Applies one [`PlanDelta`] to the running cluster: opens exactly the
+    /// `established` connections, reconfigures every touched RP over its
+    /// control channel, waits for all epoch-boundary `Ack`s, then
+    /// write-shuts exactly the `closed` connections. Links that are
+    /// `retained` — including pairs whose stream set changed — are never
+    /// touched, so a socket-free reroute opens and closes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the delta's revision does not match the
+    /// cluster's, the delta does not apply to the current plan, a socket
+    /// operation fails, or an RP does not acknowledge in time. A failed
+    /// reconfiguration leaves the cluster in an undefined plan state; shut
+    /// it down.
+    pub fn apply_delta(&mut self, delta: &PlanDelta) -> Result<ReconfigureReport, ClusterError> {
+        if delta.from_revision() != self.plan.revision() {
+            return Err(ClusterError::StaleRevision {
+                cluster: self.plan.revision(),
+                delta: delta.from_revision(),
+            });
+        }
+        let mut next = self.plan.clone();
+        delta.apply(&mut next)?;
+        let changes = link_changes_between(&self.plan, &next);
+        let revision = delta.to_revision();
+        let deadline = Instant::now() + self.config.timeout;
+
+        // 1. Open new links before any table switches, so the first frame
+        //    routed by a new table already has its socket, and wait until
+        //    each child has attributed its new parent from the Hello.
+        for &(parent, child) in &changes.established {
+            self.open_link(parent, child)?;
+        }
+        for &(parent, child) in &changes.established {
+            self.wait_for_inbound(child, parent, true, deadline)?;
+        }
+
+        // 2. Swap forwarding tables over the control plane and collect
+        //    every Ack: once all land, no RP forwards by an old table.
+        let touched = delta.touched_sites();
+        for &site in &touched {
+            let mut buf = BytesMut::new();
+            encode(
+                &Message::Reconfigure {
+                    revision,
+                    site_plan: next.site_plan(site).clone(),
+                },
+                &mut buf,
+            );
+            self.control[site.index()]
+                .write_all(&buf)
+                .map_err(|e| ClusterError::Control {
+                    site,
+                    detail: e.to_string(),
+                })?;
+        }
+        for &site in &touched {
+            self.await_ack(site, revision)?;
+        }
+
+        // 3. Write-shut links whose last stream left, and wait for the
+        //    receive side to observe the attributed parent disappear.
+        for &(parent, child) in &changes.closed {
+            let conn = self.shared[parent.index()].outbound.lock().remove(&child);
+            if let Some(conn) = conn {
+                let _ = conn.shutdown(Shutdown::Write);
+            }
+        }
+        for &(parent, child) in &changes.closed {
+            self.wait_for_inbound(child, parent, false, deadline)?;
+        }
+
+        self.connections_opened += changes.established.len() as u64;
+        self.connections_closed += changes.closed.len() as u64;
+        self.plan = next;
+        Ok(ReconfigureReport {
+            revision,
+            established: changes.established,
+            closed: changes.closed,
+            retained: changes.retained.len(),
+            reconfigured_sites: touched.len(),
+        })
+    }
+
+    /// Gracefully terminates the cluster: per-stream `End` markers cascade
+    /// from every origin, all connections close, every thread joins, and
+    /// the delivery report comes back.
+    ///
+    /// Call after the last [`publish`](Self::publish) batch has completed;
+    /// frames still in flight at shutdown are dropped with their links.
+    pub fn shutdown(mut self) -> ClusterReport {
+        self.teardown();
+        for handle in std::mem::take(&mut self.handles) {
+            let _ = handle.join();
+        }
+        ClusterReport {
+            delivered: self.stats.delivered.lock().clone(),
+            latency_sum_micros: self.stats.latency_sums.lock().clone(),
+            max_latency_micros: self.stats.max_latency_micros.load(Ordering::Relaxed),
+            elapsed: self.started.map(|s| s.elapsed()).unwrap_or_default(),
+            final_revision: self.plan.revision(),
+            connections_opened: self.connections_opened,
+            connections_closed: self.connections_closed,
+        }
+    }
+
+    /// Connects `parent` → `child` and registers the link, opening with
+    /// the `Hello` preamble that lets the child attribute the connection.
+    fn open_link(&self, parent: SiteId, child: SiteId) -> Result<(), ClusterError> {
+        let mut conn = TcpStream::connect(self.addrs[child.index()])?;
+        conn.set_nodelay(true).ok();
+        conn.set_write_timeout(Some(self.config.timeout)).ok();
+        let mut buf = BytesMut::new();
+        encode(&Message::Hello { site: parent }, &mut buf);
+        conn.write_all(&buf)?;
+        self.shared[parent.index()]
+            .outbound
+            .lock()
+            .insert(child, conn);
+        Ok(())
+    }
+
+    /// Waits until `child`'s attributed inbound set does (`present`) or
+    /// does not (`!present`) contain `parent`.
+    fn wait_for_inbound(
+        &self,
+        child: SiteId,
+        parent: SiteId,
+        present: bool,
+        deadline: Instant,
+    ) -> Result<(), ClusterError> {
+        loop {
+            if self.shared[child.index()].inbound.lock().contains(&parent) == present {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(ClusterError::Control {
+                    site: child,
+                    detail: format!(
+                        "inbound link from {parent} never became {}",
+                        if present { "attributed" } else { "closed" }
+                    ),
+                });
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Reads `site`'s control channel until the `Ack` for `revision`.
+    fn await_ack(&mut self, site: SiteId, revision: u64) -> Result<(), ClusterError> {
+        let control_err = |detail: String| ClusterError::Control { site, detail };
+        let mut buf = BytesMut::with_capacity(256);
+        let mut chunk = [0u8; 256];
+        loop {
+            match decode(&mut buf) {
+                Ok(Some(Message::Ack { revision: got })) if got == revision => return Ok(()),
+                Ok(Some(other)) => {
+                    return Err(control_err(format!("unexpected response {other:?}")))
+                }
+                Ok(None) => {}
+                Err(e) => return Err(control_err(format!("undecodable response: {e}"))),
+            }
+            // The read timeout set at launch bounds this; a silent RP
+            // surfaces as a control error rather than a wedged cluster.
+            match self.control[site.index()].read(&mut chunk) {
+                Ok(0) => return Err(control_err("control channel closed".into())),
+                Ok(read) => buf.extend_from_slice(&chunk[..read]),
+                Err(e) => return Err(control_err(format!("ack read failed: {e}"))),
+            }
+        }
+    }
+
+    /// Waits until every published frame has been delivered.
+    fn await_deliveries(&self) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + self.config.timeout;
+        loop {
+            let delivered = self.stats.total.load(Ordering::Relaxed);
+            if delivered >= self.expected_total {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(ClusterError::Timeout {
+                    delivered,
+                    expected: self.expected_total,
+                });
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Idempotent teardown shared by [`shutdown`](Self::shutdown) and
+    /// `Drop`: cascade stream ends, close every connection, wake the
+    /// accept loops.
+    fn teardown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Graceful per-stream termination from every origin; relays
+        // cascade the markers. `Bye` below is the connection-level abort.
+        for sp in self.plan.site_plans() {
+            for entry in &sp.entries {
+                if entry.is_origin() && !entry.children.is_empty() {
+                    self.shared[sp.site.index()].end_stream(entry.stream);
+                }
+            }
+        }
+        for mut conn in self.control.drain(..) {
+            let mut buf = BytesMut::new();
+            encode(&Message::Bye, &mut buf);
+            let _ = conn.write_all(&buf);
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for rp in &self.shared {
+            let mut outbound = rp.outbound.lock();
+            for (_, conn) in outbound.iter() {
+                let _ = conn.shutdown(Shutdown::Write);
+            }
+            outbound.clear();
+        }
+        // Wake every accept loop; it re-checks the shutdown flag.
+        for addr in &self.addrs {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+impl Drop for LiveCluster {
+    /// Best-effort teardown without joining (readers exit on EOF); the
+    /// graceful path is [`shutdown`](Self::shutdown).
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+impl teeve_pubsub::DeltaSink for LiveCluster {
+    type Error = ClusterError;
+
+    fn apply_delta(&mut self, delta: &PlanDelta) -> Result<(), Self::Error> {
+        LiveCluster::apply_delta(self, delta).map(|_| ())
+    }
+}
+
+/// Runs `plan` once on a [`LiveCluster`]: launch, publish
+/// `config.frames_per_stream` synthetic frames per overlay-transiting
+/// stream, shut down, report.
+///
+/// Every RP is a set of real threads: one reader per inbound link
 /// (decoding the wire protocol and forwarding frames per its forwarding
-/// table) and one sender for locally originated streams. Termination
-/// cascades: when an RP's upstreams finish, it sends `Bye` downstream.
+/// table) plus the shared accept loop. Termination cascades **per
+/// stream**: when a stream's last frame has been published, its `End`
+/// marker flows down the stream's (acyclic) multicast tree, and
+/// connections are write-shut afterwards — there is no per-connection
+/// `Bye` handshake, which would deadlock on cyclic site graphs.
 ///
 /// # Errors
 ///
@@ -234,170 +789,24 @@ pub fn run_cluster(
     plan: &DisseminationPlan,
     config: &ClusterConfig,
 ) -> Result<ClusterReport, ClusterError> {
-    let n = plan.site_count();
-    let epoch = Instant::now();
-    let stats = Arc::new(Stats::default());
-
-    // Distinct inbound parents and outbound children per site.
-    let mut parents: Vec<BTreeSet<SiteId>> = vec![BTreeSet::new(); n];
-    let mut children: Vec<BTreeSet<SiteId>> = vec![BTreeSet::new(); n];
-    for (parent, child, _) in plan.edges() {
-        parents[child.index()].insert(parent);
-        children[parent.index()].insert(child);
-    }
-
-    // Expected deliveries: every planned (site, stream) pair gets all
-    // frames of that stream.
-    let expected: u64 = (0..n)
-        .map(|i| plan.site_plans()[i].in_degree() as u64 * config.frames_per_stream)
-        .sum();
-
-    // Phase A: bind all listeners.
-    let mut listeners = Vec::with_capacity(n);
-    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        addrs.push(listener.local_addr()?);
-        listeners.push(listener);
-    }
-
-    // Streams each parent must finish per outbound connection: the link
-    // parent → child is write-shut after the last of these ends.
-    let mut streams_to_child: Vec<BTreeMap<SiteId, usize>> = vec![BTreeMap::new(); n];
-    for (parent, child, _) in plan.edges() {
-        *streams_to_child[parent.index()].entry(child).or_default() += 1;
-    }
-
-    // Per-site shared state.
-    let shared: Vec<Arc<RpShared>> = (0..n)
-        .map(|i| {
-            let site = SiteId::new(i as u32);
-            Arc::new(RpShared {
-                site,
-                plan: plan.site_plan(site).clone(),
-                outbound: Mutex::new(BTreeMap::new()),
-                stats: Arc::clone(&stats),
-                epoch,
-            })
-        })
-        .collect();
-
-    let mut handles = Vec::new();
-
-    // Phase B: accept threads (one per site), spawning a reader per
-    // inbound link. Readers carry a read timeout so a lost upstream can
-    // never wedge the process past the configured deadline.
-    for (i, listener) in listeners.into_iter().enumerate() {
-        let expected_inbound = parents[i].len();
-        let rp = Arc::clone(&shared[i]);
-        let read_timeout = config.timeout;
-        handles.push(thread::spawn(move || {
-            let mut readers = Vec::new();
-            for _ in 0..expected_inbound {
-                let Ok((conn, _)) = listener.accept() else {
-                    break;
-                };
-                conn.set_read_timeout(Some(read_timeout)).ok();
-                let rp = Arc::clone(&rp);
-                readers.push(thread::spawn(move || reader_loop(conn, &rp)));
-            }
-            for r in readers {
-                let _ = r.join();
-            }
-        }));
-    }
-
-    // Phase C: establish outbound connections (parent -> child).
-    for i in 0..n {
-        let mut outbound = shared[i].outbound.lock();
-        for &child in &children[i] {
-            let conn = TcpStream::connect(addrs[child.index()])?;
-            conn.set_nodelay(true).ok();
-            conn.set_write_timeout(Some(config.timeout)).ok();
-            let mut buf = BytesMut::new();
-            encode(
-                &Message::Hello {
-                    site: SiteId::new(i as u32),
-                },
-                &mut buf,
-            );
-            let mut conn = conn;
-            conn.write_all(&buf)?;
-            outbound.insert(
-                child,
-                OutLink {
-                    conn,
-                    remaining: streams_to_child[i][&child],
-                },
-            );
-        }
-    }
-
-    // Phase D: origin senders.
-    for site_shared in &shared {
-        let rp = Arc::clone(site_shared);
-        let origin_streams: Vec<StreamId> = rp
-            .plan
-            .entries
-            .iter()
-            .filter(|e| e.is_origin() && !e.children.is_empty())
-            .map(|e| e.stream)
-            .collect();
-        if origin_streams.is_empty() {
-            continue;
-        }
-        let cfg = config.clone();
-        handles.push(thread::spawn(move || {
-            let payload = Bytes::from(vec![0x3D; cfg.payload_bytes]);
-            for seq in 0..cfg.frames_per_stream {
-                for &stream in &origin_streams {
-                    let captured = rp.epoch.elapsed().as_micros() as u64;
-                    rp.forward(stream, seq, captured, &payload);
-                }
-                if let Some(interval) = cfg.frame_interval {
-                    thread::sleep(interval);
-                }
-            }
-            for &stream in &origin_streams {
-                rp.end_stream(stream);
-            }
-        }));
-    }
-
-    // Phase E: wait for completion.
-    let deadline = Instant::now() + config.timeout;
-    loop {
-        let delivered = stats.total.load(Ordering::Relaxed) as u64;
-        if delivered >= expected {
-            break;
-        }
-        if Instant::now() > deadline {
-            return Err(ClusterError::Timeout {
-                delivered,
-                expected,
-            });
-        }
-        thread::sleep(Duration::from_millis(2));
-    }
-    for h in handles {
-        let _ = h.join();
-    }
-
-    let delivered = stats.delivered.lock().clone();
-    let latency_sum_micros = stats.latency_sums.lock().clone();
-    Ok(ClusterReport {
-        delivered,
-        latency_sum_micros,
-        max_latency_micros: stats.max_latency_micros.load(Ordering::Relaxed) as u64,
-        elapsed: epoch.elapsed(),
-    })
+    let mut cluster = LiveCluster::launch(plan, config)?;
+    cluster.publish(config.frames_per_stream)?;
+    Ok(cluster.shutdown())
 }
 
-/// Reads one inbound link until `Bye`/EOF, recording and forwarding frames
-/// and cascading per-stream `End` markers.
-fn reader_loop(mut conn: TcpStream, rp: &RpShared) {
+/// Reads one inbound link until `Bye`/EOF, recording and forwarding
+/// frames, cascading per-stream `End` markers, swapping the forwarding
+/// table on `Reconfigure` (answering with the epoch-boundary `Ack`), and
+/// attributing the link to its upstream RP via the `Hello` preamble.
+///
+/// An idle link is kept open indefinitely: the read timeout is only a
+/// periodic wake-up to check `stop`, so a long-lived cluster can sit
+/// quiet between publish batches without its links (or its control
+/// channels) dying underneath it.
+fn reader_loop(mut conn: TcpStream, rp: &RpShared, stop: &AtomicBool) {
     let mut buf = BytesMut::with_capacity(64 * 1024);
     let mut chunk = [0u8; 64 * 1024];
+    let mut peer: Option<SiteId> = None;
     loop {
         match decode(&mut buf) {
             Ok(Some(Message::Frame {
@@ -406,7 +815,7 @@ fn reader_loop(mut conn: TcpStream, rp: &RpShared) {
                 captured_micros,
                 payload,
             })) => {
-                let now = rp.epoch.elapsed().as_micros() as u64;
+                let now = rp.clock.elapsed().as_micros() as u64;
                 rp.stats
                     .record(rp.site, stream, now.saturating_sub(captured_micros));
                 rp.forward(stream, seq, captured_micros, &payload);
@@ -416,17 +825,61 @@ fn reader_loop(mut conn: TcpStream, rp: &RpShared) {
                 rp.end_stream(stream);
                 continue;
             }
-            Ok(Some(Message::Hello { .. })) => continue,
-            Ok(Some(Message::Bye)) | Err(_) => break,
+            Ok(Some(Message::Hello { site })) => {
+                peer = Some(site);
+                rp.inbound.lock().insert(site);
+                continue;
+            }
+            Ok(Some(Message::Reconfigure {
+                revision,
+                site_plan,
+            })) => {
+                {
+                    // A replayed order for an older revision must not roll
+                    // the table back; it is still acknowledged so a
+                    // coordinator retry converges.
+                    let mut table = rp.table.lock();
+                    if revision >= table.revision {
+                        table.revision = revision;
+                        table.plan = site_plan;
+                    }
+                }
+                // Epoch boundary: everything sent after this Ack is routed
+                // by the new table.
+                let mut ack = BytesMut::new();
+                encode(&Message::Ack { revision }, &mut ack);
+                if conn.write_all(&ack).is_err() {
+                    break;
+                }
+                continue;
+            }
+            // An Ack is never addressed to an RP; drop the link.
+            Ok(Some(Message::Bye)) | Ok(Some(Message::Ack { .. })) | Err(_) => break,
             Ok(None) => {}
         }
         match conn.read(&mut chunk) {
             Ok(0) => break,
             Ok(read) => buf.extend_from_slice(&chunk[..read]),
-            // Includes the configured read timeout: a silent upstream ends
-            // the link rather than wedging the run.
+            // The read timeout (WouldBlock on Unix, TimedOut on Windows)
+            // just means the link is idle: keep serving it unless the
+            // cluster is tearing down. Real errors end the link.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
             Err(_) => break,
         }
+    }
+    // De-attribute the link: the receive side of a `closed` pair observes
+    // the disconnect here.
+    if let Some(site) = peer {
+        rp.inbound.lock().remove(&site);
     }
 }
 
@@ -477,16 +930,20 @@ mod tests {
     }
 
     #[test]
-    fn relay_chain_delivers_every_frame() {
+    fn socket_relay_chain_delivers_every_frame() {
         let plan = relay_plan();
         let report = run_cluster(&plan, &quick_config()).expect("cluster completes");
         assert_eq!(report.delivered[&(site(1), stream(0, 0))], 5);
         assert_eq!(report.delivered[&(site(2), stream(0, 0))], 5);
         assert_eq!(report.total_delivered(), 10);
+        // A one-shot run never reconfigures.
+        assert_eq!(report.final_revision, 0);
+        assert_eq!(report.connections_opened, 0);
+        assert_eq!(report.connections_closed, 0);
     }
 
     #[test]
-    fn multi_stream_fanout_delivers_everything() {
+    fn socket_multi_stream_fanout_delivers_everything() {
         // 4 sites, 2 streams each, everyone subscribes to everything.
         let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(2));
         let mut b = ProblemInstance::builder(costs, CostMs::new(50))
@@ -530,7 +987,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_plan_completes_immediately() {
+    fn socket_empty_plan_completes_immediately() {
         let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
         let problem = ProblemInstance::builder(costs, CostMs::new(50))
             .symmetric_capacities(Degree::new(4))
@@ -546,7 +1003,7 @@ mod tests {
     }
 
     #[test]
-    fn paced_run_measures_latency() {
+    fn socket_paced_run_measures_latency() {
         let plan = relay_plan();
         let config = ClusterConfig {
             frames_per_stream: 3,
@@ -559,6 +1016,9 @@ mod tests {
         // Localhost latency is nonzero but far below a second.
         assert!(report.max_latency_micros > 0);
         assert!(report.max_latency_micros < 1_000_000);
+        // The clock starts at the first publish: the paced batch alone
+        // spans at least its inter-frame gaps, setup time excluded.
+        assert!(report.elapsed >= Duration::from_millis(10));
         // Per-pair means are consistent with the global maximum.
         for &(site, stream) in report.delivered.keys() {
             let mean = report
@@ -566,6 +1026,39 @@ mod tests {
                 .expect("delivered pair has a mean");
             assert!(mean <= report.max_latency_micros);
         }
+    }
+
+    #[test]
+    fn socket_launch_then_drop_terminates_cleanly() {
+        // Dropping an idle cluster (no publish, no shutdown) must tear
+        // everything down without wedging the process.
+        let plan = relay_plan();
+        let cluster = LiveCluster::launch(&plan, &quick_config()).expect("launch");
+        assert_eq!(cluster.revision(), 0);
+        assert_eq!(cluster.connections_opened(), 0);
+        drop(cluster);
+    }
+
+    #[test]
+    fn socket_stale_delta_is_rejected_before_touching_sockets() {
+        let plan = relay_plan();
+        let mut cluster = LiveCluster::launch(&plan, &quick_config()).expect("launch");
+        // A delta claiming to come from revision 7 cannot apply to a
+        // cluster at revision 0.
+        let mut future = plan.clone();
+        future.set_revision(7);
+        let delta = PlanDelta::diff(&future, &future);
+        let err = cluster.apply_delta(&delta).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::StaleRevision {
+                cluster: 0,
+                delta: 7
+            }
+        ));
+        let report = cluster.shutdown();
+        assert_eq!(report.connections_opened, 0);
+        assert_eq!(report.connections_closed, 0);
     }
 
     #[test]

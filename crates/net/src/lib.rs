@@ -1,12 +1,19 @@
 //! Live TCP rendezvous-point substrate for TEEVE dissemination plans.
 //!
 //! The paper's deployment vision — RPs at every site forwarding 3D video
-//! streams along the constructed overlay — realized as real sockets: each
-//! RP runs reader threads per inbound overlay link and forwards frames to
-//! its planned children over a length-prefixed binary protocol
-//! ([`wire`]). [`run_cluster`] launches one RP per site on 127.0.0.1,
-//! publishes synthetic frames from every origin, and reports per-site
-//! delivery counts and latencies.
+//! streams along the constructed overlay, reconfigured by the membership
+//! server as displays change FOV and sites churn — realized as real
+//! sockets: each RP runs reader threads per inbound overlay link and
+//! forwards frames to its planned children over a length-prefixed binary
+//! protocol ([`wire`]).
+//!
+//! [`LiveCluster`] keeps the RPs up across plan revisions: a coordinator
+//! pushes each [`PlanDelta`](teeve_pubsub::PlanDelta) at the running
+//! cluster over a TCP control plane (`Reconfigure`/`Ack`), opening only
+//! the connections [`link_changes`] reports as established and closing
+//! only the ones whose last stream left — socket-free reroutes touch
+//! nothing. [`run_cluster`] is the one-shot wrapper: launch, publish,
+//! shut down, report per-site delivery counts and latencies.
 //!
 //! # Examples
 //!
@@ -41,5 +48,7 @@ mod cluster;
 mod replan;
 pub mod wire;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterError, ClusterReport};
-pub use replan::{link_changes, LinkChanges};
+pub use cluster::{
+    run_cluster, ClusterConfig, ClusterError, ClusterReport, LiveCluster, ReconfigureReport,
+};
+pub use replan::{link_changes, link_changes_between, LinkChanges};

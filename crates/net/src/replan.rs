@@ -50,16 +50,22 @@ pub fn link_changes(
     current: &DisseminationPlan,
     delta: &PlanDelta,
 ) -> Result<LinkChanges, teeve_pubsub::DeltaError> {
-    let before = link_pairs(current);
-    let mut after_plan = current.clone();
-    delta.apply(&mut after_plan)?;
-    let after = link_pairs(&after_plan);
+    let mut after = current.clone();
+    delta.apply(&mut after)?;
+    Ok(link_changes_between(current, &after))
+}
 
-    Ok(LinkChanges {
+/// [`link_changes`] over two already-materialized plan revisions, for
+/// callers that have applied the delta themselves (the live cluster
+/// computes the next plan once and reuses it as its new state).
+pub fn link_changes_between(before: &DisseminationPlan, after: &DisseminationPlan) -> LinkChanges {
+    let before = link_pairs(before);
+    let after = link_pairs(after);
+    LinkChanges {
         established: after.difference(&before).copied().collect(),
         closed: before.difference(&after).copied().collect(),
         retained: before.intersection(&after).copied().collect(),
-    })
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! available.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use teeve_pubsub::{ForwardingEntry, SitePlan};
 use teeve_types::{SiteId, StreamId};
 
 /// Maximum accepted message size (tag + body), guarding against corrupted
@@ -17,6 +18,8 @@ const TAG_HELLO: u8 = 1;
 const TAG_FRAME: u8 = 2;
 const TAG_BYE: u8 = 3;
 const TAG_END: u8 = 4;
+const TAG_RECONFIGURE: u8 = 5;
+const TAG_ACK: u8 = 6;
 
 /// A protocol message between rendezvous points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +40,13 @@ pub enum Message {
         /// Frame payload (synthetic 3D data).
         payload: Bytes,
     },
-    /// Graceful end of the whole connection from this peer.
+    /// Immediate end of the whole connection from this peer.
+    ///
+    /// **Legacy / abort path only.** Graceful termination is per-stream
+    /// [`End`](Self::End) cascading followed by a write-shutdown: a
+    /// per-connection `Bye` handshake deadlocks on cyclic site graphs.
+    /// `Bye` survives for unilateral teardown — a coordinator aborting a
+    /// control channel, or a peer dropping a link without draining it.
     Bye,
     /// End of one stream: the sender will never transmit another frame of
     /// `stream` on this connection. Cascades along the stream's multicast
@@ -47,6 +56,23 @@ pub enum Message {
     End {
         /// The finished stream.
         stream: StreamId,
+    },
+    /// Control-plane order from the coordinator: replace the receiving
+    /// RP's forwarding table with `site_plan`, which belongs to plan
+    /// revision `revision`. The RP answers with [`Ack`](Self::Ack) once
+    /// the table is swapped, marking its epoch boundary.
+    Reconfigure {
+        /// The plan revision the new table belongs to.
+        revision: u64,
+        /// The RP's complete forwarding state under the new revision.
+        site_plan: SitePlan,
+    },
+    /// Epoch-boundary acknowledgement: the sending RP now forwards under
+    /// `revision` and will never again emit a frame routed by an older
+    /// table.
+    Ack {
+        /// The revision the RP switched to.
+        revision: u64,
     },
 }
 
@@ -115,7 +141,95 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
             dst.put_u32_le(stream.origin().index() as u32);
             dst.put_u32_le(stream.local_index());
         }
+        Message::Reconfigure {
+            revision,
+            site_plan,
+        } => {
+            let body = 1 + 8 + site_plan_bytes(site_plan);
+            dst.put_u32_le(body as u32);
+            dst.put_u8(TAG_RECONFIGURE);
+            dst.put_u64_le(*revision);
+            encode_site_plan(site_plan, dst);
+        }
+        Message::Ack { revision } => {
+            dst.put_u32_le(1 + 8);
+            dst.put_u8(TAG_ACK);
+            dst.put_u64_le(*revision);
+        }
     }
+}
+
+/// Encoded size of a [`SitePlan`] body, in bytes.
+fn site_plan_bytes(site_plan: &SitePlan) -> usize {
+    // site + entry count, then per entry: stream (origin + local) +
+    // parent flag/value + child count + children.
+    4 + 4
+        + site_plan
+            .entries
+            .iter()
+            .map(|e| 4 + 4 + 1 + 4 + 4 + 4 * e.children.len())
+            .sum::<usize>()
+}
+
+/// Encodes a forwarding table: `[site][entry count]` then per entry
+/// `[stream origin][stream local][parent flag + site][child count][children…]`.
+/// A missing parent (the RP originates the stream) is flag 0 with a zero
+/// placeholder, keeping every entry fixed-width up to its child list.
+fn encode_site_plan(site_plan: &SitePlan, dst: &mut BytesMut) {
+    dst.put_u32_le(site_plan.site.index() as u32);
+    dst.put_u32_le(site_plan.entries.len() as u32);
+    for entry in &site_plan.entries {
+        dst.put_u32_le(entry.stream.origin().index() as u32);
+        dst.put_u32_le(entry.stream.local_index());
+        match entry.parent {
+            Some(parent) => {
+                dst.put_u8(1);
+                dst.put_u32_le(parent.index() as u32);
+            }
+            None => {
+                dst.put_u8(0);
+                dst.put_u32_le(0);
+            }
+        }
+        dst.put_u32_le(entry.children.len() as u32);
+        for child in &entry.children {
+            dst.put_u32_le(child.index() as u32);
+        }
+    }
+}
+
+/// Decodes the [`SitePlan`] body of a `Reconfigure`.
+fn decode_site_plan(body: &mut BytesMut) -> Result<SitePlan, WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let site = SiteId::new(body.get_u32_le());
+    let entry_count = body.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(entry_count.min(1024));
+    for _ in 0..entry_count {
+        if body.len() < 4 + 4 + 1 + 4 + 4 {
+            return Err(WireError::Truncated);
+        }
+        let origin = SiteId::new(body.get_u32_le());
+        let local = body.get_u32_le();
+        let has_parent = body.get_u8() != 0;
+        let parent_raw = body.get_u32_le();
+        let parent = has_parent.then(|| SiteId::new(parent_raw));
+        let child_count = body.get_u32_le() as usize;
+        if body.len() < 4 * child_count {
+            return Err(WireError::Truncated);
+        }
+        let mut children = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            children.push(SiteId::new(body.get_u32_le()));
+        }
+        entries.push(ForwardingEntry {
+            stream: StreamId::new(origin, local),
+            parent,
+            children,
+        });
+    }
+    Ok(SitePlan { site, entries })
 }
 
 /// Attempts to decode one complete message from the front of `src`.
@@ -173,6 +287,25 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
             }))
         }
         TAG_BYE => Ok(Some(Message::Bye)),
+        TAG_RECONFIGURE => {
+            if body.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            let revision = body.get_u64_le();
+            let site_plan = decode_site_plan(&mut body)?;
+            Ok(Some(Message::Reconfigure {
+                revision,
+                site_plan,
+            }))
+        }
+        TAG_ACK => {
+            if body.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(Message::Ack {
+                revision: body.get_u64_le(),
+            }))
+        }
         TAG_END => {
             if body.len() < 8 {
                 return Err(WireError::Truncated);
@@ -216,6 +349,74 @@ mod tests {
         roundtrip(Message::End {
             stream: StreamId::new(SiteId::new(3), 11),
         });
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        roundtrip(Message::Ack {
+            revision: u64::MAX - 3,
+        });
+    }
+
+    #[test]
+    fn reconfigure_roundtrip() {
+        roundtrip(Message::Reconfigure {
+            revision: 17,
+            site_plan: SitePlan {
+                site: SiteId::new(2),
+                entries: vec![
+                    ForwardingEntry {
+                        stream: StreamId::new(SiteId::new(0), 1),
+                        parent: Some(SiteId::new(0)),
+                        children: vec![SiteId::new(1), SiteId::new(3)],
+                    },
+                    ForwardingEntry {
+                        stream: StreamId::new(SiteId::new(2), 0),
+                        parent: None,
+                        children: vec![SiteId::new(0)],
+                    },
+                ],
+            },
+        });
+    }
+
+    #[test]
+    fn empty_table_reconfigure_roundtrip() {
+        roundtrip(Message::Reconfigure {
+            revision: 0,
+            site_plan: SitePlan {
+                site: SiteId::new(9),
+                entries: Vec::new(),
+            },
+        });
+    }
+
+    #[test]
+    fn truncated_reconfigure_child_list_is_rejected() {
+        let mut buf = BytesMut::new();
+        // Revision + site + one entry claiming two children but carrying
+        // none.
+        let body_len = 1 + 8 + 4 + 4 + (4 + 4 + 1 + 4 + 4);
+        buf.put_u32_le(body_len as u32);
+        buf.put_u8(TAG_RECONFIGURE);
+        buf.put_u64_le(3); // revision
+        buf.put_u32_le(1); // site
+        buf.put_u32_le(1); // entry count
+        buf.put_u32_le(0); // stream origin
+        buf.put_u32_le(0); // stream local
+        buf.put_u8(1); // has parent
+        buf.put_u32_le(0); // parent
+        buf.put_u32_le(2); // two children claimed, zero present
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncated_ack_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(5);
+        buf.put_u8(TAG_ACK);
+        buf.put_u32_le(0); // u64 revision missing its upper half
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
     }
 
     #[test]

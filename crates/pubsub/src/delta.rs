@@ -85,8 +85,9 @@ impl std::error::Error for DeltaError {}
 /// let before =
 ///     DisseminationPlan::from_forest(&problem, &manager.forest_snapshot(), profile);
 /// manager.subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))?;
-/// let after =
+/// let mut after =
 ///     DisseminationPlan::from_forest(&problem, &manager.forest_snapshot(), profile);
+/// after.set_revision(before.revision() + 1);
 ///
 /// let delta = PlanDelta::diff(&before, &after);
 /// assert!(!delta.is_empty());
@@ -98,10 +99,19 @@ impl std::error::Error for DeltaError {}
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlanDelta {
     changes: Vec<EntryChange>,
+    /// The plan revision this delta was diffed against.
+    from_revision: u64,
+    /// The revision a plan reaches once this delta is applied.
+    to_revision: u64,
 }
 
 impl PlanDelta {
     /// Computes the entry-level diff turning `old` into `new`.
+    ///
+    /// The delta is tagged with revisions: it applies *from* `old`'s
+    /// revision and advances *to* `new`'s revision, or to `old`'s
+    /// revision + 1 when the caller never stamped `new` (fresh plans all
+    /// start at revision 0).
     ///
     /// # Panics
     ///
@@ -113,6 +123,8 @@ impl PlanDelta {
             new.site_count(),
             "plan revisions must cover the same sites"
         );
+        let from_revision = old.revision();
+        let to_revision = new.revision().max(from_revision + 1);
         let mut changes = Vec::new();
         for (old_sp, new_sp) in old.site_plans().iter().zip(new.site_plans()) {
             let streams: BTreeSet<StreamId> = old_sp
@@ -134,12 +146,26 @@ impl PlanDelta {
                 }
             }
         }
-        PlanDelta { changes }
+        PlanDelta {
+            changes,
+            from_revision,
+            to_revision,
+        }
     }
 
     /// Returns the changes, ordered by site then stream.
     pub fn changes(&self) -> &[EntryChange] {
         &self.changes
+    }
+
+    /// Returns the plan revision this delta was produced against.
+    pub fn from_revision(&self) -> u64 {
+        self.from_revision
+    }
+
+    /// Returns the revision a plan reaches once this delta is applied.
+    pub fn to_revision(&self) -> u64 {
+        self.to_revision
     }
 
     /// Returns the number of changed entries.
@@ -188,11 +214,15 @@ impl PlanDelta {
         edges
     }
 
-    /// Applies the delta to `plan` in place.
+    /// Applies the delta to `plan` in place, advancing the plan's
+    /// revision to [`to_revision`](Self::to_revision) on success.
     ///
     /// Every change is validated against the plan's current entry first,
     /// so a stale delta (produced against a different revision) is
-    /// rejected before anything is mutated.
+    /// rejected before anything is mutated. The entry-level check is
+    /// authoritative; the revision tags are control-plane metadata that
+    /// live executors (the TCP cluster) additionally enforce before
+    /// pushing a delta at running rendezvous points.
     ///
     /// # Errors
     ///
@@ -223,7 +253,40 @@ impl PlanDelta {
                 }
             }
         }
+        // Revisions only ever advance: a replayed old delta that passes
+        // the entry-level validation vacuously (e.g. an empty quiet-epoch
+        // delta) must not rewind a newer plan.
+        if self.to_revision > plan.revision() {
+            plan.set_revision(self.to_revision);
+        }
         Ok(())
+    }
+}
+
+/// An executor that plan deltas can be pushed into as they are produced:
+/// the delta-aware simulator, the live TCP cluster, or a test recorder.
+///
+/// The session runtime's epoch driver
+/// (`teeve_runtime::SessionRuntime::drive_epochs`) is generic over this
+/// trait, so the same churn trace can exercise any executor.
+pub trait DeltaSink {
+    /// Error the executor produces when a delta cannot be applied.
+    type Error;
+
+    /// Applies one plan delta to the running executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the executor's error when the delta does not apply (stale
+    /// revision, dead links, …).
+    fn apply_delta(&mut self, delta: &PlanDelta) -> Result<(), Self::Error>;
+}
+
+impl DeltaSink for DisseminationPlan {
+    type Error = DeltaError;
+
+    fn apply_delta(&mut self, delta: &PlanDelta) -> Result<(), Self::Error> {
+        delta.apply(self)
     }
 }
 
@@ -282,13 +345,17 @@ mod tests {
         m.subscribe(site(1), stream(0, 0)).unwrap();
         m.subscribe(site(2), stream(0, 0)).unwrap();
         m.subscribe(site(2), stream(1, 0)).unwrap();
-        let after = plan_of(&p, &m);
+        let mut after = plan_of(&p, &m);
+        after.set_revision(before.revision() + 1);
 
         let delta = PlanDelta::diff(&before, &after);
         assert!(!delta.is_empty());
+        assert_eq!(delta.from_revision(), before.revision());
+        assert_eq!(delta.to_revision(), after.revision());
         let mut patched = before.clone();
         delta.apply(&mut patched).unwrap();
         assert_eq!(patched, after);
+        assert_eq!(patched.revision(), delta.to_revision());
     }
 
     #[test]
@@ -299,12 +366,49 @@ mod tests {
         m.subscribe(site(2), stream(0, 0)).unwrap();
         let before = plan_of(&p, &m);
         m.unsubscribe(site(1), stream(0, 0)).unwrap();
-        let after = plan_of(&p, &m);
+        let mut after = plan_of(&p, &m);
+        after.set_revision(before.revision() + 1);
 
         let delta = PlanDelta::diff(&before, &after);
         let mut patched = before.clone();
         delta.apply(&mut patched).unwrap();
         assert_eq!(patched, after);
+    }
+
+    #[test]
+    fn stale_empty_deltas_never_rewind_the_revision() {
+        // An empty delta passes entry validation vacuously whatever its
+        // revisions; a plan already past its target must stay put.
+        let p = problem();
+        let m = OverlayManager::new(&p);
+        let mut plan = plan_of(&p, &m);
+        plan.set_revision(99);
+        PlanDelta::default().apply(&mut plan).unwrap();
+        assert_eq!(plan.revision(), 99, "to_revision 0 must not rewind");
+        let mut old = plan_of(&p, &m);
+        old.set_revision(3);
+        let quiet = PlanDelta::diff(&old, &old);
+        assert_eq!(quiet.to_revision(), 4);
+        quiet.apply(&mut plan).unwrap();
+        assert_eq!(plan.revision(), 99, "old quiet epochs must not rewind");
+    }
+
+    #[test]
+    fn unstamped_targets_still_advance_one_revision() {
+        // Plans derived outside the runtime are never revision-stamped;
+        // the delta still advances the applied plan by one.
+        let p = problem();
+        let mut m = OverlayManager::new(&p);
+        let before = plan_of(&p, &m);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let after = plan_of(&p, &m);
+        assert_eq!(after.revision(), 0);
+        let delta = PlanDelta::diff(&before, &after);
+        assert_eq!(delta.from_revision(), 0);
+        assert_eq!(delta.to_revision(), 1);
+        let mut patched = before.clone();
+        patched.apply_delta(&delta).unwrap();
+        assert_eq!(patched.revision(), 1);
     }
 
     #[test]

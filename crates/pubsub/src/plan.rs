@@ -99,6 +99,12 @@ pub struct DisseminationPlan {
     costs: teeve_types::CostMatrix,
     cost_bound: CostMs,
     profile: StreamProfile,
+    /// Control-plane revision counter. Freshly derived plans start at 0;
+    /// the session runtime bumps it every epoch, and
+    /// [`PlanDelta::apply`](crate::PlanDelta::apply) advances it to the
+    /// delta's target revision, so executors (the live TCP cluster) can
+    /// refuse deltas produced against a different revision.
+    revision: u64,
 }
 
 impl DisseminationPlan {
@@ -152,7 +158,19 @@ impl DisseminationPlan {
             costs: problem.costs().clone(),
             cost_bound: problem.cost_bound(),
             profile,
+            revision: 0,
         }
+    }
+
+    /// Returns the plan's control-plane revision.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Sets the plan's control-plane revision. Used by the session runtime
+    /// (which bumps the revision every epoch) and by delta application.
+    pub fn set_revision(&mut self, revision: u64) {
+        self.revision = revision;
     }
 
     /// Returns the per-site plans, in site order.

@@ -67,6 +67,6 @@ pub use metrics::{EpochReport, RuntimeReport};
 pub use runtime::{EpochOutcome, RuntimeError, SessionRuntime};
 pub use trace::TraceConfig;
 
-// Re-exported so runtime callers can build the universe without importing
-// teeve-pubsub directly.
-pub use teeve_pubsub::{subscription_universe, PlanDelta};
+// Re-exported so runtime callers can build the universe and implement
+// delta executors without importing teeve-pubsub directly.
+pub use teeve_pubsub::{subscription_universe, DeltaSink, PlanDelta};

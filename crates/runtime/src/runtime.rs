@@ -10,7 +10,7 @@ use teeve_adapt::{
 use teeve_overlay::{
     validate_forest, Forest, InvariantViolation, OverlayManager, ProblemInstance, SubscribeResult,
 };
-use teeve_pubsub::{DisseminationPlan, PlanDelta, Session};
+use teeve_pubsub::{DeltaSink, DisseminationPlan, PlanDelta, Session};
 use teeve_types::{DisplayId, SiteId, StreamId};
 
 use crate::config::RuntimeConfig;
@@ -285,7 +285,11 @@ impl<'p> SessionRuntime<'p> {
         }
         report.max_tree_depth = self.forest_depth();
 
-        let new_plan = self.derive_plan();
+        // Every epoch is one control-plane revision, even a quiet one: the
+        // emitted delta always advances executors from the previous
+        // epoch's revision to this one's.
+        let mut new_plan = self.derive_plan();
+        new_plan.set_revision(self.plan.revision() + 1);
         let delta = PlanDelta::diff(&self.plan, &new_plan);
         report.delta_entries = delta.len();
         report.plan_entries = new_plan
@@ -316,6 +320,32 @@ impl<'p> SessionRuntime<'p> {
             report,
             adaptation,
         }
+    }
+
+    /// Replays a whole trace, pushing every epoch's [`PlanDelta`] into a
+    /// live executor as it is produced: each epoch reconciles the overlay,
+    /// then `sink` applies the delta before the next epoch runs, exactly
+    /// how the membership server dictates reconfigurations to running
+    /// rendezvous points.
+    ///
+    /// Returns every epoch's outcome, in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at — and returns — the first delta the executor rejects; the
+    /// runtime itself has already advanced past that epoch.
+    pub fn drive_epochs<S: DeltaSink>(
+        &mut self,
+        trace: &[Vec<RuntimeEvent>],
+        sink: &mut S,
+    ) -> Result<Vec<EpochOutcome>, S::Error> {
+        let mut outcomes = Vec::with_capacity(trace.len());
+        for events in trace {
+            let outcome = self.apply_epoch(events);
+            sink.apply_delta(&outcome.delta)?;
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
     }
 
     /// Applies one event to the session's desired state.
@@ -788,6 +818,64 @@ mod tests {
         assert!(plan.decisions().len() >= 2);
         // Sites without samples have no plan.
         assert!(!outcome.adaptation.contains_key(&site(3)));
+    }
+
+    #[test]
+    fn epochs_advance_the_plan_revision_monotonically() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        assert_eq!(rt.plan().revision(), 0);
+        let first = rt.apply_epoch(&[viewpoint(0, 0, 2)]);
+        assert_eq!(first.delta.from_revision(), 0);
+        assert_eq!(first.delta.to_revision(), 1);
+        assert_eq!(rt.plan().revision(), 1);
+        // Quiet epochs are still revisions: executors stay in lock-step.
+        let quiet = rt.apply_epoch(&[]);
+        assert!(quiet.delta.is_empty());
+        assert_eq!(quiet.delta.from_revision(), 1);
+        assert_eq!(quiet.delta.to_revision(), 2);
+        assert_eq!(rt.plan().revision(), 2);
+    }
+
+    #[test]
+    fn drive_epochs_pushes_every_delta_into_the_sink() {
+        // A plain DisseminationPlan is itself a sink; driving it must keep
+        // it identical to the runtime's own plan after every trace.
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut shadow = rt.plan().clone();
+        let trace = vec![
+            vec![viewpoint(0, 0, 2), viewpoint(1, 0, 3)],
+            vec![RuntimeEvent::SiteLeave { site: site(2) }],
+            vec![],
+            vec![RuntimeEvent::SiteJoin { site: site(2) }],
+        ];
+        let outcomes = rt.drive_epochs(&trace, &mut shadow).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(&shadow, rt.plan());
+        assert_eq!(shadow.revision(), 4);
+    }
+
+    #[test]
+    fn drive_epochs_surfaces_the_first_sink_error() {
+        struct Rejecting;
+        impl teeve_pubsub::DeltaSink for Rejecting {
+            type Error = &'static str;
+            fn apply_delta(&mut self, _: &PlanDelta) -> Result<(), Self::Error> {
+                Err("no thanks")
+            }
+        }
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let err = rt
+            .drive_epochs(&[vec![viewpoint(0, 0, 2)]], &mut Rejecting)
+            .unwrap_err();
+        assert_eq!(err, "no thanks");
+        // The runtime itself advanced past the rejected epoch.
+        assert_eq!(rt.epoch(), 1);
     }
 
     #[test]

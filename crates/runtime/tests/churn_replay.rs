@@ -64,11 +64,14 @@ fn replayed_trace_validates_every_epoch_and_deltas_match_rebuilds() {
             .delta
             .apply(&mut shadow)
             .unwrap_or_else(|e| panic!("epoch {i}: delta failed to apply: {e}"));
-        let rebuilt = DisseminationPlan::from_forest(
+        let mut rebuilt = DisseminationPlan::from_forest(
             runtime.universe(),
             &runtime.forest_snapshot(),
             runtime.session().profile(),
         );
+        // Freshly derived plans carry revision 0; the comparison is about
+        // forwarding state, so stamp the rebuild with the epoch revision.
+        rebuilt.set_revision(shadow.revision());
         assert_eq!(shadow, rebuilt, "epoch {i}: delta application diverged");
         assert_eq!(&shadow, runtime.plan(), "epoch {i}: runtime plan diverged");
 

@@ -220,6 +220,82 @@ proptest! {
         }
     }
 
+    /// `link_changes` partitions the site-level connection consequences
+    /// of any delta exactly: what it establishes is new, what it closes is
+    /// gone, and established ∪ retained is precisely the after-state.
+    #[test]
+    fn link_changes_partition_the_connection_graph(
+        n in 3usize..7,
+        capacity in 1u32..8,
+        edges in proptest::collection::vec((0u8..7, 0u8..7, 0u8..4), 1..60),
+        ops in proptest::collection::vec((proptest::bool::ANY, 0usize..64), 0..40),
+        split in 0usize..40,
+        cost_seed in 0u8..255,
+    ) {
+        use std::collections::BTreeSet;
+        use teeve::net::link_changes;
+        use teeve::overlay::OverlayManager;
+        use teeve::pubsub::PlanDelta;
+
+        let Some(problem) = arbitrary_problem(n, capacity, 30, &edges, cost_seed) else {
+            return Ok(());
+        };
+        let requests: Vec<_> = problem
+            .requests()
+            .map(|r| (r.subscriber, r.stream))
+            .collect();
+        if requests.is_empty() {
+            return Ok(());
+        }
+        let mut manager = OverlayManager::new(&problem);
+        let run = |manager: &mut OverlayManager<'_>, ops: &[(bool, usize)]| {
+            for &(join, pick) in ops {
+                let (sub, stream) = requests[pick % requests.len()];
+                if join {
+                    let _ = manager.subscribe(sub, stream);
+                } else {
+                    let _ = manager.unsubscribe(sub, stream);
+                }
+            }
+        };
+        let split = split.min(ops.len());
+        run(&mut manager, &ops[..split]);
+        let before = DisseminationPlan::from_forest(
+            &problem, &manager.forest_snapshot(), StreamProfile::default());
+        run(&mut manager, &ops[split..]);
+        let after = DisseminationPlan::from_forest(
+            &problem, &manager.forest_snapshot(), StreamProfile::default());
+
+        let pairs = |plan: &DisseminationPlan| -> BTreeSet<(SiteId, SiteId)> {
+            plan.edges().map(|(p, c, _)| (p, c)).collect()
+        };
+        let before_pairs = pairs(&before);
+        let after_pairs = pairs(&after);
+
+        let delta = PlanDelta::diff(&before, &after);
+        let changes = link_changes(&before, &delta).expect("delta matches before");
+        let established: BTreeSet<_> = changes.established.iter().copied().collect();
+        let closed: BTreeSet<_> = changes.closed.iter().copied().collect();
+        let retained: BTreeSet<_> = changes.retained.iter().copied().collect();
+
+        // established ∪ retained == after-pairs.
+        let after_rebuilt: BTreeSet<_> = established.union(&retained).copied().collect();
+        prop_assert_eq!(&after_rebuilt, &after_pairs);
+        // closed ∪ retained == before-pairs.
+        let before_rebuilt: BTreeSet<_> = closed.union(&retained).copied().collect();
+        prop_assert_eq!(&before_rebuilt, &before_pairs);
+        // established ∩ before == ∅ — never "open" a live connection.
+        prop_assert!(established.is_disjoint(&before_pairs));
+        // closed ∩ after == ∅ — never close a connection still in use.
+        prop_assert!(closed.is_disjoint(&after_pairs));
+        // The three classes never overlap.
+        prop_assert!(established.is_disjoint(&closed));
+        prop_assert!(established.is_disjoint(&retained));
+        prop_assert!(closed.is_disjoint(&retained));
+        // Socket-free means exactly: the connection graph is unchanged.
+        prop_assert_eq!(changes.is_socket_free(), before_pairs == after_pairs);
+    }
+
     /// Cost matrices sampled from the backbone are metric and symmetric.
     #[test]
     fn backbone_sessions_are_metric(n in 3usize..12, seed in 0u64..200) {
