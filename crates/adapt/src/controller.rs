@@ -1,7 +1,7 @@
 //! The adaptation controller: fit a set of prioritized streams into a
 //! bandwidth budget by graceful degradation.
 //!
-//! This is the session-layer policy of the paper's reference [27] (the
+//! This is the session-layer policy of the paper's reference \[27\] (the
 //! TEEVE multi-stream adaptation framework): streams carry a *contribution
 //! score* (how much they matter to the local field of view — the same
 //! score the FOV subscription framework computes), and when the estimated

@@ -3,7 +3,7 @@
 //! The paper's dissemination model decides *which* streams cross the
 //! overlay; this crate decides *at what quality* each admitted stream is
 //! served when the receiving site's measured bandwidth falls short — the
-//! session-layer adaptation framework of the paper's reference [27]
+//! session-layer adaptation framework of the paper's reference \[27\]
 //! (Yang et al., NOSSDAV '06), rebuilt on the same FOV contribution
 //! scores the subscription framework produces:
 //!

@@ -36,7 +36,7 @@ fn universe() -> ProblemInstance {
         .unwrap()
 }
 
-fn plan_of(problem: &ProblemInstance, manager: &OverlayManager<'_>) -> DisseminationPlan {
+fn plan_of(problem: &ProblemInstance, manager: &OverlayManager) -> DisseminationPlan {
     DisseminationPlan::from_forest(
         problem,
         &manager.forest_snapshot(),
@@ -56,7 +56,7 @@ fn bench_live_reconfigure(c: &mut Criterion) {
     let problem = universe();
 
     // Base plan: site 1 takes stream 0.0 over the 0 → 1 link.
-    let mut manager = OverlayManager::new(&problem);
+    let mut manager = OverlayManager::new(problem.clone());
     manager.subscribe(site(1), stream(0, 0)).unwrap();
     let base = plan_of(&problem, &manager);
 

@@ -1,0 +1,125 @@
+//! Multi-session service throughput: sessions driven per second by
+//! `MembershipService::drive_all` as the registry's shard count grows.
+//!
+//! One bulk pass advances every hosted session one churn epoch; shards
+//! reconcile in parallel worker threads, so throughput should scale with
+//! the shard count until the machine's parallelism saturates (one shard
+//! serializes everything — the single-session membership server's
+//! degenerate case).
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_pubsub::Session;
+use teeve_runtime::{RuntimeEvent, TraceConfig};
+use teeve_service::{MembershipService, SessionHandle, SessionSpec};
+use teeve_types::{CostMatrix, CostMs, Degree};
+
+const SESSIONS: usize = 32;
+const SITES: usize = 12;
+const TRACE_EPOCHS: usize = 64;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn session(index: usize) -> Session {
+    let costs = CostMatrix::from_fn(SITES, |i, j| {
+        CostMs::new(3 + ((i * 31 + j * 17 + index * 7) % 9) as u32)
+    });
+    Session::builder(costs)
+        .cameras_per_site(6)
+        .displays_per_site(2)
+        .symmetric_capacity(Degree::new(10))
+        .build()
+}
+
+/// Per-session churn traces, generated once and replayed cyclically.
+fn traces() -> Vec<Vec<Vec<RuntimeEvent>>> {
+    let config = TraceConfig {
+        epochs: TRACE_EPOCHS,
+        events_per_epoch: 3,
+        ..TraceConfig::default()
+    };
+    (0..SESSIONS)
+        .map(|i| config.generate(SITES, 2, &mut ChaCha8Rng::seed_from_u64(7 + i as u64)))
+        .collect()
+}
+
+fn build_service(shards: usize) -> (MembershipService, Vec<SessionHandle>) {
+    let service = MembershipService::with_shards(shards);
+    let handles = (0..SESSIONS)
+        .map(|i| {
+            service
+                .create_session(SessionSpec::new(session(i)))
+                .expect("specs are valid")
+        })
+        .collect();
+    (service, handles)
+}
+
+/// One measured round: queue every session's next trace epoch, then one
+/// bulk `drive_all` pass. Returns sessions driven.
+fn drive_round(
+    service: &MembershipService,
+    handles: &[SessionHandle],
+    traces: &[Vec<Vec<RuntimeEvent>>],
+    round: usize,
+) -> usize {
+    for (handle, trace) in handles.iter().zip(traces) {
+        handle
+            .submit_requests(trace[round % trace.len()].clone())
+            .expect("session is hosted");
+    }
+    service.drive_all().sessions
+}
+
+fn bench_multi_session(c: &mut Criterion) {
+    let traces = traces();
+    println!(
+        "multi_session: {SESSIONS} sessions x {SITES} sites, \
+         {} worker threads available",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut group = c.benchmark_group("multi_session_drive_all");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let (service, handles) = build_service(shards);
+        let round = Cell::new(0usize);
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                let r = round.get();
+                round.set(r + 1);
+                std::hint::black_box(drive_round(&service, &handles, &traces, r))
+            })
+        });
+    }
+    group.finish();
+
+    // The headline number, measured directly: sessions driven per second
+    // at each shard count over the same workload.
+    let mut single_shard = f64::NAN;
+    for shards in SHARD_COUNTS {
+        let (service, handles) = build_service(shards);
+        let rounds = 24;
+        let timer = std::time::Instant::now();
+        let mut driven = 0usize;
+        for round in 0..rounds {
+            driven += drive_round(&service, &handles, &traces, round);
+        }
+        let elapsed = timer.elapsed();
+        assert_eq!(driven, SESSIONS * rounds, "every session drove every round");
+        let per_sec = driven as f64 / elapsed.as_secs_f64();
+        if shards == 1 {
+            single_shard = per_sec;
+        }
+        println!(
+            "drive_all with {shards} shard(s): {per_sec:.0} sessions/sec \
+             ({:.2}x vs 1 shard)",
+            per_sec / single_shard,
+        );
+    }
+}
+
+criterion_group!(benches, bench_multi_session);
+criterion_main!(benches);

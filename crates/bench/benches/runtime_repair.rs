@@ -4,6 +4,8 @@
 //! static model applied naively to a live session), on a 64-site session
 //! under a Zipf subscription workload with toggling churn.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -45,8 +47,8 @@ fn churn_trace(problem: &ProblemInstance) -> Vec<(SiteId, StreamId)> {
 }
 
 /// Seeds a manager with every request subscribed.
-fn seeded_manager(problem: &ProblemInstance) -> OverlayManager<'_> {
-    let mut manager = OverlayManager::new(problem);
+fn seeded_manager(problem: &Arc<ProblemInstance>) -> OverlayManager {
+    let mut manager = OverlayManager::new(Arc::clone(problem));
     for (site, stream) in problem.requests().map(|r| (r.subscriber, r.stream)) {
         let _ = manager.subscribe(site, stream);
     }
@@ -54,7 +56,7 @@ fn seeded_manager(problem: &ProblemInstance) -> OverlayManager<'_> {
 }
 
 /// One full churn replay via incremental repair.
-fn run_incremental(seed: &OverlayManager<'_>, trace: &[(SiteId, StreamId)]) -> usize {
+fn run_incremental(seed: &OverlayManager, trace: &[(SiteId, StreamId)]) -> usize {
     let mut manager = seed.clone();
     let mut toggled_off: std::collections::BTreeSet<(SiteId, StreamId)> =
         std::collections::BTreeSet::new();
@@ -72,7 +74,7 @@ fn run_incremental(seed: &OverlayManager<'_>, trace: &[(SiteId, StreamId)]) -> u
 }
 
 /// One full churn replay rebuilding the forest from scratch per event.
-fn run_full_reconstruction(problem: &ProblemInstance, trace: &[(SiteId, StreamId)]) -> usize {
+fn run_full_reconstruction(problem: &Arc<ProblemInstance>, trace: &[(SiteId, StreamId)]) -> usize {
     let mut active: std::collections::BTreeSet<(SiteId, StreamId)> = problem
         .requests()
         .map(|r| (r.subscriber, r.stream))
@@ -82,7 +84,7 @@ fn run_full_reconstruction(problem: &ProblemInstance, trace: &[(SiteId, StreamId
         if !active.remove(&(site, stream)) {
             active.insert((site, stream));
         }
-        let mut manager = OverlayManager::new(problem);
+        let mut manager = OverlayManager::new(Arc::clone(problem));
         for &(s, st) in &active {
             let _ = manager.subscribe(s, st);
         }
@@ -92,7 +94,7 @@ fn run_full_reconstruction(problem: &ProblemInstance, trace: &[(SiteId, StreamId
 }
 
 fn bench_runtime_repair(c: &mut Criterion) {
-    let problem = zipf_session();
+    let problem = Arc::new(zipf_session());
     let trace = churn_trace(&problem);
     let seed = seeded_manager(&problem);
     println!(

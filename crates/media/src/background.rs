@@ -1,4 +1,4 @@
-//! Background subtraction (the paper's reference [11]): keep only pixels
+//! Background subtraction (the paper's reference \[11\]): keep only pixels
 //! whose depth says "person", drop the open background.
 //!
 //! The output is a sparse [`ForegroundFrame`]: explicit `(x, y, color,

@@ -2,8 +2,8 @@
 //!
 //! The paper's bandwidth story (Section 1) starts from a raw 3D stream of
 //! `640 × 480 × 15 fps × 5 B/pixel ≈ 180 Mbps` and relies on a chain of
-//! reduction techniques — background subtraction [11], resolution
-//! reduction, and real-time 3D compression [13, 14, 25] — to reach the
+//! reduction techniques — background subtraction \[11\], resolution
+//! reduction, and real-time 3D compression \[13, 14, 25\] — to reach the
 //! 5–10 Mbps per stream its evaluation assumes. This crate implements that
 //! chain end to end on synthetic captures (substitution S2 in DESIGN.md:
 //! no camera hardware, same code paths):

@@ -95,7 +95,7 @@ mod tests {
             .unwrap()
     }
 
-    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager<'_>) -> DisseminationPlan {
+    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager) -> DisseminationPlan {
         DisseminationPlan::from_forest(
             problem,
             &manager.forest_snapshot(),
@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn first_stream_on_a_pair_establishes_the_link() {
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let before = plan_of(&p, &m);
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let delta = teeve_pubsub::PlanDelta::diff(&before, &plan_of(&p, &m));
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn second_stream_on_a_pair_is_socket_free() {
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let before = plan_of(&p, &m);
         m.subscribe(site(1), stream(0, 1)).unwrap();
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn last_stream_leaving_a_pair_closes_the_link() {
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(1), stream(0, 0)).unwrap();
         m.subscribe(site(2), stream(0, 0)).unwrap();
         let before = plan_of(&p, &m);
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn stale_deltas_propagate_the_error() {
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let empty = plan_of(&p, &m);
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let one = plan_of(&p, &m);

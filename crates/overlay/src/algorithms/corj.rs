@@ -67,8 +67,8 @@ impl ConstructionAlgorithm for CorrelatedRandomJoin {
 /// Attempts the CO-RJ victim swap for a saturated request. Returns true if
 /// a swap was performed (the requester now receives the target stream and
 /// has given up a less critical one).
-pub(crate) fn try_swap(
-    state: &mut ForestState<'_>,
+pub(crate) fn try_swap<P: std::borrow::Borrow<ProblemInstance>>(
+    state: &mut ForestState<P>,
     target_group: usize,
     requester: SiteId,
 ) -> bool {

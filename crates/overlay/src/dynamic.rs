@@ -18,6 +18,7 @@
 //! point with [`validate_forest`](crate::validate_forest).
 
 use std::fmt;
+use std::sync::Arc;
 
 use teeve_types::{SiteId, StreamId};
 
@@ -95,6 +96,13 @@ pub struct UnsubscribeResult {
 
 /// Maintains a dissemination forest under subscription churn.
 ///
+/// The manager *owns* its subscription universe behind an
+/// [`Arc<ProblemInstance>`]: unlike the static construction algorithms
+/// (which borrow a problem for the duration of one `construct` call), an
+/// overlay manager lives as long as its session does, and a multi-session
+/// service holds many of them in one registry — none of which a borrow
+/// lifetime would permit.
+///
 /// # Examples
 ///
 /// ```
@@ -109,7 +117,7 @@ pub struct UnsubscribeResult {
 ///     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
 ///     .build()?;
 ///
-/// let mut manager = OverlayManager::new(&problem);
+/// let mut manager = OverlayManager::new(problem);
 /// let s = StreamId::new(SiteId::new(0), 0);
 /// assert!(matches!(
 ///     manager.subscribe(SiteId::new(1), s)?,
@@ -120,20 +128,22 @@ pub struct UnsubscribeResult {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct OverlayManager<'p> {
-    state: ForestState<'p>,
+pub struct OverlayManager {
+    state: ForestState<Arc<ProblemInstance>>,
     /// Enable CO-RJ victim swapping on saturated joins.
     correlation_aware: bool,
 }
 
-impl<'p> OverlayManager<'p> {
+impl OverlayManager {
     /// Creates a manager over an empty forest (all trees contain only
     /// their sources). The problem instance declares the subscription
     /// *universe*: which site may subscribe to which stream, and the
-    /// capacities and bound.
-    pub fn new(problem: &'p ProblemInstance) -> Self {
+    /// capacities and bound. Accepts a `ProblemInstance` by value or an
+    /// already-shared `Arc<ProblemInstance>` (callers keeping their own
+    /// handle on the universe pass a clone of the `Arc`).
+    pub fn new(problem: impl Into<Arc<ProblemInstance>>) -> Self {
         OverlayManager {
-            state: ForestState::new(problem),
+            state: ForestState::new(problem.into()),
             correlation_aware: false,
         }
     }
@@ -145,8 +155,13 @@ impl<'p> OverlayManager<'p> {
         self
     }
 
+    /// Returns the shared subscription universe this manager operates over.
+    pub fn problem(&self) -> &ProblemInstance {
+        self.state.problem()
+    }
+
     /// Returns the underlying construction state (degrees, trees).
-    pub fn state(&self) -> &ForestState<'p> {
+    pub fn state(&self) -> &ForestState<Arc<ProblemInstance>> {
         &self.state
     }
 
@@ -318,7 +333,7 @@ mod tests {
     #[test]
     fn subscribe_and_unsubscribe_round_trip() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let s = stream(0, 0);
         assert!(matches!(
             m.subscribe(site(1), s).unwrap(),
@@ -353,7 +368,7 @@ mod tests {
             .subscribe(site(2), stream(0, 0))
             .build()
             .unwrap();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let s = stream(0, 0);
         m.subscribe(site(1), s).unwrap();
         m.subscribe(site(2), s).unwrap();
@@ -391,7 +406,7 @@ mod tests {
             .subscribe(site(3), stream(0, 0))
             .build()
             .unwrap();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let s = stream(0, 0);
         m.subscribe(site(1), s).unwrap();
         m.subscribe(site(2), s).unwrap();
@@ -408,7 +423,7 @@ mod tests {
     #[test]
     fn rejects_foreign_and_own_streams() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         assert_eq!(
             m.subscribe(site(0), stream(0, 0)).unwrap_err(),
             DynamicError::OwnStream {
@@ -435,7 +450,7 @@ mod tests {
     #[test]
     fn unsubscribe_of_non_member_is_a_no_op() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let r = m.unsubscribe(site(1), stream(0, 0)).unwrap();
         assert_eq!(r, UnsubscribeResult::default());
     }
@@ -462,7 +477,7 @@ mod tests {
             .subscribe(site(1), stream(0, 0))
             .build()
             .unwrap();
-        let mut m = OverlayManager::new(&p).with_correlation_swapping();
+        let mut m = OverlayManager::new(p.clone()).with_correlation_swapping();
         // Site 1 takes the source's only slot for the critical stream, so
         // it holds s0.0 and can later serve as the swap parent.
         m.subscribe(site(1), stream(0, 0)).unwrap();
@@ -488,7 +503,7 @@ mod tests {
     #[test]
     fn churn_preserves_invariants() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let streams0 = stream(0, 0);
         for _ in 0..5 {
             for s in [site(1), site(2), site(3)] {

@@ -1,6 +1,8 @@
 //! The basic node join algorithm (paper Section 4.3.1 and Appendix
 //! Algorithm 1) and the mutable forest-construction state it operates on.
 
+use std::borrow::Borrow;
+
 use teeve_types::{CostMs, SiteId};
 
 use crate::forest::{Forest, MulticastTree};
@@ -60,9 +62,16 @@ pub enum JoinPolicy {
 ///   been disseminated to any other node. One slot of out-degree stays
 ///   reserved per such stream so that a whole tree is never unbuildable
 ///   because its source saturated.
+///
+/// `P` is how the state holds its problem instance: static construction
+/// algorithms pass `&ProblemInstance` (zero-copy, scoped to one
+/// `construct` call), while long-lived owners (the incremental
+/// [`OverlayManager`](crate::OverlayManager), and through it the session
+/// runtime and multi-session service) use `Arc<ProblemInstance>` so the
+/// state carries its universe without a borrow lifetime.
 #[derive(Debug, Clone)]
-pub struct ForestState<'p> {
-    problem: &'p ProblemInstance,
+pub struct ForestState<P: Borrow<ProblemInstance>> {
+    problem: P,
     trees: Vec<MulticastTree>,
     din: Vec<u32>,
     dout: Vec<u32>,
@@ -70,14 +79,14 @@ pub struct ForestState<'p> {
     reservation_enabled: bool,
 }
 
-impl<'p> ForestState<'p> {
+impl<P: Borrow<ProblemInstance>> ForestState<P> {
     /// Initializes the state: every tree contains just its source, degrees
     /// are zero, and `m̂_i` equals the number of subscribed streams
     /// originating at `RP_i`.
-    pub fn new(problem: &'p ProblemInstance) -> Self {
-        let n = problem.site_count();
+    pub fn new(problem: P) -> Self {
+        let n = problem.borrow().site_count();
         let mhat = (0..n as u32)
-            .map(|i| problem.subscribed_local_streams(SiteId::new(i)))
+            .map(|i| problem.borrow().subscribed_local_streams(SiteId::new(i)))
             .collect();
         Self::with_initial_mhat(problem, mhat, true)
     }
@@ -88,18 +97,15 @@ impl<'p> ForestState<'p> {
     /// This exists for the ablation study of the paper's reservation
     /// mechanism: without it, sources can spend their whole out-degree on
     /// early trees and later trees may be unbuildable.
-    pub fn new_without_reservation(problem: &'p ProblemInstance) -> Self {
-        let n = problem.site_count();
+    pub fn new_without_reservation(problem: P) -> Self {
+        let n = problem.borrow().site_count();
         Self::with_initial_mhat(problem, vec![0; n], false)
     }
 
-    fn with_initial_mhat(
-        problem: &'p ProblemInstance,
-        mhat: Vec<u32>,
-        reservation_enabled: bool,
-    ) -> Self {
-        let n = problem.site_count();
+    fn with_initial_mhat(problem: P, mhat: Vec<u32>, reservation_enabled: bool) -> Self {
+        let n = problem.borrow().site_count();
         let trees = problem
+            .borrow()
             .groups()
             .iter()
             .map(|g| MulticastTree::new(g.stream(), n))
@@ -115,8 +121,8 @@ impl<'p> ForestState<'p> {
     }
 
     /// Returns the problem being solved.
-    pub fn problem(&self) -> &'p ProblemInstance {
-        self.problem
+    pub fn problem(&self) -> &ProblemInstance {
+        self.problem.borrow()
     }
 
     /// Returns the current actual in-degree of `site`.
@@ -139,7 +145,7 @@ impl<'p> ForestState<'p> {
     /// when a node's reservations exceed its free slots.
     pub fn remaining_forwarding_capacity(&self, site: SiteId) -> i64 {
         let i = site.index();
-        i64::from(self.problem.capacity(site).outbound.count())
+        i64::from(self.problem().capacity(site).outbound.count())
             - i64::from(self.dout[i])
             - i64::from(self.mhat[i])
     }
@@ -218,14 +224,14 @@ impl<'p> ForestState<'p> {
             "requester {requester} already in tree for {}",
             tree.stream()
         );
-        let cap = self.problem.capacity(requester);
+        let cap = self.problem().capacity(requester);
         if self.din[requester.index()] >= cap.inbound.count() {
             return JoinOutcome::RejectedInbound;
         }
 
         let source = tree.source();
-        let bound = self.problem.cost_bound();
-        let n = self.problem.site_count();
+        let bound = self.problem().cost_bound();
+        let n = self.problem().site_count();
 
         // (score, Reverse(edge cost), Reverse(site id)) maximization over
         // candidates with strictly positive remaining forwarding capacity.
@@ -241,11 +247,11 @@ impl<'p> ForestState<'p> {
             if !tree.is_member(k) {
                 continue;
             }
-            let outbound = self.problem.capacity(k).outbound.count();
+            let outbound = self.problem().capacity(k).outbound.count();
             if self.dout[k.index()] >= outbound {
                 continue;
             }
-            let edge = self.problem.cost(k, requester);
+            let edge = self.problem().cost(k, requester);
             let path = tree
                 .cost_from_source(k)
                 .expect("members have a cost")

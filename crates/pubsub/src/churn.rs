@@ -171,9 +171,9 @@ pub fn run_churn(
 ) -> Result<(ChurnReport, teeve_overlay::Forest), ChurnError> {
     let universe = subscription_universe(session)?;
     let mut manager = if correlation_aware {
-        OverlayManager::new(&universe).with_correlation_swapping()
+        OverlayManager::new(universe).with_correlation_swapping()
     } else {
-        OverlayManager::new(&universe)
+        OverlayManager::new(universe)
     };
     let mut report = ChurnReport::default();
 

@@ -7,11 +7,11 @@
 //! discrete-event simulator, the live TCP cluster) can repair their
 //! forwarding state in place and keep every unaffected link running.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use teeve_types::{SiteId, StreamId};
+use teeve_types::{SessionId, SiteId, StreamId};
 
 use crate::plan::{DisseminationPlan, ForwardingEntry};
 
@@ -46,6 +46,14 @@ pub enum DeltaError {
         /// The stream whose entry mismatched.
         stream: StreamId,
     },
+    /// The delta and the plan belong to different hosted sessions: a
+    /// multi-session executor was handed another session's delta.
+    ScopeMismatch {
+        /// The session the delta is scoped to, if any.
+        delta: Option<SessionId>,
+        /// The session the plan is scoped to, if any.
+        plan: Option<SessionId>,
+    },
 }
 
 impl fmt::Display for DeltaError {
@@ -56,6 +64,17 @@ impl fmt::Display for DeltaError {
             }
             DeltaError::StaleEntry { site, stream } => {
                 write!(f, "delta is stale at {site} for {stream}")
+            }
+            DeltaError::ScopeMismatch { delta, plan } => {
+                let name = |s: &Option<SessionId>| {
+                    s.map_or_else(|| "unscoped".to_string(), |id| id.to_string())
+                };
+                write!(
+                    f,
+                    "delta for {} cannot apply to a plan of {}",
+                    name(delta),
+                    name(plan)
+                )
             }
         }
     }
@@ -80,7 +99,7 @@ impl std::error::Error for DeltaError {}
 ///     .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
 ///     .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
 ///     .build()?;
-/// let mut manager = OverlayManager::new(&problem);
+/// let mut manager = OverlayManager::new(problem.clone());
 /// let profile = StreamProfile::default();
 /// let before =
 ///     DisseminationPlan::from_forest(&problem, &manager.forest_snapshot(), profile);
@@ -103,6 +122,10 @@ pub struct PlanDelta {
     from_revision: u64,
     /// The revision a plan reaches once this delta is applied.
     to_revision: u64,
+    /// The hosted session both plan revisions belong to, inherited from
+    /// the diffed plans. Deltas of different sessions never apply to each
+    /// other's forwarding state; a [`DeltaRouter`] dispatches on this tag.
+    scope: Option<SessionId>,
 }
 
 impl PlanDelta {
@@ -115,14 +138,23 @@ impl PlanDelta {
     ///
     /// # Panics
     ///
-    /// Panics if the plans cover different site counts (deltas only make
-    /// sense between revisions of one session).
+    /// Panics if the plans cover different site counts, or if their
+    /// session scopes disagree — different scopes, or one scoped and one
+    /// not (deltas only make sense between revisions of one session, and
+    /// a half-stamped pair means a plan missed its stamp; silently
+    /// minting a scoped delta from it would defeat the scope checks).
     pub fn diff(old: &DisseminationPlan, new: &DisseminationPlan) -> PlanDelta {
         assert_eq!(
             old.site_count(),
             new.site_count(),
             "plan revisions must cover the same sites"
         );
+        assert_eq!(
+            old.scope(),
+            new.scope(),
+            "plan revisions must belong to the same session"
+        );
+        let scope = old.scope();
         let from_revision = old.revision();
         let to_revision = new.revision().max(from_revision + 1);
         let mut changes = Vec::new();
@@ -150,12 +182,18 @@ impl PlanDelta {
             changes,
             from_revision,
             to_revision,
+            scope,
         }
     }
 
     /// Returns the changes, ordered by site then stream.
     pub fn changes(&self) -> &[EntryChange] {
         &self.changes
+    }
+
+    /// Returns the hosted session this delta is scoped to, if any.
+    pub fn scope(&self) -> Option<SessionId> {
+        self.scope
     }
 
     /// Returns the plan revision this delta was produced against.
@@ -224,11 +262,26 @@ impl PlanDelta {
     /// live executors (the TCP cluster) additionally enforce before
     /// pushing a delta at running rendezvous points.
     ///
+    /// A session-scoped plan only accepts deltas carrying the *same*
+    /// scope: a foreign-session delta and an unscoped delta are both
+    /// rejected, since a scoped runtime stamps everything it emits — an
+    /// unscoped delta cannot be this session's. Unscoped plans accept
+    /// any delta (single-session executors keep working unchanged).
+    ///
     /// # Errors
     ///
-    /// Returns an error if a change references an unknown site or its
+    /// Returns an error if the plan is scoped and the delta does not
+    /// share its scope, a change references an unknown site, or its
     /// `old` state disagrees with the plan.
     pub fn apply(&self, plan: &mut DisseminationPlan) -> Result<(), DeltaError> {
+        if let Some(plan_scope) = plan.scope() {
+            if self.scope != Some(plan_scope) {
+                return Err(DeltaError::ScopeMismatch {
+                    delta: self.scope,
+                    plan: Some(plan_scope),
+                });
+            }
+        }
         let sites = plan.site_count();
         for change in &self.changes {
             if change.site.index() >= sites {
@@ -290,6 +343,110 @@ impl DeltaSink for DisseminationPlan {
     }
 }
 
+/// Error produced by a [`DeltaRouter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError<E> {
+    /// The delta carried no session scope, so it cannot be routed.
+    Unscoped,
+    /// The delta's session has no registered executor.
+    UnknownSession(SessionId),
+    /// The routed executor rejected the delta.
+    Sink(E),
+}
+
+impl<E: fmt::Display> fmt::Display for RouteError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unscoped => write!(f, "delta carries no session scope"),
+            RouteError::UnknownSession(id) => write!(f, "no executor registered for {id}"),
+            RouteError::Sink(e) => write!(f, "executor rejected the delta: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for RouteError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::Sink(e) => Some(e),
+            RouteError::Unscoped | RouteError::UnknownSession(_) => None,
+        }
+    }
+}
+
+/// Routes session-scoped plan deltas to per-session executors.
+///
+/// A multi-session membership service emits one delta stream per hosted
+/// session; each delta is stamped with its [`SessionId`] scope. A
+/// `DeltaRouter` holds one executor per session (a live TCP cluster, a
+/// shadow plan, the simulator's replanner, …) and dispatches every delta
+/// on its scope, so a single executor process can serve many sessions
+/// concurrently without their forwarding state bleeding into each other.
+///
+/// The router is itself a [`DeltaSink`], so it drops straight into
+/// `SessionRuntime::drive_epochs` or a service's delta fan-out.
+#[derive(Debug, Default, Clone)]
+pub struct DeltaRouter<S> {
+    routes: BTreeMap<SessionId, S>,
+}
+
+impl<S> DeltaRouter<S> {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        DeltaRouter {
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) the executor of `session`, returning the
+    /// previous one if it existed.
+    pub fn register(&mut self, session: SessionId, sink: S) -> Option<S> {
+        self.routes.insert(session, sink)
+    }
+
+    /// Removes and returns the executor of `session`.
+    pub fn unregister(&mut self, session: SessionId) -> Option<S> {
+        self.routes.remove(&session)
+    }
+
+    /// Returns the executor of `session`, if registered.
+    pub fn get(&self, session: SessionId) -> Option<&S> {
+        self.routes.get(&session)
+    }
+
+    /// Returns the executor of `session` mutably, if registered.
+    pub fn get_mut(&mut self, session: SessionId) -> Option<&mut S> {
+        self.routes.get_mut(&session)
+    }
+
+    /// Returns the registered sessions, ascending.
+    pub fn sessions(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Returns the number of registered executors.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns true when no executor is registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+impl<S: DeltaSink> DeltaSink for DeltaRouter<S> {
+    type Error = RouteError<S::Error>;
+
+    fn apply_delta(&mut self, delta: &PlanDelta) -> Result<(), Self::Error> {
+        let session = delta.scope().ok_or(RouteError::Unscoped)?;
+        self.routes
+            .get_mut(&session)
+            .ok_or(RouteError::UnknownSession(session))?
+            .apply_delta(delta)
+            .map_err(RouteError::Sink)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,7 +475,7 @@ mod tests {
             .unwrap()
     }
 
-    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager<'_>) -> DisseminationPlan {
+    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager) -> DisseminationPlan {
         DisseminationPlan::from_forest(
             problem,
             &manager.forest_snapshot(),
@@ -329,7 +486,7 @@ mod tests {
     #[test]
     fn diff_of_identical_plans_is_empty() {
         let p = problem();
-        let m = OverlayManager::new(&p);
+        let m = OverlayManager::new(p.clone());
         let plan = plan_of(&p, &m);
         let delta = PlanDelta::diff(&plan, &plan);
         assert!(delta.is_empty());
@@ -340,7 +497,7 @@ mod tests {
     #[test]
     fn apply_reproduces_the_target_plan() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let before = plan_of(&p, &m);
         m.subscribe(site(1), stream(0, 0)).unwrap();
         m.subscribe(site(2), stream(0, 0)).unwrap();
@@ -361,7 +518,7 @@ mod tests {
     #[test]
     fn unsubscribe_deltas_apply_too() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(1), stream(0, 0)).unwrap();
         m.subscribe(site(2), stream(0, 0)).unwrap();
         let before = plan_of(&p, &m);
@@ -380,7 +537,7 @@ mod tests {
         // An empty delta passes entry validation vacuously whatever its
         // revisions; a plan already past its target must stay put.
         let p = problem();
-        let m = OverlayManager::new(&p);
+        let m = OverlayManager::new(p.clone());
         let mut plan = plan_of(&p, &m);
         plan.set_revision(99);
         PlanDelta::default().apply(&mut plan).unwrap();
@@ -398,7 +555,7 @@ mod tests {
         // Plans derived outside the runtime are never revision-stamped;
         // the delta still advances the applied plan by one.
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let before = plan_of(&p, &m);
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let after = plan_of(&p, &m);
@@ -414,7 +571,7 @@ mod tests {
     #[test]
     fn stale_deltas_are_rejected_before_mutation() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let empty = plan_of(&p, &m);
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let one = plan_of(&p, &m);
@@ -432,7 +589,7 @@ mod tests {
     #[test]
     fn edge_diffs_report_link_changes() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let before = plan_of(&p, &m);
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let after = plan_of(&p, &m);
@@ -449,9 +606,175 @@ mod tests {
     }
 
     #[test]
+    fn scoped_plans_stamp_their_deltas() {
+        let p = problem();
+        let mut m = OverlayManager::new(p.clone());
+        let session = SessionId::new(7);
+        let mut before = plan_of(&p, &m);
+        before.set_scope(Some(session));
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let mut after = plan_of(&p, &m);
+        after.set_scope(Some(session));
+        after.set_revision(1);
+
+        let delta = PlanDelta::diff(&before, &after);
+        assert_eq!(delta.scope(), Some(session));
+        let mut patched = before.clone();
+        delta.apply(&mut patched).unwrap();
+        assert_eq!(patched, after);
+        assert_eq!(patched.scope(), Some(session));
+    }
+
+    #[test]
+    fn foreign_session_deltas_are_rejected_before_entry_checks() {
+        let p = problem();
+        let mut m = OverlayManager::new(p.clone());
+        let mut before = plan_of(&p, &m);
+        before.set_scope(Some(SessionId::new(1)));
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let mut after = plan_of(&p, &m);
+        after.set_scope(Some(SessionId::new(1)));
+        let delta = PlanDelta::diff(&before, &after);
+
+        // The same forwarding state under another session's scope: the
+        // entries would validate, the scope must not.
+        let mut foreign = before.clone();
+        foreign.set_scope(Some(SessionId::new(2)));
+        let err = delta.apply(&mut foreign).unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::ScopeMismatch {
+                delta: Some(SessionId::new(1)),
+                plan: Some(SessionId::new(2)),
+            }
+        );
+        // An *unscoped* delta is just as foreign to a scoped plan: the
+        // plan's own runtime stamps everything it emits, so an unstamped
+        // delta cannot be this session's.
+        let mut unscoped_before = before.clone();
+        unscoped_before.set_scope(None);
+        let mut unscoped_after = after.clone();
+        unscoped_after.set_scope(None);
+        let unscoped_delta = PlanDelta::diff(&unscoped_before, &unscoped_after);
+        let err = delta_target_scoped(&unscoped_delta, &before);
+        assert_eq!(
+            err,
+            DeltaError::ScopeMismatch {
+                delta: None,
+                plan: Some(SessionId::new(1)),
+            }
+        );
+        // Unscoped plans accept scoped deltas (executors that never
+        // registered a scope keep working as before).
+        let mut unscoped = before.clone();
+        unscoped.set_scope(None);
+        delta.apply(&mut unscoped).unwrap();
+    }
+
+    /// Applies `delta` to a clone of the scoped `plan`, returning the
+    /// expected rejection.
+    fn delta_target_scoped(delta: &PlanDelta, plan: &DisseminationPlan) -> DeltaError {
+        let mut target = plan.clone();
+        delta.apply(&mut target).unwrap_err()
+    }
+
+    #[test]
+    #[should_panic(expected = "same session")]
+    fn diffing_a_scoped_plan_against_an_unscoped_one_panics() {
+        // A half-stamped pair means a plan missed its scope stamp; diff
+        // must refuse to mint a scoped delta out of it.
+        let p = problem();
+        let m = OverlayManager::new(p.clone());
+        let unscoped = plan_of(&p, &m);
+        let mut scoped = unscoped.clone();
+        scoped.set_scope(Some(SessionId::new(3)));
+        let _ = PlanDelta::diff(&unscoped, &scoped);
+    }
+
+    #[test]
+    fn router_dispatches_deltas_to_their_sessions() {
+        let p = problem();
+        let a = SessionId::new(0);
+        let b = SessionId::new(1);
+
+        // Two independent sessions over the same universe, one router.
+        let mut router: DeltaRouter<DisseminationPlan> = DeltaRouter::new();
+        let mut managers = Vec::new();
+        for (id, subscriber) in [(a, site(1)), (b, site(2))] {
+            let m = OverlayManager::new(p.clone());
+            let mut plan = plan_of(&p, &m);
+            plan.set_scope(Some(id));
+            router.register(id, plan);
+            managers.push((id, subscriber, m));
+        }
+        assert_eq!(router.len(), 2);
+
+        for (id, subscriber, m) in &mut managers {
+            let mut before = plan_of(&p, m);
+            before.set_scope(Some(*id));
+            m.subscribe(*subscriber, stream(0, 0)).unwrap();
+            let mut after = plan_of(&p, m);
+            after.set_scope(Some(*id));
+            after.set_revision(1);
+            router
+                .apply_delta(&PlanDelta::diff(&before, &after))
+                .unwrap();
+        }
+
+        // Each session's executor saw exactly its own change.
+        assert!(router
+            .get(a)
+            .unwrap()
+            .deliveries_to(site(1))
+            .contains(&stream(0, 0)));
+        assert!(router.get(a).unwrap().deliveries_to(site(2)).is_empty());
+        assert!(router
+            .get(b)
+            .unwrap()
+            .deliveries_to(site(2))
+            .contains(&stream(0, 0)));
+        assert!(router.get(b).unwrap().deliveries_to(site(1)).is_empty());
+    }
+
+    #[test]
+    fn router_rejects_unscoped_and_unknown_deltas() {
+        let p = problem();
+        let mut m = OverlayManager::new(p.clone());
+        let before = plan_of(&p, &m);
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let after = plan_of(&p, &m);
+
+        let mut router: DeltaRouter<DisseminationPlan> = DeltaRouter::new();
+        let unscoped = PlanDelta::diff(&before, &after);
+        assert_eq!(
+            router.apply_delta(&unscoped).unwrap_err(),
+            RouteError::Unscoped
+        );
+
+        let mut scoped_before = before.clone();
+        scoped_before.set_scope(Some(SessionId::new(9)));
+        let mut scoped_after = after.clone();
+        scoped_after.set_scope(Some(SessionId::new(9)));
+        let scoped = PlanDelta::diff(&scoped_before, &scoped_after);
+        assert_eq!(
+            router.apply_delta(&scoped).unwrap_err(),
+            RouteError::UnknownSession(SessionId::new(9))
+        );
+        // Registering the session unblocks it, unregistering re-breaks it.
+        router.register(SessionId::new(9), scoped_before.clone());
+        router.apply_delta(&scoped).unwrap();
+        assert!(router.unregister(SessionId::new(9)).is_some());
+        assert!(router.is_empty());
+        assert!(matches!(
+            router.apply_delta(&scoped).unwrap_err(),
+            RouteError::UnknownSession(_)
+        ));
+    }
+
+    #[test]
     fn delta_serde_roundtrip() {
         let p = problem();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         let before = plan_of(&p, &m);
         m.subscribe(site(3), stream(0, 0)).unwrap();
         let delta = PlanDelta::diff(&before, &plan_of(&p, &m));

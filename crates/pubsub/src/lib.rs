@@ -54,7 +54,7 @@ mod rp;
 mod session;
 
 pub use churn::{run_churn, subscription_universe, ChurnError, ChurnEvent, ChurnReport};
-pub use delta::{DeltaError, DeltaSink, EntryChange, PlanDelta};
+pub use delta::{DeltaError, DeltaRouter, DeltaSink, EntryChange, PlanDelta, RouteError};
 pub use membership::{MembershipError, MembershipServer};
 pub use plan::{DisseminationPlan, ForwardingEntry, SitePlan};
 pub use profile::StreamProfile;

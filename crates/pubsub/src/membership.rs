@@ -22,6 +22,16 @@ use crate::{DisseminationPlan, StreamProfile};
 /// Error produced by the membership server.
 #[derive(Debug)]
 pub enum MembershipError {
+    /// The per-site capacity or stream tables do not cover the same sites
+    /// as the cost matrix.
+    ShapeMismatch {
+        /// Sites covered by the cost matrix.
+        sites: usize,
+        /// Entries in the capacity table.
+        capacities: usize,
+        /// Entries in the published-stream-count table.
+        streams: usize,
+    },
     /// A site registered or submitted with an index outside the session.
     UnknownSite {
         /// The offending site.
@@ -42,6 +52,15 @@ pub enum MembershipError {
 impl fmt::Display for MembershipError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            MembershipError::ShapeMismatch {
+                sites,
+                capacities,
+                streams,
+            } => write!(
+                f,
+                "tables must cover all {sites} sites \
+                 (got {capacities} capacities, {streams} stream counts)"
+            ),
             MembershipError::UnknownSite { site, sites } => {
                 write!(f, "site {site} outside session of {sites} sites")
             }
@@ -87,7 +106,7 @@ impl From<ProblemError> for MembershipError {
 ///     vec![NodeCapacity::symmetric(Degree::new(4)); 3],
 ///     vec![1, 1, 1],
 ///     StreamProfile::default(),
-/// );
+/// )?;
 /// for site in SiteId::all(3) {
 ///     let wanted = if site == SiteId::new(0) {
 ///         vec![StreamId::new(SiteId::new(1), 0)]
@@ -117,32 +136,33 @@ impl MembershipServer {
     /// latency bound, per-site capacities, and per-site published stream
     /// counts.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the capacity or stream tables do not match the cost
-    /// matrix size.
+    /// Returns [`MembershipError::ShapeMismatch`] if the capacity or
+    /// stream tables do not cover the same sites as the cost matrix.
     pub fn new(
         costs: CostMatrix,
         cost_bound: CostMs,
         capacities: Vec<NodeCapacity>,
         streams_per_site: Vec<u32>,
         profile: StreamProfile,
-    ) -> Self {
+    ) -> Result<Self, MembershipError> {
         let n = costs.len();
-        assert_eq!(capacities.len(), n, "capacities must cover every site");
-        assert_eq!(
-            streams_per_site.len(),
-            n,
-            "stream counts must cover every site"
-        );
-        MembershipServer {
+        if capacities.len() != n || streams_per_site.len() != n {
+            return Err(MembershipError::ShapeMismatch {
+                sites: n,
+                capacities: capacities.len(),
+                streams: streams_per_site.len(),
+            });
+        }
+        Ok(MembershipServer {
             costs,
             cost_bound,
             capacities,
             streams_per_site,
             profile,
             submissions: vec![None; n],
-        }
+        })
     }
 
     /// Returns the number of sites in the session.
@@ -165,6 +185,24 @@ impl MembershipServer {
             return Err(MembershipError::UnknownSite { site, sites: n });
         }
         self.submissions[site.index()] = Some(requests);
+        Ok(())
+    }
+
+    /// Withdraws a departed site's submission, so its stale request set no
+    /// longer shapes the aggregated workload. The site drops back into
+    /// [`pending_sites`](Self::pending_sites) until it submits again —
+    /// exactly what session-lifecycle churn needs when an RP leaves and
+    /// may later rejoin.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `site` is outside the session.
+    pub fn withdraw(&mut self, site: SiteId) -> Result<(), MembershipError> {
+        let n = self.site_count();
+        if site.index() >= n {
+            return Err(MembershipError::UnknownSite { site, sites: n });
+        }
+        self.submissions[site.index()] = None;
         Ok(())
     }
 
@@ -235,6 +273,7 @@ mod tests {
             vec![2, 2, 2],
             StreamProfile::default(),
         )
+        .expect("tables cover every site")
     }
 
     fn stream(origin: u32, q: u32) -> StreamId {
@@ -252,6 +291,77 @@ mod tests {
             }
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn mismatched_tables_are_rejected_at_construction() {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(4));
+        let err = MembershipServer::new(
+            costs.clone(),
+            CostMs::new(40),
+            vec![NodeCapacity::symmetric(Degree::new(5)); 2],
+            vec![2, 2, 2],
+            StreamProfile::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MembershipError::ShapeMismatch {
+                sites: 3,
+                capacities: 2,
+                streams: 3,
+            }
+        ));
+        let err = MembershipServer::new(
+            costs,
+            CostMs::new(40),
+            vec![NodeCapacity::symmetric(Degree::new(5)); 3],
+            vec![2, 2],
+            StreamProfile::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MembershipError::ShapeMismatch { streams: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn withdraw_clears_a_departed_sites_submission() {
+        let mut s = server();
+        s.submit_requests(SiteId::new(0), [stream(1, 0)].into())
+            .unwrap();
+        s.submit_requests(SiteId::new(1), BTreeSet::new()).unwrap();
+        s.submit_requests(SiteId::new(2), BTreeSet::new()).unwrap();
+        assert!(s.pending_sites().is_empty());
+
+        // Site 0 departs: its stale request set must not linger.
+        s.withdraw(SiteId::new(0)).unwrap();
+        assert_eq!(s.pending_sites(), vec![SiteId::new(0)]);
+        match s.problem().unwrap_err() {
+            MembershipError::MissingSubmissions { missing } => {
+                assert_eq!(missing, vec![SiteId::new(0)]);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+
+        // A rejoin submits fresh requests and the workload reflects only
+        // those, not the withdrawn ones.
+        s.submit_requests(SiteId::new(0), [stream(2, 1)].into())
+            .unwrap();
+        let problem = s.problem().unwrap();
+        let all: Vec<_> = problem.requests().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].stream, stream(2, 1));
+    }
+
+    #[test]
+    fn withdraw_of_unknown_sites_is_an_error() {
+        let mut s = server();
+        assert!(matches!(
+            s.withdraw(SiteId::new(7)).unwrap_err(),
+            MembershipError::UnknownSite { .. }
+        ));
     }
 
     #[test]

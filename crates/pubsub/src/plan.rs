@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use teeve_overlay::{Forest, MulticastTree, ProblemInstance};
-use teeve_types::{CostMs, SiteId, StreamId};
+use teeve_types::{CostMs, SessionId, SiteId, StreamId};
 
 use crate::StreamProfile;
 
@@ -105,6 +105,12 @@ pub struct DisseminationPlan {
     /// delta's target revision, so executors (the live TCP cluster) can
     /// refuse deltas produced against a different revision.
     revision: u64,
+    /// The hosted session this plan belongs to, when the plan is produced
+    /// by a multi-session service. Freshly derived plans are unscoped;
+    /// revisions of one plan always share a scope, and deltas inherit it,
+    /// so one executor process serving several sessions can route every
+    /// delta to the right forwarding state.
+    scope: Option<SessionId>,
 }
 
 impl DisseminationPlan {
@@ -159,6 +165,7 @@ impl DisseminationPlan {
             cost_bound: problem.cost_bound(),
             profile,
             revision: 0,
+            scope: None,
         }
     }
 
@@ -171,6 +178,19 @@ impl DisseminationPlan {
     /// (which bumps the revision every epoch) and by delta application.
     pub fn set_revision(&mut self, revision: u64) {
         self.revision = revision;
+    }
+
+    /// Returns the hosted session this plan belongs to, if any.
+    pub fn scope(&self) -> Option<SessionId> {
+        self.scope
+    }
+
+    /// Tags the plan as belonging to one hosted session. The session
+    /// runtime stamps every derived plan when it runs inside a
+    /// multi-session service, and [`PlanDelta::diff`](crate::PlanDelta)
+    /// carries the tag into every emitted delta.
+    pub fn set_scope(&mut self, scope: Option<SessionId>) {
+        self.scope = scope;
     }
 
     /// Returns the per-site plans, in site order.

@@ -162,7 +162,8 @@ impl Session {
             self.capacities.clone(),
             self.rps.iter().map(RendezvousPoint::camera_count).collect(),
             self.profile,
-        );
+        )
+        .expect("session tables cover every site by construction");
         for rp in &self.rps {
             server
                 .submit_requests(rp.site(), rp.aggregated_requests())

@@ -40,7 +40,7 @@
 //!     .symmetric_capacity(Degree::new(10))
 //!     .build();
 //! let universe = subscription_universe(&session)?;
-//! let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default())?;
+//! let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default())?;
 //!
 //! let mut rng = ChaCha8Rng::seed_from_u64(2008);
 //! for epoch in TraceConfig::default().generate(5, 2, &mut rng) {

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use teeve_adapt::{
@@ -11,7 +12,7 @@ use teeve_overlay::{
     validate_forest, Forest, InvariantViolation, OverlayManager, ProblemInstance, SubscribeResult,
 };
 use teeve_pubsub::{DeltaSink, DisseminationPlan, PlanDelta, Session};
-use teeve_types::{DisplayId, SiteId, StreamId};
+use teeve_types::{DisplayId, SessionId, SiteId, StreamId};
 
 use crate::config::RuntimeConfig;
 use crate::event::RuntimeEvent;
@@ -99,7 +100,7 @@ pub struct EpochOutcome {
 ///     .symmetric_capacity(Degree::new(12))
 ///     .build();
 /// let universe = subscription_universe(&session)?;
-/// let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default())?;
+/// let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default())?;
 ///
 /// let outcome = runtime.apply_epoch(&[RuntimeEvent::Viewpoint {
 ///     display: DisplayId::new(SiteId::new(0), 0),
@@ -111,10 +112,10 @@ pub struct EpochOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct SessionRuntime<'p> {
-    universe: &'p ProblemInstance,
+pub struct SessionRuntime {
+    universe: Arc<ProblemInstance>,
     session: Session,
-    manager: OverlayManager<'p>,
+    manager: OverlayManager,
     plan: DisseminationPlan,
     /// Streams each site currently receives through the overlay.
     granted: Vec<BTreeSet<StreamId>>,
@@ -133,28 +134,36 @@ pub struct SessionRuntime<'p> {
     /// the fallback skips it instead of thrashing on persistently
     /// infeasible demand.
     rebuilt_for: Option<Vec<BTreeSet<StreamId>>>,
+    /// The hosted session this runtime serves when owned by a
+    /// multi-session service; every derived plan and emitted delta is
+    /// stamped with it.
+    scope: Option<SessionId>,
     config: RuntimeConfig,
     epoch: u64,
     history: Vec<EpochReport>,
 }
 
-impl<'p> SessionRuntime<'p> {
+impl SessionRuntime {
     /// Creates a runtime over `session`, seeding the overlay from the
     /// session's current display subscriptions.
     ///
     /// `universe` must be the session's subscription universe (see
     /// [`subscription_universe`](teeve_pubsub::subscription_universe)):
-    /// the problem instance declaring every admissible subscription, whose
-    /// lifetime outlives the runtime.
+    /// the problem instance declaring every admissible subscription. The
+    /// runtime *owns* it — pass the instance by value, or a clone of an
+    /// `Arc<ProblemInstance>` when sharing it — so runtimes are
+    /// free-standing values a long-lived service can collect in a
+    /// registry.
     ///
     /// # Errors
     ///
     /// Returns an error if `universe` covers a different site count.
     pub fn new(
-        universe: &'p ProblemInstance,
+        universe: impl Into<Arc<ProblemInstance>>,
         session: Session,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
+        let universe = universe.into();
         let n = session.site_count();
         if universe.site_count() != n {
             return Err(RuntimeError::UniverseMismatch {
@@ -162,20 +171,21 @@ impl<'p> SessionRuntime<'p> {
                 session_sites: n,
             });
         }
-        let manager = Self::make_manager(universe, &config);
+        let manager = Self::make_manager(&universe, &config);
         let mut runtime = SessionRuntime {
-            universe,
             plan: DisseminationPlan::from_forest(
-                universe,
+                &universe,
                 &manager.forest_snapshot(),
                 session.profile(),
             ),
+            universe,
             manager,
             granted: vec![BTreeSet::new(); n],
             active: vec![true; n],
             estimators: vec![BandwidthEstimator::new(config.bandwidth_alpha); n],
             scores: BTreeMap::new(),
             rebuilt_for: None,
+            scope: None,
             session,
             config,
             epoch: 0,
@@ -192,14 +202,30 @@ impl<'p> SessionRuntime<'p> {
         Ok(runtime)
     }
 
+    /// Scopes the runtime to one hosted session of a multi-session
+    /// service: the current plan and every future plan and delta carry
+    /// `scope`, so a shared executor (see
+    /// [`DeltaRouter`](teeve_pubsub::DeltaRouter)) can route them.
+    #[must_use]
+    pub fn with_scope(mut self, scope: SessionId) -> Self {
+        self.scope = Some(scope);
+        self.plan.set_scope(Some(scope));
+        self
+    }
+
+    /// Returns the hosted session this runtime is scoped to, if any.
+    pub fn scope(&self) -> Option<SessionId> {
+        self.scope
+    }
+
     /// Returns the session in its current state.
     pub fn session(&self) -> &Session {
         &self.session
     }
 
     /// Returns the subscription universe the overlay operates over.
-    pub fn universe(&self) -> &'p ProblemInstance {
-        self.universe
+    pub fn universe(&self) -> &ProblemInstance {
+        &self.universe
     }
 
     /// Returns the dissemination plan of the latest epoch.
@@ -243,7 +269,7 @@ impl<'p> SessionRuntime<'p> {
     ///
     /// Returns the first violation found.
     pub fn validate(&self) -> Result<(), InvariantViolation> {
-        validate_forest(self.universe, &self.forest_snapshot())
+        validate_forest(&self.universe, &self.forest_snapshot())
     }
 
     /// Consumes one epoch's worth of events, reconciles the overlay, and
@@ -474,11 +500,11 @@ impl<'p> SessionRuntime<'p> {
         }
     }
 
-    fn make_manager(universe: &'p ProblemInstance, config: &RuntimeConfig) -> OverlayManager<'p> {
+    fn make_manager(universe: &Arc<ProblemInstance>, config: &RuntimeConfig) -> OverlayManager {
         if config.correlation_aware {
-            OverlayManager::new(universe).with_correlation_swapping()
+            OverlayManager::new(Arc::clone(universe)).with_correlation_swapping()
         } else {
-            OverlayManager::new(universe)
+            OverlayManager::new(Arc::clone(universe))
         }
     }
 
@@ -488,7 +514,7 @@ impl<'p> SessionRuntime<'p> {
     fn rebuild(&mut self, report: &mut EpochReport) {
         report.rebuilt = true;
         let n = self.session.site_count();
-        self.manager = Self::make_manager(self.universe, &self.config);
+        self.manager = Self::make_manager(&self.universe, &self.config);
         self.granted = vec![BTreeSet::new(); n];
         for site in SiteId::all(n) {
             for stream in self.desired(site) {
@@ -508,11 +534,13 @@ impl<'p> SessionRuntime<'p> {
     }
 
     fn derive_plan(&self) -> DisseminationPlan {
-        DisseminationPlan::from_trees(
-            self.universe,
+        let mut plan = DisseminationPlan::from_trees(
+            &self.universe,
             self.manager.state().trees(),
             self.session.profile(),
-        )
+        );
+        plan.set_scope(self.scope);
+        plan
     }
 
     /// Fits each warm site's delivered streams into its estimated
@@ -577,7 +605,7 @@ mod tests {
         let s5 = session(5, 10);
         let u5 = subscription_universe(&s5).unwrap();
         assert_eq!(
-            SessionRuntime::new(&u5, s4, RuntimeConfig::default()).unwrap_err(),
+            SessionRuntime::new(u5, s4, RuntimeConfig::default()).unwrap_err(),
             RuntimeError::UniverseMismatch {
                 universe_sites: 5,
                 session_sites: 4
@@ -589,7 +617,7 @@ mod tests {
     fn fov_changes_flow_into_the_plan() {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         assert_eq!(
             rt.plan()
                 .site_plans()
@@ -616,7 +644,7 @@ mod tests {
     fn quiet_epochs_emit_empty_deltas() {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         rt.apply_epoch(&[viewpoint(0, 0, 2)]);
         // Same viewpoint again: desired state unchanged, delta empty.
         let outcome = rt.apply_epoch(&[viewpoint(0, 0, 2)]);
@@ -629,7 +657,7 @@ mod tests {
     fn site_leave_tears_down_its_trees_and_subscriptions() {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         // Everyone watches site 1; site 1 watches site 2.
         rt.apply_epoch(&[
             viewpoint(0, 0, 1),
@@ -660,7 +688,7 @@ mod tests {
     fn rejoin_resumes_suspended_subscriptions() {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         rt.apply_epoch(&[viewpoint(0, 0, 1)]);
         rt.apply_epoch(&[RuntimeEvent::SiteLeave { site: site(1) }]);
         assert!(rt.plan().deliveries_to(site(0)).is_empty());
@@ -680,7 +708,7 @@ mod tests {
         let s = session(4, 1);
         let u = subscription_universe(&s).unwrap();
         let mut rt = SessionRuntime::new(
-            &u,
+            u,
             s,
             RuntimeConfig {
                 fallback: FallbackPolicy::never(),
@@ -704,7 +732,7 @@ mod tests {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
         let mut rt = SessionRuntime::new(
-            &u,
+            u,
             s,
             RuntimeConfig {
                 fallback: FallbackPolicy::always(),
@@ -726,7 +754,7 @@ mod tests {
         // demand, so it must happen once — not on every retry epoch.
         let s = session(4, 1);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         let first = rt.apply_epoch(&[viewpoint(0, 0, 1), viewpoint(0, 1, 2)]);
         assert!(first.report.rejected > 0, "capacity 1 cannot serve all");
         assert!(first.report.rebuilt, "default policy trips on rejections");
@@ -747,7 +775,7 @@ mod tests {
         let s = session(4, 1);
         let u = subscription_universe(&s).unwrap();
         let mut rt = SessionRuntime::new(
-            &u,
+            u,
             s,
             RuntimeConfig {
                 fallback: FallbackPolicy::always(),
@@ -779,7 +807,7 @@ mod tests {
     fn fov_clear_and_site_leave_prune_contribution_scores() {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         rt.apply_epoch(&[viewpoint(0, 0, 1), viewpoint(0, 1, 2), viewpoint(3, 0, 1)]);
         let display0 = DisplayId::new(site(0), 0);
         assert!(rt.scores.keys().any(|(d, _)| *d == display0));
@@ -803,7 +831,7 @@ mod tests {
     fn bandwidth_samples_produce_adaptation_plans() {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         let outcome = rt.apply_epoch(&[
             viewpoint(0, 0, 1),
             viewpoint(0, 1, 2),
@@ -824,7 +852,7 @@ mod tests {
     fn epochs_advance_the_plan_revision_monotonically() {
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         assert_eq!(rt.plan().revision(), 0);
         let first = rt.apply_epoch(&[viewpoint(0, 0, 2)]);
         assert_eq!(first.delta.from_revision(), 0);
@@ -839,12 +867,33 @@ mod tests {
     }
 
     #[test]
+    fn scoped_runtimes_stamp_plans_and_deltas() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let id = SessionId::new(42);
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default())
+            .unwrap()
+            .with_scope(id);
+        assert_eq!(rt.scope(), Some(id));
+        assert_eq!(rt.plan().scope(), Some(id));
+        let outcome = rt.apply_epoch(&[viewpoint(0, 0, 2)]);
+        assert_eq!(outcome.delta.scope(), Some(id));
+        assert_eq!(rt.plan().scope(), Some(id));
+        // Unscoped runtimes keep emitting unscoped artifacts.
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
+        assert_eq!(rt.scope(), None);
+        assert_eq!(rt.apply_epoch(&[viewpoint(0, 0, 2)]).delta.scope(), None);
+    }
+
+    #[test]
     fn drive_epochs_pushes_every_delta_into_the_sink() {
         // A plain DisseminationPlan is itself a sink; driving it must keep
         // it identical to the runtime's own plan after every trace.
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         let mut shadow = rt.plan().clone();
         let trace = vec![
             vec![viewpoint(0, 0, 2), viewpoint(1, 0, 3)],
@@ -869,7 +918,7 @@ mod tests {
         }
         let s = session(4, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         let err = rt
             .drive_epochs(&[vec![viewpoint(0, 0, 2)]], &mut Rejecting)
             .unwrap_err();
@@ -882,7 +931,7 @@ mod tests {
     fn epoch_metrics_account_delta_against_full_plan() {
         let s = session(5, 10);
         let u = subscription_universe(&s).unwrap();
-        let mut rt = SessionRuntime::new(&u, s, RuntimeConfig::default()).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
         // Build up a session, then make one small change.
         let mut setup = Vec::new();
         for i in 0..5u32 {

@@ -45,7 +45,7 @@ fn trace(seed: u64) -> Vec<Vec<RuntimeEvent>> {
 fn replayed_trace_validates_every_epoch_and_deltas_match_rebuilds() {
     let session = session();
     let universe = subscription_universe(&session).unwrap();
-    let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default()).unwrap();
+    let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default()).unwrap();
 
     let mut shadow: DisseminationPlan = runtime.plan().clone();
     let mut overlay_events = 0usize;
@@ -100,7 +100,7 @@ fn incremental_and_rebuild_paths_grant_the_same_service_guarantees() {
         .build();
     let universe = subscription_universe(&session).unwrap();
     let mut runtime = SessionRuntime::new(
-        &universe,
+        universe,
         session,
         RuntimeConfig {
             fallback: FallbackPolicy {
@@ -137,7 +137,7 @@ fn incremental_and_rebuild_paths_grant_the_same_service_guarantees() {
 fn runtime_deltas_drive_the_simulator_end_to_end() {
     let session = session();
     let universe = subscription_universe(&session).unwrap();
-    let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default()).unwrap();
+    let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default()).unwrap();
 
     // Initial demand, then two live FOV swings at 400 ms and 800 ms.
     let initial = runtime.apply_epoch(&[

@@ -1,0 +1,211 @@
+//! Registry-level guarantees of the sharded multi-session service:
+//! stable collision-free shard assignment, and per-session isolation
+//! under concurrent churn at the acceptance scale (≥32 sessions of 16
+//! sites).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use teeve_pubsub::{subscription_universe, Session};
+use teeve_runtime::{EpochReport, RuntimeConfig, RuntimeEvent, SessionRuntime, TraceConfig};
+use teeve_service::{MembershipService, SessionSpec};
+use teeve_types::{CostMatrix, CostMs, Degree, SessionId};
+
+/// A session whose cost structure depends on `index`, so different
+/// sessions build genuinely different overlays and any cross-session
+/// bleed shows up as a plan mismatch.
+fn session(index: usize, sites: usize) -> Session {
+    let costs = CostMatrix::from_fn(sites, |i, j| {
+        CostMs::new(3 + ((i * 31 + j * 17 + index * 7) % 9) as u32)
+    });
+    Session::builder(costs)
+        .cameras_per_site(6)
+        .displays_per_site(2)
+        .symmetric_capacity(Degree::new(10))
+        .build()
+}
+
+fn churn_trace(index: usize, sites: usize, epochs: usize) -> Vec<Vec<RuntimeEvent>> {
+    let config = TraceConfig {
+        epochs,
+        events_per_epoch: 4,
+        ..TraceConfig::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(1000 + index as u64);
+    config.generate(sites, 2, &mut rng)
+}
+
+/// The fields of an epoch report that must be identical whether the
+/// session ran alone or among dozens (wall-clock reconvergence is not).
+fn comparable(
+    report: &EpochReport,
+) -> (u64, usize, usize, usize, usize, usize, usize, usize, bool) {
+    (
+        report.epoch,
+        report.events,
+        report.subscribes,
+        report.accepted,
+        report.rejected,
+        report.unsubscribes,
+        report.delta_entries,
+        report.plan_entries,
+        report.rebuilt,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Shard assignment is a pure function of (id, shard count): calling
+    /// it twice agrees, two service instances agree, and the result is
+    /// always a valid shard index — across the whole `SessionId` space,
+    /// not just the dense ids a service allocates.
+    #[test]
+    fn shard_assignment_is_stable_and_in_range(
+        raw in proptest::prelude::any::<u64>(),
+        shards in 1usize..64,
+    ) {
+        let id = SessionId::new(raw);
+        let a = MembershipService::with_shards(shards);
+        let b = MembershipService::with_shards(shards);
+        let index = a.shard_index(id);
+        prop_assert!(index < shards);
+        prop_assert_eq!(index, a.shard_index(id));
+        prop_assert_eq!(index, b.shard_index(id));
+    }
+
+    /// Allocated sessions never collide: every id is distinct, maps to
+    /// exactly one shard, and stays reachable through the registry while
+    /// hosted.
+    #[test]
+    fn allocated_sessions_are_collision_free(
+        count in 1usize..24,
+        shards in 1usize..9,
+    ) {
+        let service = MembershipService::with_shards(shards);
+        let mut ids = Vec::new();
+        for _ in 0..count {
+            ids.push(service.create_session(SessionSpec::new(session(0, 4))).unwrap().id());
+        }
+        let unique: std::collections::BTreeSet<_> = ids.iter().copied().collect();
+        prop_assert_eq!(unique.len(), ids.len(), "ids must never repeat");
+        prop_assert_eq!(service.session_count(), count);
+        for &id in &ids {
+            prop_assert!(service.contains(id));
+        }
+        // Closing one session removes exactly that session.
+        let closed = ids[ids.len() / 2];
+        service.close_session(closed).unwrap();
+        prop_assert!(!service.contains(closed));
+        for &id in ids.iter().filter(|&&id| id != closed) {
+            prop_assert!(service.contains(id));
+        }
+    }
+}
+
+/// The acceptance-scale stress test: 32 sessions of 16 sites, driven
+/// concurrently from 8 threads through seeded churn traces. Every epoch
+/// must keep every session's forest valid, and afterwards each session's
+/// metrics and final plan must be bit-identical to a standalone
+/// `SessionRuntime` replaying the same trace — i.e. zero cross-session
+/// plan or metric bleed.
+#[test]
+fn concurrent_sessions_stay_isolated() {
+    const SESSIONS: usize = 32;
+    const SITES: usize = 16;
+    const EPOCHS: usize = 10;
+    const THREADS: usize = 8;
+
+    let service = MembershipService::with_shards(8);
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            service
+                .create_session(SessionSpec::new(session(i, SITES)))
+                .expect("16-site sessions are valid")
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for chunk in handles.chunks(SESSIONS / THREADS) {
+            scope.spawn(|| {
+                for (offset, handle) in chunk.iter().enumerate() {
+                    let index = handle.id().raw() as usize;
+                    let trace = churn_trace(index, SITES, EPOCHS);
+                    for (e, epoch) in trace.iter().enumerate() {
+                        // Alternate the two submission paths: queue+drive
+                        // and direct drive must behave identically.
+                        let outcome = if (e + offset) % 2 == 0 {
+                            handle.submit_requests(epoch.clone()).unwrap();
+                            handle.drive_epoch(&[]).unwrap()
+                        } else {
+                            handle.drive_epoch(epoch).unwrap()
+                        };
+                        assert_eq!(
+                            outcome.delta.scope(),
+                            Some(handle.id()),
+                            "every delta is scoped to its session"
+                        );
+                        handle
+                            .validate()
+                            .expect("forest invariants hold every epoch");
+                    }
+                }
+            });
+        }
+    });
+
+    // Golden replay: the same traces driven through standalone runtimes.
+    // Identical metrics and plans prove the registry never let sessions
+    // interfere.
+    for handle in &handles {
+        let index = handle.id().raw() as usize;
+        let golden_session = session(index, SITES);
+        let universe = subscription_universe(&golden_session).unwrap();
+        let mut golden = SessionRuntime::new(universe, golden_session, RuntimeConfig::default())
+            .unwrap()
+            .with_scope(handle.id());
+        for epoch in &churn_trace(index, SITES, EPOCHS) {
+            golden.apply_epoch(epoch);
+        }
+
+        let report = handle.report().unwrap();
+        assert_eq!(report.epochs, EPOCHS);
+        let golden_report = golden.report();
+        assert_eq!(report.subscribes, golden_report.subscribes);
+        assert_eq!(report.accepted, golden_report.accepted);
+        assert_eq!(report.rebuilds, golden_report.rebuilds);
+        assert_eq!(
+            report.dropped_subscriptions,
+            golden_report.dropped_subscriptions
+        );
+        assert_eq!(report.delta_entries, golden_report.delta_entries);
+        assert_eq!(report.plan_entries, golden_report.plan_entries);
+        assert_eq!(
+            handle.plan().unwrap(),
+            *golden.plan(),
+            "session {} final plan must match its solo replay exactly",
+            handle.id()
+        );
+    }
+
+    // drive_all keeps the isolation: one bulk pass equals each golden
+    // runtime's next (quiet) epoch.
+    let bulk = service.drive_all();
+    assert_eq!(bulk.sessions, SESSIONS);
+    for handle in &handles {
+        let index = handle.id().raw() as usize;
+        let golden_session = session(index, SITES);
+        let universe = subscription_universe(&golden_session).unwrap();
+        let mut golden = SessionRuntime::new(universe, golden_session, RuntimeConfig::default())
+            .unwrap()
+            .with_scope(handle.id());
+        for epoch in &churn_trace(index, SITES, EPOCHS) {
+            golden.apply_epoch(epoch);
+        }
+        let golden_quiet = golden.apply_epoch(&[]);
+        let bulk_report = &bulk.per_session[&handle.id()];
+        assert_eq!(comparable(bulk_report), comparable(&golden_quiet.report));
+        assert_eq!(handle.plan().unwrap(), *golden.plan());
+        handle.validate().unwrap();
+    }
+}

@@ -261,7 +261,7 @@ mod tests {
             .subscribe(site(2), stream(0, 0))
             .build()
             .unwrap();
-        let mut manager = teeve_overlay::OverlayManager::new(&problem);
+        let mut manager = teeve_overlay::OverlayManager::new(problem.clone());
         manager.subscribe(site(1), stream(0, 0)).unwrap();
         manager.subscribe(site(2), stream(0, 0)).unwrap();
         let forest = manager.into_forest();

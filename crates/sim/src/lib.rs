@@ -2,7 +2,7 @@
 //!
 //! The overlay construction layer (`teeve-overlay`) promises that every
 //! accepted subscription has a tree path within the latency bound. This
-//! crate *executes* a [`DisseminationPlan`] to check what that promise
+//! crate *executes* a [`DisseminationPlan`](teeve_pubsub::DisseminationPlan) to check what that promise
 //! means for actual media: cameras capture frames at the profile's rate,
 //! every planned overlay edge behaves as one reserved stream slot
 //! (serialization + FIFO queueing), links add their propagation latency,

@@ -279,7 +279,7 @@ mod tests {
             .unwrap()
     }
 
-    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager<'_>) -> DisseminationPlan {
+    fn plan_of(problem: &ProblemInstance, manager: &OverlayManager) -> DisseminationPlan {
         DisseminationPlan::from_forest(
             problem,
             &manager.forest_snapshot(),
@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn no_replans_matches_static_simulation() {
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(1), stream(0, 0)).unwrap();
         m.subscribe(site(2), stream(0, 0)).unwrap();
         let plan = plan_of(&p, &m);
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn mid_run_join_starts_delivering() {
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let before = plan_of(&p, &m);
         m.subscribe(site(2), stream(0, 0)).unwrap();
@@ -328,7 +328,7 @@ mod tests {
     #[test]
     fn mid_run_leave_stops_expecting() {
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(1), stream(0, 0)).unwrap();
         m.subscribe(site(2), stream(0, 0)).unwrap();
         let before = plan_of(&p, &m);
@@ -352,7 +352,7 @@ mod tests {
         // Site 1's delivery cadence must not hiccup when site 2's
         // subscription flaps: its channel state is never touched.
         let p = universe();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let base = plan_of(&p, &m);
         m.subscribe(site(2), stream(0, 0)).unwrap();
@@ -398,7 +398,7 @@ mod tests {
             .subscribe(site(2), stream(0, 0))
             .build()
             .unwrap();
-        let mut m = OverlayManager::new(&p);
+        let mut m = OverlayManager::new(p.clone());
         m.subscribe(site(2), stream(0, 0)).unwrap();
         m.subscribe(site(1), stream(0, 0)).unwrap();
         let before = plan_of(&p, &m);
@@ -443,7 +443,7 @@ mod tests {
     #[should_panic(expected = "sorted by time")]
     fn unsorted_replans_are_rejected() {
         let p = universe();
-        let m = OverlayManager::new(&p);
+        let m = OverlayManager::new(p.clone());
         let plan = plan_of(&p, &m);
         let _ = simulate_with_replans(
             &plan,

@@ -219,6 +219,57 @@ impl fmt::Display for DisplayId {
     }
 }
 
+/// Identifier of one hosted 3DTI session within a multi-session service.
+///
+/// The paper describes a single session dictated by one centralized
+/// membership server. A production deployment hosts *many* sessions
+/// concurrently behind a sharded `MembershipService`; `SessionId` names one
+/// of them. Ids are dense service-local counters, never reused within a
+/// service's lifetime, and every session-scoped artifact (plans, plan
+/// deltas) carries one so executors serving several sessions can route by
+/// it.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_types::SessionId;
+///
+/// let a = SessionId::new(0);
+/// let b = SessionId::new(1);
+/// assert!(a < b);
+/// assert_eq!(b.raw(), 1);
+/// assert_eq!(b.to_string(), "sess1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Creates a session identifier from its raw counter value.
+    pub const fn new(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// Returns the raw counter value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sess{}", self.0)
+    }
+}
+
+impl From<u64> for SessionId {
+    fn from(raw: u64) -> Self {
+        SessionId(raw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +340,19 @@ mod tests {
         assert_eq!(json, "9", "SiteId is serde(transparent)");
         let back: SiteId = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, site);
+    }
+
+    #[test]
+    fn session_id_roundtrips_and_orders_by_counter() {
+        let a = SessionId::new(3);
+        assert_eq!(a.raw(), 3);
+        assert_eq!(a, SessionId::from(3));
+        assert!(SessionId::new(2) < a);
+        assert_eq!(a.to_string(), "sess3");
+        let json = serde_json::to_string(&a).expect("serialize");
+        assert_eq!(json, "3", "SessionId is serde(transparent)");
+        let back: SessionId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, a);
     }
 
     #[test]

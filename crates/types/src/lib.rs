@@ -11,6 +11,8 @@
 //! * [`StreamId`] — a 3D video stream `s_j^q`: the stream with local index
 //!   `q` originating from site `H_j`.
 //! * [`CameraId`] / [`DisplayId`] — edge hosts within a site.
+//! * [`SessionId`] — one hosted 3DTI session within a multi-session
+//!   membership service; session-scoped plans and deltas carry it.
 //! * [`CostMs`] — an integer latency cost in milliseconds (edge costs
 //!   `c(e) ∈ ℤ⁺` in the paper's problem formulation).
 //! * [`Degree`] — a bandwidth limit expressed in *number of streams*
@@ -35,6 +37,6 @@ mod id;
 mod matrix;
 mod units;
 
-pub use id::{CameraId, DisplayId, SiteId, StreamId};
+pub use id::{CameraId, DisplayId, SessionId, SiteId, StreamId};
 pub use matrix::{CostMatrix, CostMatrixError};
 pub use units::{BitRate, CostMs, Degree};

@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Recovery: rebuild incrementally without the failed site's demand.
-    let mut manager = OverlayManager::new(&problem).with_correlation_swapping();
+    let mut manager = OverlayManager::new(problem.clone()).with_correlation_swapping();
     // Re-play the surviving subscriptions (skip the crashed site).
     let (mut joined, mut rejected) = (0usize, 0usize);
     for request in problem.requests() {

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    universe admits any FOV the events may select, and the seeded
     //    overlay covers the initial gazes.
     let universe = subscription_universe(&session)?;
-    let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default())?;
+    let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default())?;
     println!(
         "seeded: {} forwarding entries across {} sites\n",
         runtime

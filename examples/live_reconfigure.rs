@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let universe = subscription_universe(&session)?;
-    let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default())?;
+    let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default())?;
 
     // 2. Launch the long-lived cluster on the seeded plan.
     let config = ClusterConfig {

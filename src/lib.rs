@@ -19,6 +19,9 @@
 //!   incrementally (with full-reconstruction fall-back), and emits
 //!   [`PlanDelta`](teeve_pubsub::PlanDelta)s executors apply without
 //!   tearing down unaffected links;
+//! * [`service`] — the multi-session membership service: a sharded
+//!   registry of owned session runtimes with a full lifecycle API
+//!   (create / submit / drive / close) and a parallel bulk driver;
 //! * [`sim`] — discrete-event dissemination simulator, including
 //!   delta-aware mid-run replanning;
 //! * [`net`] — live TCP rendezvous-point cluster, with link-level delta
@@ -59,6 +62,7 @@ pub use teeve_net as net;
 pub use teeve_overlay as overlay;
 pub use teeve_pubsub as pubsub;
 pub use teeve_runtime as runtime;
+pub use teeve_service as service;
 pub use teeve_sim as sim;
 pub use teeve_topology as topology;
 pub use teeve_types as types;
@@ -78,8 +82,9 @@ pub mod prelude {
         StreamProfile,
     };
     pub use teeve_runtime::{RuntimeConfig, SessionRuntime};
+    pub use teeve_service::{MembershipService, SessionSpec};
     pub use teeve_sim::{simulate, simulate_with_replans, SimConfig};
     pub use teeve_topology::{backbone, backbone_north_america, Topology};
-    pub use teeve_types::{CostMatrix, CostMs, Degree, SiteId, StreamId};
+    pub use teeve_types::{CostMatrix, CostMs, Degree, SessionId, SiteId, StreamId};
     pub use teeve_workload::{CapacityModel, PopularityModel, WorkloadConfig};
 }

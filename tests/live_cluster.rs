@@ -118,7 +118,7 @@ fn reconfigure_universe() -> ProblemInstance {
 /// given control-plane revision.
 fn plan_at(
     problem: &ProblemInstance,
-    manager: &OverlayManager<'_>,
+    manager: &OverlayManager,
     revision: u64,
 ) -> DisseminationPlan {
     let mut plan = DisseminationPlan::from_forest(
@@ -149,7 +149,7 @@ fn expect_batch(
 #[test]
 fn socket_live_reconfiguration_applies_deltas_mid_flight() {
     let p = reconfigure_universe();
-    let mut m = OverlayManager::new(&p);
+    let mut m = OverlayManager::new(p.clone());
     m.subscribe(site(1), stream(0, 0)).unwrap();
     let plan_a = plan_at(&p, &m, 0);
     assert_eq!(plan_a.site_plan(site(1)).in_degree(), 1);
@@ -227,7 +227,7 @@ fn socket_live_reconfiguration_applies_deltas_mid_flight() {
 #[test]
 fn socket_idle_cluster_survives_past_the_read_timeout() {
     let p = reconfigure_universe();
-    let mut m = OverlayManager::new(&p);
+    let mut m = OverlayManager::new(p.clone());
     m.subscribe(site(1), stream(0, 0)).unwrap();
     let plan_a = plan_at(&p, &m, 0);
 
@@ -282,7 +282,7 @@ fn socket_session_runtime_churn_drives_the_live_cluster() {
         session.subscribe_viewpoint(DisplayId::new(s, 0), SiteId::new((i + 1) % SITES as u32));
     }
     let universe = subscription_universe(&session).unwrap();
-    let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default()).unwrap();
+    let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default()).unwrap();
     assert!(
         runtime
             .plan()
@@ -357,7 +357,7 @@ fn socket_drive_epochs_bridges_runtime_and_cluster() {
         .build();
     session.subscribe_viewpoint(DisplayId::new(site(0), 0), site(1));
     let universe = subscription_universe(&session).unwrap();
-    let mut runtime = SessionRuntime::new(&universe, session, RuntimeConfig::default()).unwrap();
+    let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default()).unwrap();
 
     let mut cluster = LiveCluster::launch(runtime.plan(), &quick_config(2)).expect("launch");
     let trace = vec![

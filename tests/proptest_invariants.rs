@@ -247,8 +247,8 @@ proptest! {
         if requests.is_empty() {
             return Ok(());
         }
-        let mut manager = OverlayManager::new(&problem);
-        let run = |manager: &mut OverlayManager<'_>, ops: &[(bool, usize)]| {
+        let mut manager = OverlayManager::new(problem.clone());
+        let run = |manager: &mut OverlayManager, ops: &[(bool, usize)]| {
             for &(join, pick) in ops {
                 let (sub, stream) = requests[pick % requests.len()];
                 if join {

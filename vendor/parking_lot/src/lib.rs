@@ -1,8 +1,9 @@
 //! Vendored stand-in for `parking_lot`, backed by `std::sync`.
 //!
-//! Only [`Mutex`] is provided (the workspace uses nothing else). Like the
-//! real crate, `lock` never returns a poison error: a panic while holding
-//! the lock does not poison it for later users.
+//! [`Mutex`] and [`RwLock`] are provided (the workspace uses nothing
+//! else). Like the real crate, `lock`/`read`/`write` never return a
+//! poison error: a panic while holding the lock does not poison it for
+//! later users.
 
 #![forbid(unsafe_code)]
 
@@ -48,6 +49,64 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// The shared guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// The exclusive guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Returns mutable access without locking (the `&mut` proves
+    /// exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +117,35 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let mut l = RwLock::new(10u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (10, 10), "shared readers coexist");
+        }
+        *l.write() += 5;
+        assert_eq!(*l.read(), 15);
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 16);
+    }
+
+    #[test]
+    fn rwlock_is_shareable_across_threads() {
+        let l = std::sync::Arc::new(RwLock::new(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let l = std::sync::Arc::clone(&l);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*l.read(), 400);
     }
 }
