@@ -1,0 +1,37 @@
+//! A standalone rendezvous-point process.
+//!
+//! Runs one [`RpNode`] until its coordinator orders it down — the
+//! process form of the node every in-process `LiveCluster` spawns as a
+//! thread. A coordinator in another process (or on another host) drives
+//! it purely over TCP: there is no shared state to share, so the binary
+//! is nothing but bind, advertise, serve.
+//!
+//! Usage: `rp_node <site-index> [read-timeout-ms]`
+//!
+//! Prints one line, `LISTEN <addr>`, to stdout once the listener is
+//! bound; the parent process (e.g. the multi-process smoke test) reads it
+//! to learn the node's address. Exits 0 when a `Shutdown` order arrives.
+
+use std::io::Write;
+use std::time::Duration;
+
+use teeve_net::RpNode;
+use teeve_types::SiteId;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let site: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("usage: rp_node <site-index> [read-timeout-ms]");
+        std::process::exit(2);
+    });
+    let timeout_ms: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30_000);
+
+    let node =
+        RpNode::bind(SiteId::new(site), Duration::from_millis(timeout_ms)).unwrap_or_else(|e| {
+            eprintln!("rp_node: bind failed: {e}");
+            std::process::exit(1);
+        });
+    println!("LISTEN {}", node.local_addr());
+    std::io::stdout().flush().ok();
+    node.run();
+}

@@ -1,344 +1,43 @@
-//! A localhost cluster of live TCP rendezvous points executing — and
-//! live-reconfiguring — a dissemination plan.
+//! The in-process convenience wrapper around the process-separable RP
+//! node API: one [`LiveCluster`] = N spawned [`RpNode`] threads + one
+//! [`Coordinator`], all on 127.0.0.1.
 //!
-//! [`LiveCluster`] is the long-lived form: RPs stay up across plan
-//! revisions, each holding a revision-tagged forwarding table, and the
-//! coordinator pushes [`PlanDelta`]s at them over a TCP control channel
-//! ([`Message::Reconfigure`] / [`Message::Ack`]) while data connections
-//! keep flowing. [`run_cluster`] is the one-shot convenience wrapper:
-//! launch, publish, shut down.
+//! The coordinator holds **no shared memory** into the RPs it drives —
+//! every interaction is a [`wire`](crate::wire) message, exactly as it
+//! would be across processes or hosts; this wrapper only saves callers
+//! the bind/spawn/connect choreography (and joins the node threads at
+//! shutdown). [`run_cluster`] is the one-shot form: launch, publish,
+//! shut down.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use teeve_pubsub::{DisseminationPlan, PlanDelta};
+use teeve_types::SiteId;
 
-use bytes::{Bytes, BytesMut};
-use parking_lot::Mutex;
-use teeve_pubsub::{DeltaError, DisseminationPlan, PlanDelta, SitePlan};
-use teeve_types::{SiteId, StreamId};
-
-use crate::replan::link_changes_between;
-use crate::wire::{decode, encode, Message};
-
-/// Configuration of a live cluster run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClusterConfig {
-    /// Frames each origin publishes per stream (used by [`run_cluster`];
-    /// [`LiveCluster::publish`] takes its batch size per call).
-    pub frames_per_stream: u64,
-    /// Synthetic payload size per frame in bytes (kept small in tests; a
-    /// real compressed 3DTI frame is ≈66 kB).
-    pub payload_bytes: usize,
-    /// Optional pacing between frames at the origin (`None` = publish as
-    /// fast as the sockets accept, for fast tests).
-    pub frame_interval: Option<Duration>,
-    /// Deadline for every blocking step: publish-batch completion, socket
-    /// reads, and reconfiguration acknowledgements.
-    pub timeout: Duration,
-}
-
-impl Default for ClusterConfig {
-    /// 10 frames per stream, 1 kB payloads, unpaced, 30 s timeout.
-    fn default() -> Self {
-        ClusterConfig {
-            frames_per_stream: 10,
-            payload_bytes: 1024,
-            frame_interval: None,
-            timeout: Duration::from_secs(30),
-        }
-    }
-}
-
-/// Delivery statistics of one live run.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct ClusterReport {
-    /// Frames delivered per (site, stream).
-    pub delivered: BTreeMap<(SiteId, StreamId), u64>,
-    /// Sum of observed end-to-end latencies per (site, stream), in
-    /// microseconds (wall clock).
-    pub latency_sum_micros: BTreeMap<(SiteId, StreamId), u64>,
-    /// Worst observed end-to-end latency in microseconds (wall clock).
-    pub max_latency_micros: u64,
-    /// Wall-clock duration from the first published frame to shutdown.
-    /// Listener binding and connection setup happen before the clock
-    /// starts, so setup cost never pollutes the figure.
-    pub elapsed: Duration,
-    /// Plan revision the cluster was at when it shut down.
-    pub final_revision: u64,
-    /// TCP connections opened by reconfigurations (initial plan links are
-    /// not counted).
-    pub connections_opened: u64,
-    /// TCP connections closed by reconfigurations.
-    pub connections_closed: u64,
-}
-
-impl ClusterReport {
-    /// Returns total frames delivered across all sites.
-    pub fn total_delivered(&self) -> u64 {
-        self.delivered.values().sum()
-    }
-
-    /// Returns the mean end-to-end latency of one (site, stream) pair in
-    /// microseconds, or `None` if nothing was delivered to it.
-    pub fn mean_latency_micros(&self, site: SiteId, stream: StreamId) -> Option<u64> {
-        let frames = *self.delivered.get(&(site, stream))?;
-        if frames == 0 {
-            return None;
-        }
-        Some(self.latency_sum_micros.get(&(site, stream)).copied()? / frames)
-    }
-}
-
-/// What one applied [`PlanDelta`] did to the running cluster.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReconfigureReport {
-    /// The revision every reconfigured RP acknowledged.
-    pub revision: u64,
-    /// Connections the delta opened (parent → child pairs that carry
-    /// their first stream).
-    pub established: Vec<(SiteId, SiteId)>,
-    /// Connections the delta closed (pairs whose last stream left).
-    pub closed: Vec<(SiteId, SiteId)>,
-    /// Pairs that kept their connection across the delta.
-    pub retained: usize,
-    /// RPs whose forwarding tables were swapped (and acknowledged).
-    pub reconfigured_sites: usize,
-}
-
-impl ReconfigureReport {
-    /// Returns true when the delta touched no socket: every reroute moved
-    /// streams between connections that already existed and survived.
-    pub fn is_socket_free(&self) -> bool {
-        self.established.is_empty() && self.closed.is_empty()
-    }
-}
-
-/// Error produced by a cluster run.
-#[derive(Debug)]
-pub enum ClusterError {
-    /// Socket setup or transfer failed.
-    Io(io::Error),
-    /// Deliveries did not complete before the configured timeout.
-    Timeout {
-        /// Frames delivered so far.
-        delivered: u64,
-        /// Frames expected in total.
-        expected: u64,
-    },
-    /// A plan delta did not apply to the cluster's current plan.
-    Delta(DeltaError),
-    /// A delta was produced against a different revision than the cluster
-    /// is running.
-    StaleRevision {
-        /// The revision the cluster is at.
-        cluster: u64,
-        /// The revision the delta applies from.
-        delta: u64,
-    },
-    /// The control channel to one RP failed during reconfiguration.
-    Control {
-        /// The RP whose control channel failed.
-        site: SiteId,
-        /// What went wrong.
-        detail: String,
-    },
-}
-
-impl std::fmt::Display for ClusterError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ClusterError::Io(e) => write!(f, "cluster i/o error: {e}"),
-            ClusterError::Timeout {
-                delivered,
-                expected,
-            } => write!(f, "timed out with {delivered}/{expected} frames delivered"),
-            ClusterError::Delta(e) => write!(f, "plan delta rejected: {e}"),
-            ClusterError::StaleRevision { cluster, delta } => write!(
-                f,
-                "delta applies from revision {delta} but the cluster runs revision {cluster}"
-            ),
-            ClusterError::Control { site, detail } => {
-                write!(f, "control channel to {site} failed: {detail}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ClusterError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ClusterError::Io(e) => Some(e),
-            ClusterError::Delta(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for ClusterError {
-    fn from(e: io::Error) -> Self {
-        ClusterError::Io(e)
-    }
-}
-
-impl From<DeltaError> for ClusterError {
-    fn from(e: DeltaError) -> Self {
-        ClusterError::Delta(e)
-    }
-}
-
-/// Shared delivery counters. The scalar counters are `AtomicU64`: latency
-/// is measured in `u64` microseconds end to end, and `usize` atomics would
-/// silently truncate both it and large delivery totals on 32-bit targets.
-#[derive(Debug, Default)]
-struct Stats {
-    delivered: Mutex<BTreeMap<(SiteId, StreamId), u64>>,
-    latency_sums: Mutex<BTreeMap<(SiteId, StreamId), u64>>,
-    total: AtomicU64,
-    max_latency_micros: AtomicU64,
-}
-
-impl Stats {
-    fn record(&self, site: SiteId, stream: StreamId, latency_micros: u64) {
-        *self.delivered.lock().entry((site, stream)).or_default() += 1;
-        *self.latency_sums.lock().entry((site, stream)).or_default() += latency_micros;
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.max_latency_micros
-            .fetch_max(latency_micros, Ordering::Relaxed);
-    }
-}
-
-/// One RP's forwarding state, tagged with the plan revision it belongs to
-/// (matching [`PlanDelta::from_revision`]/[`PlanDelta::to_revision`]).
-#[derive(Debug)]
-struct ForwardingTable {
-    revision: u64,
-    plan: SitePlan,
-}
-
-/// The per-site state shared by an RP's reader threads and the
-/// coordinator.
-///
-/// Termination is **per stream**, not per connection: each stream's
-/// multicast tree is acyclic, so its `End` marker cascades from the origin
-/// to every subscriber without circular waits. The site-level connection
-/// graph (the union of all trees) may contain cycles — a per-connection
-/// `Bye` handshake deadlocks on such cycles, which is exactly the hang this
-/// design replaces.
-struct RpShared {
-    site: SiteId,
-    /// The live forwarding table; swapped atomically by `Reconfigure`.
-    table: Mutex<ForwardingTable>,
-    /// Outbound (this RP → child) data connections.
-    outbound: Mutex<BTreeMap<SiteId, TcpStream>>,
-    /// Upstream RPs currently connected inbound, attributed by the
-    /// `Hello { site }` preamble each data connection opens with. This is
-    /// what lets the receive side observe a `closed` link die.
-    inbound: Mutex<BTreeSet<SiteId>>,
-    stats: Arc<Stats>,
-    /// Shared timestamp base for capture/delivery micros.
-    clock: Instant,
-}
-
-impl RpShared {
-    /// Children of `stream` under the current table.
-    fn children_of(&self, stream: StreamId) -> Vec<SiteId> {
-        self.table
-            .lock()
-            .plan
-            .entry(stream)
-            .map(|e| e.children.clone())
-            .unwrap_or_default()
-    }
-
-    /// Forwards one frame to this RP's planned children for `stream`.
-    fn forward(&self, stream: StreamId, seq: u64, captured_micros: u64, payload: &Bytes) {
-        let children = self.children_of(stream);
-        if children.is_empty() {
-            return;
-        }
-        let mut buf = BytesMut::new();
-        encode(
-            &Message::Frame {
-                stream,
-                seq,
-                captured_micros,
-                payload: payload.clone(),
-            },
-            &mut buf,
-        );
-        let mut outbound = self.outbound.lock();
-        for child in children {
-            if let Some(conn) = outbound.get_mut(&child) {
-                // A failed forward drops that downstream subtree; the run
-                // then surfaces it as missing deliveries.
-                let _ = conn.write_all(&buf);
-            }
-        }
-    }
-
-    /// Cascades `stream`'s `End` marker to its children: the graceful
-    /// per-stream termination signal. Connections themselves outlive the
-    /// stream (they may carry others, or pick new ones up at the next
-    /// reconfiguration); the coordinator write-shuts them at shutdown.
-    fn end_stream(&self, stream: StreamId) {
-        let children = self.children_of(stream);
-        if children.is_empty() {
-            return;
-        }
-        let mut buf = BytesMut::new();
-        encode(&Message::End { stream }, &mut buf);
-        let mut outbound = self.outbound.lock();
-        for child in children {
-            if let Some(conn) = outbound.get_mut(&child) {
-                let _ = conn.write_all(&buf);
-            }
-        }
-    }
-}
+use crate::coordinator::{
+    ClusterConfig, ClusterError, ClusterReport, Coordinator, ReconfigureReport,
+};
+use crate::node::{RpNode, RpNodeHandle};
 
 /// A long-lived cluster of rendezvous points on 127.0.0.1 whose plan can
 /// be changed while it runs.
 ///
-/// Lifecycle — the live analogue of the paper's membership-server
-/// dictation:
+/// Lifecycle:
 ///
-/// 1. [`launch`](Self::launch) binds one listener per site, starts accept
-///    and reader threads, opens the initial plan's data connections (each
-///    opened with a `Hello` identifying the upstream RP), and one control
-///    connection from the coordinator to every RP;
-/// 2. [`publish`](Self::publish) pushes a batch of frames from every
-///    origin and blocks until all planned deliveries of the batch land;
-/// 3. [`apply_delta`](Self::apply_delta) reconfigures the running cluster:
-///    it opens exactly the connections [`link_changes`] reports as
-///    established, pushes `Reconfigure { revision, site_plan }` at every
-///    touched RP, collects each epoch-boundary `Ack`, then write-shuts
-///    exactly the `closed` connections — `retained` links (including
-///    socket-free stream reroutes) are never touched;
-/// 4. [`shutdown`](Self::shutdown) cascades per-stream `End` markers,
-///    closes every connection, joins the threads, and reports.
+/// 1. [`launch`](Self::launch) binds and spawns one [`RpNode`] per site
+///    of the plan, then connects a [`Coordinator`] to their addresses —
+///    installing forwarding tables and ordering the initial links open,
+///    all over TCP;
+/// 2. [`publish`](Self::publish) / [`apply_delta`](Self::apply_delta) /
+///    [`shutdown`](Self::shutdown) delegate to the coordinator, so the
+///    wrapper's behavior is *identical* to driving a fleet of external
+///    RP processes (the multi-process smoke test holds it to that,
+///    bit-for-bit on delivery accounting).
 ///
-/// [`link_changes`]: crate::link_changes
+/// A failed reconfiguration poisons the underlying coordinator: further
+/// `publish`/`apply_delta` calls return [`ClusterError::Poisoned`]
+/// instead of operating on an unknown plan state; shut the cluster down.
 pub struct LiveCluster {
-    config: ClusterConfig,
-    plan: DisseminationPlan,
-    addrs: Vec<SocketAddr>,
-    shared: Vec<Arc<RpShared>>,
-    stats: Arc<Stats>,
-    /// Coordinator → RP control channels, one per site.
-    control: Vec<TcpStream>,
-    handles: Vec<thread::JoinHandle<()>>,
-    shutdown: Arc<AtomicBool>,
-    /// Set when the first frame is published; the report's `elapsed`
-    /// measures from here, not from setup.
-    started: Option<Instant>,
-    next_seq: u64,
-    expected_total: u64,
-    connections_opened: u64,
-    connections_closed: u64,
+    nodes: Vec<RpNodeHandle>,
+    coordinator: Option<Coordinator>,
 }
 
 impl LiveCluster {
@@ -347,417 +46,131 @@ impl LiveCluster {
     ///
     /// # Errors
     ///
-    /// Returns an error on socket failures, or if the initial links are
-    /// not all attributed (`Hello` received) within `config.timeout`.
+    /// Returns an error on socket failures, or if the initial tables are
+    /// not acknowledged and links not reported up within
+    /// `config.timeout`.
     pub fn launch(
         plan: &DisseminationPlan,
         config: &ClusterConfig,
     ) -> Result<LiveCluster, ClusterError> {
-        let n = plan.site_count();
-        let stats = Arc::new(Stats::default());
-        let clock = Instant::now();
-        let shutdown = Arc::new(AtomicBool::new(false));
-
-        let mut children: Vec<BTreeSet<SiteId>> = vec![BTreeSet::new(); n];
-        for (parent, child, _) in plan.edges() {
-            children[parent.index()].insert(child);
+        let mut nodes = Vec::with_capacity(plan.site_count());
+        let mut addrs = Vec::with_capacity(plan.site_count());
+        for site in SiteId::all(plan.site_count()) {
+            let node = RpNode::bind(site, config.timeout)?;
+            addrs.push(node.local_addr());
+            nodes.push(node.spawn());
         }
-
-        // Bind all listeners first so connection order cannot race.
-        let mut listeners = Vec::with_capacity(n);
-        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            addrs.push(listener.local_addr()?);
-            listeners.push(listener);
-        }
-
-        let shared: Vec<Arc<RpShared>> = (0..n)
-            .map(|i| {
-                let site = SiteId::new(i as u32);
-                Arc::new(RpShared {
-                    site,
-                    table: Mutex::new(ForwardingTable {
-                        revision: plan.revision(),
-                        plan: plan.site_plan(site).clone(),
-                    }),
-                    outbound: Mutex::new(BTreeMap::new()),
-                    inbound: Mutex::new(BTreeSet::new()),
-                    stats: Arc::clone(&stats),
-                    clock,
-                })
-            })
-            .collect();
-
-        // Accept threads: accept until shutdown, spawning a reader per
-        // connection. Readers carry a read timeout purely as a periodic
-        // wake-up to re-check the shutdown flag — an idle link (a cluster
-        // sitting quiet between publish batches) must survive arbitrarily
-        // long, while a reader that missed its EOF still exits within one
-        // timeout of teardown.
-        let mut handles = Vec::new();
-        for (i, listener) in listeners.into_iter().enumerate() {
-            let rp = Arc::clone(&shared[i]);
-            let read_timeout = config.timeout;
-            let stop = Arc::clone(&shutdown);
-            handles.push(thread::spawn(move || {
-                let mut readers = Vec::new();
-                loop {
-                    let Ok((conn, _)) = listener.accept() else {
-                        break;
-                    };
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    conn.set_read_timeout(Some(read_timeout)).ok();
-                    conn.set_nodelay(true).ok();
-                    let rp = Arc::clone(&rp);
-                    let stop = Arc::clone(&stop);
-                    readers.push(thread::spawn(move || reader_loop(conn, &rp, &stop)));
+        match Coordinator::connect(plan, &addrs, config) {
+            Ok(coordinator) => Ok(LiveCluster {
+                nodes,
+                coordinator: Some(coordinator),
+            }),
+            Err(e) => {
+                for node in &nodes {
+                    node.stop();
                 }
-                for r in readers {
-                    let _ = r.join();
+                for node in nodes {
+                    node.join();
                 }
-            }));
-        }
-
-        let mut cluster = LiveCluster {
-            config: config.clone(),
-            plan: plan.clone(),
-            addrs,
-            shared,
-            stats,
-            control: Vec::new(),
-            handles,
-            shutdown,
-            started: None,
-            next_seq: 0,
-            expected_total: 0,
-            connections_opened: 0,
-            connections_closed: 0,
-        };
-
-        // Initial data links (parent → child), one per directed site pair.
-        let deadline = Instant::now() + config.timeout;
-        let mut pairs = Vec::new();
-        for (i, site_children) in children.iter().enumerate() {
-            for &child in site_children {
-                let parent = SiteId::new(i as u32);
-                cluster.open_link(parent, child)?;
-                pairs.push((parent, child));
+                Err(e)
             }
         }
-        for &(parent, child) in &pairs {
-            cluster.wait_for_inbound(child, parent, true, deadline)?;
-        }
+    }
 
-        // Control channels: one coordinator connection per RP. They carry
-        // no Hello — only Reconfigure/Ack/Bye ever travel on them.
-        for addr in &cluster.addrs {
-            let conn = TcpStream::connect(addr)?;
-            conn.set_nodelay(true).ok();
-            conn.set_read_timeout(Some(config.timeout)).ok();
-            conn.set_write_timeout(Some(config.timeout)).ok();
-            cluster.control.push(conn);
-        }
-
-        Ok(cluster)
+    fn coordinator(&self) -> &Coordinator {
+        self.coordinator.as_ref().expect("cluster is live")
     }
 
     /// Returns the plan the cluster currently executes.
     pub fn plan(&self) -> &DisseminationPlan {
-        &self.plan
+        self.coordinator().plan()
     }
 
     /// Returns the plan revision the cluster currently runs.
     pub fn revision(&self) -> u64 {
-        self.plan.revision()
+        self.coordinator().revision()
     }
 
     /// Returns the number of data connections opened by reconfigurations
     /// so far (initial plan links are not counted).
     pub fn connections_opened(&self) -> u64 {
-        self.connections_opened
+        self.coordinator().connections_opened()
     }
 
     /// Returns the number of data connections closed by reconfigurations
     /// so far.
     pub fn connections_closed(&self) -> u64 {
-        self.connections_closed
+        self.coordinator().connections_closed()
+    }
+
+    /// Returns true when a failed reconfiguration has poisoned the
+    /// cluster; see [`ClusterError::Poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.coordinator().is_poisoned()
     }
 
     /// Publishes `frames` frames from every origin stream of the current
-    /// plan and blocks until all planned deliveries of the batch land.
-    ///
-    /// The first call starts the report clock: setup cost (listener
-    /// binding, connection establishment) is excluded from `elapsed` by
-    /// construction.
+    /// plan and blocks until all planned deliveries of the batch land;
+    /// see [`Coordinator::publish`].
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::Timeout`] if the batch does not fully
-    /// deliver within `config.timeout`.
+    /// deliver within `config.timeout`, or [`ClusterError::Poisoned`]
+    /// after a failed reconfiguration.
     pub fn publish(&mut self, frames: u64) -> Result<(), ClusterError> {
-        if self.started.is_none() {
-            self.started = Some(Instant::now());
-        }
-        let mut origins: Vec<(SiteId, StreamId)> = Vec::new();
-        let mut expected_per_frame = 0u64;
-        for sp in self.plan.site_plans() {
-            expected_per_frame += sp.in_degree() as u64;
-            for entry in &sp.entries {
-                if entry.is_origin() && !entry.children.is_empty() {
-                    origins.push((sp.site, entry.stream));
-                }
-            }
-        }
-        let payload = Bytes::from(vec![0x3D; self.config.payload_bytes]);
-        for seq in self.next_seq..self.next_seq + frames {
-            for &(site, stream) in &origins {
-                let rp = &self.shared[site.index()];
-                let captured = rp.clock.elapsed().as_micros() as u64;
-                rp.forward(stream, seq, captured, &payload);
-            }
-            if let Some(interval) = self.config.frame_interval {
-                thread::sleep(interval);
-            }
-        }
-        self.next_seq += frames;
-        self.expected_total += frames * expected_per_frame;
-        self.await_deliveries()
+        self.coordinator
+            .as_mut()
+            .expect("cluster is live")
+            .publish(frames)
     }
 
-    /// Applies one [`PlanDelta`] to the running cluster: opens exactly the
-    /// `established` connections, reconfigures every touched RP over its
-    /// control channel, waits for all epoch-boundary `Ack`s, then
-    /// write-shuts exactly the `closed` connections. Links that are
-    /// `retained` — including pairs whose stream set changed — are never
-    /// touched, so a socket-free reroute opens and closes nothing.
+    /// Applies one [`PlanDelta`] to the running cluster; see
+    /// [`Coordinator::apply_delta`].
     ///
     /// # Errors
     ///
     /// Returns an error when the delta's revision does not match the
     /// cluster's, the delta does not apply to the current plan, a socket
-    /// operation fails, or an RP does not acknowledge in time. A failed
-    /// reconfiguration leaves the cluster in an undefined plan state; shut
-    /// it down.
+    /// operation fails, or an RP does not acknowledge in time. A failure
+    /// after validation poisons the cluster.
     pub fn apply_delta(&mut self, delta: &PlanDelta) -> Result<ReconfigureReport, ClusterError> {
-        if delta.from_revision() != self.plan.revision() {
-            return Err(ClusterError::StaleRevision {
-                cluster: self.plan.revision(),
-                delta: delta.from_revision(),
-            });
-        }
-        let mut next = self.plan.clone();
-        delta.apply(&mut next)?;
-        let changes = link_changes_between(&self.plan, &next);
-        let revision = delta.to_revision();
-        let deadline = Instant::now() + self.config.timeout;
-
-        // 1. Open new links before any table switches, so the first frame
-        //    routed by a new table already has its socket, and wait until
-        //    each child has attributed its new parent from the Hello.
-        for &(parent, child) in &changes.established {
-            self.open_link(parent, child)?;
-        }
-        for &(parent, child) in &changes.established {
-            self.wait_for_inbound(child, parent, true, deadline)?;
-        }
-
-        // 2. Swap forwarding tables over the control plane and collect
-        //    every Ack: once all land, no RP forwards by an old table.
-        let touched = delta.touched_sites();
-        for &site in &touched {
-            let mut buf = BytesMut::new();
-            encode(
-                &Message::Reconfigure {
-                    revision,
-                    site_plan: next.site_plan(site).clone(),
-                },
-                &mut buf,
-            );
-            self.control[site.index()]
-                .write_all(&buf)
-                .map_err(|e| ClusterError::Control {
-                    site,
-                    detail: e.to_string(),
-                })?;
-        }
-        for &site in &touched {
-            self.await_ack(site, revision)?;
-        }
-
-        // 3. Write-shut links whose last stream left, and wait for the
-        //    receive side to observe the attributed parent disappear.
-        for &(parent, child) in &changes.closed {
-            let conn = self.shared[parent.index()].outbound.lock().remove(&child);
-            if let Some(conn) = conn {
-                let _ = conn.shutdown(Shutdown::Write);
-            }
-        }
-        for &(parent, child) in &changes.closed {
-            self.wait_for_inbound(child, parent, false, deadline)?;
-        }
-
-        self.connections_opened += changes.established.len() as u64;
-        self.connections_closed += changes.closed.len() as u64;
-        self.plan = next;
-        Ok(ReconfigureReport {
-            revision,
-            established: changes.established,
-            closed: changes.closed,
-            retained: changes.retained.len(),
-            reconfigured_sites: touched.len(),
-        })
+        self.coordinator
+            .as_mut()
+            .expect("cluster is live")
+            .apply_delta(delta)
     }
 
-    /// Gracefully terminates the cluster: per-stream `End` markers cascade
-    /// from every origin, all connections close, every thread joins, and
+    /// Gracefully terminates the cluster: the coordinator harvests every
+    /// RP's final stats report, orders the fleet down (per-stream `End`
+    /// markers cascade from every origin), every node thread joins, and
     /// the delivery report comes back.
     ///
     /// Call after the last [`publish`](Self::publish) batch has completed;
     /// frames still in flight at shutdown are dropped with their links.
     pub fn shutdown(mut self) -> ClusterReport {
-        self.teardown();
-        for handle in std::mem::take(&mut self.handles) {
-            let _ = handle.join();
+        let report = self.coordinator.take().expect("cluster is live").shutdown();
+        for node in &self.nodes {
+            // Belt and braces: the Shutdown orders above already stop
+            // every node; a node whose control channel died still exits.
+            node.stop();
         }
-        ClusterReport {
-            delivered: self.stats.delivered.lock().clone(),
-            latency_sum_micros: self.stats.latency_sums.lock().clone(),
-            max_latency_micros: self.stats.max_latency_micros.load(Ordering::Relaxed),
-            elapsed: self.started.map(|s| s.elapsed()).unwrap_or_default(),
-            final_revision: self.plan.revision(),
-            connections_opened: self.connections_opened,
-            connections_closed: self.connections_closed,
+        for node in self.nodes.drain(..) {
+            node.join();
         }
-    }
-
-    /// Connects `parent` → `child` and registers the link, opening with
-    /// the `Hello` preamble that lets the child attribute the connection.
-    fn open_link(&self, parent: SiteId, child: SiteId) -> Result<(), ClusterError> {
-        let mut conn = TcpStream::connect(self.addrs[child.index()])?;
-        conn.set_nodelay(true).ok();
-        conn.set_write_timeout(Some(self.config.timeout)).ok();
-        let mut buf = BytesMut::new();
-        encode(&Message::Hello { site: parent }, &mut buf);
-        conn.write_all(&buf)?;
-        self.shared[parent.index()]
-            .outbound
-            .lock()
-            .insert(child, conn);
-        Ok(())
-    }
-
-    /// Waits until `child`'s attributed inbound set does (`present`) or
-    /// does not (`!present`) contain `parent`.
-    fn wait_for_inbound(
-        &self,
-        child: SiteId,
-        parent: SiteId,
-        present: bool,
-        deadline: Instant,
-    ) -> Result<(), ClusterError> {
-        loop {
-            if self.shared[child.index()].inbound.lock().contains(&parent) == present {
-                return Ok(());
-            }
-            if Instant::now() > deadline {
-                return Err(ClusterError::Control {
-                    site: child,
-                    detail: format!(
-                        "inbound link from {parent} never became {}",
-                        if present { "attributed" } else { "closed" }
-                    ),
-                });
-            }
-            thread::sleep(Duration::from_millis(1));
-        }
-    }
-
-    /// Reads `site`'s control channel until the `Ack` for `revision`.
-    fn await_ack(&mut self, site: SiteId, revision: u64) -> Result<(), ClusterError> {
-        let control_err = |detail: String| ClusterError::Control { site, detail };
-        let mut buf = BytesMut::with_capacity(256);
-        let mut chunk = [0u8; 256];
-        loop {
-            match decode(&mut buf) {
-                Ok(Some(Message::Ack { revision: got })) if got == revision => return Ok(()),
-                Ok(Some(other)) => {
-                    return Err(control_err(format!("unexpected response {other:?}")))
-                }
-                Ok(None) => {}
-                Err(e) => return Err(control_err(format!("undecodable response: {e}"))),
-            }
-            // The read timeout set at launch bounds this; a silent RP
-            // surfaces as a control error rather than a wedged cluster.
-            match self.control[site.index()].read(&mut chunk) {
-                Ok(0) => return Err(control_err("control channel closed".into())),
-                Ok(read) => buf.extend_from_slice(&chunk[..read]),
-                Err(e) => return Err(control_err(format!("ack read failed: {e}"))),
-            }
-        }
-    }
-
-    /// Waits until every published frame has been delivered.
-    fn await_deliveries(&self) -> Result<(), ClusterError> {
-        let deadline = Instant::now() + self.config.timeout;
-        loop {
-            let delivered = self.stats.total.load(Ordering::Relaxed);
-            if delivered >= self.expected_total {
-                return Ok(());
-            }
-            if Instant::now() > deadline {
-                return Err(ClusterError::Timeout {
-                    delivered,
-                    expected: self.expected_total,
-                });
-            }
-            thread::sleep(Duration::from_millis(1));
-        }
-    }
-
-    /// Idempotent teardown shared by [`shutdown`](Self::shutdown) and
-    /// `Drop`: cascade stream ends, close every connection, wake the
-    /// accept loops.
-    fn teardown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Graceful per-stream termination from every origin; relays
-        // cascade the markers. `Bye` below is the connection-level abort.
-        for sp in self.plan.site_plans() {
-            for entry in &sp.entries {
-                if entry.is_origin() && !entry.children.is_empty() {
-                    self.shared[sp.site.index()].end_stream(entry.stream);
-                }
-            }
-        }
-        for mut conn in self.control.drain(..) {
-            let mut buf = BytesMut::new();
-            encode(&Message::Bye, &mut buf);
-            let _ = conn.write_all(&buf);
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for rp in &self.shared {
-            let mut outbound = rp.outbound.lock();
-            for (_, conn) in outbound.iter() {
-                let _ = conn.shutdown(Shutdown::Write);
-            }
-            outbound.clear();
-        }
-        // Wake every accept loop; it re-checks the shutdown flag.
-        for addr in &self.addrs {
-            let _ = TcpStream::connect(addr);
-        }
+        report
     }
 }
 
 impl Drop for LiveCluster {
-    /// Best-effort teardown without joining (readers exit on EOF); the
+    /// Best-effort teardown without joining (dropping the coordinator
+    /// orders every RP down, and each node is stopped locally too); the
     /// graceful path is [`shutdown`](Self::shutdown).
     fn drop(&mut self) {
-        self.teardown();
+        drop(self.coordinator.take());
+        for node in &self.nodes {
+            node.stop();
+        }
     }
 }
 
@@ -775,7 +188,7 @@ impl teeve_pubsub::DeltaSink for LiveCluster {
 ///
 /// Every RP is a set of real threads: one reader per inbound link
 /// (decoding the wire protocol and forwarding frames per its forwarding
-/// table) plus the shared accept loop. Termination cascades **per
+/// table) plus the node's accept loop. Termination cascades **per
 /// stream**: when a stream's last frame has been published, its `End`
 /// marker flows down the stream's (acyclic) multicast tree, and
 /// connections are write-shut afterwards — there is no per-connection
@@ -794,103 +207,20 @@ pub fn run_cluster(
     Ok(cluster.shutdown())
 }
 
-/// Reads one inbound link until `Bye`/EOF, recording and forwarding
-/// frames, cascading per-stream `End` markers, swapping the forwarding
-/// table on `Reconfigure` (answering with the epoch-boundary `Ack`), and
-/// attributing the link to its upstream RP via the `Hello` preamble.
-///
-/// An idle link is kept open indefinitely: the read timeout is only a
-/// periodic wake-up to check `stop`, so a long-lived cluster can sit
-/// quiet between publish batches without its links (or its control
-/// channels) dying underneath it.
-fn reader_loop(mut conn: TcpStream, rp: &RpShared, stop: &AtomicBool) {
-    let mut buf = BytesMut::with_capacity(64 * 1024);
-    let mut chunk = [0u8; 64 * 1024];
-    let mut peer: Option<SiteId> = None;
-    loop {
-        match decode(&mut buf) {
-            Ok(Some(Message::Frame {
-                stream,
-                seq,
-                captured_micros,
-                payload,
-            })) => {
-                let now = rp.clock.elapsed().as_micros() as u64;
-                rp.stats
-                    .record(rp.site, stream, now.saturating_sub(captured_micros));
-                rp.forward(stream, seq, captured_micros, &payload);
-                continue;
-            }
-            Ok(Some(Message::End { stream })) => {
-                rp.end_stream(stream);
-                continue;
-            }
-            Ok(Some(Message::Hello { site })) => {
-                peer = Some(site);
-                rp.inbound.lock().insert(site);
-                continue;
-            }
-            Ok(Some(Message::Reconfigure {
-                revision,
-                site_plan,
-            })) => {
-                {
-                    // A replayed order for an older revision must not roll
-                    // the table back; it is still acknowledged so a
-                    // coordinator retry converges.
-                    let mut table = rp.table.lock();
-                    if revision >= table.revision {
-                        table.revision = revision;
-                        table.plan = site_plan;
-                    }
-                }
-                // Epoch boundary: everything sent after this Ack is routed
-                // by the new table.
-                let mut ack = BytesMut::new();
-                encode(&Message::Ack { revision }, &mut ack);
-                if conn.write_all(&ack).is_err() {
-                    break;
-                }
-                continue;
-            }
-            // An Ack is never addressed to an RP; drop the link.
-            Ok(Some(Message::Bye)) | Ok(Some(Message::Ack { .. })) | Err(_) => break,
-            Ok(None) => {}
-        }
-        match conn.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(read) => buf.extend_from_slice(&chunk[..read]),
-            // The read timeout (WouldBlock on Unix, TimedOut on Windows)
-            // just means the link is idle: keep serving it unless the
-            // cluster is tearing down. Real errors end the link.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    // De-attribute the link: the receive side of a `closed` pair observes
-    // the disconnect here.
-    if let Some(site) = peer {
-        rp.inbound.lock().remove(&site);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use teeve_overlay::{ConstructionAlgorithm, NodeCapacity, ProblemInstance, RandomJoin};
+    use teeve_overlay::{
+        ConstructionAlgorithm, NodeCapacity, OverlayManager, ProblemInstance, RandomJoin,
+    };
     use teeve_pubsub::StreamProfile;
-    use teeve_types::{CostMatrix, CostMs, Degree};
+    use teeve_types::{CostMatrix, CostMs, Degree, StreamId};
+
+    use crate::node::RpNode;
 
     fn site(i: u32) -> SiteId {
         SiteId::new(i)
@@ -1029,6 +359,45 @@ mod tests {
     }
 
     #[test]
+    fn socket_paced_streams_of_one_origin_pace_concurrently() {
+        // Site 0 originates two paced streams. Their Publish orders are
+        // executed on independent publisher threads, so the batch's wall
+        // time stays ≈ frames × interval — not doubled back-to-back per
+        // stream (the pre-redesign semantics of a shared capture cadence).
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(2));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[2, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 1))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let outcome = RandomJoin.construct(&problem, &mut rng);
+        assert_eq!(outcome.metrics().rejection_ratio(), 0.0);
+        let plan =
+            DisseminationPlan::from_forest(&problem, outcome.forest(), StreamProfile::default());
+
+        let config = ClusterConfig {
+            frames_per_stream: 5,
+            payload_bytes: 128,
+            frame_interval: Some(Duration::from_millis(40)),
+            timeout: Duration::from_secs(20),
+        };
+        let report = run_cluster(&plan, &config).expect("cluster completes");
+        assert_eq!(report.total_delivered(), 10);
+        // One paced batch spans ≥ its own gaps…
+        assert!(report.elapsed >= Duration::from_millis(180));
+        // …but two streams serialized would take ≥ 400 ms; concurrent
+        // pacing stays well under that even on a loaded host.
+        assert!(
+            report.elapsed < Duration::from_millis(360),
+            "paced batches must overlap, took {:?}",
+            report.elapsed
+        );
+    }
+
+    #[test]
     fn socket_launch_then_drop_terminates_cleanly() {
         // Dropping an idle cluster (no publish, no shutdown) must tear
         // everything down without wedging the process.
@@ -1056,9 +425,89 @@ mod tests {
                 delta: 7
             }
         ));
+        // A rejected-by-validation delta does NOT poison: the fleet was
+        // never touched, so its state is still known.
+        assert!(!cluster.is_poisoned());
         let report = cluster.shutdown();
         assert_eq!(report.connections_opened, 0);
         assert_eq!(report.connections_closed, 0);
+    }
+
+    #[test]
+    fn socket_failed_reconfigure_poisons_the_coordinator() {
+        // A 3-site universe where site 2 can join stream 0.0 later.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(4));
+        let problem = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[1, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(2), stream(0, 0))
+            .build()
+            .unwrap();
+        let mut manager = OverlayManager::new(problem.clone());
+        manager.subscribe(site(1), stream(0, 0)).unwrap();
+        let plan_a = DisseminationPlan::from_forest(
+            &problem,
+            &manager.forest_snapshot(),
+            StreamProfile::default(),
+        );
+
+        // Hand-rolled fleet (short node read timeout so the victim's
+        // reader notices the local stop quickly).
+        let mut nodes = Vec::new();
+        let mut addrs = Vec::new();
+        for s in SiteId::all(3) {
+            let node = RpNode::bind(s, Duration::from_millis(200)).expect("bind");
+            addrs.push(node.local_addr());
+            nodes.push(node.spawn());
+        }
+        let config = ClusterConfig {
+            timeout: Duration::from_secs(5),
+            ..quick_config()
+        };
+        let mut coordinator = Coordinator::connect(&plan_a, &addrs, &config).expect("connect");
+        coordinator.publish(2).expect("healthy batch");
+
+        // Kill site 2's RP out from under the coordinator, then try a
+        // delta that needs it (site 2 subscribes, so a link must open to
+        // the dead RP).
+        let victim = nodes.remove(2);
+        victim.stop();
+        victim.join();
+        manager.subscribe(site(2), stream(0, 0)).unwrap();
+        let mut plan_b = DisseminationPlan::from_forest(
+            &problem,
+            &manager.forest_snapshot(),
+            StreamProfile::default(),
+        );
+        plan_b.set_revision(1);
+        let delta = PlanDelta::diff(&plan_a, &plan_b);
+
+        let err = coordinator.apply_delta(&delta).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Control { .. } | ClusterError::Io(_)),
+            "dead RP must surface as a control failure, got {err}"
+        );
+        assert!(coordinator.is_poisoned());
+
+        // Poisoned: every further operation is refused explicitly
+        // instead of running on an unknown plan state.
+        assert!(matches!(
+            coordinator.publish(1),
+            Err(ClusterError::Poisoned)
+        ));
+        assert!(matches!(
+            coordinator.apply_delta(&delta),
+            Err(ClusterError::Poisoned)
+        ));
+
+        // Shutdown still harvests the surviving RPs' accounting.
+        let report = coordinator.shutdown();
+        assert_eq!(report.delivered[&(site(1), stream(0, 0))], 2);
+        for node in nodes {
+            node.stop();
+            node.join();
+        }
     }
 
     #[test]

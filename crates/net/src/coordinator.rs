@@ -1,0 +1,809 @@
+//! The wire-only cluster coordinator: the paper's membership-server
+//! dictation with no shared memory.
+//!
+//! A [`Coordinator`] holds nothing of the rendezvous points it drives but
+//! **control connections and site addresses**. Every action is a
+//! [`wire`](crate::wire) message: forwarding tables install via
+//! `Reconfigure`/`Ack`, links open and close via `OpenLink`/`CloseLink`
+//! orders confirmed by `LinkUp`/`LinkDown` notifications from the
+//! receiving RP, frames inject via `Publish`/`BatchDone` at origin RPs,
+//! and delivery accounting is harvested with `StatsRequest`/`StatsReport`
+//! — so the RPs it drives can live in the same process
+//! ([`LiveCluster`](crate::LiveCluster)), in separate OS processes, or on
+//! other hosts.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use teeve_pubsub::{DeltaError, DisseminationPlan, PlanDelta};
+use teeve_types::{SiteId, StreamId};
+
+use crate::replan::link_changes_between;
+use crate::wire::{decode, encode, Message, StreamDelivery};
+
+/// Configuration of a live cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Frames each origin publishes per stream (used by
+    /// [`run_cluster`](crate::run_cluster);
+    /// [`Coordinator::publish`] takes its batch size per call).
+    pub frames_per_stream: u64,
+    /// Synthetic payload size per frame in bytes (kept small in tests; a
+    /// real compressed 3DTI frame is ≈66 kB).
+    pub payload_bytes: usize,
+    /// Optional pacing between frames at the origin (`None` = publish as
+    /// fast as the sockets accept, for fast tests).
+    pub frame_interval: Option<Duration>,
+    /// Deadline for every blocking step: publish-batch completion, socket
+    /// reads, and reconfiguration acknowledgements.
+    pub timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    /// 10 frames per stream, 1 kB payloads, unpaced, 30 s timeout.
+    fn default() -> Self {
+        ClusterConfig {
+            frames_per_stream: 10,
+            payload_bytes: 1024,
+            frame_interval: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Delivery statistics of one live run, folded at shutdown from every
+/// RP's [`Message::StatsReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterReport {
+    /// Frames delivered per (site, stream).
+    pub delivered: BTreeMap<(SiteId, StreamId), u64>,
+    /// Sum of observed end-to-end latencies per (site, stream), in
+    /// microseconds (wall clock).
+    pub latency_sum_micros: BTreeMap<(SiteId, StreamId), u64>,
+    /// Worst observed end-to-end latency in microseconds (wall clock).
+    pub max_latency_micros: u64,
+    /// Wall-clock duration from the first published frame to shutdown.
+    /// Listener binding and connection setup happen before the clock
+    /// starts, so setup cost never pollutes the figure.
+    pub elapsed: Duration,
+    /// Plan revision the cluster was at when it shut down.
+    pub final_revision: u64,
+    /// TCP connections opened by reconfigurations (initial plan links are
+    /// not counted).
+    pub connections_opened: u64,
+    /// TCP connections closed by reconfigurations.
+    pub connections_closed: u64,
+}
+
+impl ClusterReport {
+    /// Returns total frames delivered across all sites.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+
+    /// Returns the mean end-to-end latency of one (site, stream) pair in
+    /// microseconds, or `None` if nothing was delivered to it.
+    pub fn mean_latency_micros(&self, site: SiteId, stream: StreamId) -> Option<u64> {
+        let frames = *self.delivered.get(&(site, stream))?;
+        if frames == 0 {
+            return None;
+        }
+        Some(self.latency_sum_micros.get(&(site, stream)).copied()? / frames)
+    }
+}
+
+/// What one applied [`PlanDelta`] did to the running cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigureReport {
+    /// The revision every reconfigured RP acknowledged.
+    pub revision: u64,
+    /// Connections the delta opened (parent → child pairs that carry
+    /// their first stream).
+    pub established: Vec<(SiteId, SiteId)>,
+    /// Connections the delta closed (pairs whose last stream left).
+    pub closed: Vec<(SiteId, SiteId)>,
+    /// Pairs that kept their connection across the delta.
+    pub retained: usize,
+    /// RPs whose forwarding tables were swapped (and acknowledged).
+    pub reconfigured_sites: usize,
+}
+
+impl ReconfigureReport {
+    /// Returns true when the delta touched no socket: every reroute moved
+    /// streams between connections that already existed and survived.
+    pub fn is_socket_free(&self) -> bool {
+        self.established.is_empty() && self.closed.is_empty()
+    }
+}
+
+/// Error produced by a cluster run.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket setup or transfer failed.
+    Io(io::Error),
+    /// Deliveries did not complete before the configured timeout.
+    Timeout {
+        /// Frames delivered so far.
+        delivered: u64,
+        /// Frames expected in total.
+        expected: u64,
+    },
+    /// A plan delta did not apply to the cluster's current plan.
+    Delta(DeltaError),
+    /// A delta was produced against a different revision than the cluster
+    /// is running.
+    StaleRevision {
+        /// The revision the cluster is at.
+        cluster: u64,
+        /// The revision the delta applies from.
+        delta: u64,
+    },
+    /// The control channel to one RP failed during reconfiguration.
+    Control {
+        /// The RP whose control channel failed.
+        site: SiteId,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The coordinator was given a different number of RP addresses than
+    /// the plan has sites.
+    FleetSize {
+        /// Sites in the plan.
+        sites: usize,
+        /// Addresses supplied.
+        addrs: usize,
+    },
+    /// A previous reconfiguration failed partway, leaving the fleet's
+    /// plan state unknown; the cluster refuses further work. Shut it down
+    /// (delivery accounting is still harvested best-effort).
+    Poisoned,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster i/o error: {e}"),
+            ClusterError::Timeout {
+                delivered,
+                expected,
+            } => write!(f, "timed out with {delivered}/{expected} frames delivered"),
+            ClusterError::Delta(e) => write!(f, "plan delta rejected: {e}"),
+            ClusterError::StaleRevision { cluster, delta } => write!(
+                f,
+                "delta applies from revision {delta} but the cluster runs revision {cluster}"
+            ),
+            ClusterError::Control { site, detail } => {
+                write!(f, "control channel to {site} failed: {detail}")
+            }
+            ClusterError::FleetSize { sites, addrs } => write!(
+                f,
+                "plan covers {sites} sites but {addrs} RP addresses were supplied"
+            ),
+            ClusterError::Poisoned => write!(
+                f,
+                "cluster poisoned by a failed reconfiguration; shut it down"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            ClusterError::Delta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<DeltaError> for ClusterError {
+    fn from(e: DeltaError) -> Self {
+        ClusterError::Delta(e)
+    }
+}
+
+/// The latest [`Message::StatsReport`] harvested from one RP.
+#[derive(Debug, Clone, Default)]
+struct StatsSnapshot {
+    probe: u64,
+    total: u64,
+    max_latency_micros: u64,
+    streams: Vec<StreamDelivery>,
+}
+
+/// The coordinator's entire knowledge of one RP: its address, the control
+/// connection, and state reconstructed from its notifications. There is
+/// deliberately no `Arc` into RP memory here — this struct is what makes
+/// the cluster process-separable.
+struct SiteLink {
+    site: SiteId,
+    addr: SocketAddr,
+    conn: TcpStream,
+    buf: BytesMut,
+    /// Upstream peers the RP has reported `LinkUp` (minus `LinkDown`)
+    /// for: the wire-level replacement of the old shared inbound set.
+    inbound: BTreeSet<SiteId>,
+    /// Revisions the RP has acknowledged.
+    acks: BTreeSet<u64>,
+    /// Per-stream high-water mark of `BatchDone { next_seq }`.
+    batches: BTreeMap<StreamId, u64>,
+    /// The freshest stats report, tagged with its probe token.
+    stats: Option<StatsSnapshot>,
+}
+
+impl SiteLink {
+    /// Folds one decoded control message into the reconstructed state.
+    fn dispatch(&mut self, message: Message) -> Result<(), ClusterError> {
+        match message {
+            Message::LinkUp { peer } => {
+                self.inbound.insert(peer);
+            }
+            Message::LinkDown { peer } => {
+                self.inbound.remove(&peer);
+            }
+            Message::Ack { revision } => {
+                self.acks.insert(revision);
+            }
+            Message::BatchDone { stream, next_seq } => {
+                let high = self.batches.entry(stream).or_default();
+                *high = (*high).max(next_seq);
+            }
+            Message::StatsReport {
+                probe,
+                total,
+                max_latency_micros,
+                streams,
+            } => {
+                self.stats = Some(StatsSnapshot {
+                    probe,
+                    total,
+                    max_latency_micros,
+                    streams,
+                });
+            }
+            other => {
+                return Err(ClusterError::Control {
+                    site: self.site,
+                    detail: format!("unexpected control-channel message {other:?}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes and dispatches every complete message already buffered.
+    fn drain(&mut self) -> Result<(), ClusterError> {
+        loop {
+            match decode(&mut self.buf) {
+                Ok(Some(message)) => self.dispatch(message)?,
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    return Err(ClusterError::Control {
+                        site: self.site,
+                        detail: format!("undecodable control traffic: {e}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Encodes and sends one order down the control channel.
+    fn send(&mut self, message: &Message) -> Result<(), ClusterError> {
+        let mut buf = BytesMut::new();
+        encode(message, &mut buf);
+        self.conn
+            .write_all(&buf)
+            .map_err(|e| ClusterError::Control {
+                site: self.site,
+                detail: format!("order write failed: {e}"),
+            })
+    }
+
+    /// Reads and dispatches control traffic until `pred` yields, or the
+    /// deadline passes.
+    fn wait_for<T>(
+        &mut self,
+        deadline: Instant,
+        what: &str,
+        mut pred: impl FnMut(&SiteLink) -> Option<T>,
+    ) -> Result<T, ClusterError> {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            self.drain()?;
+            if let Some(found) = pred(self) {
+                return Ok(found);
+            }
+            if Instant::now() > deadline {
+                return Err(ClusterError::Control {
+                    site: self.site,
+                    detail: format!("timed out waiting for {what}"),
+                });
+            }
+            // The read timeout set at connect bounds this; a silent RP
+            // surfaces as a control error rather than a wedged cluster.
+            match self.conn.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClusterError::Control {
+                        site: self.site,
+                        detail: "control channel closed".into(),
+                    })
+                }
+                Ok(read) => self.buf.extend_from_slice(&chunk[..read]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                Err(e) => {
+                    return Err(ClusterError::Control {
+                        site: self.site,
+                        detail: format!("control read failed: {e}"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// A cluster coordinator holding only control connections and site
+/// addresses.
+///
+/// Lifecycle — the live analogue of the paper's membership-server
+/// dictation, now entirely wire-level:
+///
+/// 1. [`connect`](Self::connect) attaches one control connection per RP
+///    address, installs the initial plan's forwarding tables
+///    (`Reconfigure`/`Ack`), and orders the initial data links open
+///    (`OpenLink`, confirmed by each child's `LinkUp`);
+/// 2. [`publish`](Self::publish) orders a batch of frames out of every
+///    origin RP and blocks until every planned delivery is accounted for
+///    by stats probes;
+/// 3. [`apply_delta`](Self::apply_delta) reconfigures the running fleet:
+///    it orders exactly the connections [`link_changes`] reports as
+///    established opened, pushes `Reconfigure { revision, site_plan }` at
+///    every touched RP, collects each epoch-boundary `Ack`, then orders
+///    exactly the `closed` connections shut — `retained` links (including
+///    socket-free stream reroutes) are never touched;
+/// 4. [`shutdown`](Self::shutdown) harvests every RP's final
+///    `StatsReport`, folds them into the [`ClusterReport`], and orders
+///    the fleet down.
+///
+/// A reconfiguration that fails after validation **poisons** the
+/// coordinator: the fleet's plan state is unknown, so further
+/// [`publish`](Self::publish)/[`apply_delta`](Self::apply_delta) calls
+/// return [`ClusterError::Poisoned`] until the cluster is shut down.
+///
+/// [`link_changes`]: crate::link_changes
+pub struct Coordinator {
+    config: ClusterConfig,
+    plan: DisseminationPlan,
+    sites: Vec<SiteLink>,
+    started: Option<Instant>,
+    next_seq: u64,
+    next_probe: u64,
+    expected_total: u64,
+    connections_opened: u64,
+    connections_closed: u64,
+    poisoned: bool,
+    done: bool,
+}
+
+impl Coordinator {
+    /// Connects to an already-listening RP fleet (one address per site of
+    /// `plan`, in site order), installs the plan's forwarding tables, and
+    /// orders the initial overlay links open.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address count mismatches the plan, a
+    /// control connection cannot be established, a table install is not
+    /// acknowledged, or an initial link does not come up within
+    /// `config.timeout`.
+    pub fn connect(
+        plan: &DisseminationPlan,
+        addrs: &[SocketAddr],
+        config: &ClusterConfig,
+    ) -> Result<Coordinator, ClusterError> {
+        if addrs.len() != plan.site_count() {
+            return Err(ClusterError::FleetSize {
+                sites: plan.site_count(),
+                addrs: addrs.len(),
+            });
+        }
+        let mut sites = Vec::with_capacity(addrs.len());
+        for (i, &addr) in addrs.iter().enumerate() {
+            let conn = TcpStream::connect(addr)?;
+            conn.set_nodelay(true).ok();
+            conn.set_read_timeout(Some(config.timeout)).ok();
+            conn.set_write_timeout(Some(config.timeout)).ok();
+            let mut link = SiteLink {
+                site: SiteId::new(i as u32),
+                addr,
+                conn,
+                buf: BytesMut::with_capacity(4 * 1024),
+                inbound: BTreeSet::new(),
+                acks: BTreeSet::new(),
+                batches: BTreeMap::new(),
+                stats: None,
+            };
+            link.send(&Message::Attach)?;
+            sites.push(link);
+        }
+        let mut coordinator = Coordinator {
+            config: config.clone(),
+            plan: plan.clone(),
+            sites,
+            started: None,
+            next_seq: 0,
+            next_probe: 0,
+            expected_total: 0,
+            connections_opened: 0,
+            connections_closed: 0,
+            poisoned: false,
+            done: false,
+        };
+
+        let deadline = Instant::now() + config.timeout;
+        // Install every forwarding table before any link exists, so the
+        // first frame routed already has its table.
+        let revision = plan.revision();
+        for site in SiteId::all(plan.site_count()) {
+            coordinator.sites[site.index()].send(&Message::Reconfigure {
+                revision,
+                site_plan: plan.site_plan(site).clone(),
+            })?;
+        }
+        for site in SiteId::all(plan.site_count()) {
+            coordinator.await_ack(site, revision, deadline)?;
+        }
+
+        // Initial data links (parent → child), one per directed site pair;
+        // the RPs dial their own children.
+        let pairs: BTreeSet<(SiteId, SiteId)> = plan
+            .edges()
+            .map(|(parent, child, _)| (parent, child))
+            .collect();
+        for &(parent, child) in &pairs {
+            coordinator.order_open(parent, child)?;
+        }
+        for &(parent, child) in &pairs {
+            coordinator.await_inbound(child, parent, true, deadline)?;
+        }
+        Ok(coordinator)
+    }
+
+    /// Returns the plan the cluster currently executes.
+    pub fn plan(&self) -> &DisseminationPlan {
+        &self.plan
+    }
+
+    /// Returns the plan revision the cluster currently runs.
+    pub fn revision(&self) -> u64 {
+        self.plan.revision()
+    }
+
+    /// Returns the number of data connections opened by reconfigurations
+    /// so far (initial plan links are not counted).
+    pub fn connections_opened(&self) -> u64 {
+        self.connections_opened
+    }
+
+    /// Returns the number of data connections closed by reconfigurations
+    /// so far.
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed
+    }
+
+    /// Returns true when a failed reconfiguration has left the fleet in
+    /// an unknown plan state; see [`ClusterError::Poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Orders `frames` frames published from every origin stream of the
+    /// current plan and blocks until all planned deliveries of the batch
+    /// are accounted for by the fleet's stats reports.
+    ///
+    /// The first call starts the report clock: setup cost (listener
+    /// binding, connection establishment) is excluded from `elapsed` by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Poisoned`] after a failed reconfiguration,
+    /// and [`ClusterError::Timeout`] if the batch does not fully deliver
+    /// within `config.timeout`.
+    pub fn publish(&mut self, frames: u64) -> Result<(), ClusterError> {
+        if self.poisoned {
+            return Err(ClusterError::Poisoned);
+        }
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        let mut origins: Vec<(SiteId, StreamId)> = Vec::new();
+        let mut expected_per_frame = 0u64;
+        for sp in self.plan.site_plans() {
+            expected_per_frame += sp.in_degree() as u64;
+            for entry in &sp.entries {
+                if entry.is_origin() && !entry.children.is_empty() {
+                    origins.push((sp.site, entry.stream));
+                }
+            }
+        }
+        let base_seq = self.next_seq;
+        let interval_micros = self
+            .config
+            .frame_interval
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        for &(site, stream) in &origins {
+            self.sites[site.index()].send(&Message::Publish {
+                stream,
+                base_seq,
+                frames,
+                payload_bytes: self.config.payload_bytes as u32,
+                interval_micros,
+            })?;
+        }
+        let deadline = Instant::now() + self.config.timeout;
+        let target = base_seq + frames;
+        for &(site, stream) in &origins {
+            self.sites[site.index()].wait_for(deadline, "publish batch completion", |link| {
+                (link.batches.get(&stream).copied().unwrap_or(0) >= target).then_some(())
+            })?;
+        }
+        self.next_seq += frames;
+        self.expected_total += frames * expected_per_frame;
+        self.await_deliveries()
+    }
+
+    /// Applies one [`PlanDelta`] to the running cluster: orders exactly
+    /// the `established` connections opened, reconfigures every touched
+    /// RP over its control channel, waits for all epoch-boundary `Ack`s,
+    /// then orders exactly the `closed` connections shut. Links that are
+    /// `retained` — including pairs whose stream set changed — are never
+    /// touched, so a socket-free reroute opens and closes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the delta's revision does not match the
+    /// cluster's, the delta does not apply to the current plan, a socket
+    /// operation fails, or an RP does not acknowledge in time. A failure
+    /// *after* validation poisons the coordinator — further `publish`/
+    /// `apply_delta` calls return [`ClusterError::Poisoned`]; shut the
+    /// cluster down.
+    pub fn apply_delta(&mut self, delta: &PlanDelta) -> Result<ReconfigureReport, ClusterError> {
+        if self.poisoned {
+            return Err(ClusterError::Poisoned);
+        }
+        if delta.from_revision() != self.plan.revision() {
+            return Err(ClusterError::StaleRevision {
+                cluster: self.plan.revision(),
+                delta: delta.from_revision(),
+            });
+        }
+        let mut next = self.plan.clone();
+        delta.apply(&mut next)?;
+        // Validation passed: any failure beyond this point leaves the
+        // fleet partially reconfigured, so it poisons the coordinator.
+        match self.reconfigure(delta, next) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// The socket-touching phase of [`apply_delta`](Self::apply_delta);
+    /// `next` is the already-validated successor plan.
+    fn reconfigure(
+        &mut self,
+        delta: &PlanDelta,
+        next: DisseminationPlan,
+    ) -> Result<ReconfigureReport, ClusterError> {
+        let changes = link_changes_between(&self.plan, &next);
+        let revision = delta.to_revision();
+        let deadline = Instant::now() + self.config.timeout;
+
+        // 1. Open new links before any table switches, so the first frame
+        //    routed by a new table already has its socket, and wait until
+        //    each child has reported its new parent's link up.
+        for &(parent, child) in &changes.established {
+            self.order_open(parent, child)?;
+        }
+        for &(parent, child) in &changes.established {
+            self.await_inbound(child, parent, true, deadline)?;
+        }
+
+        // 2. Swap forwarding tables over the control plane and collect
+        //    every Ack: once all land, no RP forwards by an old table.
+        let touched = delta.touched_sites();
+        for &site in &touched {
+            self.sites[site.index()].send(&Message::Reconfigure {
+                revision,
+                site_plan: next.site_plan(site).clone(),
+            })?;
+        }
+        for &site in &touched {
+            self.await_ack(site, revision, deadline)?;
+        }
+
+        // 3. Order links whose last stream left shut, and wait for the
+        //    receive side to report the attributed parent gone.
+        for &(parent, child) in &changes.closed {
+            self.sites[parent.index()].send(&Message::CloseLink { child })?;
+        }
+        for &(parent, child) in &changes.closed {
+            self.await_inbound(child, parent, false, deadline)?;
+        }
+
+        self.connections_opened += changes.established.len() as u64;
+        self.connections_closed += changes.closed.len() as u64;
+        self.plan = next;
+        Ok(ReconfigureReport {
+            revision,
+            established: changes.established,
+            closed: changes.closed,
+            retained: changes.retained.len(),
+            reconfigured_sites: touched.len(),
+        })
+    }
+
+    /// Shuts the fleet down and reports: harvests every RP's final stats
+    /// report, folds them into the [`ClusterReport`], then orders every
+    /// RP to exit.
+    ///
+    /// Harvesting is best-effort — an RP whose control channel already
+    /// failed (e.g. after a poisoning reconfiguration) contributes
+    /// nothing to the report instead of failing the shutdown.
+    pub fn shutdown(mut self) -> ClusterReport {
+        let elapsed = self.started.map(|s| s.elapsed()).unwrap_or_default();
+        let deadline = Instant::now() + self.config.timeout;
+        self.next_probe += 1;
+        let probe = self.next_probe;
+        let mut report = ClusterReport {
+            elapsed,
+            final_revision: self.plan.revision(),
+            connections_opened: self.connections_opened,
+            connections_closed: self.connections_closed,
+            ..ClusterReport::default()
+        };
+        let mut reachable: Vec<bool> = Vec::with_capacity(self.sites.len());
+        for link in &mut self.sites {
+            reachable.push(link.send(&Message::StatsRequest { probe }).is_ok());
+        }
+        for (link, ok) in self.sites.iter_mut().zip(reachable) {
+            if !ok {
+                continue;
+            }
+            let Ok(snapshot) = link.wait_for(deadline, "final stats report", |l| {
+                l.stats.as_ref().filter(|s| s.probe >= probe).cloned()
+            }) else {
+                continue;
+            };
+            for entry in snapshot.streams {
+                report
+                    .delivered
+                    .insert((link.site, entry.stream), entry.delivered);
+                report
+                    .latency_sum_micros
+                    .insert((link.site, entry.stream), entry.latency_sum_micros);
+            }
+            report.max_latency_micros = report.max_latency_micros.max(snapshot.max_latency_micros);
+        }
+        for link in &mut self.sites {
+            let _ = link.send(&Message::Shutdown);
+        }
+        self.done = true;
+        report
+    }
+
+    /// Orders `parent` to open its data link to `child`, resolving the
+    /// child's address from the fleet table.
+    fn order_open(&mut self, parent: SiteId, child: SiteId) -> Result<(), ClusterError> {
+        let addr = self.sites[child.index()].addr;
+        self.sites[parent.index()].send(&Message::OpenLink { child, addr })
+    }
+
+    /// Waits until `child` has reported the inbound link from `parent`
+    /// up (`present`) or down (`!present`).
+    fn await_inbound(
+        &mut self,
+        child: SiteId,
+        parent: SiteId,
+        present: bool,
+        deadline: Instant,
+    ) -> Result<(), ClusterError> {
+        let what = if present {
+            "inbound link attribution"
+        } else {
+            "inbound link closure"
+        };
+        self.sites[child.index()]
+            .wait_for(deadline, what, |link| {
+                (link.inbound.contains(&parent) == present).then_some(())
+            })
+            .map_err(|e| match e {
+                ClusterError::Control { site, detail } => ClusterError::Control {
+                    site,
+                    detail: format!("{detail} (link {parent} -> {child})"),
+                },
+                other => other,
+            })
+    }
+
+    /// Waits for `site`'s `Ack` of `revision`.
+    fn await_ack(
+        &mut self,
+        site: SiteId,
+        revision: u64,
+        deadline: Instant,
+    ) -> Result<(), ClusterError> {
+        self.sites[site.index()].wait_for(deadline, "reconfiguration ack", |link| {
+            link.acks.contains(&revision).then_some(())
+        })
+    }
+
+    /// Polls the fleet's stats until every published frame is accounted
+    /// for.
+    fn await_deliveries(&mut self) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + self.config.timeout;
+        loop {
+            self.next_probe += 1;
+            let probe = self.next_probe;
+            for link in &mut self.sites {
+                link.send(&Message::StatsRequest { probe })?;
+            }
+            let mut delivered = 0u64;
+            for link in &mut self.sites {
+                let snapshot = link.wait_for(deadline, "stats report", |l| {
+                    l.stats.as_ref().filter(|s| s.probe >= probe).cloned()
+                })?;
+                delivered += snapshot.total;
+            }
+            if delivered >= self.expected_total {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(ClusterError::Timeout {
+                    delivered,
+                    expected: self.expected_total,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    /// Best-effort fleet teardown for coordinators dropped without
+    /// [`shutdown`](Self::shutdown): every RP is ordered to exit so no
+    /// node outlives its abandoned coordinator.
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        for link in &mut self.sites {
+            let _ = link.send(&Message::Shutdown);
+        }
+    }
+}
+
+impl teeve_pubsub::DeltaSink for Coordinator {
+    type Error = ClusterError;
+
+    fn apply_delta(&mut self, delta: &PlanDelta) -> Result<(), Self::Error> {
+        Coordinator::apply_delta(self, delta).map(|_| ())
+    }
+}

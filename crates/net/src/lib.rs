@@ -7,13 +7,26 @@
 //! forwards frames to its planned children over a length-prefixed binary
 //! protocol ([`wire`]).
 //!
-//! [`LiveCluster`] keeps the RPs up across plan revisions: a coordinator
-//! pushes each [`PlanDelta`](teeve_pubsub::PlanDelta) at the running
-//! cluster over a TCP control plane (`Reconfigure`/`Ack`), opening only
-//! the connections [`link_changes`] reports as established and closing
-//! only the ones whose last stream left — socket-free reroutes touch
-//! nothing. [`run_cluster`] is the one-shot wrapper: launch, publish,
-//! shut down, report per-site delivery counts and latencies.
+//! The substrate is **process-separable**: an [`RpNode`] is one site's
+//! autonomous RP runtime — it owns its listener, forwarding table, link
+//! set, and delivery counters, and is addressed only by socket — while a
+//! [`Coordinator`] holds nothing but control connections and site
+//! addresses. Every coordinator action is a [`wire`] message (table
+//! installs via `Reconfigure`/`Ack`, link lifecycle via
+//! `OpenLink`/`CloseLink` orders confirmed by `LinkUp`/`LinkDown`
+//! notifications, frame injection via `Publish`/`BatchDone`, delivery
+//! accounting via `StatsRequest`/`StatsReport`), so the same coordinator
+//! drives RPs spawned as threads, as separate OS processes, or on other
+//! hosts.
+//!
+//! [`LiveCluster`] is the in-process convenience wrapper (N spawned
+//! nodes + one coordinator) that keeps the RPs up across plan revisions:
+//! each [`PlanDelta`](teeve_pubsub::PlanDelta) is pushed at the running
+//! cluster over the control plane, opening only the connections
+//! [`link_changes`] reports as established and closing only the ones
+//! whose last stream left — socket-free reroutes touch nothing.
+//! [`run_cluster`] is the one-shot wrapper: launch, publish, shut down,
+//! report per-site delivery counts and latencies.
 //!
 //! # Examples
 //!
@@ -45,10 +58,12 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod coordinator;
+mod node;
 mod replan;
 pub mod wire;
 
-pub use cluster::{
-    run_cluster, ClusterConfig, ClusterError, ClusterReport, LiveCluster, ReconfigureReport,
-};
+pub use cluster::{run_cluster, LiveCluster};
+pub use coordinator::{ClusterConfig, ClusterError, ClusterReport, Coordinator, ReconfigureReport};
+pub use node::{RpNode, RpNodeHandle};
 pub use replan::{link_changes, link_changes_between, LinkChanges};

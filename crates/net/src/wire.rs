@@ -1,9 +1,25 @@
-//! Wire protocol: length-prefixed binary framing for RP-to-RP links.
+//! Wire protocol: length-prefixed binary framing for RP-to-RP links and
+//! the coordinator control plane.
 //!
 //! Every message is `[u32 LE length][u8 tag][body…]` where `length` counts
 //! the tag and body. Integers are little-endian. The codec is incremental:
 //! feed bytes as they arrive, decode complete messages as they become
 //! available.
+//!
+//! Since the process-separable RP redesign, *every* coordinator action is
+//! a message on this protocol — there is no shared-memory side channel:
+//!
+//! * link lifecycle: [`Message::OpenLink`]/[`Message::CloseLink`] orders
+//!   (the RP dials or write-shuts its own sockets) answered by
+//!   [`Message::LinkUp`]/[`Message::LinkDown`] notifications from the
+//!   receiving side;
+//! * frame injection: [`Message::Publish`] orders executed by origin RPs,
+//!   acknowledged with [`Message::BatchDone`];
+//! * delivery accounting: [`Message::StatsRequest`] answered by
+//!   [`Message::StatsReport`];
+//! * teardown: [`Message::Shutdown`].
+
+use std::net::SocketAddr;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use teeve_pubsub::{ForwardingEntry, SitePlan};
@@ -20,6 +36,29 @@ const TAG_BYE: u8 = 3;
 const TAG_END: u8 = 4;
 const TAG_RECONFIGURE: u8 = 5;
 const TAG_ACK: u8 = 6;
+const TAG_ATTACH: u8 = 7;
+const TAG_OPEN_LINK: u8 = 8;
+const TAG_CLOSE_LINK: u8 = 9;
+const TAG_LINK_UP: u8 = 10;
+const TAG_LINK_DOWN: u8 = 11;
+const TAG_PUBLISH: u8 = 12;
+const TAG_BATCH_DONE: u8 = 13;
+const TAG_STATS_REQUEST: u8 = 14;
+const TAG_STATS_REPORT: u8 = 15;
+const TAG_SHUTDOWN: u8 = 16;
+
+/// One stream's delivery counters at one RP, as carried by
+/// [`Message::StatsReport`]. The reporting RP is identified by the control
+/// channel the report arrives on, so entries only name the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDelivery {
+    /// The delivered stream.
+    pub stream: StreamId,
+    /// Frames of `stream` delivered at the reporting RP.
+    pub delivered: u64,
+    /// Sum of observed end-to-end latencies, in microseconds.
+    pub latency_sum_micros: u64,
+}
 
 /// A protocol message between rendezvous points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +113,91 @@ pub enum Message {
         /// The revision the RP switched to.
         revision: u64,
     },
+    /// Coordinator preamble: marks this connection as the RP's control
+    /// channel. All RP-originated control traffic ([`LinkUp`](Self::LinkUp),
+    /// [`LinkDown`](Self::LinkDown), [`Ack`](Self::Ack),
+    /// [`BatchDone`](Self::BatchDone), [`StatsReport`](Self::StatsReport))
+    /// is sent on the most recently attached connection.
+    Attach,
+    /// Coordinator order: dial `addr`, open with the `Hello` preamble, and
+    /// register the connection as the data link to `child`. The receiving
+    /// RP owns the socket; the coordinator learns the outcome from the
+    /// child's [`LinkUp`](Self::LinkUp).
+    OpenLink {
+        /// The downstream RP to connect to.
+        child: SiteId,
+        /// The child's listener address.
+        addr: SocketAddr,
+    },
+    /// Coordinator order: write-shut and drop the data link to `child`.
+    /// The child observes the disconnect and reports
+    /// [`LinkDown`](Self::LinkDown).
+    CloseLink {
+        /// The downstream RP to disconnect from.
+        child: SiteId,
+    },
+    /// Control notification from an RP: an inbound data connection
+    /// attributed itself (via `Hello`) to `peer`. Replaces the old
+    /// coordinator's shared-memory poll of the RP's inbound set.
+    LinkUp {
+        /// The upstream RP that connected.
+        peer: SiteId,
+    },
+    /// Control notification from an RP: the inbound data connection from
+    /// `peer` disconnected.
+    LinkDown {
+        /// The upstream RP that disconnected.
+        peer: SiteId,
+    },
+    /// Coordinator order to an origin RP: inject `frames` synthetic frames
+    /// of `stream` (sequence numbers `base_seq..base_seq + frames`) into
+    /// the overlay, pacing by `interval_micros` when nonzero. Answered
+    /// with [`BatchDone`](Self::BatchDone) once the last frame is sent.
+    Publish {
+        /// The stream to publish; the receiving RP must originate it.
+        stream: StreamId,
+        /// First sequence number of the batch.
+        base_seq: u64,
+        /// Number of frames to publish.
+        frames: u64,
+        /// Synthetic payload size per frame, in bytes.
+        payload_bytes: u32,
+        /// Pause between frames in microseconds (0 = unpaced).
+        interval_micros: u64,
+    },
+    /// Origin RP acknowledgement: every frame of the
+    /// [`Publish`](Self::Publish) batch ending at `next_seq` has been
+    /// forwarded to the stream's children.
+    BatchDone {
+        /// The published stream.
+        stream: StreamId,
+        /// One past the last published sequence number.
+        next_seq: u64,
+    },
+    /// Coordinator probe: report current delivery counters. `probe`
+    /// correlates request and response on the control channel.
+    StatsRequest {
+        /// Caller-chosen correlation token, echoed by the report.
+        probe: u64,
+    },
+    /// RP response to [`StatsRequest`](Self::StatsRequest): the RP's
+    /// complete delivery accounting so far. Replaces the old shared
+    /// in-memory `Stats`; the coordinator folds these into its
+    /// cluster-wide report.
+    StatsReport {
+        /// The echoed correlation token.
+        probe: u64,
+        /// Total frames delivered at this RP.
+        total: u64,
+        /// Worst observed end-to-end latency in microseconds.
+        max_latency_micros: u64,
+        /// Per-stream delivery counters.
+        streams: Vec<StreamDelivery>,
+    },
+    /// Coordinator order: cascade `End` markers for locally originated
+    /// streams, write-shut every outbound link, and exit. The terminal
+    /// message of an RP's lifecycle.
+    Shutdown,
 }
 
 /// Error produced while decoding a message.
@@ -91,6 +215,9 @@ pub enum WireError {
     },
     /// The message body was shorter than its fields require.
     Truncated,
+    /// An `OpenLink` carried a byte sequence that does not parse as a
+    /// socket address.
+    BadAddress,
 }
 
 impl std::fmt::Display for WireError {
@@ -101,6 +228,7 @@ impl std::fmt::Display for WireError {
             }
             WireError::UnknownTag { tag } => write!(f, "unknown message tag {tag}"),
             WireError::Truncated => write!(f, "message body truncated"),
+            WireError::BadAddress => write!(f, "unparseable socket address"),
         }
     }
 }
@@ -155,6 +283,84 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
             dst.put_u32_le(1 + 8);
             dst.put_u8(TAG_ACK);
             dst.put_u64_le(*revision);
+        }
+        Message::Attach => {
+            dst.put_u32_le(1);
+            dst.put_u8(TAG_ATTACH);
+        }
+        Message::OpenLink { child, addr } => {
+            let text = addr.to_string();
+            dst.put_u32_le((1 + 4 + 4 + text.len()) as u32);
+            dst.put_u8(TAG_OPEN_LINK);
+            dst.put_u32_le(child.index() as u32);
+            dst.put_u32_le(text.len() as u32);
+            dst.put_slice(text.as_bytes());
+        }
+        Message::CloseLink { child } => {
+            dst.put_u32_le(1 + 4);
+            dst.put_u8(TAG_CLOSE_LINK);
+            dst.put_u32_le(child.index() as u32);
+        }
+        Message::LinkUp { peer } => {
+            dst.put_u32_le(1 + 4);
+            dst.put_u8(TAG_LINK_UP);
+            dst.put_u32_le(peer.index() as u32);
+        }
+        Message::LinkDown { peer } => {
+            dst.put_u32_le(1 + 4);
+            dst.put_u8(TAG_LINK_DOWN);
+            dst.put_u32_le(peer.index() as u32);
+        }
+        Message::Publish {
+            stream,
+            base_seq,
+            frames,
+            payload_bytes,
+            interval_micros,
+        } => {
+            dst.put_u32_le(1 + 4 + 4 + 8 + 8 + 4 + 8);
+            dst.put_u8(TAG_PUBLISH);
+            dst.put_u32_le(stream.origin().index() as u32);
+            dst.put_u32_le(stream.local_index());
+            dst.put_u64_le(*base_seq);
+            dst.put_u64_le(*frames);
+            dst.put_u32_le(*payload_bytes);
+            dst.put_u64_le(*interval_micros);
+        }
+        Message::BatchDone { stream, next_seq } => {
+            dst.put_u32_le(1 + 4 + 4 + 8);
+            dst.put_u8(TAG_BATCH_DONE);
+            dst.put_u32_le(stream.origin().index() as u32);
+            dst.put_u32_le(stream.local_index());
+            dst.put_u64_le(*next_seq);
+        }
+        Message::StatsRequest { probe } => {
+            dst.put_u32_le(1 + 8);
+            dst.put_u8(TAG_STATS_REQUEST);
+            dst.put_u64_le(*probe);
+        }
+        Message::StatsReport {
+            probe,
+            total,
+            max_latency_micros,
+            streams,
+        } => {
+            dst.put_u32_le((1 + 8 + 8 + 8 + 4 + streams.len() * (4 + 4 + 8 + 8)) as u32);
+            dst.put_u8(TAG_STATS_REPORT);
+            dst.put_u64_le(*probe);
+            dst.put_u64_le(*total);
+            dst.put_u64_le(*max_latency_micros);
+            dst.put_u32_le(streams.len() as u32);
+            for entry in streams {
+                dst.put_u32_le(entry.stream.origin().index() as u32);
+                dst.put_u32_le(entry.stream.local_index());
+                dst.put_u64_le(entry.delivered);
+                dst.put_u64_le(entry.latency_sum_micros);
+            }
+        }
+        Message::Shutdown => {
+            dst.put_u32_le(1);
+            dst.put_u8(TAG_SHUTDOWN);
         }
     }
 }
@@ -216,7 +422,12 @@ fn decode_site_plan(body: &mut BytesMut) -> Result<SitePlan, WireError> {
         let parent_raw = body.get_u32_le();
         let parent = has_parent.then(|| SiteId::new(parent_raw));
         let child_count = body.get_u32_le() as usize;
-        if body.len() < 4 * child_count {
+        // checked_mul: a corrupt count must not wrap the bounds check on
+        // 32-bit targets and drive the reads past the buffer.
+        if child_count
+            .checked_mul(4)
+            .is_none_or(|need| body.len() < need)
+        {
             return Err(WireError::Truncated);
         }
         let mut children = Vec::with_capacity(child_count);
@@ -316,6 +527,114 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
                 stream: StreamId::new(origin, local),
             }))
         }
+        TAG_ATTACH => Ok(Some(Message::Attach)),
+        TAG_OPEN_LINK => {
+            if body.len() < 4 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let child = SiteId::new(body.get_u32_le());
+            let addr_len = body.get_u32_le() as usize;
+            if body.len() < addr_len {
+                return Err(WireError::Truncated);
+            }
+            let text = body.split_to(addr_len);
+            let addr = std::str::from_utf8(&text)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or(WireError::BadAddress)?;
+            Ok(Some(Message::OpenLink { child, addr }))
+        }
+        TAG_CLOSE_LINK => {
+            if body.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(Message::CloseLink {
+                child: SiteId::new(body.get_u32_le()),
+            }))
+        }
+        TAG_LINK_UP => {
+            if body.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(Message::LinkUp {
+                peer: SiteId::new(body.get_u32_le()),
+            }))
+        }
+        TAG_LINK_DOWN => {
+            if body.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(Message::LinkDown {
+                peer: SiteId::new(body.get_u32_le()),
+            }))
+        }
+        TAG_PUBLISH => {
+            if body.len() < 4 + 4 + 8 + 8 + 4 + 8 {
+                return Err(WireError::Truncated);
+            }
+            let origin = SiteId::new(body.get_u32_le());
+            let local = body.get_u32_le();
+            Ok(Some(Message::Publish {
+                stream: StreamId::new(origin, local),
+                base_seq: body.get_u64_le(),
+                frames: body.get_u64_le(),
+                payload_bytes: body.get_u32_le(),
+                interval_micros: body.get_u64_le(),
+            }))
+        }
+        TAG_BATCH_DONE => {
+            if body.len() < 4 + 4 + 8 {
+                return Err(WireError::Truncated);
+            }
+            let origin = SiteId::new(body.get_u32_le());
+            let local = body.get_u32_le();
+            Ok(Some(Message::BatchDone {
+                stream: StreamId::new(origin, local),
+                next_seq: body.get_u64_le(),
+            }))
+        }
+        TAG_STATS_REQUEST => {
+            if body.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(Message::StatsRequest {
+                probe: body.get_u64_le(),
+            }))
+        }
+        TAG_STATS_REPORT => {
+            if body.len() < 8 + 8 + 8 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let probe = body.get_u64_le();
+            let total = body.get_u64_le();
+            let max_latency_micros = body.get_u64_le();
+            let count = body.get_u32_le() as usize;
+            // checked_mul: a corrupt count must not wrap the bounds check
+            // on 32-bit targets and drive the reads past the buffer.
+            if count
+                .checked_mul(4 + 4 + 8 + 8)
+                .is_none_or(|need| body.len() < need)
+            {
+                return Err(WireError::Truncated);
+            }
+            let mut streams = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let origin = SiteId::new(body.get_u32_le());
+                let local = body.get_u32_le();
+                streams.push(StreamDelivery {
+                    stream: StreamId::new(origin, local),
+                    delivered: body.get_u64_le(),
+                    latency_sum_micros: body.get_u64_le(),
+                });
+            }
+            Ok(Some(Message::StatsReport {
+                probe,
+                total,
+                max_latency_micros,
+                streams,
+            }))
+        }
+        TAG_SHUTDOWN => Ok(Some(Message::Shutdown)),
         other => Err(WireError::UnknownTag { tag: other }),
     }
 }
@@ -514,6 +833,100 @@ mod tests {
         buf.put_u32_le(2);
         buf.put_u8(TAG_FRAME);
         buf.put_u8(0); // far too short for a frame header
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn control_plane_roundtrips() {
+        roundtrip(Message::Attach);
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::OpenLink {
+            child: SiteId::new(4),
+            addr: "127.0.0.1:45123".parse().unwrap(),
+        });
+        roundtrip(Message::OpenLink {
+            child: SiteId::new(0),
+            addr: "[::1]:9".parse().unwrap(),
+        });
+        roundtrip(Message::CloseLink {
+            child: SiteId::new(1),
+        });
+        roundtrip(Message::LinkUp {
+            peer: SiteId::new(2),
+        });
+        roundtrip(Message::LinkDown {
+            peer: SiteId::new(3),
+        });
+        roundtrip(Message::Publish {
+            stream: StreamId::new(SiteId::new(1), 2),
+            base_seq: 77,
+            frames: 12,
+            payload_bytes: 4096,
+            interval_micros: 5_000,
+        });
+        roundtrip(Message::BatchDone {
+            stream: StreamId::new(SiteId::new(1), 2),
+            next_seq: 89,
+        });
+        roundtrip(Message::StatsRequest { probe: 41 });
+        roundtrip(Message::StatsReport {
+            probe: 41,
+            total: 1_000_000,
+            max_latency_micros: 88_123,
+            streams: vec![
+                StreamDelivery {
+                    stream: StreamId::new(SiteId::new(0), 0),
+                    delivered: 999_000,
+                    latency_sum_micros: u64::MAX / 3,
+                },
+                StreamDelivery {
+                    stream: StreamId::new(SiteId::new(7), 3),
+                    delivered: 1_000,
+                    latency_sum_micros: 0,
+                },
+            ],
+        });
+        roundtrip(Message::StatsReport {
+            probe: 0,
+            total: 0,
+            max_latency_micros: 0,
+            streams: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn malformed_open_link_address_is_rejected() {
+        let text = b"not an address";
+        let mut buf = BytesMut::new();
+        buf.put_u32_le((1 + 4 + 4 + text.len()) as u32);
+        buf.put_u8(TAG_OPEN_LINK);
+        buf.put_u32_le(2);
+        buf.put_u32_le(text.len() as u32);
+        buf.put_slice(text);
+        assert_eq!(decode(&mut buf), Err(WireError::BadAddress));
+    }
+
+    #[test]
+    fn truncated_open_link_address_is_rejected() {
+        let mut buf = BytesMut::new();
+        // Claims a 20-byte address but the body carries none.
+        buf.put_u32_le(1 + 4 + 4);
+        buf.put_u8(TAG_OPEN_LINK);
+        buf.put_u32_le(2);
+        buf.put_u32_le(20);
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncated_stats_report_entries_are_rejected() {
+        let mut buf = BytesMut::new();
+        // Header claims two delivery entries, body carries none.
+        buf.put_u32_le(1 + 8 + 8 + 8 + 4);
+        buf.put_u8(TAG_STATS_REPORT);
+        buf.put_u64_le(1); // probe
+        buf.put_u64_le(10); // total
+        buf.put_u64_le(5); // max latency
+        buf.put_u32_le(2); // entry count
         assert_eq!(decode(&mut buf), Err(WireError::Truncated));
     }
 

@@ -1,0 +1,196 @@
+//! Property tests for the wire protocol: encode → decode round-trips over
+//! the **full** [`Message`] enum (including every control message of the
+//! process-separable RP redesign), incremental-decode behavior on
+//! arbitrary prefixes, and truncation/oversize fuzzing.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use teeve_net::wire::{decode, encode, Message, StreamDelivery, WireError, MAX_MESSAGE_BYTES};
+use teeve_pubsub::{ForwardingEntry, SitePlan};
+use teeve_types::{SiteId, StreamId};
+
+fn arb_site() -> impl Strategy<Value = SiteId> {
+    (0u32..512).prop_map(SiteId::new)
+}
+
+fn arb_stream() -> impl Strategy<Value = StreamId> {
+    (0u32..512, 0u32..16).prop_map(|(origin, local)| StreamId::new(SiteId::new(origin), local))
+}
+
+fn arb_entry() -> impl Strategy<Value = ForwardingEntry> {
+    (
+        arb_stream(),
+        (0u32..2, arb_site()),
+        proptest::collection::vec(arb_site(), 0..5usize),
+    )
+        .prop_map(|(stream, (has_parent, parent), children)| ForwardingEntry {
+            stream,
+            parent: (has_parent == 1).then_some(parent),
+            children,
+        })
+}
+
+fn arb_site_plan() -> impl Strategy<Value = SitePlan> {
+    (
+        arb_site(),
+        proptest::collection::vec(arb_entry(), 0..6usize),
+    )
+        .prop_map(|(site, entries)| SitePlan { site, entries })
+}
+
+fn arb_addr() -> impl Strategy<Value = std::net::SocketAddr> {
+    (any::<bool>(), 0u64..u64::MAX, 1u16..u16::MAX).prop_map(|(v6, ip, port)| {
+        if v6 {
+            std::net::SocketAddr::new(
+                std::net::IpAddr::V6(std::net::Ipv6Addr::from(u128::from(ip) << 17 | 1)),
+                port,
+            )
+        } else {
+            std::net::SocketAddr::new(
+                std::net::IpAddr::V4(std::net::Ipv4Addr::from(ip as u32)),
+                port,
+            )
+        }
+    })
+}
+
+fn arb_delivery() -> impl Strategy<Value = StreamDelivery> {
+    (arb_stream(), 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
+        |(stream, delivered, latency_sum_micros)| StreamDelivery {
+            stream,
+            delivered,
+            latency_sum_micros,
+        },
+    )
+}
+
+/// Uniformly draws one of the 16 protocol messages with arbitrary field
+/// values.
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        (0usize..16, arb_site(), arb_stream(), arb_addr()),
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        proptest::collection::vec(0u8..255, 0..64usize),
+        (
+            arb_site_plan(),
+            proptest::collection::vec(arb_delivery(), 0..8usize),
+            0u32..65_536,
+        ),
+    )
+        .prop_map(
+            |((variant, site, stream, addr), (a, b, c), payload, (site_plan, streams, small))| {
+                match variant {
+                    0 => Message::Hello { site },
+                    1 => Message::Frame {
+                        stream,
+                        seq: a,
+                        captured_micros: b,
+                        payload: Bytes::from(payload),
+                    },
+                    2 => Message::Bye,
+                    3 => Message::End { stream },
+                    4 => Message::Reconfigure {
+                        revision: a,
+                        site_plan,
+                    },
+                    5 => Message::Ack { revision: a },
+                    6 => Message::Attach,
+                    7 => Message::OpenLink { child: site, addr },
+                    8 => Message::CloseLink { child: site },
+                    9 => Message::LinkUp { peer: site },
+                    10 => Message::LinkDown { peer: site },
+                    11 => Message::Publish {
+                        stream,
+                        base_seq: a,
+                        frames: b,
+                        payload_bytes: small,
+                        interval_micros: c,
+                    },
+                    12 => Message::BatchDone {
+                        stream,
+                        next_seq: a,
+                    },
+                    13 => Message::StatsRequest { probe: a },
+                    14 => Message::StatsReport {
+                        probe: a,
+                        total: b,
+                        max_latency_micros: c,
+                        streams,
+                    },
+                    _ => Message::Shutdown,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Every message round-trips exactly, consuming its full encoding.
+    #[test]
+    fn every_message_roundtrips(message in arb_message()) {
+        let mut buf = BytesMut::new();
+        encode(&message, &mut buf);
+        let decoded = decode(&mut buf);
+        prop_assert_eq!(decoded, Ok(Some(message)));
+        prop_assert!(buf.is_empty(), "decoder must consume the full message");
+    }
+
+    /// Feeding any strict prefix of an encoding yields "need more bytes",
+    /// never an error or a phantom message.
+    #[test]
+    fn strict_prefixes_decode_to_none(message in arb_message(), cut in 1usize..64) {
+        let mut full = BytesMut::new();
+        encode(&message, &mut full);
+        let keep = full.len() - cut.min(full.len() - 1).max(1);
+        let mut partial = BytesMut::from(&full[..keep]);
+        prop_assert_eq!(decode(&mut partial), Ok(None));
+    }
+
+    /// A length prefix understating the body (the frame cut mid-message
+    /// by a corrupt sender) is rejected as an error, never silently
+    /// decoded.
+    #[test]
+    fn understated_lengths_are_rejected(message in arb_message(), cut in 1usize..64) {
+        let mut full = BytesMut::new();
+        encode(&message, &mut full);
+        let length = u32::from_le_bytes([full[0], full[1], full[2], full[3]]) as usize;
+        let cut = cut.min(length - 1).max(1);
+        let shortened = length - cut;
+        let mut corrupt = BytesMut::new();
+        corrupt.extend_from_slice(&(shortened as u32).to_le_bytes());
+        corrupt.extend_from_slice(&full[4..4 + shortened]);
+        let result = decode(&mut corrupt);
+        prop_assert!(
+            matches!(result, Err(WireError::Truncated | WireError::BadAddress)),
+            "cut of {cut} bytes must error, got {result:?}"
+        );
+    }
+
+    /// A length prefix beyond the protocol maximum is rejected before any
+    /// allocation.
+    #[test]
+    fn oversized_lengths_are_rejected(excess in 1usize..1_000_000) {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&((MAX_MESSAGE_BYTES + excess) as u32).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        prop_assert!(matches!(
+            decode(&mut buf),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    /// Back-to-back encodings decode in order from one buffer, exactly as
+    /// a socket reader sees them.
+    #[test]
+    fn message_streams_decode_in_order(messages in proptest::collection::vec(arb_message(), 1..8usize)) {
+        let mut buf = BytesMut::new();
+        for message in &messages {
+            encode(message, &mut buf);
+        }
+        for message in &messages {
+            let decoded = decode(&mut buf);
+            prop_assert_eq!(decoded, Ok(Some(message.clone())));
+        }
+        prop_assert_eq!(decode(&mut buf), Ok(None));
+        prop_assert!(buf.is_empty());
+    }
+}

@@ -317,7 +317,9 @@ impl PlanDelta {
 }
 
 /// An executor that plan deltas can be pushed into as they are produced:
-/// the delta-aware simulator, the live TCP cluster, or a test recorder.
+/// the delta-aware simulator, the live TCP cluster (both the in-process
+/// `LiveCluster` wrapper and the wire-only `Coordinator` driving a fleet
+/// of RP processes by address), or a test recorder.
 ///
 /// The session runtime's epoch driver
 /// (`teeve_runtime::SessionRuntime::drive_epochs`) is generic over this
@@ -377,10 +379,11 @@ impl<E: std::error::Error + 'static> std::error::Error for RouteError<E> {
 ///
 /// A multi-session membership service emits one delta stream per hosted
 /// session; each delta is stamped with its [`SessionId`] scope. A
-/// `DeltaRouter` holds one executor per session (a live TCP cluster, a
-/// shadow plan, the simulator's replanner, …) and dispatches every delta
-/// on its scope, so a single executor process can serve many sessions
-/// concurrently without their forwarding state bleeding into each other.
+/// `DeltaRouter` holds one executor per session (a live TCP cluster, the
+/// wire-only coordinator of an external RP fleet, a shadow plan, the
+/// simulator's replanner, …) and dispatches every delta on its scope, so
+/// a single executor process can serve many sessions concurrently
+/// without their forwarding state bleeding into each other.
 ///
 /// The router is itself a [`DeltaSink`], so it drops straight into
 /// `SessionRuntime::drive_epochs` or a service's delta fan-out.
