@@ -13,9 +13,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use teeve_types::StreamId;
-
-use crate::ladder::QualityLadder;
+use teeve_types::{Quality, QualityLadder, StreamId};
 
 /// One stream under adaptation: identity, FOV contribution score, and its
 /// quality ladder.
@@ -46,6 +44,12 @@ impl Decision {
     /// Returns true if the stream was dropped entirely.
     pub fn is_dropped(&self) -> bool {
         self.level.is_none()
+    }
+
+    /// Returns the chosen rung as the shared [`Quality`] representation
+    /// dissemination plan entries carry, or `None` when dropped.
+    pub fn quality(&self) -> Option<Quality> {
+        self.level.map(|l| Quality::new(l as u8))
     }
 }
 
@@ -145,13 +149,14 @@ impl AdaptationController {
 
         // Degradation order: ascending score, then stream id for
         // determinism. Each pass degrades the weakest stream that still
-        // has somewhere to go.
+        // has somewhere to go. `total_cmp` gives NaN scores a fixed place
+        // in the order instead of the unstable "pretend equal" a partial
+        // comparison would produce.
         let mut order: Vec<usize> = (0..streams.len()).collect();
         order.sort_by(|&a, &b| {
             streams[a]
                 .score
-                .partial_cmp(&streams[b].score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&streams[b].score)
                 .then_with(|| streams[a].stream.cmp(&streams[b].stream))
         });
 
@@ -298,6 +303,50 @@ mod tests {
         assert_eq!(a, b);
         // The lowest stream id degrades first on a tie.
         assert_ne!(a.decision(s[0].stream).unwrap().level, Some(0));
+    }
+
+    #[test]
+    fn nan_scores_cannot_destabilize_the_plan() {
+        // A NaN FOV score (e.g. a degenerate geometry division) must not
+        // make the degradation order depend on the input permutation:
+        // total_cmp places NaN deterministically, so the same stream set
+        // always produces the same plan regardless of score pathologies.
+        let mut s = streams(&[0.9, f64::NAN, 0.1, f64::NAN]);
+        let budget = 14_000_000; // forces several degradations
+        let baseline = AdaptationController::new().plan(budget, &s);
+        // Re-planning the identical input is trivially stable…
+        assert_eq!(AdaptationController::new().plan(budget, &s), baseline);
+        // …and a reordered input serves every stream identically (the
+        // old partial_cmp sort could legally produce different victim
+        // orders for permutations of a NaN-scored set).
+        s.reverse();
+        let reordered = AdaptationController::new().plan(budget, &s);
+        for d in baseline.decisions() {
+            assert_eq!(
+                reordered.decision(d.stream).unwrap().level,
+                d.level,
+                "{} served differently after reordering",
+                d.stream
+            );
+        }
+        assert!(baseline.total_bitrate_bps() <= budget);
+    }
+
+    #[test]
+    fn decisions_expose_shared_quality() {
+        let s = streams(&[0.9, 0.1]);
+        let plan = AdaptationController::new().plan(12_000_000, &s);
+        let full = plan.decision(s[0].stream).unwrap();
+        assert_eq!(full.quality(), Some(teeve_types::Quality::FULL));
+        let degraded = plan.decision(s[1].stream).unwrap();
+        assert_eq!(degraded.quality(), Some(teeve_types::Quality::new(1)));
+        let dropped = Decision {
+            stream: s[0].stream,
+            level: None,
+            bitrate_bps: 0,
+            utility: 0.0,
+        };
+        assert_eq!(dropped.quality(), None);
     }
 
     #[test]

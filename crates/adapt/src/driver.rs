@@ -132,7 +132,7 @@ impl AdaptiveReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ladder::QualityLadder;
+    use teeve_types::QualityLadder;
     use teeve_types::{SiteId, StreamId};
 
     fn three_streams() -> Vec<AdaptStream> {

@@ -41,11 +41,13 @@
 mod controller;
 mod driver;
 mod estimator;
-mod ladder;
 
 pub use controller::{
     per_site_grants, AdaptStream, AdaptationController, AdaptationPlan, Decision,
 };
 pub use driver::AdaptiveReceiver;
 pub use estimator::BandwidthEstimator;
-pub use ladder::{QualityLadder, QualityLevel};
+// The quality vocabulary (rung indices, levels, ladders) lives in
+// `teeve-types` so dissemination plan entries and the wire protocol can
+// carry it too; re-exported here for the adaptation-centric callers.
+pub use teeve_types::{Quality, QualityLadder, QualityLevel};

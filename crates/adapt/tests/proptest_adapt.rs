@@ -128,4 +128,61 @@ proptest! {
             }
         }
     }
+
+    /// Every served decision's level is a valid index into its stream's
+    /// ladder, and the shared-representation view agrees with it.
+    #[test]
+    fn levels_are_valid_ladder_indices(
+        streams in arb_streams(),
+        budget in 0u64..100_000_000,
+        scores in proptest::collection::vec((0u32..4, 0.0f64..1.0), 1..12),
+    ) {
+        // Overlay arbitrary — one in four NaN — scores onto the stream
+        // set: pathological scores must not push a level out of range
+        // either.
+        let scores = scores
+            .into_iter()
+            .map(|(nan, score)| if nan == 0 { f64::NAN } else { score });
+        let streams: Vec<AdaptStream> = streams
+            .into_iter()
+            .zip(scores.chain(std::iter::repeat(0.5)))
+            .map(|(mut s, score)| { s.score = score; s })
+            .collect();
+        let plan = AdaptationController::new().plan(budget, &streams);
+        for (s, d) in streams.iter().zip(plan.decisions()) {
+            if let Some(level) = d.level {
+                prop_assert!(level < s.ladder.len(), "level {} of {} rungs", level, s.ladder.len());
+                prop_assert_eq!(d.quality(), Some(teeve_types::Quality::new(level as u8)));
+            } else {
+                prop_assert_eq!(d.quality(), None);
+            }
+        }
+    }
+
+    /// `per_site_grants` conserves the decision list exactly: per origin
+    /// site, the granted bit rate and stream count equal the sums over
+    /// the non-dropped decisions, and nothing else appears.
+    #[test]
+    fn per_site_grants_conserve_the_decisions(
+        streams in arb_streams(),
+        budget in 0u64..100_000_000,
+    ) {
+        let plan = AdaptationController::new().plan(budget, &streams);
+        let grants = teeve_adapt::per_site_grants(&plan);
+        let mut expected: std::collections::BTreeMap<SiteId, (u64, usize)> =
+            std::collections::BTreeMap::new();
+        for d in plan.decisions() {
+            if !d.is_dropped() {
+                let entry = expected.entry(d.stream.origin()).or_insert((0, 0));
+                entry.0 += d.bitrate_bps;
+                entry.1 += 1;
+            }
+        }
+        prop_assert_eq!(&grants, &expected);
+        // Totals line up with the plan-level accounting too.
+        let granted_rate: u64 = grants.values().map(|&(bps, _)| bps).sum();
+        prop_assert_eq!(granted_rate, plan.total_bitrate_bps());
+        let granted_count: usize = grants.values().map(|&(_, n)| n).sum();
+        prop_assert_eq!(granted_count, plan.decisions().len() - plan.dropped_count());
+    }
 }

@@ -1,0 +1,135 @@
+//! Quality-only reconfiguration latency on real sockets: what does it
+//! cost a running `LiveCluster` to move one subscription's quality rung?
+//!
+//! Three delta flavours are measured round-trip (apply + revert per
+//! iteration so the cluster returns to its starting plan):
+//!
+//! * `quality_only` — the adaptation loop's product: forwarding tables
+//!   re-stamped with new rungs, structure untouched;
+//! * `socket_free_reroute` — a stream added/removed on a pair that keeps
+//!   other traffic (tables swap, no sockets);
+//! * `open_close_one_link` — the delta actually churns one TCP
+//!   connection each way.
+//!
+//! The first two ride the same `Reconfigure`/`Ack` control path, so they
+//! should land in the same tens-of-microseconds band, both roughly two
+//! orders of magnitude below a link open/close.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teeve_net::{ClusterConfig, LiveCluster};
+use teeve_overlay::{OverlayManager, ProblemInstance};
+use teeve_pubsub::{DisseminationPlan, PlanDelta, StreamProfile};
+use teeve_types::{CostMatrix, CostMs, Degree, Quality, SiteId, StreamId};
+
+fn site(i: u32) -> SiteId {
+    SiteId::new(i)
+}
+
+fn stream(origin: u32, q: u32) -> StreamId {
+    StreamId::new(site(origin), q)
+}
+
+/// Site 0 owns two streams; sites 1 and 2 may subscribe.
+fn universe() -> ProblemInstance {
+    let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(4));
+    ProblemInstance::builder(costs, CostMs::new(50))
+        .symmetric_capacities(Degree::new(6))
+        .streams_per_site(&[2, 0, 0])
+        .subscribe(site(1), stream(0, 0))
+        .subscribe(site(1), stream(0, 1))
+        .subscribe(site(2), stream(0, 0))
+        .build()
+        .unwrap()
+}
+
+fn plan_of(problem: &ProblemInstance, manager: &OverlayManager) -> DisseminationPlan {
+    DisseminationPlan::from_forest(
+        problem,
+        &manager.forest_snapshot(),
+        StreamProfile::default(),
+    )
+}
+
+/// Applies `target` to the cluster as a freshly revision-stamped delta.
+fn step(cluster: &mut LiveCluster, target: &DisseminationPlan) {
+    let mut next = target.clone();
+    next.set_revision(cluster.revision() + 1);
+    let delta = PlanDelta::diff(cluster.plan(), &next);
+    cluster.apply_delta(&delta).expect("delta applies live");
+}
+
+fn bench_quality_delta(c: &mut Criterion) {
+    let problem = universe();
+
+    // Base plan: site 1 takes stream 0.0 over the 0 → 1 link, at full
+    // quality.
+    let mut manager = OverlayManager::new(problem.clone());
+    manager.subscribe(site(1), stream(0, 0)).unwrap();
+    let base = plan_of(&problem, &manager);
+
+    // Quality-only target: the same structure with site 1's delivery
+    // re-stamped one rung down — the adaptation loop's bread and butter.
+    let mut degraded = base.clone();
+    assert!(degraded.set_quality(site(1), stream(0, 0), Quality::new(1)));
+
+    // Socket-free reroute target: a second stream on the same 0 → 1 pair.
+    manager.subscribe(site(1), stream(0, 1)).unwrap();
+    let two_streams = plan_of(&problem, &manager);
+
+    // Link-churn target: site 2 joins, gaining its first connection.
+    manager.unsubscribe(site(1), stream(0, 1)).unwrap();
+    manager.subscribe(site(2), stream(0, 0)).unwrap();
+    let with_site2 = plan_of(&problem, &manager);
+
+    let config = ClusterConfig {
+        frames_per_stream: 8,
+        payload_bytes: 1024,
+        frame_interval: None,
+        timeout: Duration::from_secs(30),
+    };
+    let mut cluster = LiveCluster::launch(&base, &config).expect("launch");
+
+    let mut group = c.benchmark_group("quality_delta_n3");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("quality_only"), |b| {
+        b.iter(|| {
+            step(&mut cluster, &degraded);
+            step(&mut cluster, &base);
+        })
+    });
+    assert_eq!(
+        cluster.connections_opened(),
+        0,
+        "quality-only iterations must not touch sockets"
+    );
+    group.bench_function(BenchmarkId::from_parameter("socket_free_reroute"), |b| {
+        b.iter(|| {
+            step(&mut cluster, &two_streams);
+            step(&mut cluster, &base);
+        })
+    });
+    assert_eq!(
+        cluster.connections_opened(),
+        0,
+        "socket-free iterations must not have opened connections"
+    );
+    group.bench_function(BenchmarkId::from_parameter("open_close_one_link"), |b| {
+        b.iter(|| {
+            step(&mut cluster, &with_site2);
+            step(&mut cluster, &base);
+        })
+    });
+    assert_eq!(cluster.connections_opened(), cluster.connections_closed());
+    group.finish();
+
+    let report = cluster.shutdown();
+    println!(
+        "quality_delta: final revision {}, {} connections opened/closed",
+        report.final_revision, report.connections_opened,
+    );
+}
+
+criterion_group!(benches, bench_quality_delta);
+criterion_main!(benches);

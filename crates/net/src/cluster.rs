@@ -398,6 +398,45 @@ mod tests {
     }
 
     #[test]
+    fn socket_advertised_address_is_what_the_coordinator_dials() {
+        // The relay node (site 1) binds a wildcard address but advertises
+        // loopback: the coordinator's control connection AND site 0's
+        // OpenLink dial of its data link both use the advertised address
+        // — exact delivery proves both paths reached it.
+        let plan = relay_plan();
+        let mut nodes = Vec::new();
+        let mut addrs = Vec::new();
+        for s in SiteId::all(3) {
+            let node = if s == site(1) {
+                RpNode::bind_advertised(
+                    s,
+                    "0.0.0.0:0".parse().unwrap(),
+                    Some("127.0.0.1:0".parse().unwrap()),
+                    Duration::from_secs(20),
+                )
+                .expect("bind wildcard")
+            } else {
+                RpNode::bind(s, Duration::from_secs(20)).expect("bind")
+            };
+            addrs.push(node.local_addr());
+            nodes.push(node.spawn());
+        }
+        assert_eq!(addrs[1].ip().to_string(), "127.0.0.1");
+        assert_eq!(addrs[1], nodes[1].addr());
+
+        let mut coordinator =
+            Coordinator::connect(&plan, &addrs, &quick_config()).expect("connect via advertised");
+        coordinator.publish(4).expect("batch delivers");
+        let report = coordinator.shutdown();
+        assert_eq!(report.delivered[&(site(1), stream(0, 0))], 4);
+        assert_eq!(report.delivered[&(site(2), stream(0, 0))], 4);
+        for node in nodes {
+            node.stop();
+            node.join();
+        }
+    }
+
+    #[test]
     fn socket_launch_then_drop_terminates_cleanly() {
         // Dropping an idle cluster (no publish, no shutdown) must tear
         // everything down without wedging the process.

@@ -60,6 +60,16 @@ impl Default for ClusterConfig {
 pub struct ClusterReport {
     /// Frames delivered per (site, stream).
     pub delivered: BTreeMap<(SiteId, StreamId), u64>,
+    /// Frames delivered *below full quality* per (site, stream) — the
+    /// receipts of the degrade-don't-reject path. A frame counts as
+    /// degraded when its effective rung — the coarser of its wire tag
+    /// and the receiver's planned rung — is above 0. In steady state the
+    /// two agree (parents size and tag every outgoing copy by the
+    /// child's `ChildLink` rung, so the bytes on the congested inbound
+    /// hop really shrink); during a reconfiguration's propagation window
+    /// a frame sent under the old table may count degraded by plan
+    /// before its parent re-sizes.
+    pub delivered_degraded: BTreeMap<(SiteId, StreamId), u64>,
     /// Sum of observed end-to-end latencies per (site, stream), in
     /// microseconds (wall clock).
     pub latency_sum_micros: BTreeMap<(SiteId, StreamId), u64>,
@@ -100,6 +110,9 @@ impl ClusterReport {
 pub struct ReconfigureReport {
     /// The revision every reconfigured RP acknowledged.
     pub revision: u64,
+    /// Subscriptions whose delivery quality the delta moved (rungs
+    /// re-stamped in forwarding tables; no socket involvement).
+    pub quality_changes: usize,
     /// Connections the delta opened (parent → child pairs that carry
     /// their first stream).
     pub established: Vec<(SiteId, SiteId)>,
@@ -653,6 +666,7 @@ impl Coordinator {
         self.plan = next;
         Ok(ReconfigureReport {
             revision,
+            quality_changes: delta.quality_changes().len(),
             established: changes.established,
             closed: changes.closed,
             retained: changes.retained.len(),
@@ -696,6 +710,9 @@ impl Coordinator {
                 report
                     .delivered
                     .insert((link.site, entry.stream), entry.delivered);
+                report
+                    .delivered_degraded
+                    .insert((link.site, entry.stream), entry.delivered_degraded);
                 report
                     .latency_sum_micros
                     .insert((link.site, entry.stream), entry.latency_sum_micros);

@@ -29,8 +29,8 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
-use teeve_pubsub::SitePlan;
-use teeve_types::{SiteId, StreamId};
+use teeve_pubsub::{ChildLink, SitePlan};
+use teeve_types::{Quality, SiteId, StreamId};
 
 use crate::wire::{decode, encode, Message, StreamDelivery};
 
@@ -57,18 +57,22 @@ struct ForwardingTable {
 /// [`Message::StatsReport`] — no memory is shared with the coordinator.
 #[derive(Debug, Default)]
 struct NodeStats {
-    /// Per-stream `(frames, latency-sum µs)` delivered at this site.
-    delivered: Mutex<BTreeMap<StreamId, (u64, u64)>>,
+    /// Per-stream `(frames, degraded frames, latency-sum µs)` delivered
+    /// at this site. A frame is degraded when its effective rung — the
+    /// coarser of its wire tag and this RP's planned quality — is below
+    /// full.
+    delivered: Mutex<BTreeMap<StreamId, (u64, u64, u64)>>,
     total: AtomicU64,
     max_latency_micros: AtomicU64,
 }
 
 impl NodeStats {
-    fn record(&self, stream: StreamId, latency_micros: u64) {
+    fn record(&self, stream: StreamId, latency_micros: u64, degraded: bool) {
         let mut delivered = self.delivered.lock();
         let entry = delivered.entry(stream).or_default();
         entry.0 += 1;
-        entry.1 += latency_micros;
+        entry.1 += u64::from(degraded);
+        entry.2 += latency_micros;
         drop(delivered);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.max_latency_micros
@@ -81,9 +85,10 @@ impl NodeStats {
             .lock()
             .iter()
             .map(
-                |(&stream, &(delivered, latency_sum_micros))| StreamDelivery {
+                |(&stream, &(delivered, delivered_degraded, latency_sum_micros))| StreamDelivery {
                     stream,
                     delivered,
+                    delivered_degraded,
                     latency_sum_micros,
                 },
             )
@@ -100,9 +105,15 @@ impl NodeStats {
 /// State shared by the node's accept loop and per-connection readers.
 struct NodeShared {
     site: SiteId,
-    /// The node's own listener address, used to self-connect and wake the
-    /// accept loop at shutdown.
-    addr: SocketAddr,
+    /// The address this node *advertises*: what the coordinator dials
+    /// and hands to parents in `OpenLink` orders. Defaults to the bound
+    /// listener address; multi-host deployments advertise a reachable
+    /// address distinct from the (possibly wildcard) bind address.
+    advertise: SocketAddr,
+    /// The bound listener address as locally reachable, used to
+    /// self-connect and wake the accept loop at shutdown (a wildcard
+    /// bind maps to loopback).
+    wake: SocketAddr,
     /// The live forwarding table; swapped atomically by `Reconfigure`.
     table: Mutex<ForwardingTable>,
     /// Outbound (this RP → child) data connections, opened by `OpenLink`
@@ -120,40 +131,77 @@ struct NodeShared {
 }
 
 impl NodeShared {
-    /// Children of `stream` under the current table.
-    fn children_of(&self, stream: StreamId) -> Vec<SiteId> {
+    /// Child links and planned quality of `stream` under the current
+    /// table.
+    fn entry_of(&self, stream: StreamId) -> (Vec<ChildLink>, Quality) {
         self.table
             .lock()
             .plan
             .entry(stream)
-            .map(|e| e.children.clone())
-            .unwrap_or_default()
+            .map(|e| (e.children.clone(), e.quality))
+            .unwrap_or((Vec::new(), Quality::FULL))
     }
 
-    /// Forwards one frame to this RP's planned children for `stream`.
-    fn forward(&self, stream: StreamId, seq: u64, captured_micros: u64, payload: &Bytes) {
-        let children = self.children_of(stream);
+    /// Children of `stream` under the current table.
+    fn children_of(&self, stream: StreamId) -> Vec<SiteId> {
+        self.entry_of(stream)
+            .0
+            .into_iter()
+            .map(|c| c.site)
+            .collect()
+    }
+
+    /// Forwards one frame — arriving at `tagged` quality — to this RP's
+    /// planned children for `stream`. Each outgoing copy is degraded to
+    /// the coarsest of the tag, this RP's own planned rung, and the
+    /// *child's* rung from the plan's [`ChildLink`]: the payload is
+    /// sized down one halving per extra rung and re-tagged, so quality
+    /// only ever degrades along a path and the hop *into* a degraded
+    /// receiver carries exactly the degraded bytes — this is where the
+    /// admission path's per-site budget relief actually lands on the
+    /// wire. Returns the effective rung this RP itself delivers at (tag
+    /// vs own plan), which its stats record.
+    fn forward(
+        &self,
+        stream: StreamId,
+        seq: u64,
+        captured_micros: u64,
+        payload: &Bytes,
+        tagged: Quality,
+    ) -> Quality {
+        let (children, planned) = self.entry_of(stream);
+        let effective = tagged.max(planned);
         if children.is_empty() {
-            return;
+            return effective;
         }
-        let mut buf = BytesMut::new();
-        encode(
-            &Message::Frame {
-                stream,
-                seq,
-                captured_micros,
-                payload: payload.clone(),
-            },
-            &mut buf,
-        );
+        // One encoded buffer per distinct outgoing rung; siblings at the
+        // same rung share it.
+        let mut encoded: BTreeMap<Quality, BytesMut> = BTreeMap::new();
         let mut outbound = self.outbound.lock();
         for child in children {
-            if let Some(conn) = outbound.get_mut(&child) {
+            let rung = effective.max(child.quality);
+            let buf = encoded.entry(rung).or_insert_with(|| {
+                let extra = Quality::new((rung.rung() - tagged.rung()) as u8);
+                let mut buf = BytesMut::new();
+                encode(
+                    &Message::Frame {
+                        stream,
+                        quality: rung,
+                        seq,
+                        captured_micros,
+                        payload: payload.slice(0..extra.scaled_len(payload.len())),
+                    },
+                    &mut buf,
+                );
+                buf
+            });
+            if let Some(conn) = outbound.get_mut(&child.site) {
                 // A failed forward drops that downstream subtree; the run
                 // then surfaces it as missing deliveries.
-                let _ = conn.write_all(&buf);
+                let _ = conn.write_all(buf);
             }
         }
+        effective
     }
 
     /// Cascades `stream`'s `End` marker to its children: the graceful
@@ -220,7 +268,9 @@ impl NodeShared {
     ) {
         let payload = Bytes::from(vec![0x3D; payload_bytes as usize]);
         for seq in base_seq..base_seq.saturating_add(frames) {
-            self.forward(stream, seq, unix_micros(), &payload);
+            // The origin publishes at full quality; `forward` degrades
+            // (sizes and tags) to the origin entry's planned rung.
+            self.forward(stream, seq, unix_micros(), &payload, Quality::FULL);
             if interval_micros > 0 {
                 thread::sleep(Duration::from_micros(interval_micros));
             }
@@ -253,7 +303,7 @@ impl NodeShared {
         }
         outbound.clear();
         // Wake the accept loop; it re-checks the stop flag.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.wake);
     }
 }
 
@@ -288,18 +338,60 @@ impl RpNode {
     }
 
     /// Binds a new RP for `site` on an explicit address (`bind` with port
-    /// 0 picks a free localhost port).
+    /// 0 picks a free localhost port); the node advertises the address it
+    /// actually bound.
     ///
     /// # Errors
     ///
     /// Returns an error if the listener cannot be bound.
     pub fn bind_to(site: SiteId, addr: SocketAddr, read_timeout: Duration) -> io::Result<RpNode> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
+        Self::bind_advertised(site, addr, None, read_timeout)
+    }
+
+    /// Binds a new RP for `site` on `bind` while *advertising* a
+    /// (possibly different) address — the multi-host shape, where a node
+    /// binds a wildcard or private address but must be dialed by the
+    /// coordinator (and by parent RPs executing `OpenLink` orders) at a
+    /// routable one. An advertised port of 0 is substituted with the
+    /// port actually bound, so `0.0.0.0:0` + `advertise 10.0.0.7:0`
+    /// works without pre-allocating ports. `advertise: None` falls back
+    /// to the bound address, which is how the loopback defaults of
+    /// [`bind`](Self::bind)/[`bind_to`](Self::bind_to) stay unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listener cannot be bound.
+    pub fn bind_advertised(
+        site: SiteId,
+        bind: SocketAddr,
+        advertise: Option<SocketAddr>,
+        read_timeout: Duration,
+    ) -> io::Result<RpNode> {
+        let listener = TcpListener::bind(bind)?;
+        let bound = listener.local_addr()?;
+        let advertise = match advertise {
+            Some(mut addr) => {
+                if addr.port() == 0 {
+                    addr.set_port(bound.port());
+                }
+                addr
+            }
+            None => bound,
+        };
+        // The shutdown self-connect must reach the listener from this
+        // process; a wildcard bind is reachable via loopback.
+        let mut wake = bound;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
         Ok(RpNode {
             shared: Arc::new(NodeShared {
                 site,
-                addr,
+                advertise,
+                wake,
                 table: Mutex::new(ForwardingTable {
                     revision: 0,
                     plan: SitePlan {
@@ -317,10 +409,11 @@ impl RpNode {
         })
     }
 
-    /// Returns the node's listener address — the only thing a coordinator
-    /// needs to drive it.
+    /// Returns the node's advertised address — the only thing a
+    /// coordinator needs to drive it. Equal to the bound listener address
+    /// unless [`bind_advertised`](Self::bind_advertised) overrode it.
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.shared.advertise
     }
 
     /// Returns the site this node serves.
@@ -353,9 +446,9 @@ pub struct RpNodeHandle {
 }
 
 impl RpNodeHandle {
-    /// Returns the node's listener address.
+    /// Returns the node's advertised address.
     pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.shared.advertise
     }
 
     /// Returns the site this node serves.
@@ -426,13 +519,20 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
         match decode(&mut buf) {
             Ok(Some(Message::Frame {
                 stream,
+                quality,
                 seq,
                 captured_micros,
                 payload,
             })) => {
-                rp.stats
-                    .record(stream, unix_micros().saturating_sub(captured_micros));
-                rp.forward(stream, seq, captured_micros, &payload);
+                // Deliver at the effective rung (the coarser of the wire
+                // tag and this RP's planned quality) and pass the frame
+                // on, further degraded if the plan says so.
+                let effective = rp.forward(stream, seq, captured_micros, &payload, quality);
+                rp.stats.record(
+                    stream,
+                    unix_micros().saturating_sub(captured_micros),
+                    !effective.is_full(),
+                );
                 continue;
             }
             Ok(Some(Message::End { stream })) => {
@@ -596,6 +696,131 @@ mod tests {
         handle.stop();
         handle.stop();
         handle.join();
+    }
+
+    #[test]
+    fn socket_parent_sizes_frames_by_the_childs_rung() {
+        use teeve_pubsub::ForwardingEntry;
+
+        // A bare listener stands in for the degraded child so the bytes
+        // the parent actually puts on that hop can be inspected.
+        let child_listener = TcpListener::bind("127.0.0.1:0").expect("child bind");
+        let child_addr = child_listener.local_addr().unwrap();
+        let stream_id = StreamId::new(SiteId::new(0), 0);
+
+        let node = RpNode::bind(SiteId::new(0), Duration::from_millis(200)).expect("bind");
+        let addr = node.local_addr();
+        let handle = node.spawn();
+
+        // One control connection carries, in order: Attach, a table where
+        // this origin's child takes the stream at rung 1, the OpenLink
+        // order, and a single 1024-byte publish. Orders on one connection
+        // execute in arrival order, so the link exists before the frame.
+        let mut control = TcpStream::connect(addr).expect("control connect");
+        let mut orders = BytesMut::new();
+        encode(&Message::Attach, &mut orders);
+        encode(
+            &Message::Reconfigure {
+                revision: 1,
+                site_plan: SitePlan {
+                    site: SiteId::new(0),
+                    entries: vec![ForwardingEntry {
+                        stream: stream_id,
+                        parent: None,
+                        children: vec![ChildLink {
+                            site: SiteId::new(1),
+                            quality: Quality::new(1),
+                        }],
+                        quality: Quality::FULL,
+                    }],
+                },
+            },
+            &mut orders,
+        );
+        encode(
+            &Message::OpenLink {
+                child: SiteId::new(1),
+                addr: child_addr,
+            },
+            &mut orders,
+        );
+        encode(
+            &Message::Publish {
+                stream: stream_id,
+                base_seq: 0,
+                frames: 1,
+                payload_bytes: 1024,
+                interval_micros: 0,
+            },
+            &mut orders,
+        );
+        control.write_all(&orders).expect("orders sent");
+
+        // Accept the node's dial and decode what it sends: the Hello
+        // preamble, then the frame — which must arrive tagged at the
+        // child's rung with its payload halved (1024 >> 1). This is the
+        // hop *into* the degraded receiver, so the inbound budget the
+        // admission path degraded for is genuinely relieved.
+        let (mut conn, _) = child_listener.accept().expect("node dials child");
+        conn.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        let mut buf = BytesMut::new();
+        let mut chunk = [0u8; 4096];
+        let frame = loop {
+            match decode(&mut buf).expect("valid wire traffic") {
+                Some(Message::Hello { site }) => assert_eq!(site, SiteId::new(0)),
+                Some(frame @ Message::Frame { .. }) => break frame,
+                Some(other) => panic!("unexpected message {other:?}"),
+                None => {
+                    let read = conn.read(&mut chunk).expect("child read");
+                    assert!(read > 0, "connection closed before the frame");
+                    buf.extend_from_slice(&chunk[..read]);
+                }
+            }
+        };
+        let Message::Frame {
+            quality, payload, ..
+        } = frame
+        else {
+            unreachable!()
+        };
+        assert_eq!(quality, Quality::new(1), "frame tagged at the child's rung");
+        assert_eq!(payload.len(), 512, "payload halved for rung 1");
+
+        handle.stop();
+        handle.join();
+    }
+
+    #[test]
+    fn advertised_address_overrides_the_bound_one() {
+        // Bind loopback, advertise a different loopback IP with port 0:
+        // the advertised IP is reported verbatim and the port is
+        // substituted with the one actually bound. (No connection is
+        // made; this only exercises address bookkeeping.)
+        let node = RpNode::bind_advertised(
+            SiteId::new(1),
+            "127.0.0.1:0".parse().unwrap(),
+            Some("127.0.0.2:0".parse().unwrap()),
+            Duration::from_millis(200),
+        )
+        .expect("bind");
+        let advertised = node.local_addr();
+        assert_eq!(advertised.ip().to_string(), "127.0.0.2");
+        assert_ne!(advertised.port(), 0, "port 0 must be substituted");
+
+        // An explicit advertised port is kept as-is.
+        let node = RpNode::bind_advertised(
+            SiteId::new(2),
+            "127.0.0.1:0".parse().unwrap(),
+            Some("10.1.2.3:4567".parse().unwrap()),
+            Duration::from_millis(200),
+        )
+        .expect("bind");
+        assert_eq!(node.local_addr().to_string(), "10.1.2.3:4567");
+
+        // No advertise override: the bound address is reported, exactly
+        // the pre-existing `bind`/`bind_to` behavior.
+        let node = RpNode::bind(SiteId::new(3), Duration::from_millis(200)).expect("bind");
+        assert_eq!(node.local_addr().ip().to_string(), "127.0.0.1");
     }
 
     #[test]

@@ -22,8 +22,8 @@
 use std::net::SocketAddr;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use teeve_pubsub::{ForwardingEntry, SitePlan};
-use teeve_types::{SiteId, StreamId};
+use teeve_pubsub::{ChildLink, ForwardingEntry, SitePlan};
+use teeve_types::{Quality, SiteId, StreamId};
 
 /// Maximum accepted message size (tag + body), guarding against corrupted
 /// length prefixes: a 3DTI frame at the paper's raw rate is ≈1.5 MB, so
@@ -56,6 +56,9 @@ pub struct StreamDelivery {
     pub stream: StreamId,
     /// Frames of `stream` delivered at the reporting RP.
     pub delivered: u64,
+    /// Frames of `delivered` that arrived below full quality (tagged
+    /// with a rung > 0 by the degrade-don't-reject path).
+    pub delivered_degraded: u64,
     /// Sum of observed end-to-end latencies, in microseconds.
     pub latency_sum_micros: u64,
 }
@@ -72,6 +75,11 @@ pub enum Message {
     Frame {
         /// The stream the frame belongs to.
         stream: StreamId,
+        /// The quality rung the frame is carried at. Relays forward at
+        /// the coarser of this tag and their own planned rung, sizing
+        /// the payload down accordingly, so quality only ever degrades
+        /// along a path.
+        quality: Quality,
         /// Frame sequence number at the origin.
         seq: u64,
         /// Capture timestamp, microseconds since the cluster epoch.
@@ -245,15 +253,17 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
         }
         Message::Frame {
             stream,
+            quality,
             seq,
             captured_micros,
             payload,
         } => {
-            let body = 1 + 4 + 4 + 8 + 8 + 4 + payload.len();
+            let body = 1 + 4 + 4 + 1 + 8 + 8 + 4 + payload.len();
             dst.put_u32_le(body as u32);
             dst.put_u8(TAG_FRAME);
             dst.put_u32_le(stream.origin().index() as u32);
             dst.put_u32_le(stream.local_index());
+            dst.put_u8(quality.rung() as u8);
             dst.put_u64_le(*seq);
             dst.put_u64_le(*captured_micros);
             dst.put_u32_le(payload.len() as u32);
@@ -345,7 +355,7 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
             max_latency_micros,
             streams,
         } => {
-            dst.put_u32_le((1 + 8 + 8 + 8 + 4 + streams.len() * (4 + 4 + 8 + 8)) as u32);
+            dst.put_u32_le((1 + 8 + 8 + 8 + 4 + streams.len() * (4 + 4 + 8 + 8 + 8)) as u32);
             dst.put_u8(TAG_STATS_REPORT);
             dst.put_u64_le(*probe);
             dst.put_u64_le(*total);
@@ -355,6 +365,7 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
                 dst.put_u32_le(entry.stream.origin().index() as u32);
                 dst.put_u32_le(entry.stream.local_index());
                 dst.put_u64_le(entry.delivered);
+                dst.put_u64_le(entry.delivered_degraded);
                 dst.put_u64_le(entry.latency_sum_micros);
             }
         }
@@ -368,19 +379,20 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
 /// Encoded size of a [`SitePlan`] body, in bytes.
 fn site_plan_bytes(site_plan: &SitePlan) -> usize {
     // site + entry count, then per entry: stream (origin + local) +
-    // parent flag/value + child count + children.
+    // parent flag/value + quality rung + child count + children.
     4 + 4
         + site_plan
             .entries
             .iter()
-            .map(|e| 4 + 4 + 1 + 4 + 4 + 4 * e.children.len())
+            .map(|e| 4 + 4 + 1 + 4 + 1 + 4 + 5 * e.children.len())
             .sum::<usize>()
 }
 
 /// Encodes a forwarding table: `[site][entry count]` then per entry
-/// `[stream origin][stream local][parent flag + site][child count][children…]`.
-/// A missing parent (the RP originates the stream) is flag 0 with a zero
-/// placeholder, keeping every entry fixed-width up to its child list.
+/// `[stream origin][stream local][parent flag + site][quality rung]`
+/// `[child count][children…]`. A missing parent (the RP originates the
+/// stream) is flag 0 with a zero placeholder, keeping every entry
+/// fixed-width up to its child list.
 fn encode_site_plan(site_plan: &SitePlan, dst: &mut BytesMut) {
     dst.put_u32_le(site_plan.site.index() as u32);
     dst.put_u32_le(site_plan.entries.len() as u32);
@@ -397,9 +409,11 @@ fn encode_site_plan(site_plan: &SitePlan, dst: &mut BytesMut) {
                 dst.put_u32_le(0);
             }
         }
+        dst.put_u8(entry.quality.rung() as u8);
         dst.put_u32_le(entry.children.len() as u32);
         for child in &entry.children {
-            dst.put_u32_le(child.index() as u32);
+            dst.put_u32_le(child.site.index() as u32);
+            dst.put_u8(child.quality.rung() as u8);
         }
     }
 }
@@ -413,7 +427,7 @@ fn decode_site_plan(body: &mut BytesMut) -> Result<SitePlan, WireError> {
     let entry_count = body.get_u32_le() as usize;
     let mut entries = Vec::with_capacity(entry_count.min(1024));
     for _ in 0..entry_count {
-        if body.len() < 4 + 4 + 1 + 4 + 4 {
+        if body.len() < 4 + 4 + 1 + 4 + 1 + 4 {
             return Err(WireError::Truncated);
         }
         let origin = SiteId::new(body.get_u32_le());
@@ -421,23 +435,27 @@ fn decode_site_plan(body: &mut BytesMut) -> Result<SitePlan, WireError> {
         let has_parent = body.get_u8() != 0;
         let parent_raw = body.get_u32_le();
         let parent = has_parent.then(|| SiteId::new(parent_raw));
+        let quality = Quality::new(body.get_u8());
         let child_count = body.get_u32_le() as usize;
         // checked_mul: a corrupt count must not wrap the bounds check on
         // 32-bit targets and drive the reads past the buffer.
         if child_count
-            .checked_mul(4)
+            .checked_mul(5)
             .is_none_or(|need| body.len() < need)
         {
             return Err(WireError::Truncated);
         }
         let mut children = Vec::with_capacity(child_count);
         for _ in 0..child_count {
-            children.push(SiteId::new(body.get_u32_le()));
+            let site = SiteId::new(body.get_u32_le());
+            let quality = Quality::new(body.get_u8());
+            children.push(ChildLink { site, quality });
         }
         entries.push(ForwardingEntry {
             stream: StreamId::new(origin, local),
             parent,
             children,
+            quality,
         });
     }
     Ok(SitePlan { site, entries })
@@ -478,11 +496,12 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
             Ok(Some(Message::Hello { site }))
         }
         TAG_FRAME => {
-            if body.len() < 4 + 4 + 8 + 8 + 4 {
+            if body.len() < 4 + 4 + 1 + 8 + 8 + 4 {
                 return Err(WireError::Truncated);
             }
             let origin = SiteId::new(body.get_u32_le());
             let local = body.get_u32_le();
+            let quality = Quality::new(body.get_u8());
             let seq = body.get_u64_le();
             let captured_micros = body.get_u64_le();
             let payload_len = body.get_u32_le() as usize;
@@ -492,6 +511,7 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
             let payload = body.split_to(payload_len).freeze();
             Ok(Some(Message::Frame {
                 stream: StreamId::new(origin, local),
+                quality,
                 seq,
                 captured_micros,
                 payload,
@@ -612,7 +632,7 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
             // checked_mul: a corrupt count must not wrap the bounds check
             // on 32-bit targets and drive the reads past the buffer.
             if count
-                .checked_mul(4 + 4 + 8 + 8)
+                .checked_mul(4 + 4 + 8 + 8 + 8)
                 .is_none_or(|need| body.len() < need)
             {
                 return Err(WireError::Truncated);
@@ -624,6 +644,7 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
                 streams.push(StreamDelivery {
                     stream: StreamId::new(origin, local),
                     delivered: body.get_u64_le(),
+                    delivered_degraded: body.get_u64_le(),
                     latency_sum_micros: body.get_u64_le(),
                 });
             }
@@ -687,12 +708,20 @@ mod tests {
                     ForwardingEntry {
                         stream: StreamId::new(SiteId::new(0), 1),
                         parent: Some(SiteId::new(0)),
-                        children: vec![SiteId::new(1), SiteId::new(3)],
+                        children: vec![
+                            ChildLink {
+                                site: SiteId::new(1),
+                                quality: Quality::new(1),
+                            },
+                            ChildLink::full(SiteId::new(3)),
+                        ],
+                        quality: Quality::new(2),
                     },
                     ForwardingEntry {
                         stream: StreamId::new(SiteId::new(2), 0),
                         parent: None,
-                        children: vec![SiteId::new(0)],
+                        children: vec![ChildLink::full(SiteId::new(0))],
+                        quality: Quality::FULL,
                     },
                 ],
             },
@@ -715,7 +744,7 @@ mod tests {
         let mut buf = BytesMut::new();
         // Revision + site + one entry claiming two children but carrying
         // none.
-        let body_len = 1 + 8 + 4 + 4 + (4 + 4 + 1 + 4 + 4);
+        let body_len = 1 + 8 + 4 + 4 + (4 + 4 + 1 + 4 + 1 + 4);
         buf.put_u32_le(body_len as u32);
         buf.put_u8(TAG_RECONFIGURE);
         buf.put_u64_le(3); // revision
@@ -725,6 +754,7 @@ mod tests {
         buf.put_u32_le(0); // stream local
         buf.put_u8(1); // has parent
         buf.put_u32_le(0); // parent
+        buf.put_u8(0); // quality rung
         buf.put_u32_le(2); // two children claimed, zero present
         assert_eq!(decode(&mut buf), Err(WireError::Truncated));
     }
@@ -751,6 +781,7 @@ mod tests {
     fn frame_roundtrip() {
         roundtrip(Message::Frame {
             stream: StreamId::new(SiteId::new(2), 5),
+            quality: Quality::new(1),
             seq: 42,
             captured_micros: 123_456_789,
             payload: Bytes::from_static(b"synthetic 3d points"),
@@ -761,6 +792,7 @@ mod tests {
     fn empty_payload_frame_roundtrip() {
         roundtrip(Message::Frame {
             stream: StreamId::new(SiteId::new(0), 0),
+            quality: Quality::FULL,
             seq: 0,
             captured_micros: 0,
             payload: Bytes::new(),
@@ -773,6 +805,7 @@ mod tests {
         encode(
             &Message::Frame {
                 stream: StreamId::new(SiteId::new(1), 2),
+                quality: Quality::FULL,
                 seq: 9,
                 captured_micros: 77,
                 payload: Bytes::from_static(&[0xAB; 100]),
@@ -877,11 +910,13 @@ mod tests {
                 StreamDelivery {
                     stream: StreamId::new(SiteId::new(0), 0),
                     delivered: 999_000,
+                    delivered_degraded: 12,
                     latency_sum_micros: u64::MAX / 3,
                 },
                 StreamDelivery {
                     stream: StreamId::new(SiteId::new(7), 3),
                     delivered: 1_000,
+                    delivered_degraded: 1_000,
                     latency_sum_micros: 0,
                 },
             ],
@@ -934,11 +969,12 @@ mod tests {
     fn frame_payload_length_is_validated() {
         let mut buf = BytesMut::new();
         // Claim a 10-byte payload but provide none.
-        let body_len = 1 + 4 + 4 + 8 + 8 + 4;
+        let body_len = 1 + 4 + 4 + 1 + 8 + 8 + 4;
         buf.put_u32_le(body_len as u32);
         buf.put_u8(TAG_FRAME);
         buf.put_u32_le(0);
         buf.put_u32_le(0);
+        buf.put_u8(0); // quality rung
         buf.put_u64_le(0);
         buf.put_u64_le(0);
         buf.put_u32_le(10);

@@ -6,8 +6,8 @@
 use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 use teeve_net::wire::{decode, encode, Message, StreamDelivery, WireError, MAX_MESSAGE_BYTES};
-use teeve_pubsub::{ForwardingEntry, SitePlan};
-use teeve_types::{SiteId, StreamId};
+use teeve_pubsub::{ChildLink, ForwardingEntry, SitePlan};
+use teeve_types::{Quality, SiteId, StreamId};
 
 fn arb_site() -> impl Strategy<Value = SiteId> {
     (0u32..512).prop_map(SiteId::new)
@@ -17,17 +17,29 @@ fn arb_stream() -> impl Strategy<Value = StreamId> {
     (0u32..512, 0u32..16).prop_map(|(origin, local)| StreamId::new(SiteId::new(origin), local))
 }
 
+fn arb_quality() -> impl Strategy<Value = Quality> {
+    (0u8..8).prop_map(Quality::new)
+}
+
+fn arb_child() -> impl Strategy<Value = ChildLink> {
+    (arb_site(), arb_quality()).prop_map(|(site, quality)| ChildLink { site, quality })
+}
+
 fn arb_entry() -> impl Strategy<Value = ForwardingEntry> {
     (
         arb_stream(),
         (0u32..2, arb_site()),
-        proptest::collection::vec(arb_site(), 0..5usize),
+        proptest::collection::vec(arb_child(), 0..5usize),
+        arb_quality(),
     )
-        .prop_map(|(stream, (has_parent, parent), children)| ForwardingEntry {
-            stream,
-            parent: (has_parent == 1).then_some(parent),
-            children,
-        })
+        .prop_map(
+            |(stream, (has_parent, parent), children, quality)| ForwardingEntry {
+                stream,
+                parent: (has_parent == 1).then_some(parent),
+                children,
+                quality,
+            },
+        )
 }
 
 fn arb_site_plan() -> impl Strategy<Value = SitePlan> {
@@ -55,10 +67,11 @@ fn arb_addr() -> impl Strategy<Value = std::net::SocketAddr> {
 }
 
 fn arb_delivery() -> impl Strategy<Value = StreamDelivery> {
-    (arb_stream(), 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
-        |(stream, delivered, latency_sum_micros)| StreamDelivery {
+    (arb_stream(), 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
+        |(stream, delivered, delivered_degraded, latency_sum_micros)| StreamDelivery {
             stream,
             delivered,
+            delivered_degraded,
             latency_sum_micros,
         },
     )
@@ -75,14 +88,21 @@ fn arb_message() -> impl Strategy<Value = Message> {
             arb_site_plan(),
             proptest::collection::vec(arb_delivery(), 0..8usize),
             0u32..65_536,
+            arb_quality(),
         ),
     )
         .prop_map(
-            |((variant, site, stream, addr), (a, b, c), payload, (site_plan, streams, small))| {
+            |(
+                (variant, site, stream, addr),
+                (a, b, c),
+                payload,
+                (site_plan, streams, small, quality),
+            )| {
                 match variant {
                     0 => Message::Hello { site },
                     1 => Message::Frame {
                         stream,
+                        quality,
                         seq: a,
                         captured_micros: b,
                         payload: Bytes::from(payload),
@@ -176,6 +196,80 @@ proptest! {
             decode(&mut buf),
             Err(WireError::Oversized { .. })
         ));
+    }
+
+    /// Quality-only plan deltas survive the wire codec: re-stamping rung
+    /// assignments on a fixed forest yields a delta that is provably
+    /// socket-free, and pushing the target tables through
+    /// `Reconfigure` encode → decode reproduces them bit-for-bit —
+    /// including every quality rung — so a live fleet converges on
+    /// exactly the re-stamped plan.
+    #[test]
+    fn quality_only_deltas_roundtrip_through_the_codec(
+        rungs in proptest::collection::vec(0u8..3, 1..16usize),
+    ) {
+        use teeve_overlay::{OverlayManager, ProblemInstance};
+        use teeve_pubsub::{DisseminationPlan, PlanDelta, StreamProfile};
+        use teeve_types::{CostMatrix, CostMs, Degree};
+
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        let mut builder = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(8))
+            .streams_per_site(&[2, 1, 0, 0]);
+        for (subscriber, origin, local) in
+            [(1, 0, 0), (2, 0, 0), (3, 0, 0), (1, 0, 1), (2, 1, 0), (3, 1, 0)]
+        {
+            builder = builder.subscribe(
+                SiteId::new(subscriber),
+                StreamId::new(SiteId::new(origin), local),
+            );
+        }
+        let problem = builder.build().expect("valid universe");
+        let mut manager = OverlayManager::new(problem.clone());
+        for request in problem.requests() {
+            manager.subscribe(request.subscriber, request.stream).unwrap();
+        }
+        let before = DisseminationPlan::from_forest(
+            &problem,
+            &manager.forest_snapshot(),
+            StreamProfile::default(),
+        );
+
+        // Re-stamp delivered entries with the drawn rungs (cycled).
+        let mut after = before.clone();
+        let mut draws = rungs.iter().copied().cycle();
+        for site in (0..4).map(SiteId::new) {
+            for stream in before.deliveries_to(site) {
+                let rung = draws.next().expect("cycled");
+                after.set_quality(site, stream, Quality::new(rung));
+            }
+        }
+        after.set_revision(before.revision() + 1);
+        let delta = PlanDelta::diff(&before, &after);
+        if delta.is_empty() {
+            return Ok(()); // every draw was rung 0: nothing to move
+        }
+        prop_assert!(delta.is_quality_only());
+        // Receiver-side rung moves are reported once each; the parent-side
+        // ChildLink mirror rides in the same delta without double counting.
+        prop_assert!(!delta.quality_changes().is_empty());
+        prop_assert!(delta.quality_changes().len() <= delta.len());
+
+        // Every touched table round-trips through the wire bit-for-bit.
+        for &site in &delta.touched_sites() {
+            let message = Message::Reconfigure {
+                revision: delta.to_revision(),
+                site_plan: after.site_plan(site).clone(),
+            };
+            let mut buf = BytesMut::new();
+            encode(&message, &mut buf);
+            prop_assert_eq!(decode(&mut buf), Ok(Some(message)));
+        }
+
+        // And applying the delta reproduces the re-stamped plan exactly.
+        let mut patched = before.clone();
+        delta.apply(&mut patched).unwrap();
+        prop_assert_eq!(patched, after);
     }
 
     /// Back-to-back encodings decode in order from one buffer, exactly as

@@ -64,19 +64,20 @@ impl ConstructionAlgorithm for CorrelatedRandomJoin {
     }
 }
 
-/// Attempts the CO-RJ victim swap for a saturated request. Returns true if
-/// a swap was performed (the requester now receives the target stream and
-/// has given up a less critical one).
+/// Attempts the CO-RJ victim swap for a saturated request. On success the
+/// requester now receives the target stream and has given up the returned
+/// less critical one (callers tracking per-subscription state — e.g. the
+/// overlay manager's rate admission — drop the victim's bookkeeping).
 pub(crate) fn try_swap<P: std::borrow::Borrow<ProblemInstance>>(
     state: &mut ForestState<P>,
     target_group: usize,
     requester: SiteId,
-) -> bool {
+) -> Option<teeve_types::StreamId> {
     let problem = state.problem();
     let target_source = state.tree(target_group).source();
     let u_target = problem.request_count(requester, target_source);
     if u_target == 0 {
-        return false;
+        return None;
     }
     let bound = problem.cost_bound();
 
@@ -123,9 +124,8 @@ pub(crate) fn try_swap<P: std::borrow::Borrow<ProblemInstance>>(
         }
     }
 
-    let Some((_, victim_idx)) = best else {
-        return false;
-    };
+    let (_, victim_idx) = best?;
+    let victim_stream = state.tree(victim_idx).stream();
     let parent = state
         .tree(victim_idx)
         .parent_of(requester)
@@ -133,7 +133,7 @@ pub(crate) fn try_swap<P: std::borrow::Borrow<ProblemInstance>>(
     let edge = problem.cost(parent, requester);
     state.detach_leaf(victim_idx, requester);
     state.attach(target_group, requester, parent, edge);
-    true
+    Some(victim_stream)
 }
 
 #[cfg(test)]
@@ -217,7 +217,11 @@ mod tests {
         let din_e = state.in_degree(e);
         let dout_f = state.out_degree(f);
 
-        assert!(try_swap(&mut state, target_group, e), "swap must succeed");
+        assert_eq!(
+            try_swap(&mut state, target_group, e),
+            Some(stream(6, 2)),
+            "swap must succeed and name the victim"
+        );
 
         // E now receives s_a^2 through F at cost 7 + 2 = 9 …
         let target_tree = state.tree(target_group);
@@ -260,7 +264,7 @@ mod tests {
         state.attach(target, f, a, CostMs::new(2));
         state.attach(victim, f, g, CostMs::new(2));
         state.attach(victim, e, f, CostMs::new(2));
-        assert!(!try_swap(&mut state, target, e));
+        assert!(try_swap(&mut state, target, e).is_none());
         assert!(state.tree(victim).is_member(e), "victim tree untouched");
     }
 
@@ -298,7 +302,7 @@ mod tests {
         state.attach(victim, f, g, CostMs::new(2));
         state.attach(victim, e, f, CostMs::new(2));
         state.attach(victim, h, e, CostMs::new(2)); // E now relays to H
-        assert!(!try_swap(&mut state, target, e));
+        assert!(try_swap(&mut state, target, e).is_none());
     }
 
     #[test]
@@ -343,7 +347,10 @@ mod tests {
         state.attach(target, f, d, CostMs::new(3));
         state.attach(victim, f, g, CostMs::new(3));
         state.attach(victim, e, f, CostMs::new(4));
-        assert!(!try_swap(&mut state, target, e), "bound must be enforced");
+        assert!(
+            try_swap(&mut state, target, e).is_none(),
+            "bound must be enforced"
+        );
     }
 
     #[test]

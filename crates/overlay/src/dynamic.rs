@@ -17,14 +17,16 @@
 //! (degree bounds, latency bound, well-formed trees), checkable at any
 //! point with [`validate_forest`](crate::validate_forest).
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use teeve_types::{SiteId, StreamId};
+use teeve_types::{Quality, QualityLadder, SiteId, StreamId};
 
 use crate::algorithms::corj_try_swap;
 use crate::join::{ForestState, JoinOutcome};
 use crate::problem::ProblemInstance;
+use crate::quality::fit_qualities;
 
 /// Error produced by dynamic overlay operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +96,74 @@ pub struct UnsubscribeResult {
     pub dropped: Vec<SiteId>,
 }
 
+/// Result of one score-carrying subscription attempt through the
+/// degrade-don't-reject admission path
+/// ([`OverlayManager::subscribe_scored`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredAdmission {
+    /// The structural outcome (joined, already joined, or rejected).
+    pub result: SubscribeResult,
+    /// The quality the subscription is served at ([`Quality::FULL`]
+    /// when rate admission is disabled or the budget is ample).
+    pub quality: Quality,
+    /// Already-admitted streams at this site whose quality changed to fit
+    /// the budget: degraded — CO-RJ style — to make room for the
+    /// newcomer, or promoted when the refit found slack.
+    pub changed: Vec<(StreamId, Quality)>,
+    /// The subscription a CO-RJ victim swap sacrificed to admit this one
+    /// (the site no longer receives it). Callers tracking granted state
+    /// must release the victim, or it silently stops being delivered.
+    pub victim: Option<StreamId>,
+}
+
+/// Per-site rate bookkeeping behind the degrade-don't-reject admission
+/// path: budgets, and the quality/score of every admitted subscription.
+#[derive(Debug, Clone)]
+struct RateAdmission {
+    ladder: QualityLadder,
+    /// Per-site inbound bit-rate budget; `None` = unconstrained.
+    budgets: Vec<Option<u64>>,
+    /// `(receiver, stream)` → (FOV contribution score, granted quality).
+    admitted: BTreeMap<(SiteId, StreamId), (f64, Quality)>,
+}
+
+impl RateAdmission {
+    /// The admitted `(stream, score)` pairs of one site, for fitting.
+    fn site_streams(&self, site: SiteId) -> Vec<(StreamId, f64)> {
+        self.admitted
+            .range((site, StreamId::new(SiteId::new(0), 0))..)
+            .take_while(|((s, _), _)| *s == site)
+            .map(|(&(_, stream), &(score, _))| (stream, score))
+            .collect()
+    }
+
+    /// Re-fits `site`'s admitted streams (plus `extra`, if any) into its
+    /// budget and commits the result, returning the quality changes of
+    /// already-admitted streams. The caller has verified feasibility.
+    fn commit_fit(
+        &mut self,
+        site: SiteId,
+        extra: Option<(StreamId, f64)>,
+    ) -> Vec<(StreamId, Quality)> {
+        let mut streams = self.site_streams(site);
+        if let Some((stream, score)) = extra {
+            streams.push((stream, score));
+        }
+        let fit = fit_qualities(&self.ladder, self.budgets[site.index()], &streams);
+        let mut changed = Vec::new();
+        for (stream, score) in streams {
+            let quality = fit.qualities[&stream];
+            let previous = self.admitted.insert((site, stream), (score, quality));
+            if let Some((_, old)) = previous {
+                if old != quality {
+                    changed.push((stream, quality));
+                }
+            }
+        }
+        changed
+    }
+}
+
 /// Maintains a dissemination forest under subscription churn.
 ///
 /// The manager *owns* its subscription universe behind an
@@ -132,6 +202,8 @@ pub struct OverlayManager {
     state: ForestState<Arc<ProblemInstance>>,
     /// Enable CO-RJ victim swapping on saturated joins.
     correlation_aware: bool,
+    /// Rate-aware degrade-don't-reject admission, when enabled.
+    rate: Option<RateAdmission>,
 }
 
 impl OverlayManager {
@@ -145,6 +217,7 @@ impl OverlayManager {
         OverlayManager {
             state: ForestState::new(problem.into()),
             correlation_aware: false,
+            rate: None,
         }
     }
 
@@ -153,6 +226,94 @@ impl OverlayManager {
     pub fn with_correlation_swapping(mut self) -> Self {
         self.correlation_aware = true;
         self
+    }
+
+    /// Enables the rate-aware degrade-don't-reject admission path: every
+    /// subscription is granted a [`Quality`] rung on the shared `ladder`,
+    /// and when a receiving site's bit-rate budget (see
+    /// [`set_rate_budget`](Self::set_rate_budget)) cannot carry a new
+    /// stream at full quality, admission degrades — first the newcomer,
+    /// then the site's lowest-scored already-admitted streams — and only
+    /// rejects once every stream sits at the ladder floor.
+    ///
+    /// Budgets start unconstrained; until one is set, every subscription
+    /// is granted [`Quality::FULL`] exactly as without this call.
+    #[must_use]
+    pub fn with_rate_admission(mut self, ladder: QualityLadder) -> Self {
+        let n = self.state.problem().site_count();
+        self.rate = Some(RateAdmission {
+            ladder,
+            budgets: vec![None; n],
+            admitted: BTreeMap::new(),
+        });
+        self
+    }
+
+    /// Returns true when the degrade-don't-reject admission path is
+    /// enabled.
+    pub fn has_rate_admission(&self) -> bool {
+        self.rate.is_some()
+    }
+
+    /// Sets (or clears) `site`'s inbound bit-rate budget. Takes effect on
+    /// the next [`subscribe_scored`](Self::subscribe_scored) or
+    /// [`refit_site`](Self::refit_site) call — already-granted qualities
+    /// are not touched here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rate admission is not enabled or `site` is out of range.
+    pub fn set_rate_budget(&mut self, site: SiteId, budget_bps: Option<u64>) {
+        let rate = self
+            .rate
+            .as_mut()
+            .expect("rate admission not enabled; call with_rate_admission first");
+        rate.budgets[site.index()] = budget_bps;
+    }
+
+    /// Returns `site`'s inbound bit-rate budget (`None` when unlimited or
+    /// rate admission is disabled).
+    pub fn rate_budget(&self, site: SiteId) -> Option<u64> {
+        self.rate
+            .as_ref()
+            .and_then(|rate| rate.budgets[site.index()])
+    }
+
+    /// Returns the quality `site` currently receives `stream` at:
+    /// [`Quality::FULL`] unless the rate-admission path granted (or later
+    /// degraded to) a lower rung.
+    pub fn quality_of(&self, site: SiteId, stream: StreamId) -> Quality {
+        self.rate
+            .as_ref()
+            .and_then(|rate| rate.admitted.get(&(site, stream)))
+            .map(|&(_, quality)| quality)
+            .unwrap_or(Quality::FULL)
+    }
+
+    /// Updates the stored FOV contribution score of an admitted
+    /// subscription (a display re-targeted without unsubscribing), so
+    /// later refits and victim selections rank it correctly. A no-op for
+    /// unknown subscriptions or without rate admission.
+    pub fn rescore(&mut self, site: SiteId, stream: StreamId, score: f64) {
+        if let Some(rate) = self.rate.as_mut() {
+            if let Some(entry) = rate.admitted.get_mut(&(site, stream)) {
+                entry.0 = score;
+            }
+        }
+    }
+
+    /// Re-fits every admitted stream of `site` into its current budget
+    /// from scratch — degrading under a tightened budget, *promoting*
+    /// back toward full quality under a loosened one — and returns the
+    /// quality changes. The assignment is the deterministic
+    /// [`fit_qualities`] greedy, clamped at the ladder floor (a budget
+    /// too small for even the floor keeps everything at the floor; the
+    /// transport layer surfaces the shortfall).
+    pub fn refit_site(&mut self, site: SiteId) -> Vec<(StreamId, Quality)> {
+        match self.rate.as_mut() {
+            Some(rate) => rate.commit_fit(site, None),
+            None => Vec::new(),
+        }
     }
 
     /// Returns the shared subscription universe this manager operates over.
@@ -196,7 +357,12 @@ impl OverlayManager {
         Ok(group)
     }
 
-    /// Joins `site` into `stream`'s tree.
+    /// Joins `site` into `stream`'s tree without a contribution score:
+    /// new admissions are ranked at the default full score, and — unlike
+    /// [`subscribe_scored`](Self::subscribe_scored) — an idempotent
+    /// re-subscribe leaves an existing stored score untouched, so a
+    /// score-less caller can never corrupt the degrade path's victim
+    /// ordering.
     ///
     /// # Errors
     ///
@@ -207,28 +373,131 @@ impl OverlayManager {
         site: SiteId,
         stream: StreamId,
     ) -> Result<SubscribeResult, DynamicError> {
+        self.subscribe_inner(site, stream, None)
+            .map(|admission| admission.result)
+    }
+
+    /// Joins `site` into `stream`'s tree, carrying the subscription's FOV
+    /// contribution `score` through the degrade-don't-reject admission
+    /// path.
+    ///
+    /// With rate admission enabled
+    /// ([`with_rate_admission`](Self::with_rate_admission)) and a budget
+    /// set for `site`, saturation degrades instead of rejecting: the
+    /// newcomer is first tried at lower rungs, then the site's
+    /// lowest-scored already-admitted streams yield budget one rung at a
+    /// time (the CO-RJ idea, with *degrade* in place of *drop*), and the
+    /// request is rejected only when every stream — newcomer included —
+    /// sits at the ladder floor and the demand still exceeds the budget.
+    /// Count-based saturation (the paper's degree bounds) and the latency
+    /// bound still reject structurally, after the optional CO-RJ victim
+    /// swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stream is outside the session universe, the
+    /// site is not a declared subscriber, or it originates the stream.
+    pub fn subscribe_scored(
+        &mut self,
+        site: SiteId,
+        stream: StreamId,
+        score: f64,
+    ) -> Result<ScoredAdmission, DynamicError> {
+        self.subscribe_inner(site, stream, Some(score))
+    }
+
+    /// The shared admission path; `score: None` (the score-less
+    /// [`subscribe`](Self::subscribe)) admits at the default full score
+    /// but never overwrites a stored one.
+    fn subscribe_inner(
+        &mut self,
+        site: SiteId,
+        stream: StreamId,
+        score: Option<f64>,
+    ) -> Result<ScoredAdmission, DynamicError> {
         let group = self.check_request(site, stream)?;
+        let admit_score = score.unwrap_or(1.0);
+        let rejected = |quality| ScoredAdmission {
+            result: SubscribeResult::Rejected,
+            quality,
+            changed: Vec::new(),
+            victim: None,
+        };
         if self.state.tree(group).is_member(site) {
-            return Ok(SubscribeResult::AlreadyJoined);
+            // Known member: a scored call refreshes the stored score so
+            // later refits and victim selections rank it correctly; a
+            // score-less call leaves it alone.
+            if let Some(rate) = self.rate.as_mut() {
+                let entry = rate
+                    .admitted
+                    .entry((site, stream))
+                    .or_insert((admit_score, Quality::FULL));
+                if let Some(score) = score {
+                    entry.0 = score;
+                }
+            }
+            return Ok(ScoredAdmission {
+                result: SubscribeResult::AlreadyJoined,
+                quality: self.quality_of(site, stream),
+                changed: Vec::new(),
+                victim: None,
+            });
         }
-        match self.state.try_join(group, site) {
-            JoinOutcome::Joined { parent } => Ok(SubscribeResult::Joined { parent }),
+
+        // Rate feasibility first, so a ladder-exhausted rejection never
+        // mutates the forest (no join to undo, no swap to revert).
+        if let Some(rate) = self.rate.as_ref() {
+            if rate.budgets[site.index()].is_some() {
+                let mut streams = rate.site_streams(site);
+                streams.push((stream, admit_score));
+                let fit = fit_qualities(&rate.ladder, rate.budgets[site.index()], &streams);
+                if !fit.fits {
+                    return Ok(rejected(Quality::FULL));
+                }
+            }
+        }
+
+        // Structural join: degree bounds and the latency bound, with the
+        // CO-RJ victim swap as the saturation fallback.
+        let mut victim = None;
+        let parent = match self.state.try_join(group, site) {
+            JoinOutcome::Joined { parent } => parent,
             JoinOutcome::RejectedInbound | JoinOutcome::RejectedSaturated
                 if self.correlation_aware =>
             {
-                if corj_try_swap(&mut self.state, group, site) {
-                    let parent = self
-                        .state
-                        .tree(group)
-                        .parent_of(site)
-                        .expect("swap attached the site");
-                    Ok(SubscribeResult::Joined { parent })
-                } else {
-                    Ok(SubscribeResult::Rejected)
+                match corj_try_swap(&mut self.state, group, site) {
+                    Some(sacrificed) => {
+                        // The swap traded the victim subscription away;
+                        // its quality bookkeeping goes with it, and the
+                        // caller is told so its granted state follows.
+                        if let Some(rate) = self.rate.as_mut() {
+                            rate.admitted.remove(&(site, sacrificed));
+                        }
+                        victim = Some(sacrificed);
+                        self.state
+                            .tree(group)
+                            .parent_of(site)
+                            .expect("swap attached the site")
+                    }
+                    None => return Ok(rejected(Quality::FULL)),
                 }
             }
-            _ => Ok(SubscribeResult::Rejected),
-        }
+            _ => return Ok(rejected(Quality::FULL)),
+        };
+
+        let (quality, changed) = match self.rate.as_mut() {
+            Some(rate) => {
+                let changed = rate.commit_fit(site, Some((stream, admit_score)));
+                (rate.admitted[&(site, stream)].1, changed)
+            }
+            None => (Quality::FULL, Vec::new()),
+        };
+        Ok(ScoredAdmission {
+            result: SubscribeResult::Joined { parent },
+            quality,
+            changed,
+            victim,
+        })
     }
 
     /// Removes `site` from `stream`'s tree. If `site` was relaying, its
@@ -266,6 +535,14 @@ impl OverlayManager {
                     result.reattached.push((descendant, parent));
                 }
                 _ => result.dropped.push(descendant),
+            }
+        }
+        // Release the departed (and dropped) subscriptions' quality
+        // bookkeeping; re-attached descendants keep theirs.
+        if let Some(rate) = self.rate.as_mut() {
+            rate.admitted.remove(&(site, stream));
+            for &dropped in &result.dropped {
+                rate.admitted.remove(&(dropped, stream));
             }
         }
         Ok(result)
@@ -485,12 +762,18 @@ mod tests {
         m.subscribe(site(3), stream(1, 0)).unwrap();
         m.subscribe(site(3), stream(1, 1)).unwrap();
         // Inbound is now full (2 of 2); the critical site-0 stream would be
-        // rejected, but swapping evicts one of the site-1 streams.
-        let result = m.subscribe(site(3), stream(0, 0)).unwrap();
+        // rejected, but swapping evicts one of the site-1 streams — and
+        // the admission names the sacrificed subscription so callers can
+        // release it from their granted state.
+        let admission = m.subscribe_scored(site(3), stream(0, 0), 1.0).unwrap();
         assert!(
-            matches!(result, SubscribeResult::Joined { .. }),
-            "swap should rescue the critical stream, got {result:?}"
+            matches!(admission.result, SubscribeResult::Joined { .. }),
+            "swap should rescue the critical stream, got {:?}",
+            admission.result
         );
+        let victim = admission.victim.expect("the swap names its victim");
+        assert_eq!(victim.origin(), site(1));
+        assert!(!m.is_subscribed(site(3), victim));
         assert!(m.is_subscribed(site(3), stream(0, 0)));
         let still: usize = [stream(1, 0), stream(1, 1)]
             .iter()
@@ -498,6 +781,201 @@ mod tests {
             .count();
         assert_eq!(still, 1, "exactly one site-1 stream was sacrificed");
         validate_forest(&p, &m.into_forest()).expect("valid after swap");
+    }
+
+    #[test]
+    fn rate_admission_degrades_the_newcomer_before_victims() {
+        // Site 1 may take both of site 0's streams; a 12 Mbps budget
+        // cannot carry two full 8 Mbps streams.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[2, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(1), stream(0, 1))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(p).with_rate_admission(QualityLadder::paper_default());
+        m.set_rate_budget(site(1), Some(12_000_000));
+
+        let first = m.subscribe_scored(site(1), stream(0, 0), 0.9).unwrap();
+        assert!(matches!(first.result, SubscribeResult::Joined { .. }));
+        assert!(first.quality.is_full());
+
+        // The newcomer scores lower than the incumbent: it degrades, the
+        // incumbent stays full (8 + 4 = 12 fits).
+        let second = m.subscribe_scored(site(1), stream(0, 1), 0.2).unwrap();
+        assert!(matches!(second.result, SubscribeResult::Joined { .. }));
+        assert_eq!(second.quality, Quality::new(1));
+        assert!(second.changed.is_empty(), "incumbent untouched");
+        assert!(m.quality_of(site(1), stream(0, 0)).is_full());
+    }
+
+    #[test]
+    fn rate_admission_degrades_the_lowest_scored_victim() {
+        // The newcomer scores HIGHER than the incumbent: the incumbent is
+        // the CO-RJ-style victim and yields budget instead.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[2, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(1), stream(0, 1))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(p).with_rate_admission(QualityLadder::paper_default());
+        m.set_rate_budget(site(1), Some(12_000_000));
+        m.subscribe_scored(site(1), stream(0, 0), 0.2).unwrap();
+
+        let admission = m.subscribe_scored(site(1), stream(0, 1), 0.9).unwrap();
+        assert!(matches!(admission.result, SubscribeResult::Joined { .. }));
+        assert!(admission.quality.is_full(), "high scorer is served full");
+        assert_eq!(admission.changed, vec![(stream(0, 0), Quality::new(1))]);
+        assert_eq!(m.quality_of(site(1), stream(0, 0)), Quality::new(1));
+    }
+
+    #[test]
+    fn rate_admission_rejects_only_when_the_ladder_is_exhausted() {
+        // 5 Mbps carries two floor-rung (2 Mbps) streams but never three.
+        let costs = CostMatrix::from_fn(4, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(8))
+            .streams_per_site(&[3, 0, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(1), stream(0, 1))
+            .subscribe(site(1), stream(0, 2))
+            .build()
+            .unwrap();
+        let mut m =
+            OverlayManager::new(p.clone()).with_rate_admission(QualityLadder::paper_default());
+        m.set_rate_budget(site(1), Some(5_000_000));
+
+        assert!(matches!(
+            m.subscribe_scored(site(1), stream(0, 0), 0.9)
+                .unwrap()
+                .result,
+            SubscribeResult::Joined { .. }
+        ));
+        let second = m.subscribe_scored(site(1), stream(0, 1), 0.5).unwrap();
+        assert!(matches!(second.result, SubscribeResult::Joined { .. }));
+        // Both now sit low enough to fit 5 Mbps (2 + 2 = 4).
+        assert!(!m.quality_of(site(1), stream(0, 0)).is_full());
+        // A third stream cannot fit even at the floor: the ladder is
+        // exhausted, and only now does the request reject — without
+        // touching the forest.
+        let third = m.subscribe_scored(site(1), stream(0, 2), 0.99).unwrap();
+        assert_eq!(third.result, SubscribeResult::Rejected);
+        assert!(!m.is_subscribed(site(1), stream(0, 2)));
+        validate_forest(&p, &m.forest_snapshot()).expect("rejection left the forest intact");
+    }
+
+    #[test]
+    fn refit_promotes_when_the_budget_recovers() {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[2, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(1), stream(0, 1))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(p).with_rate_admission(QualityLadder::paper_default());
+        m.set_rate_budget(site(1), Some(10_000_000));
+        m.subscribe_scored(site(1), stream(0, 0), 0.9).unwrap();
+        m.subscribe_scored(site(1), stream(0, 1), 0.1).unwrap();
+        assert_eq!(m.quality_of(site(1), stream(0, 1)), Quality::new(2));
+
+        // Congestion clears: the refit promotes everything back to full.
+        m.set_rate_budget(site(1), Some(40_000_000));
+        let changes = m.refit_site(site(1));
+        assert_eq!(changes, vec![(stream(0, 1), Quality::FULL)]);
+        assert!(m.quality_of(site(1), stream(0, 1)).is_full());
+
+        // And a tightened budget degrades again, lowest score first.
+        m.set_rate_budget(site(1), Some(12_000_000));
+        let changes = m.refit_site(site(1));
+        assert_eq!(changes, vec![(stream(0, 1), Quality::new(1))]);
+    }
+
+    #[test]
+    fn unsubscribing_releases_quality_bookkeeping() {
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[2, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(1), stream(0, 1))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(p).with_rate_admission(QualityLadder::paper_default());
+        m.set_rate_budget(site(1), Some(12_000_000));
+        m.subscribe_scored(site(1), stream(0, 0), 0.9).unwrap();
+        m.subscribe_scored(site(1), stream(0, 1), 0.1).unwrap();
+        assert_eq!(m.quality_of(site(1), stream(0, 1)), Quality::new(1));
+
+        // Dropping the full-quality incumbent frees 8 Mbps; the survivor
+        // is promoted by the next refit.
+        m.unsubscribe(site(1), stream(0, 0)).unwrap();
+        assert!(
+            m.quality_of(site(1), stream(0, 0)).is_full(),
+            "released subscriptions report the default"
+        );
+        let changes = m.refit_site(site(1));
+        assert_eq!(changes, vec![(stream(0, 1), Quality::FULL)]);
+    }
+
+    #[test]
+    fn scoreless_resubscribes_do_not_clobber_stored_scores() {
+        // A low-priority stream admitted with a real score must keep it
+        // through an idempotent score-less subscribe(): otherwise the
+        // next budget squeeze degrades the wrong victim.
+        let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+        let p = ProblemInstance::builder(costs, CostMs::new(50))
+            .symmetric_capacities(Degree::new(6))
+            .streams_per_site(&[2, 0, 0])
+            .subscribe(site(1), stream(0, 0))
+            .subscribe(site(1), stream(0, 1))
+            .build()
+            .unwrap();
+        let mut m = OverlayManager::new(p).with_rate_admission(QualityLadder::paper_default());
+        m.subscribe_scored(site(1), stream(0, 0), 0.1).unwrap();
+        m.subscribe_scored(site(1), stream(0, 1), 0.9).unwrap();
+        // Idempotent plain re-subscribe of the low scorer.
+        assert_eq!(
+            m.subscribe(site(1), stream(0, 0)).unwrap(),
+            SubscribeResult::AlreadyJoined
+        );
+        // Tighten the budget: the 0.1-scored stream must still be the
+        // victim (a clobbered score of 1.0 would degrade 0.9 instead).
+        m.set_rate_budget(site(1), Some(12_000_000));
+        let changes = m.refit_site(site(1));
+        assert_eq!(changes, vec![(stream(0, 0), Quality::new(1))]);
+        assert!(m.quality_of(site(1), stream(0, 1)).is_full());
+        // An explicit re-score does update it: now the other stream is
+        // the lowest scorer and yields on the next refit.
+        m.subscribe_scored(site(1), stream(0, 0), 0.95).unwrap();
+        m.refit_site(site(1));
+        assert!(m.quality_of(site(1), stream(0, 0)).is_full());
+        assert_eq!(m.quality_of(site(1), stream(0, 1)), Quality::new(1));
+    }
+
+    #[test]
+    fn plain_subscribe_is_unchanged_without_budgets() {
+        // Rate admission enabled but no budget set: behavior (and
+        // qualities) are identical to the plain path.
+        let p = problem();
+        let mut m =
+            OverlayManager::new(p.clone()).with_rate_admission(QualityLadder::paper_default());
+        assert!(m.has_rate_admission());
+        assert_eq!(m.rate_budget(site(1)), None);
+        let s = stream(0, 0);
+        assert!(matches!(
+            m.subscribe(site(1), s).unwrap(),
+            SubscribeResult::Joined { .. }
+        ));
+        assert!(m.quality_of(site(1), s).is_full());
+        let r = m.unsubscribe(site(1), s).unwrap();
+        assert!(r.dropped.is_empty());
     }
 
     #[test]

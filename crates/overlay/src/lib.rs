@@ -62,6 +62,7 @@ mod metrics;
 mod optimal;
 mod outcome;
 mod problem;
+mod quality;
 mod spectrum;
 mod validate;
 
@@ -70,7 +71,9 @@ pub use algorithms::{
     MinimumCapacityTreeFirst, RandomJoin, SmallestTreeFirst,
 };
 pub use baseline::UnicastBaseline;
-pub use dynamic::{DynamicError, OverlayManager, SubscribeResult, UnsubscribeResult};
+pub use dynamic::{
+    DynamicError, OverlayManager, ScoredAdmission, SubscribeResult, UnsubscribeResult,
+};
 pub use forest::{Forest, MulticastTree};
 pub use join::{ForestState, JoinOutcome, JoinPolicy};
 pub use metrics::ConstructionMetrics;
@@ -79,5 +82,6 @@ pub use outcome::ConstructionOutcome;
 pub use problem::{
     MulticastGroup, NodeCapacity, ProblemBuilder, ProblemError, ProblemInstance, Request,
 };
+pub use quality::{fit_qualities, QualityFit};
 pub use spectrum::{full_granularity_range, granularity_sweep, GranularityPoint};
 pub use validate::{validate_forest, InvariantViolation};

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use teeve_types::{SessionId, SiteId, StreamId};
+use teeve_types::{Quality, SessionId, SiteId, StreamId};
 
 use crate::plan::{DisseminationPlan, ForwardingEntry};
 
@@ -26,6 +26,44 @@ pub struct EntryChange {
     pub old: Option<ForwardingEntry>,
     /// The entry after the change; `None` when the entry is removed.
     pub new: Option<ForwardingEntry>,
+}
+
+impl EntryChange {
+    /// Returns true when the change only moves quality rungs — the
+    /// entry's own delivery rung and/or the rungs on its child links:
+    /// the stream keeps its parent and child *sites*, so applying it can
+    /// never open or close a connection.
+    pub fn is_quality_only(&self) -> bool {
+        match (&self.old, &self.new) {
+            (Some(old), Some(new)) => {
+                old != new
+                    && old.parent == new.parent
+                    && old.children.len() == new.children.len()
+                    && old
+                        .children
+                        .iter()
+                        .zip(&new.children)
+                        .all(|(a, b)| a.site == b.site)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One surviving subscription's quality rung moving between plan
+/// revisions, as reported by [`PlanDelta::quality_changes`]. Entries
+/// appearing or disappearing are *structural* changes (the link-level
+/// `edges_added`/`edges_removed` dimension), not quality moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QualityChange {
+    /// The receiving RP.
+    pub site: SiteId,
+    /// The stream whose delivery quality changes.
+    pub stream: StreamId,
+    /// Quality rung before the change.
+    pub from: Quality,
+    /// Quality rung after the change.
+    pub to: Quality,
 }
 
 /// Error produced when applying a delta to a plan it does not match.
@@ -221,6 +259,35 @@ impl PlanDelta {
         self.changes.iter().map(|c| c.site).collect()
     }
 
+    /// Returns every *surviving* subscription whose delivery quality rung
+    /// moves under this delta — the quality dimension of the diff,
+    /// alongside the link-level `edges_added`/`edges_removed` views.
+    /// Entries appearing or disappearing are structural and not reported
+    /// here, so a purely structural delta has no quality changes.
+    pub fn quality_changes(&self) -> Vec<QualityChange> {
+        self.changes
+            .iter()
+            .filter_map(|c| {
+                let from = c.old.as_ref()?.quality;
+                let to = c.new.as_ref()?.quality;
+                (from != to).then_some(QualityChange {
+                    site: c.site,
+                    stream: c.stream,
+                    from,
+                    to,
+                })
+            })
+            .collect()
+    }
+
+    /// Returns true when this non-empty delta *only* re-stamps quality
+    /// rungs: every change keeps its entry's parent and children, so the
+    /// delta is provably socket-free — a live cluster applies it with
+    /// `Reconfigure` orders alone, opening and closing nothing.
+    pub fn is_quality_only(&self) -> bool {
+        !self.changes.is_empty() && self.changes.iter().all(EntryChange::is_quality_only)
+    }
+
     /// Returns the directed overlay edges `(parent, child, stream)` that
     /// exist after the delta but not before it.
     pub fn edges_added(&self) -> Vec<(SiteId, SiteId, StreamId)> {
@@ -241,11 +308,11 @@ impl PlanDelta {
             let (before, after) = select(change);
             let before_children: BTreeSet<SiteId> = before
                 .iter()
-                .flat_map(|e| e.children.iter().copied())
+                .flat_map(|e| e.children.iter().map(|c| c.site))
                 .collect();
-            for &child in after.iter().flat_map(|e| &e.children) {
-                if !before_children.contains(&child) {
-                    edges.push((change.site, child, change.stream));
+            for child in after.iter().flat_map(|e| &e.children) {
+                if !before_children.contains(&child.site) {
+                    edges.push((change.site, child.site, change.stream));
                 }
             }
         }
@@ -587,6 +654,81 @@ mod tests {
         let err = delta.apply(&mut target).unwrap_err();
         assert!(matches!(err, DeltaError::StaleEntry { .. }));
         assert_eq!(target, empty, "failed application must not mutate");
+    }
+
+    #[test]
+    fn quality_only_deltas_are_well_formed_and_socket_free() {
+        use teeve_types::Quality;
+        let p = problem();
+        let mut m = OverlayManager::new(p.clone());
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let before = plan_of(&p, &m);
+
+        // Same forest, one subscription re-stamped a rung down.
+        let mut after = before.clone();
+        assert!(after.set_quality(site(2), stream(0, 0), Quality::new(1)));
+        after.set_revision(before.revision() + 1);
+
+        let delta = PlanDelta::diff(&before, &after);
+        assert!(!delta.is_empty());
+        assert!(delta.is_quality_only(), "only a quality stamp moved");
+        // Revision-bumped like any other delta…
+        assert_eq!(delta.from_revision(), before.revision());
+        assert_eq!(delta.to_revision(), before.revision() + 1);
+        // …provably socket-free: the quality dimension reports the move,
+        // the link dimension reports nothing.
+        assert_eq!(
+            delta.quality_changes(),
+            vec![QualityChange {
+                site: site(2),
+                stream: stream(0, 0),
+                from: Quality::FULL,
+                to: Quality::new(1),
+            }]
+        );
+        assert!(delta.edges_added().is_empty());
+        assert!(delta.edges_removed().is_empty());
+
+        let mut patched = before.clone();
+        delta.apply(&mut patched).unwrap();
+        assert_eq!(patched, after);
+        assert_eq!(
+            patched.quality_of(site(2), stream(0, 0)),
+            Some(Quality::new(1))
+        );
+    }
+
+    #[test]
+    fn mixed_deltas_are_not_quality_only_but_still_report_quality() {
+        use teeve_types::Quality;
+        let p = problem();
+        let mut m = OverlayManager::new(p.clone());
+        m.subscribe(site(1), stream(0, 0)).unwrap();
+        let before = plan_of(&p, &m);
+        // A structural change (site 2 joins) and a quality re-stamp.
+        m.subscribe(site(2), stream(0, 0)).unwrap();
+        let mut after = plan_of(&p, &m);
+        assert!(after.set_quality(site(1), stream(0, 0), Quality::new(2)));
+
+        let delta = PlanDelta::diff(&before, &after);
+        assert!(!delta.is_quality_only(), "a new entry is not quality-only");
+        // The surviving entry's rung move is reported…
+        let changes = delta.quality_changes();
+        assert!(changes.contains(&QualityChange {
+            site: site(1),
+            stream: stream(0, 0),
+            from: Quality::FULL,
+            to: Quality::new(2),
+        }));
+        // …but site 2's fresh entry is structural, not a quality move:
+        // a purely structural delta reports no quality changes at all.
+        assert!(changes.iter().all(|c| c.site != site(2)));
+        let structural = PlanDelta::diff(&before, &plan_of(&p, &m));
+        assert!(!structural.edges_added().is_empty());
+        assert!(structural.quality_changes().is_empty());
+        // An empty delta is not "quality only" either.
+        assert!(!PlanDelta::default().is_quality_only());
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod session;
 pub use churn::{run_churn, subscription_universe, ChurnError, ChurnEvent, ChurnReport};
 pub use delta::{DeltaError, DeltaRouter, DeltaSink, EntryChange, PlanDelta, RouteError};
 pub use membership::{MembershipError, MembershipServer};
-pub use plan::{DisseminationPlan, ForwardingEntry, SitePlan};
+pub use plan::{ChildLink, DisseminationPlan, ForwardingEntry, SitePlan};
 pub use profile::StreamProfile;
 pub use rp::RendezvousPoint;
 pub use session::{Session, SessionBuilder};

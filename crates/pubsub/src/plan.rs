@@ -5,12 +5,39 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use teeve_overlay::{Forest, MulticastTree, ProblemInstance};
-use teeve_types::{CostMs, SessionId, SiteId, StreamId};
+use teeve_types::{CostMs, Quality, SessionId, SiteId, StreamId};
 
 use crate::StreamProfile;
 
-/// One stream's forwarding entry at one RP: where the stream comes from and
-/// where to send it next.
+/// One downstream link of a forwarding entry: the child RP and the
+/// quality rung it takes the stream at.
+///
+/// The rung mirrors the child's own entry (`quality` there); the parent
+/// carries a copy because *it* is the one sizing every forwarded frame —
+/// degrading a subscription must shrink the bytes on the hop *into* the
+/// congested receiver, which only the sender can do.
+/// [`DisseminationPlan::set_quality`] keeps the two in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChildLink {
+    /// The downstream RP.
+    pub site: SiteId,
+    /// The rung the child takes the stream at.
+    pub quality: Quality,
+}
+
+impl ChildLink {
+    /// A full-quality link to `site` (how freshly derived plans start).
+    pub fn full(site: SiteId) -> ChildLink {
+        ChildLink {
+            site,
+            quality: Quality::FULL,
+        }
+    }
+}
+
+/// One stream's forwarding entry at one RP: where the stream comes from,
+/// where to send it next (and at which rung), and the quality this RP
+/// takes it at.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForwardingEntry {
     /// The stream being handled.
@@ -18,14 +45,25 @@ pub struct ForwardingEntry {
     /// Upstream parent; `None` when this RP is the stream's origin (the
     /// local cameras feed it through the site's star network).
     pub parent: Option<SiteId>,
-    /// Downstream children to forward every frame to.
-    pub children: Vec<SiteId>,
+    /// Downstream links to forward every frame along, each carrying the
+    /// receiving child's quality rung.
+    pub children: Vec<ChildLink>,
+    /// The quality rung this RP receives (and re-forwards) the stream at.
+    /// Freshly derived plans stamp [`Quality::FULL`]; the session runtime
+    /// overwrites it with the adaptation loop's per-subscription decision
+    /// so degradation — not hard rejection — travels with the plan.
+    pub quality: Quality,
 }
 
 impl ForwardingEntry {
     /// Returns true if this RP originates the stream.
     pub fn is_origin(&self) -> bool {
         self.parent.is_none()
+    }
+
+    /// Returns the downstream sites, without their rungs.
+    pub fn child_sites(&self) -> Vec<SiteId> {
+        self.children.iter().map(|c| c.site).collect()
     }
 }
 
@@ -140,7 +178,12 @@ impl DisseminationPlan {
                 let entry = ForwardingEntry {
                     stream: tree.stream(),
                     parent: tree.parent_of(site),
-                    children: tree.children(site),
+                    children: tree
+                        .children(site)
+                        .into_iter()
+                        .map(ChildLink::full)
+                        .collect(),
+                    quality: Quality::FULL,
                 };
                 // The origin only needs an entry when it actually has
                 // members to serve; an undisseminated stream stays local
@@ -232,7 +275,7 @@ impl DisseminationPlan {
         self.site_plans.iter().flat_map(|sp| {
             sp.entries
                 .iter()
-                .flat_map(move |e| e.children.iter().map(move |&c| (sp.site, c, e.stream)))
+                .flat_map(move |e| e.children.iter().map(move |c| (sp.site, c.site, e.stream)))
         })
     }
 
@@ -254,6 +297,53 @@ impl DisseminationPlan {
             Ok(i) => entries[i] = entry,
             Err(i) => entries.insert(i, entry),
         }
+    }
+
+    /// Sets the quality rung `site` receives `stream` at, returning true
+    /// when the plan has such an entry. The session runtime stamps every
+    /// derived plan with its adaptation decisions through this.
+    ///
+    /// The rung is recorded twice, and this keeps both in sync: on the
+    /// receiver's entry (its delivery quality) and on the parent's
+    /// [`ChildLink`] to it — the parent is the one sizing forwarded
+    /// frames, so degradation must be visible where the bytes originate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the session.
+    pub fn set_quality(&mut self, site: SiteId, stream: StreamId, quality: Quality) -> bool {
+        let entries = &mut self.site_plans[site.index()].entries;
+        let parent = match entries.binary_search_by_key(&stream, |e| e.stream) {
+            Ok(i) => {
+                entries[i].quality = quality;
+                entries[i].parent
+            }
+            Err(_) => return false,
+        };
+        if let Some(parent) = parent {
+            if let Some(up) = self.site_plans[parent.index()]
+                .entries
+                .iter_mut()
+                .find(|e| e.stream == stream)
+            {
+                for child in &mut up.children {
+                    if child.site == site {
+                        child.quality = quality;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns the quality rung `site` receives `stream` at, if the plan
+    /// routes it there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the session.
+    pub fn quality_of(&self, site: SiteId, stream: StreamId) -> Option<Quality> {
+        self.site_plan(site).entry(stream).map(|e| e.quality)
     }
 
     /// Removes `site`'s forwarding entry for `stream`, returning it if it

@@ -26,6 +26,12 @@ pub struct EpochReport {
     /// full reconstruction. Drops re-admitted within the same epoch are
     /// not counted; the rest retry next epoch.
     pub dropped_subscriptions: usize,
+    /// Subscriptions the epoch's plan serves at full quality.
+    pub served_full: usize,
+    /// Subscriptions the epoch's plan serves below full quality — the
+    /// degrade-don't-reject outcome: still delivered, at a lower rung,
+    /// instead of being dropped or rejected outright.
+    pub served_degraded: usize,
     /// Whether the epoch fell back to full reconstruction.
     pub rebuilt: bool,
     /// Entry changes in the emitted [`PlanDelta`](teeve_pubsub::PlanDelta).
@@ -79,6 +85,10 @@ pub struct RuntimeReport {
     pub accepted: usize,
     /// Total subscriptions dropped (descendants of departed relays).
     pub dropped_subscriptions: usize,
+    /// Sum of per-epoch full-quality served subscription counts.
+    pub served_full: usize,
+    /// Sum of per-epoch degraded served subscription counts.
+    pub served_degraded: usize,
     /// Sum of all epochs' reconvergence times.
     pub total_reconverge: Duration,
     /// Sum of emitted delta entries.
@@ -99,6 +109,8 @@ impl RuntimeReport {
             report.subscribes += epoch.subscribes;
             report.accepted += epoch.accepted;
             report.dropped_subscriptions += epoch.dropped_subscriptions;
+            report.served_full += epoch.served_full;
+            report.served_degraded += epoch.served_degraded;
             report.total_reconverge += epoch.reconverge;
             report.delta_entries += epoch.delta_entries;
             report.plan_entries += epoch.plan_entries;

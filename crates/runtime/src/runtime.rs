@@ -5,14 +5,13 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use teeve_adapt::{
-    AdaptStream, AdaptationController, AdaptationPlan, BandwidthEstimator, QualityLadder,
-};
+use teeve_adapt::{AdaptStream, AdaptationController, AdaptationPlan, BandwidthEstimator};
 use teeve_overlay::{
-    validate_forest, Forest, InvariantViolation, OverlayManager, ProblemInstance, SubscribeResult,
+    fit_qualities, validate_forest, Forest, InvariantViolation, OverlayManager, ProblemInstance,
+    SubscribeResult,
 };
 use teeve_pubsub::{DeltaSink, DisseminationPlan, PlanDelta, Session};
-use teeve_types::{DisplayId, SessionId, SiteId, StreamId};
+use teeve_types::{DisplayId, Quality, QualityLadder, SessionId, SiteId, StreamId};
 
 use crate::config::RuntimeConfig;
 use crate::event::RuntimeEvent;
@@ -127,13 +126,18 @@ pub struct SessionRuntime {
     /// Entries live exactly as long as the display's current FOV demands
     /// the stream: each FOV event replaces the display's scores wholesale.
     scores: BTreeMap<(DisplayId, StreamId), f64>,
-    /// The desired state the forest was last rebuilt for, valid while no
-    /// incremental mutation has touched the forest since. Reconstruction
-    /// is deterministic in the desired state, so while this matches the
-    /// current demand another rebuild would reproduce the same forest —
-    /// the fallback skips it instead of thrashing on persistently
-    /// infeasible demand.
-    rebuilt_for: Option<Vec<BTreeSet<StreamId>>>,
+    /// The quality-annotated demand the forest was last rebuilt for,
+    /// valid while no incremental mutation has touched the forest since.
+    /// Each site's desired streams map to the quality rung its current
+    /// budget would fit them at, so unchanged membership with a changed
+    /// budget reads as *new* demand (a rebuild may admit differently)
+    /// while truly unchanged demand never rebuilds twice —
+    /// reconstruction is deterministic, and thrashing on persistently
+    /// infeasible demand is exactly what this gate prevents.
+    rebuilt_for: Option<Vec<BTreeMap<StreamId, Quality>>>,
+    /// The quality ladder shared by admission, refitting, and the
+    /// per-epoch adaptation reports.
+    ladder: QualityLadder,
     /// The hosted session this runtime serves when owned by a
     /// multi-session service; every derived plan and emitted delta is
     /// stamped with it.
@@ -185,6 +189,7 @@ impl SessionRuntime {
             estimators: vec![BandwidthEstimator::new(config.bandwidth_alpha); n],
             scores: BTreeMap::new(),
             rebuilt_for: None,
+            ladder: QualityLadder::paper_default(),
             scope: None,
             session,
             config,
@@ -287,8 +292,17 @@ impl SessionRuntime {
         for event in events {
             self.ingest(event);
         }
+        // Feed the transport layer's estimates into the overlay's
+        // degrade-don't-reject admission before any join is attempted.
+        self.sync_budgets();
 
         let desired = self.reconcile(&mut report);
+        // The gate below keys on *quality-annotated* demand: the desired
+        // streams plus the rung each site's current budget would fit them
+        // at, so a budget shift re-opens the gate (a rebuild may now
+        // admit differently) while truly unchanged demand never rebuilds
+        // twice.
+        let annotated = self.annotate_demand(&desired);
         if report.unsubscribes > 0 || report.accepted > 0 {
             // The forest mutated since any previous rebuild; a rebuild
             // for the same demand is no longer a guaranteed no-op.
@@ -304,12 +318,18 @@ impl SessionRuntime {
             .config
             .fallback
             .must_rebuild(report.rejection_ratio(), self.forest_depth())
-            && self.rebuilt_for.as_ref() != Some(&desired)
+            && self.rebuilt_for.as_ref() != Some(&annotated)
         {
             self.rebuild(&mut report);
-            self.rebuilt_for = Some(desired.clone());
+            self.rebuilt_for = Some(annotated);
         }
         report.max_tree_depth = self.forest_depth();
+
+        // Close the adaptation loop: re-fit every site's granted streams
+        // to its current budget (degrading under pressure, promoting when
+        // it clears), so the plan derived below — and the delta diffed
+        // from it — carries this epoch's quality decisions.
+        self.refit_qualities();
 
         // Every epoch is one control-plane revision, even a quiet one: the
         // emitted delta always advances executors from the previous
@@ -335,6 +355,21 @@ impl SessionRuntime {
                     desired[site.index()].contains(st) && !self.granted[site.index()].contains(st)
                 })
                 .count();
+        }
+        // Quality of service actually delivered: every planned delivery
+        // is either full or degraded — the degrade-don't-reject path
+        // turns would-be drops into the latter.
+        for sp in self.plan.site_plans() {
+            for entry in &sp.entries {
+                if entry.is_origin() {
+                    continue;
+                }
+                if entry.quality.is_full() {
+                    report.served_full += 1;
+                } else {
+                    report.served_degraded += 1;
+                }
+            }
         }
         report.reconverge = started.elapsed();
 
@@ -486,26 +521,104 @@ impl SessionRuntime {
         desired
     }
 
-    /// Attempts one join, recording the attempt in `report` and the grant
-    /// on success. Shared by incremental repair and full reconstruction so
-    /// both feed the rejection ratio identically.
+    /// Attempts one join through the degrade-don't-reject admission path,
+    /// carrying the subscription's FOV contribution score, recording the
+    /// attempt in `report` and the grant on success. Shared by
+    /// incremental repair and full reconstruction so both feed the
+    /// rejection ratio identically.
     fn try_subscribe(&mut self, site: SiteId, stream: StreamId, report: &mut EpochReport) {
         report.subscribes += 1;
-        match self.manager.subscribe(site, stream) {
-            Ok(SubscribeResult::Joined { .. }) | Ok(SubscribeResult::AlreadyJoined) => {
+        let score = self.fov_score(site, stream);
+        match self.manager.subscribe_scored(site, stream, score) {
+            Ok(admission)
+                if matches!(
+                    admission.result,
+                    SubscribeResult::Joined { .. } | SubscribeResult::AlreadyJoined
+                ) =>
+            {
                 report.accepted += 1;
                 self.granted[site.index()].insert(stream);
+                // A CO-RJ swap sacrificed another subscription at this
+                // site; release it so it is re-tried (and accounted as
+                // dropped if still unserved at epoch end) rather than
+                // silently presumed delivered.
+                if let Some(victim) = admission.victim {
+                    self.granted[site.index()].remove(&victim);
+                }
             }
             _ => report.rejected += 1,
         }
     }
 
-    fn make_manager(universe: &Arc<ProblemInstance>, config: &RuntimeConfig) -> OverlayManager {
-        if config.correlation_aware {
-            OverlayManager::new(Arc::clone(universe)).with_correlation_swapping()
-        } else {
-            OverlayManager::new(Arc::clone(universe))
+    /// Pushes every site's current bandwidth estimate into the overlay's
+    /// rate-admission budgets (a no-op with the loop disabled). Cold
+    /// estimators leave their site unconstrained.
+    fn sync_budgets(&mut self) {
+        if !self.config.degrade_dont_reject {
+            return;
         }
+        for site in SiteId::all(self.session.site_count()) {
+            let budget = self.budget_of(site);
+            self.manager.set_rate_budget(site, budget);
+        }
+    }
+
+    /// The bit-rate budget `site`'s warm estimator implies, or `None`
+    /// while the estimator is cold (or the loop is disabled).
+    fn budget_of(&self, site: SiteId) -> Option<u64> {
+        let estimator = &self.estimators[site.index()];
+        (self.config.degrade_dont_reject && estimator.is_warm())
+            .then(|| estimator.estimate_bps().max(0.0) as u64)
+    }
+
+    /// Annotates the desired state with the quality rung each site's
+    /// current budget would fit it at — the key of the rebuild-once gate.
+    fn annotate_demand(&self, desired: &[BTreeSet<StreamId>]) -> Vec<BTreeMap<StreamId, Quality>> {
+        SiteId::all(self.session.site_count())
+            .map(|site| {
+                let streams: Vec<(StreamId, f64)> = desired[site.index()]
+                    .iter()
+                    .map(|&stream| (stream, self.fov_score(site, stream)))
+                    .collect();
+                fit_qualities(&self.ladder, self.budget_of(site), &streams).qualities
+            })
+            .collect()
+    }
+
+    /// Re-fits every site's granted streams — freshly re-scored from the
+    /// live FOV state — into its current budget, degrading or promoting
+    /// as the estimate moved.
+    fn refit_qualities(&mut self) {
+        if !self.config.degrade_dont_reject {
+            return;
+        }
+        for site in SiteId::all(self.session.site_count()) {
+            let rescored: Vec<(StreamId, f64)> = self.granted[site.index()]
+                .iter()
+                .map(|&stream| (stream, self.fov_score(site, stream)))
+                .collect();
+            for (stream, score) in rescored {
+                self.manager.rescore(site, stream, score);
+            }
+            self.manager.refit_site(site);
+        }
+    }
+
+    /// Returns the quality rung `site` currently receives `stream` at
+    /// ([`Quality::FULL`] unless the adaptation loop degraded it).
+    pub fn quality_of(&self, site: SiteId, stream: StreamId) -> Quality {
+        self.manager.quality_of(site, stream)
+    }
+
+    fn make_manager(universe: &Arc<ProblemInstance>, config: &RuntimeConfig) -> OverlayManager {
+        let mut manager = OverlayManager::new(Arc::clone(universe));
+        if config.correlation_aware {
+            manager = manager.with_correlation_swapping();
+        }
+        if config.degrade_dont_reject {
+            manager = manager.with_rate_admission(QualityLadder::paper_default());
+        }
+        manager
     }
 
     /// Rebuilds the forest from scratch for the current desired state,
@@ -515,6 +628,9 @@ impl SessionRuntime {
         report.rebuilt = true;
         let n = self.session.site_count();
         self.manager = Self::make_manager(&self.universe, &self.config);
+        // A fresh manager forgets its budgets; re-admission must see the
+        // same rate constraints the incremental path did.
+        self.sync_budgets();
         self.granted = vec![BTreeSet::new(); n];
         for site in SiteId::all(n) {
             for stream in self.desired(site) {
@@ -540,6 +656,19 @@ impl SessionRuntime {
             self.session.profile(),
         );
         plan.set_scope(self.scope);
+        // Stamp the adaptation loop's quality decisions onto the plan:
+        // the delta diffed against the previous epoch then carries them
+        // to every executor, socket-free when nothing structural moved.
+        if self.config.degrade_dont_reject {
+            for site in SiteId::all(self.session.site_count()) {
+                for stream in plan.deliveries_to(site) {
+                    let quality = self.manager.quality_of(site, stream);
+                    if !quality.is_full() {
+                        plan.set_quality(site, stream, quality);
+                    }
+                }
+            }
+        }
         plan
     }
 
@@ -559,7 +688,7 @@ impl SessionRuntime {
                 .map(|stream| AdaptStream {
                     stream,
                     score: self.fov_score(site, stream),
-                    ladder: QualityLadder::paper_default(),
+                    ladder: self.ladder.clone(),
                 })
                 .collect();
             if streams.is_empty() {
@@ -846,6 +975,115 @@ mod tests {
         assert!(plan.decisions().len() >= 2);
         // Sites without samples have no plan.
         assert!(!outcome.adaptation.contains_key(&site(3)));
+    }
+
+    #[test]
+    fn bandwidth_pressure_emits_quality_only_deltas_and_degrades() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
+        // Epoch 0: one display watches site 1 (top-4 streams, all full).
+        let setup = rt.apply_epoch(&[viewpoint(0, 0, 1)]);
+        assert!(setup.report.accepted >= 2);
+        assert_eq!(setup.report.served_degraded, 0);
+        let streams = rt.plan().deliveries_to(site(0));
+        assert!(streams.len() >= 2);
+
+        // Epoch 1: congestion at site 0 — 12 Mbps cannot carry the
+        // demand at full 8 Mbps rungs. Nothing structural changes, so
+        // the emitted delta must be quality-only and socket-free.
+        let pressured = rt.apply_epoch(&[RuntimeEvent::BandwidthSample {
+            site: site(0),
+            bits_per_sec: 12_000_000.0,
+        }]);
+        assert!(pressured.delta.is_quality_only(), "no membership churn");
+        assert!(!pressured.delta.quality_changes().is_empty());
+        assert!(pressured.delta.edges_added().is_empty());
+        assert!(pressured.delta.edges_removed().is_empty());
+        // Degrade, don't reject: every stream is still served — at a
+        // lower rung — and none counts as dropped.
+        assert_eq!(pressured.report.dropped_subscriptions, 0);
+        assert!(pressured.report.served_degraded > 0);
+        assert_eq!(rt.plan().deliveries_to(site(0)).len(), streams.len());
+        let total: u64 = streams
+            .iter()
+            .map(|&st| {
+                let q = rt.plan().quality_of(site(0), st).unwrap();
+                QualityLadder::paper_default().rate_of(q)
+            })
+            .sum();
+        assert!(total <= 12_000_000, "refit must respect the budget");
+
+        // Epoch 2: congestion clears; the refit promotes back toward
+        // full quality, again socket-free.
+        let recovered = rt.apply_epoch(&[RuntimeEvent::BandwidthSample {
+            site: site(0),
+            bits_per_sec: 200_000_000.0,
+        }]);
+        assert!(recovered.delta.is_quality_only());
+        assert!(recovered.report.served_degraded < pressured.report.served_degraded);
+        rt.validate().unwrap();
+    }
+
+    #[test]
+    fn disabling_the_loop_keeps_plans_at_full_quality() {
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(
+            u,
+            s,
+            RuntimeConfig {
+                degrade_dont_reject: false,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        rt.apply_epoch(&[viewpoint(0, 0, 1)]);
+        let quiet = rt.apply_epoch(&[RuntimeEvent::BandwidthSample {
+            site: site(0),
+            bits_per_sec: 6_000_000.0,
+        }]);
+        // Without the loop, bandwidth samples never move the plan.
+        assert!(quiet.delta.is_empty());
+        assert_eq!(quiet.report.served_degraded, 0);
+        assert!(quiet.report.served_full > 0);
+        assert!(rt.plan().deliveries_to(site(0)).iter().all(|&st| rt
+            .plan()
+            .quality_of(site(0), st)
+            .unwrap()
+            .is_full()));
+        // The adaptation *report* still exists for observability.
+        assert!(quiet.adaptation.contains_key(&site(0)));
+    }
+
+    #[test]
+    fn budget_shifts_reopen_the_rebuild_gate_once() {
+        // Inbound capacity 1 with two displays demanding different
+        // sites: persistently infeasible, so the default policy rebuilds
+        // once and the gate then holds — until the demand's quality
+        // annotation changes.
+        let s = session(4, 1);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
+        let first = rt.apply_epoch(&[viewpoint(0, 0, 1), viewpoint(0, 1, 2)]);
+        assert!(first.report.rebuilt);
+        for _ in 0..2 {
+            assert!(!rt.apply_epoch(&[]).report.rebuilt, "gate must hold");
+        }
+
+        // A bandwidth sample re-annotates site 0's demand (its streams
+        // now fit at lower rungs): the gate re-opens for exactly one
+        // rebuild, then holds again.
+        let shifted = rt.apply_epoch(&[RuntimeEvent::BandwidthSample {
+            site: site(0),
+            bits_per_sec: 9_000_000.0,
+        }]);
+        assert!(shifted.report.rebuilt, "changed annotation re-opens");
+        for _ in 0..2 {
+            assert!(!rt.apply_epoch(&[]).report.rebuilt, "gate holds again");
+        }
+        assert_eq!(rt.report().rebuilds, 2);
+        rt.validate().unwrap();
     }
 
     #[test]

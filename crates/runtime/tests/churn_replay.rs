@@ -59,7 +59,10 @@ fn replayed_trace_validates_every_epoch_and_deltas_match_rebuilds() {
             .unwrap_or_else(|violation| panic!("epoch {i}: {violation}"));
 
         // Applying the delta to the previous plan must be equivalent to
-        // rebuilding the plan from the live forest.
+        // rebuilding the plan from the live forest — quality stamps
+        // included: the rebuild is re-stamped from the runtime's live
+        // per-subscription quality state, exactly as the runtime stamps
+        // its own derived plans.
         outcome
             .delta
             .apply(&mut shadow)
@@ -72,6 +75,11 @@ fn replayed_trace_validates_every_epoch_and_deltas_match_rebuilds() {
         // Freshly derived plans carry revision 0; the comparison is about
         // forwarding state, so stamp the rebuild with the epoch revision.
         rebuilt.set_revision(shadow.revision());
+        for site in SiteId::all(SITES) {
+            for stream in rebuilt.deliveries_to(site) {
+                rebuilt.set_quality(site, stream, runtime.quality_of(site, stream));
+            }
+        }
         assert_eq!(shadow, rebuilt, "epoch {i}: delta application diverged");
         assert_eq!(&shadow, runtime.plan(), "epoch {i}: runtime plan diverged");
 

@@ -26,6 +26,11 @@ pub struct ServiceReport {
     /// Served-and-still-wanted subscriptions that ended their epoch
     /// unserved.
     pub dropped_subscriptions: usize,
+    /// Subscriptions served at full quality across all sessions.
+    pub served_full: usize,
+    /// Subscriptions served below full quality (degraded, not dropped)
+    /// across all sessions.
+    pub served_degraded: usize,
     /// Sessions whose epoch fell back to full reconstruction.
     pub rebuilds: usize,
     /// Entry changes across all emitted plan deltas.
@@ -50,6 +55,8 @@ impl ServiceReport {
         self.rejected += report.rejected;
         self.unsubscribes += report.unsubscribes;
         self.dropped_subscriptions += report.dropped_subscriptions;
+        self.served_full += report.served_full;
+        self.served_degraded += report.served_degraded;
         self.rebuilds += usize::from(report.rebuilt);
         self.delta_entries += report.delta_entries;
         self.plan_entries += report.plan_entries;
@@ -67,6 +74,8 @@ impl ServiceReport {
         self.rejected += other.rejected;
         self.unsubscribes += other.unsubscribes;
         self.dropped_subscriptions += other.dropped_subscriptions;
+        self.served_full += other.served_full;
+        self.served_degraded += other.served_degraded;
         self.rebuilds += other.rebuilds;
         self.delta_entries += other.delta_entries;
         self.plan_entries += other.plan_entries;
@@ -120,6 +129,8 @@ mod tests {
                 rejected: 1,
                 delta_entries: 2,
                 plan_entries: 8,
+                served_full: 2,
+                served_degraded: 1,
                 rebuilt: true,
                 reconverge: Duration::from_micros(40),
                 ..EpochReport::default()
@@ -145,6 +156,8 @@ mod tests {
         assert_eq!(a.accepted, 9);
         assert_eq!(a.rejected, 1);
         assert_eq!(a.rebuilds, 1);
+        assert_eq!(a.served_full, 2);
+        assert_eq!(a.served_degraded, 1);
         assert_eq!(a.mean_reconverge(), Duration::from_micros(30));
         assert_eq!(a.acceptance_ratio(), 0.9);
         assert_eq!(a.delta_fraction(), 0.25);

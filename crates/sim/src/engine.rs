@@ -159,7 +159,7 @@ pub fn simulate_with_faults(
                 let children = plan
                     .site_plan(origin)
                     .entry(stream)
-                    .map(|e| e.children.clone())
+                    .map(|e| e.child_sites())
                     .unwrap_or_default();
                 for child in children {
                     let Some(arrival) = send(&mut channels, origin, child, stream, seq, now) else {
@@ -191,7 +191,7 @@ pub fn simulate_with_faults(
                 let children = plan
                     .site_plan(site)
                     .entry(stream)
-                    .map(|e| e.children.clone())
+                    .map(|e| e.child_sites())
                     .unwrap_or_default();
                 if children.is_empty() {
                     continue;

@@ -171,7 +171,7 @@ pub fn simulate_with_replans(
                 let children = plan
                     .site_plan(origin)
                     .entry(stream)
-                    .map(|e| e.children.clone())
+                    .map(|e| e.child_sites())
                     .unwrap_or_default();
                 if children.is_empty() {
                     continue;
@@ -223,7 +223,7 @@ pub fn simulate_with_replans(
                 let children = plan
                     .site_plan(site)
                     .entry(stream)
-                    .map(|e| e.children.clone())
+                    .map(|e| e.child_sites())
                     .unwrap_or_default();
                 if children.is_empty() {
                     continue;

@@ -17,6 +17,10 @@
 //!   `c(e) ∈ ℤ⁺` in the paper's problem formulation).
 //! * [`Degree`] — a bandwidth limit expressed in *number of streams*
 //!   (`I_i, O_i ∈ ℕ`).
+//! * [`Quality`] / [`QualityLadder`] — per-subscription quality rungs,
+//!   shared by the adaptation controller, the overlay's degrade-don't-
+//!   reject admission path, dissemination plan entries, and the wire
+//!   protocol.
 //!
 //! # Examples
 //!
@@ -35,8 +39,10 @@
 
 mod id;
 mod matrix;
+mod quality;
 mod units;
 
 pub use id::{CameraId, DisplayId, SessionId, SiteId, StreamId};
 pub use matrix::{CostMatrix, CostMatrixError};
+pub use quality::{Quality, QualityLadder, QualityLevel};
 pub use units::{BitRate, CostMs, Degree};
