@@ -99,6 +99,7 @@ fn bench_multi_session(c: &mut Criterion) {
     // The headline number, measured directly: sessions driven per second
     // at each shard count over the same workload.
     let mut single_shard = f64::NAN;
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     for shards in SHARD_COUNTS {
         let (service, handles) = build_service(shards);
         let rounds = 24;
@@ -118,7 +119,14 @@ fn bench_multi_session(c: &mut Criterion) {
              ({:.2}x vs 1 shard)",
             per_sec / single_shard,
         );
+        metrics.push((format!("sessions_per_sec_shards_{shards}"), per_sec));
+        metrics.push((
+            format!("speedup_shards_{shards}_vs_1"),
+            per_sec / single_shard,
+        ));
     }
+    let entries: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    teeve_bench::write_bench_json("multi_session", &entries);
 }
 
 criterion_group!(benches, bench_multi_session);

@@ -124,6 +124,26 @@ fn bench_quality_delta(c: &mut Criterion) {
     assert_eq!(cluster.connections_opened(), cluster.connections_closed());
     group.finish();
 
+    // The headline numbers, measured directly: mean reconfigure latency
+    // per delta flavour on the live cluster.
+    let rounds = 16u32;
+    let mut measured: Vec<(&str, f64)> = Vec::new();
+    for (label, target) in [
+        ("quality_only_micros", &degraded),
+        ("socket_free_reroute_micros", &two_streams),
+        ("open_close_one_link_micros", &with_site2),
+    ] {
+        let timer = std::time::Instant::now();
+        for _ in 0..rounds {
+            step(&mut cluster, target);
+            step(&mut cluster, &base);
+        }
+        let per_delta = timer.elapsed().as_micros() as f64 / f64::from(rounds * 2);
+        println!("{label}: {per_delta:.1} µs per delta");
+        measured.push((label, per_delta));
+    }
+    teeve_bench::write_bench_json("quality_delta", &measured);
+
     let report = cluster.shutdown();
     println!(
         "quality_delta: final revision {}, {} connections opened/closed",

@@ -122,15 +122,25 @@ fn bench_runtime_repair(c: &mut Criterion) {
     let timer = std::time::Instant::now();
     std::hint::black_box(run_full_reconstruction(&problem, &trace));
     let full = timer.elapsed();
+    let incremental_micros = incremental.as_micros() as f64 / trace.len() as f64;
+    let full_micros = full.as_micros() as f64 / trace.len() as f64;
+    let speedup = full.as_secs_f64() / incremental.as_secs_f64().max(f64::EPSILON);
     println!(
-        "reconvergence per event: incremental {:.1} µs vs full reconstruction {:.1} µs ({:.0}x)",
-        incremental.as_micros() as f64 / trace.len() as f64,
-        full.as_micros() as f64 / trace.len() as f64,
-        full.as_secs_f64() / incremental.as_secs_f64().max(f64::EPSILON),
+        "reconvergence per event: incremental {incremental_micros:.1} µs \
+         vs full reconstruction {full_micros:.1} µs ({speedup:.0}x)"
     );
     assert!(
         incremental < full,
         "incremental repair must beat full reconstruction ({incremental:?} vs {full:?})"
+    );
+    teeve_bench::write_bench_json(
+        "runtime_repair",
+        &[
+            ("incremental_micros_per_event", incremental_micros),
+            ("full_reconstruction_micros_per_event", full_micros),
+            ("speedup", speedup),
+            ("churn_events", trace.len() as f64),
+        ],
     );
 }
 

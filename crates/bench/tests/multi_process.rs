@@ -206,6 +206,18 @@ fn socket_multi_process_fleet_matches_in_process_wrapper_bit_for_bit() {
         multi_process.connections_closed,
         in_process.connections_closed
     );
+
+    // The merged delivery-latency histogram of the external fleet is
+    // exactly the fold of its per-RP histograms — nothing lost crossing
+    // the wire's sparse bucket encoding — and each per-pair histogram
+    // counts precisely the frames delivered on that pair.
+    let mut folded = teeve_telemetry::LogHistogram::new();
+    for (key, hist) in &multi_process.latency {
+        assert_eq!(hist.count(), multi_process.delivered[key]);
+        folded.merge(hist);
+    }
+    assert_eq!(folded, multi_process.merged_latency());
+    assert_eq!(folded.count(), multi_process.total_delivered());
 }
 
 /// An `rp_node` process abandoned by its coordinator (dropped without

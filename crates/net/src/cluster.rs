@@ -109,6 +109,28 @@ impl LiveCluster {
         self.coordinator().is_poisoned()
     }
 
+    /// The coordinator's metrics registry (link open/close latencies,
+    /// Reconfigure→Ack round-trip times); see [`Coordinator::telemetry`].
+    pub fn telemetry(&self) -> &teeve_telemetry::MetricsRegistry {
+        self.coordinator().telemetry()
+    }
+
+    /// The coordinator's flight recorder; see
+    /// [`Coordinator::flight_recorder`].
+    pub fn flight_recorder(&self) -> &teeve_telemetry::FlightRecorder {
+        self.coordinator().flight_recorder()
+    }
+
+    /// The coordinator's flight events as JSON; see
+    /// [`Coordinator::flight_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (infallible for this data model).
+    pub fn flight_json(&self) -> Result<String, serde_json::Error> {
+        self.coordinator().flight_json()
+    }
+
     /// Publishes `frames` frames from every origin stream of the current
     /// plan and blocks until all planned deliveries of the batch land;
     /// see [`Coordinator::publish`].
@@ -356,6 +378,22 @@ mod tests {
                 .expect("delivered pair has a mean");
             assert!(mean <= report.max_latency_micros);
         }
+        // The wire-carried histograms agree with the scalar counters:
+        // every delivered pair has a distribution whose count matches
+        // its frame count and whose sum matches the latency sum.
+        for (&(site, stream), hist) in &report.latency {
+            assert_eq!(hist.count(), report.delivered[&(site, stream)]);
+            assert_eq!(hist.sum(), report.latency_sum_micros[&(site, stream)]);
+        }
+        // The merged distribution reads true cluster-wide percentiles.
+        let merged = report.merged_latency();
+        assert_eq!(merged.count(), report.total_delivered());
+        assert_eq!(merged.max(), report.max_latency_micros);
+        assert!(merged.p50() <= merged.p99());
+        assert!(
+            merged.p99() >= merged.max() / 2,
+            "p99 within one bucket of max"
+        );
     }
 
     #[test]
@@ -540,9 +578,25 @@ mod tests {
             Err(ClusterError::Poisoned)
         ));
 
-        // Shutdown still harvests the surviving RPs' accounting.
+        // The poisoning left a postmortem trail: a non-empty flight dump
+        // naming the failed revision.
+        let dump = coordinator.flight_json().expect("flight dump serializes");
+        assert!(!coordinator.flight_recorder().is_empty());
+        assert!(dump.contains("Poisoned"), "dump must name the poisoning");
+        assert!(
+            dump.contains("\"revision\":1"),
+            "dump must name the failed revision: {dump}"
+        );
+
+        // Shutdown still harvests the surviving RPs' accounting — and
+        // *names* the dead RP's missing report instead of dropping it
+        // silently.
         let report = coordinator.shutdown();
         assert_eq!(report.delivered[&(site(1), stream(0, 0))], 2);
+        assert!(
+            report.missing_reports >= 1,
+            "the dead RP's lost stats must be counted"
+        );
         for node in nodes {
             node.stop();
             node.join();

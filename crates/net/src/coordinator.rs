@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use teeve_pubsub::{DeltaError, DisseminationPlan, PlanDelta};
+use teeve_telemetry::{FlightEventKind, FlightRecorder, Histogram, LogHistogram, MetricsRegistry};
 use teeve_types::{SiteId, StreamId};
 
 use crate::replan::link_changes_between;
@@ -73,8 +74,17 @@ pub struct ClusterReport {
     /// Sum of observed end-to-end latencies per (site, stream), in
     /// microseconds (wall clock).
     pub latency_sum_micros: BTreeMap<(SiteId, StreamId), u64>,
+    /// Full end-to-end latency distribution per (site, stream), in
+    /// microseconds — bucket counts carried losslessly off each RP by
+    /// [`Message::StatsReport`], so percentiles are exact cluster-wide
+    /// (see [`merged_latency`](Self::merged_latency)).
+    pub latency: BTreeMap<(SiteId, StreamId), LogHistogram>,
     /// Worst observed end-to-end latency in microseconds (wall clock).
     pub max_latency_micros: u64,
+    /// RPs whose final stats report could not be harvested at shutdown
+    /// (dead control channel): their deliveries are absent from the maps
+    /// above, *named* rather than silently dropped.
+    pub missing_reports: u64,
     /// Wall-clock duration from the first published frame to shutdown.
     /// Listener binding and connection setup happen before the clock
     /// starts, so setup cost never pollutes the figure.
@@ -102,6 +112,17 @@ impl ClusterReport {
             return None;
         }
         Some(self.latency_sum_micros.get(&(site, stream)).copied()? / frames)
+    }
+
+    /// The cluster-wide end-to-end latency distribution: every per-pair
+    /// histogram merged losslessly, so `merged_latency().p99()` is the
+    /// true tail over all deliveries everywhere.
+    pub fn merged_latency(&self) -> LogHistogram {
+        let mut merged = LogHistogram::new();
+        for hist in self.latency.values() {
+            merged.merge(hist);
+        }
+        merged
     }
 }
 
@@ -409,6 +430,14 @@ pub struct Coordinator {
     connections_closed: u64,
     poisoned: bool,
     done: bool,
+    registry: MetricsRegistry,
+    recorder: FlightRecorder,
+    /// Order-sent → link-confirmed latency of `OpenLink` orders.
+    link_open_span: Histogram,
+    /// Order-sent → closure-confirmed latency of `CloseLink` orders.
+    link_close_span: Histogram,
+    /// Reconfigure-sent → `Ack` round-trip time, one sample per site.
+    reconfigure_rtt: Histogram,
 }
 
 impl Coordinator {
@@ -452,6 +481,7 @@ impl Coordinator {
             link.send(&Message::Attach)?;
             sites.push(link);
         }
+        let registry = MetricsRegistry::new();
         let mut coordinator = Coordinator {
             config: config.clone(),
             plan: plan.clone(),
@@ -464,12 +494,22 @@ impl Coordinator {
             connections_closed: 0,
             poisoned: false,
             done: false,
+            link_open_span: registry.histogram("coordinator.link_open_micros"),
+            link_close_span: registry.histogram("coordinator.link_close_micros"),
+            reconfigure_rtt: registry.histogram("coordinator.reconfigure_rtt_micros"),
+            registry,
+            recorder: FlightRecorder::new(),
         };
 
         let deadline = Instant::now() + config.timeout;
         // Install every forwarding table before any link exists, so the
         // first frame routed already has its table.
         let revision = plan.revision();
+        coordinator.recorder.record(FlightEventKind::Reconfigure {
+            revision,
+            sites: plan.site_count() as u64,
+        });
+        let sent_at = Instant::now();
         for site in SiteId::all(plan.site_count()) {
             coordinator.sites[site.index()].send(&Message::Reconfigure {
                 revision,
@@ -478,6 +518,7 @@ impl Coordinator {
         }
         for site in SiteId::all(plan.site_count()) {
             coordinator.await_ack(site, revision, deadline)?;
+            coordinator.record_ack(site, revision, sent_at);
         }
 
         // Initial data links (parent → child), one per directed site pair;
@@ -486,11 +527,13 @@ impl Coordinator {
             .edges()
             .map(|(parent, child, _)| (parent, child))
             .collect();
+        let opens_sent = Instant::now();
         for &(parent, child) in &pairs {
             coordinator.order_open(parent, child)?;
         }
         for &(parent, child) in &pairs {
             coordinator.await_inbound(child, parent, true, deadline)?;
+            coordinator.record_link(parent, child, true, opens_sent);
         }
         Ok(coordinator)
     }
@@ -521,6 +564,56 @@ impl Coordinator {
     /// an unknown plan state; see [`ClusterError::Poisoned`].
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// The coordinator's metrics registry: link open/close latencies and
+    /// Reconfigure→Ack round-trip times as histograms
+    /// (`coordinator.link_open_micros`, `coordinator.link_close_micros`,
+    /// `coordinator.reconfigure_rtt_micros`).
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The coordinator's flight recorder: recent reconfigures, acks,
+    /// link churn, poisonings, and lost stats reports as structured
+    /// events.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The flight recorder's retained events as JSON — the postmortem
+    /// dump taken when a run poisons.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (infallible for this data model).
+    pub fn flight_json(&self) -> Result<String, serde_json::Error> {
+        self.recorder.dump_json()
+    }
+
+    /// Records one site's `Ack` round-trip and its flight event.
+    fn record_ack(&self, site: SiteId, revision: u64, sent_at: Instant) {
+        self.reconfigure_rtt.record_duration(sent_at.elapsed());
+        self.recorder.record(FlightEventKind::Ack {
+            site: site.index() as u32,
+            revision,
+        });
+    }
+
+    /// Records one confirmed link transition (order-sent → confirmed)
+    /// and its flight event.
+    fn record_link(&self, parent: SiteId, child: SiteId, up: bool, sent_at: Instant) {
+        let parent = parent.index() as u32;
+        let child = child.index() as u32;
+        if up {
+            self.link_open_span.record_duration(sent_at.elapsed());
+            self.recorder
+                .record(FlightEventKind::LinkUp { parent, child });
+        } else {
+            self.link_close_span.record_duration(sent_at.elapsed());
+            self.recorder
+                .record(FlightEventKind::LinkDown { parent, child });
+        }
     }
 
     /// Orders `frames` frames published from every origin stream of the
@@ -613,6 +706,10 @@ impl Coordinator {
             Ok(report) => Ok(report),
             Err(e) => {
                 self.poisoned = true;
+                self.recorder.record(FlightEventKind::Poisoned {
+                    revision: delta.to_revision(),
+                    detail: e.to_string(),
+                });
                 Err(e)
             }
         }
@@ -632,16 +729,23 @@ impl Coordinator {
         // 1. Open new links before any table switches, so the first frame
         //    routed by a new table already has its socket, and wait until
         //    each child has reported its new parent's link up.
+        let opens_sent = Instant::now();
         for &(parent, child) in &changes.established {
             self.order_open(parent, child)?;
         }
         for &(parent, child) in &changes.established {
             self.await_inbound(child, parent, true, deadline)?;
+            self.record_link(parent, child, true, opens_sent);
         }
 
         // 2. Swap forwarding tables over the control plane and collect
         //    every Ack: once all land, no RP forwards by an old table.
         let touched = delta.touched_sites();
+        self.recorder.record(FlightEventKind::Reconfigure {
+            revision,
+            sites: touched.len() as u64,
+        });
+        let sent_at = Instant::now();
         for &site in &touched {
             self.sites[site.index()].send(&Message::Reconfigure {
                 revision,
@@ -650,15 +754,18 @@ impl Coordinator {
         }
         for &site in &touched {
             self.await_ack(site, revision, deadline)?;
+            self.record_ack(site, revision, sent_at);
         }
 
         // 3. Order links whose last stream left shut, and wait for the
         //    receive side to report the attributed parent gone.
+        let closes_sent = Instant::now();
         for &(parent, child) in &changes.closed {
             self.sites[parent.index()].send(&Message::CloseLink { child })?;
         }
         for &(parent, child) in &changes.closed {
             self.await_inbound(child, parent, false, deadline)?;
+            self.record_link(parent, child, false, closes_sent);
         }
 
         self.connections_opened += changes.established.len() as u64;
@@ -698,12 +805,22 @@ impl Coordinator {
             reachable.push(link.send(&Message::StatsRequest { probe }).is_ok());
         }
         for (link, ok) in self.sites.iter_mut().zip(reachable) {
-            if !ok {
-                continue;
-            }
-            let Ok(snapshot) = link.wait_for(deadline, "final stats report", |l| {
-                l.stats.as_ref().filter(|s| s.probe >= probe).cloned()
-            }) else {
+            let snapshot = if ok {
+                link.wait_for(deadline, "final stats report", |l| {
+                    l.stats.as_ref().filter(|s| s.probe >= probe).cloned()
+                })
+                .ok()
+            } else {
+                None
+            };
+            // A dead RP's accounting is *named* as missing, never
+            // silently dropped: the report stays auditable after a
+            // poisoning run.
+            let Some(snapshot) = snapshot else {
+                report.missing_reports += 1;
+                self.recorder.record(FlightEventKind::StatsLost {
+                    site: link.site.index() as u32,
+                });
                 continue;
             };
             for entry in snapshot.streams {
@@ -716,6 +833,9 @@ impl Coordinator {
                 report
                     .latency_sum_micros
                     .insert((link.site, entry.stream), entry.latency_sum_micros);
+                report
+                    .latency
+                    .insert((link.site, entry.stream), entry.latency);
             }
             report.max_latency_micros = report.max_latency_micros.max(snapshot.max_latency_micros);
         }

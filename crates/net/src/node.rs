@@ -30,6 +30,7 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use teeve_pubsub::{ChildLink, SitePlan};
+use teeve_telemetry::{FlightEventKind, FlightRecorder, LogHistogram};
 use teeve_types::{Quality, SiteId, StreamId};
 
 use crate::wire::{decode, encode, Message, StreamDelivery};
@@ -53,15 +54,26 @@ struct ForwardingTable {
     plan: SitePlan,
 }
 
+/// One stream's local delivery accounting at this RP.
+#[derive(Debug, Default, Clone)]
+struct StreamStats {
+    /// Frames delivered.
+    delivered: u64,
+    /// Frames whose effective rung — the coarser of the wire tag and
+    /// this RP's planned quality — was below full.
+    degraded: u64,
+    /// Sum of observed end-to-end latencies, microseconds.
+    latency_sum_micros: u64,
+    /// Full end-to-end latency distribution, microseconds.
+    latency: LogHistogram,
+}
+
 /// The node's local delivery counters, reported over the wire via
 /// [`Message::StatsReport`] — no memory is shared with the coordinator.
 #[derive(Debug, Default)]
 struct NodeStats {
-    /// Per-stream `(frames, degraded frames, latency-sum µs)` delivered
-    /// at this site. A frame is degraded when its effective rung — the
-    /// coarser of its wire tag and this RP's planned quality — is below
-    /// full.
-    delivered: Mutex<BTreeMap<StreamId, (u64, u64, u64)>>,
+    /// Per-stream delivery accounting at this site.
+    delivered: Mutex<BTreeMap<StreamId, StreamStats>>,
     total: AtomicU64,
     max_latency_micros: AtomicU64,
 }
@@ -70,9 +82,10 @@ impl NodeStats {
     fn record(&self, stream: StreamId, latency_micros: u64, degraded: bool) {
         let mut delivered = self.delivered.lock();
         let entry = delivered.entry(stream).or_default();
-        entry.0 += 1;
-        entry.1 += u64::from(degraded);
-        entry.2 += latency_micros;
+        entry.delivered += 1;
+        entry.degraded += u64::from(degraded);
+        entry.latency_sum_micros += latency_micros;
+        entry.latency.record(latency_micros);
         drop(delivered);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.max_latency_micros
@@ -84,14 +97,13 @@ impl NodeStats {
             .delivered
             .lock()
             .iter()
-            .map(
-                |(&stream, &(delivered, delivered_degraded, latency_sum_micros))| StreamDelivery {
-                    stream,
-                    delivered,
-                    delivered_degraded,
-                    latency_sum_micros,
-                },
-            )
+            .map(|(&stream, stats)| StreamDelivery {
+                stream,
+                delivered: stats.delivered,
+                delivered_degraded: stats.degraded,
+                latency_sum_micros: stats.latency_sum_micros,
+                latency: stats.latency.clone(),
+            })
             .collect();
         Message::StatsReport {
             probe,
@@ -124,6 +136,9 @@ struct NodeShared {
     /// threads cannot interleave message bytes.
     control: Mutex<Option<TcpStream>>,
     stats: NodeStats,
+    /// Ring of recent structured events (reconfigures, link churn) for
+    /// post-mortem inspection; never crosses the wire.
+    recorder: FlightRecorder,
     stop: AtomicBool,
     /// Socket deadline for dials and writes; also the idle wake-up period
     /// of every reader (a blocked read re-checks `stop` this often).
@@ -402,6 +417,7 @@ impl RpNode {
                 outbound: Mutex::new(BTreeMap::new()),
                 control: Mutex::new(None),
                 stats: NodeStats::default(),
+                recorder: FlightRecorder::new(),
                 stop: AtomicBool::new(false),
                 timeout: read_timeout,
             }),
@@ -454,6 +470,12 @@ impl RpNodeHandle {
     /// Returns the site this node serves.
     pub fn site(&self) -> SiteId {
         self.shared.site
+    }
+
+    /// The node's flight recorder: recent reconfigures and link churn as
+    /// structured events, for postmortems. Clones share the ring.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.shared.recorder
     }
 
     /// Begins local teardown, as if a [`Message::Shutdown`] order had
@@ -543,6 +565,10 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
                 // Attribute the link and tell the coordinator the data
                 // path is up — this replaces its old shared-memory poll.
                 peer = Some(site);
+                rp.recorder.record(FlightEventKind::LinkUp {
+                    parent: site.index() as u32,
+                    child: rp.site.index() as u32,
+                });
                 rp.notify(&Message::LinkUp { peer: site });
                 continue;
             }
@@ -562,6 +588,8 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
                 }
                 // Epoch boundary: everything sent after this Ack is routed
                 // by the new table.
+                rp.recorder
+                    .record(FlightEventKind::Reconfigure { revision, sites: 1 });
                 rp.notify(&Message::Ack { revision });
                 continue;
             }
@@ -654,6 +682,10 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
     // De-attribute the link: the coordinator observes a `closed` pair die
     // through this notification.
     if let Some(site) = peer {
+        rp.recorder.record(FlightEventKind::LinkDown {
+            parent: site.index() as u32,
+            child: rp.site.index() as u32,
+        });
         rp.notify(&Message::LinkDown { peer: site });
     }
 }

@@ -23,6 +23,7 @@ use std::net::SocketAddr;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use teeve_pubsub::{ChildLink, ForwardingEntry, SitePlan};
+use teeve_telemetry::{LogHistogram, BUCKETS};
 use teeve_types::{Quality, SiteId, StreamId};
 
 /// Maximum accepted message size (tag + body), guarding against corrupted
@@ -61,6 +62,11 @@ pub struct StreamDelivery {
     pub delivered_degraded: u64,
     /// Sum of observed end-to-end latencies, in microseconds.
     pub latency_sum_micros: u64,
+    /// The full end-to-end latency *distribution* at this RP, in
+    /// microseconds. Carried sparsely on the wire (non-empty buckets
+    /// only) and merged losslessly coordinator-side, so cluster-wide
+    /// p50/p99 are true percentiles, not sum/count approximations.
+    pub latency: LogHistogram,
 }
 
 /// A protocol message between rendezvous points.
@@ -355,7 +361,8 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
             max_latency_micros,
             streams,
         } => {
-            dst.put_u32_le((1 + 8 + 8 + 8 + 4 + streams.len() * (4 + 4 + 8 + 8 + 8)) as u32);
+            let body = 1 + 8 + 8 + 8 + 4 + streams.iter().map(delivery_bytes).sum::<usize>();
+            dst.put_u32_le(body as u32);
             dst.put_u8(TAG_STATS_REPORT);
             dst.put_u64_le(*probe);
             dst.put_u64_le(*total);
@@ -367,6 +374,17 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
                 dst.put_u64_le(entry.delivered);
                 dst.put_u64_le(entry.delivered_degraded);
                 dst.put_u64_le(entry.latency_sum_micros);
+                // The latency histogram travels sparsely: its exact
+                // sum/min/max sidecar, then only the non-empty buckets.
+                dst.put_u64_le(entry.latency.sum());
+                dst.put_u64_le(entry.latency.min());
+                dst.put_u64_le(entry.latency.max());
+                let pairs: Vec<(u8, u64)> = entry.latency.nonzero_buckets().collect();
+                dst.put_u8(pairs.len() as u8);
+                for (index, count) in pairs {
+                    dst.put_u8(index);
+                    dst.put_u64_le(count);
+                }
             }
         }
         Message::Shutdown => {
@@ -374,6 +392,14 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
             dst.put_u8(TAG_SHUTDOWN);
         }
     }
+}
+
+/// Encoded size of one [`StreamDelivery`] entry: the fixed counters,
+/// the histogram's sum/min/max sidecar, and its sparse bucket pairs —
+/// entries are variable-width, so the decoder bounds-checks per entry.
+fn delivery_bytes(entry: &StreamDelivery) -> usize {
+    let nonzero = entry.latency.nonzero_buckets().count();
+    4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + nonzero * (1 + 8)
 }
 
 /// Encoded size of a [`SitePlan`] body, in bytes.
@@ -629,23 +655,39 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
             let total = body.get_u64_le();
             let max_latency_micros = body.get_u64_le();
             let count = body.get_u32_le() as usize;
-            // checked_mul: a corrupt count must not wrap the bounds check
-            // on 32-bit targets and drive the reads past the buffer.
-            if count
-                .checked_mul(4 + 4 + 8 + 8 + 8)
-                .is_none_or(|need| body.len() < need)
-            {
-                return Err(WireError::Truncated);
-            }
             let mut streams = Vec::with_capacity(count.min(1024));
             for _ in 0..count {
+                // Entries are variable-width (sparse histogram tail), so
+                // each one is bounds-checked as it is read.
+                if body.len() < 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 1 {
+                    return Err(WireError::Truncated);
+                }
                 let origin = SiteId::new(body.get_u32_le());
                 let local = body.get_u32_le();
+                let delivered = body.get_u64_le();
+                let delivered_degraded = body.get_u64_le();
+                let latency_sum_micros = body.get_u64_le();
+                let hist_sum = body.get_u64_le();
+                let hist_min = body.get_u64_le();
+                let hist_max = body.get_u64_le();
+                let nonzero = body.get_u8() as usize;
+                if nonzero > BUCKETS || body.len() < nonzero * (1 + 8) {
+                    return Err(WireError::Truncated);
+                }
+                let mut pairs = Vec::with_capacity(nonzero);
+                for _ in 0..nonzero {
+                    let index = body.get_u8();
+                    let bucket_count = body.get_u64_le();
+                    pairs.push((index, bucket_count));
+                }
+                let latency = LogHistogram::from_parts(&pairs, hist_sum, hist_min, hist_max)
+                    .ok_or(WireError::Truncated)?;
                 streams.push(StreamDelivery {
                     stream: StreamId::new(origin, local),
-                    delivered: body.get_u64_le(),
-                    delivered_degraded: body.get_u64_le(),
-                    latency_sum_micros: body.get_u64_le(),
+                    delivered,
+                    delivered_degraded,
+                    latency_sum_micros,
+                    latency,
                 });
             }
             Ok(Some(Message::StatsReport {
@@ -902,6 +944,10 @@ mod tests {
             next_seq: 89,
         });
         roundtrip(Message::StatsRequest { probe: 41 });
+        let mut spread = LogHistogram::new();
+        for sample in [0u64, 130, 88_123, 88_123, u64::MAX] {
+            spread.record(sample);
+        }
         roundtrip(Message::StatsReport {
             probe: 41,
             total: 1_000_000,
@@ -912,12 +958,14 @@ mod tests {
                     delivered: 999_000,
                     delivered_degraded: 12,
                     latency_sum_micros: u64::MAX / 3,
+                    latency: spread,
                 },
                 StreamDelivery {
                     stream: StreamId::new(SiteId::new(7), 3),
                     delivered: 1_000,
                     delivered_degraded: 1_000,
                     latency_sum_micros: 0,
+                    latency: LogHistogram::new(),
                 },
             ],
         });
@@ -962,6 +1010,56 @@ mod tests {
         buf.put_u64_le(10); // total
         buf.put_u64_le(5); // max latency
         buf.put_u32_le(2); // entry count
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncated_stats_report_histogram_tail_is_rejected() {
+        let mut buf = BytesMut::new();
+        // One entry whose histogram claims three bucket pairs but the
+        // body ends after the pair count.
+        let entry_fixed = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 1;
+        buf.put_u32_le((1 + 8 + 8 + 8 + 4 + entry_fixed) as u32);
+        buf.put_u8(TAG_STATS_REPORT);
+        buf.put_u64_le(1); // probe
+        buf.put_u64_le(10); // total
+        buf.put_u64_le(5); // max latency
+        buf.put_u32_le(1); // entry count
+        buf.put_u32_le(0); // stream origin
+        buf.put_u32_le(0); // stream local
+        buf.put_u64_le(10); // delivered
+        buf.put_u64_le(0); // degraded
+        buf.put_u64_le(50); // latency sum
+        buf.put_u64_le(50); // hist sum
+        buf.put_u64_le(1); // hist min
+        buf.put_u64_le(9); // hist max
+        buf.put_u8(3); // three pairs claimed, zero present
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn out_of_range_histogram_bucket_is_rejected() {
+        let mut buf = BytesMut::new();
+        // One entry carrying a single bucket pair with index 65 — past
+        // the last valid log2 bucket (64).
+        let entry = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + (1 + 8);
+        buf.put_u32_le((1 + 8 + 8 + 8 + 4 + entry) as u32);
+        buf.put_u8(TAG_STATS_REPORT);
+        buf.put_u64_le(1); // probe
+        buf.put_u64_le(10); // total
+        buf.put_u64_le(5); // max latency
+        buf.put_u32_le(1); // entry count
+        buf.put_u32_le(0); // stream origin
+        buf.put_u32_le(0); // stream local
+        buf.put_u64_le(10); // delivered
+        buf.put_u64_le(0); // degraded
+        buf.put_u64_le(50); // latency sum
+        buf.put_u64_le(50); // hist sum
+        buf.put_u64_le(1); // hist min
+        buf.put_u64_le(9); // hist max
+        buf.put_u8(1); // one pair
+        buf.put_u8(65); // invalid bucket index
+        buf.put_u64_le(1);
         assert_eq!(decode(&mut buf), Err(WireError::Truncated));
     }
 

@@ -67,14 +67,30 @@ fn arb_addr() -> impl Strategy<Value = std::net::SocketAddr> {
 }
 
 fn arb_delivery() -> impl Strategy<Value = StreamDelivery> {
-    (arb_stream(), 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
-        |(stream, delivered, delivered_degraded, latency_sum_micros)| StreamDelivery {
-            stream,
-            delivered,
-            delivered_degraded,
-            latency_sum_micros,
-        },
+    (
+        (arb_stream(), 0u64..u64::MAX),
+        (0u64..u64::MAX, 0u64..u64::MAX),
+        proptest::collection::vec(any::<u64>(), 0..12usize),
     )
+        .prop_map(
+            |((stream, delivered), (delivered_degraded, latency_sum_micros), samples)| {
+                // The histogram is built from real recorded samples (its
+                // sparse wire form only represents reachable states); the
+                // scalar latency sum stays independent, as on a live RP
+                // whose counters saturate differently.
+                let mut latency = teeve_telemetry::LogHistogram::new();
+                for sample in samples {
+                    latency.record(sample);
+                }
+                StreamDelivery {
+                    stream,
+                    delivered,
+                    delivered_degraded,
+                    latency_sum_micros,
+                    latency,
+                }
+            },
+        )
 }
 
 /// Uniformly draws one of the 16 protocol messages with arbitrary field

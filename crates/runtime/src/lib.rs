@@ -63,7 +63,7 @@ mod trace;
 
 pub use config::{FallbackPolicy, RuntimeConfig};
 pub use event::RuntimeEvent;
-pub use metrics::{EpochReport, RuntimeReport};
+pub use metrics::{EpochReport, PhaseBreakdown, RuntimeReport};
 pub use runtime::{EpochOutcome, RuntimeError, SessionRuntime};
 pub use trace::TraceConfig;
 

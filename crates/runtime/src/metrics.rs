@@ -2,6 +2,45 @@
 
 use std::time::Duration;
 
+/// Wall-clock breakdown of one epoch's reconvergence into its phases.
+///
+/// The phases are consecutive spans of
+/// [`SessionRuntime::apply_epoch`](crate::SessionRuntime::apply_epoch)
+/// measured from one monotonic clock, so they sum *exactly* to the
+/// epoch's [`reconverge`](EpochReport::reconverge) — a skewed phase
+/// always shows up, never hides in unaccounted time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Ingesting the epoch's events and syncing bandwidth budgets.
+    pub event_drain: Duration,
+    /// Incremental repair: leaves, joins, and — on fallback epochs —
+    /// the full reconstruction behind the rebuild gate.
+    pub repair: Duration,
+    /// Re-fitting granted streams to each site's current budget.
+    pub refit: Duration,
+    /// Deriving the epoch's dissemination plan.
+    pub derive: Duration,
+    /// Extracting the plan delta and accounting served/dropped state.
+    pub delta: Duration,
+}
+
+impl PhaseBreakdown {
+    /// Sum of every phase — by construction equal to the epoch's
+    /// `reconverge`.
+    pub fn total(&self) -> Duration {
+        self.event_drain + self.repair + self.refit + self.derive + self.delta
+    }
+
+    /// Folds another breakdown in, phase-wise.
+    pub fn accumulate(&mut self, other: &PhaseBreakdown) {
+        self.event_drain += other.event_drain;
+        self.repair += other.repair;
+        self.refit += other.refit;
+        self.derive += other.derive;
+        self.delta += other.delta;
+    }
+}
+
 /// Metrics of one [`SessionRuntime`](crate::SessionRuntime) epoch.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpochReport {
@@ -44,6 +83,8 @@ pub struct EpochReport {
     /// Wall-clock time reconciling the epoch (repair or rebuild, plan
     /// derivation, and delta extraction).
     pub reconverge: Duration,
+    /// Where `reconverge` went: per-phase spans summing exactly to it.
+    pub phases: PhaseBreakdown,
 }
 
 impl EpochReport {
@@ -91,6 +132,8 @@ pub struct RuntimeReport {
     pub served_degraded: usize,
     /// Sum of all epochs' reconvergence times.
     pub total_reconverge: Duration,
+    /// Where the total reconvergence went, phase by phase.
+    pub phase_totals: PhaseBreakdown,
     /// Sum of emitted delta entries.
     pub delta_entries: usize,
     /// Sum of full-plan entries at each epoch (the cost deltas avoided).
@@ -112,6 +155,7 @@ impl RuntimeReport {
             report.served_full += epoch.served_full;
             report.served_degraded += epoch.served_degraded;
             report.total_reconverge += epoch.reconverge;
+            report.phase_totals.accumulate(&epoch.phases);
             report.delta_entries += epoch.delta_entries;
             report.plan_entries += epoch.plan_entries;
         }

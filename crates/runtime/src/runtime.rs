@@ -11,11 +11,26 @@ use teeve_overlay::{
     SubscribeResult,
 };
 use teeve_pubsub::{DeltaSink, DisseminationPlan, PlanDelta, Session};
+use teeve_telemetry::{FlightEventKind, FlightRecorder, Histogram, MetricsRegistry};
 use teeve_types::{DisplayId, Quality, QualityLadder, SessionId, SiteId, StreamId};
 
 use crate::config::RuntimeConfig;
 use crate::event::RuntimeEvent;
-use crate::metrics::{EpochReport, RuntimeReport};
+use crate::metrics::{EpochReport, PhaseBreakdown, RuntimeReport};
+
+/// Pre-resolved telemetry handles the runtime records each epoch into:
+/// one histogram per phase plus the whole-epoch reconvergence, and the
+/// flight recorder for structural events (rebuild-gate trips).
+#[derive(Debug, Clone)]
+struct RuntimeTelemetry {
+    event_drain: Histogram,
+    repair: Histogram,
+    refit: Histogram,
+    derive: Histogram,
+    delta: Histogram,
+    reconverge: Histogram,
+    recorder: FlightRecorder,
+}
 
 /// Error produced when assembling a runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +160,9 @@ pub struct SessionRuntime {
     config: RuntimeConfig,
     epoch: u64,
     history: Vec<EpochReport>,
+    /// Attached observability sinks; `None` keeps the hot path free of
+    /// registry lookups.
+    telemetry: Option<RuntimeTelemetry>,
 }
 
 impl SessionRuntime {
@@ -195,6 +213,7 @@ impl SessionRuntime {
             config,
             epoch: 0,
             history: Vec::new(),
+            telemetry: None,
         };
         // Seed the overlay from the session's pre-existing subscriptions;
         // the empty-forest plan built above is already correct unless the
@@ -221,6 +240,27 @@ impl SessionRuntime {
     /// Returns the hosted session this runtime is scoped to, if any.
     pub fn scope(&self) -> Option<SessionId> {
         self.scope
+    }
+
+    /// Attaches observability sinks: every subsequent epoch records its
+    /// phase spans and reconvergence into `registry`'s
+    /// `runtime.phase.*_micros` / `runtime.reconverge_micros` histograms,
+    /// and structural events (rebuild-gate trips) into `recorder`.
+    ///
+    /// Handles are resolved once here so the epoch hot path never takes
+    /// a registry lock. The registry and recorder are shared — a
+    /// multi-session service attaches the same pair to every runtime it
+    /// owns and reads one merged distribution.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry, recorder: FlightRecorder) {
+        self.telemetry = Some(RuntimeTelemetry {
+            event_drain: registry.histogram("runtime.phase.event_drain_micros"),
+            repair: registry.histogram("runtime.phase.repair_micros"),
+            refit: registry.histogram("runtime.phase.refit_micros"),
+            derive: registry.histogram("runtime.phase.derive_micros"),
+            delta: registry.histogram("runtime.phase.delta_micros"),
+            reconverge: registry.histogram("runtime.reconverge_micros"),
+            recorder,
+        });
     }
 
     /// Returns the session in its current state.
@@ -295,6 +335,7 @@ impl SessionRuntime {
         // Feed the transport layer's estimates into the overlay's
         // degrade-don't-reject admission before any join is attempted.
         self.sync_budgets();
+        let drained = Instant::now();
 
         let desired = self.reconcile(&mut report);
         // The gate below keys on *quality-annotated* demand: the desired
@@ -320,22 +361,30 @@ impl SessionRuntime {
             .must_rebuild(report.rejection_ratio(), self.forest_depth())
             && self.rebuilt_for.as_ref() != Some(&annotated)
         {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry
+                    .recorder
+                    .record(FlightEventKind::RebuildGate { epoch: self.epoch });
+            }
             self.rebuild(&mut report);
             self.rebuilt_for = Some(annotated);
         }
         report.max_tree_depth = self.forest_depth();
+        let repaired = Instant::now();
 
         // Close the adaptation loop: re-fit every site's granted streams
         // to its current budget (degrading under pressure, promoting when
         // it clears), so the plan derived below — and the delta diffed
         // from it — carries this epoch's quality decisions.
         self.refit_qualities();
+        let refitted = Instant::now();
 
         // Every epoch is one control-plane revision, even a quiet one: the
         // emitted delta always advances executors from the previous
         // epoch's revision to this one's.
         let mut new_plan = self.derive_plan();
         new_plan.set_revision(self.plan.revision() + 1);
+        let derived = Instant::now();
         let delta = PlanDelta::diff(&self.plan, &new_plan);
         report.delta_entries = delta.len();
         report.plan_entries = new_plan
@@ -371,7 +420,27 @@ impl SessionRuntime {
                 }
             }
         }
-        report.reconverge = started.elapsed();
+        let finished = Instant::now();
+        // Consecutive spans of one monotonic clock: the phases telescope,
+        // so their sum equals `reconverge` exactly — see PhaseBreakdown.
+        report.phases = PhaseBreakdown {
+            event_drain: drained.duration_since(started),
+            repair: repaired.duration_since(drained),
+            refit: refitted.duration_since(repaired),
+            derive: derived.duration_since(refitted),
+            delta: finished.duration_since(derived),
+        };
+        report.reconverge = finished.duration_since(started);
+        if let Some(telemetry) = &self.telemetry {
+            telemetry
+                .event_drain
+                .record_duration(report.phases.event_drain);
+            telemetry.repair.record_duration(report.phases.repair);
+            telemetry.refit.record_duration(report.phases.refit);
+            telemetry.derive.record_duration(report.phases.derive);
+            telemetry.delta.record_duration(report.phases.delta);
+            telemetry.reconverge.record_duration(report.reconverge);
+        }
 
         let adaptation = self.adaptation_plans();
         self.epoch += 1;
@@ -1185,5 +1254,63 @@ mod tests {
             small.report.delta_fraction()
         );
         assert!(small.report.reconverge.as_nanos() > 0);
+    }
+
+    #[test]
+    fn phase_spans_sum_exactly_to_reconverge() {
+        let s = session(5, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(u, s, RuntimeConfig::default()).unwrap();
+        let mut setup = Vec::new();
+        for i in 0..5u32 {
+            setup.push(viewpoint(i, 0, (i + 1) % 5));
+        }
+        for outcome in [rt.apply_epoch(&setup), rt.apply_epoch(&[])] {
+            // The phases are consecutive spans of one monotonic clock,
+            // so the telescoping sum is exact — no unaccounted time.
+            assert_eq!(
+                outcome.report.phases.total(),
+                outcome.report.reconverge,
+                "phases must partition reconverge"
+            );
+        }
+        let totals = rt.report();
+        assert_eq!(totals.phase_totals.total(), totals.total_reconverge);
+    }
+
+    #[test]
+    fn attached_telemetry_records_phases_and_rebuild_gate_trips() {
+        use teeve_telemetry::{FlightEventKind, FlightRecorder, MetricsRegistry};
+
+        let s = session(4, 10);
+        let u = subscription_universe(&s).unwrap();
+        let mut rt = SessionRuntime::new(
+            u,
+            s,
+            RuntimeConfig {
+                fallback: FallbackPolicy::always(),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        let recorder = FlightRecorder::new();
+        rt.attach_telemetry(&registry, recorder.clone());
+
+        rt.apply_epoch(&[viewpoint(0, 0, 1)]);
+        rt.apply_epoch(&[viewpoint(0, 0, 2)]);
+
+        let snapshot = registry.snapshot();
+        let reconverge = &snapshot.histograms["runtime.reconverge_micros"];
+        assert_eq!(reconverge.count(), 2);
+        for phase in ["event_drain", "repair", "refit", "derive", "delta"] {
+            let hist = &snapshot.histograms[&format!("runtime.phase.{phase}_micros")];
+            assert_eq!(hist.count(), 2, "phase {phase} must record every epoch");
+        }
+        // The always-fallback policy trips the gate on epochs with churn.
+        assert!(recorder
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FlightEventKind::RebuildGate { .. })));
     }
 }

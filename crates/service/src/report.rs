@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use teeve_runtime::EpochReport;
+use teeve_telemetry::LogHistogram;
 use teeve_types::SessionId;
 
 /// What one [`drive_all`](crate::MembershipService::drive_all) pass did:
@@ -41,6 +42,9 @@ pub struct ServiceReport {
     /// Sum of every session's reconvergence time. Shards reconverge in
     /// parallel, so wall-clock time is lower; this is the total CPU work.
     pub total_reconverge: Duration,
+    /// The cross-session reconvergence *distribution* (microseconds):
+    /// summed totals hide shard skew, the p50/p99 spread does not.
+    pub reconverge: LogHistogram,
     /// Each driven session's epoch report.
     pub per_session: BTreeMap<SessionId, EpochReport>,
 }
@@ -61,6 +65,8 @@ impl ServiceReport {
         self.delta_entries += report.delta_entries;
         self.plan_entries += report.plan_entries;
         self.total_reconverge += report.reconverge;
+        self.reconverge
+            .record(teeve_telemetry::duration_micros(report.reconverge));
         self.per_session.insert(session, report);
     }
 
@@ -80,6 +86,7 @@ impl ServiceReport {
         self.delta_entries += other.delta_entries;
         self.plan_entries += other.plan_entries;
         self.total_reconverge += other.total_reconverge;
+        self.reconverge.merge(&other.reconverge);
         self.per_session.extend(other.per_session);
     }
 
@@ -91,6 +98,17 @@ impl ServiceReport {
         } else {
             self.total_reconverge / self.sessions as u32
         }
+    }
+
+    /// Median per-session reconvergence time in microseconds — compare
+    /// with [`reconverge_p99`](Self::reconverge_p99) to see shard skew.
+    pub fn reconverge_p50(&self) -> u64 {
+        self.reconverge.p50()
+    }
+
+    /// 99th-percentile per-session reconvergence time in microseconds.
+    pub fn reconverge_p99(&self) -> u64 {
+        self.reconverge.p99()
     }
 
     /// The acceptance ratio of attempted joins (1.0 when nothing was
@@ -162,6 +180,13 @@ mod tests {
         assert_eq!(a.acceptance_ratio(), 0.9);
         assert_eq!(a.delta_fraction(), 0.25);
         assert_eq!(a.per_session.len(), 2);
+        // Both epochs' reconvergence times landed in the distribution,
+        // and its percentiles bracket the observed samples.
+        assert_eq!(a.reconverge.count(), 2);
+        assert_eq!(a.reconverge.min(), 20);
+        assert_eq!(a.reconverge.max(), 40);
+        assert!(a.reconverge_p50() <= a.reconverge_p99());
+        assert!(a.reconverge_p99() >= 40);
     }
 
     #[test]

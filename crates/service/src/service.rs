@@ -3,10 +3,12 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use teeve_pubsub::{subscription_universe, DeltaSink, DisseminationPlan, PlanDelta, Session};
 use teeve_runtime::{EpochOutcome, RuntimeEvent, RuntimeReport, SessionRuntime};
+use teeve_telemetry::{FlightRecorder, MetricsRegistry};
 use teeve_types::{DisplayId, SessionId, SiteId};
 
 use crate::error::ServiceError;
@@ -37,6 +39,11 @@ struct Shard {
 struct Inner {
     shards: Vec<Shard>,
     next_id: AtomicU64,
+    /// Service-wide metrics: every hosted runtime's epoch phases plus
+    /// the bulk-drive shard/fold spans land in this one registry.
+    telemetry: MetricsRegistry,
+    /// Service-wide flight recorder shared by every hosted runtime.
+    recorder: FlightRecorder,
 }
 
 /// A membership service hosting many concurrent 3DTI sessions.
@@ -79,6 +86,8 @@ impl MembershipService {
             inner: Arc::new(Inner {
                 shards: (0..shard_count).map(|_| Shard::default()).collect(),
                 next_id: AtomicU64::new(0),
+                telemetry: MetricsRegistry::new(),
+                recorder: FlightRecorder::new(),
             }),
         }
     }
@@ -86,6 +95,20 @@ impl MembershipService {
     /// Returns the number of registry shards.
     pub fn shard_count(&self) -> usize {
         self.inner.shards.len()
+    }
+
+    /// The service-wide metrics registry. Every hosted runtime records
+    /// its epoch-phase spans here, and bulk drives add their per-shard
+    /// drive and fold spans (`service.drive.*_micros`), so one snapshot
+    /// covers the whole service.
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.inner.telemetry
+    }
+
+    /// The service-wide flight recorder (rebuild-gate trips and other
+    /// structural events from every hosted runtime).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
     }
 
     /// Returns the shard `session` maps to. The assignment is a pure
@@ -108,12 +131,17 @@ impl MembershipService {
         let universe = subscription_universe(spec.session())?;
         let (session, config) = spec.into_parts();
         let id = SessionId::new(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
-        let runtime = SessionRuntime::new(universe, session, config)?.with_scope(id);
+        let mut runtime = SessionRuntime::new(universe, session, config)?.with_scope(id);
+        runtime.attach_telemetry(&self.inner.telemetry, self.inner.recorder.clone());
         let slot = Arc::new(Mutex::new(Slot {
             runtime,
             pending: Vec::new(),
         }));
         self.shard(id).sessions.write().insert(id, slot);
+        self.inner
+            .telemetry
+            .gauge("service.sessions.open")
+            .set(self.session_count() as u64);
         Ok(SessionHandle {
             service: self.clone(),
             id,
@@ -286,10 +314,15 @@ impl MembershipService {
                 .map(|h| h.join().expect("worker threads do not panic"))
                 .collect::<Vec<_>>()
         });
+        let folding = Instant::now();
         for (share, share_deltas) in shares {
             report.merge(share);
             deltas.extend(share_deltas);
         }
+        self.inner
+            .telemetry
+            .histogram("service.drive.fold_micros")
+            .record_duration(folding.elapsed());
         (report, deltas)
     }
 
@@ -302,7 +335,9 @@ impl MembershipService {
     ) -> (ServiceReport, Vec<(SessionId, PlanDelta)>) {
         let mut report = ServiceReport::default();
         let mut deltas = Vec::new();
+        let shard_span = self.inner.telemetry.histogram("service.drive.shard_micros");
         for shard in self.inner.shards.iter().skip(worker).step_by(stride) {
+            let driving = Instant::now();
             // Snapshot the shard's slots, then drop the read lock before
             // reconciling, so creates/closes on this shard are not
             // blocked behind overlay repair.
@@ -325,6 +360,7 @@ impl MembershipService {
                 report.absorb(id, outcome.report);
                 deltas.push((id, outcome.delta));
             }
+            shard_span.record_duration(driving.elapsed());
         }
         (report, deltas)
     }
@@ -347,6 +383,10 @@ impl MembershipService {
             .remove(&session)
             .ok_or(ServiceError::UnknownSession(session))?;
         let report = slot.lock().runtime.report();
+        self.inner
+            .telemetry
+            .gauge("service.sessions.open")
+            .set(self.session_count() as u64);
         Ok(report)
     }
 
@@ -743,5 +783,41 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_are_rejected() {
         let _ = MembershipService::with_shards(0);
+    }
+
+    #[test]
+    fn bulk_drives_record_service_telemetry() {
+        let service = MembershipService::with_shards(4);
+        let handles: Vec<SessionHandle> = (0..6)
+            .map(|_| service.create_session(spec(4)).unwrap())
+            .collect();
+        for handle in &handles {
+            handle.submit_requests([viewpoint(0, 0, 2)]).unwrap();
+        }
+        let report = service.drive_all();
+
+        // The report carries the cross-session reconvergence
+        // distribution, not just the summed total.
+        assert_eq!(report.reconverge.count(), 6);
+        assert!(report.reconverge_p50() <= report.reconverge_p99());
+        assert!(
+            report.reconverge_p99() as u128 >= report.mean_reconverge().as_micros(),
+            "the p99 bounds the mean from above"
+        );
+
+        // The service registry saw the pass: shard spans for every
+        // non-empty shard visit, runtime phases for every epoch, and
+        // the open-session gauge.
+        let snapshot = service.telemetry().snapshot();
+        assert!(snapshot.histograms["service.drive.shard_micros"].count() >= 1);
+        assert_eq!(snapshot.histograms["runtime.reconverge_micros"].count(), 6);
+        assert_eq!(snapshot.gauges["service.sessions.open"], 6);
+
+        let id = handles[0].id();
+        service.close_session(id).unwrap();
+        assert_eq!(
+            service.telemetry().snapshot().gauges["service.sessions.open"],
+            5
+        );
     }
 }

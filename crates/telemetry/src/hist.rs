@@ -1,0 +1,312 @@
+//! The log₂ latency histogram: 65 fixed power-of-two buckets over `u64`,
+//! lossless bucket-wise merge, and quantile readout.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in a [`LogHistogram`].
+///
+/// Bucket 0 holds the value `0`; bucket `i` (1 ≤ i ≤ 64) holds values in
+/// `[2^(i-1), 2^i)`, so bucket 64 covers `[2^63, u64::MAX]`. Every `u64`
+/// lands in exactly one bucket, the index being the value's bit width.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram of `u64` samples.
+///
+/// Buckets are value-independent (power-of-two ranges), so two histograms
+/// — from different RP processes, different epochs, different shards —
+/// merge losslessly by adding bucket counts: the merge of the parts is
+/// bit-for-bit the histogram of the concatenated samples. Quantiles are
+/// read as the upper bound of the bucket holding the requested rank,
+/// clamped to the observed `[min, max]`, giving at worst a 2× (one
+/// bucket) overestimate — tight enough for p50/p90/p99 tail reporting.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_telemetry::LogHistogram;
+///
+/// let mut a = LogHistogram::new();
+/// let mut b = LogHistogram::new();
+/// a.record(100);
+/// a.record(3_000);
+/// b.record(90_000);
+///
+/// let mut merged = a.clone();
+/// merged.merge(&b);
+/// assert_eq!(merged.count(), 3);
+/// assert_eq!(merged.sum(), 93_100);
+/// assert_eq!(merged.max(), 90_000);
+/// assert!(merged.p50() >= 100 && merged.p50() <= 90_000);
+/// assert_eq!(merged.p99(), 90_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Per-bucket sample counts; always exactly [`BUCKETS`] long.
+    buckets: Vec<u64>,
+    /// Total number of recorded samples.
+    count: u64,
+    /// Sum of all recorded samples (saturating).
+    sum: u64,
+    /// Smallest recorded sample; 0 when empty.
+    min: u64,
+    /// Largest recorded sample; 0 when empty.
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in: its bit width (0 for the
+    /// value 0).
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `index` can hold.
+    pub fn bucket_upper(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i if i >= 64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Records a duration as whole microseconds.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(crate::duration_micros(d));
+    }
+
+    /// Merges another histogram into this one, bucket-wise. Lossless:
+    /// the result equals the histogram of both sample sets combined.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, rounded down; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The per-bucket counts (always [`BUCKETS`] entries).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the sparse form
+    /// carried on the wire.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u8, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u8, c))
+    }
+
+    /// Rebuilds a histogram from its wire parts: sparse `(index, count)`
+    /// pairs plus the exact `sum`/`min`/`max` sidecar. Returns `None`
+    /// when any bucket index is out of range — the decoder treats that
+    /// as a truncated/corrupt message.
+    pub fn from_parts(pairs: &[(u8, u64)], sum: u64, min: u64, max: u64) -> Option<Self> {
+        let mut hist = LogHistogram::new();
+        for &(index, bucket_count) in pairs {
+            let slot = hist.buckets.get_mut(usize::from(index))?;
+            *slot += bucket_count;
+            hist.count = hist.count.checked_add(bucket_count)?;
+        }
+        hist.sum = sum;
+        if hist.count > 0 {
+            hist.min = min;
+            hist.max = max;
+        }
+        Some(hist)
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) as the upper bound of the bucket
+    /// holding that rank, clamped to the observed `[min, max]`; 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested sample, 1-based: ceil(q * count), at
+        // least 1 so q=0 reads the first sample.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket_count) in self.buckets.iter().enumerate() {
+            seen += bucket_count;
+            if seen >= rank {
+                return Self::bucket_upper(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (50th percentile); 0 when empty.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile; 0 when empty.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile; 0 when empty.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_the_bit_width() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        for value in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let index = LogHistogram::bucket_index(value);
+            assert!(value <= LogHistogram::bucket_upper(index));
+            if index > 0 {
+                assert!(value > LogHistogram::bucket_upper(index - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let hist = LogHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.p50(), 0);
+        assert_eq!(hist.p99(), 0);
+        assert_eq!(hist.mean(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_bounded_by_observed_extremes() {
+        let mut hist = LogHistogram::new();
+        for sample in [5u64, 9, 1_000, 1_000_000] {
+            hist.record(sample);
+        }
+        assert_eq!(hist.min(), 5);
+        assert_eq!(hist.max(), 1_000_000);
+        // q=0 reads the first sample's bucket upper bound (5 -> 7).
+        assert_eq!(hist.quantile(0.0), 7);
+        assert_eq!(hist.quantile(1.0), 1_000_000);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let value = hist.quantile(q);
+            assert!((5..=1_000_000).contains(&value), "q={q} -> {value}");
+        }
+        // p50 of {5, 9, 1000, 1000000} is rank 2 -> bucket of 9 -> upper
+        // bound 15.
+        assert_eq!(hist.p50(), 15);
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let samples = [0u64, 1, 17, 300, 300, 65_536, u64::MAX];
+        let mut whole = LogHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let (left, right) = samples.split_at(3);
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for &s in left {
+            a.record(s);
+        }
+        for &s in right {
+            b.record(s);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn wire_parts_roundtrip() {
+        let mut hist = LogHistogram::new();
+        for sample in [0u64, 3, 3, 900, 1 << 40] {
+            hist.record(sample);
+        }
+        let pairs: Vec<(u8, u64)> = hist.nonzero_buckets().collect();
+        let rebuilt = LogHistogram::from_parts(&pairs, hist.sum(), hist.min(), hist.max()).unwrap();
+        assert_eq!(rebuilt, hist);
+        assert!(LogHistogram::from_parts(&[(65, 1)], 0, 0, 0).is_none());
+    }
+}

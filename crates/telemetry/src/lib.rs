@@ -1,0 +1,72 @@
+//! Observability substrate for the TEEVE reproduction (Wu et al.,
+//! ICDCS 2008).
+//!
+//! The paper's evaluation is distributional — end-to-end latency CDFs,
+//! reconvergence times, rejection ratios — so scalar sums and maxima are
+//! not enough to reproduce its figures. This crate supplies the three
+//! pieces every layer of the workspace reports through:
+//!
+//! * [`LogHistogram`] — a fixed 65-bucket log₂ histogram of `u64` samples
+//!   (microseconds, counts, bytes — anything non-negative). Buckets are
+//!   power-of-two ranges, so two histograms merge losslessly by adding
+//!   bucket counts, which is what lets a coordinator fold per-RP wire
+//!   reports into fleet-wide p50/p90/p99 readouts.
+//! * [`MetricsRegistry`] — named atomic [`Counter`]s, [`Gauge`]s, and
+//!   shared [`Histogram`]s, snapshotted as a serializable
+//!   [`TelemetrySnapshot`].
+//! * [`FlightRecorder`] — a bounded ring buffer of recent structured
+//!   [`FlightEvent`]s (reconfigures, acks, link changes, poisonings,
+//!   rebuild-gate trips), dumped as JSON for postmortems on poisoned
+//!   fleets.
+//!
+//! The crate sits below every other workspace crate: it depends only on
+//! the vendored `serde`/`serde_json`/`parking_lot` shims and speaks raw
+//! integers (`u32` site indexes, `u64` revisions) rather than
+//! `teeve-types` identifiers.
+//!
+//! # Examples
+//!
+//! ```
+//! use teeve_telemetry::{LogHistogram, MetricsRegistry};
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.counter("frames.delivered").add(3);
+//! let latency = registry.histogram("delivery.latency_micros");
+//! for sample in [120, 480, 15_000] {
+//!     latency.record(sample);
+//! }
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters["frames.delivered"], 3);
+//! let merged: LogHistogram = snapshot.histograms["delivery.latency_micros"].clone();
+//! assert_eq!(merged.count(), 3);
+//! assert!(merged.p99() >= merged.p50());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod recorder;
+mod registry;
+mod snapshot;
+
+pub use hist::{LogHistogram, BUCKETS};
+pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use snapshot::TelemetrySnapshot;
+
+/// Microseconds since the Unix epoch, for timestamping flight events
+/// across process boundaries. Saturates at zero if the clock is before
+/// the epoch.
+pub fn unix_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+/// Clamps a [`std::time::Duration`] to whole microseconds in `u64`.
+pub fn duration_micros(d: std::time::Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}

@@ -1,0 +1,220 @@
+//! The metrics registry: named counters, gauges, and histograms shared
+//! across threads by cheap handle clones.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::LogHistogram;
+use crate::snapshot::TelemetrySnapshot;
+
+/// A monotonically increasing named counter.
+///
+/// Handles are `Arc`-backed: clone freely, update from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge holding the most recently set value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if larger (high-water mark).
+    pub fn raise(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named shared [`LogHistogram`].
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<LogHistogram>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.0.lock().record(value);
+    }
+
+    /// Records a duration as whole microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.0.lock().record_duration(d);
+    }
+
+    /// Merges a whole histogram in (lossless).
+    pub fn merge(&self, other: &LogHistogram) {
+        self.0.lock().merge(other);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.0.lock().clone()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A process-local registry of named metrics.
+///
+/// Cloning the registry (or any handle it returns) shares the underlying
+/// storage, so one registry can be threaded through a runtime, its
+/// service, and a socket coordinator, and snapshotted once at the end.
+///
+/// # Examples
+///
+/// ```
+/// use teeve_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// registry.counter("epochs").incr();
+/// registry.gauge("sessions.open").set(4);
+/// registry.histogram("reconverge_micros").record(1_250);
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counters["epochs"], 1);
+/// assert_eq!(snapshot.gauges["sessions.open"], 4);
+/// assert_eq!(snapshot.histograms["reconverge_micros"].count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created empty on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock();
+        if let Some(found) = counters.get(name) {
+            return found.clone();
+        }
+        let created = Counter::default();
+        counters.insert(name.to_string(), created.clone());
+        created
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.lock();
+        if let Some(found) = gauges.get(name) {
+            return found.clone();
+        }
+        let created = Gauge::default();
+        gauges.insert(name.to_string(), created.clone());
+        created
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self.inner.histograms.lock();
+        if let Some(found) = histograms.get(name) {
+            return found.clone();
+        }
+        let created = Histogram::default();
+        histograms.insert(name.to_string(), created.clone());
+        created
+    }
+
+    /// A point-in-time serializable copy of every metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_storage_across_clones() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("hits");
+        let b = registry.clone().counter("hits");
+        a.incr();
+        b.add(2);
+        assert_eq!(registry.counter("hits").get(), 3);
+    }
+
+    #[test]
+    fn gauges_hold_last_and_high_water() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("depth");
+        g.set(7);
+        g.raise(3);
+        assert_eq!(g.get(), 7);
+        g.raise(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c").add(5);
+        registry.gauge("g").set(2);
+        registry.histogram("h").record(1024);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["c"], 5);
+        assert_eq!(snapshot.gauges["g"], 2);
+        assert_eq!(snapshot.histograms["h"].max(), 1024);
+        let json = snapshot.to_json().unwrap();
+        assert!(json.contains("\"c\""));
+    }
+}

@@ -1,0 +1,93 @@
+//! Serializable point-in-time copies of a [`MetricsRegistry`].
+//!
+//! [`MetricsRegistry`]: crate::MetricsRegistry
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LogHistogram;
+
+/// Everything a [`MetricsRegistry`](crate::MetricsRegistry) held at one
+/// instant, in serializable form.
+///
+/// Snapshots from different processes merge the same way the live
+/// metrics do: counters add, gauges take the max, histograms merge
+/// bucket-wise.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl TelemetrySnapshot {
+    /// Folds another snapshot in: counters add, gauges keep the max,
+    /// histograms merge losslessly.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_default() += value;
+        }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_default();
+            *slot = (*slot).max(*value);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Renders the snapshot as a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (infallible for this data model).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_roundtrip_through_json() {
+        let mut hist = LogHistogram::new();
+        hist.record(7);
+        hist.record(4_096);
+        let mut snapshot = TelemetrySnapshot::default();
+        snapshot.counters.insert("acks".into(), 12);
+        snapshot.gauges.insert("links".into(), 3);
+        snapshot.histograms.insert("rtt".into(), hist);
+        let json = snapshot.to_json().unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn merge_folds_each_kind_properly() {
+        let mut left = TelemetrySnapshot::default();
+        left.counters.insert("n".into(), 2);
+        left.gauges.insert("g".into(), 9);
+        let mut left_h = LogHistogram::new();
+        left_h.record(10);
+        left.histograms.insert("h".into(), left_h);
+
+        let mut right = TelemetrySnapshot::default();
+        right.counters.insert("n".into(), 3);
+        right.gauges.insert("g".into(), 4);
+        let mut right_h = LogHistogram::new();
+        right_h.record(1_000);
+        right.histograms.insert("h".into(), right_h);
+
+        left.merge(&right);
+        assert_eq!(left.counters["n"], 5);
+        assert_eq!(left.gauges["g"], 9);
+        assert_eq!(left.histograms["h"].count(), 2);
+        assert_eq!(left.histograms["h"].max(), 1_000);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for [`LogHistogram`]: the algebraic invariants the
+//! fleet-wide merge path depends on — merge associativity and
+//! commutativity, count conservation, bucket monotonicity of quantiles,
+//! and quantile bounds.
+
+use proptest::prelude::*;
+use teeve_telemetry::{LogHistogram, BUCKETS};
+
+fn hist_of(samples: &[u64]) -> LogHistogram {
+    let mut hist = LogHistogram::new();
+    for &s in samples {
+        hist.record(s);
+    }
+    hist
+}
+
+/// One sample drawn from a mixed distribution: small values, full-range
+/// values, and the exact extremes, so every bucket region is exercised —
+/// including bucket 0 and bucket 64.
+fn mix(mode: u64, raw: u64) -> u64 {
+    match mode {
+        0 => raw % 1024,
+        1 => raw,
+        2 => 0,
+        _ => u64::MAX,
+    }
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u64..4, any::<u64>()), 0..64usize).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(mode, raw)| mix(mode, raw))
+            .collect()
+    })
+}
+
+fn arb_nonempty_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u64..4, any::<u64>()), 1..64usize).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(mode, raw)| mix(mode, raw))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Merging the parts equals recording the whole: the histogram of a
+    /// concatenated sample set is bit-for-bit the merge of its pieces,
+    /// wherever the split falls.
+    #[test]
+    fn merge_is_lossless_over_any_split(samples in arb_samples(), split in 0usize..64) {
+        let split = split.min(samples.len());
+        let (left, right) = samples.split_at(split);
+        let mut merged = hist_of(left);
+        merged.merge(&hist_of(right));
+        prop_assert_eq!(merged, hist_of(&samples));
+    }
+
+    /// Merge is commutative: a⊕b = b⊕a.
+    #[test]
+    fn merge_commutes(a in arb_samples(), b in arb_samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a⊕b)⊕c = a⊕(b⊕c).
+    #[test]
+    fn merge_associates(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Count conservation: the total sample count always equals the sum
+    /// of the bucket counts, and every sample lands in exactly one
+    /// bucket.
+    #[test]
+    fn counts_are_conserved(samples in arb_samples()) {
+        let hist = hist_of(&samples);
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.buckets().iter().sum::<u64>(), hist.count());
+        prop_assert_eq!(hist.buckets().len(), BUCKETS);
+        let sparse: u64 = hist.nonzero_buckets().map(|(_, c)| c).sum();
+        prop_assert_eq!(sparse, hist.count());
+    }
+
+    /// Quantiles are monotone in q and respect bucket boundaries: each
+    /// reported quantile is a bucket upper bound clamped to [min, max].
+    #[test]
+    fn quantiles_are_monotone_and_bucket_aligned(samples in arb_nonempty_samples()) {
+        let hist = hist_of(&samples);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let reads: Vec<u64> = qs.iter().map(|&q| hist.quantile(q)).collect();
+        for pair in reads.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {reads:?}");
+        }
+        for &value in &reads {
+            let aligned = value == hist.min()
+                || value == hist.max()
+                || (0..BUCKETS).any(|i| LogHistogram::bucket_upper(i) == value);
+            prop_assert!(aligned, "quantile {value} is not bucket-aligned");
+        }
+    }
+
+    /// Quantile bounds: every quantile lies within the observed
+    /// [min, max], and within one bucket (2x) of a true order-statistic.
+    #[test]
+    fn quantiles_are_bounded(samples in arb_nonempty_samples(), q in 0.0f64..1.0) {
+        let hist = hist_of(&samples);
+        let value = hist.quantile(q);
+        prop_assert!(value >= hist.min(), "{value} < min {}", hist.min());
+        prop_assert!(value <= hist.max(), "{value} > max {}", hist.max());
+
+        // The true order statistic for this rank sits in the same
+        // bucket, so the histogram read is within a factor of two.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        prop_assert!(value >= exact, "read {value} below exact {exact}");
+        prop_assert!(
+            LogHistogram::bucket_index(value.max(1)) >= LogHistogram::bucket_index(exact),
+            "read {value} in an earlier bucket than exact {exact}"
+        );
+    }
+
+    /// The sparse wire form reconstructs the histogram exactly.
+    #[test]
+    fn wire_parts_roundtrip(samples in arb_samples()) {
+        let hist = hist_of(&samples);
+        let pairs: Vec<(u8, u64)> = hist.nonzero_buckets().collect();
+        let rebuilt = LogHistogram::from_parts(&pairs, hist.sum(), hist.min(), hist.max());
+        prop_assert_eq!(rebuilt, Some(hist));
+    }
+}
