@@ -1,0 +1,370 @@
+//! Source preparation for the token-level lint rules.
+//!
+//! The rules in [`super::rules`] match plain substrings, so everything
+//! that could fool a substring match — comments, string/char literals —
+//! is blanked out first, preserving line structure exactly (same line
+//! count, findings keep real line numbers). A second pass classifies
+//! lines as test or non-test code, since most rules only police
+//! production paths.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One workspace `.rs` file, prepared for rule matching.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across hosts,
+    /// used in findings and allowlist matching).
+    pub rel: String,
+    /// The file exactly as on disk, split into lines. Suppression
+    /// comments are read from here (they live in comments, which the
+    /// clean view blanks).
+    pub raw_lines: Vec<String>,
+    /// The file with comments and string/char literals blanked to
+    /// spaces, split into lines; rules match against this view.
+    pub clean_lines: Vec<String>,
+    /// Per-line flag: true when the line sits inside a `#[cfg(test)]`
+    /// item (tracked by brace depth over the clean view).
+    pub test_lines: Vec<bool>,
+    /// True when the whole file is test-adjacent by location —
+    /// `tests/`, `benches/` or `examples/` directories.
+    pub test_path: bool,
+}
+
+impl SourceFile {
+    /// True when line `idx` (0-based) is test code, either by file
+    /// location or by sitting inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, idx: usize) -> bool {
+        self.test_path || self.test_lines.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// Blanks comments (line, doc, and nested block) and string/char
+/// literals (plain, byte, and raw with any `#` count) to spaces, keeping
+/// every newline so line numbers survive.
+///
+/// ```
+/// let clean = teeve_check::lint::strip_comments_and_strings(
+///     "let a = \"x.unwrap()\"; // .expect(\nb.unwrap();",
+/// );
+/// assert!(!clean.lines().next().unwrap().contains("unwrap"));
+/// assert!(clean.lines().nth(1).unwrap().contains("b.unwrap();"));
+/// ```
+pub fn strip_comments_and_strings(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0usize;
+    // True when the previously emitted char can end an identifier, which
+    // rules out `r`/`b` at that position starting a raw/byte string.
+    let mut prev_ident = false;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            // Rust block comments nest.
+            let mut depth = 0usize;
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw and raw-byte strings: r"..", r#".."#, br##".."##, ...
+        if !prev_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+                prev_ident = false;
+                continue;
+            }
+            // Not a raw string opener; fall through (`r`/`b` starts an
+            // ordinary identifier).
+        }
+        // Plain and byte strings.
+        if c == '"' || (!prev_ident && c == 'b' && next == Some('"')) {
+            if c == 'b' {
+                out.push(' ');
+                i += 1;
+            }
+            out.push(' '); // opening quote
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                if c == '\\' {
+                    out.push(' ');
+                    if let Some(&e) = chars.get(i + 1) {
+                        out.push(if e == '\n' { '\n' } else { ' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Char literals ('a', '\n', b'x') vs lifetimes ('a in types).
+        if c == '\'' {
+            let n2 = chars.get(i + 2).copied();
+            let is_char = matches!(next, Some('\\')) || (next.is_some() && n2 == Some('\''));
+            if is_char {
+                out.push(' ');
+                i += 1;
+                while i < chars.len() {
+                    let c = chars[i];
+                    if c == '\\' {
+                        out.push(' ');
+                        if chars.get(i + 1).is_some() {
+                            out.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                prev_ident = false;
+                continue;
+            }
+        }
+        out.push(c);
+        prev_ident = c.is_alphanumeric() || c == '_';
+        i += 1;
+    }
+    out
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item by brace-tracking
+/// the item that follows the attribute in the clean view.
+fn test_line_mask(clean_lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; clean_lines.len()];
+    let mut i = 0;
+    while i < clean_lines.len() {
+        if !clean_lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < clean_lines.len() {
+            mask[j] = true;
+            for ch in clean_lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            // `#[cfg(test)]` on a brace-less item (a `use`, say).
+            if !opened && clean_lines[j].trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Loads one file into the prepared form; `rel` is its workspace-relative
+/// path.
+pub fn load_source(path: &Path, rel: String) -> io::Result<SourceFile> {
+    let raw = fs::read_to_string(path)?;
+    let clean = strip_comments_and_strings(&raw);
+    let raw_lines: Vec<String> = raw.lines().map(str::to_owned).collect();
+    let clean_lines: Vec<String> = clean.lines().map(str::to_owned).collect();
+    let test_lines = test_line_mask(&clean_lines);
+    let test_path = is_test_path(&rel);
+    Ok(SourceFile {
+        rel,
+        raw_lines,
+        clean_lines,
+        test_lines,
+        test_path,
+    })
+}
+
+/// Collects every `.rs` file under `root`, excluding `vendor/` (foreign
+/// code), `target/`, and dot-directories; sorted by path so runs are
+/// deterministic.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            load_source(&p, rel)
+        })
+        .collect()
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            let top_level = dir == root;
+            if name.starts_with('.') || name == "target" || (top_level && name == "vendor") {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let clean = strip_comments_and_strings("a /* x.unwrap() */ b // .expect(\nc");
+        assert_eq!(clean.lines().count(), 2);
+        assert!(!clean.contains("unwrap"));
+        assert!(!clean.contains("expect"));
+        assert!(clean.contains('a') && clean.contains('b') && clean.contains('c'));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let clean = strip_comments_and_strings("x /* a /* b */ c.unwrap() */ y");
+        assert!(!clean.contains("unwrap"));
+        assert!(clean.contains('x') && clean.contains('y'));
+    }
+
+    #[test]
+    fn strips_raw_strings_with_hashes() {
+        let clean = strip_comments_and_strings("let s = r#\"x \".unwrap()\" y\"#; s.len()");
+        assert!(!clean.contains("unwrap"));
+        assert!(clean.contains("s.len()"));
+    }
+
+    #[test]
+    fn preserves_lifetimes_but_blanks_chars() {
+        let clean = strip_comments_and_strings("fn f<'a>(x: &'a str, c: char) { let _ = 'x'; }");
+        assert!(clean.contains("<'a>"));
+        assert!(clean.contains("&'a str"));
+        assert!(!clean.contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let clean = strip_comments_and_strings(r#"let s = "a \" b.unwrap()"; t()"#);
+        assert!(!clean.contains("unwrap"));
+        assert!(clean.contains("t()"));
+    }
+
+    #[test]
+    fn string_lines_are_preserved() {
+        let src = "let s = \"line one\nline two\";\nafter();";
+        let clean = strip_comments_and_strings(src);
+        assert_eq!(clean.lines().count(), 3);
+        assert!(clean.lines().nth(2).unwrap().contains("after();"));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn live2() {}\n";
+        let clean: Vec<String> = strip_comments_and_strings(src)
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        let mask = test_line_mask(&clean);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_paths_are_recognized() {
+        assert!(is_test_path("crates/net/tests/proptest_wire.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(is_test_path("crates/bench/benches/overlay.rs"));
+        assert!(!is_test_path("crates/net/src/wire.rs"));
+    }
+}

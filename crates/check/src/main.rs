@@ -1,0 +1,150 @@
+//! CLI for the `teeve-check` gate:
+//! `cargo run --release -p teeve-check -- <lint|model|all>`.
+//!
+//! Exit status 0 means the gate passed; 1 means lint findings survived
+//! suppression/allowlisting, an invariant violation was found, a seeded
+//! mutation went undetected, or the exploration was truncated; 2 means
+//! usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use teeve_check::lint;
+use teeve_check::model::{self, ModelReport, Mutation};
+
+fn workspace_root() -> PathBuf {
+    // crates/check/ -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn run_lint() -> bool {
+    let root = workspace_root();
+    println!("teeve-check lint: scanning {}", root.display());
+    let report = match lint::run_lint(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("lint failed to scan sources: {e}");
+            return false;
+        }
+    };
+    println!(
+        "  {} files scanned, {} finding(s), {} suppressed/allowlisted",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+    for finding in &report.findings {
+        println!("  {finding}");
+    }
+    if report.findings.is_empty() {
+        println!("lint: PASS");
+        true
+    } else {
+        println!(
+            "lint: FAIL — fix the sites above, add `// teeve-check: allow(<rule>)`, or \
+             allowlist them in crates/check/teeve-check.allow (see crates/check/README.md)"
+        );
+        false
+    }
+}
+
+fn print_report(label: &str, report: &ModelReport, elapsed_ms: u128) {
+    println!(
+        "  {label}: {} states, {} transitions, {elapsed_ms} ms{}",
+        report.states,
+        report.transitions,
+        if report.truncated { " (TRUNCATED)" } else { "" },
+    );
+}
+
+fn run_model() -> bool {
+    println!("teeve-check model: exhaustive dictation-protocol check");
+    let mut ok = true;
+    let mut total_states = 0usize;
+    let mut total_transitions = 0u64;
+
+    println!("healthy machine across bounded scopes:");
+    for cfg in model::default_sweep() {
+        let start = Instant::now();
+        let report = model::explore(&cfg, Mutation::None);
+        print_report(&cfg.describe(), &report, start.elapsed().as_millis());
+        total_states += report.states;
+        total_transitions += report.transitions;
+        if let Some(cex) = &report.violation {
+            println!("{cex}");
+            ok = false;
+        }
+        if report.truncated {
+            println!(
+                "  scope truncated at {} states — shrink it or raise max_states",
+                cfg.max_states
+            );
+            ok = false;
+        }
+    }
+    println!("total: {total_states} deduplicated states, {total_transitions} transitions");
+
+    println!("seeded-mutation self-tests (each must be caught):");
+    for &mutation in model::MUTATIONS {
+        let cfg = model::mutation_scope(mutation);
+        let start = Instant::now();
+        let report = model::explore(&cfg, mutation);
+        print_report(
+            &format!("{mutation} ({})", cfg.describe()),
+            &report,
+            start.elapsed().as_millis(),
+        );
+        match report.violation {
+            Some(cex) if cex.invariant == mutation.target_invariant() => {
+                println!("  caught as expected:");
+                for line in cex.to_string().lines() {
+                    println!("    {line}");
+                }
+            }
+            Some(cex) => {
+                println!(
+                    "  caught, but by `{}` instead of `{}`:\n{cex}",
+                    cex.invariant,
+                    mutation.target_invariant()
+                );
+                ok = false;
+            }
+            None => {
+                println!(
+                    "  NOT DETECTED — the `{}` invariant check is blind to its seeded bug",
+                    mutation.target_invariant()
+                );
+                ok = false;
+            }
+        }
+    }
+
+    println!("model: {}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let ok = match mode.as_str() {
+        "lint" => run_lint(),
+        "model" => run_model(),
+        "all" => {
+            let lint_ok = run_lint();
+            let model_ok = run_model();
+            lint_ok && model_ok
+        }
+        _ => {
+            eprintln!("usage: teeve-check <lint|model|all>");
+            return ExitCode::from(2);
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

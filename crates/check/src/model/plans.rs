@@ -1,0 +1,270 @@
+//! The abstract plan family the model checker dictates, plus the two
+//! table-shape invariants (acyclicity, quality monotonicity) evaluated
+//! over mixed-revision states.
+//!
+//! Tables are a pure function of `(revision, rp)` — the model never
+//! stores them, only each RP's applied revision — mirroring how the real
+//! coordinator derives every `SitePlan` from one `DisseminationPlan`
+//! revision. The family alternates tree shapes between revisions the way
+//! overlay churn does:
+//!
+//! * even revisions — a **chain** from the stream origin through the
+//!   other RPs in ascending index order (deep tree, rungs degrade with
+//!   depth like the paper's quality-stamped forwarding);
+//! * odd revisions — a **star** from the origin (shallow tree).
+//!
+//! Chain and star edges never reverse direction between consecutive
+//! revisions (star edges all leave the origin; the origin heads every
+//! chain), which is exactly the property that keeps every *mixed* table
+//! acyclic under the coordinator's ack barrier — the
+//! [`Mutation::EdgeReversal`] seeded bug breaks it and the checker's
+//! acyclicity invariant catches the resulting forwarding loop.
+
+use super::{Mutation, Violation};
+
+/// Stream origins for an `rps`-node fleet: stream 0 always originates at
+/// rp0; fleets of three or more get a second stream from the
+/// highest-index RP so forwarding runs against the index order too.
+pub fn stream_origins(rps: usize) -> Vec<usize> {
+    if rps >= 3 {
+        vec![0, rps - 1]
+    } else {
+        vec![0]
+    }
+}
+
+/// The chain order at `rev` for a stream rooted at `origin`: the origin
+/// first, then the other RPs ascending — or descending under the seeded
+/// [`Mutation::EdgeReversal`] bug on odd revisions (where the healthy
+/// family uses a star, so the mutant reverses interior edges relative to
+/// the preceding even-revision chain).
+fn order_of(mutation: Mutation, rps: usize, origin: usize) -> Vec<usize> {
+    let mut order = vec![origin];
+    if mutation == Mutation::EdgeReversal {
+        order.extend((0..rps).rev().filter(|&rp| rp != origin));
+    } else {
+        order.extend((0..rps).filter(|&rp| rp != origin));
+    }
+    order
+}
+
+/// `rp`'s parent in the `origin`-rooted tree of revision `rev`
+/// (`None` for the origin itself).
+pub fn parent_of(
+    mutation: Mutation,
+    rps: usize,
+    rev: u8,
+    origin: usize,
+    rp: usize,
+) -> Option<usize> {
+    if rp == origin {
+        return None;
+    }
+    let odd = rev % 2 == 1;
+    if odd && mutation != Mutation::EdgeReversal {
+        return Some(origin); // star
+    }
+    let order = if odd {
+        order_of(mutation, rps, origin) // mutant: descending chain
+    } else {
+        order_of(Mutation::None, rps, origin) // chain
+    };
+    let pos = order.iter().position(|&x| x == rp)?;
+    Some(order[pos - 1])
+}
+
+/// `rp`'s depth in the revision-`rev` tree (0 for the origin).
+fn depth_of(mutation: Mutation, rps: usize, rev: u8, origin: usize, rp: usize) -> usize {
+    let mut depth = 0;
+    let mut at = rp;
+    while let Some(parent) = parent_of(mutation, rps, rev, origin, at) {
+        depth += 1;
+        at = parent;
+        if depth > rps {
+            break; // defensive: a mutant family could loop
+        }
+    }
+    depth
+}
+
+/// The planned quality rung of `rp`'s subscription at revision `rev`:
+/// rungs degrade with tree depth (capped at 3), so chains plan coarse
+/// leaves and stars plan fine ones — revision churn moves every
+/// non-origin rung, exercising the monotonicity invariant.
+pub fn rung_of(mutation: Mutation, rps: usize, rev: u8, origin: usize, rp: usize) -> u8 {
+    depth_of(mutation, rps, rev, origin, rp).min(3) as u8
+}
+
+/// The forwarding edges of one stream in a mixed-revision state: RP `p`
+/// forwards to `c` when **`p`'s own applied table** lists `c` as its
+/// child — exactly the real node rule, where each RP acts on its local
+/// `SitePlan` regardless of what revision its peers run.
+fn edges(mutation: Mutation, rp_rev: &[u8], origin: usize) -> Vec<(usize, usize)> {
+    let rps = rp_rev.len();
+    let mut edges = Vec::new();
+    for (parent, &rev) in rp_rev.iter().enumerate() {
+        for child in 0..rps {
+            if parent_of(mutation, rps, rev, origin, child) == Some(parent) {
+                edges.push((parent, child));
+            }
+        }
+    }
+    edges
+}
+
+/// Invariant: no reachable mixed table contains a forwarding cycle (a
+/// frame entering one would loop until dropped, and per-stream `End`
+/// cascades would never terminate).
+pub fn check_acyclic(mutation: Mutation, rp_rev: &[u8]) -> Option<Violation> {
+    let rps = rp_rev.len();
+    for origin in stream_origins(rps) {
+        let edges = edges(mutation, rp_rev, origin);
+        // Three-color DFS over <=4 nodes.
+        let mut color = vec![0u8; rps]; // 0 white, 1 gray, 2 black
+        fn visit(n: usize, edges: &[(usize, usize)], color: &mut [u8]) -> Option<Vec<usize>> {
+            color[n] = 1;
+            for &(p, c) in edges {
+                if p != n {
+                    continue;
+                }
+                match color[c] {
+                    1 => return Some(vec![n, c]),
+                    0 => {
+                        if let Some(mut cycle) = visit(c, edges, color) {
+                            cycle.insert(0, n);
+                            return Some(cycle);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            color[n] = 2;
+            None
+        }
+        for start in 0..rps {
+            if color[start] == 0 {
+                if let Some(cycle) = visit(start, &edges, &mut color) {
+                    let path: Vec<String> = cycle.iter().map(|rp| format!("rp{rp}")).collect();
+                    return Some(Violation {
+                        invariant: "acyclic-forwarding",
+                        detail: format!(
+                            "stream of rp{origin}: forwarding cycle through {} with per-RP \
+                             revisions {rp_rev:?}",
+                            path.join(" -> ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Invariant: effective quality only degrades (rung index only grows)
+/// along every forwarding edge of every mixed table. Mirrors the node
+/// forward rule `tag.max(planned).max(child_link)`: what `p` hands to
+/// `c` can never be finer than what `p` itself delivers. The seeded
+/// [`Mutation::QualityUpgrade`] bug re-encodes at the child's planned
+/// rung, silently upgrading stale-revision frames.
+pub fn check_quality(mutation: Mutation, rp_rev: &[u8]) -> Option<Violation> {
+    let rps = rp_rev.len();
+    for origin in stream_origins(rps) {
+        let edges = edges(mutation, rp_rev, origin);
+        let eff_via = |eff_p: u8, p: usize, c: usize| -> u8 {
+            let link = rung_of(mutation, rps, rp_rev[p], origin, c);
+            let own = rung_of(mutation, rps, rp_rev[c], origin, c);
+            if mutation == Mutation::QualityUpgrade {
+                own
+            } else {
+                eff_p.max(link).max(own)
+            }
+        };
+        // Relax to a fixpoint (bounded — the edge set is tiny and the
+        // acyclicity invariant runs first).
+        let mut eff: Vec<Option<u8>> = vec![None; rps];
+        eff[origin] = Some(rung_of(mutation, rps, rp_rev[origin], origin, origin));
+        for _ in 0..=rps {
+            for &(p, c) in &edges {
+                if let Some(e) = eff[p] {
+                    let via = eff_via(e, p, c);
+                    eff[c] = Some(eff[c].map_or(via, |cur| cur.max(via)));
+                }
+            }
+        }
+        for &(p, c) in &edges {
+            if let Some(e) = eff[p] {
+                let via = eff_via(e, p, c);
+                if via < e {
+                    return Some(Violation {
+                        invariant: "quality-monotone",
+                        detail: format!(
+                            "stream of rp{origin}: edge rp{p} -> rp{c} delivers rung {via}, \
+                             finer than rp{p}'s effective rung {e} (per-RP revisions \
+                             {rp_rev:?})",
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_and_stars_alternate() {
+        // rev 0: chain 0 -> 1 -> 2 -> 3.
+        assert_eq!(parent_of(Mutation::None, 4, 0, 0, 1), Some(0));
+        assert_eq!(parent_of(Mutation::None, 4, 0, 0, 2), Some(1));
+        assert_eq!(parent_of(Mutation::None, 4, 0, 0, 3), Some(2));
+        // rev 1: star from the origin.
+        assert_eq!(parent_of(Mutation::None, 4, 1, 0, 3), Some(0));
+        // Second stream rooted at rp3: chain 3 -> 0 -> 1 -> 2.
+        assert_eq!(parent_of(Mutation::None, 4, 0, 3, 0), Some(3));
+        assert_eq!(parent_of(Mutation::None, 4, 0, 3, 3), None);
+    }
+
+    #[test]
+    fn rungs_degrade_with_depth() {
+        assert_eq!(rung_of(Mutation::None, 4, 0, 0, 0), 0);
+        assert_eq!(rung_of(Mutation::None, 4, 0, 0, 1), 1);
+        assert_eq!(rung_of(Mutation::None, 4, 0, 0, 3), 3);
+        assert_eq!(rung_of(Mutation::None, 4, 1, 0, 3), 1); // star leaf
+    }
+
+    #[test]
+    fn healthy_mixed_tables_stay_acyclic_and_monotone() {
+        for rps in 2..=4 {
+            for a in 0..=3u8 {
+                for b in 0..=3u8 {
+                    let mut revs = vec![a; rps];
+                    revs[rps - 1] = b;
+                    assert!(check_acyclic(Mutation::None, &revs).is_none(), "{revs:?}");
+                    assert!(check_quality(Mutation::None, &revs).is_none(), "{revs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_reversal_builds_a_cycle_in_a_mixed_table() {
+        // rp1 applied the even chain (child rp2); rp2 applied the mutant
+        // odd descending chain (child rp1).
+        let violation = check_acyclic(Mutation::EdgeReversal, &[2, 2, 1]);
+        assert!(violation.is_some());
+        assert_eq!(violation.unwrap().invariant, "acyclic-forwarding");
+    }
+
+    #[test]
+    fn quality_upgrade_breaks_monotonicity_in_a_mixed_table() {
+        // rp0..rp2 on the rev-2 chain (rp2 effective rung 2), rp3 still
+        // on the rev-1 star (planned rung 1): the mutant delivers rung 1
+        // over the rp2 -> rp3 chain edge.
+        let violation = check_quality(Mutation::QualityUpgrade, &[2, 2, 2, 1]);
+        assert!(violation.is_some());
+        assert_eq!(violation.unwrap().invariant, "quality-monotone");
+    }
+}

@@ -36,8 +36,38 @@ use crate::node::{RpNode, RpNodeHandle};
 /// `publish`/`apply_delta` calls return [`ClusterError::Poisoned`]
 /// instead of operating on an unknown plan state; shut the cluster down.
 pub struct LiveCluster {
+    // Field order is drop order: dropping the coordinator first orders
+    // every RP down over the wire, then the fleet stops its node threads
+    // locally (belt and braces for nodes whose control channel died).
+    coordinator: Coordinator,
+    fleet: NodeFleet,
+}
+
+/// The spawned RP node threads of a [`LiveCluster`], stopped on drop.
+struct NodeFleet {
     nodes: Vec<RpNodeHandle>,
-    coordinator: Option<Coordinator>,
+}
+
+impl NodeFleet {
+    /// Stops every node and joins its threads (the graceful path).
+    fn stop_and_join(mut self) {
+        for node in &self.nodes {
+            node.stop();
+        }
+        for node in self.nodes.drain(..) {
+            node.join();
+        }
+    }
+}
+
+impl Drop for NodeFleet {
+    /// Best-effort teardown without joining; the graceful path is
+    /// [`NodeFleet::stop_and_join`].
+    fn drop(&mut self) {
+        for node in &self.nodes {
+            node.stop();
+        }
+    }
 }
 
 impl LiveCluster {
@@ -60,25 +90,18 @@ impl LiveCluster {
             addrs.push(node.local_addr());
             nodes.push(node.spawn());
         }
+        let fleet = NodeFleet { nodes };
         match Coordinator::connect(plan, &addrs, config) {
-            Ok(coordinator) => Ok(LiveCluster {
-                nodes,
-                coordinator: Some(coordinator),
-            }),
+            Ok(coordinator) => Ok(LiveCluster { coordinator, fleet }),
             Err(e) => {
-                for node in &nodes {
-                    node.stop();
-                }
-                for node in nodes {
-                    node.join();
-                }
+                fleet.stop_and_join();
                 Err(e)
             }
         }
     }
 
     fn coordinator(&self) -> &Coordinator {
-        self.coordinator.as_ref().expect("cluster is live")
+        &self.coordinator
     }
 
     /// Returns the plan the cluster currently executes.
@@ -141,10 +164,7 @@ impl LiveCluster {
     /// deliver within `config.timeout`, or [`ClusterError::Poisoned`]
     /// after a failed reconfiguration.
     pub fn publish(&mut self, frames: u64) -> Result<(), ClusterError> {
-        self.coordinator
-            .as_mut()
-            .expect("cluster is live")
-            .publish(frames)
+        self.coordinator.publish(frames)
     }
 
     /// Applies one [`PlanDelta`] to the running cluster; see
@@ -157,10 +177,7 @@ impl LiveCluster {
     /// operation fails, or an RP does not acknowledge in time. A failure
     /// after validation poisons the cluster.
     pub fn apply_delta(&mut self, delta: &PlanDelta) -> Result<ReconfigureReport, ClusterError> {
-        self.coordinator
-            .as_mut()
-            .expect("cluster is live")
-            .apply_delta(delta)
+        self.coordinator.apply_delta(delta)
     }
 
     /// Gracefully terminates the cluster: the coordinator harvests every
@@ -170,29 +187,11 @@ impl LiveCluster {
     ///
     /// Call after the last [`publish`](Self::publish) batch has completed;
     /// frames still in flight at shutdown are dropped with their links.
-    pub fn shutdown(mut self) -> ClusterReport {
-        let report = self.coordinator.take().expect("cluster is live").shutdown();
-        for node in &self.nodes {
-            // Belt and braces: the Shutdown orders above already stop
-            // every node; a node whose control channel died still exits.
-            node.stop();
-        }
-        for node in self.nodes.drain(..) {
-            node.join();
-        }
+    pub fn shutdown(self) -> ClusterReport {
+        let LiveCluster { coordinator, fleet } = self;
+        let report = coordinator.shutdown();
+        fleet.stop_and_join();
         report
-    }
-}
-
-impl Drop for LiveCluster {
-    /// Best-effort teardown without joining (dropping the coordinator
-    /// orders every RP down, and each node is stopped locally too); the
-    /// graceful path is [`shutdown`](Self::shutdown).
-    fn drop(&mut self) {
-        drop(self.coordinator.take());
-        for node in &self.nodes {
-            node.stop();
-        }
     }
 }
 

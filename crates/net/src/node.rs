@@ -21,11 +21,11 @@
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
@@ -38,13 +38,8 @@ use crate::wire::{decode, encode, Message, StreamDelivery};
 /// Microseconds since the Unix epoch: the capture/delivery timestamp base.
 /// A wall clock (not a process-local [`std::time::Instant`]) so frames
 /// published by one process measure sane latencies when delivered in
-/// another.
-pub(crate) fn unix_micros() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_micros() as u64)
-        .unwrap_or(0)
-}
+/// another. Delegates to the workspace's single sanctioned clock module.
+pub(crate) use teeve_types::clock::unix_micros;
 
 /// The node's forwarding state, tagged with the plan revision it belongs
 /// to (matching `PlanDelta::from_revision`/`PlanDelta::to_revision`).
@@ -347,7 +342,7 @@ impl RpNode {
     pub fn bind(site: SiteId, read_timeout: Duration) -> io::Result<RpNode> {
         Self::bind_to(
             site,
-            "127.0.0.1:0".parse().expect("literal addr"),
+            SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0),
             read_timeout,
         )
     }

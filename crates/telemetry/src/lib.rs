@@ -19,10 +19,11 @@
 //!   rebuild-gate trips), dumped as JSON for postmortems on poisoned
 //!   fleets.
 //!
-//! The crate sits below every other workspace crate: it depends only on
-//! the vendored `serde`/`serde_json`/`parking_lot` shims and speaks raw
-//! integers (`u32` site indexes, `u64` revisions) rather than
-//! `teeve-types` identifiers.
+//! The crate sits near the bottom of the workspace: besides the vendored
+//! `serde`/`serde_json`/`parking_lot` shims it depends only on
+//! `teeve-types` (for the sanctioned [`teeve_types::clock`] wall-clock
+//! module), and speaks raw integers (`u32` site indexes, `u64` revisions)
+//! rather than `teeve-types` identifiers.
 //!
 //! # Examples
 //!
@@ -56,17 +57,4 @@ pub use recorder::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use snapshot::TelemetrySnapshot;
 
-/// Microseconds since the Unix epoch, for timestamping flight events
-/// across process boundaries. Saturates at zero if the clock is before
-/// the epoch.
-pub fn unix_micros() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
-        .unwrap_or(0)
-}
-
-/// Clamps a [`std::time::Duration`] to whole microseconds in `u64`.
-pub fn duration_micros(d: std::time::Duration) -> u64 {
-    d.as_micros().min(u128::from(u64::MAX)) as u64
-}
+pub use teeve_types::clock::{duration_micros, unix_micros};

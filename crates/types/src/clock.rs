@@ -1,0 +1,57 @@
+//! The single sanctioned wall-clock module for the workspace.
+//!
+//! Every crate that needs an absolute timestamp — frame capture stamps in
+//! `teeve-net`, flight-event stamps in `teeve-telemetry` — goes through
+//! [`unix_micros`] instead of calling `std::time::SystemTime::now`
+//! directly. Funnelling wall-clock reads through one chokepoint is the
+//! groundwork for the roadmap's clock-skew handling: a future skew
+//! estimator only has to adjust one function, and `teeve-check`'s `clock`
+//! lint rejects any new `SystemTime::now` call outside this module.
+//!
+//! Elapsed-time measurement is *not* this module's business: intervals
+//! should keep using the monotonic [`std::time::Instant`], which is immune
+//! to wall-clock steps. Only cross-process timestamps belong here.
+
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Microseconds since the Unix epoch.
+///
+/// Saturates at zero if the wall clock reads before the epoch and at
+/// `u64::MAX` far past it (year ~586,912), so callers never see an error
+/// for something as routine as reading the time.
+///
+/// ```
+/// let a = teeve_types::clock::unix_micros();
+/// let b = teeve_types::clock::unix_micros();
+/// // The wall clock can step backwards between calls, but both reads are
+/// // well past the epoch on any sane host.
+/// assert!(a > 0 && b > 0);
+/// ```
+pub fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(duration_micros)
+        .unwrap_or(0)
+}
+
+/// Clamps a [`Duration`] to whole microseconds in `u64`.
+pub fn duration_micros(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_micros_is_past_2020() {
+        // 2020-01-01T00:00:00Z in micros.
+        assert!(unix_micros() > 1_577_836_800_000_000);
+    }
+
+    #[test]
+    fn duration_micros_clamps() {
+        assert_eq!(duration_micros(Duration::from_micros(7)), 7);
+        assert_eq!(duration_micros(Duration::MAX), u64::MAX);
+    }
+}

@@ -21,6 +21,8 @@
 //!   shared by the adaptation controller, the overlay's degrade-don't-
 //!   reject admission path, dissemination plan entries, and the wire
 //!   protocol.
+//! * [`clock`] — the single sanctioned wall-clock module; all absolute
+//!   timestamps in the workspace come from [`clock::unix_micros`].
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 mod id;
 mod matrix;
 mod quality;
