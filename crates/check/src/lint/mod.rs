@@ -14,6 +14,7 @@
 //!   (`<rule> <path-substring> <line-snippet>`), the reviewable home for
 //!   grandfathered sites and sanctioned modules.
 
+mod locks;
 mod rules;
 mod source;
 
@@ -22,6 +23,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+pub use locks::{
+    run_locks_rules, LOCK_RULES, RULE_LOCK_BLOCKING, RULE_LOCK_DOUBLE, RULE_LOCK_ORDER,
+};
 pub use rules::{
     run_all, ALL_RULES, RULE_CLOCK, RULE_DECODE_BOUNDS, RULE_NET_NO_PANIC, RULE_STD_SYNC,
     RULE_WIRE_PARITY,
@@ -145,6 +149,34 @@ pub struct LintReport {
     pub files_scanned: usize,
 }
 
+/// Filters raw findings through in-line suppressions and the allowlist,
+/// producing the report both lint passes share.
+fn filter_report(files: &[SourceFile], entries: &[AllowEntry], raw: Vec<Finding>) -> LintReport {
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for finding in raw {
+        let file = files.iter().find(|f| f.rel == finding.path);
+        let silenced = file
+            .is_some_and(|f| suppressed_inline(f, &finding) || allowlisted(entries, f, &finding));
+        if silenced {
+            suppressed += 1;
+        } else {
+            findings.push(finding);
+        }
+    }
+    LintReport {
+        findings,
+        suppressed,
+        files_scanned: files.len(),
+    }
+}
+
+fn load_allowlist(root: &Path) -> Vec<AllowEntry> {
+    let allow_text =
+        fs::read_to_string(root.join("crates/check/teeve-check.allow")).unwrap_or_default();
+    parse_allowlist(&allow_text)
+}
+
 /// Runs the full lint pass over the workspace at `root`, loading the
 /// allowlist from `crates/check/teeve-check.allow` when present.
 ///
@@ -153,27 +185,23 @@ pub struct LintReport {
 /// Propagates I/O errors from walking or reading sources.
 pub fn run_lint(root: &Path) -> io::Result<LintReport> {
     let files = collect_sources(root)?;
-    let allow_text =
-        fs::read_to_string(root.join("crates/check/teeve-check.allow")).unwrap_or_default();
-    let entries = parse_allowlist(&allow_text);
+    let entries = load_allowlist(root);
     let raw = run_all(&files);
-    let mut findings = Vec::new();
-    let mut suppressed = 0usize;
-    for finding in raw {
-        let file = files.iter().find(|f| f.rel == finding.path);
-        let silenced = file
-            .is_some_and(|f| suppressed_inline(f, &finding) || allowlisted(&entries, f, &finding));
-        if silenced {
-            suppressed += 1;
-        } else {
-            findings.push(finding);
-        }
-    }
-    Ok(LintReport {
-        findings,
-        suppressed,
-        files_scanned: files.len(),
-    })
+    Ok(filter_report(&files, &entries, raw))
+}
+
+/// Runs the lock-discipline pass (see [`locks`](self)) over the
+/// workspace at `root`, with the same suppression and allowlist workflow
+/// as [`run_lint`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading sources.
+pub fn run_locks(root: &Path) -> io::Result<LintReport> {
+    let files = collect_sources(root)?;
+    let entries = load_allowlist(root);
+    let raw = run_locks_rules(&files);
+    Ok(filter_report(&files, &entries, raw))
 }
 
 #[cfg(test)]

@@ -135,6 +135,43 @@ fn message_variants(wire: &SourceFile) -> Vec<(String, usize)> {
     variants
 }
 
+/// Extracts the field names of `pub struct <name>` by brace-depth
+/// tracking (fields sit at depth 1 of the struct body).
+fn struct_fields(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let marker = format!("pub struct {name}");
+    let mut fields = Vec::new();
+    let Some(start) = file.clean_lines.iter().position(|l| l.contains(&marker)) else {
+        return fields;
+    };
+    let mut depth = 0i64;
+    let mut opened = false;
+    for (idx, line) in file.clean_lines.iter().enumerate().skip(start) {
+        if opened && depth == 1 {
+            let trimmed = line.trim_start().trim_start_matches("pub ");
+            if let Some(colon) = trimmed.find(':') {
+                let field = trimmed[..colon].trim();
+                if !field.is_empty() && field.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    fields.push((field.to_owned(), idx + 1));
+                }
+            }
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    fields
+}
+
 /// Returns the clean text of the body of the first `fn <name>` in `file`
 /// (brace-matched), or `None` when absent.
 fn fn_body(file: &SourceFile, name: &str) -> Option<String> {
@@ -171,7 +208,10 @@ fn fn_body(file: &SourceFile, name: &str) -> Option<String> {
 }
 
 /// `wire-parity`: every `Message` variant appears in `fn encode`, in
-/// `fn decode`, and in the wire proptest strategy file.
+/// `fn decode`, and in the wire proptest strategy file — and the
+/// `StatsReport` sparse-histogram sub-codec keeps the same three-way
+/// parity for every `StreamDelivery` field, including the histogram's
+/// sparse representation itself.
 pub fn wire_parity(files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let Some(wire) = files.iter().find(|f| f.rel == "crates/net/src/wire.rs") else {
@@ -209,6 +249,55 @@ pub fn wire_parity(files: &[SourceFile]) -> Vec<Finding> {
                     format!("`{path}` is missing from {region}"),
                 ));
             }
+        }
+    }
+
+    // The StatsReport sub-codec: every StreamDelivery field must survive
+    // the encoder, the decoder, and the proptest strategy, so a stats
+    // field cannot be added half-way either.
+    let fields = struct_fields(wire, "StreamDelivery");
+    if fields.is_empty() {
+        findings.push(Finding::new(
+            RULE_WIRE_PARITY,
+            &wire.rel,
+            1,
+            "could not locate `pub struct StreamDelivery` fields".to_owned(),
+        ));
+        return findings;
+    }
+    let struct_line = fields[0].1;
+    for (field, line) in fields {
+        for (region, text) in [
+            ("fn encode", &encode),
+            ("fn decode", &decode),
+            ("the wire proptest strategy", &strategy),
+        ] {
+            if !contains_word(text, &field) {
+                findings.push(Finding::new(
+                    RULE_WIRE_PARITY,
+                    &wire.rel,
+                    line,
+                    format!("`StreamDelivery::{field}` is missing from {region}"),
+                ));
+            }
+        }
+    }
+    // The histogram must travel via its sparse representation on both
+    // sides, and the strategy must exercise a real LogHistogram — a
+    // dense or hand-rolled re-encoding would silently drift.
+    for (token, region, text) in [
+        ("nonzero_buckets", "fn encode", &encode),
+        ("from_parts", "fn decode", &decode),
+        ("BUCKETS", "fn decode", &decode),
+        ("LogHistogram", "the wire proptest strategy", &strategy),
+    ] {
+        if !contains_word(text, token) {
+            findings.push(Finding::new(
+                RULE_WIRE_PARITY,
+                &wire.rel,
+                struct_line,
+                format!("the sparse-histogram sub-codec marker `{token}` is missing from {region}"),
+            ));
         }
     }
     findings
@@ -363,21 +452,74 @@ mod tests {
         assert!(net_no_panic(&files).is_empty());
     }
 
+    /// A minimal wire module + strategy that satisfies both the variant
+    /// and the StreamDelivery sub-codec checks.
+    fn parity_fixture() -> (String, String) {
+        let wire = "pub struct StreamDelivery {\n    pub delivered: u64,\n    \
+                    pub latency: LogHistogram,\n}\n\
+                    pub enum Message {\n    Hello { site: u32 },\n    Bye,\n}\n\
+                    pub fn encode(m: &Message) { match m { Message::Hello{..} => (), \
+                    Message::Bye => () }\n    \
+                    let _ = (entry.delivered, entry.latency.nonzero_buckets()); }\n\
+                    pub fn decode() { let _ = Message::Hello { site: 0 };\n    \
+                    let _ = Message::Bye;\n    if nonzero > BUCKETS { }\n    \
+                    StreamDelivery { delivered, latency: LogHistogram::from_parts(&p, s, lo, hi) } }\n";
+        let strategy = "fn arb() { (Message::Hello { site: 1 }, Message::Bye); \
+                        StreamDelivery { delivered: 1, latency: LogHistogram::new() } }";
+        (wire.to_owned(), strategy.to_owned())
+    }
+
+    #[test]
+    fn wire_parity_passes_the_compliant_fixture() {
+        let (wire, strategy) = parity_fixture();
+        let files = vec![
+            fake_file("crates/net/src/wire.rs", &wire),
+            fake_file("crates/net/tests/proptest_wire.rs", &strategy),
+        ];
+        assert_eq!(wire_parity(&files), vec![], "fixture should be clean");
+    }
+
     #[test]
     fn wire_parity_catches_a_variant_missing_from_decode() {
-        let wire = "pub enum Message {\n    Hello { site: u32 },\n    Bye,\n}\n\
-                    pub fn encode(m: &Message) { match m { Message::Hello{..} => (), \
-                    Message::Bye => () } }\n\
-                    pub fn decode() { let _ = Message::Hello { site: 0 }; }\n";
-        let strategy = "fn arb() { (Message::Hello { site: 1 }, Message::Bye); }";
+        let (wire, strategy) = parity_fixture();
+        let wire = wire.replace("let _ = Message::Bye;\n", "");
         let files = vec![
-            fake_file("crates/net/src/wire.rs", wire),
-            fake_file("crates/net/tests/proptest_wire.rs", strategy),
+            fake_file("crates/net/src/wire.rs", &wire),
+            fake_file("crates/net/tests/proptest_wire.rs", &strategy),
         ];
         let findings = wire_parity(&files);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("Message::Bye"));
         assert!(findings[0].message.contains("fn decode"));
+    }
+
+    #[test]
+    fn wire_parity_catches_a_delivery_field_missing_from_the_strategy() {
+        let (wire, strategy) = parity_fixture();
+        let strategy = strategy.replace("delivered: 1,", "");
+        let files = vec![
+            fake_file("crates/net/src/wire.rs", &wire),
+            fake_file("crates/net/tests/proptest_wire.rs", &strategy),
+        ];
+        let findings = wire_parity(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0]
+            .message
+            .contains("`StreamDelivery::delivered` is missing from the wire proptest strategy"));
+    }
+
+    #[test]
+    fn wire_parity_requires_the_sparse_histogram_markers() {
+        let (wire, strategy) = parity_fixture();
+        let wire = wire.replace(".nonzero_buckets()", ".dense_buckets()");
+        let files = vec![
+            fake_file("crates/net/src/wire.rs", &wire),
+            fake_file("crates/net/tests/proptest_wire.rs", &strategy),
+        ];
+        let findings = wire_parity(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("nonzero_buckets"));
+        assert!(findings[0].message.contains("fn encode"));
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! CLI for the `teeve-check` gate:
-//! `cargo run --release -p teeve-check -- <lint|model|all>`.
+//! `cargo run --release -p teeve-check -- <lint|locks|model|all> [--json <path>] [--resync]`.
 //!
-//! Exit status 0 means the gate passed; 1 means lint findings survived
-//! suppression/allowlisting, an invariant violation was found, a seeded
-//! mutation went undetected, or the exploration was truncated; 2 means
-//! usage error.
+//! Exit status 0 means the gate passed; 1 means lint/lock findings
+//! survived suppression/allowlisting, an invariant violation was found,
+//! a seeded mutation went undetected, or the exploration was truncated;
+//! 2 means usage error.
+//!
+//! `--json <path>` (lint/locks/all) additionally writes the surviving
+//! findings as a JSON document for CI annotation tooling. `--resync`
+//! (model/all) restricts the model sweep to the coordinator-crash scopes
+//! and the resync mutations — the timeboxed CI step.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use teeve_check::lint;
+use teeve_check::lint::{self, LintReport};
 use teeve_check::model::{self, ModelReport, Mutation};
 
 fn workspace_root() -> PathBuf {
@@ -21,16 +26,7 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
 }
 
-fn run_lint() -> bool {
-    let root = workspace_root();
-    println!("teeve-check lint: scanning {}", root.display());
-    let report = match lint::run_lint(&root) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("lint failed to scan sources: {e}");
-            return false;
-        }
-    };
+fn print_lint_report(label: &str, report: &LintReport) -> bool {
     println!(
         "  {} files scanned, {} finding(s), {} suppressed/allowlisted",
         report.files_scanned,
@@ -41,15 +37,91 @@ fn run_lint() -> bool {
         println!("  {finding}");
     }
     if report.findings.is_empty() {
-        println!("lint: PASS");
+        println!("{label}: PASS");
         true
     } else {
         println!(
-            "lint: FAIL — fix the sites above, add `// teeve-check: allow(<rule>)`, or \
+            "{label}: FAIL — fix the sites above, add `// teeve-check: allow(<rule>)`, or \
              allowlist them in crates/check/teeve-check.allow (see crates/check/README.md)"
         );
         false
     }
+}
+
+fn run_lint() -> Option<LintReport> {
+    let root = workspace_root();
+    println!("teeve-check lint: scanning {}", root.display());
+    match lint::run_lint(&root) {
+        Ok(report) => Some(report),
+        Err(e) => {
+            eprintln!("lint failed to scan sources: {e}");
+            None
+        }
+    }
+}
+
+fn run_locks() -> Option<LintReport> {
+    let root = workspace_root();
+    println!(
+        "teeve-check locks: lock-discipline analysis of {}",
+        root.display()
+    );
+    match lint::run_locks(&root) {
+        Ok(report) => Some(report),
+        Err(e) => {
+            eprintln!("locks failed to scan sources: {e}");
+            None
+        }
+    }
+}
+
+/// Minimal JSON string escaping (the findings contain no exotic content,
+/// but backticks, quotes, and backslashes must survive).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the lint/locks reports as the CI annotation document:
+/// one object per pass with its counts and surviving findings.
+fn reports_to_json(reports: &[(&str, &LintReport)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (label, report)) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {{\n    \"files_scanned\": {},\n    \"suppressed\": {},\n    \
+             \"findings\": [\n",
+            json_escape(label),
+            report.files_scanned,
+            report.suppressed
+        ));
+        for (j, f) in report.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                json_escape(f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message),
+                if j + 1 < report.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]\n  }}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push('}');
+    out.push('\n');
+    out
 }
 
 fn print_report(label: &str, report: &ModelReport, elapsed_ms: u128) {
@@ -61,14 +133,21 @@ fn print_report(label: &str, report: &ModelReport, elapsed_ms: u128) {
     );
 }
 
-fn run_model() -> bool {
-    println!("teeve-check model: exhaustive dictation-protocol check");
+fn run_model(resync_only: bool) -> bool {
+    if resync_only {
+        println!("teeve-check model: reconnect/resync scopes only");
+    } else {
+        println!("teeve-check model: exhaustive dictation-protocol check");
+    }
     let mut ok = true;
     let mut total_states = 0usize;
     let mut total_transitions = 0u64;
 
     println!("healthy machine across bounded scopes:");
-    for cfg in model::default_sweep() {
+    let sweep = model::default_sweep()
+        .into_iter()
+        .filter(|cfg| !resync_only || cfg.reconnects > 0);
+    for cfg in sweep {
         let start = Instant::now();
         let report = model::explore(&cfg, Mutation::None);
         print_report(&cfg.describe(), &report, start.elapsed().as_millis());
@@ -89,7 +168,11 @@ fn run_model() -> bool {
     println!("total: {total_states} deduplicated states, {total_transitions} transitions");
 
     println!("seeded-mutation self-tests (each must be caught):");
-    for &mutation in model::MUTATIONS {
+    let mutations = model::MUTATIONS
+        .iter()
+        .copied()
+        .filter(|m| !resync_only || model::mutation_scope(*m).reconnects > 0);
+    for mutation in mutations {
         let cfg = model::mutation_scope(mutation);
         let start = Instant::now();
         let report = model::explore(&cfg, mutation);
@@ -127,21 +210,64 @@ fn run_model() -> bool {
     ok
 }
 
+fn usage() -> ExitCode {
+    eprintln!("usage: teeve-check <lint|locks|model|all> [--json <path>] [--resync]");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
-    let mode = std::env::args().nth(1).unwrap_or_default();
-    let ok = match mode.as_str() {
-        "lint" => run_lint(),
-        "model" => run_model(),
-        "all" => {
-            let lint_ok = run_lint();
-            let model_ok = run_model();
-            lint_ok && model_ok
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().cloned() else {
+        return usage();
+    };
+    let mut json_path: Option<PathBuf> = None;
+    let mut resync_only = false;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--json" => match rest.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage(),
+            },
+            "--resync" => resync_only = true,
+            _ => return usage(),
         }
-        _ => {
-            eprintln!("usage: teeve-check <lint|model|all>");
-            return ExitCode::from(2);
+    }
+
+    let mut reports: Vec<(&str, LintReport)> = Vec::new();
+    let mut ok = true;
+    let absorb = |label: &'static str,
+                  report: Option<LintReport>,
+                  reports: &mut Vec<(&str, LintReport)>,
+                  ok: &mut bool| {
+        match report {
+            Some(report) => {
+                *ok &= print_lint_report(label, &report);
+                reports.push((label, report));
+            }
+            None => *ok = false,
         }
     };
+    match mode.as_str() {
+        "lint" => absorb("lint", run_lint(), &mut reports, &mut ok),
+        "locks" => absorb("locks", run_locks(), &mut reports, &mut ok),
+        "model" => ok = run_model(resync_only),
+        "all" => {
+            absorb("lint", run_lint(), &mut reports, &mut ok);
+            absorb("locks", run_locks(), &mut reports, &mut ok);
+            ok &= run_model(resync_only);
+        }
+        _ => return usage(),
+    }
+    if let Some(path) = json_path {
+        let borrowed: Vec<(&str, &LintReport)> = reports.iter().map(|(l, r)| (*l, r)).collect();
+        if let Err(e) = std::fs::write(&path, reports_to_json(&borrowed)) {
+            eprintln!("failed to write JSON findings to {}: {e}", path.display());
+            ok = false;
+        } else {
+            println!("JSON findings written to {}", path.display());
+        }
+    }
     if ok {
         ExitCode::SUCCESS
     } else {

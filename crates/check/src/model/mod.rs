@@ -16,13 +16,29 @@
 //! * an unfinished ack barrier may time out at any moment, **poisoning**
 //!   the coordinator: no further dictation, ever.
 //!
+//! Scopes with a reconnect budget ([`ModelConfig::with_crash`]) add rung
+//! 1 of the resilience ladder — modeled *before* it is built, so the
+//! reconnect implementation has a verified shape to conform to:
+//!
+//! * the coordinator may **crash** at any moment, killing its sockets:
+//!   coordinator-inbound messages in flight (`Ack`, `ResyncReply`) are
+//!   lost, RP-inbound messages survive in kernel buffers, and RPs keep
+//!   forwarding on their last-applied table;
+//! * on **reconnect** the coordinator knows nothing: it queries every RP
+//!   (`ResyncQuery`/`ResyncReply`) to rebuild its view of the fleet;
+//! * once every RP has replied, the coordinator **re-dictates its
+//!   current revision as a fresh ack barrier** rather than trusting the
+//!   replies — a backlog `Reconfigure` delivered after a reply was sent
+//!   would otherwise silently invalidate the view;
+//! * the coordinator may not dictate while crashed or resyncing.
+//!
 //! Exploration is a breadth-first walk with exact state dedup (hashing
 //! canonicalized states); every transition and every discovered state is
-//! checked against the five protocol invariants, and the first violation
-//! is reported as a shortest-path counterexample trace. Each invariant
-//! has a seeded [`Mutation`] — a deliberate bug in the abstract machine —
-//! whose detection proves the checker can actually see that class of
-//! failure.
+//! checked against the eight protocol invariants (five dictation, three
+//! resync), and the first violation is reported as a shortest-path
+//! counterexample trace. Each invariant has a seeded [`Mutation`] — a
+//! deliberate bug in the abstract machine — whose detection proves the
+//! checker can actually see that class of failure.
 
 mod plans;
 
@@ -77,6 +93,19 @@ pub enum Mutation {
     /// The plan family reverses interior edges between consecutive
     /// revisions (breaks `acyclic-forwarding`).
     EdgeReversal,
+    /// RPs stop forwarding the moment the coordinator connection dies,
+    /// instead of serving their last-applied table through the outage
+    /// (breaks `resync-continuity`).
+    DisconnectWipe,
+    /// The reconnected coordinator trusts its resync replies outright —
+    /// no re-dictation barrier — so an in-flight pre-crash `Reconfigure`
+    /// can invalidate its view after the reply was sent (breaks
+    /// `resync-view`).
+    ResyncSkip,
+    /// The reconnected coordinator resumes from the *minimum* revision
+    /// its resync replies report, rolling its dictation watermark back
+    /// (breaks `reconnect-regression`).
+    ReconnectRewind,
 }
 
 /// Every seeded mutation, in invariant order.
@@ -86,6 +115,9 @@ pub const MUTATIONS: &[Mutation] = &[
     Mutation::DictateAfterPoison,
     Mutation::QualityUpgrade,
     Mutation::EdgeReversal,
+    Mutation::DisconnectWipe,
+    Mutation::ResyncSkip,
+    Mutation::ReconnectRewind,
 ];
 
 impl Mutation {
@@ -98,6 +130,9 @@ impl Mutation {
             Mutation::DictateAfterPoison => "poison-absorbing",
             Mutation::QualityUpgrade => "quality-monotone",
             Mutation::EdgeReversal => "acyclic-forwarding",
+            Mutation::DisconnectWipe => "resync-continuity",
+            Mutation::ResyncSkip => "resync-view",
+            Mutation::ReconnectRewind => "reconnect-regression",
         }
     }
 }
@@ -122,6 +157,9 @@ pub struct ModelConfig {
     pub duplicates: bool,
     /// Total duplication budget per run (bounds the state space).
     pub max_dups: u8,
+    /// How many times the coordinator may crash and reconnect (0 keeps
+    /// the legacy crash-free machine and its exact state space).
+    pub reconnects: u8,
     /// Exploration safety valve; hitting it marks the report truncated.
     pub max_states: usize,
 }
@@ -135,6 +173,7 @@ impl ModelConfig {
             drops: false,
             duplicates: false,
             max_dups: 2,
+            reconnects: 0,
             max_states: 2_000_000,
         }
     }
@@ -151,6 +190,12 @@ impl ModelConfig {
         self
     }
 
+    /// Enables coordinator crash/reconnect with the given budget.
+    pub fn with_crash(mut self, reconnects: u8) -> ModelConfig {
+        self.reconnects = reconnects;
+        self
+    }
+
     /// A one-line description for progress output.
     pub fn describe(&self) -> String {
         let mut faults = Vec::new();
@@ -159,6 +204,9 @@ impl ModelConfig {
         }
         if self.duplicates {
             faults.push("dup");
+        }
+        if self.reconnects > 0 {
+            faults.push("crash");
         }
         if faults.is_empty() {
             faults.push("reorder-only");
@@ -180,6 +228,10 @@ enum Msg {
     Reconfigure { dst: u8, rev: u8 },
     /// RP -> coordinator: `src` runs (at least) `rev`.
     Ack { src: u8, rev: u8 },
+    /// Reconnected coordinator -> RP: report your applied revision.
+    ResyncQuery { dst: u8 },
+    /// RP -> coordinator: `src` currently runs `rev`.
+    ResyncReply { src: u8, rev: u8 },
 }
 
 impl fmt::Display for Msg {
@@ -187,6 +239,8 @@ impl fmt::Display for Msg {
         match self {
             Msg::Reconfigure { dst, rev } => write!(f, "Reconfigure(rev {rev}) to rp{dst}"),
             Msg::Ack { src, rev } => write!(f, "Ack(rev {rev}) from rp{src}"),
+            Msg::ResyncQuery { dst } => write!(f, "ResyncQuery to rp{dst}"),
+            Msg::ResyncReply { src, rev } => write!(f, "ResyncReply(rev {rev}) from rp{src}"),
         }
     }
 }
@@ -212,6 +266,22 @@ struct State {
     post_poison_dictations: u8,
     /// Duplication budget consumed.
     dups_used: u8,
+    /// Coordinator connection is down (its sockets are dead).
+    crashed: bool,
+    /// The reconnected coordinator is still collecting resync replies.
+    resyncing: bool,
+    /// Coordinator's post-resync view of each RP's revision (`None`
+    /// until that RP's reply arrives; updated by later acks).
+    view: Vec<Option<u8>>,
+    /// Crash/reconnect budget consumed.
+    reconnects_used: u8,
+    /// Per-RP data plane still forwarding (the `resync-continuity`
+    /// invariant says this stays all-true through coordinator absence).
+    serving: Vec<bool>,
+    /// High-water mark of [`State::dictated`] (the
+    /// `reconnect-regression` invariant says `dictated` never falls
+    /// below it).
+    max_dictated: u8,
     /// Messages in flight (sorted multiset).
     net: Vec<Msg>,
 }
@@ -227,6 +297,12 @@ impl State {
             poisoned: false,
             post_poison_dictations: 0,
             dups_used: 0,
+            crashed: false,
+            resyncing: false,
+            view: vec![None; cfg.rps],
+            reconnects_used: 0,
+            serving: vec![true; cfg.rps],
+            max_dictated: 0,
             net: Vec::new(),
         }
     }
@@ -247,8 +323,23 @@ impl State {
 
     fn summary(&self) -> String {
         let net: Vec<String> = self.net.iter().map(Msg::to_string).collect();
+        let crash = if self.reconnects_used > 0 || self.crashed {
+            let view: Vec<String> = self
+                .view
+                .iter()
+                .map(|v| v.map_or("?".to_owned(), |r| r.to_string()))
+                .collect();
+            format!(
+                ", crashed {}, resyncing {}, view [{}]",
+                self.crashed,
+                self.resyncing,
+                view.join(", ")
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "rp revisions {:?}, dictated {}, acked {:?}, poisoned {}, in flight [{}]",
+            "rp revisions {:?}, dictated {}, acked {:?}, poisoned {}{crash}, in flight [{}]",
             self.rp_rev,
             self.dictated,
             self.acked,
@@ -261,7 +352,7 @@ impl State {
 /// An invariant violation, before trace reconstruction.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Which of the five invariants broke.
+    /// Which of the eight invariants broke.
     pub invariant: &'static str,
     /// What exactly went wrong.
     pub detail: String,
@@ -321,16 +412,36 @@ fn successors(cfg: &ModelConfig, mutation: Mutation, s: &State) -> Vec<Succ> {
     // Dictate the next revision once the previous barrier completed. The
     // DictateAfterPoison mutant treats a poisoned (abandoned) barrier as
     // license to continue — the exact bug poisoning exists to prevent.
+    // A crashed or still-resyncing coordinator may not dictate at all.
     let next_rev = s.dictated + 1;
-    if next_rev <= cfg.revisions {
+    if next_rev <= cfg.revisions && !s.crashed && !s.resyncing {
         let barrier_open = if mutation == Mutation::DictateAfterPoison {
             s.all_acked() || s.poisoned
         } else {
             s.all_acked() && !s.poisoned
         };
         if barrier_open {
+            // After a reconnect the coordinator may only dictate on a
+            // view that matches reality — the `resync-view` invariant.
+            let view_violation = (s.reconnects_used > 0)
+                .then(|| {
+                    (0..cfg.rps).find_map(|i| {
+                        (s.view[i] != Some(s.rp_rev[i])).then(|| Violation {
+                            invariant: "resync-view",
+                            detail: format!(
+                                "coordinator dictated revision {next_rev} while its \
+                                 post-resync view of rp{i} ({}) disagrees with the real \
+                                 revision {}",
+                                s.view[i].map_or("unknown".to_owned(), |v| v.to_string()),
+                                s.rp_rev[i]
+                            ),
+                        })
+                    })
+                })
+                .flatten();
             let mut n = s.clone();
             n.dictated = next_rev;
+            n.max_dictated = n.max_dictated.max(next_rev);
             n.acked = vec![false; cfg.rps];
             for dst in 0..cfg.rps {
                 n.net.push(Msg::Reconfigure {
@@ -345,14 +456,16 @@ fn successors(cfg: &ModelConfig, mutation: Mutation, s: &State) -> Vec<Succ> {
             out.push(Succ {
                 action: format!("Dictate revision {next_rev} (Reconfigure to every RP)"),
                 state: n,
-                violation: None,
+                violation: view_violation,
             });
         }
     }
 
     // An unfinished barrier may time out at any moment (timeouts race
-    // with in-flight messages), poisoning the coordinator.
-    if !s.poisoned && s.dictated > 0 && !s.all_acked() {
+    // with in-flight messages), poisoning the coordinator. No timeout
+    // runs while the coordinator is down or mid-resync (the reconnect
+    // path resets the barrier itself).
+    if !s.poisoned && s.dictated > 0 && !s.all_acked() && !s.crashed && !s.resyncing {
         let mut n = s.clone();
         n.poisoned = true;
         out.push(Succ {
@@ -360,6 +473,102 @@ fn successors(cfg: &ModelConfig, mutation: Mutation, s: &State) -> Vec<Succ> {
             state: n,
             violation: None,
         });
+    }
+
+    // The coordinator connection may die at any moment (within budget).
+    // Its sockets go with it: coordinator-inbound messages in flight are
+    // lost; RP-inbound messages survive in the RPs' kernel buffers. The
+    // DisconnectWipe mutant also stops the RP data planes — the exact
+    // bug `resync-continuity` exists to catch.
+    if !s.crashed && !s.poisoned && s.reconnects_used < cfg.reconnects {
+        let mut n = s.clone();
+        n.crashed = true;
+        n.resyncing = false;
+        n.reconnects_used += 1;
+        n.net
+            .retain(|m| matches!(m, Msg::Reconfigure { .. } | Msg::ResyncQuery { .. }));
+        if mutation == Mutation::DisconnectWipe {
+            n.serving = vec![false; cfg.rps];
+        }
+        out.push(Succ {
+            action: "Crash (coordinator connection lost)".to_owned(),
+            state: n,
+            violation: None,
+        });
+    }
+
+    // Reconnect: the coordinator remembers its dictation watermark but
+    // knows nothing about the fleet — it opens a resync round, querying
+    // every RP before it may dictate again.
+    if s.crashed {
+        let mut n = s.clone();
+        n.crashed = false;
+        n.resyncing = true;
+        n.view = vec![None; cfg.rps];
+        n.acked = vec![false; cfg.rps];
+        for dst in 0..cfg.rps {
+            n.net.push(Msg::ResyncQuery { dst: dst as u8 });
+        }
+        n.normalize();
+        out.push(Succ {
+            action: "Reconnect (resync queries to every RP)".to_owned(),
+            state: n,
+            violation: None,
+        });
+    }
+
+    // Resync completes once every RP has replied. The faithful machine
+    // re-dictates its current revision as a fresh ack barrier — a reply
+    // only describes the RP at the moment it was sent, and a backlog
+    // `Reconfigure` may land after it. The ResyncSkip mutant trusts the
+    // replies outright; the ReconnectRewind mutant resumes from the
+    // minimum replied revision, rolling the watermark back.
+    if s.resyncing && s.view.iter().all(Option::is_some) {
+        let mut n = s.clone();
+        n.resyncing = false;
+        match mutation {
+            Mutation::ResyncSkip => {
+                n.acked = vec![true; cfg.rps];
+                out.push(Succ {
+                    action: "Resync complete (trust replies, no re-dictation)".to_owned(),
+                    state: n,
+                    violation: None,
+                });
+            }
+            Mutation::ReconnectRewind => {
+                let floor = n.view.iter().map(|v| v.unwrap_or(0)).min().unwrap_or(0);
+                n.dictated = floor;
+                n.acked = vec![false; cfg.rps];
+                for dst in 0..cfg.rps {
+                    n.net.push(Msg::Reconfigure {
+                        dst: dst as u8,
+                        rev: floor,
+                    });
+                }
+                n.normalize();
+                out.push(Succ {
+                    action: format!("Resync complete (rewind to revision {floor})"),
+                    state: n,
+                    violation: None,
+                });
+            }
+            _ => {
+                let rev = n.dictated;
+                n.acked = vec![false; cfg.rps];
+                for dst in 0..cfg.rps {
+                    n.net.push(Msg::Reconfigure {
+                        dst: dst as u8,
+                        rev,
+                    });
+                }
+                n.normalize();
+                out.push(Succ {
+                    action: format!("Resync complete (re-dictate revision {rev} as the barrier)"),
+                    state: n,
+                    violation: None,
+                });
+            }
+        }
     }
 
     // Deliver / drop / duplicate each distinct in-flight message.
@@ -391,10 +600,15 @@ fn successors(cfg: &ModelConfig, mutation: Mutation, s: &State) -> Vec<Succ> {
                 } else {
                     rev
                 };
-                n.net.push(Msg::Ack {
-                    src: dst,
-                    rev: ack_rev,
-                });
+                // The ack rides the coordinator connection — while the
+                // coordinator is down there is nowhere to send it. The
+                // post-resync re-dictation barrier recovers the loss.
+                if !s.crashed {
+                    n.net.push(Msg::Ack {
+                        src: dst,
+                        rev: ack_rev,
+                    });
+                }
                 n.normalize();
                 let violation = (n.rp_rev[d] < before).then(|| Violation {
                     invariant: "revision-monotone",
@@ -428,10 +642,50 @@ fn successors(cfg: &ModelConfig, mutation: Mutation, s: &State) -> Vec<Succ> {
                 if rev == n.dictated {
                     n.acked[r] = true;
                 }
+                // An ack also refreshes the post-resync view: the RP
+                // provably runs (at least) `rev` now.
+                if let Some(v) = n.view[r] {
+                    n.view[r] = Some(v.max(rev));
+                }
                 out.push(Succ {
                     action: format!("Deliver {msg}"),
                     state: n,
                     violation,
+                });
+            }
+            Msg::ResyncQuery { dst } => {
+                let d = dst as usize;
+                let mut n = s.clone();
+                n.remove(msg);
+                // The RP answers with its applied revision; if the
+                // coordinator crashed again meanwhile, the reply has
+                // nowhere to go.
+                if !s.crashed {
+                    n.net.push(Msg::ResyncReply {
+                        src: dst,
+                        rev: s.rp_rev[d],
+                    });
+                }
+                n.normalize();
+                out.push(Succ {
+                    action: format!("Deliver {msg}"),
+                    state: n,
+                    violation: None,
+                });
+            }
+            Msg::ResyncReply { src, rev } => {
+                let r = src as usize;
+                let mut n = s.clone();
+                n.remove(msg);
+                // Replies only matter mid-resync; a straggler from an
+                // aborted round is ignored.
+                if s.resyncing {
+                    n.view[r] = Some(n.view[r].unwrap_or(0).max(rev));
+                }
+                out.push(Succ {
+                    action: format!("Deliver {msg}"),
+                    state: n,
+                    violation: None,
                 });
             }
         }
@@ -461,8 +715,9 @@ fn successors(cfg: &ModelConfig, mutation: Mutation, s: &State) -> Vec<Succ> {
     out
 }
 
-/// Checks the state-shape invariants (poison absorption and the two
-/// table invariants over the mixed-revision forwarding graph).
+/// Checks the state-shape invariants (poison absorption, the two resync
+/// invariants, and the two table invariants over the mixed-revision
+/// forwarding graph).
 fn state_violation(mutation: Mutation, s: &State) -> Option<Violation> {
     if s.post_poison_dictations > 0 {
         return Some(Violation {
@@ -470,6 +725,24 @@ fn state_violation(mutation: Mutation, s: &State) -> Option<Violation> {
             detail: format!(
                 "coordinator dictated {} time(s) after poisoning",
                 s.post_poison_dictations
+            ),
+        });
+    }
+    if let Some(i) = s.serving.iter().position(|&sv| !sv) {
+        return Some(Violation {
+            invariant: "resync-continuity",
+            detail: format!(
+                "rp{i} stopped forwarding during coordinator absence instead of serving \
+                 its last-applied table"
+            ),
+        });
+    }
+    if s.dictated < s.max_dictated {
+        return Some(Violation {
+            invariant: "reconnect-regression",
+            detail: format!(
+                "coordinator's dictation watermark regressed from {} to {} across reconnect",
+                s.max_dictated, s.dictated
             ),
         });
     }
@@ -575,6 +848,12 @@ pub fn default_sweep() -> Vec<ModelConfig> {
         ModelConfig::new(4, 2),
         ModelConfig::new(4, 2).with_drops(),
         ModelConfig::new(4, 3),
+        // Rung 1 of the resilience ladder: coordinator crash/reconnect.
+        ModelConfig::new(2, 2).with_crash(1),
+        ModelConfig::new(2, 2).with_crash(1).with_drops(),
+        ModelConfig::new(2, 2).with_crash(1).with_duplicates(),
+        ModelConfig::new(3, 2).with_crash(1),
+        ModelConfig::new(2, 3).with_crash(1),
     ]
 }
 
@@ -592,6 +871,14 @@ pub fn mutation_scope(mutation: Mutation) -> ModelConfig {
         Mutation::QualityUpgrade => ModelConfig::new(4, 2),
         // Needs an interior (non-origin) edge pair to reverse.
         Mutation::EdgeReversal => ModelConfig::new(3, 2),
+        // Caught at the crash transition itself.
+        Mutation::DisconnectWipe => ModelConfig::new(2, 2).with_crash(1),
+        // Needs the backlog race: a pre-crash Reconfigure delivered
+        // after that RP's resync reply was sent.
+        Mutation::ResyncSkip => ModelConfig::new(2, 2).with_crash(1),
+        // Needs one completed barrier before the crash so the replies
+        // can sit below the watermark.
+        Mutation::ReconnectRewind => ModelConfig::new(2, 2).with_crash(1),
     }
 }
 
@@ -648,5 +935,122 @@ mod tests {
         let b = explore(&cfg, Mutation::None);
         assert_eq!(a.states, b.states);
         assert_eq!(a.transitions, b.transitions);
+    }
+
+    #[test]
+    fn crash_scopes_hold_all_invariants_and_enlarge_the_space() {
+        let plain = explore(&ModelConfig::new(2, 2), Mutation::None);
+        for cfg in [
+            ModelConfig::new(2, 2).with_crash(1),
+            ModelConfig::new(2, 2).with_crash(1).with_drops(),
+            ModelConfig::new(2, 2).with_crash(1).with_duplicates(),
+        ] {
+            let report = explore(&cfg, Mutation::None);
+            assert!(report.violation.is_none(), "{:?}", report.violation);
+            assert!(!report.truncated);
+            assert!(
+                report.states > plain.states,
+                "crash scope explored no new states ({} vs {})",
+                report.states,
+                plain.states
+            );
+        }
+    }
+
+    #[test]
+    fn crash_free_scopes_keep_the_legacy_state_space() {
+        // The new fields are constant when reconnects = 0, so legacy
+        // scopes must dedup to exactly the same state count as a machine
+        // that never heard of crashes.
+        let report = explore(&ModelConfig::new(2, 2).with_drops(), Mutation::None);
+        let again = explore(
+            &ModelConfig::new(2, 2).with_drops().with_crash(0),
+            Mutation::None,
+        );
+        assert_eq!(report.states, again.states);
+    }
+
+    /// Drives one action by unique prefix, asserting it exists and
+    /// carries no violation.
+    fn step(cfg: &ModelConfig, s: &State, prefix: &str) -> State {
+        let succ = successors(cfg, Mutation::None, s)
+            .into_iter()
+            .find(|x| x.action.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no successor action starts with `{prefix}`"));
+        assert!(succ.violation.is_none(), "{:?}", succ.violation);
+        assert!(
+            state_violation(Mutation::None, &succ.state).is_none(),
+            "state violation after `{prefix}`"
+        );
+        succ.state
+    }
+
+    #[test]
+    fn the_healthy_crash_reconnect_resync_path_reaches_the_next_dictation() {
+        let cfg = ModelConfig::new(2, 2).with_crash(1);
+        let mut s = State::initial(&cfg);
+        for prefix in [
+            "Dictate revision 1",
+            "Deliver Reconfigure(rev 1) to rp0",
+            "Deliver Reconfigure(rev 1) to rp1",
+            "Deliver Ack(rev 1) from rp0",
+            "Deliver Ack(rev 1) from rp1",
+            "Crash",
+        ] {
+            s = step(&cfg, &s, prefix);
+        }
+        assert!(s.crashed);
+        // A crashed coordinator neither dictates nor times out barriers.
+        for succ in successors(&cfg, Mutation::None, &s) {
+            assert!(
+                !succ.action.starts_with("Dictate") && !succ.action.starts_with("Poison"),
+                "crashed coordinator acted: {}",
+                succ.action
+            );
+        }
+        s = step(&cfg, &s, "Reconnect");
+        assert!(s.resyncing);
+        assert_eq!(s.view, vec![None, None]);
+        for prefix in [
+            "Deliver ResyncQuery to rp0",
+            "Deliver ResyncQuery to rp1",
+            "Deliver ResyncReply(rev 1) from rp0",
+            "Deliver ResyncReply(rev 1) from rp1",
+        ] {
+            s = step(&cfg, &s, prefix);
+        }
+        assert_eq!(s.view, vec![Some(1), Some(1)]);
+        s = step(&cfg, &s, "Resync complete (re-dictate revision 1");
+        assert!(!s.resyncing);
+        assert_eq!(s.acked, vec![false, false]);
+        for prefix in [
+            "Deliver Reconfigure(rev 1) to rp0",
+            "Deliver Ack(rev 1) from rp0",
+            "Deliver Reconfigure(rev 1) to rp1",
+            "Deliver Ack(rev 1) from rp1",
+        ] {
+            s = step(&cfg, &s, prefix);
+        }
+        // The re-dictation barrier completed on a matching view — the
+        // coordinator may move the protocol forward again.
+        let s = step(&cfg, &s, "Dictate revision 2");
+        assert_eq!(s.dictated, 2);
+        assert_eq!(s.max_dictated, 2);
+    }
+
+    #[test]
+    fn rps_apply_but_do_not_ack_while_the_coordinator_is_down() {
+        let cfg = ModelConfig::new(2, 2).with_crash(1);
+        let mut s = State::initial(&cfg);
+        s = step(&cfg, &s, "Dictate revision 1");
+        s = step(&cfg, &s, "Crash");
+        // Both Reconfigures survived the crash (RP-inbound), acks died.
+        assert_eq!(s.net.len(), 2);
+        s = step(&cfg, &s, "Deliver Reconfigure(rev 1) to rp0");
+        assert_eq!(s.rp_rev[0], 1, "backlog Reconfigure must still apply");
+        assert!(
+            !s.net.iter().any(|m| matches!(m, Msg::Ack { .. })),
+            "an ack was sent into a dead connection"
+        );
     }
 }

@@ -134,4 +134,103 @@ proptest! {
             prop_assert_eq!(&state.1, expected_table, "site {} table", site);
         }
     }
+
+    /// The model's resync rule over real plans: revisions are dictated,
+    /// the coordinator disappears mid-flight (messages still land from
+    /// the backlog, reordered and duplicated), and on reconnect it
+    /// re-dictates its latest revision to every site — exactly the
+    /// re-dictation barrier the crash scopes verify. Afterward every
+    /// site must run the latest revision's real `SitePlan`, and no site
+    /// may ever have regressed along the way.
+    #[test]
+    fn resync_redictation_converges_real_site_plans_across_a_coordinator_gap(
+        n in 3usize..6,
+        capacity in 2u32..6,
+        edges in proptest::collection::vec((0u8..6, 0u8..6, 0u8..3), 1..30),
+        ops in proptest::collection::vec((any::<bool>(), 0usize..64), 1..30),
+        pre_gap in proptest::collection::vec(0usize..256, 0..40),
+        backlog in proptest::collection::vec(0usize..256, 0..40),
+        post_dups in proptest::collection::vec(0usize..256, 0..40),
+        cost_seed in 0u8..255,
+    ) {
+        let Some(problem) = arbitrary_problem(n, capacity, &edges, cost_seed) else {
+            return Ok(());
+        };
+        let requests: Vec<_> = problem.requests().map(|r| (r.subscriber, r.stream)).collect();
+        if requests.is_empty() {
+            return Ok(());
+        }
+
+        // Dictated history: churn in rounds, each round one revision
+        // reached by delta apply (the coordinator's own path).
+        let mut manager = OverlayManager::new(problem.clone());
+        let mut truth = DisseminationPlan::from_forest(
+            &problem, &manager.forest_snapshot(), StreamProfile::default());
+        let mut revisions = vec![truth.clone()];
+        let mut events: Vec<(usize, u64, SitePlan)> = Vec::new();
+        for chunk in ops.chunks(3) {
+            for &(join, pick) in chunk {
+                let (sub, stream) = requests[pick % requests.len()];
+                if join {
+                    let _ = manager.subscribe(sub, stream);
+                } else {
+                    let _ = manager.unsubscribe(sub, stream);
+                }
+            }
+            let next = DisseminationPlan::from_forest(
+                &problem, &manager.forest_snapshot(), StreamProfile::default());
+            let delta = PlanDelta::diff(&truth, &next);
+            let touched = delta.touched_sites();
+            delta.apply(&mut truth).expect("delta diffed against truth applies to it");
+            for site in touched {
+                events.push((site.index(), truth.revision(), truth.site_plan(site).clone()));
+            }
+            revisions.push(truth.clone());
+        }
+        let latest = (revisions.len() - 1) as u64;
+
+        let mut fleet: Vec<(u64, SitePlan)> = (0..n)
+            .map(|s| (0u64, revisions[0].site_plan(SiteId::new(s as u32)).clone()))
+            .collect();
+        let deliver = |fleet: &mut Vec<(u64, SitePlan)>, picks: &[usize]| {
+            if events.is_empty() {
+                return Ok(());
+            }
+            for &pick in picks {
+                let (site, rev, table) = &events[pick % events.len()];
+                let before = fleet[*site].0;
+                swap_table(&mut fleet[*site], *rev, table.clone());
+                prop_assert!(fleet[*site].0 >= before, "site {} regressed", site);
+            }
+            Ok(())
+        };
+
+        // Some deliveries land, then the coordinator crashes. The
+        // backlog keeps landing through the gap (RP-inbound messages
+        // survive in kernel buffers, reordered and duplicated) — RPs
+        // keep applying, they just can't ack.
+        deliver(&mut fleet, &pre_gap)?;
+        deliver(&mut fleet, &backlog)?;
+
+        // Reconnect: the coordinator re-dictates its latest revision to
+        // every site as the resync barrier (the model's resync rule).
+        for (site, state) in fleet.iter_mut().enumerate() {
+            let before = state.0;
+            swap_table(
+                state,
+                latest,
+                revisions[latest as usize].site_plan(SiteId::new(site as u32)).clone(),
+            );
+            prop_assert!(state.0 >= before, "site {} regressed at resync", site);
+        }
+
+        // Late duplicates of stale Reconfigures must all bounce off.
+        deliver(&mut fleet, &post_dups)?;
+
+        for (site, state) in fleet.iter().enumerate() {
+            let expected = revisions[latest as usize].site_plan(SiteId::new(site as u32));
+            prop_assert_eq!(state.0, latest, "site {} revision after resync", site);
+            prop_assert_eq!(&state.1, expected, "site {} table after resync", site);
+        }
+    }
 }

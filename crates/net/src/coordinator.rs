@@ -11,6 +11,13 @@
 //! — so the RPs it drives can live in the same process
 //! ([`LiveCluster`](crate::LiveCluster)), in separate OS processes, or on
 //! other hosts.
+//!
+//! The coordinator does not yet survive losing its control connections.
+//! The recovery shape it must implement — crash, reconnect, a
+//! resync-query round, then re-dictating the latest revision as a
+//! barrier — is already pinned by the model checker's crash scopes
+//! (`teeve-check model --resync`, see `crates/check`): implement
+//! reconnect against those three resync invariants, not from scratch.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};

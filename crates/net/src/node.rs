@@ -261,7 +261,10 @@ impl NodeShared {
     /// Executes a `CloseLink` order: write-shut and drop the link so the
     /// child observes EOF (and reports `LinkDown`).
     fn close_link(&self, child: SiteId) {
-        if let Some(conn) = self.outbound.lock().remove(&child) {
+        // Detach under the lock, shut down after releasing it: shutdown
+        // can block on the peer's TCP stack and must not stall forwards.
+        let conn = self.outbound.lock().remove(&child);
+        if let Some(conn) = conn {
             let _ = conn.shutdown(Shutdown::Write);
         }
     }
@@ -307,11 +310,14 @@ impl NodeShared {
         for stream in origins {
             self.end_stream(stream);
         }
-        let mut outbound = self.outbound.lock();
-        for (_, conn) in outbound.iter() {
+        // Take the whole map under a scoped lock, then shut the links
+        // down and dial the wake socket with no guard held.
+        let links: Vec<TcpStream> = std::mem::take(&mut *self.outbound.lock())
+            .into_values()
+            .collect();
+        for conn in links {
             let _ = conn.shutdown(Shutdown::Write);
         }
-        outbound.clear();
         // Wake the accept loop; it re-checks the stop flag.
         let _ = TcpStream::connect(self.wake);
     }

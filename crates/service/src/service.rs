@@ -30,6 +30,12 @@ struct Slot {
 /// the slot's `Arc`) and write-locked only for create/close, so sessions
 /// on one shard drive concurrently and sessions on different shards never
 /// contend at all.
+///
+/// Lock order: a slot mutex may be taken while holding (or after
+/// re-taking) this shard's `sessions` read lock, never the reverse — no
+/// code path holds a `Slot` guard while touching `sessions`. Keeping the
+/// edge one-directional is what makes the close/create write lock safe,
+/// and `teeve-check locks` flags any cycle introduced against it.
 #[derive(Debug, Default)]
 struct Shard {
     sessions: RwLock<BTreeMap<SessionId, Arc<Mutex<Slot>>>>,
