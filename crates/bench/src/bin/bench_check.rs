@@ -8,7 +8,12 @@
 use std::process::ExitCode;
 
 /// The benches whose trajectories CI archives.
-const EXPECTED: [&str; 3] = ["runtime_repair", "quality_delta", "multi_session"];
+const EXPECTED: [&str; 4] = [
+    "runtime_repair",
+    "quality_delta",
+    "multi_session",
+    "coordinator_resync",
+];
 
 fn main() -> ExitCode {
     let mut failed = false;

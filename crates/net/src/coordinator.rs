@@ -12,12 +12,17 @@
 //! ([`LiveCluster`](crate::LiveCluster)), in separate OS processes, or on
 //! other hosts.
 //!
-//! The coordinator does not yet survive losing its control connections.
-//! The recovery shape it must implement — crash, reconnect, a
-//! resync-query round, then re-dictating the latest revision as a
-//! barrier — is already pinned by the model checker's crash scopes
-//! (`teeve-check model --resync`, see `crates/check`): implement
-//! reconnect against those three resync invariants, not from scratch.
+//! The coordinator survives losing its control connections:
+//! [`Coordinator::detach`] abandons a fleet *without* shutting it down
+//! (the RPs keep forwarding by their last-dictated tables), and
+//! [`Coordinator::reconnect`] re-adopts it — fresh `Attach`es, a
+//! `ResyncQuery`/`ResyncReply` round that rebuilds the coordinator's
+//! link view, then re-dictation of the latest revision as a fresh ack
+//! barrier. The shape is pinned by the model checker's crash scopes
+//! (`teeve-check model --resync`, see `crates/check`): resync replies
+//! rebuild the *view* but never choose the dictation target — trusting
+//! them is exactly the `ResyncSkip`/`ReconnectRewind` mutant pair the
+//! checker kills.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};
@@ -262,6 +267,14 @@ struct StatsSnapshot {
     streams: Vec<StreamDelivery>,
 }
 
+/// The latest [`Message::ResyncReply`] harvested from one RP.
+#[derive(Debug, Clone)]
+struct ResyncSnapshot {
+    probe: u64,
+    revision: u64,
+    inbound: Vec<SiteId>,
+}
+
 /// The coordinator's entire knowledge of one RP: its address, the control
 /// connection, and state reconstructed from its notifications. There is
 /// deliberately no `Arc` into RP memory here — this struct is what makes
@@ -280,9 +293,37 @@ struct SiteLink {
     batches: BTreeMap<StreamId, u64>,
     /// The freshest stats report, tagged with its probe token.
     stats: Option<StatsSnapshot>,
+    /// The freshest resync reply, tagged with its probe token.
+    resync: Option<ResyncSnapshot>,
 }
 
 impl SiteLink {
+    /// Opens a control connection to one RP and attaches as its
+    /// coordinator (an `Attach` atomically replaces any prior control
+    /// channel on the RP side).
+    fn attach(
+        site: SiteId,
+        addr: SocketAddr,
+        config: &ClusterConfig,
+    ) -> Result<SiteLink, ClusterError> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true).ok();
+        conn.set_read_timeout(Some(config.timeout)).ok();
+        conn.set_write_timeout(Some(config.timeout)).ok();
+        let mut link = SiteLink {
+            site,
+            addr,
+            conn,
+            buf: BytesMut::with_capacity(4 * 1024),
+            inbound: BTreeSet::new(),
+            acks: BTreeSet::new(),
+            batches: BTreeMap::new(),
+            stats: None,
+            resync: None,
+        };
+        link.send(&Message::Attach)?;
+        Ok(link)
+    }
     /// Folds one decoded control message into the reconstructed state.
     fn dispatch(&mut self, message: Message) -> Result<(), ClusterError> {
         match message {
@@ -310,6 +351,17 @@ impl SiteLink {
                     total,
                     max_latency_micros,
                     streams,
+                });
+            }
+            Message::ResyncReply {
+                probe,
+                revision,
+                inbound,
+            } => {
+                self.resync = Some(ResyncSnapshot {
+                    probe,
+                    revision,
+                    inbound,
                 });
             }
             other => {
@@ -445,6 +497,9 @@ pub struct Coordinator {
     link_close_span: Histogram,
     /// Reconfigure-sent → `Ack` round-trip time, one sample per site.
     reconfigure_rtt: Histogram,
+    /// Full resync-round duration of [`reconnect`](Self::reconnect):
+    /// first attach → barrier re-dictated and accounting baselined.
+    resync_span: Histogram,
 }
 
 impl Coordinator {
@@ -469,44 +524,7 @@ impl Coordinator {
                 addrs: addrs.len(),
             });
         }
-        let mut sites = Vec::with_capacity(addrs.len());
-        for (i, &addr) in addrs.iter().enumerate() {
-            let conn = TcpStream::connect(addr)?;
-            conn.set_nodelay(true).ok();
-            conn.set_read_timeout(Some(config.timeout)).ok();
-            conn.set_write_timeout(Some(config.timeout)).ok();
-            let mut link = SiteLink {
-                site: SiteId::new(i as u32),
-                addr,
-                conn,
-                buf: BytesMut::with_capacity(4 * 1024),
-                inbound: BTreeSet::new(),
-                acks: BTreeSet::new(),
-                batches: BTreeMap::new(),
-                stats: None,
-            };
-            link.send(&Message::Attach)?;
-            sites.push(link);
-        }
-        let registry = MetricsRegistry::new();
-        let mut coordinator = Coordinator {
-            config: config.clone(),
-            plan: plan.clone(),
-            sites,
-            started: None,
-            next_seq: 0,
-            next_probe: 0,
-            expected_total: 0,
-            connections_opened: 0,
-            connections_closed: 0,
-            poisoned: false,
-            done: false,
-            link_open_span: registry.histogram("coordinator.link_open_micros"),
-            link_close_span: registry.histogram("coordinator.link_close_micros"),
-            reconfigure_rtt: registry.histogram("coordinator.reconfigure_rtt_micros"),
-            registry,
-            recorder: FlightRecorder::new(),
-        };
+        let mut coordinator = Coordinator::attach_fleet(plan, addrs, config)?;
 
         let deadline = Instant::now() + config.timeout;
         // Install every forwarding table before any link exists, so the
@@ -545,6 +563,192 @@ impl Coordinator {
         Ok(coordinator)
     }
 
+    /// Opens and attaches one control connection per RP address and
+    /// wraps them in a coordinator with fresh state: the connection
+    /// phase shared by [`connect`](Self::connect) (against a bare
+    /// fleet) and [`reconnect`](Self::reconnect) (against a live one).
+    fn attach_fleet(
+        plan: &DisseminationPlan,
+        addrs: &[SocketAddr],
+        config: &ClusterConfig,
+    ) -> Result<Coordinator, ClusterError> {
+        if addrs.len() != plan.site_count() {
+            return Err(ClusterError::FleetSize {
+                sites: plan.site_count(),
+                addrs: addrs.len(),
+            });
+        }
+        let mut sites = Vec::with_capacity(addrs.len());
+        for (i, &addr) in addrs.iter().enumerate() {
+            sites.push(SiteLink::attach(SiteId::new(i as u32), addr, config)?);
+        }
+        let registry = MetricsRegistry::new();
+        Ok(Coordinator {
+            config: config.clone(),
+            plan: plan.clone(),
+            sites,
+            started: None,
+            next_seq: 0,
+            next_probe: 0,
+            expected_total: 0,
+            connections_opened: 0,
+            connections_closed: 0,
+            poisoned: false,
+            done: false,
+            link_open_span: registry.histogram("coordinator.link_open_micros"),
+            link_close_span: registry.histogram("coordinator.link_close_micros"),
+            reconfigure_rtt: registry.histogram("coordinator.reconfigure_rtt_micros"),
+            resync_span: registry.histogram("coordinator.resync_micros"),
+            registry,
+            recorder: FlightRecorder::new(),
+        })
+    }
+
+    /// Re-adopts an already-running RP fleet whose previous coordinator
+    /// died or [`detach`](Self::detach)ed: attaches a fresh control
+    /// connection per RP (atomically replacing any dead one on the RP
+    /// side), runs a `ResyncQuery` round to rebuild the coordinator's
+    /// view of inbound links, then re-dictates `plan`'s revision to
+    /// every RP as a fresh ack barrier.
+    ///
+    /// `plan` must be the plan the lost coordinator last fully
+    /// dictated, revision included (a restarted membership service
+    /// recovers it from its session store). Resync replies rebuild the
+    /// link *view* only — they never choose what to dictate. Resuming
+    /// from a reply's revision instead is the `ResyncSkip`/
+    /// `ReconnectRewind` mutant pair the model checker kills: it lets
+    /// the fleet's ack barrier regress.
+    ///
+    /// Delivery accounting restarts at the barrier: frames the fleet
+    /// delivered before and during the coordinator gap are baselined
+    /// away, so post-reconnect [`publish`](Self::publish) calls block
+    /// on exactly the deliveries they order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address count mismatches the plan, a
+    /// control connection cannot be established, an RP reports a
+    /// revision *ahead* of `plan` (the recovered plan is stale), or an
+    /// RP does not answer the resync query, the barrier re-dictation,
+    /// or the baseline stats probe within `config.timeout`. A failed
+    /// reconnect leaves the fleet running exactly as found — it
+    /// detaches rather than tearing down — so the caller can retry
+    /// with a fresher plan.
+    pub fn reconnect(
+        plan: &DisseminationPlan,
+        addrs: &[SocketAddr],
+        config: &ClusterConfig,
+    ) -> Result<Coordinator, ClusterError> {
+        let resync_started = Instant::now();
+        let mut coordinator = Coordinator::attach_fleet(plan, addrs, config)?;
+        match coordinator.resync(resync_started) {
+            Ok(()) => Ok(coordinator),
+            Err(e) => {
+                // A refused or failed resync must leave the fleet exactly
+                // as found: detach (drop the control connections) instead
+                // of letting `Drop`'s teardown cascade shut it down. The
+                // caller can retry with a fresher plan.
+                coordinator.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// The resync round of [`reconnect`](Self::reconnect), run on a
+    /// freshly attached fleet: query, rebuild the view, re-dictate the
+    /// barrier, baseline accounting.
+    fn resync(&mut self, resync_started: Instant) -> Result<(), ClusterError> {
+        self.recorder.record(FlightEventKind::ResyncStart);
+        let deadline = Instant::now() + self.config.timeout;
+
+        // 1. Query every RP and rebuild the inbound-link view from the
+        //    replies. The reported revisions are observed, not obeyed.
+        let plan_revision = self.plan.revision();
+        self.next_probe += 1;
+        let probe = self.next_probe;
+        for link in &mut self.sites {
+            link.send(&Message::ResyncQuery { probe })?;
+        }
+        for link in &mut self.sites {
+            let snapshot = link.wait_for(deadline, "resync reply", |l| {
+                l.resync.as_ref().filter(|r| r.probe >= probe).cloned()
+            })?;
+            // An RP ahead of the reconnect plan means the recovered plan
+            // is stale: re-dictating it would regress the fleet's ack
+            // barrier (the model's reconnect-regression violation), so
+            // refuse instead.
+            if snapshot.revision > plan_revision {
+                return Err(ClusterError::Control {
+                    site: link.site,
+                    detail: format!(
+                        "RP serves revision {} ahead of the reconnect plan's \
+                         {plan_revision}; the recovered plan is stale",
+                        snapshot.revision,
+                    ),
+                });
+            }
+            link.inbound = snapshot.inbound.iter().copied().collect();
+        }
+
+        // 2. Re-dictate the latest revision as a fresh ack barrier. RPs
+        //    already running it re-apply idempotently (tables swap on
+        //    `revision >= current`); any that missed the final
+        //    pre-crash Reconfigure catch up here.
+        let revision = plan_revision;
+        let site_count = self.plan.site_count();
+        self.recorder.record(FlightEventKind::Reconfigure {
+            revision,
+            sites: site_count as u64,
+        });
+        let sent_at = Instant::now();
+        for site in SiteId::all(site_count) {
+            let site_plan = self.plan.site_plan(site).clone();
+            self.sites[site.index()].send(&Message::Reconfigure {
+                revision,
+                site_plan,
+            })?;
+        }
+        for site in SiteId::all(site_count) {
+            self.await_ack(site, revision, deadline)?;
+            self.record_ack(site, revision, sent_at);
+        }
+
+        // 3. Baseline delivery accounting at the barrier: whatever the
+        //    fleet delivered while unsupervised is not this
+        //    coordinator's to await.
+        self.next_probe += 1;
+        let probe = self.next_probe;
+        for link in &mut self.sites {
+            link.send(&Message::StatsRequest { probe })?;
+        }
+        let mut baseline = 0u64;
+        for link in &mut self.sites {
+            let snapshot = link.wait_for(deadline, "baseline stats report", |l| {
+                l.stats.as_ref().filter(|s| s.probe >= probe).cloned()
+            })?;
+            baseline += snapshot.total;
+        }
+        self.expected_total = baseline;
+
+        self.resync_span.record_duration(resync_started.elapsed());
+        self.recorder.record(FlightEventKind::ResyncComplete {
+            sites: site_count as u64,
+            revision,
+        });
+        Ok(())
+    }
+
+    /// Drops the control connections **without** shutting the fleet
+    /// down: every RP keeps forwarding by its last-dictated table,
+    /// ready for a successor coordinator to
+    /// [`reconnect`](Self::reconnect). The deliberate counterpart of
+    /// the [`Drop`] cascade — use it to hand a live fleet over, or to
+    /// stand in for coordinator death in tests.
+    pub fn detach(mut self) {
+        self.recorder.record(FlightEventKind::CoordinatorLost);
+        self.done = true;
+    }
+
     /// Returns the plan the cluster currently executes.
     pub fn plan(&self) -> &DisseminationPlan {
         &self.plan
@@ -573,10 +777,12 @@ impl Coordinator {
         self.poisoned
     }
 
-    /// The coordinator's metrics registry: link open/close latencies and
-    /// Reconfigure→Ack round-trip times as histograms
-    /// (`coordinator.link_open_micros`, `coordinator.link_close_micros`,
-    /// `coordinator.reconfigure_rtt_micros`).
+    /// The coordinator's metrics registry: link open/close latencies,
+    /// Reconfigure→Ack round-trip times, and resync-round durations as
+    /// histograms (`coordinator.link_open_micros`,
+    /// `coordinator.link_close_micros`,
+    /// `coordinator.reconfigure_rtt_micros`,
+    /// `coordinator.resync_micros`).
     pub fn telemetry(&self) -> &MetricsRegistry {
         &self.registry
     }

@@ -126,10 +126,20 @@ struct NodeShared {
     /// Outbound (this RP → child) data connections, opened by `OpenLink`
     /// orders — the node dials its own upstream targets.
     outbound: Mutex<BTreeMap<SiteId, TcpStream>>,
-    /// The coordinator control channel (write half), designated by
-    /// `Attach`. One lock serializes every control-bound write so reader
-    /// threads cannot interleave message bytes.
-    control: Mutex<Option<TcpStream>>,
+    /// The coordinator control channel (write half) with the attach
+    /// generation that installed it, designated by `Attach`. One lock
+    /// serializes every control-bound write so reader threads cannot
+    /// interleave message bytes. A later `Attach` atomically replaces the
+    /// channel (latest wins); the generation lets the reader serving a
+    /// *replaced* channel exit without clobbering its successor.
+    control: Mutex<Option<(u64, TcpStream)>>,
+    /// Monotonic counter of `Attach` orders ever honored, numbering the
+    /// control-channel generations.
+    control_generation: AtomicU64,
+    /// Upstream sites with live inbound data connections (`Hello`
+    /// attribution counts, so an overlapping close/reopen never drops
+    /// the peer from the set early). Reported by `ResyncReply`.
+    inbound: Mutex<BTreeMap<SiteId, u32>>,
     stats: NodeStats,
     /// Ring of recent structured events (reconfigures, link churn) for
     /// post-mortem inspection; never crosses the wire.
@@ -234,12 +244,13 @@ impl NodeShared {
     }
 
     /// Sends one message up the attached control channel (best effort: a
-    /// detached or dead coordinator drops the notification).
+    /// detached or dead coordinator drops the notification — this is the
+    /// ack-suppression the resync contract relies on).
     fn notify(&self, message: &Message) {
         let mut buf = BytesMut::new();
         encode(message, &mut buf);
         let mut control = self.control.lock();
-        if let Some(conn) = control.as_mut() {
+        if let Some((_, conn)) = control.as_mut() {
             let _ = conn.write_all(&buf);
         }
     }
@@ -417,6 +428,8 @@ impl RpNode {
                 }),
                 outbound: Mutex::new(BTreeMap::new()),
                 control: Mutex::new(None),
+                control_generation: AtomicU64::new(0),
+                inbound: Mutex::new(BTreeMap::new()),
                 stats: NodeStats::default(),
                 recorder: FlightRecorder::new(),
                 stop: AtomicBool::new(false),
@@ -538,6 +551,12 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
     let mut buf = BytesMut::with_capacity(64 * 1024);
     let mut chunk = [0u8; 64 * 1024];
     let mut peer: Option<SiteId> = None;
+    // The control-channel generation this connection last attached as,
+    // if it ever did. Lets the exit path clear `control` only when this
+    // reader's channel is still the attached one — a re-`Attach` by a
+    // reconnected coordinator must never be clobbered by the old
+    // channel's reader dying late.
+    let mut attached: Option<u64> = None;
     loop {
         match decode(&mut buf) {
             Ok(Some(Message::Frame {
@@ -566,6 +585,7 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
                 // Attribute the link and tell the coordinator the data
                 // path is up — this replaces its old shared-memory poll.
                 peer = Some(site);
+                *rp.inbound.lock().entry(site).or_insert(0) += 1;
                 rp.recorder.record(FlightEventKind::LinkUp {
                     parent: site.index() as u32,
                     child: rp.site.index() as u32,
@@ -596,9 +616,36 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
             }
             Ok(Some(Message::Attach)) => {
                 match conn.try_clone() {
-                    Ok(clone) => *rp.control.lock() = Some(clone),
+                    Ok(clone) => {
+                        // Latest attach wins: a reconnected coordinator's
+                        // fresh channel atomically replaces a dead one.
+                        let generation = rp.control_generation.fetch_add(1, Ordering::Relaxed) + 1;
+                        *rp.control.lock() = Some((generation, clone));
+                        attached = Some(generation);
+                    }
                     Err(_) => break,
                 }
+                continue;
+            }
+            Ok(Some(Message::ResyncQuery { probe })) => {
+                // Describe this RP as it stands *now*: the last-applied
+                // table revision and the attributed inbound peers. The
+                // reply is a snapshot — the coordinator must still close
+                // the round with a re-dictation barrier.
+                let revision = rp.table.lock().revision;
+                let inbound: Vec<SiteId> = rp
+                    .inbound
+                    .lock()
+                    .iter()
+                    .filter(|(_, &count)| count > 0)
+                    .map(|(&site, _)| site)
+                    .collect();
+                rp.recorder.record(FlightEventKind::ResyncStart);
+                rp.notify(&Message::ResyncReply {
+                    probe,
+                    revision,
+                    inbound,
+                });
                 continue;
             }
             Ok(Some(Message::OpenLink { child, addr })) => {
@@ -656,7 +703,8 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
                 | Message::LinkUp { .. }
                 | Message::LinkDown { .. }
                 | Message::BatchDone { .. }
-                | Message::StatsReport { .. },
+                | Message::StatsReport { .. }
+                | Message::ResyncReply { .. },
             ))
             | Err(_) => break,
             Ok(None) => {}
@@ -683,11 +731,37 @@ fn reader_loop(mut conn: TcpStream, rp: &Arc<NodeShared>) {
     // De-attribute the link: the coordinator observes a `closed` pair die
     // through this notification.
     if let Some(site) = peer {
+        {
+            let mut inbound = rp.inbound.lock();
+            if let Some(count) = inbound.get_mut(&site) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    inbound.remove(&site);
+                }
+            }
+        }
         rp.recorder.record(FlightEventKind::LinkDown {
             parent: site.index() as u32,
             child: rp.site.index() as u32,
         });
         rp.notify(&Message::LinkDown { peer: site });
+    }
+    // If this reader served the *currently attached* control channel, the
+    // coordinator is gone: detach so acks stop flowing into a dead socket
+    // (notify becomes a no-op) until a re-`Attach` arrives. A channel
+    // already replaced by a newer generation is left alone.
+    if let Some(generation) = attached {
+        let detached = {
+            let mut control = rp.control.lock();
+            let mine = control.as_ref().is_some_and(|(g, _)| *g == generation);
+            if mine {
+                *control = None;
+            }
+            mine
+        };
+        if detached {
+            rp.recorder.record(FlightEventKind::CoordinatorLost);
+        }
     }
 }
 

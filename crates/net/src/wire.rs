@@ -17,6 +17,8 @@
 //!   acknowledged with [`Message::BatchDone`];
 //! * delivery accounting: [`Message::StatsRequest`] answered by
 //!   [`Message::StatsReport`];
+//! * coordinator recovery: [`Message::ResyncQuery`] answered by
+//!   [`Message::ResyncReply`] on a freshly re-attached control channel;
 //! * teardown: [`Message::Shutdown`].
 
 use std::net::SocketAddr;
@@ -47,6 +49,8 @@ const TAG_BATCH_DONE: u8 = 13;
 const TAG_STATS_REQUEST: u8 = 14;
 const TAG_STATS_REPORT: u8 = 15;
 const TAG_SHUTDOWN: u8 = 16;
+const TAG_RESYNC_QUERY: u8 = 17;
+const TAG_RESYNC_REPLY: u8 = 18;
 
 /// One stream's delivery counters at one RP, as carried by
 /// [`Message::StatsReport`]. The reporting RP is identified by the control
@@ -207,6 +211,28 @@ pub enum Message {
         max_latency_micros: u64,
         /// Per-stream delivery counters.
         streams: Vec<StreamDelivery>,
+    },
+    /// Reconnected-coordinator probe: describe your current forwarding
+    /// state. Sent on a freshly re-attached control channel after a
+    /// coordinator restart; `probe` correlates request and reply so a
+    /// straggler from an aborted resync round is discarded.
+    ResyncQuery {
+        /// Caller-chosen correlation token, echoed by the reply.
+        probe: u64,
+    },
+    /// RP response to [`ResyncQuery`](Self::ResyncQuery): the revision
+    /// of the RP's last-applied forwarding table and the upstream peers
+    /// currently attributed to its inbound links. A reply describes the
+    /// RP only at the moment it was sent — a backlog `Reconfigure` may
+    /// land after it — so the coordinator must close the round with a
+    /// re-dictation barrier rather than trusting replies outright.
+    ResyncReply {
+        /// The echoed correlation token.
+        probe: u64,
+        /// Revision of the RP's last-applied forwarding table.
+        revision: u64,
+        /// Upstream sites with live inbound data connections.
+        inbound: Vec<SiteId>,
     },
     /// Coordinator order: cascade `End` markers for locally originated
     /// streams, write-shut every outbound link, and exit. The terminal
@@ -385,6 +411,25 @@ pub fn encode(message: &Message, dst: &mut BytesMut) {
                     dst.put_u8(index);
                     dst.put_u64_le(count);
                 }
+            }
+        }
+        Message::ResyncQuery { probe } => {
+            dst.put_u32_le(1 + 8);
+            dst.put_u8(TAG_RESYNC_QUERY);
+            dst.put_u64_le(*probe);
+        }
+        Message::ResyncReply {
+            probe,
+            revision,
+            inbound,
+        } => {
+            dst.put_u32_le((1 + 8 + 8 + 4 + 4 * inbound.len()) as u32);
+            dst.put_u8(TAG_RESYNC_REPLY);
+            dst.put_u64_le(*probe);
+            dst.put_u64_le(*revision);
+            dst.put_u32_le(inbound.len() as u32);
+            for peer in inbound {
+                dst.put_u32_le(peer.index() as u32);
             }
         }
         Message::Shutdown => {
@@ -697,6 +742,36 @@ pub fn decode(src: &mut BytesMut) -> Result<Option<Message>, WireError> {
                 streams,
             }))
         }
+        TAG_RESYNC_QUERY => {
+            if body.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            Ok(Some(Message::ResyncQuery {
+                probe: body.get_u64_le(),
+            }))
+        }
+        TAG_RESYNC_REPLY => {
+            if body.len() < 8 + 8 + 4 {
+                return Err(WireError::Truncated);
+            }
+            let probe = body.get_u64_le();
+            let revision = body.get_u64_le();
+            let count = body.get_u32_le() as usize;
+            // checked_mul: a corrupt count must not wrap the bounds check
+            // on 32-bit targets and drive the reads past the buffer.
+            if count.checked_mul(4).is_none_or(|need| body.len() < need) {
+                return Err(WireError::Truncated);
+            }
+            let mut inbound = Vec::with_capacity(count);
+            for _ in 0..count {
+                inbound.push(SiteId::new(body.get_u32_le()));
+            }
+            Ok(Some(Message::ResyncReply {
+                probe,
+                revision,
+                inbound,
+            }))
+        }
         TAG_SHUTDOWN => Ok(Some(Message::Shutdown)),
         other => Err(WireError::UnknownTag { tag: other }),
     }
@@ -944,6 +1019,17 @@ mod tests {
             next_seq: 89,
         });
         roundtrip(Message::StatsRequest { probe: 41 });
+        roundtrip(Message::ResyncQuery { probe: 7 });
+        roundtrip(Message::ResyncReply {
+            probe: 7,
+            revision: u64::MAX - 1,
+            inbound: vec![SiteId::new(0), SiteId::new(3), SiteId::new(12)],
+        });
+        roundtrip(Message::ResyncReply {
+            probe: 0,
+            revision: 0,
+            inbound: Vec::new(),
+        });
         let mut spread = LogHistogram::new();
         for sample in [0u64, 130, 88_123, 88_123, u64::MAX] {
             spread.record(sample);
@@ -1060,6 +1146,19 @@ mod tests {
         buf.put_u8(1); // one pair
         buf.put_u8(65); // invalid bucket index
         buf.put_u64_le(1);
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncated_resync_reply_inbound_list_is_rejected() {
+        let mut buf = BytesMut::new();
+        // Header claims three inbound peers, body carries one.
+        buf.put_u32_le(1 + 8 + 8 + 4 + 4);
+        buf.put_u8(TAG_RESYNC_REPLY);
+        buf.put_u64_le(9); // probe
+        buf.put_u64_le(4); // revision
+        buf.put_u32_le(3); // three peers claimed
+        buf.put_u32_le(1); // only one present
         assert_eq!(decode(&mut buf), Err(WireError::Truncated));
     }
 

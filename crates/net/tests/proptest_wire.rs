@@ -93,11 +93,11 @@ fn arb_delivery() -> impl Strategy<Value = StreamDelivery> {
         )
 }
 
-/// Uniformly draws one of the 16 protocol messages with arbitrary field
+/// Uniformly draws one of the 18 protocol messages with arbitrary field
 /// values.
 fn arb_message() -> impl Strategy<Value = Message> {
     (
-        (0usize..16, arb_site(), arb_stream(), arb_addr()),
+        (0usize..18, arb_site(), arb_stream(), arb_addr()),
         (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         proptest::collection::vec(0u8..255, 0..64usize),
         (
@@ -152,6 +152,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
                         total: b,
                         max_latency_micros: c,
                         streams,
+                    },
+                    15 => Message::ResyncQuery { probe: a },
+                    16 => Message::ResyncReply {
+                        probe: a,
+                        revision: b,
+                        // Reuse the drawn site plan's child links as an
+                        // arbitrary inbound peer set.
+                        inbound: site_plan
+                            .entries
+                            .iter()
+                            .flat_map(|e| e.children.iter().map(|c| c.site))
+                            .collect(),
                     },
                     _ => Message::Shutdown,
                 }

@@ -1,0 +1,36 @@
+//! The durable record one epoch leaves behind.
+
+use serde::{Deserialize, Serialize};
+use teeve_types::{Quality, QualityLadder, StreamId};
+
+use crate::event::RuntimeEvent;
+
+/// Everything a durability layer needs to persist about one committed
+/// epoch — produced by
+/// [`SessionRuntime::apply_epoch`](crate::SessionRuntime::apply_epoch)
+/// alongside the delta, and consumed by `teeve-store`.
+///
+/// The commit is **event-sourced**: `events` is the exact input batch
+/// the epoch consumed, and epoch reconciliation is deterministic, so
+/// replaying every commit's events through a fresh runtime reproduces
+/// the session bit-identically. The derived state carried alongside
+/// (`revision`, `demand`, `granted`, `ladder`) is the integrity
+/// cross-check a recovery runs after replay — and the direct answer for
+/// snapshot readers that never replay at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochCommit {
+    /// The epoch index this commit closed (0-based).
+    pub epoch: u64,
+    /// The plan revision the epoch advanced the session to.
+    pub revision: u64,
+    /// The event batch the epoch consumed, in ingestion order.
+    pub events: Vec<RuntimeEvent>,
+    /// Per-site desired streams at epoch end (index = site index),
+    /// sorted — the demand the overlay reconciled toward.
+    pub demand: Vec<Vec<StreamId>>,
+    /// Per-site granted streams with the quality rung each is served at
+    /// (index = site index), sorted by stream.
+    pub granted: Vec<Vec<(StreamId, Quality)>>,
+    /// The quality ladder admission and refitting used this epoch.
+    pub ladder: QualityLadder,
+}

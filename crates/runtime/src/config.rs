@@ -1,5 +1,7 @@
 //! Runtime configuration: epoch policies and fall-back thresholds.
 
+use serde::{Deserialize, Serialize};
+
 /// When incremental repair is abandoned for full reconstruction.
 ///
 /// Incremental node joins are cheap but path-dependent: long churn
@@ -7,7 +9,7 @@
 /// (more rejections) than a from-scratch construction of the same demand.
 /// The runtime watches both symptoms per epoch and rebuilds when either
 /// crosses its threshold.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FallbackPolicy {
     /// Rebuild when the epoch's join rejection ratio exceeds this (joins
     /// rejected / joins attempted; ignored on epochs without joins).
@@ -52,7 +54,7 @@ impl FallbackPolicy {
 }
 
 /// Configuration of a [`SessionRuntime`](crate::SessionRuntime).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     /// When to abandon incremental repair for full reconstruction.
     pub fallback: FallbackPolicy,

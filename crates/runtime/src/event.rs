@@ -1,5 +1,6 @@
 //! The event vocabulary a live session feeds the runtime.
 
+use serde::{Deserialize, Serialize};
 use teeve_geometry::FieldOfView;
 use teeve_types::{DisplayId, SiteId};
 
@@ -16,7 +17,7 @@ use teeve_types::{DisplayId, SiteId};
 ///   [`SiteLeave`](RuntimeEvent::SiteLeave));
 /// * **transport** — receivers reporting measured throughput
 ///   ([`BandwidthSample`](RuntimeEvent::BandwidthSample)).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RuntimeEvent {
     /// `display` retargets to an explicit field of view; the view selector
     /// converts it into stream subscriptions.

@@ -55,12 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod commit;
 mod config;
 mod event;
 mod metrics;
 mod runtime;
 mod trace;
 
+pub use commit::EpochCommit;
 pub use config::{FallbackPolicy, RuntimeConfig};
 pub use event::RuntimeEvent;
 pub use metrics::{EpochReport, PhaseBreakdown, RuntimeReport};

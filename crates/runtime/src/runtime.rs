@@ -14,6 +14,7 @@ use teeve_pubsub::{DeltaSink, DisseminationPlan, PlanDelta, Session};
 use teeve_telemetry::{FlightEventKind, FlightRecorder, Histogram, MetricsRegistry};
 use teeve_types::{DisplayId, Quality, QualityLadder, SessionId, SiteId, StreamId};
 
+use crate::commit::EpochCommit;
 use crate::config::RuntimeConfig;
 use crate::event::RuntimeEvent;
 use crate::metrics::{EpochReport, PhaseBreakdown, RuntimeReport};
@@ -73,6 +74,9 @@ pub struct EpochOutcome {
     /// Quality decisions for every site with a warm bandwidth estimate:
     /// which delivered streams to take at which ladder level.
     pub adaptation: BTreeMap<SiteId, AdaptationPlan>,
+    /// The epoch's durable record — the consumed event batch plus the
+    /// derived state a store persists (and a recovery cross-checks).
+    pub commit: EpochCommit,
 }
 
 /// An event-driven orchestrator owning a live 3DTI session end to end.
@@ -443,12 +447,31 @@ impl SessionRuntime {
         }
 
         let adaptation = self.adaptation_plans();
+        let commit = EpochCommit {
+            epoch: report.epoch,
+            revision: self.plan.revision(),
+            events: events.to_vec(),
+            demand: desired
+                .iter()
+                .map(|d| d.iter().copied().collect())
+                .collect(),
+            granted: SiteId::all(n)
+                .map(|site| {
+                    self.granted[site.index()]
+                        .iter()
+                        .map(|&stream| (stream, self.quality_of(site, stream)))
+                        .collect()
+                })
+                .collect(),
+            ladder: self.ladder.clone(),
+        };
         self.epoch += 1;
         self.history.push(report.clone());
         EpochOutcome {
             delta,
             report,
             adaptation,
+            commit,
         }
     }
 

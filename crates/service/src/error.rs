@@ -5,6 +5,7 @@ use std::fmt;
 use teeve_overlay::InvariantViolation;
 use teeve_pubsub::ChurnError;
 use teeve_runtime::{RuntimeError, RuntimeEvent};
+use teeve_store::StoreError;
 use teeve_types::SessionId;
 
 /// Error produced by the [`MembershipService`](crate::MembershipService).
@@ -28,6 +29,10 @@ pub enum ServiceError {
     },
     /// A hosted session's live forest violates a static invariant.
     Invariant(InvariantViolation),
+    /// The attached session store failed: an append did not land (the
+    /// epoch still drove, but its commit is not durable) or a recovery
+    /// replay diverged from the persisted state.
+    Store(StoreError),
 }
 
 impl fmt::Display for ServiceError {
@@ -40,6 +45,7 @@ impl fmt::Display for ServiceError {
                 write!(f, "event {event:?} is outside {session}'s sites")
             }
             ServiceError::Invariant(v) => write!(f, "session invariant violated: {v}"),
+            ServiceError::Store(e) => write!(f, "session store failed: {e}"),
         }
     }
 }
@@ -51,6 +57,7 @@ impl std::error::Error for ServiceError {
             ServiceError::InvalidUniverse(e) => Some(e),
             ServiceError::Runtime(e) => Some(e),
             ServiceError::Invariant(v) => Some(v),
+            ServiceError::Store(e) => Some(e),
         }
     }
 }
@@ -70,5 +77,11 @@ impl From<RuntimeError> for ServiceError {
 impl From<InvariantViolation> for ServiceError {
     fn from(v: InvariantViolation) -> Self {
         ServiceError::Invariant(v)
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
     }
 }

@@ -45,6 +45,10 @@ pub struct ServiceReport {
     /// The cross-session reconvergence *distribution* (microseconds):
     /// summed totals hide shard skew, the p50/p99 spread does not.
     pub reconverge: LogHistogram,
+    /// Epoch commits the attached session store failed to append during
+    /// this pass: those epochs drove but are not durable, *named*
+    /// rather than silently dropped. Always 0 without a store.
+    pub store_failures: usize,
     /// Each driven session's epoch report.
     pub per_session: BTreeMap<SessionId, EpochReport>,
 }
@@ -87,6 +91,7 @@ impl ServiceReport {
         self.plan_entries += other.plan_entries;
         self.total_reconverge += other.total_reconverge;
         self.reconverge.merge(&other.reconverge);
+        self.store_failures += other.store_failures;
         self.per_session.extend(other.per_session);
     }
 

@@ -7,7 +7,8 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use teeve_pubsub::{subscription_universe, DeltaSink, DisseminationPlan, PlanDelta, Session};
-use teeve_runtime::{EpochOutcome, RuntimeEvent, RuntimeReport, SessionRuntime};
+use teeve_runtime::{EpochCommit, EpochOutcome, RuntimeEvent, RuntimeReport, SessionRuntime};
+use teeve_store::SessionStore;
 use teeve_telemetry::{FlightRecorder, MetricsRegistry};
 use teeve_types::{DisplayId, SessionId, SiteId};
 
@@ -50,6 +51,10 @@ struct Inner {
     telemetry: MetricsRegistry,
     /// Service-wide flight recorder shared by every hosted runtime.
     recorder: FlightRecorder,
+    /// Optional durable session store: when present, every admission,
+    /// epoch commit, and close is appended to it, so a restarted
+    /// service can [`recover`](MembershipService::recover) the fleet.
+    store: Option<SessionStore>,
 }
 
 /// A membership service hosting many concurrent 3DTI sessions.
@@ -87,6 +92,77 @@ impl MembershipService {
     ///
     /// Panics if `shard_count` is zero.
     pub fn with_shards(shard_count: usize) -> Self {
+        Self::assemble(shard_count, None)
+    }
+
+    /// A persistent service: every admission, epoch commit, and close is
+    /// appended to `store`, and any sessions already persisted there are
+    /// **re-adopted** — each one's event history is replayed through a
+    /// fresh runtime (deterministic reconciliation makes the rebuilt
+    /// plans bit-identical to an uninterrupted run's), cross-checked
+    /// against the persisted commits, and registered under its original
+    /// id. Fresh ids are allocated past everything the store has ever
+    /// seen. Events queued but undriven at the crash were never durable
+    /// and are not resurrected.
+    ///
+    /// Opening an empty store simply yields a fresh persistent service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Store`] if a persisted session no longer
+    /// admits a universe or its replay diverges from the persisted
+    /// commits.
+    pub fn recover(store: SessionStore) -> Result<Self, ServiceError> {
+        Self::recover_with_shards(store, DEFAULT_SHARDS)
+    }
+
+    /// [`recover`](Self::recover) with an explicit shard count.
+    ///
+    /// # Errors
+    ///
+    /// See [`recover`](Self::recover).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    pub fn recover_with_shards(
+        store: SessionStore,
+        shard_count: usize,
+    ) -> Result<Self, ServiceError> {
+        let sessions = store.open_sessions();
+        let next_id = store.max_session_id().map_or(0, |id| id.raw() + 1);
+        let service = Self::assemble(shard_count, Some(store));
+        for id in sessions {
+            // The store is owned by the service we just assembled; the
+            // borrow is re-taken per session so shard inserts interleave.
+            let restored = service
+                .inner
+                .store
+                .as_ref()
+                .map(|s| s.restore(id))
+                .transpose()?
+                .ok_or(ServiceError::UnknownSession(id))?;
+            let mut runtime = restored.fresh_runtime()?;
+            runtime.attach_telemetry(&service.inner.telemetry, service.inner.recorder.clone());
+            restored.replay_into(&mut runtime)?;
+            let slot = Arc::new(Mutex::new(Slot {
+                runtime,
+                pending: Vec::new(),
+            }));
+            service.shard(id).sessions.write().insert(id, slot);
+        }
+        service.inner.next_id.store(next_id, Ordering::Relaxed);
+        service
+            .inner
+            .telemetry
+            .gauge("service.sessions.open")
+            .set(service.session_count() as u64);
+        Ok(service)
+    }
+
+    /// The shared constructor behind [`with_shards`](Self::with_shards)
+    /// and [`recover_with_shards`](Self::recover_with_shards).
+    fn assemble(shard_count: usize, store: Option<SessionStore>) -> Self {
         assert!(shard_count > 0, "a service needs at least one shard");
         MembershipService {
             inner: Arc::new(Inner {
@@ -94,8 +170,14 @@ impl MembershipService {
                 next_id: AtomicU64::new(0),
                 telemetry: MetricsRegistry::new(),
                 recorder: FlightRecorder::new(),
+                store,
             }),
         }
+    }
+
+    /// The attached session store, if this service is persistent.
+    pub fn store(&self) -> Option<&SessionStore> {
+        self.inner.store.as_ref()
     }
 
     /// Returns the number of registry shards.
@@ -131,14 +213,18 @@ impl MembershipService {
     /// # Errors
     ///
     /// Returns an error if the spec's session admits no subscription
-    /// universe (fewer than three sites) or the runtime cannot be
-    /// assembled.
+    /// universe (fewer than three sites), the runtime cannot be
+    /// assembled, or the attached store refuses the admission record
+    /// (in which case nothing is registered).
     pub fn create_session(&self, spec: SessionSpec) -> Result<SessionHandle, ServiceError> {
         let universe = subscription_universe(spec.session())?;
         let (session, config) = spec.into_parts();
         let id = SessionId::new(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let mut runtime = SessionRuntime::new(universe, session, config)?.with_scope(id);
         runtime.attach_telemetry(&self.inner.telemetry, self.inner.recorder.clone());
+        if let Some(store) = &self.inner.store {
+            store.record_opened(id, runtime.session(), config)?;
+        }
         let slot = Arc::new(Mutex::new(Slot {
             runtime,
             pending: Vec::new(),
@@ -242,7 +328,12 @@ impl MembershipService {
             validate_events(session, slot.runtime.session(), events)?;
             let mut epoch = std::mem::take(&mut slot.pending);
             epoch.extend_from_slice(events);
-            Ok(slot.runtime.apply_epoch(&epoch))
+            let outcome = slot.runtime.apply_epoch(&epoch);
+            // Committed under the slot lock so the store sees epochs in
+            // order; an append failure means this epoch drove but is
+            // not durable.
+            self.record_commit(session, &outcome.commit)?;
+            Ok(outcome)
         })?
     }
 
@@ -363,6 +454,11 @@ impl MembershipService {
                 }
                 let epoch = std::mem::take(&mut slot.pending);
                 let outcome = slot.runtime.apply_epoch(&epoch);
+                // A failed append must not abort the pass over every
+                // other tenant; the report *names* the lost commit.
+                if self.record_commit(id, &outcome.commit).is_err() {
+                    report.store_failures += 1;
+                }
                 report.absorb(id, outcome.report);
                 deltas.push((id, outcome.delta));
             }
@@ -380,7 +476,10 @@ impl MembershipService {
     ///
     /// # Errors
     ///
-    /// Returns an error if the session is not hosted here.
+    /// Returns an error if the session is not hosted here, or the
+    /// attached store could not append the close record — the session
+    /// is unhosted either way, but on a store error it is still open in
+    /// the log and a later [`recover`](Self::recover) will re-adopt it.
     pub fn close_session(&self, session: SessionId) -> Result<RuntimeReport, ServiceError> {
         let slot = self
             .shard(session)
@@ -393,11 +492,23 @@ impl MembershipService {
             .telemetry
             .gauge("service.sessions.open")
             .set(self.session_count() as u64);
+        if let Some(store) = &self.inner.store {
+            store.record_closed(session)?;
+        }
         Ok(report)
     }
 
     fn shard(&self, session: SessionId) -> &Shard {
         &self.inner.shards[self.shard_index(session)]
+    }
+
+    /// Appends one epoch commit to the attached store, if any. Callers
+    /// hold the session's slot lock, so commits land in epoch order.
+    fn record_commit(&self, session: SessionId, commit: &EpochCommit) -> Result<(), ServiceError> {
+        if let Some(store) = &self.inner.store {
+            store.record_commit(session, commit)?;
+        }
+        Ok(())
     }
 
     /// Runs `f` under `session`'s slot lock.

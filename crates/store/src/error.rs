@@ -1,0 +1,71 @@
+//! Store error type.
+
+use std::io;
+
+use teeve_types::SessionId;
+
+/// Error produced by the session store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading or appending the log file failed.
+    Io(io::Error),
+    /// A record could not be serialized (e.g. a non-finite float in a
+    /// runtime config; persist finite fallback policies).
+    Encode(serde_json::Error),
+    /// The session is not in the store.
+    UnknownSession(SessionId),
+    /// The session id was already opened in this store; ids are never
+    /// reused, even after close.
+    DuplicateSession(SessionId),
+    /// The session was already closed; a closed session accepts no
+    /// further commits.
+    SessionClosed(SessionId),
+    /// Replaying the persisted event history produced a different state
+    /// than the commit recorded at write time: the log and the runtime
+    /// disagree, so the recovered session cannot be trusted.
+    Replay {
+        /// The session whose replay diverged.
+        session: SessionId,
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Encode(e) => write!(f, "store record not serializable: {e}"),
+            StoreError::UnknownSession(s) => write!(f, "session {s} is not in the store"),
+            StoreError::DuplicateSession(s) => {
+                write!(f, "session {s} was already opened in this store")
+            }
+            StoreError::SessionClosed(s) => write!(f, "session {s} is closed in this store"),
+            StoreError::Replay { session, detail } => {
+                write!(f, "session {session} replay diverged: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Encode(e)
+    }
+}

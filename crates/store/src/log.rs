@@ -1,0 +1,104 @@
+//! On-disk record framing: `[u32 le payload length][u32 le FNV-1a
+//! checksum][JSON payload]`, and the scan that recovers a log whose tail
+//! was cut or corrupted by a crash.
+//!
+//! The checksum makes the recovery decision unambiguous: a record either
+//! frames *and* hashes correctly — it was fully flushed — or the scan
+//! stops and everything from that offset on is truncated away. There is
+//! no third state, so a torn write can never resurrect as a half-parsed
+//! record.
+
+/// Bytes of framing in front of every payload: length + checksum.
+pub(crate) const HEADER_BYTES: usize = 8;
+
+/// Sanity cap on one record's payload. A length prefix beyond this is
+/// treated as tail corruption, never allocated.
+pub(crate) const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
+
+/// 32-bit FNV-1a over the payload.
+pub(crate) fn checksum(payload: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &byte in payload {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Frames one payload for appending: header plus payload.
+pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(HEADER_BYTES + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&checksum(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Returns the payload starting at `offset` and the offset just past it,
+/// or `None` when `offset` begins the (possibly empty) truncated tail:
+/// an incomplete header, an oversized or understated length, or a
+/// checksum mismatch.
+pub(crate) fn scan_record(buf: &[u8], offset: usize) -> Option<(&[u8], usize)> {
+    let rest = buf.get(offset..)?;
+    if rest.len() < HEADER_BYTES {
+        return None;
+    }
+    let length = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    let expected = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+    if length > MAX_RECORD_BYTES || rest.len() < HEADER_BYTES + length {
+        return None;
+    }
+    let payload = &rest[HEADER_BYTES..HEADER_BYTES + length];
+    if checksum(payload) != expected {
+        return None;
+    }
+    Some((payload, offset + HEADER_BYTES + length))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framed_records_scan_back_in_order() {
+        let mut buf = Vec::new();
+        for payload in [b"one".as_slice(), b"".as_slice(), b"three".as_slice()] {
+            buf.extend_from_slice(&frame(payload));
+        }
+        let (first, next) = scan_record(&buf, 0).unwrap();
+        assert_eq!(first, b"one");
+        let (second, next) = scan_record(&buf, next).unwrap();
+        assert_eq!(second, b"");
+        let (third, next) = scan_record(&buf, next).unwrap();
+        assert_eq!(third, b"three");
+        assert_eq!(next, buf.len());
+        assert_eq!(scan_record(&buf, next), None, "clean end is a tail too");
+    }
+
+    #[test]
+    fn every_strict_prefix_is_a_tail() {
+        let buf = frame(b"payload");
+        for cut in 1..buf.len() {
+            assert_eq!(scan_record(&buf[..cut], 0), None, "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bytes_fail_the_checksum() {
+        let buf = frame(b"payload");
+        for bit in 0..8 {
+            let mut corrupt = buf.clone();
+            corrupt[HEADER_BYTES] ^= 1 << bit;
+            assert_eq!(scan_record(&corrupt, 0), None);
+        }
+        // The untouched original still scans.
+        assert!(scan_record(&buf, 0).is_some());
+    }
+
+    #[test]
+    fn oversized_lengths_are_tails_not_allocations() {
+        let mut buf = ((MAX_RECORD_BYTES + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 12]);
+        assert_eq!(scan_record(&buf, 0), None);
+    }
+}

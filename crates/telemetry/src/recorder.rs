@@ -62,6 +62,21 @@ pub enum FlightEventKind {
         /// The site whose report is missing.
         site: u32,
     },
+    /// The coordinator control channel was lost. Recorded by an RP when
+    /// its control reader dies, and by a coordinator detaching without
+    /// shutting the fleet down.
+    CoordinatorLost,
+    /// A resync round opened: the coordinator queried the fleet, or an
+    /// RP answered a `ResyncQuery` while serving its last-applied table.
+    ResyncStart,
+    /// A resync round closed: every RP replied and the coordinator
+    /// re-dictated `revision` as a fresh ack barrier.
+    ResyncComplete {
+        /// How many sites replied before the barrier was re-dictated.
+        sites: u64,
+        /// The revision re-dictated as the post-resync barrier.
+        revision: u64,
+    },
     /// Free-form annotation.
     Note {
         /// The annotation text.
