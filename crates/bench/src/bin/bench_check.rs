@@ -8,11 +8,12 @@
 use std::process::ExitCode;
 
 /// The benches whose trajectories CI archives.
-const EXPECTED: [&str; 4] = [
+const EXPECTED: [&str; 5] = [
     "runtime_repair",
     "quality_delta",
     "multi_session",
     "coordinator_resync",
+    "fleet_scale",
 ];
 
 fn main() -> ExitCode {

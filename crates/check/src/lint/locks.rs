@@ -23,8 +23,9 @@
 //!   .lock()` and `rp.table.lock()` are one family); any cycle is a
 //!   potential deadlock under concurrent callers;
 //! * [`RULE_LOCK_BLOCKING`] — a blocking call (socket read/write/dial,
-//!   `thread::join`, channel `recv`, `sleep`, …) issued while any guard
-//!   is live;
+//!   `thread::join`, channel `recv`, `sleep`, a readiness `.poll(` wait
+//!   or selector `.register(`/`.reregister(`/`.deregister(` call, …)
+//!   issued while any guard is live;
 //! * [`RULE_LOCK_DOUBLE`] — re-acquiring a family that already has a
 //!   live guard (`parking_lot` locks are not reentrant).
 //!
@@ -70,6 +71,14 @@ const BLOCKING_TOKENS: &[(&str, &str)] = &[
     (".recv_timeout(", "channel receive"),
     (".wait(", "condvar wait"),
     (".wait_timeout(", "condvar wait"),
+    // Readiness-poll operations: a poll wait parks the thread outright,
+    // and (de)registration calls take the selector's internal lock, so
+    // any of them under a live guard stalls every contender — the exact
+    // trap the reactor's event loops must never fall into.
+    (".poll(", "readiness poll wait"),
+    (".register(", "poll registration"),
+    (".reregister(", "poll registration"),
+    (".deregister(", "poll deregistration"),
 ];
 
 /// How a live guard eventually dies.
@@ -546,6 +555,43 @@ mod tests {
         assert_eq!(rules_of(&findings), vec![RULE_LOCK_BLOCKING]);
         assert_eq!(findings[0].line, 3);
         assert!(findings[0].message.contains("`outbound`"));
+    }
+
+    #[test]
+    fn poll_wait_and_registration_under_guard_are_flagged() {
+        // Seeded reactor-shaped violations: an event loop that polls (or
+        // touches the selector's registration table) while holding its
+        // command-queue guard stalls every thread trying to enqueue a
+        // command — the wakeup path deadlocks against the sleep it is
+        // supposed to interrupt.
+        let polling = "fn f(&self) {\n    let cmds = self.commands.lock();\n    \
+                       self.poll.poll(&mut events, timeout);\n}";
+        let findings = run_locks_rules(&[fake("crates/x/src/a.rs", polling)]);
+        assert_eq!(rules_of(&findings), vec![RULE_LOCK_BLOCKING]);
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("readiness poll wait"));
+        assert!(
+            findings[0].message.contains("`cmds`") || findings[0].message.contains("`commands`")
+        );
+
+        let registering = "fn f(&self) {\n    let g = self.entries.lock();\n    \
+                           registry.register(&mut stream, token, interest);\n}";
+        let findings = run_locks_rules(&[fake("crates/x/src/b.rs", registering)]);
+        assert_eq!(rules_of(&findings), vec![RULE_LOCK_BLOCKING]);
+        assert!(findings[0].message.contains("poll registration"));
+
+        let deregistering = "fn f(&self) {\n    if let Some(c) = self.conns.lock().take() \
+                             {\n        registry.deregister(&mut c.stream);\n    }\n}";
+        let findings = run_locks_rules(&[fake("crates/x/src/c.rs", deregistering)]);
+        assert_eq!(rules_of(&findings), vec![RULE_LOCK_BLOCKING]);
+        assert!(findings[0].message.contains("poll deregistration"));
+
+        // The lint-safe idiom the reactor actually uses: drain the queue
+        // in one statement temporary, then poll with no guard live.
+        let drained = "fn f(&self) {\n    let drained = \
+                       std::mem::take(&mut *self.commands.lock());\n    \
+                       self.poll.poll(&mut events, timeout);\n}";
+        assert!(run_locks_rules(&[fake("crates/x/src/d.rs", drained)]).is_empty());
     }
 
     #[test]

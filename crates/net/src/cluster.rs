@@ -16,6 +16,7 @@ use crate::coordinator::{
     ClusterConfig, ClusterError, ClusterReport, Coordinator, ReconfigureReport,
 };
 use crate::node::{RpNode, RpNodeHandle};
+use crate::reactor::{Reactor, ReactorNodeHandle};
 
 /// A long-lived cluster of rendezvous points on 127.0.0.1 whose plan can
 /// be changed while it runs.
@@ -43,13 +44,39 @@ pub struct LiveCluster {
     fleet: NodeFleet,
 }
 
-/// The spawned RP node threads of a [`LiveCluster`], stopped on drop.
+/// One RP of a [`LiveCluster`]'s fleet, in either hosting mode. Both
+/// variants speak the identical wire protocol; the cluster only needs
+/// stop/join from them.
+enum FleetMember {
+    /// Thread-per-connection node ([`LiveCluster::launch`]).
+    Thread(RpNodeHandle),
+    /// Reactor-hosted node ([`LiveCluster::launch_reactor`]).
+    Reactor(ReactorNodeHandle),
+}
+
+impl FleetMember {
+    fn stop(&self) {
+        match self {
+            FleetMember::Thread(node) => node.stop(),
+            FleetMember::Reactor(node) => node.stop(),
+        }
+    }
+
+    fn join(self) {
+        match self {
+            FleetMember::Thread(node) => node.join(),
+            FleetMember::Reactor(node) => node.join(),
+        }
+    }
+}
+
+/// The spawned RP nodes of a [`LiveCluster`], stopped on drop.
 struct NodeFleet {
-    nodes: Vec<RpNodeHandle>,
+    nodes: Vec<FleetMember>,
 }
 
 impl NodeFleet {
-    /// Stops every node and joins its threads (the graceful path).
+    /// Stops every node and joins it (the graceful path).
     fn stop_and_join(mut self) {
         for node in &self.nodes {
             node.stop();
@@ -88,7 +115,44 @@ impl LiveCluster {
         for site in SiteId::all(plan.site_count()) {
             let node = RpNode::bind(site, config.timeout)?;
             addrs.push(node.local_addr());
-            nodes.push(node.spawn());
+            nodes.push(FleetMember::Thread(node.spawn()));
+        }
+        let fleet = NodeFleet { nodes };
+        match Coordinator::connect(plan, &addrs, config) {
+            Ok(coordinator) => Ok(LiveCluster { coordinator, fleet }),
+            Err(e) => {
+                fleet.stop_and_join();
+                Err(e)
+            }
+        }
+    }
+
+    /// Like [`launch`](Self::launch), but hosts every RP on `reactor`'s
+    /// event loops instead of spawning threads per node: the fleet's
+    /// thread cost is the reactor's fixed pool, regardless of how many
+    /// sites (or how many concurrent clusters sharing the reactor) there
+    /// are. The coordinator, the wire protocol, and the delivery
+    /// accounting are identical to the threaded path.
+    ///
+    /// The reactor must outlive the returned cluster; dropping it first
+    /// abandons the hosted nodes mid-protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on socket failures, or if the initial tables are
+    /// not acknowledged and links not reported up within
+    /// `config.timeout`.
+    pub fn launch_reactor(
+        plan: &DisseminationPlan,
+        config: &ClusterConfig,
+        reactor: &Reactor,
+    ) -> Result<LiveCluster, ClusterError> {
+        let mut nodes = Vec::with_capacity(plan.site_count());
+        let mut addrs = Vec::with_capacity(plan.site_count());
+        for site in SiteId::all(plan.site_count()) {
+            let node = reactor.bind_node(site)?;
+            addrs.push(node.addr());
+            nodes.push(FleetMember::Reactor(node));
         }
         let fleet = NodeFleet { nodes };
         match Coordinator::connect(plan, &addrs, config) {
@@ -471,6 +535,28 @@ mod tests {
             node.stop();
             node.join();
         }
+    }
+
+    #[test]
+    fn socket_reactor_cluster_delivers_every_frame() {
+        // The same relay chain as the threaded test, hosted on two event
+        // loops: delivery accounting must come out identical.
+        let reactor = Reactor::new(2).expect("reactor starts");
+        let plan = relay_plan();
+        let mut cluster =
+            LiveCluster::launch_reactor(&plan, &quick_config(), &reactor).expect("launch");
+        cluster.publish(5).expect("batch delivers");
+        let report = cluster.shutdown();
+        assert_eq!(report.delivered[&(site(1), stream(0, 0))], 5);
+        assert_eq!(report.delivered[&(site(2), stream(0, 0))], 5);
+        assert_eq!(report.total_delivered(), 10);
+        // All three RPs ran on the reactor's two threads, and stopped
+        // clean at shutdown.
+        assert_eq!(
+            reactor.telemetry().gauge("reactor.nodes.registered").get(),
+            0
+        );
+        reactor.shutdown();
     }
 
     #[test]

@@ -28,6 +28,27 @@
 //! [`run_cluster`] is the one-shot wrapper: launch, publish, shut down,
 //! report per-site delivery counts and latencies.
 //!
+//! # Hosting modes: threads vs the reactor
+//!
+//! An RP can be hosted two ways, speaking the identical wire protocol:
+//!
+//! - **Thread-per-connection** ([`RpNode::spawn`]): an accept thread plus
+//!   one reader thread per inbound link. Simple and robust, but a fleet
+//!   of N sites costs well over 2N threads — fine for a handful of
+//!   sites, prohibitive for hundreds of sessions in one process.
+//! - **Event-driven** ([`Reactor::bind_node`]): a fixed pool of
+//!   non-blocking event loops hosts every RP. Each loop owns its nodes'
+//!   complete state (no locks), decodes incrementally from
+//!   per-connection read buffers, coalesces writes per wakeup with
+//!   backpressure-aware pending buffers, and paces `Publish` batches
+//!   with timers instead of sleeping threads — thousands of RPs at a
+//!   thread budget that does not grow with fleet size.
+//!
+//! [`LiveCluster::launch`] uses the threaded path;
+//! [`LiveCluster::launch_reactor`] hosts the same fleet on a reactor.
+//! Both forward through one shared frame encoder, so delivery accounting
+//! is bit-identical across hosting modes.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -60,10 +81,12 @@
 mod cluster;
 mod coordinator;
 mod node;
+mod reactor;
 mod replan;
 pub mod wire;
 
 pub use cluster::{run_cluster, LiveCluster};
 pub use coordinator::{ClusterConfig, ClusterError, ClusterReport, Coordinator, ReconfigureReport};
 pub use node::{RpNode, RpNodeHandle};
+pub use reactor::{Reactor, ReactorNodeHandle};
 pub use replan::{link_changes, link_changes_between, LinkChanges};

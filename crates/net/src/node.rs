@@ -43,10 +43,76 @@ pub(crate) use teeve_types::clock::unix_micros;
 
 /// The node's forwarding state, tagged with the plan revision it belongs
 /// to (matching `PlanDelta::from_revision`/`PlanDelta::to_revision`).
+///
+/// Shared with the reactor path: a reactor-hosted RP holds exactly this
+/// state, just not behind a lock (one event-loop thread owns it).
 #[derive(Debug)]
-struct ForwardingTable {
-    revision: u64,
-    plan: SitePlan,
+pub(crate) struct ForwardingTable {
+    pub(crate) revision: u64,
+    pub(crate) plan: SitePlan,
+}
+
+impl ForwardingTable {
+    /// An empty revision-0 table for `site` — every RP's boot state.
+    pub(crate) fn empty(site: SiteId) -> ForwardingTable {
+        ForwardingTable {
+            revision: 0,
+            plan: SitePlan {
+                site,
+                entries: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Child links and planned quality of `stream` under `plan` (the
+/// absent-entry default is leaf-at-full, matching the admission path).
+pub(crate) fn plan_entry(plan: &SitePlan, stream: StreamId) -> (Vec<ChildLink>, Quality) {
+    plan.entry(stream)
+        .map(|e| (e.children.clone(), e.quality))
+        .unwrap_or((Vec::new(), Quality::FULL))
+}
+
+/// Encodes the outgoing copies of one frame, one per child, degraded to
+/// the coarsest of the arriving tag, this RP's effective rung, and each
+/// child's planned rung — one shared encoding per distinct outgoing rung
+/// (siblings at the same rung reference the same bytes).
+///
+/// Both socket paths — the thread-per-connection `reader_loop` and the
+/// reactor — forward through this one function, so the bytes an RP puts
+/// on every hop are identical regardless of how it is hosted; the
+/// reactor-vs-threads delivery-parity test leans on that.
+pub(crate) fn encode_frame_copies(
+    stream: StreamId,
+    seq: u64,
+    captured_micros: u64,
+    payload: &Bytes,
+    tagged: Quality,
+    effective: Quality,
+    children: &[ChildLink],
+) -> Vec<(SiteId, Bytes)> {
+    let mut encoded: BTreeMap<Quality, Bytes> = BTreeMap::new();
+    let mut copies = Vec::with_capacity(children.len());
+    for child in children {
+        let rung = effective.max(child.quality);
+        let buf = encoded.entry(rung).or_insert_with(|| {
+            let extra = Quality::new((rung.rung() - tagged.rung()) as u8);
+            let mut buf = BytesMut::new();
+            encode(
+                &Message::Frame {
+                    stream,
+                    quality: rung,
+                    seq,
+                    captured_micros,
+                    payload: payload.slice(0..extra.scaled_len(payload.len())),
+                },
+                &mut buf,
+            );
+            buf.freeze()
+        });
+        copies.push((child.site, buf.clone()));
+    }
+    copies
 }
 
 /// One stream's local delivery accounting at this RP.
@@ -65,8 +131,12 @@ struct StreamStats {
 
 /// The node's local delivery counters, reported over the wire via
 /// [`Message::StatsReport`] — no memory is shared with the coordinator.
+///
+/// Shared with the reactor path; the interior lock is uncontended there
+/// (one event-loop thread per node) but keeps the type identical across
+/// both hosting modes.
 #[derive(Debug, Default)]
-struct NodeStats {
+pub(crate) struct NodeStats {
     /// Per-stream delivery accounting at this site.
     delivered: Mutex<BTreeMap<StreamId, StreamStats>>,
     total: AtomicU64,
@@ -74,7 +144,7 @@ struct NodeStats {
 }
 
 impl NodeStats {
-    fn record(&self, stream: StreamId, latency_micros: u64, degraded: bool) {
+    pub(crate) fn record(&self, stream: StreamId, latency_micros: u64, degraded: bool) {
         let mut delivered = self.delivered.lock();
         let entry = delivered.entry(stream).or_default();
         entry.delivered += 1;
@@ -87,7 +157,7 @@ impl NodeStats {
             .fetch_max(latency_micros, Ordering::Relaxed);
     }
 
-    fn report(&self, probe: u64) -> Message {
+    pub(crate) fn report(&self, probe: u64) -> Message {
         let streams = self
             .delivered
             .lock()
@@ -154,12 +224,7 @@ impl NodeShared {
     /// Child links and planned quality of `stream` under the current
     /// table.
     fn entry_of(&self, stream: StreamId) -> (Vec<ChildLink>, Quality) {
-        self.table
-            .lock()
-            .plan
-            .entry(stream)
-            .map(|e| (e.children.clone(), e.quality))
-            .unwrap_or((Vec::new(), Quality::FULL))
+        plan_entry(&self.table.lock().plan, stream)
     }
 
     /// Children of `stream` under the current table.
@@ -194,31 +259,21 @@ impl NodeShared {
         if children.is_empty() {
             return effective;
         }
-        // One encoded buffer per distinct outgoing rung; siblings at the
-        // same rung share it.
-        let mut encoded: BTreeMap<Quality, BytesMut> = BTreeMap::new();
+        let copies = encode_frame_copies(
+            stream,
+            seq,
+            captured_micros,
+            payload,
+            tagged,
+            effective,
+            &children,
+        );
         let mut outbound = self.outbound.lock();
-        for child in children {
-            let rung = effective.max(child.quality);
-            let buf = encoded.entry(rung).or_insert_with(|| {
-                let extra = Quality::new((rung.rung() - tagged.rung()) as u8);
-                let mut buf = BytesMut::new();
-                encode(
-                    &Message::Frame {
-                        stream,
-                        quality: rung,
-                        seq,
-                        captured_micros,
-                        payload: payload.slice(0..extra.scaled_len(payload.len())),
-                    },
-                    &mut buf,
-                );
-                buf
-            });
-            if let Some(conn) = outbound.get_mut(&child.site) {
+        for (site, buf) in copies {
+            if let Some(conn) = outbound.get_mut(&site) {
                 // A failed forward drops that downstream subtree; the run
                 // then surfaces it as missing deliveries.
-                let _ = conn.write_all(buf);
+                let _ = conn.write_all(&buf);
             }
         }
         effective
@@ -419,13 +474,7 @@ impl RpNode {
                 site,
                 advertise,
                 wake,
-                table: Mutex::new(ForwardingTable {
-                    revision: 0,
-                    plan: SitePlan {
-                        site,
-                        entries: Vec::new(),
-                    },
-                }),
+                table: Mutex::new(ForwardingTable::empty(site)),
                 outbound: Mutex::new(BTreeMap::new()),
                 control: Mutex::new(None),
                 control_generation: AtomicU64::new(0),

@@ -300,6 +300,108 @@ proptest! {
         prop_assert_eq!(patched, after);
     }
 
+    /// The incremental decoder is split-invariant: feeding an encoded
+    /// message stream in arbitrary chunk sizes — exactly how a reactor
+    /// read loop buffers whatever the kernel returns — yields the same
+    /// message sequence as decoding the whole buffer at once. This is
+    /// the property that makes reactor-hosted RPs protocol-identical to
+    /// threaded ones regardless of TCP segmentation.
+    #[test]
+    fn chunked_decoding_is_split_invariant(
+        messages in proptest::collection::vec(arb_message(), 1..6usize),
+        splits in proptest::collection::vec(1usize..97, 1..32usize),
+    ) {
+        let mut wire = BytesMut::new();
+        for message in &messages {
+            encode(message, &mut wire);
+        }
+        let wire = wire.freeze();
+
+        // Reference: one decode pass over the complete buffer.
+        let mut whole_buf = BytesMut::from(&wire[..]);
+        let mut whole = Vec::new();
+        while let Some(message) = decode(&mut whole_buf).expect("valid stream") {
+            whole.push(message);
+        }
+        prop_assert_eq!(whole.len(), messages.len());
+
+        // Incremental: drive the same bytes in drawn-size chunks
+        // (cycled), draining every complete message after each chunk.
+        let mut chunked = Vec::new();
+        let mut buf = BytesMut::new();
+        let mut cursor = 0usize;
+        let mut sizes = splits.iter().copied().cycle();
+        while cursor < wire.len() {
+            let take = sizes.next().expect("cycled").min(wire.len() - cursor);
+            buf.extend_from_slice(&wire[cursor..cursor + take]);
+            cursor += take;
+            loop {
+                match decode(&mut buf) {
+                    Ok(Some(message)) => chunked.push(message),
+                    Ok(None) => break,
+                    Err(e) => prop_assert!(false, "chunked decode error {e:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(chunked, whole);
+        prop_assert!(buf.is_empty(), "no residual bytes after the stream");
+    }
+
+    /// Corrupt-input parity across feeding disciplines: a byte stream
+    /// the whole-buffer decoder rejects is rejected identically by the
+    /// chunked decoder (same error, no phantom messages first), so a
+    /// reactor-hosted RP drops a corrupt link exactly where a threaded
+    /// one does.
+    #[test]
+    fn chunked_decoding_rejects_the_same_corrupt_streams(
+        message in arb_message(),
+        cut in 1usize..64,
+        splits in proptest::collection::vec(1usize..13, 1..8usize),
+    ) {
+        // Corrupt by understating the length prefix, as in
+        // `understated_lengths_are_rejected`.
+        let mut full = BytesMut::new();
+        encode(&message, &mut full);
+        let length = u32::from_le_bytes([full[0], full[1], full[2], full[3]]) as usize;
+        let cut = cut.min(length - 1).max(1);
+        let shortened = length - cut;
+        let mut corrupt = Vec::new();
+        corrupt.extend_from_slice(&(shortened as u32).to_le_bytes());
+        corrupt.extend_from_slice(&full[4..4 + shortened]);
+
+        let mut whole_buf = BytesMut::from(&corrupt[..]);
+        let whole_err = match decode(&mut whole_buf) {
+            Err(e) => e,
+            other => return Err(TestCaseError::fail(
+                format!("corrupt stream must error whole, got {other:?}"),
+            )),
+        };
+
+        let mut buf = BytesMut::new();
+        let mut cursor = 0usize;
+        let mut sizes = splits.iter().copied().cycle();
+        let mut chunked_err = None;
+        'feed: while cursor < corrupt.len() {
+            let take = sizes.next().expect("cycled").min(corrupt.len() - cursor);
+            buf.extend_from_slice(&corrupt[cursor..cursor + take]);
+            cursor += take;
+            loop {
+                match decode(&mut buf) {
+                    Ok(Some(phantom)) => prop_assert!(
+                        false,
+                        "chunked decode produced a phantom message {phantom:?}"
+                    ),
+                    Ok(None) => break,
+                    Err(e) => {
+                        chunked_err = Some(e);
+                        break 'feed;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(chunked_err, Some(whole_err));
+    }
+
     /// Back-to-back encodings decode in order from one buffer, exactly as
     /// a socket reader sees them.
     #[test]

@@ -1,0 +1,100 @@
+//! Hosting-mode parity: a reactor-hosted fleet must be bit-identical to
+//! the thread-per-connection fleet in everything the coordinator can
+//! observe.
+//!
+//! Both hosting modes speak the same wire protocol and forward through
+//! the same per-rung frame encoder, so a seeded churn trace — retargets,
+//! clears, bandwidth pressure — driven into both must produce the same
+//! delivery accounting, the same link churn counts, and the same final
+//! revision. Latency distributions are exempt (they measure the host's
+//! scheduling, not the protocol).
+
+use std::time::Duration;
+
+use rand::SeedableRng;
+use teeve_net::{ClusterConfig, ClusterReport, LiveCluster, Reactor};
+use teeve_pubsub::{subscription_universe, Session};
+use teeve_runtime::{RuntimeConfig, SessionRuntime, TraceConfig};
+use teeve_types::{CostMatrix, CostMs, Degree};
+
+fn quick_config() -> ClusterConfig {
+    ClusterConfig {
+        frames_per_stream: 3,
+        payload_bytes: 512,
+        frame_interval: None,
+        timeout: Duration::from_secs(20),
+    }
+}
+
+/// Runs the one seeded churn trace on a fresh fleet — threaded when
+/// `reactor` is `None`, event-driven otherwise — and returns the final
+/// report. Everything upstream of the sockets (session, trace, deltas)
+/// is deterministic from the seed, so two calls see identical inputs.
+fn churned_report(reactor: Option<&Reactor>) -> ClusterReport {
+    let costs = CostMatrix::from_fn(4, |i, j| CostMs::new(3 + ((i * 5 + j) % 4) as u32));
+    let session = Session::builder(costs)
+        .cameras_per_site(4)
+        .displays_per_site(1)
+        .symmetric_capacity(Degree::new(8))
+        .build();
+    let universe = subscription_universe(&session).unwrap();
+    let mut runtime = SessionRuntime::new(universe, session, RuntimeConfig::default()).unwrap();
+    let trace = TraceConfig {
+        epochs: 6,
+        events_per_epoch: 3,
+        retarget_weight: 4,
+        clear_weight: 1,
+        leave_weight: 0,
+        join_weight: 0,
+        bandwidth_weight: 3,
+    }
+    .generate(4, 1, &mut rand_chacha::ChaCha8Rng::seed_from_u64(2008));
+
+    let mut cluster = match reactor {
+        Some(reactor) => LiveCluster::launch_reactor(runtime.plan(), &quick_config(), reactor)
+            .expect("reactor launch"),
+        None => LiveCluster::launch(runtime.plan(), &quick_config()).expect("threaded launch"),
+    };
+    runtime
+        .drive_epochs(&trace, &mut cluster)
+        .expect("every delta applies to the live fleet");
+    assert_eq!(cluster.revision(), runtime.plan().revision());
+    cluster.publish(3).expect("final batch delivers");
+    cluster.shutdown()
+}
+
+#[test]
+fn socket_reactor_fleet_matches_threaded_delivery_accounting() {
+    let threaded = churned_report(None);
+    let reactor = Reactor::new(2).expect("reactor starts");
+    let evented = churned_report(Some(&reactor));
+
+    // The protocol-visible outcome must be bit-identical across hosting
+    // modes: per-(site, stream) delivery and degradation counts, the
+    // reconfiguration-driven socket churn, and the final revision.
+    assert_eq!(evented.delivered, threaded.delivered, "delivery counts");
+    assert_eq!(
+        evented.delivered_degraded, threaded.delivered_degraded,
+        "degradation accounting"
+    );
+    assert_eq!(evented.final_revision, threaded.final_revision);
+    assert_eq!(evented.connections_opened, threaded.connections_opened);
+    assert_eq!(evented.connections_closed, threaded.connections_closed);
+    // Graceful runs harvest every RP's stats in both modes.
+    assert_eq!(threaded.missing_reports, 0);
+    assert_eq!(evented.missing_reports, 0);
+    // The trace genuinely exercised the protocol: frames flowed and
+    // reconfigurations opened links.
+    assert!(threaded.total_delivered() > 0, "trace must deliver frames");
+    assert!(
+        threaded.connections_opened > 0,
+        "trace must churn the overlay"
+    );
+
+    // The reactor fleet shut down clean: no RPs left registered.
+    assert_eq!(
+        reactor.telemetry().gauge("reactor.nodes.registered").get(),
+        0
+    );
+    reactor.shutdown();
+}

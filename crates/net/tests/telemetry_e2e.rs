@@ -8,13 +8,16 @@
 //! 2. delivery latency percentiles are read from the merged wire-carried
 //!    histograms, and they agree with the scalar counters;
 //! 3. a poisoned fleet dumps a non-empty flight-recorder JSON naming the
-//!    failed reconfigure.
+//!    failed reconfigure;
+//! 4. a reactor-hosted fleet reports its hosting economics — live
+//!    connection and registered-RP gauges, threads-per-RP amortization,
+//!    wakeup batch sizes — and its lifecycle flight events.
 
 use std::time::Duration;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use teeve_net::{ClusterConfig, Coordinator, LiveCluster, RpNode};
+use teeve_net::{ClusterConfig, Coordinator, LiveCluster, Reactor, RpNode};
 use teeve_overlay::{OverlayManager, ProblemInstance};
 use teeve_pubsub::{subscription_universe, DisseminationPlan, PlanDelta, Session, StreamProfile};
 use teeve_runtime::{RuntimeConfig, SessionRuntime, TraceConfig};
@@ -124,6 +127,77 @@ fn socket_telemetry_observes_a_churning_fleet_end_to_end() {
         assert_eq!(hist.count(), report.delivered[key]);
         assert_eq!(hist.sum(), report.latency_sum_micros[key]);
     }
+}
+
+#[test]
+fn socket_reactor_telemetry_reports_hosting_economics() {
+    // (d) A reactor observed by a caller-supplied registry + recorder:
+    // while a fleet runs on it, the gauges report the hosting economics
+    // the fleet-scale bench tracks; after teardown they read zero and
+    // the recorder holds the lifecycle events.
+    let registry = MetricsRegistry::new();
+    let recorder = FlightRecorder::new();
+    let reactor =
+        Reactor::with_telemetry(2, registry.clone(), recorder.clone()).expect("reactor starts");
+    assert_eq!(registry.gauge("reactor.threads").get(), 2);
+
+    let costs = CostMatrix::from_fn(3, |_, _| CostMs::new(3));
+    let problem = ProblemInstance::builder(costs, CostMs::new(50))
+        .symmetric_capacities(Degree::new(4))
+        .streams_per_site(&[1, 0, 0])
+        .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+        .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
+        .build()
+        .unwrap();
+    let mut manager = OverlayManager::new(problem.clone());
+    manager
+        .subscribe(SiteId::new(1), StreamId::new(SiteId::new(0), 0))
+        .unwrap();
+    manager
+        .subscribe(SiteId::new(2), StreamId::new(SiteId::new(0), 0))
+        .unwrap();
+    let plan = DisseminationPlan::from_forest(
+        &problem,
+        &manager.forest_snapshot(),
+        StreamProfile::default(),
+    );
+    let config = ClusterConfig {
+        frames_per_stream: 3,
+        payload_bytes: 256,
+        frame_interval: None,
+        timeout: Duration::from_secs(20),
+    };
+    let mut cluster = LiveCluster::launch_reactor(&plan, &config, &reactor).expect("launch");
+
+    // While the fleet is up: every RP registered, its control connection
+    // (and any data links) live, and the thread amortization measured.
+    // 3 RPs on 2 loop threads: 2000/3 = 666 milli-threads per RP.
+    assert_eq!(registry.gauge("reactor.nodes.registered").get(), 3);
+    assert!(registry.gauge("reactor.connections.live").get() >= 3);
+    let per_rp_milli = registry.gauge("reactor.threads_per_rp_milli").get();
+    assert!(
+        per_rp_milli <= 2 * 1000 / 3 + 1,
+        "2 threads over 3 RPs must amortize below one thread per RP, got {per_rp_milli}"
+    );
+
+    cluster.publish(3).expect("batch delivers");
+    let report = cluster.shutdown();
+    assert_eq!(report.total_delivered(), 6);
+
+    // After a graceful shutdown the level gauges return to zero…
+    assert_eq!(registry.gauge("reactor.nodes.registered").get(), 0);
+    assert_eq!(registry.gauge("reactor.connections.live").get(), 0);
+    // …the wakeup histogram saw the event loops actually running…
+    let snapshot = registry.snapshot();
+    let wakeups = &snapshot.histograms["reactor.wakeup_batch"];
+    assert!(wakeups.count() > 0, "event loops must have polled");
+    assert!(wakeups.max() >= 1, "wakeups carried readiness records");
+    // …and dropping the reactor completes the flight-recorder story.
+    drop(reactor);
+    assert_eq!(registry.gauge("reactor.threads").get(), 0);
+    let kinds: Vec<_> = recorder.events().into_iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&teeve_telemetry::FlightEventKind::ReactorStart { threads: 2 }));
+    assert!(kinds.contains(&teeve_telemetry::FlightEventKind::ReactorStop { threads: 2 }));
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! The sharded session registry and its lifecycle API.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,7 +47,7 @@ struct Inner {
     shards: Vec<Shard>,
     next_id: AtomicU64,
     /// Service-wide metrics: every hosted runtime's epoch phases plus
-    /// the bulk-drive shard/fold spans land in this one registry.
+    /// the bulk-drive session/fold spans land in this one registry.
     telemetry: MetricsRegistry,
     /// Service-wide flight recorder shared by every hosted runtime.
     recorder: FlightRecorder,
@@ -84,8 +84,9 @@ impl MembershipService {
     }
 
     /// A service with an explicit shard count. More shards mean less
-    /// registry contention and more parallelism in
-    /// [`drive_all`](Self::drive_all); the `multi_session` bench sweeps
+    /// registry contention on create/close/lookup; bulk drives steal work
+    /// per **session**, so [`drive_all`](Self::drive_all) parallelism is
+    /// independent of the shard count. The `multi_session` bench sweeps
     /// this.
     ///
     /// # Panics
@@ -186,7 +187,7 @@ impl MembershipService {
     }
 
     /// The service-wide metrics registry. Every hosted runtime records
-    /// its epoch-phase spans here, and bulk drives add their per-shard
+    /// its epoch-phase spans here, and bulk drives add their per-session
     /// drive and fold spans (`service.drive.*_micros`), so one snapshot
     /// covers the whole service.
     pub fn telemetry(&self) -> &MetricsRegistry {
@@ -345,10 +346,14 @@ impl MembershipService {
     /// [`drive_all_with`](Self::drive_all_with) instead, or the
     /// executors' revisions fall behind with no catch-up path.
     ///
-    /// Shards are processed by parallel worker threads (one per shard, up
-    /// to the machine's parallelism); sessions within a shard are driven
-    /// in id order. An epoch with no queued events is still driven — a
-    /// quiet epoch is a control-plane revision, keeping every session's
+    /// Sessions are handed to parallel worker threads **one at a time**
+    /// from a shared work queue: a worker that drew a cheap session comes
+    /// back for the next one immediately, so one expensive session (or a
+    /// shard holding most of the tenants) never idles the rest of the
+    /// pool the way the old shard-granular split did. Worker count is
+    /// bounded by the machine's parallelism and the session count — not
+    /// the shard count. An epoch with no queued events is still driven —
+    /// a quiet epoch is a control-plane revision, keeping every session's
     /// executors in lock-step, exactly as
     /// [`SessionRuntime::apply_epoch`] does for a single session.
     pub fn drive_all(&self) -> ServiceReport {
@@ -386,25 +391,38 @@ impl MembershipService {
         (report, rejections)
     }
 
-    /// The shared bulk-drive core: parallel reconcile, returning the
-    /// folded report and every session's emitted delta.
+    /// The shared bulk-drive core: parallel reconcile over a per-session
+    /// work queue, returning the folded report and every session's
+    /// emitted delta.
     fn drive_all_outcomes(&self) -> (ServiceReport, Vec<(SessionId, PlanDelta)>) {
-        let shard_count = self.shard_count();
+        // Snapshot every shard's slots into one flat work list. Each
+        // shard's read lock is held only for the copy, so creates and
+        // closes are never blocked behind overlay repair.
+        let mut work: Vec<(usize, SessionId, Arc<Mutex<Slot>>)> = Vec::new();
+        for (index, shard) in self.inner.shards.iter().enumerate() {
+            let sessions = shard.sessions.read();
+            work.extend(
+                sessions
+                    .iter()
+                    .map(|(id, slot)| (index, *id, Arc::clone(slot))),
+            );
+        }
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(shard_count)
+            .min(work.len())
             .max(1);
+        let cursor = AtomicUsize::new(0);
         if workers == 1 {
             // Nothing to parallelize: drive inline instead of paying a
             // spawn/join per pass.
-            return self.drive_shard_range(0, 1);
+            return self.steal_sessions(&work, &cursor);
         }
         let mut report = ServiceReport::default();
         let mut deltas = Vec::new();
         let shares = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|w| scope.spawn(move || self.drive_shard_range(w, workers)))
+                .map(|_| scope.spawn(|| self.steal_sessions(&work, &cursor)))
                 .collect();
             handles
                 .into_iter()
@@ -423,46 +441,51 @@ impl MembershipService {
         (report, deltas)
     }
 
-    /// Drives every session of shards `worker`, `worker + stride`, … and
-    /// returns the worker's partial report and emitted deltas.
-    fn drive_shard_range(
+    /// One worker's share of a bulk drive: repeatedly claims the next
+    /// undriven session off the shared `work` list (via `cursor`
+    /// fetch-add) until the list is exhausted, and returns the partial
+    /// report and emitted deltas. Stealing is per **session**, so a
+    /// skewed tenant mix — one session with a huge event backlog, or one
+    /// shard hosting most of the registry — costs the pass only that
+    /// session's own reconcile time, not a whole shard-sized stripe.
+    fn steal_sessions(
         &self,
-        worker: usize,
-        stride: usize,
+        work: &[(usize, SessionId, Arc<Mutex<Slot>>)],
+        cursor: &AtomicUsize,
     ) -> (ServiceReport, Vec<(SessionId, PlanDelta)>) {
         let mut report = ServiceReport::default();
         let mut deltas = Vec::new();
-        let shard_span = self.inner.telemetry.histogram("service.drive.shard_micros");
-        for shard in self.inner.shards.iter().skip(worker).step_by(stride) {
+        let session_span = self
+            .inner
+            .telemetry
+            .histogram("service.drive.session_micros");
+        loop {
+            let next = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some((shard_index, id, slot)) = work.get(next) else {
+                break;
+            };
+            let Some(shard) = self.inner.shards.get(*shard_index) else {
+                break;
+            };
             let driving = Instant::now();
-            // Snapshot the shard's slots, then drop the read lock before
-            // reconciling, so creates/closes on this shard are not
-            // blocked behind overlay repair.
-            let slots: Vec<(SessionId, Arc<Mutex<Slot>>)> = shard
-                .sessions
-                .read()
-                .iter()
-                .map(|(id, slot)| (*id, Arc::clone(slot)))
-                .collect();
-            for (id, slot) in slots {
-                let mut slot = slot.lock();
-                // The snapshot's Arc keeps a slot alive past its removal;
-                // a session closed between the snapshot and this lock
-                // must not be driven after its final report was read.
-                if !shard.sessions.read().contains_key(&id) {
-                    continue;
-                }
-                let epoch = std::mem::take(&mut slot.pending);
-                let outcome = slot.runtime.apply_epoch(&epoch);
-                // A failed append must not abort the pass over every
-                // other tenant; the report *names* the lost commit.
-                if self.record_commit(id, &outcome.commit).is_err() {
-                    report.store_failures += 1;
-                }
-                report.absorb(id, outcome.report);
-                deltas.push((id, outcome.delta));
+            let mut slot = slot.lock();
+            // The snapshot's Arc keeps a slot alive past its removal; a
+            // session closed between the snapshot and this lock must not
+            // be driven after its final report was read. (Slot guard →
+            // shard read lock is the documented lock order.)
+            if !shard.sessions.read().contains_key(id) {
+                continue;
             }
-            shard_span.record_duration(driving.elapsed());
+            let epoch = std::mem::take(&mut slot.pending);
+            let outcome = slot.runtime.apply_epoch(&epoch);
+            // A failed append must not abort the pass over every other
+            // tenant; the report *names* the lost commit.
+            if self.record_commit(*id, &outcome.commit).is_err() {
+                report.store_failures += 1;
+            }
+            report.absorb(*id, outcome.report);
+            deltas.push((*id, outcome.delta));
+            session_span.record_duration(driving.elapsed());
         }
         (report, deltas)
     }
@@ -780,6 +803,57 @@ mod tests {
     }
 
     #[test]
+    fn skewed_registry_is_stolen_per_session_not_per_shard() {
+        // Worst case for the old shard-granular split: ONE shard hosts
+        // all 32 sessions, and the work is skewed — one session carries
+        // a deep event backlog while most sit idle. Per-session stealing
+        // must (a) bound workers by the session count, not the shard
+        // count of 1, (b) still drive every session exactly one epoch,
+        // and (c) account one drive span per session.
+        let service = MembershipService::with_shards(1);
+        let handles: Vec<SessionHandle> = (0..32)
+            .map(|_| service.create_session(spec(4)).unwrap())
+            .collect();
+        // The hot tenant: a pile of churn on session 0…
+        for round in 0..6u32 {
+            handles[0]
+                .submit_requests([viewpoint(0, 0, 1 + round % 3)])
+                .unwrap();
+        }
+        // …light touches on a few others, silence on the rest.
+        for (index, handle) in handles.iter().enumerate().skip(1) {
+            if index % 7 == 0 {
+                handle.submit_requests([viewpoint(0, 1, 2)]).unwrap();
+            }
+        }
+
+        let report = service.drive_all();
+        assert_eq!(report.sessions, 32);
+        assert_eq!(report.reconverge.count(), 32);
+        assert_eq!(report.events, 10, "6 on the hot tenant + 4 light touches");
+        for handle in &handles {
+            assert_eq!(handle.epoch().unwrap(), 1, "every session advanced once");
+            handle.validate().unwrap();
+        }
+        // Session-granular accounting: one drive span per tenant even
+        // though they all live on the single shard. On a multi-core host
+        // the pool genuinely fans out past the shard count; on one core
+        // the same queue degrades to the inline path — either way the
+        // outcome above is identical.
+        let snapshot = service.telemetry().snapshot();
+        assert_eq!(
+            snapshot.histograms["service.drive.session_micros"].count(),
+            32
+        );
+
+        // A session closed between passes is skipped by the next pass's
+        // snapshot guard, not driven posthumously.
+        service.close_session(handles[5].id()).unwrap();
+        let second = service.drive_all();
+        assert_eq!(second.sessions, 31);
+    }
+
+    #[test]
     fn drive_all_with_routes_every_delta_to_its_executor() {
         use teeve_pubsub::DeltaRouter;
 
@@ -922,11 +996,14 @@ mod tests {
             "the p99 bounds the mean from above"
         );
 
-        // The service registry saw the pass: shard spans for every
-        // non-empty shard visit, runtime phases for every epoch, and
-        // the open-session gauge.
+        // The service registry saw the pass: one drive span per driven
+        // session, runtime phases for every epoch, and the open-session
+        // gauge.
         let snapshot = service.telemetry().snapshot();
-        assert!(snapshot.histograms["service.drive.shard_micros"].count() >= 1);
+        assert_eq!(
+            snapshot.histograms["service.drive.session_micros"].count(),
+            6
+        );
         assert_eq!(snapshot.histograms["runtime.reconverge_micros"].count(), 6);
         assert_eq!(snapshot.gauges["service.sessions.open"], 6);
 

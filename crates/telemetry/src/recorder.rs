@@ -77,6 +77,16 @@ pub enum FlightEventKind {
         /// The revision re-dictated as the post-resync barrier.
         revision: u64,
     },
+    /// A reactor's event-loop pool started.
+    ReactorStart {
+        /// Event-loop threads in the pool.
+        threads: u64,
+    },
+    /// A reactor's event-loop pool stopped (all loops joined).
+    ReactorStop {
+        /// Event-loop threads that were joined.
+        threads: u64,
+    },
     /// Free-form annotation.
     Note {
         /// The annotation text.

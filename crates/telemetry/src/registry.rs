@@ -48,6 +48,28 @@ impl Gauge {
         self.0.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Adds `delta` to the gauge — for level gauges (live connections,
+    /// registered nodes) maintained by increments from several threads.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta` from the gauge, saturating at zero so a racing
+    /// decrement can never wrap a level gauge to 2^64.
+    pub fn sub(&self, delta: u64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(delta);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -202,6 +224,17 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.raise(11);
         assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn level_gauges_add_and_saturate_on_sub() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("conns.live");
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "level gauge saturates instead of wrapping");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Readiness records returned by [`Poll::poll`](crate::Poll::poll).
+
+use std::io;
+
+use crate::sys;
+use crate::Token;
+
+/// One readiness record: which token, and which ways it is ready.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// True when the source is readable (or has hung up — a read will
+    /// observe EOF or the error without blocking).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLRDHUP | sys::EPOLLERR) != 0
+    }
+
+    /// True when the source is writable (or errored — a write observes
+    /// the failure without blocking).
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// True when the peer closed its write half (or the whole stream).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+
+    /// True when the source is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EPOLLERR != 0
+    }
+}
+
+/// A reusable buffer of readiness records, filled by each poll.
+#[derive(Debug)]
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    filled: Vec<Event>,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` records per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        let capacity = capacity.max(1);
+        Events {
+            raw: vec![sys::EpollEvent { events: 0, data: 0 }; capacity],
+            filled: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Iterates the records of the most recent poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.filled.iter()
+    }
+
+    /// True when the most recent poll returned no records (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.filled.is_empty()
+    }
+
+    /// Number of records the most recent poll returned.
+    pub fn len(&self) -> usize {
+        self.filled.len()
+    }
+
+    /// Discards the most recent poll's records.
+    pub fn clear(&mut self) {
+        self.filled.clear();
+    }
+
+    pub(crate) fn fill(&mut self, epfd: i32, timeout_ms: i32) -> io::Result<()> {
+        self.filled.clear();
+        let n = sys::epoll_poll(epfd, &mut self.raw, timeout_ms)?;
+        for record in &self.raw[..n] {
+            // Copy out of the packed struct before use.
+            let (events, data) = (record.events, record.data);
+            self.filled.push(Event {
+                token: data as usize,
+                bits: events,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}

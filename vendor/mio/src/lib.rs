@@ -1,0 +1,353 @@
+//! Vendored minimal stand-in for the `mio` crate (offline build).
+//!
+//! Exposes the subset of mio 0.8's API surface the workspace's reactor
+//! uses — [`Poll`]/[`Registry`], [`Token`], [`Interest`],
+//! [`event::Events`], [`Waker`], and non-blocking
+//! [`net::TcpListener`]/[`net::TcpStream`] wrappers — over Linux epoll.
+//! Swapping back to upstream mio is a Cargo.toml-only change.
+//!
+//! Divergences from upstream, chosen for a simpler shim:
+//!
+//! - Sockets are registered **level-triggered** (upstream is
+//!   edge-triggered). A reactor that drains reads to `WouldBlock` and
+//!   only keeps `WRITABLE` interest while it has pending writes — which
+//!   the workspace's reactor does — behaves identically under both
+//!   disciplines.
+//! - The [`Waker`]'s eventfd is registered edge-triggered, so repeated
+//!   wakes between polls coalesce into one readiness record and the
+//!   counter never needs draining, matching upstream semantics.
+
+use std::io;
+use std::time::Duration;
+
+mod sys;
+
+pub mod event;
+pub mod net;
+
+use event::Events;
+
+/// Associates a registered event source with the readiness records it
+/// produces. The value is chosen by the caller (typically a slab index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (includes peer hang-up).
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in write readiness (includes connect completion).
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// Combines two interests.
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True when read readiness is included.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True when write readiness is included.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.is_readable() {
+            bits |= sys::EPOLLIN;
+        }
+        if self.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// An event source that can be registered with a [`Registry`].
+///
+/// Upstream mio's `event::Source` drives registration through the
+/// source; the shim only needs the underlying fd.
+pub trait Source {
+    /// The raw file descriptor epoll watches.
+    fn raw_fd(&self) -> i32;
+}
+
+/// Handle for registering event sources with a [`Poll`] instance.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: i32,
+}
+
+impl Registry {
+    /// Registers `source` for `interests`, tagging its events `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_ctl` failure (e.g. an already-registered
+    /// fd).
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            source.raw_fd(),
+            interests.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    /// Replaces an existing registration's interests and token.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_ctl` failure (e.g. an unregistered fd).
+    pub fn reregister<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            source.raw_fd(),
+            interests.epoll_bits(),
+            token.0 as u64,
+        )
+    }
+
+    /// Removes `source`'s registration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_ctl` failure (e.g. an unregistered fd).
+    pub fn deregister<S: Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_DEL, source.raw_fd(), 0, 0)
+    }
+}
+
+/// The readiness poller: an owned epoll instance.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a new poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (fd exhaustion).
+    pub fn new() -> io::Result<Poll> {
+        let epfd = sys::epoll_create()?;
+        Ok(Poll {
+            registry: Registry { epfd },
+        })
+    }
+
+    /// The registration handle for this poller.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely), filling `events`. A timeout
+    /// shorter than a millisecond rounds up so a positive timeout never
+    /// becomes a busy-spin zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_wait` failure; `Interrupted` (a signal) is
+    /// retried internally.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as i32
+                }
+            }
+        };
+        loop {
+            match events.fill(self.registry.epfd, timeout_ms) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::close_fd(self.registry.epfd);
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from another thread.
+///
+/// Backed by an eventfd registered edge-triggered, so wakes between two
+/// polls coalesce into a single readiness record for the waker's token.
+#[derive(Debug)]
+pub struct Waker {
+    fd: i32,
+}
+
+impl Waker {
+    /// Creates a waker delivering readiness records tagged `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates eventfd creation or registration failure.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let fd = sys::eventfd_create()?;
+        if let Err(e) = sys::epoll_control(
+            registry.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            sys::EPOLLIN | sys::EPOLLET,
+            token.0 as u64,
+        ) {
+            sys::close_fd(fd);
+            return Err(e);
+        }
+        Ok(Waker { fd })
+    }
+
+    /// Wakes the poller. Cheap and thread-safe; callers must not hold
+    /// locks the poll thread takes while calling this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the eventfd write failure (`WouldBlock` on a saturated
+    /// counter is reported but harmless — readiness is already pending).
+    pub fn wake(&self) -> io::Result<()> {
+        sys::eventfd_signal(self.fd)
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::net::{TcpListener, TcpStream};
+    use super::*;
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+
+    fn drain_until<F: FnMut(&event::Event) -> bool>(
+        poll: &mut Poll,
+        events: &mut Events,
+        mut hit: F,
+    ) {
+        for _ in 0..200 {
+            poll.poll(events, Some(Duration::from_millis(100))).unwrap();
+            if events.iter().any(&mut hit) {
+                return;
+            }
+        }
+        panic!("expected readiness never arrived");
+    }
+
+    #[test]
+    fn accept_read_write_roundtrip() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(16);
+        let mut listener = TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, Token(1), Interest::READABLE)
+            .unwrap();
+
+        let mut dialer = TcpStream::connect(addr).unwrap();
+        poll.registry()
+            .register(&mut dialer, Token(2), Interest::WRITABLE)
+            .unwrap();
+
+        drain_until(&mut poll, &mut events, |e| e.token() == Token(1));
+        let (mut accepted, _) = listener.accept().unwrap();
+        poll.registry()
+            .register(&mut accepted, Token(3), Interest::READABLE)
+            .unwrap();
+
+        drain_until(&mut poll, &mut events, |e| {
+            e.token() == Token(2) && e.is_writable()
+        });
+        assert!(dialer.take_error().unwrap().is_none());
+        dialer.write_all(b"ping").unwrap();
+
+        drain_until(&mut poll, &mut events, |e| {
+            e.token() == Token(3) && e.is_readable()
+        });
+        let mut buf = [0u8; 8];
+        let read = accepted.read(&mut buf).unwrap();
+        assert_eq!(&buf[..read], b"ping");
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_and_coalesces() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let waker = Arc::new(Waker::new(poll.registry(), Token(7)).unwrap());
+
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            remote.wake().unwrap();
+            remote.wake().unwrap();
+        });
+        drain_until(&mut poll, &mut events, |e| e.token() == Token(7));
+        handle.join().unwrap();
+
+        // Coalesced: after the edge fired once, an idle poll times out
+        // instead of replaying the second wake.
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token() != Token(7)));
+    }
+
+    #[test]
+    fn connect_to_dead_port_reports_the_error_on_writable() {
+        // Bind-then-drop reserves a port nothing listens on.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let mut conn = TcpStream::connect(dead).unwrap();
+        poll.registry()
+            .register(&mut conn, Token(9), Interest::WRITABLE)
+            .unwrap();
+        drain_until(&mut poll, &mut events, |e| e.token() == Token(9));
+        assert!(
+            conn.take_error().unwrap().is_some() || conn.peer_addr().is_err(),
+            "refused connect must surface an error"
+        );
+    }
+}

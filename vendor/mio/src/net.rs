@@ -1,0 +1,190 @@
+//! Non-blocking TCP wrappers registerable with a
+//! [`Registry`](crate::Registry).
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr};
+use std::os::fd::AsRawFd;
+
+use crate::{sys, Source};
+
+/// A non-blocking TCP listener.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds a new non-blocking listener on `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failure.
+    pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        Self::from_std_checked(inner)
+    }
+
+    /// Wraps an already-bound std listener, switching it non-blocking.
+    ///
+    /// Upstream mio's `from_std` requires the caller to have set
+    /// non-blocking mode already; the shim sets it itself and panics only
+    /// on the (unobserved in practice) fcntl failure, keeping the
+    /// signature identical.
+    pub fn from_std(inner: std::net::TcpListener) -> TcpListener {
+        Self::from_std_checked(inner).expect("set_nonblocking on a bound listener")
+    }
+
+    fn from_std_checked(inner: std::net::TcpListener) -> io::Result<TcpListener> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accepts one pending connection; `WouldBlock` when none is queued.
+    /// The accepted stream is non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` with an empty accept queue; otherwise the accept
+    /// failure.
+    pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        stream.set_nonblocking(true)?;
+        Ok((TcpStream { inner: stream }, addr))
+    }
+
+    /// The bound local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the getsockname failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl Source for TcpListener {
+    fn raw_fd(&self) -> i32 {
+        self.inner.as_raw_fd()
+    }
+}
+
+/// A non-blocking TCP stream.
+///
+/// Reads and writes return `WouldBlock` instead of blocking; a stream
+/// produced by [`connect`](TcpStream::connect) signals completion via
+/// writability (check [`take_error`](TcpStream::take_error) then).
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Begins a non-blocking connect to `addr`; the returned stream is
+    /// writable once the connect completes (or fails — check
+    /// [`take_error`](TcpStream::take_error)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates synchronous connect failures (bad address family, fd
+    /// exhaustion); in-flight completion is not an error.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+        let (fd, _connected) = sys::connect_nonblocking(addr)?;
+        Ok(TcpStream {
+            inner: sys::stream_from_fd(fd),
+        })
+    }
+
+    /// Wraps an already-connected std stream, switching it non-blocking.
+    ///
+    /// See [`TcpListener::from_std`] for the divergence from upstream.
+    pub fn from_std(inner: std::net::TcpStream) -> TcpStream {
+        inner
+            .set_nonblocking(true)
+            .expect("set_nonblocking on a connected stream");
+        TcpStream { inner }
+    }
+
+    /// The peer's address; fails while a connect is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// `NotConnected` before the handshake completes.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the getsockname failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Disables Nagle's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the setsockopt failure.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// Takes the pending socket error — how a failed non-blocking
+    /// connect surfaces after the writable event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the getsockopt failure itself.
+    pub fn take_error(&self) -> io::Result<Option<io::Error>> {
+        self.inner.take_error()
+    }
+
+    /// Shuts down the read, write, or both halves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shutdown failure.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl Source for TcpStream {
+    fn raw_fd(&self) -> i32 {
+        self.inner.as_raw_fd()
+    }
+}
+
+impl Read for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Read for &TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&self.inner).read(buf)
+    }
+}
+
+impl Write for &TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&self.inner).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&self.inner).flush()
+    }
+}

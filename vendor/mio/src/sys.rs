@@ -1,0 +1,203 @@
+//! Raw Linux syscall bindings for the poll shim.
+//!
+//! The build image has no `libc` crate, so the handful of calls epoll
+//! needs are declared directly against the C runtime std already links.
+//! Everything `unsafe` in the shim lives in this module; the public API
+//! in `lib.rs` is safe.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EFD_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0x800;
+const SOCK_CLOEXEC: c_int = 0x80000;
+
+/// `errno` for a non-blocking connect still in flight.
+const EINPROGRESS: i32 = 115;
+
+/// One epoll readiness record. x86-64 Linux declares the struct packed,
+/// so field reads below copy out of place.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Copy out of the packed struct before formatting.
+        let (events, data) = (self.events, self.data);
+        f.debug_struct("EpollEvent")
+            .field("events", &events)
+            .field("data", &data)
+            .finish()
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(sockfd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance and returns its fd.
+pub fn epoll_create() -> io::Result<i32> {
+    check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Adds, modifies, or removes `fd` on the epoll instance `epfd`.
+pub fn epoll_control(epfd: i32, op: c_int, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    let mut event = EpollEvent { events, data };
+    check(unsafe { epoll_ctl(epfd, op, fd, &mut event) }).map(|_| ())
+}
+
+/// Waits for readiness on `epfd`, filling `buf`; `timeout_ms < 0` blocks
+/// indefinitely. Returns the number of records filled.
+pub fn epoll_poll(epfd: i32, buf: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+    let filled = check(unsafe {
+        epoll_wait(
+            epfd,
+            buf.as_mut_ptr(),
+            buf.len().min(c_int::MAX as usize) as c_int,
+            timeout_ms,
+        )
+    })?;
+    Ok(filled as usize)
+}
+
+/// Creates a non-blocking, close-on-exec eventfd (the wake channel).
+pub fn eventfd_create() -> io::Result<i32> {
+    check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Adds 1 to an eventfd counter — the wake-up write. Saturation (which
+/// would take 2^64-1 unconsumed wakes) reports `WouldBlock` and is
+/// harmless: the pending readiness is already observable.
+pub fn eventfd_signal(fd: i32) -> io::Result<()> {
+    let one: u64 = 1;
+    let wrote = unsafe { write(fd, (&one as *const u64).cast(), 8) };
+    if wrote == 8 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Closes a raw fd owned by the shim (epoll and eventfd descriptors;
+/// sockets are owned and closed by their `std::net` wrappers).
+pub fn close_fd(fd: i32) {
+    unsafe {
+        close(fd);
+    }
+}
+
+#[repr(C)]
+struct SockAddrV4 {
+    family: u16,
+    /// Port in network byte order.
+    port: [u8; 2],
+    addr: [u8; 4],
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockAddrV6 {
+    family: u16,
+    /// Port in network byte order.
+    port: [u8; 2],
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+/// Begins a non-blocking TCP connect to `addr`. Returns the socket fd
+/// and whether the connect already completed (loopback often finishes
+/// synchronously); a pending connect signals completion via writability.
+pub fn connect_nonblocking(addr: std::net::SocketAddr) -> io::Result<(i32, bool)> {
+    let family = match addr {
+        std::net::SocketAddr::V4(_) => AF_INET,
+        std::net::SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = check(unsafe { socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    let ret = match addr {
+        std::net::SocketAddr::V4(v4) => {
+            let raw = SockAddrV4 {
+                family: AF_INET as u16,
+                port: v4.port().to_be_bytes(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const SockAddrV4).cast(),
+                    std::mem::size_of::<SockAddrV4>() as u32,
+                )
+            }
+        }
+        std::net::SocketAddr::V6(v6) => {
+            let raw = SockAddrV6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be_bytes(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                connect(
+                    fd,
+                    (&raw as *const SockAddrV6).cast(),
+                    std::mem::size_of::<SockAddrV6>() as u32,
+                )
+            }
+        }
+    };
+    if ret == 0 {
+        return Ok((fd, true));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        Ok((fd, false))
+    } else {
+        close_fd(fd);
+        Err(err)
+    }
+}
+
+/// Wraps a raw socket fd produced by [`connect_nonblocking`] into an
+/// owning `std::net::TcpStream`.
+pub fn stream_from_fd(fd: i32) -> std::net::TcpStream {
+    use std::os::fd::FromRawFd;
+    unsafe { std::net::TcpStream::from_raw_fd(fd) }
+}
